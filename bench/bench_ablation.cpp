@@ -1,0 +1,128 @@
+// Ablations of the design choices DESIGN.md §5 calls out:
+//
+//   A. Non-refreshing timeout-action timers (Sec 2.3's subtlety): the sound
+//      monitor detects a never-answered request stream; the naive variant
+//      (timer reset by every repeated request) never fires.
+//   B. Instance eviction cap (the paper's space-consumption concern):
+//      detection recall vs the max_instances bound.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "monitor/engine.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+/// A request stream for a known address: a reply is learned, then requests
+/// repeat every `gap`, and NOTHING ever answers — a violation at
+/// first_request + deadline under sound semantics.
+std::vector<DataplaneEvent> NeverAnsweredStream(Duration gap,
+                                                std::size_t requests) {
+  std::vector<DataplaneEvent> events;
+  DataplaneEvent learn;
+  learn.type = DataplaneEventType::kArrival;
+  learn.time = SimTime::Zero() + Duration::Millis(1);
+  learn.fields.Set(FieldId::kArpOp, 2);
+  learn.fields.Set(FieldId::kArpSenderIp, 42);
+  events.push_back(learn);
+
+  SimTime t = SimTime::Zero() + Duration::Millis(10);
+  for (std::size_t i = 0; i < requests; ++i) {
+    DataplaneEvent req;
+    req.type = DataplaneEventType::kArrival;
+    req.time = t;
+    req.fields.Set(FieldId::kArpOp, 1);
+    req.fields.Set(FieldId::kArpTargetIp, 42);
+    events.push_back(req);
+    t = t + gap;
+  }
+  return events;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header(
+      "bench_ablation", "design-choice ablations (DESIGN.md §5)",
+      "Sec 2.3: 'if [timeout-action timers] were reset whenever the "
+      "preceding observation fired, a never-answered sequence of requests "
+      "every (T-1) seconds would not be detected'");
+
+  bench::Section(
+      "A. timeout-action timer semantics (ARP reply deadline T = 1s)");
+  std::printf("%14s | %18s | %18s\n", "request gap", "sound (no refresh)",
+              "naive (refreshing)");
+  for (const Duration gap :
+       {Duration::Millis(500), Duration::Millis(900), Duration::Millis(1100),
+        Duration::Millis(2000)}) {
+    const auto events = NeverAnsweredStream(gap, 20);
+    const SimTime end = events.back().time + Duration::Seconds(5);
+
+    MonitorEngine sound(ArpProxyReplyDeadline());
+    MonitorConfig naive_cfg;
+    naive_cfg.naive_timeout_refresh = true;
+    MonitorEngine naive(ArpProxyReplyDeadline(), naive_cfg);
+    for (const auto& ev : events) {
+      sound.ProcessEvent(ev);
+      naive.ProcessEvent(ev);
+    }
+    // Note: after the request burst ends, even the naive timer eventually
+    // fires; the paper's scenario is a CONTINUING stream, so the relevant
+    // comparison is during it.
+    const std::size_t sound_during = sound.violations().size();
+    const std::size_t naive_during = naive.violations().size();
+    sound.AdvanceTime(end);
+    naive.AdvanceTime(end);
+    std::printf("%14s | %7zu during +%zu | %7zu during +%zu\n",
+                gap.ToString().c_str(), sound_during,
+                sound.violations().size() - sound_during, naive_during,
+                naive.violations().size() - naive_during);
+  }
+  std::printf(
+      "\nShape check: with sub-deadline gaps the sound monitor fires during "
+      "the stream (deadline from the FIRST request); the naive monitor "
+      "stays silent for as long as requests keep arriving.\n");
+
+  bench::Section("B. instance cap vs detection recall (firewall, 64 conns)");
+  std::printf("%14s | %10s | %10s | %8s\n", "max_instances", "violations",
+              "evicted", "recall");
+  for (const std::size_t cap : {0u, 64u, 32u, 16u, 8u}) {
+    MonitorConfig mc;
+    mc.max_instances = cap;
+    MonitorEngine engine(FirewallReturnNotDropped(), mc);
+    // 64 connections open, then each gets a dropped return (reverse order,
+    // so small caps keep only the newest instances and catch those).
+    for (int c = 0; c < 64; ++c) {
+      DataplaneEvent out;
+      out.type = DataplaneEventType::kArrival;
+      out.time = SimTime::Zero() + Duration::Millis(c + 1);
+      out.fields.Set(FieldId::kInPort, 1);
+      out.fields.Set(FieldId::kIpSrc, 100 + c);
+      out.fields.Set(FieldId::kIpDst, 7);
+      engine.ProcessEvent(out);
+    }
+    for (int c = 63; c >= 0; --c) {
+      DataplaneEvent drop;
+      drop.type = DataplaneEventType::kEgress;
+      drop.time = SimTime::Zero() + Duration::Millis(100 + (63 - c));
+      drop.fields.Set(FieldId::kIpSrc, 7);
+      drop.fields.Set(FieldId::kIpDst, 100 + c);
+      drop.fields.Set(FieldId::kEgressAction,
+                      static_cast<std::uint64_t>(EgressActionValue::kDrop));
+      engine.ProcessEvent(drop);
+    }
+    std::printf("%14zu | %10zu | %10llu | %7.0f%%\n", cap,
+                engine.violations().size(),
+                static_cast<unsigned long long>(
+                    engine.stats().instances_evicted),
+                engine.violations().size() * 100.0 / 64.0);
+  }
+  std::printf(
+      "\nShape check: recall degrades gracefully with the cap — bounding "
+      "monitor state (the paper's space concern) trades exactly the oldest "
+      "attempts.\n");
+  return 0;
+}

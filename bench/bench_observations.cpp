@@ -1,0 +1,81 @@
+// E8 — the Sec-2 observation diagrams, reproduced as executed traces.
+//
+// Each walkthrough property is run against its faulted device; the first
+// violation is printed with full provenance, i.e. the exact sequence of
+// observations the paper's figures draw (firewall: the A->B packet then the
+// dropped B->A packet; NAT: the four numbered observations; ARP: the
+// learned mapping, the request, and the elapsed deadline).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/arp_scenario.hpp"
+#include "workload/firewall_scenario.hpp"
+#include "workload/learning_scenario.hpp"
+#include "workload/nat_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+void PrintFirst(const char* figure, const ScenarioOutcome& out,
+                const std::string& property) {
+  std::printf("\n[%s]\n", figure);
+  for (const auto& v : out.monitors->AllViolations()) {
+    if (v.property != property) continue;
+    std::printf("%s\n", v.ToString().c_str());
+    return;
+  }
+  std::printf("NO VIOLATION OBSERVED (unexpected)\n");
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header("bench_observations", "Sec 2's observation diagrams",
+                "each violation is witnessed by the pictured sequence of "
+                "observations, reconstructed here from full provenance");
+
+  {
+    FirewallScenarioConfig c;
+    c.fault = FirewallFault::kDropEstablishedReturn;
+    c.connections = 3;
+    c.close_fraction = 0;
+    c.stale_return_fraction = 0;
+    c.options.provenance = ProvenanceLevel::kFull;
+    PrintFirst("Sec 2.1: stateful firewall, A->B then B->A dropped",
+               RunFirewallScenario(c), "fw-return-not-dropped-until-close");
+  }
+  {
+    NatScenarioConfig c;
+    c.fault = NatFault::kWrongReversePort;
+    c.flows = 2;
+    c.exchanges_per_flow = 1;
+    c.options.provenance = ProvenanceLevel::kFull;
+    PrintFirst("Sec 2.2: NAT, observations (1)-(4) with destination != A,P",
+               RunNatScenario(c), "nat-reverse-translation");
+  }
+  {
+    ArpScenarioConfig c;
+    c.fault = ArpProxyFault::kSlowReply;
+    c.hosts = 3;
+    c.repeat_requests = 1;
+    c.options.provenance = ProvenanceLevel::kFull;
+    PrintFirst("Sec 2.3: ARP proxy, T elapses without a reply (timeout action)",
+               RunArpScenario(c), "arp-proxy-reply-deadline");
+  }
+  {
+    LearningScenarioConfig c;
+    c.fault = LearningSwitchFault::kNoFlushOnLinkDown;
+    c.inject_link_down = true;
+    c.rounds = 12;
+    c.options.seed = 3;
+    c.options.provenance = ProvenanceLevel::kFull;
+    PrintFirst(
+        "Sec 2.4: learning switch, link-down then stale unicast (multiple "
+        "match)",
+        RunLearningScenario(c), "lsw-linkdown-flush");
+  }
+  std::printf("\n");
+  return 0;
+}

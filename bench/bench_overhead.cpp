@@ -1,0 +1,99 @@
+// E9 — Sec 3.3: "Monitoring on-switch unavoidably incurs a latency cost,
+// however small, since it lengthens the switch's pipeline."
+//
+// Two sweeps on the bounded (static-Varanus-style) design:
+//   1. per-packet modeled cost vs the number of observation stages of one
+//      property (pipeline length = stages), and
+//   2. per-packet modeled cost vs the number of properties attached
+//      (pipelines compose additively).
+#include <cstdio>
+#include <memory>
+
+#include "backends/executor.hpp"
+#include "bench_util.hpp"
+#include "monitor/property_builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+/// A synthetic chain property with `stages` arrival observations: stage i
+/// matches a UDP datagram to port 9000+i from the bound source.
+Property ChainProperty(std::size_t stages) {
+  PropertyBuilder b("chain-" + std::to_string(stages), "synthetic chain");
+  const VarId H = b.Var("H");
+  b.AddStage("s1")
+      .Match(PatternBuilder::Arrival().Eq(FieldId::kL4DstPort, 9000).Build())
+      .Bind(H, FieldId::kIpSrc);
+  for (std::size_t i = 1; i < stages; ++i) {
+    b.AddStage("s" + std::to_string(i + 1))
+        .Match(PatternBuilder::Arrival()
+                   .Eq(FieldId::kL4DstPort, 9000 + i)
+                   .EqVar(FieldId::kIpSrc, H)
+                   .Build());
+  }
+  return std::move(b).Build();
+}
+
+DataplaneEvent Probe(std::size_t i) {
+  DataplaneEvent ev;
+  ev.type = DataplaneEventType::kArrival;
+  ev.time = SimTime::Zero() + Duration::Micros(10) * (i + 1);
+  ev.fields.Set(FieldId::kIpSrc, 7);
+  ev.fields.Set(FieldId::kIpDst, 8);
+  ev.fields.Set(FieldId::kL4DstPort, 80);  // matches no chain stage
+  ev.fields.Set(FieldId::kEgressAction, 0);
+  return ev;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header("bench_overhead", "Sec 3.3 (monitoring latency cost)",
+                "every monitor stage lengthens the pipeline; overhead is "
+                "proportional to stages and to attached properties");
+
+  const CostParams params;
+  const std::size_t kProbes = 2000;
+
+  bench::Section("per-packet cost vs observation stages (one property)");
+  std::printf("%8s | %10s | %12s\n", "stages", "depth", "ns/packet");
+  for (std::size_t stages : {2u, 3u, 4u, 6u, 8u}) {
+    FragmentExecutor mon(
+        ChainProperty(stages),
+        std::make_unique<VaranusStore>(params, stages, /*static=*/true),
+        params);
+    for (std::size_t i = 0; i < kProbes; ++i)
+      mon.OnDataplaneEvent(Probe(i));
+    std::printf("%8zu | %10zu | %12.0f\n", stages, mon.PipelineDepth(),
+                static_cast<double>(mon.costs().processing_time.nanos()) /
+                    kProbes);
+  }
+
+  bench::Section("per-packet cost vs attached properties (3 stages each)");
+  std::printf("%8s | %12s\n", "props", "ns/packet");
+  for (std::size_t props : {0u, 1u, 2u, 4u, 8u}) {
+    std::vector<std::unique_ptr<FragmentExecutor>> monitors;
+    for (std::size_t p = 0; p < props; ++p) {
+      monitors.push_back(std::make_unique<FragmentExecutor>(
+          ChainProperty(3),
+          std::make_unique<VaranusStore>(params, 3, /*static=*/true),
+          params));
+    }
+    Duration total = Duration::Zero();
+    for (std::size_t i = 0; i < kProbes; ++i) {
+      const auto ev = Probe(i);
+      for (auto& m : monitors) m->OnDataplaneEvent(ev);
+    }
+    for (auto& m : monitors) total += m->costs().processing_time;
+    std::printf("%8zu | %12.0f\n", props,
+                static_cast<double>(total.nanos()) / kProbes);
+  }
+  std::printf(
+      "\nShape check: both sweeps are linear — the unavoidable, bounded "
+      "latency cost of on-switch monitoring that Sec 3.3 concedes, versus "
+      "Varanus's unbounded growth in bench_pipeline_depth.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E3 — Sec 3.3: "the number of active instances determines the pipeline
+// depth, which can greatly affect packet processing time" (Varanus), versus
+// the bounded alternatives: one table per observation stage (static
+// Varanus) or hashed per-flow state (OpenState / P4 registers).
+//
+// Sweep: N live firewall instances, then 1000 probe packets. Report the
+// monitor pipeline depth and the modeled per-probe processing cost.
+#include <cstdio>
+#include <vector>
+
+#include "backends/backend.hpp"
+#include "backends/table_monitor.hpp"
+#include "bench_util.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+std::vector<DataplaneEvent> MakeWorkload(std::size_t instances,
+                                         std::size_t probes) {
+  std::vector<DataplaneEvent> events;
+  SimTime t = SimTime::Zero() + Duration::Millis(1);
+  // Open N connections (N live monitor instances).
+  for (std::size_t c = 0; c < instances; ++c) {
+    DataplaneEvent ev;
+    ev.type = DataplaneEventType::kArrival;
+    ev.time = t;
+    ev.fields.Set(FieldId::kInPort, 1);
+    ev.fields.Set(FieldId::kIpSrc, 1000 + c);
+    ev.fields.Set(FieldId::kIpDst, 99);
+    events.push_back(ev);
+    t = t + Duration::Millis(1);  // slow enough for slow-path installs
+  }
+  // Probe traffic: forwarded returns (no violations, but every packet
+  // traverses the monitor pipeline).
+  for (std::size_t i = 0; i < probes; ++i) {
+    DataplaneEvent ev;
+    ev.type = DataplaneEventType::kEgress;
+    ev.time = t;
+    ev.fields.Set(FieldId::kIpSrc, 99);
+    ev.fields.Set(FieldId::kIpDst, 1000 + i % std::max<std::size_t>(instances, 1));
+    ev.fields.Set(FieldId::kEgressAction,
+                  static_cast<std::uint64_t>(EgressActionValue::kForward));
+    events.push_back(ev);
+    t = t + Duration::Micros(10);
+  }
+  return events;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header(
+      "bench_pipeline_depth", "Sec 3.3 (Varanus scaling)",
+      "Varanus's pipeline depth grows linearly with live instances — "
+      "per-packet cost grows with N; static Varanus and register/state-table "
+      "designs stay flat");
+
+  const Property prop = FirewallReturnNotDropped();
+  const char* names[] = {"Varanus", "Static Varanus", "OpenState", "POF / P4",
+                         "Varanus (tables)", "Static (tables)"};
+  const CostParams params;
+
+  std::printf("\n%8s", "N");
+  for (const char* n : names) std::printf(" | %-22s", n);
+  std::printf("\n%8s", "");
+  for (std::size_t i = 0; i < std::size(names); ++i)
+    std::printf(" | %10s %11s", "depth", "ns/probe");
+  std::printf("\n");
+
+  for (std::size_t n : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+    const auto events = MakeWorkload(n, 1000);
+    std::printf("%8zu", n);
+    for (const char* name : names) {
+      std::unique_ptr<CompiledMonitor> mon;
+      // The "(tables)" rows run the recursive-learn compilation on real
+      // flow tables (backends/table_monitor) instead of the executor.
+      if (std::string(name) == "Varanus (tables)") {
+        mon = std::make_unique<TableMonitor>(prop, params, false);
+      } else if (std::string(name) == "Static (tables)") {
+        mon = std::make_unique<TableMonitor>(prop, params, true);
+      } else {
+        for (auto& b : AllBackends()) {
+          if (b->info().name == name) {
+            auto r = b->Compile(prop, params);
+            mon = std::move(r.monitor);
+          }
+        }
+      }
+      // Split the replay: creation phase, then measure the probe phase.
+      std::size_t i = 0;
+      for (; i < n; ++i) mon->OnDataplaneEvent(events[i]);
+      mon->AdvanceTime(events[n].time);  // settle slow-path installs
+      const Duration before = mon->costs().processing_time;
+      for (; i < events.size(); ++i) mon->OnDataplaneEvent(events[i]);
+      const Duration spent = mon->costs().processing_time - before;
+      std::printf(" | %10zu %9.0f n", mon->PipelineDepth(),
+                  static_cast<double>(spent.nanos()) / 1000.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: the Varanus column's ns/probe grows ~linearly with N "
+      "(depth = N+1 tables); the other three stay constant — reproducing the "
+      "paper's argument for bounding the pipeline.\n");
+  return 0;
+}

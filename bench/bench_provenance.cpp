@@ -1,0 +1,83 @@
+// E7 — Feature 10 / Sec 3.2 (provenance):
+// "recording each packet that advances an observation is not feasible ...
+// limited provenance could be recovered without added cost: since some
+// header information is retained for matching purposes, those values could
+// be conveyed along with the final event."
+//
+// Run the NAT workload at the three provenance levels and report monitor
+// state size, replay throughput (wall clock), and what a violation report
+// carries.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "monitor/engine.hpp"
+#include "properties/catalog.hpp"
+#include "workload/nat_scenario.hpp"
+
+int main() {
+  using namespace swmon;
+  bench::Header(
+      "bench_provenance", "Feature 10 / Sec 3.2 (provenance)",
+      "full provenance costs memory and throughput; limited provenance (the "
+      "bound header values) is nearly free and still names the culprit");
+
+  // One recorded trace, replayed into engines at each level.
+  NatScenarioConfig config;
+  config.fault = NatFault::kWrongReversePort;
+  config.flows = 200;
+  config.exchanges_per_flow = 4;
+  config.options.keep_trace = true;
+  const auto out = RunNatScenario(config);
+  const auto& trace = *out.trace;
+
+  std::printf("\ntrace: %zu events, %zu violations expected\n", trace.size(),
+              out.TotalViolations());
+  std::printf("\n%10s | %10s | %12s | %12s | %10s | %s\n", "level",
+              "violations", "state bytes", "events/s", "bind/viol",
+              "history/viol");
+  for (const auto level : {ProvenanceLevel::kNone, ProvenanceLevel::kLimited,
+                           ProvenanceLevel::kFull}) {
+    MonitorConfig mc;
+    mc.provenance = level;
+
+    // Wall-clock throughput over fresh engines.
+    const int kReps = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t violations = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      MonitorEngine engine(NatReverseTranslation(), mc);
+      trace.ReplayInto(engine);
+      violations = engine.violations().size();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count() / kReps;
+
+    // Peak resident monitor state during one replay (instances come and
+    // go as violations consume them; sample along the way).
+    MonitorEngine engine(NatReverseTranslation(), mc);
+    std::size_t peak_bytes = 0;
+    for (const auto& ev : trace.events()) {
+      engine.ProcessEvent(ev);
+      peak_bytes = std::max(peak_bytes, engine.StateBytes());
+    }
+
+    double binds = 0, hist = 0;
+    for (const auto& v : engine.violations()) {
+      binds += static_cast<double>(v.bindings.size());
+      hist += static_cast<double>(v.history.size());
+    }
+    const double n = std::max<double>(
+        1.0, static_cast<double>(engine.violations().size()));
+    std::printf("%10s | %10zu | %12zu | %12.0f | %10.1f | %10.1f\n",
+                ProvenanceLevelName(level), violations, peak_bytes,
+                static_cast<double>(trace.size()) / secs, binds / n,
+                hist / n);
+  }
+  std::printf(
+      "\nShape check: kLimited matches kNone's state size and throughput to "
+      "within noise while carrying the bound values; kFull multiplies state "
+      "by the per-instance event history and costs throughput.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E5 — Feature 9 (side-effect control): inline vs split state updates.
+//
+// "If the switch splits processing, the monitor has minimal impact on
+// throughput, but its state might lag behind ... leading to monitor errors.
+// In contrast, if the switch inlines updates, its state will be up to date,
+// but at the expense of increased forwarding latency."
+//
+// Sweep the gap between a connection's establishing packet and the
+// (violating) drop of its return packet. For each gap, run the same trace
+// through: the reference engine (ideal switch), an inline learn-action
+// monitor, and a split learn-action monitor. Report detections and the
+// added forwarding latency.
+#include <cstdio>
+
+#include "backends/executor.hpp"
+#include "bench_util.hpp"
+#include "monitor/engine.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+std::vector<DataplaneEvent> BackToBackTrace(std::size_t pairs, Duration gap) {
+  std::vector<DataplaneEvent> events;
+  for (std::size_t c = 0; c < pairs; ++c) {
+    const SimTime base = SimTime::Zero() + Duration::Millis(10) * (c + 1);
+    DataplaneEvent out;
+    out.type = DataplaneEventType::kArrival;
+    out.time = base;
+    out.fields.Set(FieldId::kInPort, 1);
+    out.fields.Set(FieldId::kIpSrc, 5000 + c);
+    out.fields.Set(FieldId::kIpDst, 9);
+    events.push_back(out);
+
+    DataplaneEvent drop;
+    drop.type = DataplaneEventType::kEgress;
+    drop.time = base + gap;
+    drop.fields.Set(FieldId::kIpSrc, 9);
+    drop.fields.Set(FieldId::kIpDst, 5000 + c);
+    drop.fields.Set(FieldId::kEgressAction,
+                    static_cast<std::uint64_t>(EgressActionValue::kDrop));
+    events.push_back(drop);
+  }
+  return events;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header(
+      "bench_sideeffect", "Feature 9 / Sec 2.4 (side-effect control)",
+      "split updates keep forwarding fast but the lagging monitor misses "
+      "violations that arrive within the update latency; inline updates "
+      "catch everything but tax every state-changing packet with the "
+      "update's latency — the option should be exposed, and here it is");
+
+  const Property prop = FirewallReturnNotDropped();
+  const CostParams params;  // flow_mod = 250us
+  const std::size_t kPairs = 200;
+
+  std::printf("\n%12s | %9s | %9s | %9s | %16s\n", "gap", "reference",
+              "inline", "split", "inline latency/pkt");
+  // Stale window per update: 250us slow-path latency + 250us service time
+  // (4000 mods/s): detections should flip between 400us and 600us.
+  for (const Duration gap :
+       {Duration::Micros(1), Duration::Micros(10), Duration::Micros(100),
+        Duration::Micros(250), Duration::Micros(400), Duration::Micros(600),
+        Duration::Millis(1), Duration::Millis(5)}) {
+    const auto events = BackToBackTrace(kPairs, gap);
+
+    MonitorEngine reference(prop);
+    FragmentExecutor inline_mon(
+        prop, std::make_unique<FastLearnStore>(params, /*inline=*/true),
+        params);
+    FragmentExecutor split_mon(
+        prop, std::make_unique<FastLearnStore>(params, /*inline=*/false),
+        params);
+    for (const auto& ev : events) {
+      reference.ProcessEvent(ev);
+      inline_mon.OnDataplaneEvent(ev);
+      split_mon.OnDataplaneEvent(ev);
+    }
+    const double inline_latency_ns =
+        static_cast<double>(inline_mon.costs().processing_time.nanos()) /
+        static_cast<double>(events.size());
+    std::printf("%12s | %9zu | %9zu | %9zu | %13.0f ns\n",
+                gap.ToString().c_str(), reference.violations().size(),
+                inline_mon.violations().size(), split_mon.violations().size(),
+                inline_latency_ns);
+  }
+  std::printf(
+      "\nShape check: split detections collapse once the violating packet "
+      "arrives within the slow-path latency (250us + service time); inline "
+      "detects everything at every gap but adds ~the full update latency to "
+      "each state-changing packet.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// E4 — Sec 3.3: "even 'static' Varanus remains intractable so long as it
+// stores and updates its state using OpenFlow rules, which cannot be
+// modified at line rate. A scalable implementation would need more rapid
+// state mechanisms, such as the register-based approach in P4."
+//
+// Two views:
+//   1. the MODELED sustained update rates of each mechanism (the cost
+//      parameters the simulator charges), and
+//   2. REAL wall-clock microbenchmarks of the mechanism implementations
+//      (google-benchmark) — how many updates/sec our state table, register
+//      array, flow table, and slow-path queue actually sustain.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dataplane/flow_mod_queue.hpp"
+#include "dataplane/flow_table.hpp"
+#include "dataplane/register_array.hpp"
+#include "dataplane/state_table.hpp"
+
+namespace swmon {
+namespace {
+
+void PrintModeledRates() {
+  const CostParams p;
+  std::printf("\n=== bench_state_update — reproduces Sec 3.3 (state update rates) ===\n");
+  std::printf("modeled mechanism costs (per update / sustained rate):\n");
+  std::printf("  %-34s %8lld ns  -> %12.0f updates/s\n", "P4 register write",
+              static_cast<long long>(p.register_op.nanos()),
+              1e9 / p.register_op.nanos());
+  std::printf("  %-34s %8lld ns  -> %12.0f updates/s\n",
+              "OpenState table transition",
+              static_cast<long long>(p.state_table_op.nanos()),
+              1e9 / p.state_table_op.nanos());
+  std::printf("  %-34s %8lld ns  -> %12lld updates/s (rate-limited)\n",
+              "OpenFlow flow-mod (slow path)",
+              static_cast<long long>(p.flow_mod.nanos()),
+              static_cast<long long>(p.flow_mods_per_sec));
+  std::printf("  %-34s %8lld ns  -> %12.0f round-trips/s\n",
+              "controller round trip",
+              static_cast<long long>(p.controller_rtt.nanos()),
+              1e9 / p.controller_rtt.nanos());
+  std::printf(
+      "ratio register : flow-mod = %.0fx — per-packet monitor state updates "
+      "are only feasible on the fast path.\n",
+      (1e9 / p.register_op.nanos()) / p.flow_mods_per_sec);
+}
+
+FieldMap FlowFields(std::uint64_t i) {
+  FieldMap f;
+  f.Set(FieldId::kIpSrc, i);
+  f.Set(FieldId::kIpDst, i ^ 0x5aa5);
+  return f;
+}
+
+void BM_RegisterArrayWrite(benchmark::State& state) {
+  RegisterArray regs(1 << 16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    regs.WriteKey(FlowKey{{i, i ^ 7}}, i);
+    benchmark::DoNotOptimize(regs);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegisterArrayWrite);
+
+void BM_RegisterArrayReadKey(benchmark::State& state) {
+  RegisterArray regs(1 << 16);
+  for (std::uint64_t i = 0; i < 1000; ++i) regs.WriteKey(FlowKey{{i}}, i);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regs.ReadKey(FlowKey{{i++ % 1000}}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegisterArrayReadKey);
+
+void BM_StateTableUpdate(benchmark::State& state) {
+  StateTable table({FieldId::kIpSrc, FieldId::kIpDst},
+                   {FieldId::kIpSrc, FieldId::kIpDst});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    table.Update(FlowFields(i % 4096), i, SimTime::FromNanos(static_cast<std::int64_t>(i)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateTableUpdate);
+
+void BM_StateTableLookup(benchmark::State& state) {
+  StateTable table({FieldId::kIpSrc, FieldId::kIpDst},
+                   {FieldId::kIpSrc, FieldId::kIpDst});
+  for (std::uint64_t i = 0; i < 4096; ++i)
+    table.Update(FlowFields(i), i, SimTime::Zero());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Lookup(FlowFields(i++ % 4096), SimTime::Zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateTableLookup);
+
+void BM_FlowTableInstallRemove(benchmark::State& state) {
+  FlowTable table;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    FlowEntry e;
+    e.priority = static_cast<std::uint32_t>(i % 8);
+    e.match.Add(FieldMatch::Exact(FieldId::kIpSrc, i));
+    const auto h = table.Add(e, SimTime::FromNanos(static_cast<std::int64_t>(i)));
+    table.Remove(h);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableInstallRemove);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  FlowTable table;
+  const std::size_t entries = static_cast<std::size_t>(state.range(0));
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    FlowEntry e;
+    e.match.Add(FieldMatch::Exact(FieldId::kIpSrc, i));
+    table.Add(e, SimTime::Zero());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(FlowFields(i++ % entries), SimTime::Zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_FlowModQueueSubmitApply(benchmark::State& state) {
+  CostParams params;
+  FlowModQueue queue(params);
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    queue.Submit(SimTime::FromNanos(t), [&](SimTime) { ++sink; });
+    t += 1000000;  // 1ms apart: queue drains fully
+    queue.Advance(SimTime::FromNanos(t));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowModQueueSubmitApply);
+
+}  // namespace
+}  // namespace swmon
+
+int main(int argc, char** argv) {
+  swmon::PrintModeledRates();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Small shared helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one of the paper's artifacts (Table 1,
+// Table 2, or a Sec-3.3 claim) and prints it; EXPERIMENTS.md records the
+// outputs next to the paper's claims.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace swmon::bench {
+
+inline void Header(const char* experiment, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s — reproduces %s\n", experiment, paper_artifact);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================================\n");
+}
+
+inline void Section(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+inline std::string Pad(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace swmon::bench

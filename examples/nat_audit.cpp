@@ -1,0 +1,47 @@
+// NAT translation audit — the paper's Sec-2.2 walkthrough as a tool.
+//
+// Runs a NAT under traffic with the reverse-translation property attached
+// at FULL provenance, so each alert reconstructs the four observation
+// stages: the original outbound packet, its translated departure, the
+// return packet, and the mistranslated delivery. This is the "what led up
+// to the violation" debugging story of Feature 10.
+//
+// Usage: nat_audit [wrong-port|wrong-addr|none]   (default: wrong-port)
+#include <cstdio>
+#include <cstring>
+
+#include "workload/nat_scenario.hpp"
+
+using namespace swmon;
+
+int main(int argc, char** argv) {
+  NatFault fault = NatFault::kWrongReversePort;
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "wrong-addr")) fault = NatFault::kWrongReverseAddr;
+    else if (!std::strcmp(argv[1], "none")) fault = NatFault::kNone;
+  }
+
+  NatScenarioConfig config;
+  config.fault = fault;
+  config.flows = 5;
+  config.exchanges_per_flow = 1;
+  config.options.provenance = ProvenanceLevel::kFull;
+  std::printf("auditing NAT reverse translation (fault: %s)...\n\n",
+              fault == NatFault::kNone ? "none"
+              : fault == NatFault::kWrongReversePort ? "wrong reverse port"
+                                                     : "wrong reverse address");
+
+  const auto out = RunNatScenario(config);
+  std::printf("packets: %zu, violations: %zu\n\n", out.packets_injected,
+              out.TotalViolations());
+
+  std::size_t shown = 0;
+  for (const auto& v : out.monitors->AllViolations()) {
+    std::printf("%s\n\n", v.ToString().c_str());
+    if (++shown == 2) break;  // two full audits are plenty
+  }
+  if (out.TotalViolations() == 0)
+    std::printf("every return packet was translated back to its original "
+                "(A, P) — the NAT is consistent.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "apps/arp_proxy.hpp"
+
+#include "packet/builder.hpp"
+
+namespace swmon {
+
+void ArpProxyApp::ScheduleReply(SoftSwitch& sw, PortId out_port,
+                                const ArpMessage& req, MacAddr answer) {
+  const Duration delay = config_.fault == ArpProxyFault::kSlowReply
+                             ? config_.slow_reply_delay
+                             : config_.reply_delay;
+  // The reply is a *different* packet from the request (the paper's point
+  // about Feature 5 not applying here), emitted by the switch itself.
+  Packet reply = BuildArpReply(answer, req.target_ip, req.sender_mac,
+                               req.sender_ip);
+  sw.queue().ScheduleAfter(delay,
+                           [&sw, out_port, reply = std::move(reply)]() mutable {
+                             sw.EmitPacket(out_port, std::move(reply));
+                           });
+}
+
+ForwardDecision ArpProxyApp::OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                                      PortId in_port) {
+  l2_table_[pkt.eth.src.bits()] = in_port;
+
+  // DHCP snooping: pre-load cache from ACKs we forward (Table 1,
+  // "DHCP + ARP Proxy").
+  if (config_.dhcp_snooping && config_.fault != ArpProxyFault::kNoSnoop &&
+      pkt.dhcp && pkt.dhcp->msg_type == DhcpMsgType::kAck &&
+      pkt.dhcp->yiaddr != Ipv4Addr::Zero()) {
+    cache_[pkt.dhcp->yiaddr.bits()] = pkt.dhcp->chaddr;
+  }
+
+  if (pkt.arp) {
+    const ArpMessage& arp = *pkt.arp;
+    if (arp.op == static_cast<std::uint16_t>(ArpOp::kReply)) {
+      cache_[arp.sender_ip.bits()] = arp.sender_mac;
+      // Forward the reply toward the requester.
+      const auto it = l2_table_.find(arp.target_mac.bits());
+      return it != l2_table_.end() && it->second != in_port
+                 ? ForwardDecision::Forward(it->second)
+                 : ForwardDecision::Flood();
+    }
+    if (arp.op == static_cast<std::uint16_t>(ArpOp::kRequest)) {
+      if (config_.fault == ArpProxyFault::kBlackholeRequests)
+        return ForwardDecision::Drop();
+      const auto it = cache_.find(arp.target_ip.bits());
+      if (it != cache_.end() && config_.fault != ArpProxyFault::kNeverReply) {
+        ScheduleReply(sw, in_port, arp, it->second);
+        return ForwardDecision::Drop();  // answered from cache, not forwarded
+      }
+      if (config_.fault == ArpProxyFault::kReplyUnknown && it == cache_.end()) {
+        ScheduleReply(sw, in_port, arp, MacAddr(0x0badc0ffee00ULL));
+        return ForwardDecision::Drop();
+      }
+      return ForwardDecision::Flood();  // unknown: ask the network
+    }
+    return ForwardDecision::Drop();
+  }
+
+  // Non-ARP traffic: plain learning-switch behaviour.
+  if (pkt.eth.dst.IsBroadcast() || pkt.eth.dst.IsMulticast())
+    return ForwardDecision::Flood();
+  const auto it = l2_table_.find(pkt.eth.dst.bits());
+  if (it == l2_table_.end()) return ForwardDecision::Flood();
+  if (it->second == in_port) return ForwardDecision::Drop();
+  return ForwardDecision::Forward(it->second);
+}
+
+}  // namespace swmon

@@ -1,0 +1,66 @@
+// ARP cache proxy (the paper's Sec 2.3 running example, plus the Table-1
+// "DHCP + ARP Proxy" composition).
+//
+// The proxy learns IP->MAC mappings from ARP replies traversing the switch
+// (and, when dhcp_snooping is on, pre-loads the cache from DHCP ACKs it
+// forwards). Requests for known addresses are answered directly — the
+// request is NOT forwarded and a proxy reply is emitted on the ingress port
+// after `reply_delay`. Requests for unknown addresses are flooded.
+//
+// Faults:
+//   kNeverReply    — floods every request, answering nothing (violates both
+//                    "requests for known addresses are not forwarded" and
+//                    the reply-deadline property).
+//   kSlowReply     — answers after the property's deadline.
+//   kReplyUnknown  — fabricates replies for addresses it never learned
+//                    (violates "no direct reply if neither pre-loaded nor
+//                    prior reply seen").
+//   kNoSnoop       — ignores DHCP ACKs even when dhcp_snooping was asked
+//                    for (violates "pre-load ARP cache with leases").
+#pragma once
+
+#include <unordered_map>
+
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+enum class ArpProxyFault {
+  kNone,
+  kNeverReply,
+  kSlowReply,
+  kReplyUnknown,
+  kNoSnoop,
+  /// Absorbs requests without answering or forwarding them (violates
+  /// "requests for unknown addresses are forwarded").
+  kBlackholeRequests,
+};
+
+struct ArpProxyConfig {
+  Duration reply_delay = Duration::Millis(1);
+  Duration slow_reply_delay = Duration::Seconds(5);
+  bool dhcp_snooping = false;
+  ArpProxyFault fault = ArpProxyFault::kNone;
+};
+
+class ArpProxyApp : public SwitchProgram {
+ public:
+  explicit ArpProxyApp(ArpProxyConfig config) : config_(config) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  const char* Name() const override { return "arp-proxy"; }
+
+  std::size_t cache_size() const { return cache_.size(); }
+  bool Knows(Ipv4Addr ip) const { return cache_.contains(ip.bits()); }
+
+ private:
+  void ScheduleReply(SoftSwitch& sw, PortId out_port, const ArpMessage& req,
+                     MacAddr answer);
+
+  ArpProxyConfig config_;
+  std::unordered_map<std::uint32_t, MacAddr> cache_;  // ip bits -> mac
+  std::unordered_map<std::uint64_t, PortId> l2_table_;  // plain learning
+};
+
+}  // namespace swmon

@@ -1,0 +1,57 @@
+#include "apps/flow_table_switch.hpp"
+
+namespace swmon {
+
+ForwardDecision FlowTableSwitchApp::OnPacket(SoftSwitch& sw,
+                                             const ParsedPacket& pkt,
+                                             PortId in_port) {
+  const SimTime now = sw.queue().now();
+
+  // Learn: upsert "eth_dst == <src> -> output <in_port>", exactly what the
+  // OVS learn action does for a MAC-learning pipeline. The cookie carries
+  // the output port (a real rule would carry it in its action list); the
+  // idle timeout rides on the rule itself.
+  const std::uint64_t src = pkt.eth.src.bits();
+  const auto it = handle_of_mac_.find(src);
+  const bool have_fresh_rule =
+      it != handle_of_mac_.end() && it->second.cookie == ToU64(in_port) &&
+      table_.Lookup(
+          [&] {
+            FieldMap probe;
+            probe.Set(FieldId::kEthDst, src);
+            return probe;
+          }(),
+          now) != nullptr;  // Lookup also refreshes the idle timer
+  if (!have_fresh_rule) {
+    if (it != handle_of_mac_.end()) {
+      table_.Remove(it->second.handle);  // stale port or expired
+      handle_of_mac_.erase(it);
+    }
+    FlowEntry entry;
+    entry.priority = 10;
+    entry.match.Add(FieldMatch::Exact(FieldId::kEthDst, src));
+    entry.cookie = ToU64(in_port);
+    entry.idle_timeout = config_.mac_idle_timeout;
+    handle_of_mac_[src] = MacRule{table_.Add(entry, now), ToU64(in_port), src};
+    ++rules_installed_;
+  }
+
+  if (pkt.eth.dst.IsBroadcast() || pkt.eth.dst.IsMulticast())
+    return ForwardDecision::Flood();
+
+  const FlowEntry* hit = table_.Lookup(pkt.fields, now);
+  if (hit == nullptr) return ForwardDecision::Flood();
+  const PortId out{static_cast<std::uint32_t>(hit->cookie)};
+  if (out == in_port) return ForwardDecision::Drop();  // hairpin
+  return ForwardDecision::Forward(out);
+}
+
+void FlowTableSwitchApp::OnLinkStatus(SoftSwitch& sw, PortId port, bool up) {
+  (void)sw, (void)port;
+  if (up) return;
+  // Flush the learned table, as the Sec-2.4 property demands.
+  for (const auto& [mac, rule] : handle_of_mac_) table_.Remove(rule.handle);
+  handle_of_mac_.clear();
+}
+
+}  // namespace swmon

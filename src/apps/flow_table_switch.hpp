@@ -1,0 +1,50 @@
+// A learning switch implemented ON the dataplane's match-action tables —
+// the way a real OpenFlow learning switch works (OVS's classic `learn`
+// action): a MAC table whose entries are flow rules with idle timeouts,
+// installed as packets are seen.
+//
+// Exists alongside the plain LearningSwitchApp to exercise FlowTable as an
+// actual forwarding substrate (priorities, idle expiry, rule churn), and
+// is behaviourally equivalent to it when timeouts are disabled
+// (tests/apps_test.cpp asserts this over random traffic).
+#pragma once
+
+#include <unordered_map>
+
+#include "dataplane/flow_table.hpp"
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+struct FlowTableSwitchConfig {
+  /// Idle timeout for learned MAC entries (zero = never expire).
+  Duration mac_idle_timeout = Duration::Zero();
+};
+
+class FlowTableSwitchApp : public SwitchProgram {
+ public:
+  explicit FlowTableSwitchApp(FlowTableSwitchConfig config = {})
+      : config_(config) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  void OnLinkStatus(SoftSwitch& sw, PortId port, bool up) override;
+  const char* Name() const override { return "flow-table-switch"; }
+
+  const FlowTable& table() const { return table_; }
+  std::uint64_t rules_installed() const { return rules_installed_; }
+
+ private:
+  struct MacRule {
+    std::uint64_t handle;
+    std::uint64_t cookie;  // output port
+    std::uint64_t mac;
+  };
+
+  FlowTableSwitchConfig config_;
+  FlowTable table_;
+  std::unordered_map<std::uint64_t, MacRule> handle_of_mac_;
+  std::uint64_t rules_installed_ = 0;
+};
+
+}  // namespace swmon

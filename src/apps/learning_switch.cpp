@@ -1,0 +1,34 @@
+#include "apps/learning_switch.hpp"
+
+namespace swmon {
+
+ForwardDecision LearningSwitchApp::OnPacket(SoftSwitch& sw,
+                                            const ParsedPacket& pkt,
+                                            PortId in_port) {
+  if (fault_ != LearningSwitchFault::kNeverLearn)
+    table_[pkt.eth.src.bits()] = in_port;
+
+  if (pkt.eth.dst.IsBroadcast() || pkt.eth.dst.IsMulticast())
+    return ForwardDecision::Flood();
+
+  const auto it = table_.find(pkt.eth.dst.bits());
+  if (it == table_.end()) return ForwardDecision::Flood();
+
+  PortId out = it->second;
+  if (fault_ == LearningSwitchFault::kWrongPort) {
+    out = PortId{static_cast<std::uint32_t>(ToU64(out) % sw.num_ports()) + 1};
+  }
+  if (out == in_port) return ForwardDecision::Drop();  // hairpin suppression
+  return ForwardDecision::Forward(out);
+}
+
+void LearningSwitchApp::OnLinkStatus(SoftSwitch& sw, PortId port, bool up) {
+  (void)sw;
+  (void)port;
+  if (up || fault_ == LearningSwitchFault::kNoFlushOnLinkDown) return;
+  // The Sec-2.4 property is "link-down messages delete the set of learned
+  // destinations" — the whole table, since topology may have changed.
+  table_.clear();
+}
+
+}  // namespace swmon

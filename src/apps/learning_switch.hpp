@@ -1,0 +1,45 @@
+// L2 learning switch (the paper's Sec 1 running example).
+//
+// Learns source MAC -> ingress port; unicasts to learned destinations,
+// floods unknown ones; deletes learned entries behind a downed link.
+//
+// Injectable faults produce the violations the Sec-1/Sec-2.4 properties
+// catch:
+//   kNeverLearn        — floods even after a destination was learned
+//                        ("once D is learned, packets to D are unicast").
+//   kWrongPort         — unicasts to (learned port % n) + 1 instead.
+//   kNoFlushOnLinkDown — keeps forwarding to destinations learned over a
+//                        link that went down (the multiple-match property).
+#pragma once
+
+#include <unordered_map>
+
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+enum class LearningSwitchFault {
+  kNone,
+  kNeverLearn,
+  kWrongPort,
+  kNoFlushOnLinkDown,
+};
+
+class LearningSwitchApp : public SwitchProgram {
+ public:
+  explicit LearningSwitchApp(LearningSwitchFault fault = LearningSwitchFault::kNone)
+      : fault_(fault) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  void OnLinkStatus(SoftSwitch& sw, PortId port, bool up) override;
+  const char* Name() const override { return "learning-switch"; }
+
+  std::size_t table_size() const { return table_.size(); }
+
+ private:
+  LearningSwitchFault fault_;
+  std::unordered_map<std::uint64_t, PortId> table_;  // mac bits -> port
+};
+
+}  // namespace swmon

@@ -1,0 +1,53 @@
+#include "apps/load_balancer.hpp"
+
+namespace swmon {
+
+std::uint32_t LoadBalancerApp::PickPort(const ParsedPacket& pkt) {
+  if (config_.mode == LbMode::kHash) {
+    std::uint32_t port = static_cast<std::uint32_t>(
+        HashFieldsToRange(pkt.fields, HashInputs(), config_.server_count,
+                          config_.first_server_port));
+    if (config_.fault == LoadBalancerFault::kWrongHashPort) {
+      port = (port - config_.first_server_port + 1) % config_.server_count +
+             config_.first_server_port;
+    }
+    return port;
+  }
+  std::uint64_t n = rr_counter_++;
+  if (config_.fault == LoadBalancerFault::kWrongRoundRobin) n = n * 2 + 1;
+  return static_cast<std::uint32_t>(n % config_.server_count) +
+         config_.first_server_port;
+}
+
+ForwardDecision LoadBalancerApp::OnPacket(SoftSwitch& sw,
+                                          const ParsedPacket& pkt,
+                                          PortId in_port) {
+  (void)sw;
+  if (!pkt.ipv4 || !pkt.tcp) return ForwardDecision::Drop();
+
+  if (in_port != config_.client_port) {
+    // Server-side traffic returns to the client.
+    return ForwardDecision::Forward(config_.client_port);
+  }
+
+  const FlowKey key{{pkt.ipv4->src.bits(), pkt.ipv4->dst.bits(),
+                     static_cast<std::uint64_t>(pkt.tcp->src_port),
+                     static_cast<std::uint64_t>(pkt.tcp->dst_port)}};
+  const bool closes = pkt.tcp->flags & (kTcpFin | kTcpRst);
+
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    it = flows_.emplace(key, PickPort(pkt)).first;
+  } else if (config_.fault == LoadBalancerFault::kRehashMidFlow) {
+    // Buggy: forgets the pin and re-balances this packet. Perturb with the
+    // counter so successive packets really move.
+    it->second = static_cast<std::uint32_t>(rr_counter_++ %
+                                            config_.server_count) +
+                 config_.first_server_port;
+  }
+  const std::uint32_t out = it->second;
+  if (closes) flows_.erase(it);
+  return ForwardDecision::Forward(PortId{out});
+}
+
+}  // namespace swmon

@@ -1,0 +1,67 @@
+// L4 load balancer (Table 1's three load-balancing properties).
+//
+// TCP flows arriving on `client_port` are pinned to one of the server
+// ports. Assignment is by flow hash (HashFieldsToRange, the same function
+// the monitor's kHashPort binding uses) or round-robin; a flow keeps its
+// port until FIN/RST. Server->client traffic returns on `client_port`.
+//
+// Faults:
+//   kWrongHashPort   — assigns hash+1 ("new flows go to hashed port").
+//   kWrongRoundRobin — skips every other counter value.
+//   kRehashMidFlow   — re-assigns on every packet instead of pinning
+//                      ("no change in port until flow closed").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/flow_key.hpp"
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+enum class LoadBalancerFault {
+  kNone,
+  kWrongHashPort,
+  kWrongRoundRobin,
+  kRehashMidFlow,
+};
+
+enum class LbMode { kHash, kRoundRobin };
+
+struct LoadBalancerConfig {
+  PortId client_port = PortId{1};
+  /// Server ports are the contiguous range [first_server_port,
+  /// first_server_port + server_count) — matching the monitor's
+  /// base/modulus expectation.
+  std::uint32_t first_server_port = 2;
+  std::uint32_t server_count = 4;
+  LbMode mode = LbMode::kHash;
+  LoadBalancerFault fault = LoadBalancerFault::kNone;
+};
+
+class LoadBalancerApp : public SwitchProgram {
+ public:
+  explicit LoadBalancerApp(LoadBalancerConfig config) : config_(config) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  const char* Name() const override { return "load-balancer"; }
+
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// The fields whose hash selects the port (shared with the property).
+  static std::vector<FieldId> HashInputs() {
+    return {FieldId::kIpSrc, FieldId::kIpDst, FieldId::kL4SrcPort,
+            FieldId::kL4DstPort};
+  }
+
+ private:
+  std::uint32_t PickPort(const ParsedPacket& pkt);
+
+  LoadBalancerConfig config_;
+  std::uint64_t rr_counter_ = 0;
+  std::unordered_map<FlowKey, std::uint32_t, FlowKeyHash> flows_;
+};
+
+}  // namespace swmon

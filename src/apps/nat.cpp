@@ -1,0 +1,49 @@
+#include "apps/nat.hpp"
+
+namespace swmon {
+
+ForwardDecision NatApp::OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                                 PortId in_port) {
+  (void)sw;
+  if (!pkt.ipv4 || (!pkt.tcp && !pkt.udp)) return ForwardDecision::Drop();
+  const std::uint16_t l4_src = pkt.tcp ? pkt.tcp->src_port : pkt.udp->src_port;
+  const std::uint16_t l4_dst = pkt.tcp ? pkt.tcp->dst_port : pkt.udp->dst_port;
+
+  if (in_port == config_.internal_port) {
+    const FlowKey key{{pkt.ipv4->src.bits(), l4_src}};
+    auto it = forward_.find(key);
+    if (it == forward_.end()) {
+      const std::uint16_t translated =
+          static_cast<std::uint16_t>(config_.first_nat_port + next_port_++);
+      it = forward_.emplace(key, translated).first;
+      reverse_[translated] = Mapping{pkt.ipv4->src.bits(), l4_src};
+    }
+    ParsedPacket rewritten = pkt;
+    SetPacketField(rewritten, FieldId::kIpSrc, config_.public_ip.bits());
+    SetPacketField(rewritten, FieldId::kL4SrcPort, it->second);
+    ForwardDecision d = ForwardDecision::Forward(config_.external_port);
+    d.rewritten = std::move(rewritten);
+    return d;
+  }
+
+  // Inbound: must be addressed to the public IP on a translated port.
+  if (pkt.ipv4->dst != config_.public_ip) return ForwardDecision::Drop();
+  const auto it = reverse_.find(l4_dst);
+  if (it == reverse_.end()) return ForwardDecision::Drop();
+  if (config_.fault == NatFault::kForgetMapping) return ForwardDecision::Drop();
+
+  Mapping m = it->second;
+  if (config_.fault == NatFault::kWrongReversePort)
+    m.internal_port = static_cast<std::uint16_t>(m.internal_port + 1);
+  if (config_.fault == NatFault::kWrongReverseAddr)
+    m.internal_ip += 1;
+
+  ParsedPacket rewritten = pkt;
+  SetPacketField(rewritten, FieldId::kIpDst, m.internal_ip);
+  SetPacketField(rewritten, FieldId::kL4DstPort, m.internal_port);
+  ForwardDecision d = ForwardDecision::Forward(config_.internal_port);
+  d.rewritten = std::move(rewritten);
+  return d;
+}
+
+}  // namespace swmon

@@ -1,0 +1,62 @@
+// Source NAT (the paper's Sec 2.2 running example).
+//
+// Outbound (internal -> external) TCP/UDP packets have their source
+// (A, P) rewritten to (public_ip, P') where P' is allocated per (A, P);
+// inbound packets addressed to (public_ip, P') are reverse-translated to
+// (A, P). The Sec-2.2 property checks the reverse translation against the
+// recorded forward one using packet identity and tuple negative match.
+//
+// Faults:
+//   kWrongReversePort — reverse-translates to port P+1.
+//   kWrongReverseAddr — reverse-translates to a different internal host.
+//   kForgetMapping    — drops inbound packets for known mappings (caught by
+//                       a drop-observation variant of the property).
+#pragma once
+
+#include <unordered_map>
+
+#include "dataplane/flow_key.hpp"
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+enum class NatFault {
+  kNone,
+  kWrongReversePort,
+  kWrongReverseAddr,
+  kForgetMapping,
+};
+
+struct NatConfig {
+  PortId internal_port = PortId{1};
+  PortId external_port = PortId{2};
+  Ipv4Addr public_ip = Ipv4Addr(203, 0, 113, 1);
+  std::uint16_t first_nat_port = 50000;
+  NatFault fault = NatFault::kNone;
+};
+
+class NatApp : public SwitchProgram {
+ public:
+  explicit NatApp(NatConfig config) : config_(config) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  const char* Name() const override { return "nat"; }
+
+  std::size_t mapping_count() const { return forward_.size(); }
+
+ private:
+  struct Mapping {
+    std::uint32_t internal_ip;
+    std::uint16_t internal_port;
+  };
+
+  NatConfig config_;
+  std::uint16_t next_port_ = 0;  // offset from first_nat_port
+  // (internal ip, internal l4 port) -> translated l4 port
+  std::unordered_map<FlowKey, std::uint16_t, FlowKeyHash> forward_;
+  // translated l4 port -> original endpoint
+  std::unordered_map<std::uint16_t, Mapping> reverse_;
+};
+
+}  // namespace swmon

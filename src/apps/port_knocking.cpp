@@ -1,0 +1,45 @@
+#include "apps/port_knocking.hpp"
+
+namespace swmon {
+
+ForwardDecision PortKnockGateApp::OnPacket(SoftSwitch& sw,
+                                           const ParsedPacket& pkt,
+                                           PortId in_port) {
+  (void)sw;
+  if (!pkt.ipv4) return ForwardDecision::Drop();
+  const std::uint32_t src = pkt.ipv4->src.bits();
+
+  // Guesses: UDP into the knock region, absorbed silently. UDP outside the
+  // region is ordinary traffic and does not affect progress.
+  if (in_port == config_.client_port && pkt.udp) {
+    const std::uint16_t port = pkt.udp->dst_port;
+    if (!PortKnockConfig::IsGuess(port))
+      return ForwardDecision::Forward(config_.server_port);
+    std::size_t& prog = progress_[src];
+    if (prog < config_.knock_ports.size() &&
+        port == config_.knock_ports[prog]) {
+      ++prog;
+      if (prog == config_.knock_ports.size() &&
+          config_.fault != PortKnockFault::kNeverOpen) {
+        open_.insert(src);
+      }
+    } else if (config_.fault != PortKnockFault::kIgnoreInvalidation) {
+      prog = 0;  // wrong guess invalidates the whole attempt
+    }
+    return ForwardDecision::Drop();
+  }
+
+  if (in_port == config_.client_port && pkt.tcp &&
+      pkt.tcp->dst_port == config_.protected_port) {
+    return open_.contains(src)
+               ? ForwardDecision::Forward(config_.server_port)
+               : ForwardDecision::Drop();
+  }
+
+  // Everything else shuttles between the two ports.
+  return ForwardDecision::Forward(in_port == config_.client_port
+                                      ? config_.server_port
+                                      : config_.client_port);
+}
+
+}  // namespace swmon

@@ -1,0 +1,65 @@
+// Port-knocking gate (Table 1's two port-knocking properties, taken from
+// Varanus).
+//
+// A client must send UDP datagrams to the three knock ports in order; any
+// wrong guess resets its progress. After a complete clean sequence the
+// client's TCP traffic to the protected port is admitted; otherwise it is
+// dropped. Knock datagrams themselves are absorbed (dropped) either way.
+//
+// Faults:
+//   kIgnoreInvalidation — a wrong guess does not reset progress, so a
+//                         corrupted sequence still opens the gate
+//                         ("intervening guesses invalidate sequence").
+//   kNeverOpen          — completed sequences don't open the gate
+//                         ("recognize valid sequence").
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+enum class PortKnockFault {
+  kNone,
+  kIgnoreInvalidation,
+  kNeverOpen,
+};
+
+struct PortKnockConfig {
+  /// Knock ports live in the 4-port region [7000, 7004); any UDP datagram
+  /// to the region is a "guess" (matching the monitor's masked-match
+  /// encoding of "a knock"), and 7003 is never a correct knock.
+  static constexpr std::uint16_t kKnockRegionBase = 7000;
+  static constexpr std::uint64_t kKnockRegionMask = ~std::uint64_t{3};
+
+  std::array<std::uint16_t, 3> knock_ports = {7000, 7001, 7002};
+  std::uint16_t protected_port = 22;
+  PortId client_port = PortId{1};
+  PortId server_port = PortId{2};
+  PortKnockFault fault = PortKnockFault::kNone;
+
+  static bool IsGuess(std::uint16_t port) {
+    return (port & kKnockRegionMask) == kKnockRegionBase;
+  }
+};
+
+class PortKnockGateApp : public SwitchProgram {
+ public:
+  explicit PortKnockGateApp(PortKnockConfig config) : config_(config) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  const char* Name() const override { return "port-knock-gate"; }
+
+  bool IsOpen(Ipv4Addr client) const { return open_.contains(client.bits()); }
+
+ private:
+  PortKnockConfig config_;
+  std::unordered_map<std::uint32_t, std::size_t> progress_;  // src -> knocks
+  std::unordered_set<std::uint32_t> open_;
+};
+
+}  // namespace swmon

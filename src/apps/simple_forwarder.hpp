@@ -1,0 +1,37 @@
+// Static port-map forwarder.
+//
+// Used as the substrate for scenarios where the interesting behaviour lives
+// in the traffic (DHCP handshakes, FTP sessions) rather than the switch:
+// packets arriving on a mapped port go out the mapped port; everything else
+// floods (or drops, per config).
+#pragma once
+
+#include <map>
+
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+class SimpleForwarderApp : public SwitchProgram {
+ public:
+  /// `port_map[in] = out`. Unmapped ports flood when `flood_unmapped`.
+  explicit SimpleForwarderApp(std::map<PortId, PortId> port_map,
+                              bool flood_unmapped = true)
+      : port_map_(std::move(port_map)), flood_unmapped_(flood_unmapped) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override {
+    (void)sw, (void)pkt;
+    const auto it = port_map_.find(in_port);
+    if (it != port_map_.end()) return ForwardDecision::Forward(it->second);
+    return flood_unmapped_ ? ForwardDecision::Flood()
+                           : ForwardDecision::Drop();
+  }
+  const char* Name() const override { return "simple-forwarder"; }
+
+ private:
+  std::map<PortId, PortId> port_map_;
+  bool flood_unmapped_;
+};
+
+}  // namespace swmon

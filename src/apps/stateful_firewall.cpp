@@ -1,0 +1,44 @@
+#include "apps/stateful_firewall.hpp"
+
+namespace swmon {
+
+ForwardDecision StatefulFirewallApp::OnPacket(SoftSwitch& sw,
+                                              const ParsedPacket& pkt,
+                                              PortId in_port) {
+  if (!pkt.ipv4) return ForwardDecision::Drop();  // IPv4-only firewall
+  const SimTime now = sw.queue().now();
+  const bool closes = pkt.tcp && (pkt.tcp->flags & (kTcpFin | kTcpRst));
+
+  if (IsInternal(in_port)) {
+    const FlowKey key = Key(pkt.ipv4->src, pkt.ipv4->dst);
+    if (closes && config_.fault != FirewallFault::kIgnoreClose) {
+      connections_.erase(key);
+    } else {
+      auto [it, inserted] = connections_.try_emplace(
+          key, Connection{now, in_port});
+      if (!inserted && config_.fault != FirewallFault::kNoRefreshOnTraffic)
+        it->second.last_refreshed = now;
+      it->second.internal_port = in_port;
+    }
+    return ForwardDecision::Forward(config_.external_port);
+  }
+
+  // External arrival: admit only established return traffic.
+  const FlowKey key = Key(pkt.ipv4->dst, pkt.ipv4->src);
+  const auto it = connections_.find(key);
+  if (it == connections_.end()) return ForwardDecision::Drop();
+  if (now - it->second.last_refreshed >= config_.idle_timeout) {
+    connections_.erase(it);
+    return ForwardDecision::Drop();
+  }
+  if (closes && config_.fault != FirewallFault::kIgnoreClose) {
+    const PortId out = it->second.internal_port;
+    connections_.erase(it);
+    return ForwardDecision::Forward(out);  // deliver the FIN/RST itself
+  }
+  if (config_.fault == FirewallFault::kDropEstablishedReturn)
+    return ForwardDecision::Drop();
+  return ForwardDecision::Forward(it->second.internal_port);
+}
+
+}  // namespace swmon

@@ -1,0 +1,68 @@
+// Stateful firewall (the paper's Sec 2.1 running example).
+//
+// Hosts on `internal_ports` may initiate; return traffic is admitted only
+// while a matching outbound connection is live. Connections expire after
+// `idle_timeout` (refreshed by outbound traffic) and die immediately when
+// either side sends FIN or RST.
+//
+// Faults:
+//   kDropEstablishedReturn — drops valid return traffic ("after seeing
+//                            A->B, packets from B to A are not dropped").
+//   kNoRefreshOnTraffic    — expires connections T after the FIRST outbound
+//                            packet instead of the most recent one,
+//                            violating Feature 3's refresh semantics.
+//   kIgnoreClose           — keeps admitting return traffic after FIN/RST
+//                            (caught by the converse property that closed
+//                            connections admit nothing).
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "dataplane/flow_key.hpp"
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+enum class FirewallFault {
+  kNone,
+  kDropEstablishedReturn,
+  kNoRefreshOnTraffic,
+  kIgnoreClose,
+};
+
+struct FirewallConfig {
+  std::set<PortId> internal_ports;
+  PortId external_port = PortId{0};
+  Duration idle_timeout = Duration::Seconds(30);
+  FirewallFault fault = FirewallFault::kNone;
+};
+
+class StatefulFirewallApp : public SwitchProgram {
+ public:
+  explicit StatefulFirewallApp(FirewallConfig config)
+      : config_(std::move(config)) {}
+
+  ForwardDecision OnPacket(SoftSwitch& sw, const ParsedPacket& pkt,
+                           PortId in_port) override;
+  const char* Name() const override { return "stateful-firewall"; }
+
+  std::size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    SimTime last_refreshed;
+    PortId internal_port;  // where return traffic goes
+  };
+
+  bool IsInternal(PortId p) const { return config_.internal_ports.contains(p); }
+  static FlowKey Key(Ipv4Addr a, Ipv4Addr b) {
+    return FlowKey{{a.bits(), b.bits()}};
+  }
+
+  FirewallConfig config_;
+  // Keyed by (internal addr, external addr).
+  std::unordered_map<FlowKey, Connection, FlowKeyHash> connections_;
+};
+
+}  // namespace swmon

@@ -1,0 +1,96 @@
+// Backends: models of the approaches compared in the paper's Table 2.
+//
+// Each backend answers two questions:
+//
+//   1. *Capability* (BackendInfo): the approach's row of Table 2 — state
+//      mechanism, update datapath, processing mode, and per-dimension
+//      support. bench_table2 renders the matrix from these.
+//   2. *Compilation* (Compile): can THIS property be monitored with the
+//      approach's mechanism? Compilation performs structural checks (state
+//      scope consistency, parse depth, timeout-action support, multiple
+//      match, ...) and either returns an executable CompiledMonitor built
+//      on the approach's real state mechanism — OpenState tables, learn
+//      actions through the slow path, P4 registers, Varanus per-instance
+//      tables — or the list of features the approach cannot express. The
+//      compile matrix over the full catalog is how we *verify* Table 2
+//      rather than transcribe it.
+//
+// One deliberate idealization (documented in DESIGN.md): every compiled
+// monitor observes the ideal switch's event stream (including egress and
+// drop events). Targets' visibility gaps (e.g. OpenFlow dropping packets
+// before the egress pipeline) are reported in BackendInfo and discussed in
+// EXPERIMENTS.md, but not enforced during execution — enforcing them would
+// make most cross-backend performance comparisons vacuous.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/cost_model.hpp"
+#include "dataplane/switch.hpp"
+#include "monitor/spec.hpp"
+#include "monitor/violation.hpp"
+
+namespace swmon {
+
+/// Tri-state for Table 2 cells: supported, precluded, or blank (not
+/// applicable / target dependent / unclear), matching the paper's legend.
+enum class Tri : std::uint8_t { kYes, kNo, kBlank };
+
+const char* TriCell(Tri t);  // " ✓ " / " ✗ " / "   "
+
+struct BackendInfo {
+  std::string name;
+  std::string state_mechanism;  // "State machine", "Flow registers", ...
+  std::string update_datapath;  // "Fast path" / "Slow path" / "—"
+  std::string processing_mode;  // "Inline" / "Split" / "" (target dep.)
+  std::string field_access;     // "Fixed" / "Dynamic"
+
+  Tri event_history = Tri::kBlank;
+  Tri related_events = Tri::kBlank;  // identification of related events
+  Tri negative_match = Tri::kBlank;
+  Tri rule_timeouts = Tri::kBlank;
+  Tri timeout_actions = Tri::kBlank;
+  Tri symmetric_match = Tri::kBlank;
+  Tri wandering_match = Tri::kBlank;
+  Tri out_of_band = Tri::kBlank;
+  Tri full_provenance = Tri::kBlank;
+};
+
+/// A property compiled onto one backend's mechanism: attach it to a switch
+/// (or replay a trace into it) and read violations + mechanism costs.
+class CompiledMonitor : public DataplaneObserver {
+ public:
+  ~CompiledMonitor() override = default;
+
+  virtual void AdvanceTime(SimTime now) = 0;
+  virtual const std::vector<Violation>& violations() const = 0;
+  /// Mechanism cost totals: table lookups, state ops, register ops,
+  /// flow-mods, and inline (latency-adding) processing time.
+  virtual const CostCounters& costs() const = 0;
+  /// Match-action tables the monitor adds to the switch pipeline right now
+  /// (Sec 3.3: for Varanus this grows with live instances).
+  virtual std::size_t PipelineDepth() const = 0;
+  virtual std::size_t live_instances() const = 0;
+};
+
+struct CompileResult {
+  std::unique_ptr<CompiledMonitor> monitor;  // null when unsupported
+  std::vector<std::string> unsupported;      // reasons, empty on success
+
+  bool ok() const { return monitor != nullptr; }
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual BackendInfo info() const = 0;
+  virtual CompileResult Compile(const Property& property,
+                                const CostParams& params) const = 0;
+};
+
+/// All seven approaches, in Table 2's column order.
+std::vector<std::unique_ptr<Backend>> AllBackends();
+
+}  // namespace swmon

@@ -1,0 +1,389 @@
+#include "backends/backend.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "backends/executor.hpp"
+#include "monitor/features.hpp"
+
+namespace swmon {
+
+const char* TriCell(Tri t) {
+  switch (t) {
+    case Tri::kYes: return " Y ";
+    case Tri::kNo: return " X ";
+    case Tri::kBlank: return "   ";
+  }
+  return "   ";
+}
+
+namespace {
+
+// ------------------------------------------------- property shape analysis
+
+struct Shape {
+  std::vector<std::set<VarId>> link_vars;   // per stage
+  std::set<VarId> all_bound;
+  std::set<VarId> builtin_bound;
+  bool timeout_stage = false;
+  bool multiple_match = false;  // stage >= 1 event with no link vars
+  bool suppressors = false;
+  bool windows = false;
+  bool ne_against_stored = false;  // Ne/forbidden against a field-bound var
+  bool consistent_scope = true;    // all stage>=1 link var sets identical
+  bool env_beyond_scope = false;   // field-bound vars outside the scope
+  bool abort_keys_derivable = true;
+  FieldLayer max_layer = FieldLayer::kL2;
+};
+
+Shape AnalyzeShape(const Property& p) {
+  Shape s;
+  s.max_layer = AnalyzeFeatures(p).fields;
+  s.link_vars.resize(p.num_stages());
+
+  for (std::size_t k = 0; k < p.num_stages(); ++k) {
+    const Stage& st = p.stages[k];
+    if (st.kind == StageKind::kTimeout) s.timeout_stage = true;
+    if (st.window > Duration::Zero() || st.window_from_field)
+      s.windows = true;
+    for (const Binding& b : st.bindings) {
+      s.all_bound.insert(b.var);
+      if (b.kind != Binding::Kind::kField) s.builtin_bound.insert(b.var);
+    }
+    if (k >= 1 && st.kind == StageKind::kEvent) {
+      for (const Condition& c : st.pattern.conditions) {
+        if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
+            c.mask == ~std::uint64_t{0})
+          s.link_vars[k].insert(c.rhs.var);
+      }
+      if (s.link_vars[k].empty()) s.multiple_match = true;
+    }
+  }
+  s.suppressors = !p.suppressors.empty();
+
+  auto scan_ne = [&](const std::vector<Condition>& conds, bool forbidden) {
+    for (const Condition& c : conds) {
+      if (c.rhs.kind != Term::Kind::kVar) continue;
+      const bool stored = !s.builtin_bound.contains(c.rhs.var);
+      if (stored && (forbidden || c.op == CmpOp::kNe))
+        s.ne_against_stored = true;
+    }
+  };
+  for (const Stage& st : p.stages) {
+    scan_ne(st.pattern.conditions, false);
+    scan_ne(st.pattern.forbidden, true);
+    for (const Pattern& a : st.aborts) {
+      scan_ne(a.conditions, false);
+      scan_ne(a.forbidden, true);
+      // Can a keyed store find the victims of this abort?
+      const std::size_t k = static_cast<std::size_t>(&st - p.stages.data());
+      if (k >= 1 && !s.link_vars[k].empty()) {
+        for (VarId v : s.link_vars[k]) {
+          const bool covered = std::any_of(
+              a.conditions.begin(), a.conditions.end(), [&](const Condition& c) {
+                return c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
+                       c.rhs.var == v && c.mask == ~std::uint64_t{0};
+              });
+          if (!covered) s.abort_keys_derivable = false;
+        }
+      }
+    }
+  }
+
+  // Scope consistency across stages >= 1 (the single-state-machine shape).
+  const std::set<VarId>* first = nullptr;
+  for (std::size_t k = 1; k < p.num_stages(); ++k) {
+    if (p.stages[k].kind != StageKind::kEvent) continue;
+    if (!first) {
+      first = &s.link_vars[k];
+    } else if (*first != s.link_vars[k]) {
+      s.consistent_scope = false;
+    }
+  }
+  if (first) {
+    for (VarId v : s.all_bound) {
+      if (!s.builtin_bound.contains(v) && !first->contains(v))
+        s.env_beyond_scope = true;
+    }
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ the backends
+
+class OpenFlow13Backend : public Backend {
+ public:
+  BackendInfo info() const override {
+    BackendInfo i;
+    i.name = "OpenFlow 1.3";
+    i.state_mechanism = "Controller only";
+    i.update_datapath = "-";
+    i.processing_mode = "Inline";
+    i.field_access = "Fixed";
+    i.event_history = Tri::kBlank;
+    i.related_events = Tri::kYes;  // "(1.5 only)" — egress tables
+    i.negative_match = Tri::kYes;
+    i.rule_timeouts = Tri::kYes;
+    i.timeout_actions = Tri::kNo;
+    i.symmetric_match = Tri::kBlank;
+    i.wandering_match = Tri::kBlank;
+    i.out_of_band = Tri::kBlank;
+    i.full_provenance = Tri::kBlank;
+    return i;
+  }
+
+  CompileResult Compile(const Property& property,
+                        const CostParams&) const override {
+    CompileResult r;
+    r.unsupported.push_back(
+        "cross-packet state requires controller interaction (Table 2 scope: "
+        "OpenFlow 1.3 actions without a controller); see the "
+        "controller-redirect baseline (ControllerMonitor) for what that "
+        "costs");
+    (void)property;
+    return r;
+  }
+};
+
+class OpenStateBackend : public Backend {
+ public:
+  BackendInfo info() const override {
+    BackendInfo i;
+    i.name = "OpenState";
+    i.state_mechanism = "State machine";
+    i.update_datapath = "Fast path";
+    i.processing_mode = "Inline";
+    i.field_access = "Fixed";
+    i.event_history = Tri::kYes;
+    i.related_events = Tri::kBlank;
+    i.negative_match = Tri::kYes;
+    i.rule_timeouts = Tri::kYes;
+    i.timeout_actions = Tri::kNo;
+    i.symmetric_match = Tri::kYes;
+    i.wandering_match = Tri::kNo;
+    i.out_of_band = Tri::kNo;
+    i.full_provenance = Tri::kNo;
+    return i;
+  }
+
+  CompileResult Compile(const Property& property,
+                        const CostParams& params) const override {
+    const Shape s = AnalyzeShape(property);
+    CompileResult r;
+    if (s.timeout_stage)
+      r.unsupported.push_back("timeout actions: XFSM transitions fire only "
+                              "on packets, state TTLs can merely expire");
+    if (s.multiple_match)
+      r.unsupported.push_back(
+          "multiple match: one packet updates exactly one flow's state");
+    if (s.suppressors)
+      r.unsupported.push_back(
+          "suppression keys span protocols beyond the machine's fixed scope");
+    if (s.max_layer > FieldLayer::kL4)
+      r.unsupported.push_back("fixed parsing stops at L4; property needs L7");
+    if (!s.consistent_scope)
+      r.unsupported.push_back(
+          "wandering match: stages use different lookup scopes, but the "
+          "state machine is keyed by one fixed scope");
+    if (s.env_beyond_scope)
+      r.unsupported.push_back(
+          "per-flow state is a state *number*: header values beyond the "
+          "lookup scope cannot be remembered");
+    if (!s.builtin_bound.empty())
+      r.unsupported.push_back(
+          "no extrinsic functions (hash / round-robin expectations)");
+    if (s.ne_against_stored)
+      r.unsupported.push_back(
+          "negative match against stored values: matches compare headers to "
+          "constants, not to remembered fields");
+    if (!s.abort_keys_derivable)
+      r.unsupported.push_back(
+          "an obligation-discharge pattern cannot be mapped to the scope");
+    if (!r.unsupported.empty()) return r;
+    r.monitor = std::make_unique<FragmentExecutor>(
+        property, std::make_unique<OpenStateStore>(params), params);
+    return r;
+  }
+};
+
+class FastBackend : public Backend {
+ public:
+  BackendInfo info() const override {
+    BackendInfo i;
+    i.name = "FAST";
+    i.state_mechanism = "Learn action";
+    i.update_datapath = "Slow path";
+    i.processing_mode = "Inline";
+    i.field_access = "Fixed";
+    i.event_history = Tri::kYes;
+    i.related_events = Tri::kBlank;
+    i.negative_match = Tri::kYes;
+    i.rule_timeouts = Tri::kNo;
+    i.timeout_actions = Tri::kNo;
+    i.symmetric_match = Tri::kYes;
+    i.wandering_match = Tri::kNo;
+    i.out_of_band = Tri::kNo;
+    i.full_provenance = Tri::kNo;
+    return i;
+  }
+
+  CompileResult Compile(const Property& property,
+                        const CostParams& params) const override {
+    const Shape s = AnalyzeShape(property);
+    CompileResult r;
+    if (s.windows || s.timeout_stage)
+      r.unsupported.push_back(
+          "no rule timeouts: learn-action state machines cannot expire");
+    if (s.multiple_match)
+      r.unsupported.push_back(
+          "multiple match: one packet updates exactly one flow's state");
+    if (s.suppressors)
+      r.unsupported.push_back(
+          "suppression keys span protocols beyond the machine's scope");
+    if (s.max_layer > FieldLayer::kL4)
+      r.unsupported.push_back("fixed parsing stops at L4; property needs L7");
+    if (!s.consistent_scope)
+      r.unsupported.push_back("wandering match: scopes differ across stages");
+    if (s.env_beyond_scope)
+      r.unsupported.push_back(
+          "state beyond the flow key cannot be remembered");
+    if (s.ne_against_stored)
+      r.unsupported.push_back(
+          "negative match against stored values is inexpressible");
+    if (!s.abort_keys_derivable)
+      r.unsupported.push_back(
+          "an obligation-discharge pattern cannot be mapped to the scope");
+    if (!r.unsupported.empty()) return r;
+    // FAST's learn action mutates tables through the slow path (split).
+    r.monitor = std::make_unique<FragmentExecutor>(
+        property,
+        std::make_unique<FastLearnStore>(params, /*inline_updates=*/false),
+        params);
+    return r;
+  }
+};
+
+class P4Backend : public Backend {
+ public:
+  explicit P4Backend(bool snap = false) : snap_(snap) {}
+
+  BackendInfo info() const override {
+    BackendInfo i;
+    i.name = snap_ ? "SNAP" : "POF / P4";
+    i.state_mechanism = snap_ ? "Global arrays" : "Flow registers";
+    i.update_datapath = "Fast path";
+    i.processing_mode = "";  // target dependent (Table 2 leaves it blank)
+    i.field_access = "Dynamic";
+    i.event_history = Tri::kYes;
+    i.related_events = Tri::kYes;
+    i.negative_match = Tri::kYes;
+    i.rule_timeouts = snap_ ? Tri::kNo : Tri::kYes;
+    i.timeout_actions = Tri::kNo;
+    i.symmetric_match = Tri::kYes;
+    i.wandering_match = Tri::kBlank;  // target dependent
+    i.out_of_band = Tri::kNo;
+    i.full_provenance = Tri::kNo;
+    return i;
+  }
+
+  CompileResult Compile(const Property& property,
+                        const CostParams& params) const override {
+    const Shape s = AnalyzeShape(property);
+    CompileResult r;
+    if (s.timeout_stage)
+      r.unsupported.push_back(
+          "timeout actions: nothing executes without a packet; deadlines can "
+          "only be compared lazily");
+    if (s.multiple_match)
+      r.unsupported.push_back(
+          "multiple match: a register op touches one hashed slot per packet");
+    if (snap_ && (s.windows))
+      r.unsupported.push_back("global arrays have no expiry semantics");
+    // Every keyed stage needs a derivable register index.
+    for (std::size_t k = 1; k < property.num_stages(); ++k) {
+      if (property.stages[k].kind == StageKind::kEvent &&
+          s.link_vars[k].empty()) {
+        r.unsupported.push_back("stage " + std::to_string(k + 1) +
+                                " has no flow key to index registers with");
+      }
+    }
+    if (!s.abort_keys_derivable)
+      r.unsupported.push_back(
+          "an obligation-discharge pattern cannot compute the register index");
+    if (s.suppressors && !property.suppression_key_fields.empty()) {
+      // Allowed: hash different protocols' fields into one array (the
+      // "wandering is target dependent" cell); costs a state op per event.
+    }
+    if (!r.unsupported.empty()) return r;
+    r.monitor = std::make_unique<FragmentExecutor>(
+        property,
+        std::make_unique<P4RegisterStore>(params, property.num_stages(),
+                                          /*slots_per_stage=*/4096),
+        params);
+    return r;
+  }
+
+ private:
+  bool snap_;
+};
+
+class VaranusBackend : public Backend {
+ public:
+  explicit VaranusBackend(bool static_mode) : static_(static_mode) {}
+
+  BackendInfo info() const override {
+    BackendInfo i;
+    i.name = static_ ? "Static Varanus" : "Varanus";
+    i.state_mechanism = "Recursive learn";
+    i.update_datapath = "Slow path";
+    i.processing_mode = "Split";
+    i.field_access = "Fixed";
+    i.event_history = Tri::kYes;
+    i.related_events = Tri::kYes;
+    i.negative_match = Tri::kYes;
+    i.rule_timeouts = Tri::kYes;
+    i.timeout_actions = Tri::kYes;
+    i.symmetric_match = Tri::kYes;
+    i.wandering_match = Tri::kYes;
+    i.out_of_band = static_ ? Tri::kNo : Tri::kYes;
+    i.full_provenance = Tri::kNo;
+    return i;
+  }
+
+  CompileResult Compile(const Property& property,
+                        const CostParams& params) const override {
+    const Shape s = AnalyzeShape(property);
+    CompileResult r;
+    if (static_ && s.multiple_match) {
+      r.unsupported.push_back(
+          "multiple match / out-of-band events: advancing many instances on "
+          "one event needs unbounded tables, which static Varanus gave up "
+          "for constant pipeline depth (Sec 3.3)");
+      return r;
+    }
+    r.monitor = std::make_unique<FragmentExecutor>(
+        property,
+        std::make_unique<VaranusStore>(params, property.num_stages(), static_),
+        params);
+    return r;
+  }
+
+ private:
+  bool static_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Backend>> AllBackends() {
+  std::vector<std::unique_ptr<Backend>> out;
+  out.push_back(std::make_unique<OpenFlow13Backend>());
+  out.push_back(std::make_unique<OpenStateBackend>());
+  out.push_back(std::make_unique<FastBackend>());
+  out.push_back(std::make_unique<P4Backend>(false));
+  out.push_back(std::make_unique<P4Backend>(true));  // SNAP
+  out.push_back(std::make_unique<VaranusBackend>(false));
+  out.push_back(std::make_unique<VaranusBackend>(true));
+  return out;
+}
+
+}  // namespace swmon

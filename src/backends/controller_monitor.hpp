@@ -1,0 +1,54 @@
+// The external-monitoring baseline (paper Sec 1, experiment E6).
+//
+// "Monitoring the necessary packets, rather than only controller messages,
+// quickly becomes expensive to do externally": an off-switch monitor must
+// receive a copy of every packet that could advance or violate a property.
+// ControllerMonitor models that: every dataplane event is mirrored over the
+// control channel (bytes counted), and the reference engine processes it
+// after half a controller round trip — so detection also lags.
+//
+// Contrast with an on-switch monitor, whose control-channel traffic is just
+// the violation notifications.
+#pragma once
+
+#include <memory>
+
+#include "monitor/engine.hpp"
+
+namespace swmon {
+
+class ControllerMonitor : public DataplaneObserver {
+ public:
+  ControllerMonitor(Property property, const CostParams& params,
+                    MonitorConfig config = {})
+      : engine_(std::make_unique<MonitorEngine>(std::move(property), config)),
+        params_(params) {}
+
+  void OnDataplaneEvent(const DataplaneEvent& event) override {
+    ++events_mirrored_;
+    bytes_mirrored_ += event.packet_bytes;
+    // The copy reaches the monitor one half-RTT later.
+    DataplaneEvent delayed = event;
+    delayed.time = event.time + params_.controller_rtt / 2;
+    engine_->ProcessEvent(delayed);
+  }
+
+  void AdvanceTime(SimTime now) {
+    engine_->AdvanceTime(now + params_.controller_rtt / 2);
+  }
+
+  const MonitorEngine& engine() const { return *engine_; }
+  const std::vector<Violation>& violations() const {
+    return engine_->violations();
+  }
+  std::uint64_t events_mirrored() const { return events_mirrored_; }
+  std::uint64_t bytes_mirrored() const { return bytes_mirrored_; }
+
+ private:
+  std::unique_ptr<MonitorEngine> engine_;
+  CostParams params_;
+  std::uint64_t events_mirrored_ = 0;
+  std::uint64_t bytes_mirrored_ = 0;
+};
+
+}  // namespace swmon

@@ -1,0 +1,408 @@
+#include "backends/executor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace swmon {
+namespace {
+
+bool IsBound(const InstRecord& rec, VarId var) {
+  return rec.env_present >> var & 1;
+}
+
+void SetVar(InstRecord& rec, VarId var, std::uint64_t value) {
+  rec.env[var] = value;
+  rec.env_present |= std::uint64_t{1} << var;
+}
+
+}  // namespace
+
+FragmentExecutor::FragmentExecutor(Property property,
+                                   std::unique_ptr<StateStore> store,
+                                   const CostParams& params,
+                                   ProvenanceLevel provenance)
+    : property_(std::move(property)),
+      store_(std::move(store)),
+      params_(params),
+      provenance_(provenance) {
+  const std::string err = property_.Validate();
+  SWMON_ASSERT_MSG(err.empty(), err.c_str());
+  SWMON_ASSERT(property_.num_vars() <= 64);
+
+  link_vars_.resize(property_.num_stages());
+  for (std::size_t k = 1; k < property_.num_stages(); ++k) {
+    for (const Condition& c : property_.stages[k].pattern.conditions) {
+      if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
+          c.mask == ~std::uint64_t{0}) {
+        link_vars_[k].push_back(c.rhs.var);
+      }
+    }
+    std::sort(link_vars_[k].begin(), link_vars_[k].end());
+    link_vars_[k].erase(
+        std::unique(link_vars_[k].begin(), link_vars_[k].end()),
+        link_vars_[k].end());
+  }
+}
+
+// ---------------------------------------------------------------- matching
+
+bool FragmentExecutor::EvalCondition(const Condition& c, const FieldMap& fields,
+                                     const InstRecord& rec) const {
+  const auto lhs = fields.Get(c.field);
+  if (!lhs) return c.allow_absent;
+  std::uint64_t rhs;
+  if (c.rhs.kind == Term::Kind::kConst) {
+    rhs = c.rhs.constant;
+  } else {
+    if (!IsBound(rec, c.rhs.var)) return false;
+    rhs = rec.env[c.rhs.var];
+  }
+  const bool eq = (*lhs & c.mask) == (rhs & c.mask);
+  return c.op == CmpOp::kEq ? eq : !eq;
+}
+
+bool FragmentExecutor::MatchPattern(const Pattern& p, const DataplaneEvent& ev,
+                                    const InstRecord& rec) const {
+  if (p.event_type && *p.event_type != ev.type) return false;
+  for (const Condition& c : p.conditions)
+    if (!EvalCondition(c, ev.fields, rec)) return false;
+  if (!p.forbidden.empty()) {
+    bool all_hold = true;
+    for (const Condition& c : p.forbidden) {
+      if (!EvalCondition(c, ev.fields, rec)) {
+        all_hold = false;
+        break;
+      }
+    }
+    if (all_hold) return false;
+  }
+  return true;
+}
+
+bool FragmentExecutor::ApplyBindings(const Stage& stage,
+                                     const DataplaneEvent& ev,
+                                     InstRecord& rec) {
+  for (const Binding& b : stage.bindings) {
+    if (b.kind == Binding::Kind::kField && !ev.fields.Has(b.field))
+      return false;
+    if (b.kind == Binding::Kind::kHashPort) {
+      for (FieldId f : b.hash_inputs)
+        if (!ev.fields.Has(f)) return false;
+    }
+  }
+  if (stage.window_from_field && !ev.fields.Has(*stage.window_from_field))
+    return false;
+  for (const Binding& b : stage.bindings) {
+    switch (b.kind) {
+      case Binding::Kind::kField:
+        SetVar(rec, b.var, ev.fields.GetUnchecked(b.field));
+        break;
+      case Binding::Kind::kHashPort:
+        SetVar(rec, b.var,
+               HashFieldsToRange(ev.fields, b.hash_inputs, b.modulus, b.base));
+        break;
+      case Binding::Kind::kRoundRobin:
+        SetVar(rec, b.var, rr_counter_++ % b.modulus + b.base);
+        break;
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------------------- keys
+
+std::optional<FlowKey> FragmentExecutor::KeyFromEnv(const InstRecord& rec,
+                                                    std::uint32_t stage) const {
+  if (stage >= link_vars_.size() || link_vars_[stage].empty())
+    return std::nullopt;
+  FlowKey key;
+  for (VarId v : link_vars_[stage]) {
+    if (!IsBound(rec, v)) return std::nullopt;
+    key.values.push_back(rec.env[v]);
+  }
+  return key;
+}
+
+std::optional<FlowKey> FragmentExecutor::KeyFromEvent(
+    const Pattern& pattern, const DataplaneEvent& ev,
+    std::uint32_t stage) const {
+  if (stage >= link_vars_.size() || link_vars_[stage].empty())
+    return std::nullopt;
+  FlowKey key;
+  for (VarId v : link_vars_[stage]) {
+    // Field carrying var v according to this pattern's equalities.
+    std::optional<std::uint64_t> value;
+    for (const Condition& c : pattern.conditions) {
+      if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
+          c.rhs.var == v && c.mask == ~std::uint64_t{0}) {
+        value = ev.fields.Get(c.field);
+        break;
+      }
+    }
+    if (!value) return std::nullopt;
+    key.values.push_back(*value);
+  }
+  return key;
+}
+
+// --------------------------------------------------------------- lifecycle
+
+Duration FragmentExecutor::WindowOf(const Stage& completed,
+                                    const DataplaneEvent* ev) const {
+  if (completed.window_from_field && ev != nullptr) {
+    return Duration::Seconds(static_cast<std::int64_t>(
+        ev->fields.GetUnchecked(*completed.window_from_field)));
+  }
+  return completed.window;
+}
+
+void FragmentExecutor::ReportViolation(const InstRecord& rec, SimTime when,
+                                       const std::string& trigger) {
+  Violation v;
+  v.property = property_.name;
+  v.time = when;
+  v.instance_id = rec.id;
+  v.trigger_stage = trigger;
+  if (provenance_ >= ProvenanceLevel::kLimited) {
+    for (std::size_t i = 0; i < property_.vars.size(); ++i) {
+      if (IsBound(rec, static_cast<VarId>(i)))
+        v.bindings.emplace_back(property_.vars[i], rec.env[i]);
+    }
+  }
+  violations_.push_back(std::move(v));
+}
+
+void FragmentExecutor::CommitAdvance(InstRecord rec, const DataplaneEvent* ev,
+                                     SimTime when, bool was_stored) {
+  const Stage& completed = property_.stages[rec.stage];
+  ++rec.stage;
+  rec.stage_matches = 0;
+  if (rec.stage == property_.num_stages()) {
+    if (was_stored) store_->Erase(rec.id, when);
+    traversal_erased_.insert(rec.id);
+    traversal_writes_.erase(rec.id);
+    ReportViolation(rec, when, completed.label);
+    return;
+  }
+  const Duration window = WindowOf(completed, ev);
+  rec.deadline =
+      window > Duration::Zero() ? when + window : SimTime::Infinity();
+  const auto key = KeyFromEnv(rec, rec.stage);
+  // Fresh instances were never stored: skip the no-op erase (on slow-path
+  // stores it would occupy the flow-mod queue and delay the real install).
+  if (was_stored) store_->Erase(rec.id, when);
+  store_->Upsert(rec, key, when);
+  // The updated record rides the pipeline for the rest of this traversal.
+  traversal_erased_.insert(rec.id);
+  traversal_writes_[rec.id] = {key, rec};
+}
+
+void FragmentExecutor::HandleExpired(const InstRecord& rec) {
+  if (rec.stage < property_.num_stages() &&
+      property_.stages[rec.stage].kind == StageKind::kTimeout) {
+    // Feature 7: the expiry IS the observation (Varanus expiry action).
+    // The sweep already removed the record — no erase needed.
+    CommitAdvance(rec, nullptr, rec.deadline, /*was_stored=*/false);
+  }
+  // Otherwise the window lapsed: the attempt simply evaporates (already
+  // removed by the sweep).
+}
+
+void FragmentExecutor::BeginTraversal(const DataplaneEvent& ev) {
+  const std::uint64_t pid = ev.fields.Get(FieldId::kPacketId).value_or(0);
+  if (pid == traversal_packet_id_ && pid != 0) return;  // same packet
+  traversal_packet_id_ = pid;
+  traversal_writes_.clear();
+  traversal_erased_.clear();
+}
+
+std::vector<InstRecord> FragmentExecutor::Candidates(
+    std::uint32_t stage, const std::optional<FlowKey>& key) {
+  std::vector<InstRecord> recs = store_->Lookup(stage, key, now_);
+  // Traversal metadata supersedes store contents for ids touched this
+  // traversal.
+  std::erase_if(recs, [&](const InstRecord& r) {
+    return traversal_erased_.contains(r.id) ||
+           traversal_writes_.contains(r.id);
+  });
+  for (const auto& [id, entry] : traversal_writes_) {
+    const auto& [wkey, rec] = entry;
+    if (rec.stage != stage) continue;
+    if (rec.deadline <= now_) continue;
+    if (key && wkey && !(*wkey == *key)) continue;
+    recs.push_back(rec);
+  }
+  return recs;
+}
+
+void FragmentExecutor::AdvanceTime(SimTime now) {
+  if (now <= now_) return;
+  now_ = now;
+  store_->CatchUp(now);
+  auto expired = store_->TakeExpired(now);
+  std::sort(expired.begin(), expired.end(),
+            [](const InstRecord& a, const InstRecord& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              return a.id < b.id;
+            });
+  for (const auto& rec : expired) HandleExpired(rec);
+}
+
+// ------------------------------------------------------------- event path
+
+void FragmentExecutor::OnDataplaneEvent(const DataplaneEvent& event) {
+  AdvanceTime(event.time);
+  now_ = std::max(now_, event.time);
+  advanced_this_event_.clear();
+  BeginTraversal(event);
+
+  // The monitor pipeline is traversed once per event.
+  ++store_->costs().packets;
+  store_->costs().table_lookups += store_->PipelineDepth();
+  store_->costs().processing_time +=
+      params_.table_lookup * static_cast<std::int64_t>(store_->PipelineDepth());
+
+  AbortPass(event);
+  AdvancePass(event);
+  CreatePass(event);
+  SuppressorPass(event);
+}
+
+void FragmentExecutor::AbortPass(const DataplaneEvent& ev) {
+  for (std::size_t k = 1; k < property_.num_stages(); ++k) {
+    const Stage& st = property_.stages[k];
+    if (st.aborts.empty()) continue;
+    for (const Pattern& abort : st.aborts) {
+      if (abort.event_type && *abort.event_type != ev.type) continue;
+      // Candidate records: by the abort pattern's own link projection when
+      // derivable, else enumeration (Varanus).
+      std::optional<FlowKey> key;
+      if (!link_vars_[k].empty()) {
+        FlowKey k2;
+        bool derivable = true;
+        for (VarId v : link_vars_[k]) {
+          std::optional<std::uint64_t> value;
+          for (const Condition& c : abort.conditions) {
+            if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
+                c.rhs.var == v && c.mask == ~std::uint64_t{0}) {
+              value = ev.fields.Get(c.field);
+              break;
+            }
+          }
+          if (!value) {
+            derivable = false;
+            break;
+          }
+          k2.values.push_back(*value);
+        }
+        if (derivable) key = std::move(k2);
+        else if (!store_->SupportsEnumeration()) continue;
+      }
+      for (const InstRecord& rec :
+           Candidates(static_cast<std::uint32_t>(k), key)) {
+        if (MatchPattern(abort, ev, rec)) {
+          store_->Erase(rec.id, now_);
+          traversal_erased_.insert(rec.id);
+          traversal_writes_.erase(rec.id);
+        }
+      }
+    }
+  }
+}
+
+void FragmentExecutor::AdvancePass(const DataplaneEvent& ev) {
+  for (std::size_t k = property_.num_stages(); k-- > 1;) {
+    const Stage& st = property_.stages[k];
+    if (st.kind != StageKind::kEvent) continue;
+    if (st.pattern.event_type && *st.pattern.event_type != ev.type) continue;
+
+    std::optional<FlowKey> key =
+        KeyFromEvent(st.pattern, ev, static_cast<std::uint32_t>(k));
+    if (!key && !link_vars_[k].empty() && !store_->SupportsEnumeration())
+      continue;  // keyed store, underivable key: no candidates
+    for (const InstRecord& rec : Candidates(static_cast<std::uint32_t>(k), key)) {
+      if (advanced_this_event_.contains(rec.id)) continue;
+      if (!MatchPattern(st.pattern, ev, rec)) continue;
+      InstRecord next = rec;
+      if (!ApplyBindings(st, ev, next)) continue;
+      advanced_this_event_.insert(rec.id);
+      if (++next.stage_matches < st.min_count) {
+        // Quantitative stage: persist the incremented counter (one more
+        // state write on the mechanism) without advancing.
+        const auto rkey = KeyFromEnv(next, next.stage);
+        store_->Upsert(next, rkey, now_);
+        traversal_writes_[next.id] = {rkey, next};
+        continue;
+      }
+      CommitAdvance(std::move(next), &ev, now_, /*was_stored=*/true);
+    }
+  }
+}
+
+void FragmentExecutor::CreatePass(const DataplaneEvent& ev) {
+  const Stage& st0 = property_.stages[0];
+  InstRecord probe;
+  probe.env.resize(property_.num_vars());
+  if (!MatchPattern(st0.pattern, ev, probe)) return;
+
+  if (!property_.suppression_key_fields.empty()) {
+    if (const auto key =
+            ProjectKey(ev.fields, property_.suppression_key_fields);
+        key && suppressed_.contains(*key)) {
+      return;
+    }
+  }
+  if (!ApplyBindings(st0, ev, probe)) return;
+
+  // Dedup/refresh: an equivalent attempt is one whose next-stage key equals
+  // ours (exact for two-stage properties; multi-stage properties are
+  // disambiguated by per-stage bindings such as packet ids). Stages with no
+  // link key (multiple match) dedup by environment equality on enumerating
+  // stores — without this, every matching packet would enqueue another
+  // instance install and swamp the slow path.
+  if (property_.num_stages() > 1) {
+    probe.stage = 1;
+    const auto key = KeyFromEnv(probe, 1);
+    std::vector<InstRecord> existing;
+    if (key) {
+      existing = Candidates(1, key);
+    } else if (store_->SupportsEnumeration()) {
+      for (const InstRecord& rec : Candidates(1, std::nullopt)) {
+        if (rec.env_present == probe.env_present && rec.env == probe.env)
+          existing.push_back(rec);
+      }
+    }
+    if (!existing.empty()) {
+      if (st0.refresh_window_on_rematch) {
+        const Duration window = WindowOf(st0, &ev);
+        for (InstRecord rec : existing) {
+          rec.deadline = window > Duration::Zero() ? now_ + window
+                                                   : SimTime::Infinity();
+          const auto rkey = KeyFromEnv(rec, rec.stage);
+          store_->Upsert(rec, rkey, now_);  // refresh = state rewrite
+          traversal_writes_[rec.id] = {rkey, rec};
+        }
+      }
+      return;
+    }
+  }
+
+  probe.id = next_id_++;
+  probe.stage = 0;
+  CommitAdvance(std::move(probe), &ev, now_, /*was_stored=*/false);
+}
+
+void FragmentExecutor::SuppressorPass(const DataplaneEvent& ev) {
+  for (const Suppressor& sup : property_.suppressors) {
+    InstRecord empty;
+    empty.env.resize(property_.num_vars());
+    if (!MatchPattern(sup.pattern, ev, empty)) continue;
+    if (const auto key = ProjectKey(ev.fields, sup.key_fields)) {
+      suppressed_.insert(*key);
+      ++store_->costs().state_table_ops;  // remembering the key is state
+    }
+  }
+}
+
+}  // namespace swmon

@@ -1,0 +1,108 @@
+// FragmentExecutor: runs a property's stage machine on a mechanism-specific
+// StateStore.
+//
+// This is the execution half of every backend: the stage-advancement logic
+// is shared (it is the property's semantics), while instance lookup,
+// mutation cost, mutation *timing* (fast path vs slow path vs inline
+// blocking), pipeline depth, and collision behaviour come from the store.
+// Compilation (backends.cpp) guarantees the property only uses what the
+// store can express — e.g. timeout-action stages only reach stores with
+// expiry sweeps, multiple match only reaches enumerating stores.
+//
+// Differences from the reference MonitorEngine are mechanism-faithful by
+// design: slow-path stores serve stale reads until their flow-mod queue
+// catches up, register stores lose records to hash collisions, and the
+// reference/compiled violation-count gap is exactly what bench_sideeffect
+// measures.
+//
+// One refinement keeps that model honest: state changes made while a
+// packet traverses the pipeline are visible to the SAME packet's later
+// observations (its egress after its arrival) — on a real switch that data
+// rides the pipeline as metadata, no state write needed. The executor keeps
+// a per-traversal cache keyed by kPacketId for exactly this; cross-packet
+// visibility still goes through the store (and its slow path).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "backends/backend.hpp"
+#include "backends/state_store.hpp"
+
+namespace swmon {
+
+class FragmentExecutor : public CompiledMonitor {
+ public:
+  FragmentExecutor(Property property, std::unique_ptr<StateStore> store,
+                   const CostParams& params,
+                   ProvenanceLevel provenance = ProvenanceLevel::kLimited);
+
+  void OnDataplaneEvent(const DataplaneEvent& event) override;
+  void AdvanceTime(SimTime now) override;
+
+  const std::vector<Violation>& violations() const override {
+    return violations_;
+  }
+  const CostCounters& costs() const override { return store_->costs(); }
+  std::size_t PipelineDepth() const override { return store_->PipelineDepth(); }
+  std::size_t live_instances() const override { return store_->live(); }
+
+  const StateStore& store() const { return *store_; }
+
+ private:
+  bool EvalCondition(const Condition& c, const FieldMap& fields,
+                     const InstRecord& rec) const;
+  bool MatchPattern(const Pattern& p, const DataplaneEvent& ev,
+                    const InstRecord& rec) const;
+  bool ApplyBindings(const Stage& stage, const DataplaneEvent& ev,
+                     InstRecord& rec);
+
+  /// Key of a record at `stage`, projected from its environment.
+  std::optional<FlowKey> KeyFromEnv(const InstRecord& rec,
+                                    std::uint32_t stage) const;
+  /// Key for an incoming event at `stage`, using `pattern`'s field->var
+  /// equalities; nullopt when the pattern doesn't determine every link var.
+  std::optional<FlowKey> KeyFromEvent(const Pattern& pattern,
+                                      const DataplaneEvent& ev,
+                                      std::uint32_t stage) const;
+
+  Duration WindowOf(const Stage& completed, const DataplaneEvent* ev) const;
+  void CommitAdvance(InstRecord rec, const DataplaneEvent* ev, SimTime when,
+                     bool was_stored);
+  /// Store lookup merged with the current traversal's in-pipeline updates.
+  std::vector<InstRecord> Candidates(std::uint32_t stage,
+                                     const std::optional<FlowKey>& key);
+  void BeginTraversal(const DataplaneEvent& ev);
+  void ReportViolation(const InstRecord& rec, SimTime when,
+                       const std::string& trigger);
+  void HandleExpired(const InstRecord& rec);
+
+  void AbortPass(const DataplaneEvent& ev);
+  void AdvancePass(const DataplaneEvent& ev);
+  void CreatePass(const DataplaneEvent& ev);
+  void SuppressorPass(const DataplaneEvent& ev);
+
+  Property property_;
+  std::unique_ptr<StateStore> store_;
+  CostParams params_;
+  ProvenanceLevel provenance_;
+
+  /// Sorted unique link vars per stage (index 0 unused).
+  std::vector<std::vector<VarId>> link_vars_;
+
+  std::vector<Violation> violations_;
+  std::unordered_set<FlowKey, FlowKeyHash> suppressed_;
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t next_id_ = 1;
+  std::uint64_t rr_counter_ = 0;
+  std::unordered_set<std::uint64_t> advanced_this_event_;
+
+  // Per-traversal pipeline metadata (see file comment).
+  std::uint64_t traversal_packet_id_ = 0;
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::optional<FlowKey>, InstRecord>>
+      traversal_writes_;
+  std::unordered_set<std::uint64_t> traversal_erased_;
+};
+
+}  // namespace swmon

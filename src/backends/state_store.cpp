@@ -1,0 +1,190 @@
+#include "backends/state_store.hpp"
+
+namespace swmon {
+
+// ---------------------------------------------------------------- OpenState
+
+std::vector<InstRecord> OpenStateStore::Lookup(
+    std::uint32_t stage, const std::optional<FlowKey>& key, SimTime now) {
+  ++costs_.state_table_ops;
+  if (!key) return {};  // no enumeration on a state machine
+  const auto it = by_key_.find(*key);
+  if (it == by_key_.end()) return {};
+  if (it->second.deadline <= now) {  // lazy TTL expiry
+    key_of_.erase(it->second.id);
+    by_key_.erase(it);
+    return {};
+  }
+  if (it->second.stage != stage) return {};
+  return {it->second};
+}
+
+void OpenStateStore::Upsert(const InstRecord& rec,
+                            const std::optional<FlowKey>& key, SimTime now) {
+  (void)now;
+  if (!key) return;
+  ++costs_.state_table_ops;
+  costs_.processing_time += params_.state_table_op;  // inline, fast path
+  // A record moving between keys (stage change) vacates its old cell.
+  if (const auto old = key_of_.find(rec.id);
+      old != key_of_.end() && !(old->second == *key)) {
+    by_key_.erase(old->second);
+  }
+  by_key_[*key] = rec;
+  key_of_[rec.id] = *key;
+}
+
+void OpenStateStore::Erase(std::uint64_t id, SimTime now) {
+  (void)now;
+  const auto it = key_of_.find(id);
+  if (it == key_of_.end()) return;
+  ++costs_.state_table_ops;
+  costs_.processing_time += params_.state_table_op;
+  by_key_.erase(it->second);
+  key_of_.erase(it);
+}
+
+// ---------------------------------------------------------- FAST learn action
+
+void FastLearnStore::Upsert(const InstRecord& rec,
+                            const std::optional<FlowKey>& key, SimTime now) {
+  ++costs_.flow_mods;
+  if (inline_) {
+    // Inline: block the packet until the learn completes — state is always
+    // fresh, forwarding pays the slow-path latency (Feature 9).
+    OpenStateStore::Upsert(rec, key, now);
+    costs_.processing_time += params_.flow_mod;
+    return;
+  }
+  // Split: the packet goes on; the learn lands later. Reads meanwhile see
+  // the old state.
+  queue_.Submit(now, [this, rec, key](SimTime at) {
+    OpenStateStore::Upsert(rec, key, at);
+  });
+}
+
+void FastLearnStore::Erase(std::uint64_t id, SimTime now) {
+  ++costs_.flow_mods;
+  if (inline_) {
+    OpenStateStore::Erase(id, now);
+    costs_.processing_time += params_.flow_mod;
+    return;
+  }
+  queue_.Submit(now, [this, id](SimTime at) { OpenStateStore::Erase(id, at); });
+}
+
+// ------------------------------------------------------------- P4 registers
+
+std::uint64_t P4RegisterStore::OpsPerRecord() const {
+  // fingerprint + stage marker + deadline + env words.
+  return 3 + (stages_.empty() ? 0 : 8);
+}
+
+std::vector<InstRecord> P4RegisterStore::Lookup(
+    std::uint32_t stage, const std::optional<FlowKey>& key, SimTime now) {
+  if (!key || stage >= stages_.size()) return {};
+  auto& arrays = stages_[stage];
+  const std::size_t idx =
+      static_cast<std::size_t>(key->Hash() % arrays.slots.size());
+  costs_.register_ops += OpsPerRecord();
+  costs_.processing_time += params_.register_op * 3;  // reads are parallel-ish
+  Slot& slot = arrays.slots[idx];
+  if (!slot.valid) return {};
+  if (slot.fingerprint != key->Hash()) return {};  // another flow's slot
+  if (slot.record.deadline <= now) {               // timestamp-compare expiry
+    slot.valid = false;
+    return {};
+  }
+  return {slot.record};
+}
+
+void P4RegisterStore::Upsert(const InstRecord& rec,
+                             const std::optional<FlowKey>& key, SimTime now) {
+  (void)now;
+  if (!key || rec.stage >= stages_.size()) return;
+  auto& arrays = stages_[rec.stage];
+  const std::size_t idx =
+      static_cast<std::size_t>(key->Hash() % arrays.slots.size());
+  costs_.register_ops += OpsPerRecord();
+  costs_.processing_time += params_.register_op * 3;
+  Slot& slot = arrays.slots[idx];
+  if (slot.valid && slot.fingerprint != key->Hash() &&
+      slot.record.deadline > now) {
+    ++collisions_;  // a live record of another flow is overwritten — real
+                    // register-array behaviour, measured by the benches
+  }
+  slot.valid = true;
+  slot.fingerprint = key->Hash();
+  slot.record = rec;
+}
+
+void P4RegisterStore::Erase(std::uint64_t id, SimTime now) {
+  (void)now;
+  // Registers have no reverse index; invalidate by scan of the (few)
+  // stages. Cost: one register op per stage (computing the index requires
+  // the key, which the executor always erases right before an upsert, so
+  // this models the invalidate-old-stage write).
+  for (auto& arrays : stages_) {
+    for (auto& slot : arrays.slots) {
+      if (slot.valid && slot.record.id == id) {
+        slot.valid = false;
+        ++costs_.register_ops;
+        costs_.processing_time += params_.register_op;
+        return;
+      }
+    }
+  }
+}
+
+std::size_t P4RegisterStore::live() const {
+  std::size_t n = 0;
+  for (const auto& arrays : stages_)
+    for (const auto& slot : arrays.slots) n += slot.valid;
+  return n;
+}
+
+// ------------------------------------------------------------------ Varanus
+
+std::vector<InstRecord> VaranusStore::Lookup(std::uint32_t stage,
+                                             const std::optional<FlowKey>& key,
+                                             SimTime now) {
+  std::vector<InstRecord> out;
+  for (const auto& [id, cell] : applied_) {
+    if (cell.record.stage != stage) continue;
+    if (cell.record.deadline <= now) continue;  // expired, swept separately
+    if (key && cell.key && !(*cell.key == *key)) continue;
+    out.push_back(cell.record);
+  }
+  return out;
+}
+
+void VaranusStore::Upsert(const InstRecord& rec,
+                          const std::optional<FlowKey>& key, SimTime now) {
+  // Installing/advancing an instance rewrites its OpenFlow table: slow path.
+  ++costs_.flow_mods;
+  queue_.Submit(now, [this, rec, key](SimTime) {
+    applied_[rec.id] = Cell{rec, key};
+  });
+}
+
+void VaranusStore::Erase(std::uint64_t id, SimTime now) {
+  ++costs_.flow_mods;
+  queue_.Submit(now, [this, id](SimTime) { applied_.erase(id); });
+}
+
+std::vector<InstRecord> VaranusStore::TakeExpired(SimTime now) {
+  // Table timeouts fire on the switch itself (not via the slow path): the
+  // expiry continuation is Varanus's timeout-action mechanism.
+  std::vector<InstRecord> expired;
+  for (auto it = applied_.begin(); it != applied_.end();) {
+    if (it->second.record.deadline <= now) {
+      expired.push_back(it->second.record);
+      it = applied_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace swmon

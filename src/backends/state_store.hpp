@@ -1,0 +1,219 @@
+// Mechanism-specific instance storage for compiled monitors.
+//
+// The FragmentExecutor (executor.hpp) runs a property's stage machine; a
+// StateStore decides HOW partially-completed instances are stored and found
+// — which is exactly where the Table-2 approaches differ:
+//
+//   OpenStateStore     per-flow state table, fast path, inline updates.
+//   FastLearnStore     the same state machine but mutated through the
+//                      slow path (OVS learn): reads see stale state until
+//                      the flow-mod queue catches up — or, in inline mode,
+//                      updates apply immediately but their latency is
+//                      charged to packet processing (Feature 9's tradeoff).
+//   P4RegisterStore    fixed-size register arrays indexed by a key hash
+//                      with fingerprint validation; collisions overwrite
+//                      (fast path, real register semantics).
+//   VaranusStore       one match-action table per live instance: pipeline
+//                      depth grows with instance count; mutations through
+//                      the slow path; supports enumeration (multiple
+//                      match) and expiry sweeps (timeout actions).
+//   StaticVaranusStore one table per observation stage: constant depth,
+//                      still slow-path mutations and expiry sweeps, but no
+//                      enumeration (multiple match is gone — the paper's
+//                      proposed tradeoff).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/cost_model.hpp"
+#include "dataplane/flow_key.hpp"
+#include "dataplane/flow_mod_queue.hpp"
+
+namespace swmon {
+
+/// One partially-completed violation attempt, as stored by a mechanism.
+struct InstRecord {
+  std::uint64_t id = 0;
+  std::uint32_t stage = 0;  // next stage to match
+  SimTime deadline = SimTime::Infinity();
+  std::vector<std::uint64_t> env;
+  std::uint64_t env_present = 0;  // bit i => env[i] is bound
+  std::uint32_t stage_matches = 0;  // toward the stage's min_count
+};
+
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Candidates at `stage` for an event whose link-field projection is
+  /// `key`. nullopt key asks for ALL records at the stage (multiple
+  /// match), which only enumerating stores support.
+  virtual std::vector<InstRecord> Lookup(std::uint32_t stage,
+                                         const std::optional<FlowKey>& key,
+                                         SimTime now) = 0;
+
+  /// Stores `rec` under `key` (the projection of rec.env over its stage's
+  /// link variables). May be deferred on slow-path stores.
+  virtual void Upsert(const InstRecord& rec,
+                      const std::optional<FlowKey>& key, SimTime now) = 0;
+
+  /// Removes the record. May be deferred on slow-path stores.
+  virtual void Erase(std::uint64_t id, SimTime now) = 0;
+
+  /// Applies pending slow-path mutations with completion time <= now.
+  virtual void CatchUp(SimTime now) = 0;
+
+  /// For expiry-sweep-capable stores: removes and returns records whose
+  /// deadline has passed (the hook timeout actions need). Others: empty —
+  /// their expired records are discarded lazily at Lookup.
+  virtual std::vector<InstRecord> TakeExpired(SimTime now) = 0;
+
+  virtual bool SupportsEnumeration() const = 0;
+  virtual bool SupportsExpirySweep() const = 0;
+
+  /// Match-action tables this store adds to the pipeline right now.
+  virtual std::size_t PipelineDepth() const = 0;
+  virtual std::size_t live() const = 0;
+
+  CostCounters& costs() { return costs_; }
+  const CostCounters& costs() const { return costs_; }
+
+ protected:
+  CostCounters costs_;
+};
+
+// ---------------------------------------------------------------- OpenState
+
+class OpenStateStore : public StateStore {
+ public:
+  explicit OpenStateStore(const CostParams& params) : params_(params) {}
+
+  std::vector<InstRecord> Lookup(std::uint32_t stage,
+                                 const std::optional<FlowKey>& key,
+                                 SimTime now) override;
+  void Upsert(const InstRecord& rec, const std::optional<FlowKey>& key,
+              SimTime now) override;
+  void Erase(std::uint64_t id, SimTime now) override;
+  void CatchUp(SimTime) override {}
+  std::vector<InstRecord> TakeExpired(SimTime) override { return {}; }
+  bool SupportsEnumeration() const override { return false; }
+  bool SupportsExpirySweep() const override { return false; }
+  /// One XFSM stage: flow table + state table.
+  std::size_t PipelineDepth() const override { return 2; }
+  std::size_t live() const override { return by_key_.size(); }
+
+ protected:
+  CostParams params_;
+  // The per-flow state machine: one cell per flow key.
+  std::unordered_map<FlowKey, InstRecord, FlowKeyHash> by_key_;
+  std::unordered_map<std::uint64_t, FlowKey> key_of_;
+};
+
+// --------------------------------------------------------- FAST (learn action)
+
+class FastLearnStore : public OpenStateStore {
+ public:
+  FastLearnStore(const CostParams& params, bool inline_updates)
+      : OpenStateStore(params), queue_(params), inline_(inline_updates) {}
+
+  void Upsert(const InstRecord& rec, const std::optional<FlowKey>& key,
+              SimTime now) override;
+  void Erase(std::uint64_t id, SimTime now) override;
+  void CatchUp(SimTime now) override { queue_.Advance(now); }
+
+  std::size_t pending_updates() const { return queue_.pending(); }
+
+ private:
+  FlowModQueue queue_;
+  bool inline_;
+};
+
+// ------------------------------------------------------------- P4 registers
+
+class P4RegisterStore : public StateStore {
+ public:
+  P4RegisterStore(const CostParams& params, std::size_t num_stages,
+                  std::size_t slots_per_stage)
+      : params_(params), stages_(num_stages) {
+    for (auto& s : stages_) s.slots.resize(slots_per_stage);
+  }
+
+  std::vector<InstRecord> Lookup(std::uint32_t stage,
+                                 const std::optional<FlowKey>& key,
+                                 SimTime now) override;
+  void Upsert(const InstRecord& rec, const std::optional<FlowKey>& key,
+              SimTime now) override;
+  void Erase(std::uint64_t id, SimTime now) override;
+  void CatchUp(SimTime) override {}
+  std::vector<InstRecord> TakeExpired(SimTime) override { return {}; }
+  bool SupportsEnumeration() const override { return false; }
+  bool SupportsExpirySweep() const override { return false; }
+  /// One match-action stage per observation stage.
+  std::size_t PipelineDepth() const override { return stages_.size(); }
+  std::size_t live() const override;
+
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::uint64_t fingerprint = 0;
+    InstRecord record;
+  };
+  struct StageArrays {
+    std::vector<Slot> slots;
+  };
+
+  /// Register ops to read/write one record (stage + deadline + env words).
+  std::uint64_t OpsPerRecord() const;
+
+  CostParams params_;
+  std::vector<StageArrays> stages_;
+  std::uint64_t collisions_ = 0;
+};
+
+// ------------------------------------------------------------------ Varanus
+
+class VaranusStore : public StateStore {
+ public:
+  VaranusStore(const CostParams& params, std::size_t num_stages,
+               bool static_mode)
+      : params_(params), queue_(params), num_stages_(num_stages),
+        static_mode_(static_mode) {}
+
+  std::vector<InstRecord> Lookup(std::uint32_t stage,
+                                 const std::optional<FlowKey>& key,
+                                 SimTime now) override;
+  void Upsert(const InstRecord& rec, const std::optional<FlowKey>& key,
+              SimTime now) override;
+  void Erase(std::uint64_t id, SimTime now) override;
+  void CatchUp(SimTime now) override { queue_.Advance(now); }
+  std::vector<InstRecord> TakeExpired(SimTime now) override;
+  bool SupportsEnumeration() const override { return !static_mode_; }
+  bool SupportsExpirySweep() const override { return true; }
+
+  /// Dynamic Varanus: one table per live instance (plus the creation
+  /// table). Static Varanus: one table per observation stage.
+  std::size_t PipelineDepth() const override {
+    return static_mode_ ? num_stages_ : applied_.size() + 1;
+  }
+  std::size_t live() const override { return applied_.size(); }
+  std::size_t pending_updates() const { return queue_.pending(); }
+
+ private:
+  struct Cell {
+    InstRecord record;
+    std::optional<FlowKey> key;
+  };
+
+  CostParams params_;
+  FlowModQueue queue_;
+  std::size_t num_stages_;
+  bool static_mode_;
+  std::unordered_map<std::uint64_t, Cell> applied_;
+};
+
+}  // namespace swmon

@@ -1,0 +1,400 @@
+#include "backends/table_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "monitor/features.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr std::uint32_t kAdvancePriority = 100;
+constexpr std::uint32_t kShadowPriority = 200;
+constexpr std::uint32_t kAbortPriority = 300;
+
+}  // namespace
+
+TableMonitor::TableMonitor(Property property, const CostParams& params,
+                           bool static_mode, ProvenanceLevel provenance)
+    : property_(std::move(property)),
+      params_(params),
+      static_mode_(static_mode),
+      provenance_(provenance) {
+  const std::string err = property_.Validate();
+  SWMON_ASSERT_MSG(err.empty(), err.c_str());
+  if (static_mode_) {
+    SWMON_ASSERT_MSG(!AnalyzeFeatures(property_).multiple_match,
+                     "static mode cannot host multiple-match properties "
+                     "(Sec 3.3's tradeoff)");
+    stage_tables_.resize(property_.num_stages());
+  }
+
+  // Stage-0 entries live in the creation table permanently.
+  const Stage& st0 = property_.stages[0];
+  std::vector<std::optional<std::uint64_t>> empty_env(property_.num_vars());
+  for (MatchSet& m : CompileMatches(st0.pattern, empty_env)) {
+    FlowEntry entry;
+    entry.priority = kAdvancePriority;
+    entry.match = std::move(m);
+    entry.cookie = Cookie(0, HitKind::kCreate);
+    creation_table_.Add(entry, now_);
+    ++costs_.flow_mods;
+  }
+}
+
+// ------------------------------------------------------------- compilation
+
+std::vector<MatchSet> TableMonitor::CompileMatches(
+    const Pattern& pattern,
+    const std::vector<std::optional<std::uint64_t>>& env) const {
+  MatchSet base;
+  if (pattern.event_type) {
+    base.Add(FieldMatch::Exact(FieldId::kEventType,
+                               static_cast<std::uint64_t>(*pattern.event_type)));
+  }
+  std::vector<const Condition*> or_absent;
+  auto resolve = [&](const Condition& c,
+                     std::uint64_t& rhs) -> bool {  // false: unbound var
+    if (c.rhs.kind == Term::Kind::kConst) {
+      rhs = c.rhs.constant;
+      return true;
+    }
+    if (!env[c.rhs.var]) return false;
+    rhs = *env[c.rhs.var];
+    return true;
+  };
+  for (const Condition& c : pattern.conditions) {
+    std::uint64_t rhs;
+    if (!resolve(c, rhs)) return {};
+    if (c.allow_absent) {
+      or_absent.push_back(&c);
+      continue;
+    }
+    base.Add(FieldMatch{c.field, rhs, c.mask, c.op == CmpOp::kNe, false});
+  }
+  // Or-absent conditions expand over the header-validity bit: one variant
+  // matching the condition, one requiring the field absent.
+  std::vector<MatchSet> out{std::move(base)};
+  for (const Condition* c : or_absent) {
+    std::uint64_t rhs = 0;
+    resolve(*c, rhs);
+    std::vector<MatchSet> expanded;
+    expanded.reserve(out.size() * 2);
+    for (const MatchSet& m : out) {
+      MatchSet with = m;
+      with.Add(FieldMatch{c->field, rhs, c->mask, c->op == CmpOp::kNe, false});
+      expanded.push_back(std::move(with));
+      MatchSet absent = m;
+      absent.Add(FieldMatch::Absent(c->field));
+      expanded.push_back(std::move(absent));
+    }
+    out = std::move(expanded);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- installation
+
+FlowTable& TableMonitor::TableOf(Instance& inst) {
+  if (static_mode_) return stage_tables_[inst.stage];
+  if (!inst.table) inst.table = std::make_unique<FlowTable>();
+  return *inst.table;
+}
+
+void TableMonitor::InstallStage(Instance& inst, const DataplaneEvent* ev) {
+  (void)ev;
+  FlowTable& table = TableOf(inst);
+  const Stage& st = property_.stages[inst.stage];
+
+  if (st.kind == StageKind::kEvent) {
+    for (MatchSet& m : CompileMatches(st.pattern, inst.env)) {
+      FlowEntry entry;
+      entry.priority = kAdvancePriority;
+      entry.match = std::move(m);
+      entry.cookie = Cookie(inst.id, HitKind::kAdvance);
+      table.Add(entry, now_);
+      ++costs_.flow_mods;
+    }
+    // Forbidden tuples: SHADOW entries that outrank the advance entries
+    // and deliberately do nothing — the TCAM idiom for "anything but
+    // exactly this tuple" (the NAT property's destination != (A,P)).
+    if (!st.pattern.forbidden.empty()) {
+      Pattern shadow = st.pattern;
+      for (const Condition& c : st.pattern.forbidden)
+        shadow.conditions.push_back(c);
+      shadow.forbidden.clear();
+      for (MatchSet& m : CompileMatches(shadow, inst.env)) {
+        FlowEntry entry;
+        entry.priority = kShadowPriority;
+        entry.match = std::move(m);
+        entry.cookie = Cookie(inst.id, HitKind::kShadow);
+        table.Add(entry, now_);
+        ++costs_.flow_mods;
+      }
+    }
+  }
+  // Obligation-discharge entries (aborts attach to the awaited stage —
+  // including timeout stages, where they are the negative observation's
+  // cancellation).
+  for (const Pattern& abort : st.aborts) {
+    for (MatchSet& m : CompileMatches(abort, inst.env)) {
+      FlowEntry entry;
+      entry.priority = kAbortPriority;
+      entry.match = std::move(m);
+      entry.cookie = Cookie(inst.id, HitKind::kAbort);
+      table.Add(entry, now_);
+      ++costs_.flow_mods;
+    }
+  }
+}
+
+void TableMonitor::RemoveInstanceEntries(Instance& inst) {
+  if (inst.stage >= property_.num_stages()) return;  // nothing installed
+  FlowTable& table = TableOf(inst);
+  for (const HitKind kind :
+       {HitKind::kAdvance, HitKind::kShadow, HitKind::kAbort}) {
+    costs_.flow_mods += table.RemoveByCookie(Cookie(inst.id, kind));
+  }
+}
+
+void TableMonitor::DestroyInstance(std::uint64_t id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  RemoveInstanceEntries(it->second);
+  std::erase_if(dedup_, [&](const auto& kv) { return kv.second == id; });
+  instances_.erase(it);
+}
+
+// -------------------------------------------------------------- lifecycle
+
+Duration TableMonitor::WindowOf(const Stage& completed,
+                                const DataplaneEvent* ev) const {
+  if (completed.window_from_field && ev != nullptr) {
+    return Duration::Seconds(static_cast<std::int64_t>(
+        ev->fields.GetUnchecked(*completed.window_from_field)));
+  }
+  return completed.window;
+}
+
+void TableMonitor::ReportViolation(const Instance& inst, SimTime when,
+                                   const std::string& trigger) {
+  Violation v;
+  v.property = property_.name;
+  v.time = when;
+  v.instance_id = inst.id;
+  v.trigger_stage = trigger;
+  if (provenance_ >= ProvenanceLevel::kLimited) {
+    for (std::size_t i = 0; i < property_.vars.size(); ++i) {
+      if (inst.env[i]) v.bindings.emplace_back(property_.vars[i], *inst.env[i]);
+    }
+  }
+  violations_.push_back(std::move(v));
+}
+
+bool TableMonitor::ApplyBindings(const Stage& stage, const DataplaneEvent& ev,
+                                 Instance& inst) {
+  for (const Binding& b : stage.bindings) {
+    if (b.kind == Binding::Kind::kField && !ev.fields.Has(b.field))
+      return false;
+    if (b.kind == Binding::Kind::kHashPort) {
+      for (FieldId f : b.hash_inputs)
+        if (!ev.fields.Has(f)) return false;
+    }
+  }
+  if (stage.window_from_field && !ev.fields.Has(*stage.window_from_field))
+    return false;
+  for (const Binding& b : stage.bindings) {
+    switch (b.kind) {
+      case Binding::Kind::kField:
+        inst.env[b.var] = ev.fields.GetUnchecked(b.field);
+        break;
+      case Binding::Kind::kHashPort:
+        inst.env[b.var] =
+            HashFieldsToRange(ev.fields, b.hash_inputs, b.modulus, b.base);
+        break;
+      case Binding::Kind::kRoundRobin:
+        inst.env[b.var] = rr_counter_++ % b.modulus + b.base;
+        break;
+    }
+  }
+  return true;
+}
+
+void TableMonitor::AdvanceInstance(Instance& inst, const DataplaneEvent* ev,
+                                   SimTime when) {
+  RemoveInstanceEntries(inst);
+  const Stage& completed = property_.stages[inst.stage];
+  ++inst.stage;
+  inst.matches_toward_count = 0;
+  if (inst.stage == property_.num_stages()) {
+    ReportViolation(inst, when, completed.label);
+    DestroyInstance(inst.id);
+    return;
+  }
+  const Duration window = WindowOf(completed, ev);
+  inst.deadline =
+      window > Duration::Zero() ? when + window : SimTime::Infinity();
+  InstallStage(inst, ev);
+}
+
+void TableMonitor::HandleExpiry(std::uint64_t id, SimTime deadline) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (inst.stage < property_.num_stages() &&
+      property_.stages[inst.stage].kind == StageKind::kTimeout) {
+    // Feature 7: the entry-expiry continuation fires the negative
+    // observation — Varanus's custom timeout-action extension.
+    AdvanceInstance(inst, nullptr, deadline);
+  } else {
+    DestroyInstance(id);
+  }
+}
+
+void TableMonitor::AdvanceTime(SimTime now) {
+  if (now <= now_) return;
+  now_ = now;
+  std::vector<std::pair<SimTime, std::uint64_t>> expired;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.deadline <= now) expired.emplace_back(inst.deadline, id);
+  }
+  std::sort(expired.begin(), expired.end());
+  for (const auto& [deadline, id] : expired) HandleExpiry(id, deadline);
+}
+
+// ------------------------------------------------------------- event path
+
+std::size_t TableMonitor::PipelineDepth() const {
+  std::size_t depth = 1 + (property_.suppressors.empty() ? 0 : 1);
+  if (static_mode_) return depth + stage_tables_.size();
+  return depth + instances_.size();
+}
+
+std::size_t TableMonitor::total_entries() const {
+  std::size_t n = creation_table_.size();
+  for (const auto& t : stage_tables_) n += t.size();
+  for (const auto& [id, inst] : instances_) {
+    if (inst.table) n += inst.table->size();
+  }
+  return n;
+}
+
+void TableMonitor::OnDataplaneEvent(const DataplaneEvent& event) {
+  AdvanceTime(event.time);
+  now_ = std::max(now_, event.time);
+
+  FieldMap fields = event.fields;
+  fields.Set(FieldId::kEventType, static_cast<std::uint64_t>(event.type));
+
+  ++costs_.packets;
+  const std::size_t depth = PipelineDepth();
+  costs_.table_lookups += depth;
+  costs_.processing_time +=
+      params_.table_lookup * static_cast<std::int64_t>(depth);
+
+  // One lookup per monitor table; collect the hits before acting (the
+  // whole pipeline sees the pre-update state of this event).
+  struct Hit {
+    std::uint64_t id;
+    HitKind kind;
+  };
+  std::vector<Hit> hits;
+  auto classify = [&](const FlowEntry* entry) {
+    if (entry == nullptr) return;
+    hits.push_back(Hit{entry->cookie >> 8,
+                       static_cast<HitKind>(entry->cookie & 0xff)});
+  };
+  if (static_mode_) {
+    for (auto& table : stage_tables_) classify(table.Lookup(fields, now_));
+  } else {
+    for (auto& [id, inst] : instances_) {
+      if (inst.table) classify(inst.table->Lookup(fields, now_));
+    }
+  }
+  const FlowEntry* create_hit = creation_table_.Lookup(fields, now_);
+
+  // Aborts first (obligation discharge outranks advancement).
+  for (const Hit& h : hits) {
+    if (h.kind == HitKind::kAbort) DestroyInstance(h.id);
+  }
+  for (const Hit& h : hits) {
+    if (h.kind != HitKind::kAdvance) continue;
+    auto it = instances_.find(h.id);
+    if (it == instances_.end()) continue;  // aborted above
+    Instance& inst = it->second;
+    const Stage& st = property_.stages[inst.stage];
+    // ApplyBindings validates field presence before mutating, so a failed
+    // application leaves the instance untouched.
+    if (!ApplyBindings(st, event, inst)) continue;
+    if (++inst.matches_toward_count < st.min_count) {
+      ++costs_.flow_mods;  // the counter register write
+      continue;
+    }
+    AdvanceInstance(inst, &event, now_);
+  }
+
+  // Creation.
+  if (create_hit != nullptr) {
+    do {
+      if (!property_.suppression_key_fields.empty()) {
+        const auto key = ProjectKey(fields, property_.suppression_key_fields);
+        if (key && suppressed_.contains(*key)) break;
+      }
+      Instance probe;
+      probe.id = 0;
+      probe.stage = 0;
+      probe.env.resize(property_.num_vars());
+      if (!ApplyBindings(property_.stages[0], event, probe)) break;
+
+      FlowKey dedup_key;
+      bool keyable = true;
+      for (const Binding& b : property_.stages[0].bindings) {
+        if (!probe.env[b.var]) {
+          keyable = false;
+          break;
+        }
+        dedup_key.values.push_back(*probe.env[b.var]);
+      }
+      if (keyable) {
+        const auto existing = dedup_.find(dedup_key);
+        if (existing != dedup_.end()) {
+          if (property_.stages[0].refresh_window_on_rematch) {
+            auto it = instances_.find(existing->second);
+            if (it != instances_.end() && it->second.stage == 1) {
+              const Duration window = WindowOf(property_.stages[0], &event);
+              it->second.deadline = window > Duration::Zero()
+                                        ? now_ + window
+                                        : SimTime::Infinity();
+              ++costs_.flow_mods;  // the timer rewrite
+            }
+          }
+          break;
+        }
+      }
+
+      probe.id = next_id_++;
+      auto [it, inserted] = instances_.emplace(probe.id, std::move(probe));
+      SWMON_ASSERT(inserted);
+      if (keyable) dedup_[dedup_key] = it->first;
+      AdvanceInstance(it->second, &event, now_);
+    } while (false);
+  }
+
+  // Suppressor table (bookkeeping keys for negated-history preconditions).
+  for (const Suppressor& sup : property_.suppressors) {
+    std::vector<std::optional<std::uint64_t>> empty_env(property_.num_vars());
+    bool matched = false;
+    for (const MatchSet& m : CompileMatches(sup.pattern, empty_env)) {
+      if (m.Matches(fields)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      if (const auto key = ProjectKey(fields, sup.key_fields))
+        suppressed_.insert(*key);
+    }
+  }
+}
+
+}  // namespace swmon

@@ -1,0 +1,30 @@
+// Lightweight always-on assertion used for internal invariants.
+//
+// Unlike <cassert>, these checks stay enabled in release builds: the
+// simulator's correctness claims (and the monitor's soundness) depend on
+// invariants that must never be silently skipped.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace swmon {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "swmon assertion failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace swmon
+
+#define SWMON_ASSERT(expr)                                        \
+  do {                                                            \
+    if (!(expr)) ::swmon::AssertFail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SWMON_ASSERT_MSG(expr, msg)                             \
+  do {                                                          \
+    if (!(expr)) ::swmon::AssertFail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

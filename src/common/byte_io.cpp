@@ -1,0 +1,96 @@
+#include "common/byte_io.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace swmon {
+
+bool ByteReader::Ensure(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::ReadU8() {
+  if (!Ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::ReadU16() {
+  if (!Ensure(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::ReadU32() {
+  if (!Ensure(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::ReadU64() {
+  if (!Ensure(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+void ByteReader::ReadBytes(std::uint8_t* out, std::size_t n) {
+  if (!Ensure(n)) {
+    std::memset(out, 0, n);
+    return;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::span<const std::uint8_t> ByteReader::ReadSpan(std::size_t n) {
+  if (!Ensure(n)) return {};
+  auto s = data_.subspan(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::Skip(std::size_t n) {
+  if (Ensure(n)) pos_ += n;
+}
+
+void ByteWriter::WriteU8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::WriteU16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::WriteU32(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteU64(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteBytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::Fill(std::uint8_t value, std::size_t n) {
+  buf_.insert(buf_.end(), n, value);
+}
+
+void ByteWriter::PatchU16(std::size_t offset, std::uint16_t v) {
+  SWMON_ASSERT(offset + 2 <= buf_.size());
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace swmon

@@ -1,0 +1,64 @@
+// Big-endian (network order) byte readers/writers for the packet library.
+//
+// ByteReader is non-owning and bounds-checked: parsing a truncated packet
+// reports failure instead of reading past the buffer. ByteWriter appends to
+// an owned vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace swmon {
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool ok() const { return ok_; }
+
+  std::uint8_t ReadU8();
+  std::uint16_t ReadU16();  // big-endian
+  std::uint32_t ReadU32();  // big-endian
+  std::uint64_t ReadU64();  // big-endian
+
+  /// Copies `n` bytes into `out`; marks failure (and zero-fills) when short.
+  void ReadBytes(std::uint8_t* out, std::size_t n);
+
+  /// Returns a view of the next `n` bytes and advances, or an empty span on
+  /// underflow.
+  std::span<const std::uint8_t> ReadSpan(std::size_t n);
+
+  void Skip(std::size_t n);
+
+ private:
+  bool Ensure(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v);
+  void WriteU16(std::uint16_t v);  // big-endian
+  void WriteU32(std::uint32_t v);  // big-endian
+  void WriteU64(std::uint64_t v);  // big-endian
+  void WriteBytes(std::span<const std::uint8_t> bytes);
+  void Fill(std::uint8_t value, std::size_t n);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+  /// Overwrite two bytes at `offset` (used to patch lengths/checksums).
+  void PatchU16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace swmon

@@ -1,0 +1,37 @@
+// Hash helpers used by monitor instance keys and dataplane flow keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace swmon {
+
+/// 64-bit FNV-1a over raw bytes. Deterministic across platforms; used where
+/// hash stability matters (e.g. FAST-style flow hashing in experiments).
+constexpr std::uint64_t Fnv1a64(const void* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// boost-style hash combine.
+inline void HashCombine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+void HashCombineValue(std::size_t& seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace swmon

@@ -1,0 +1,36 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace swmon {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogF(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s: ", LevelName(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace swmon

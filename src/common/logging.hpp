@@ -1,0 +1,30 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so logging is a plain
+// formatted write guarded by a global level. Tests set the level to kError to
+// keep output clean; examples turn on kInfo for narrative traces.
+#pragma once
+
+#include <cstdarg>
+
+namespace swmon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging. `tag` names the subsystem (e.g. "dataplane").
+void LogF(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace swmon
+
+#define SWMON_LOG_DEBUG(tag, ...) \
+  ::swmon::LogF(::swmon::LogLevel::kDebug, tag, __VA_ARGS__)
+#define SWMON_LOG_INFO(tag, ...) \
+  ::swmon::LogF(::swmon::LogLevel::kInfo, tag, __VA_ARGS__)
+#define SWMON_LOG_WARN(tag, ...) \
+  ::swmon::LogF(::swmon::LogLevel::kWarn, tag, __VA_ARGS__)
+#define SWMON_LOG_ERROR(tag, ...) \
+  ::swmon::LogF(::swmon::LogLevel::kError, tag, __VA_ARGS__)

@@ -1,0 +1,29 @@
+#include "common/sim_time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace swmon {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (ns_ % 1000000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "s", ns_ / 1000000000);
+  } else if (ns_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ms", ns_ / 1000000);
+  } else if (ns_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", ns_ / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  if (IsInfinite()) return "t=inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.9fs", seconds());
+  return buf;
+}
+
+}  // namespace swmon

@@ -1,0 +1,69 @@
+// Simulated time.
+//
+// All components of the simulator — the event queue, switch cost model,
+// monitor timeouts — share a single notion of time expressed in integer
+// nanoseconds since simulation start. A strong type prevents accidental
+// mixing with wall-clock or unit-less integers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace swmon {
+
+/// A span of simulated time, in nanoseconds. Negative durations are allowed
+/// as intermediate arithmetic results but never as event delays.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration Nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(std::int64_t u) { return Duration(u * 1000); }
+  static constexpr Duration Millis(std::int64_t m) { return Duration(m * 1000000); }
+  static constexpr Duration Seconds(std::int64_t s) { return Duration(s * 1000000000); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime FromNanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  /// A sentinel later than every reachable instant.
+  static constexpr SimTime Infinity() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr bool IsInfinite() const { return ns_ == INT64_MAX; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.nanos()); }
+  constexpr Duration operator-(SimTime o) const { return Duration::Nanos(ns_ - o.ns_); }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace swmon

@@ -1,0 +1,59 @@
+// Dataplane cost model.
+//
+// The paper's Sec 3.3 performance claims are about *relative* costs of
+// switch mechanisms: traversing one more match-action table per packet,
+// updating state through the fast path (registers, OpenState tables) versus
+// the slow path (OpenFlow flow-mods / OVS learn), and controller round
+// trips. The soft switch charges these modeled costs as it executes, and
+// benches report the accumulated per-packet processing time.
+//
+// Defaults are order-of-magnitude figures from the literature the paper
+// cites (hardware SRAM table lookup ~tens of ns; OVS flow-mod ~hundreds of
+// microseconds; controller RTT ~ms). Absolute values are not the claim —
+// the ratios are.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace swmon {
+
+struct CostParams {
+  Duration table_lookup = Duration::Nanos(30);     // one match-action stage
+  Duration state_table_op = Duration::Nanos(40);   // OpenState XFSM step
+  Duration register_op = Duration::Nanos(10);      // P4 register read/write
+  Duration flow_mod = Duration::Micros(250);       // slow-path rule install
+  Duration controller_rtt = Duration::Millis(1);   // packet-in round trip
+  Duration parse_l4 = Duration::Nanos(50);
+  Duration parse_l7 = Duration::Nanos(200);
+
+  /// Slow-path capacity: flow-mods applied per second (OVS-like).
+  std::int64_t flow_mods_per_sec = 4000;
+};
+
+/// Running totals for one switch (or one compiled monitor).
+struct CostCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t table_lookups = 0;
+  std::uint64_t state_table_ops = 0;
+  std::uint64_t register_ops = 0;
+  std::uint64_t flow_mods = 0;
+  std::uint64_t controller_msgs = 0;
+  Duration processing_time = Duration::Zero();  // inline (latency-adding) work
+
+  void Reset() { *this = CostCounters{}; }
+
+  CostCounters& operator+=(const CostCounters& o) {
+    packets += o.packets;
+    table_lookups += o.table_lookups;
+    state_table_ops += o.state_table_ops;
+    register_ops += o.register_ops;
+    flow_mods += o.flow_mods;
+    controller_msgs += o.controller_msgs;
+    processing_time += o.processing_time;
+    return *this;
+  }
+};
+
+}  // namespace swmon

@@ -1,0 +1,71 @@
+// Flow keys: projections of a FieldMap onto an ordered field list.
+//
+// OpenState's lookup/update scopes, FAST's hash keys, and the monitor's
+// exact/symmetric instance identification all reduce to "extract these
+// fields in this order and compare/hash the value tuple".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "packet/field.hpp"
+
+namespace swmon {
+
+struct FlowKey {
+  std::vector<std::uint64_t> values;
+
+  bool operator==(const FlowKey&) const = default;
+
+  std::uint64_t Hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (auto v : values) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    return static_cast<std::size_t>(k.Hash());
+  }
+};
+
+/// Projects `fields` onto `scope`. Returns nullopt when any scope field is
+/// absent from the event (such an event cannot be mapped to a flow).
+inline std::optional<FlowKey> ProjectKey(const FieldMap& fields,
+                                         const std::vector<FieldId>& scope) {
+  FlowKey key;
+  key.values.reserve(scope.size());
+  for (FieldId f : scope) {
+    const auto v = fields.Get(f);
+    if (!v) return std::nullopt;
+    key.values.push_back(*v);
+  }
+  return key;
+}
+
+/// Deterministic hash of the given event fields onto [base, base+modulus).
+/// Shared by the load-balancer app and the monitor's kHashPort binding so
+/// that "the port the device should pick" and "the port the monitor
+/// expects" are computed identically. Requires all fields present.
+inline std::uint64_t HashFieldsToRange(const FieldMap& fields,
+                                       const std::vector<FieldId>& inputs,
+                                       std::uint64_t modulus,
+                                       std::uint64_t base) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (FieldId f : inputs) {
+    const std::uint64_t v = fields.GetUnchecked(f);
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h % modulus + base;
+}
+
+}  // namespace swmon

@@ -1,0 +1,31 @@
+#include "dataplane/flow_mod_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace swmon {
+
+SimTime FlowModQueue::Submit(SimTime now, Mutation m) {
+  SWMON_ASSERT(params_.flow_mods_per_sec > 0);
+  const Duration service =
+      Duration::Seconds(1) / params_.flow_mods_per_sec;
+  const SimTime start = std::max(now, prev_service_end_);
+  prev_service_end_ = start + service;
+  const SimTime completes = prev_service_end_ + params_.flow_mod;
+  queue_.push_back(Pending{completes, std::move(m)});
+  last_completion_ = completes;
+  ++submitted_;
+  return completes;
+}
+
+std::size_t FlowModQueue::Advance(SimTime now) {
+  std::size_t applied = 0;
+  while (!queue_.empty() && queue_.front().completes <= now) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    p.mutation(p.completes);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace swmon

@@ -1,0 +1,58 @@
+// The slow path: rate-limited, delayed state mutations.
+//
+// OpenFlow flow-mods and OVS learn-action installs do not complete inline
+// with the packet that triggered them — they traverse the switch's slow
+// path, which has both a fixed latency and a bounded throughput. This is
+// the crux of Sec 3.3's claim that rule-based monitor state "cannot be
+// modified at line rate": while a mutation is queued, packets keep flowing
+// against stale state, which is what the split-mode staleness bench (E5)
+// measures.
+//
+// The queue models a single-server FIFO: mutation i completes at
+//   max(submit_i, completion_{i-1} + 1/rate) + latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/sim_time.hpp"
+#include "dataplane/cost_model.hpp"
+
+namespace swmon {
+
+class FlowModQueue {
+ public:
+  using Mutation = std::function<void(SimTime applied_at)>;
+
+  explicit FlowModQueue(const CostParams& params) : params_(params) {}
+
+  /// Submits a mutation at `now`; it will apply at the modeled completion
+  /// time. Returns that completion time.
+  SimTime Submit(SimTime now, Mutation m);
+
+  /// Applies every mutation whose completion time is <= now.
+  /// Returns the number applied.
+  std::size_t Advance(SimTime now);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t submitted() const { return submitted_; }
+
+  /// Completion time of the most recently submitted mutation (state is
+  /// fully caught up once Advance passes this instant).
+  SimTime LastCompletion() const { return last_completion_; }
+
+ private:
+  struct Pending {
+    SimTime completes;
+    Mutation mutation;
+  };
+
+  const CostParams params_;
+  std::deque<Pending> queue_;
+  SimTime prev_service_end_ = SimTime::Zero();
+  SimTime last_completion_ = SimTime::Zero();
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace swmon

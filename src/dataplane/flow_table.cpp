@@ -1,0 +1,84 @@
+#include "dataplane/flow_table.hpp"
+
+#include <algorithm>
+
+namespace swmon {
+
+bool FlowTable::Expired(const FlowEntry& e, SimTime now) {
+  if (e.hard_timeout > Duration::Zero() &&
+      now - e.installed_at >= e.hard_timeout)
+    return true;
+  if (e.idle_timeout > Duration::Zero() && now - e.last_used >= e.idle_timeout)
+    return true;
+  return false;
+}
+
+std::uint64_t FlowTable::Add(FlowEntry entry, SimTime now) {
+  entry.installed_at = now;
+  entry.last_used = now;
+  const std::uint64_t handle = next_handle_++;
+  const Slot slot{handle, std::move(entry)};
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), slot, [](const Slot& a, const Slot& b) {
+        if (a.entry.priority != b.entry.priority)
+          return a.entry.priority > b.entry.priority;
+        return a.handle < b.handle;
+      });
+  slots_.insert(it, slot);
+  return handle;
+}
+
+bool FlowTable::Remove(std::uint64_t handle) {
+  auto it = std::find_if(slots_.begin(), slots_.end(),
+                         [&](const Slot& s) { return s.handle == handle; });
+  if (it == slots_.end()) return false;
+  slots_.erase(it);
+  return true;
+}
+
+std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
+  const auto before = slots_.size();
+  std::erase_if(slots_, [&](const Slot& s) { return s.entry.cookie == cookie; });
+  return before - slots_.size();
+}
+
+const FlowEntry* FlowTable::Lookup(const FieldMap& fields, SimTime now) {
+  ++lookups_;
+  for (auto& slot : slots_) {
+    if (Expired(slot.entry, now)) continue;
+    if (slot.entry.match.Matches(fields)) {
+      slot.entry.last_used = now;
+      ++slot.entry.hit_count;
+      return &slot.entry;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::SweepExpired(
+    SimTime now, const std::function<void(const FlowEntry&)>& on_expired) {
+  // Collect first: the callback may mutate the table (Varanus timeout
+  // actions install successor entries).
+  std::vector<std::uint64_t> dead;
+  std::vector<FlowEntry> expired;
+  for (const auto& slot : slots_) {
+    if (Expired(slot.entry, now)) {
+      dead.push_back(slot.handle);
+      expired.push_back(slot.entry);
+    }
+  }
+  for (auto h : dead) Remove(h);
+  if (on_expired) {
+    for (const auto& e : expired) on_expired(e);
+  }
+  return expired.size();
+}
+
+std::vector<const FlowEntry*> FlowTable::Entries() const {
+  std::vector<const FlowEntry*> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(&s.entry);
+  return out;
+}
+
+}  // namespace swmon

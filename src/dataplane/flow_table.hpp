@@ -1,0 +1,78 @@
+// Priority match-action flow tables with OpenFlow-style timeouts.
+//
+// Lookup models hardware TCAM semantics: one table traversal costs one
+// lookup regardless of entry count (the Varanus scaling claim in Sec 3.3 is
+// about the *number of tables* in the pipeline, not entries per table).
+// Entries support idle and hard timeouts; expiry is detected lazily on
+// lookup and eagerly via SweepExpired, which also drives Varanus-style
+// timeout actions (Feature 7): the sweep reports each expired entry so the
+// owner can run its expiry continuation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "dataplane/match.hpp"
+
+namespace swmon {
+
+struct FlowEntry {
+  std::uint32_t priority = 0;
+  MatchSet match;
+  /// Owner-defined tag identifying what a hit means (e.g. which monitor
+  /// transition this entry encodes).
+  std::uint64_t cookie = 0;
+  /// Zero duration = no timeout of that kind.
+  Duration idle_timeout = Duration::Zero();
+  Duration hard_timeout = Duration::Zero();
+
+  // Bookkeeping (maintained by the table).
+  SimTime installed_at = SimTime::Zero();
+  SimTime last_used = SimTime::Zero();
+  std::uint64_t hit_count = 0;
+};
+
+class FlowTable {
+ public:
+  /// Adds an entry; returns a stable handle usable with Remove.
+  std::uint64_t Add(FlowEntry entry, SimTime now);
+
+  /// Removes the entry with the given handle. Returns false if absent.
+  bool Remove(std::uint64_t handle);
+
+  /// Removes all entries whose cookie equals `cookie`; returns count.
+  std::size_t RemoveByCookie(std::uint64_t cookie);
+
+  /// Highest-priority live entry matching `fields` (ties: oldest install
+  /// wins, as in OpenFlow's undefined-order-made-deterministic). Expired
+  /// entries are treated as absent. Updates hit stats on the winner.
+  const FlowEntry* Lookup(const FieldMap& fields, SimTime now);
+
+  /// Removes entries expired at `now`, invoking `on_expired` for each
+  /// (Feature 7 hook). Safe for the callback to Add entries.
+  std::size_t SweepExpired(
+      SimTime now, const std::function<void(const FlowEntry&)>& on_expired);
+
+  std::size_t size() const { return slots_.size(); }
+  std::uint64_t lookups() const { return lookups_; }
+
+  /// All live entries (testing/introspection).
+  std::vector<const FlowEntry*> Entries() const;
+
+ private:
+  struct Slot {
+    std::uint64_t handle;
+    FlowEntry entry;
+  };
+
+  static bool Expired(const FlowEntry& e, SimTime now);
+
+  std::vector<Slot> slots_;  // kept sorted by (priority desc, handle asc)
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace swmon

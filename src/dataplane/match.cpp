@@ -1,0 +1,31 @@
+#include "dataplane/match.hpp"
+
+#include <cstdio>
+
+namespace swmon {
+
+std::string FieldMatch::ToString() const {
+  char buf[96];
+  if (mask == ~std::uint64_t{0}) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%llu", FieldName(field),
+                  negate ? "!" : "", static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%s=%llu/%llx", FieldName(field),
+                  negate ? "!" : "", static_cast<unsigned long long>(value),
+                  static_cast<unsigned long long>(mask));
+  }
+  return buf;
+}
+
+std::string MatchSet::ToString() const {
+  if (terms_.empty()) return "[any]";
+  std::string out = "[";
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i) out += ", ";
+    out += terms_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace swmon

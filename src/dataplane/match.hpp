@@ -1,0 +1,77 @@
+// Match predicates over FieldMaps, as used by flow tables.
+//
+// A FieldMatch tests one field against a masked value, optionally negated
+// (Feature 6: negative match — the NAT property's "destination NOT equal to
+// the recorded A,P"). A MatchSet is a conjunction; an empty set matches
+// everything (a table-miss entry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/field.hpp"
+
+namespace swmon {
+
+struct FieldMatch {
+  FieldId field;
+  std::uint64_t value = 0;
+  std::uint64_t mask = ~std::uint64_t{0};
+  bool negate = false;
+  /// Validity-bit match: requires the field to be ABSENT from the event
+  /// (parsers expose header-valid bits; P4's header.isValid()). value/mask/
+  /// negate are ignored when set.
+  bool require_absent = false;
+
+  /// A match on an absent field fails (and a negated match on an absent
+  /// field also fails: negative match still requires the field to exist —
+  /// "departed with destination != A" presumes a destination).
+  bool Matches(const FieldMap& fields) const {
+    const auto v = fields.Get(field);
+    if (require_absent) return !v.has_value();
+    if (!v) return false;
+    const bool eq = (*v & mask) == (value & mask);
+    return negate ? !eq : eq;
+  }
+
+  static FieldMatch Exact(FieldId f, std::uint64_t v) {
+    return FieldMatch{f, v, ~std::uint64_t{0}, false, false};
+  }
+  static FieldMatch NotEqual(FieldId f, std::uint64_t v) {
+    return FieldMatch{f, v, ~std::uint64_t{0}, true, false};
+  }
+  static FieldMatch Masked(FieldId f, std::uint64_t v, std::uint64_t m) {
+    return FieldMatch{f, v, m, false, false};
+  }
+  static FieldMatch Absent(FieldId f) {
+    return FieldMatch{f, 0, 0, false, true};
+  }
+
+  std::string ToString() const;
+};
+
+class MatchSet {
+ public:
+  MatchSet() = default;
+  explicit MatchSet(std::vector<FieldMatch> terms) : terms_(std::move(terms)) {}
+
+  void Add(FieldMatch m) { terms_.push_back(m); }
+
+  bool Matches(const FieldMap& fields) const {
+    for (const auto& t : terms_)
+      if (!t.Matches(fields)) return false;
+    return true;
+  }
+
+  bool empty() const { return terms_.empty(); }
+  std::size_t size() const { return terms_.size(); }
+  const std::vector<FieldMatch>& terms() const { return terms_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FieldMatch> terms_;
+};
+
+}  // namespace swmon

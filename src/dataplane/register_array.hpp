@@ -1,0 +1,49 @@
+// P4-style register arrays (Table 2: "flow registers", fast-path state).
+//
+// A fixed-size array of 64-bit cells indexed by a hash of key fields.
+// Reads and writes are fast-path (CostParams::register_op) — this is the
+// mechanism Sec 3.3 says a scalable monitor implementation would need
+// instead of OpenFlow rule updates. Hash collisions are real and observable
+// (fixed array, no chaining), exactly as on a register-based target; the
+// state-update bench reports the collision rate alongside throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/flow_key.hpp"
+
+namespace swmon {
+
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t size) : cells_(size) {}
+
+  std::size_t size() const { return cells_.size(); }
+  std::uint64_t ops() const { return ops_; }
+
+  std::size_t IndexOf(const FlowKey& key) const {
+    return static_cast<std::size_t>(key.Hash() % cells_.size());
+  }
+
+  std::uint64_t Read(std::size_t index) {
+    ++ops_;
+    return cells_[index % cells_.size()];
+  }
+
+  void Write(std::size_t index, std::uint64_t value) {
+    ++ops_;
+    cells_[index % cells_.size()] = value;
+  }
+
+  std::uint64_t ReadKey(const FlowKey& key) { return Read(IndexOf(key)); }
+  void WriteKey(const FlowKey& key, std::uint64_t value) {
+    Write(IndexOf(key), value);
+  }
+
+ private:
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace swmon

@@ -1,0 +1,40 @@
+#include "dataplane/state_table.hpp"
+
+namespace swmon {
+
+std::uint64_t StateTable::Lookup(const FieldMap& fields, SimTime now) {
+  ++ops_;
+  const auto key = ProjectKey(fields, lookup_scope_);
+  if (!key) return kDefaultState;
+  const auto it = states_.find(*key);
+  if (it == states_.end()) return kDefaultState;
+  if (it->second.expires <= now) {
+    states_.erase(it);
+    return kDefaultState;
+  }
+  return it->second.state;
+}
+
+bool StateTable::Update(const FieldMap& fields, std::uint64_t state,
+                        SimTime now, Duration ttl) {
+  ++ops_;
+  const auto key = ProjectKey(fields, update_scope_);
+  if (!key) return false;
+  const SimTime expires =
+      ttl > Duration::Zero() ? now + ttl : SimTime::Infinity();
+  if (state == kDefaultState && ttl == Duration::Zero()) {
+    states_.erase(*key);
+    return true;
+  }
+  states_[*key] = Cell{state, expires};
+  return true;
+}
+
+bool StateTable::Erase(const FieldMap& fields) {
+  ++ops_;
+  const auto key = ProjectKey(fields, update_scope_);
+  if (!key) return false;
+  return states_.erase(*key) > 0;
+}
+
+}  // namespace swmon

@@ -1,0 +1,60 @@
+// OpenState-style per-flow state tables (Bianchi et al., Table 2 column 2).
+//
+// An OpenState switch pairs each flow table with a state table: packets are
+// mapped to a state via a *lookup scope* (an ordered field list), and state
+// writes go through a possibly different *update scope*. Using reversed
+// scopes gives the "symmetric match" of Table 2 — e.g. look up TCP flows by
+// (ip_src, ip_dst) but update by (ip_dst, ip_src) so that a reply finds the
+// state its initiator wrote. Transitions are fast-path: they complete inline
+// with packet processing (cost: CostParams::state_table_op).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/sim_time.hpp"
+#include "dataplane/flow_key.hpp"
+
+namespace swmon {
+
+inline constexpr std::uint64_t kDefaultState = 0;
+
+class StateTable {
+ public:
+  StateTable(std::vector<FieldId> lookup_scope,
+             std::vector<FieldId> update_scope)
+      : lookup_scope_(std::move(lookup_scope)),
+        update_scope_(std::move(update_scope)) {}
+
+  /// State for the event's flow (kDefaultState when never written or when
+  /// the scope fields are absent). Expired entries read as default.
+  std::uint64_t Lookup(const FieldMap& fields, SimTime now);
+
+  /// Writes state through the update scope. `ttl` of zero means no expiry.
+  /// Returns false when the scope cannot be projected from the event.
+  bool Update(const FieldMap& fields, std::uint64_t state, SimTime now,
+              Duration ttl = Duration::Zero());
+
+  /// Deletes the flow's state via the update scope.
+  bool Erase(const FieldMap& fields);
+
+  std::size_t size() const { return states_.size(); }
+  std::uint64_t ops() const { return ops_; }
+
+  const std::vector<FieldId>& lookup_scope() const { return lookup_scope_; }
+  const std::vector<FieldId>& update_scope() const { return update_scope_; }
+
+ private:
+  struct Cell {
+    std::uint64_t state;
+    SimTime expires;  // SimTime::Infinity() = never
+  };
+
+  std::vector<FieldId> lookup_scope_;
+  std::vector<FieldId> update_scope_;
+  std::unordered_map<FlowKey, Cell, FlowKeyHash> states_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace swmon

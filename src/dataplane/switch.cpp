@@ -1,0 +1,156 @@
+#include "dataplane/switch.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace swmon {
+
+const char* DataplaneEventTypeName(DataplaneEventType t) {
+  switch (t) {
+    case DataplaneEventType::kArrival: return "arrival";
+    case DataplaneEventType::kEgress: return "egress";
+    case DataplaneEventType::kLinkStatus: return "link_status";
+  }
+  return "?";
+}
+
+SoftSwitch::SoftSwitch(std::uint32_t switch_id, std::uint32_t num_ports,
+                       EventQueue& queue, CostParams params)
+    : switch_id_(switch_id),
+      num_ports_(num_ports),
+      queue_(queue),
+      params_(params),
+      // Index 0 unused: PortId 0 is the invalid port.
+      link_up_(num_ports + 1, true) {}
+
+void SoftSwitch::RemoveObserver(DataplaneObserver* obs) {
+  std::erase(observers_, obs);
+}
+
+FieldMap SoftSwitch::BaseMeta() const {
+  FieldMap meta;
+  meta.Set(FieldId::kSwitchId, switch_id_);
+  return meta;
+}
+
+void SoftSwitch::Observe(const DataplaneEvent& event) {
+  for (auto* obs : observers_) obs->OnDataplaneEvent(event);
+}
+
+void SoftSwitch::EmitEgress(const ParsedPacket& view, PacketId id,
+                            const ForwardDecision& decision,
+                            std::uint32_t packet_bytes) {
+  DataplaneEvent ev;
+  ev.type = DataplaneEventType::kEgress;
+  ev.time = queue_.now();
+  ev.fields = view.fields;
+  ev.packet_bytes = packet_bytes;
+  ev.fields.Set(FieldId::kSwitchId, switch_id_);
+  ev.fields.Set(FieldId::kPacketId, ToU64(id));
+  ev.fields.Set(FieldId::kEgressAction,
+                static_cast<std::uint64_t>(decision.action));
+  if (decision.action == EgressActionValue::kForward)
+    ev.fields.Set(FieldId::kOutPort, ToU64(decision.out_port));
+  Observe(ev);
+}
+
+void SoftSwitch::ReceivePacket(PortId in_port, Packet pkt) {
+  SWMON_ASSERT(ToU64(in_port) >= 1 && ToU64(in_port) <= num_ports_);
+  if (!LinkUp(in_port)) return;  // packets don't arrive on downed links
+
+  pkt.id = PacketId{next_packet_id_++};
+  ++counters_.packets;
+
+  ParsedPacket parsed = ParsePacket(pkt, parse_depth_);
+  counters_.processing_time += parse_depth_ >= ParseDepth::kL7
+                                   ? params_.parse_l7
+                                   : params_.parse_l4;
+  if (!parsed.valid) {
+    SWMON_LOG_DEBUG("dataplane", "sw%u: dropping unparseable %zu-byte frame",
+                    switch_id_, pkt.size());
+    return;
+  }
+  parsed.fields.Set(FieldId::kSwitchId, switch_id_);
+  parsed.fields.Set(FieldId::kInPort, ToU64(in_port));
+  parsed.fields.Set(FieldId::kPacketId, ToU64(pkt.id));
+
+  DataplaneEvent arrival;
+  arrival.type = DataplaneEventType::kArrival;
+  arrival.time = queue_.now();
+  arrival.fields = parsed.fields;
+  arrival.packet_bytes = static_cast<std::uint32_t>(pkt.size());
+  Observe(arrival);
+
+  ForwardDecision decision = ForwardDecision::Drop();
+  if (program_ != nullptr) decision = program_->OnPacket(*this, parsed, in_port);
+
+  // Use the rewritten view for egress observation and transmission, but
+  // preserve arrival identity (Feature 5) and metadata.
+  const ParsedPacket* view = &parsed;
+  Packet out = pkt;
+  if (decision.rewritten) {
+    decision.rewritten->fields.Set(FieldId::kSwitchId, switch_id_);
+    decision.rewritten->fields.Set(FieldId::kInPort, ToU64(in_port));
+    decision.rewritten->fields.Set(FieldId::kPacketId, ToU64(pkt.id));
+    view = &*decision.rewritten;
+    out.data = EncodeParsed(*view);
+  }
+
+  EmitEgress(*view, pkt.id, decision, static_cast<std::uint32_t>(out.size()));
+
+  switch (decision.action) {
+    case EgressActionValue::kForward:
+      SWMON_ASSERT(ToU64(decision.out_port) >= 1 &&
+                   ToU64(decision.out_port) <= num_ports_);
+      if (transmit_ && LinkUp(decision.out_port))
+        transmit_(decision.out_port, out);
+      break;
+    case EgressActionValue::kFlood:
+      if (transmit_) {
+        for (std::uint32_t p = 1; p <= num_ports_; ++p) {
+          const PortId port{p};
+          if (port != in_port && LinkUp(port)) transmit_(port, out);
+        }
+      }
+      break;
+    case EgressActionValue::kDrop:
+      break;
+  }
+}
+
+void SoftSwitch::EmitPacket(PortId out_port, Packet pkt) {
+  SWMON_ASSERT(ToU64(out_port) >= 1 && ToU64(out_port) <= num_ports_);
+  pkt.id = PacketId{next_packet_id_++};
+
+  ParsedPacket parsed = ParsePacket(pkt, parse_depth_);
+  if (!parsed.valid) return;
+  parsed.fields.Set(FieldId::kSwitchId, switch_id_);
+  parsed.fields.Set(FieldId::kPacketId, ToU64(pkt.id));
+
+  EmitEgress(parsed, pkt.id, ForwardDecision::Forward(out_port),
+             static_cast<std::uint32_t>(pkt.size()));
+  if (transmit_ && LinkUp(out_port)) transmit_(out_port, pkt);
+}
+
+void SoftSwitch::SetLinkStatus(PortId port, bool up) {
+  SWMON_ASSERT(ToU64(port) >= 1 && ToU64(port) <= num_ports_);
+  link_up_[ToU64(port)] = up;
+
+  if (program_ != nullptr) program_->OnLinkStatus(*this, port, up);
+
+  DataplaneEvent ev;
+  ev.type = DataplaneEventType::kLinkStatus;
+  ev.time = queue_.now();
+  ev.fields = BaseMeta();
+  ev.fields.Set(FieldId::kLinkId, ToU64(port));
+  ev.fields.Set(FieldId::kLinkUp, up ? 1 : 0);
+  Observe(ev);
+}
+
+bool SoftSwitch::LinkUp(PortId port) const {
+  return link_up_[ToU64(port)];
+}
+
+}  // namespace swmon

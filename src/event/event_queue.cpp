@@ -1,0 +1,43 @@
+#include "event/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace swmon {
+
+void EventQueue::ScheduleAt(SimTime at, Callback fn) {
+  SWMON_ASSERT_MSG(at >= now_, "cannot schedule in the past");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(Duration delay, Callback fn) {
+  SWMON_ASSERT_MSG(delay >= Duration::Zero(), "negative delay");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::PopOne(SimTime deadline) {
+  if (heap_.empty() || heap_.top().at > deadline) return false;
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop so it survives its own rescheduling.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+std::size_t EventQueue::RunAll(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && PopOne(SimTime::Infinity())) ++n;
+  return n;
+}
+
+std::size_t EventQueue::RunUntil(SimTime deadline) {
+  std::size_t n = 0;
+  while (PopOne(deadline)) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace swmon

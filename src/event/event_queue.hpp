@@ -1,0 +1,59 @@
+// Discrete-event simulation core.
+//
+// A single EventQueue drives the whole simulated network: link deliveries,
+// controller round-trips, slow-path flow-mod completions, DHCP lease expiry,
+// monitor timeouts. Events at equal timestamps run in scheduling order
+// (FIFO), which keeps every experiment deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace swmon {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  void ScheduleAt(SimTime at, Callback fn);
+
+  /// Schedules `fn` after `delay` from now (delay must be non-negative).
+  void ScheduleAfter(Duration delay, Callback fn);
+
+  /// Runs events until the queue is empty or `limit` events have executed.
+  /// Returns the number of events executed.
+  std::size_t RunAll(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= deadline; afterwards now() == deadline
+  /// (time advances even if the queue drained earlier).
+  std::size_t RunUntil(SimTime deadline);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopOne(SimTime deadline);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace swmon

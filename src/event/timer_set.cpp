@@ -1,0 +1,40 @@
+#include "event/timer_set.hpp"
+
+namespace swmon {
+
+void TimerSet::Arm(TimerId id, SimTime deadline) {
+  const std::uint64_t gen = next_generation_++;
+  live_[id] = LiveState{deadline, gen};
+  heap_.push(Entry{deadline, id, gen});
+}
+
+void TimerSet::Cancel(TimerId id) { live_.erase(id); }
+
+SimTime TimerSet::NextDeadline() const {
+  // The heap may have stale entries in front; scanning would require a
+  // mutable pop, so compute from the live map only when the top is stale.
+  // Common case: top is live.
+  SimTime best = SimTime::Infinity();
+  if (live_.empty()) return best;
+  for (const auto& [id, st] : live_) {
+    if (st.deadline < best) best = st.deadline;
+  }
+  return best;
+}
+
+std::size_t TimerSet::Advance(SimTime now) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().deadline <= now) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    auto it = live_.find(e.id);
+    if (it == live_.end() || it->second.generation != e.generation)
+      continue;  // cancelled or re-armed since
+    live_.erase(it);
+    on_expiry_(e.id, e.deadline);
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace swmon

@@ -1,0 +1,500 @@
+#include "monitor/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace swmon {
+
+MonitorEngine::MonitorEngine(Property property, MonitorConfig config)
+    : property_(std::move(property)),
+      config_(config),
+      timers_([this](std::uint64_t id, SimTime deadline) {
+        OnTimerExpiry(id, deadline);
+      }) {
+  const std::string err = property_.Validate();
+  SWMON_ASSERT_MSG(err.empty(), err.c_str());
+
+  stores_.resize(property_.num_stages());
+  if (!config_.force_linear_store) {
+    for (std::size_t k = 1; k < property_.num_stages(); ++k) {
+      const Stage& st = property_.stages[k];
+      if (st.kind != StageKind::kEvent) continue;
+      for (const Condition& c : st.pattern.conditions) {
+        // Only full-width equality on a bound var is usable as a hash key.
+        if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
+            c.mask == ~std::uint64_t{0})
+          stores_[k].link.emplace_back(c.field, c.rhs.var);
+      }
+    }
+  }
+  for (const Binding& b : property_.stages[0].bindings)
+    stage0_bound_vars_.push_back(b.var);
+}
+
+// ---------------------------------------------------------------- matching
+
+bool MonitorEngine::EvalCondition(
+    const Condition& c, const FieldMap& fields,
+    const std::vector<std::optional<std::uint64_t>>& env) const {
+  const auto lhs = fields.Get(c.field);
+  if (!lhs) return c.allow_absent;
+  std::uint64_t rhs;
+  if (c.rhs.kind == Term::Kind::kConst) {
+    rhs = c.rhs.constant;
+  } else {
+    const auto& bound = env[c.rhs.var];
+    if (!bound) return false;  // conditions on unbound vars never hold
+    rhs = *bound;
+  }
+  const bool eq = (*lhs & c.mask) == (rhs & c.mask);
+  return c.op == CmpOp::kEq ? eq : !eq;
+}
+
+bool MonitorEngine::MatchPattern(
+    const Pattern& p, const DataplaneEvent& ev,
+    const std::vector<std::optional<std::uint64_t>>& env) const {
+  if (p.event_type && *p.event_type != ev.type) return false;
+  for (const Condition& c : p.conditions)
+    if (!EvalCondition(c, ev.fields, env)) return false;
+  if (!p.forbidden.empty()) {
+    bool all_hold = true;
+    for (const Condition& c : p.forbidden) {
+      if (!EvalCondition(c, ev.fields, env)) {
+        all_hold = false;
+        break;
+      }
+    }
+    if (all_hold) return false;  // the forbidden tuple matched exactly
+  }
+  return true;
+}
+
+bool MonitorEngine::ApplyBindings(
+    const Stage& stage, const DataplaneEvent& ev,
+    std::vector<std::optional<std::uint64_t>>& env) {
+  // Validate before mutating: a binding on an absent field means the stage
+  // does not match (and the round-robin counter must not advance).
+  for (const Binding& b : stage.bindings) {
+    if (b.kind == Binding::Kind::kField && !ev.fields.Has(b.field))
+      return false;
+    if (b.kind == Binding::Kind::kHashPort) {
+      for (FieldId f : b.hash_inputs)
+        if (!ev.fields.Has(f)) return false;
+    }
+  }
+  if (stage.window_from_field && !ev.fields.Has(*stage.window_from_field))
+    return false;
+
+  for (const Binding& b : stage.bindings) {
+    switch (b.kind) {
+      case Binding::Kind::kField:
+        env[b.var] = ev.fields.GetUnchecked(b.field);
+        break;
+      case Binding::Kind::kHashPort:
+        env[b.var] =
+            HashFieldsToRange(ev.fields, b.hash_inputs, b.modulus, b.base);
+        break;
+      case Binding::Kind::kRoundRobin:
+        env[b.var] = rr_counter_++ % b.modulus + b.base;
+        break;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ stores
+
+void MonitorEngine::InsertIntoStore(Instance& inst) {
+  SWMON_ASSERT(inst.stage >= 1 && inst.stage < property_.num_stages());
+  StageStore& store = stores_[inst.stage];
+  if (!store.link.empty()) {
+    FlowKey key;
+    key.values.reserve(store.link.size());
+    bool all_bound = true;
+    for (const auto& [field, var] : store.link) {
+      if (!inst.env[var]) {
+        all_bound = false;
+        break;
+      }
+      key.values.push_back(*inst.env[var]);
+    }
+    if (all_bound) {
+      store.keyed[key].push_back(inst.id);
+      return;
+    }
+  }
+  store.scan.push_back(inst.id);
+}
+
+void MonitorEngine::RemoveFromStore(const Instance& inst) {
+  if (inst.stage < 1 || inst.stage >= property_.num_stages()) return;
+  StageStore& store = stores_[inst.stage];
+  auto erase_id = [&](std::vector<std::uint64_t>& v) {
+    auto it = std::find(v.begin(), v.end(), inst.id);
+    if (it != v.end()) {
+      *it = v.back();
+      v.pop_back();
+      return true;
+    }
+    return false;
+  };
+  if (!store.link.empty()) {
+    FlowKey key;
+    bool all_bound = true;
+    for (const auto& [field, var] : store.link) {
+      if (!inst.env[var]) {
+        all_bound = false;
+        break;
+      }
+      key.values.push_back(*inst.env[var]);
+    }
+    if (all_bound) {
+      auto it = store.keyed.find(key);
+      if (it != store.keyed.end()) {
+        erase_id(it->second);
+        if (it->second.empty()) store.keyed.erase(it);
+      }
+      return;
+    }
+  }
+  erase_id(store.scan);
+}
+
+std::optional<FlowKey> MonitorEngine::Stage0Key(
+    const std::vector<std::optional<std::uint64_t>>& env) const {
+  FlowKey key;
+  key.values.reserve(stage0_bound_vars_.size());
+  for (VarId v : stage0_bound_vars_) {
+    if (!env[v]) return std::nullopt;
+    key.values.push_back(*env[v]);
+  }
+  return key;
+}
+
+// -------------------------------------------------------------- lifecycle
+
+void MonitorEngine::ArmWindow(Instance& inst, const Stage& completed,
+                              const DataplaneEvent* ev) {
+  Duration window = completed.window;
+  if (completed.window_from_field && ev != nullptr) {
+    // Presence was verified in ApplyBindings.
+    window = Duration::Seconds(static_cast<std::int64_t>(
+        ev->fields.GetUnchecked(*completed.window_from_field)));
+  }
+  if (window > Duration::Zero()) {
+    inst.deadline = now_ + window;
+    timers_.Arm(inst.id, inst.deadline);
+  } else {
+    inst.deadline = SimTime::Infinity();
+    timers_.Cancel(inst.id);
+  }
+}
+
+void MonitorEngine::ReportViolation(const Instance& inst, SimTime when,
+                                    const std::string& trigger) {
+  Violation v;
+  v.property = property_.name;
+  v.time = when;
+  v.instance_id = inst.id;
+  v.trigger_stage = trigger;
+  if (config_.provenance >= ProvenanceLevel::kLimited) {
+    for (std::size_t i = 0; i < property_.vars.size(); ++i) {
+      if (inst.env[i]) v.bindings.emplace_back(property_.vars[i], *inst.env[i]);
+    }
+  }
+  if (config_.provenance == ProvenanceLevel::kFull) v.history = inst.history;
+  SWMON_LOG_INFO("monitor", "%s", v.ToString().c_str());
+  violations_.push_back(std::move(v));
+  ++stats_.violations;
+}
+
+void MonitorEngine::DestroyInstance(std::uint64_t id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  RemoveFromStore(inst);
+  if (const auto key = Stage0Key(inst.env)) {
+    auto bucket = stage0_index_.find(*key);
+    if (bucket != stage0_index_.end()) {
+      std::erase(bucket->second, id);
+      if (bucket->second.empty()) stage0_index_.erase(bucket);
+    }
+  }
+  timers_.Cancel(id);
+  instances_.erase(it);
+}
+
+void MonitorEngine::AdvanceInstance(Instance& inst, const DataplaneEvent* ev) {
+  // Caller verified the match and is responsible for env updates; this
+  // commits the stage transition.
+  RemoveFromStore(inst);
+  if (config_.provenance == ProvenanceLevel::kFull) {
+    ProvenanceEvent pe;
+    pe.time = now_;
+    pe.stage = inst.stage;
+    if (ev != nullptr) pe.fields = ev->fields;
+    inst.history.push_back(std::move(pe));
+  }
+  const Stage& completed = property_.stages[inst.stage];
+  ++inst.stage;
+  inst.stage_matches = 0;
+  if (inst.stage == property_.num_stages()) {
+    ReportViolation(inst, now_, completed.label);
+    DestroyInstance(inst.id);
+    return;
+  }
+  ArmWindow(inst, completed, ev);
+  InsertIntoStore(inst);
+}
+
+void MonitorEngine::OnTimerExpiry(std::uint64_t id, SimTime deadline) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  now_ = std::max(now_, deadline);
+  if (inst.stage < property_.num_stages() &&
+      property_.stages[inst.stage].kind == StageKind::kTimeout) {
+    // Feature 7: the elapsed window IS the observation.
+    ++stats_.timeout_observations;
+    ++stats_.instances_advanced;
+    AdvanceInstance(inst, nullptr);
+  } else {
+    // Feature 3: the window lapsed before the next observation; the
+    // candidate violation evaporates.
+    ++stats_.instances_expired;
+    DestroyInstance(id);
+  }
+}
+
+void MonitorEngine::EvictIfNeeded() {
+  if (config_.max_instances == 0) return;
+  while (instances_.size() > config_.max_instances) {
+    while (!creation_order_.empty() &&
+           !instances_.contains(creation_order_.front()))
+      creation_order_.pop_front();
+    if (creation_order_.empty()) return;
+    const std::uint64_t victim = creation_order_.front();
+    creation_order_.pop_front();
+    DestroyInstance(victim);
+    ++stats_.instances_evicted;
+  }
+}
+
+// ------------------------------------------------------------- event path
+
+void MonitorEngine::AdvanceTime(SimTime now) {
+  // Stale timestamps (e.g. an AdvanceTime(horizon) after late scheduled
+  // events already pushed the clock further) are a no-op: time is monotone.
+  if (now <= now_) return;
+  timers_.Advance(now);
+  now_ = now;
+}
+
+void MonitorEngine::ProcessEvent(const DataplaneEvent& event) {
+  ++event_seq_;
+  ++stats_.events;
+  AdvanceTime(event.time);
+  RunAbortPass(event);
+  RunAdvancePass(event);
+  if (config_.naive_timeout_refresh) RunNaiveRefreshPass(event);
+  RunCreatePass(event);
+  RunSuppressorPass(event);
+  stats_.peak_live = std::max(stats_.peak_live, instances_.size());
+}
+
+void MonitorEngine::RunNaiveRefreshPass(const DataplaneEvent& ev) {
+  // Unsound-by-design ablation (see MonitorConfig::naive_timeout_refresh):
+  // an event re-matching the observation BEFORE a pending timeout stage
+  // resets that stage's timer, postponing the negative observation.
+  for (std::size_t k = 1; k < property_.num_stages(); ++k) {
+    if (property_.stages[k].kind != StageKind::kTimeout) continue;
+    const Stage& prev = property_.stages[k - 1];
+    if (prev.kind != StageKind::kEvent) continue;
+    if (prev.pattern.event_type && *prev.pattern.event_type != ev.type)
+      continue;
+    StageStore& store = stores_[k];
+    if (prev.window_from_field && !ev.fields.Has(*prev.window_from_field))
+      continue;
+    auto consider = [&](std::uint64_t id) {
+      auto it = instances_.find(id);
+      if (it == instances_.end() || it->second.stage != k) return;
+      if (MatchPattern(prev.pattern, ev, it->second.env)) {
+        ArmWindow(it->second, prev, &ev);
+        ++stats_.instances_refreshed;
+      }
+    };
+    for (const auto& [key, bucket] : store.keyed)
+      for (auto id : bucket) consider(id);
+    for (auto id : store.scan) consider(id);
+  }
+}
+
+void MonitorEngine::RunAbortPass(const DataplaneEvent& ev) {
+  for (std::size_t k = 1; k < property_.num_stages(); ++k) {
+    const Stage& st = property_.stages[k];
+    if (st.aborts.empty()) continue;
+    // Cheap prefilter: skip stages none of whose aborts can match this
+    // event type.
+    bool type_possible = false;
+    for (const Pattern& a : st.aborts) {
+      if (!a.event_type || *a.event_type == ev.type) {
+        type_possible = true;
+        break;
+      }
+    }
+    if (!type_possible) continue;
+
+    std::vector<std::uint64_t> victims;
+    auto consider = [&](std::uint64_t id) {
+      const auto it = instances_.find(id);
+      if (it == instances_.end() || it->second.stage != k) return;
+      ++stats_.candidate_checks;
+      for (const Pattern& a : st.aborts) {
+        if (MatchPattern(a, ev, it->second.env)) {
+          victims.push_back(id);
+          return;
+        }
+      }
+    };
+    const StageStore& store = stores_[k];
+    for (const auto& [key, bucket] : store.keyed)
+      for (auto id : bucket) consider(id);
+    for (auto id : store.scan) consider(id);
+
+    for (auto id : victims) {
+      DestroyInstance(id);
+      ++stats_.instances_aborted;
+    }
+  }
+}
+
+void MonitorEngine::RunAdvancePass(const DataplaneEvent& ev) {
+  // Highest stage first so an instance advanced into stage k+1 is not
+  // examined again there by the same event.
+  for (std::size_t k = property_.num_stages(); k-- > 1;) {
+    const Stage& st = property_.stages[k];
+    if (st.kind != StageKind::kEvent) continue;
+    if (st.pattern.event_type && *st.pattern.event_type != ev.type) continue;
+
+    StageStore& store = stores_[k];
+    std::vector<std::uint64_t> candidates;
+    if (!store.link.empty()) {
+      FlowKey key;
+      bool projectable = true;
+      for (const auto& [field, var] : store.link) {
+        const auto v = ev.fields.Get(field);
+        if (!v) {
+          projectable = false;
+          break;
+        }
+        key.values.push_back(*v);
+      }
+      if (projectable) {
+        const auto it = store.keyed.find(key);
+        if (it != store.keyed.end()) candidates = it->second;
+      }
+      candidates.insert(candidates.end(), store.scan.begin(),
+                        store.scan.end());
+    } else {
+      // Multiple match (Feature 8): every instance at this stage is a
+      // candidate — e.g. a link-down event advances all learned addresses.
+      candidates.reserve(store.keyed.size() + store.scan.size());
+      for (const auto& [key, bucket] : store.keyed)
+        candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+      candidates.insert(candidates.end(), store.scan.begin(),
+                        store.scan.end());
+    }
+
+    for (const std::uint64_t id : candidates) {
+      auto it = instances_.find(id);
+      if (it == instances_.end()) continue;
+      Instance& inst = it->second;
+      if (inst.stage != k || inst.last_event_seq == event_seq_) continue;
+      ++stats_.candidate_checks;
+      if (!MatchPattern(st.pattern, ev, inst.env)) continue;
+      auto new_env = inst.env;
+      if (!ApplyBindings(st, ev, new_env)) continue;
+      inst.last_event_seq = event_seq_;
+      inst.env = std::move(new_env);
+      // Quantitative stages (extension): accumulate matches until the
+      // stage's threshold before the observation counts as complete.
+      if (++inst.stage_matches < st.min_count) continue;
+      ++stats_.instances_advanced;
+      AdvanceInstance(inst, &ev);
+    }
+  }
+}
+
+void MonitorEngine::RunCreatePass(const DataplaneEvent& ev) {
+  const Stage& st0 = property_.stages[0];
+  std::vector<std::optional<std::uint64_t>> env(property_.num_vars());
+  if (!MatchPattern(st0.pattern, ev, env)) return;
+
+  // Suppression (negated-history preconditions).
+  if (!property_.suppression_key_fields.empty()) {
+    if (const auto key =
+            ProjectKey(ev.fields, property_.suppression_key_fields);
+        key && suppressed_.contains(*key)) {
+      ++stats_.suppressed_creations;
+      return;
+    }
+  }
+
+  if (!ApplyBindings(st0, ev, env)) return;
+
+  // Dedup / refresh (Feature 3's per-pair timer semantics).
+  if (const auto key = Stage0Key(env)) {
+    const auto bucket = stage0_index_.find(*key);
+    if (bucket != stage0_index_.end() && !bucket->second.empty()) {
+      if (st0.refresh_window_on_rematch) {
+        for (const std::uint64_t id : bucket->second) {
+          auto it = instances_.find(id);
+          if (it == instances_.end() || it->second.stage != 1) continue;
+          ArmWindow(it->second, st0, &ev);
+          ++stats_.instances_refreshed;
+        }
+      }
+      return;  // an equivalent attempt is already live
+    }
+  }
+
+  const std::uint64_t id = next_instance_id_++;
+  auto [it, inserted] = instances_.emplace(id, Instance{});
+  SWMON_ASSERT(inserted);
+  Instance& inst = it->second;
+  inst.id = id;
+  inst.stage = 0;
+  inst.created = now_;
+  inst.env = std::move(env);
+  inst.last_event_seq = event_seq_;
+  if (const auto key = Stage0Key(inst.env))
+    stage0_index_[*key].push_back(id);
+  creation_order_.push_back(id);
+  ++stats_.instances_created;
+  AdvanceInstance(inst, &ev);  // commits stage 0 -> 1 (or violates if n==1)
+  EvictIfNeeded();
+}
+
+void MonitorEngine::RunSuppressorPass(const DataplaneEvent& ev) {
+  for (const Suppressor& sup : property_.suppressors) {
+    std::vector<std::optional<std::uint64_t>> env(property_.num_vars());
+    if (!MatchPattern(sup.pattern, ev, env)) continue;
+    if (const auto key = ProjectKey(ev.fields, sup.key_fields))
+      suppressed_.insert(*key);
+  }
+}
+
+std::size_t MonitorEngine::StateBytes() const {
+  std::size_t bytes = suppressed_.size() * sizeof(FlowKey);
+  for (const auto& [id, inst] : instances_) {
+    bytes += sizeof(Instance);
+    bytes += inst.env.capacity() * sizeof(std::optional<std::uint64_t>);
+    bytes += inst.history.capacity() * sizeof(ProvenanceEvent);
+  }
+  return bytes;
+}
+
+}  // namespace swmon

@@ -1,0 +1,176 @@
+// The runtime monitor engine.
+//
+// A MonitorEngine executes one Property over a stream of dataplane events.
+// Its state is a set of *instances* — partially completed attempts to
+// witness a violation (Feature 8) — each holding a binding environment, the
+// index of the next observation to match, and an optional deadline.
+//
+// Event processing order (all within ProcessEvent):
+//   1. time advances: expired windows either kill instances (Feature 3) or
+//      fire pending timeout observations (Feature 7);
+//   2. abort patterns discharge obligations (Feature 4);
+//   3. live instances waiting for later stages try to advance — possibly
+//      many per event (multiple match);
+//   4. stage 0 creates (or refreshes) instances, subject to suppression;
+//   5. suppressor patterns record their keys.
+//
+// Instance lookup is indexed: for each stage, the equality-against-variable
+// conditions form a link key; instances whose link variables are bound are
+// hashed under the projection of those variables, so an event finds its
+// candidates with one hash probe (this is the "static Varanus" /
+// register-friendly layout Sec 3.3 argues for). Instances whose link
+// variables are not yet bound — wandering match — and stages with no link
+// conditions — multiple match — fall back to a per-stage scan list.
+// bench_store ablates indexed vs. forced-linear lookup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataplane/flow_key.hpp"
+#include "dataplane/switch.hpp"
+#include "event/timer_set.hpp"
+#include "monitor/spec.hpp"
+#include "monitor/violation.hpp"
+
+namespace swmon {
+
+struct MonitorConfig {
+  ProvenanceLevel provenance = ProvenanceLevel::kLimited;
+  /// Cap on live instances; the oldest instance is evicted beyond it
+  /// (the paper's space-consumption concern). 0 = unbounded.
+  std::size_t max_instances = 0;
+  /// Disables the link-key index (every lookup scans all instances at the
+  /// stage). Exists for the store ablation bench; semantics are identical.
+  bool force_linear_store = false;
+  /// ABLATION (unsound on purpose): re-arm a pending timeout-action window
+  /// whenever the observation preceding it re-fires. This is the naive
+  /// semantics Sec 2.3 warns against — "a never-answered sequence of
+  /// requests every (T-1) seconds would not be detected as a violation".
+  /// bench_ablation measures exactly that miss.
+  bool naive_timeout_refresh = false;
+};
+
+struct MonitorStats {
+  std::uint64_t events = 0;
+  std::uint64_t instances_created = 0;
+  std::uint64_t instances_refreshed = 0;
+  std::uint64_t instances_advanced = 0;
+  std::uint64_t instances_expired = 0;   // window lapsed before next stage
+  std::uint64_t instances_aborted = 0;   // obligation discharged
+  std::uint64_t instances_evicted = 0;   // max_instances pressure
+  std::uint64_t timeout_observations = 0;  // Feature 7 firings
+  std::uint64_t suppressed_creations = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t candidate_checks = 0;  // instances examined across lookups
+  std::size_t peak_live = 0;
+};
+
+class MonitorEngine : public DataplaneObserver {
+ public:
+  explicit MonitorEngine(Property property, MonitorConfig config = {});
+
+  // Not copyable/movable: stage stores hold interior references.
+  MonitorEngine(const MonitorEngine&) = delete;
+  MonitorEngine& operator=(const MonitorEngine&) = delete;
+
+  void OnDataplaneEvent(const DataplaneEvent& event) override {
+    ProcessEvent(event);
+  }
+
+  /// Feeds one event. Time must be monotonically non-decreasing.
+  void ProcessEvent(const DataplaneEvent& event);
+
+  /// Advances monitor time without an event, firing any elapsed windows
+  /// (needed to observe timeout-action violations in quiet periods).
+  void AdvanceTime(SimTime now);
+
+  const Property& property() const { return property_; }
+  const MonitorStats& stats() const { return stats_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::vector<Violation> TakeViolations() { return std::move(violations_); }
+  std::size_t live_instances() const { return instances_.size(); }
+  SimTime now() const { return now_; }
+
+  /// Approximate resident bytes of monitor state (instances + provenance);
+  /// bench_provenance reports this.
+  std::size_t StateBytes() const;
+
+ private:
+  struct Instance {
+    std::uint64_t id;
+    std::uint32_t stage;  // next stage to match
+    SimTime created;
+    SimTime deadline = SimTime::Infinity();
+    std::vector<std::optional<std::uint64_t>> env;
+    std::uint64_t last_event_seq = 0;  // one advance per event
+    std::uint32_t stage_matches = 0;   // toward the stage's min_count
+    std::vector<ProvenanceEvent> history;  // kFull only
+  };
+
+  /// Per-stage candidate index (see file comment).
+  struct StageStore {
+    std::vector<std::pair<FieldId, VarId>> link;  // field == $var conditions
+    std::unordered_map<FlowKey, std::vector<std::uint64_t>, FlowKeyHash> keyed;
+    std::vector<std::uint64_t> scan;  // unkeyed / linear-mode instances
+  };
+
+  // --- evaluation ---
+  bool EvalCondition(const Condition& c, const FieldMap& fields,
+                     const std::vector<std::optional<std::uint64_t>>& env) const;
+  bool MatchPattern(const Pattern& p, const DataplaneEvent& ev,
+                    const std::vector<std::optional<std::uint64_t>>& env) const;
+  /// Applies a stage's bindings to env; false when a required event field is
+  /// absent (the stage then does not match).
+  bool ApplyBindings(const Stage& stage, const DataplaneEvent& ev,
+                     std::vector<std::optional<std::uint64_t>>& env);
+
+  // --- instance lifecycle ---
+  void InsertIntoStore(Instance& inst);
+  void RemoveFromStore(const Instance& inst);
+  void DestroyInstance(std::uint64_t id);
+  void AdvanceInstance(Instance& inst, const DataplaneEvent* ev);
+  void ArmWindow(Instance& inst, const Stage& completed,
+                 const DataplaneEvent* ev);
+  void ReportViolation(const Instance& inst, SimTime when,
+                       const std::string& trigger);
+  void OnTimerExpiry(std::uint64_t id, SimTime deadline);
+  void EvictIfNeeded();
+
+  // --- per-event passes ---
+  void RunAbortPass(const DataplaneEvent& ev);
+  void RunAdvancePass(const DataplaneEvent& ev);
+  void RunNaiveRefreshPass(const DataplaneEvent& ev);
+  void RunCreatePass(const DataplaneEvent& ev);
+  void RunSuppressorPass(const DataplaneEvent& ev);
+
+  std::optional<FlowKey> Stage0Key(
+      const std::vector<std::optional<std::uint64_t>>& env) const;
+
+  Property property_;
+  MonitorConfig config_;
+  MonitorStats stats_;
+  std::vector<Violation> violations_;
+
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t next_instance_id_ = 1;
+  std::uint64_t rr_counter_ = 0;
+
+  std::unordered_map<std::uint64_t, Instance> instances_;
+  std::vector<StageStore> stores_;  // one per stage (index 0 unused)
+  /// Dedup/refresh map: stage-0 binding projection -> instance ids.
+  std::unordered_map<FlowKey, std::vector<std::uint64_t>, FlowKeyHash>
+      stage0_index_;
+  std::vector<VarId> stage0_bound_vars_;
+  std::unordered_set<FlowKey, FlowKeyHash> suppressed_;
+  std::deque<std::uint64_t> creation_order_;  // for eviction, lazily pruned
+  TimerSet timers_;
+};
+
+}  // namespace swmon

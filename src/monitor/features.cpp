@@ -1,0 +1,135 @@
+#include "monitor/features.hpp"
+
+#include <unordered_set>
+
+namespace swmon {
+namespace {
+
+struct ScanCtx {
+  /// Variables bound by builtin computations (hash / round-robin).
+  /// Inequalities against these are checks against a computed expectation,
+  /// which Table 1 does not count as negative match on stored state.
+  std::unordered_set<VarId> builtin_vars;
+};
+
+void NoteField(FieldId f, FeatureSet& out) {
+  const FieldLayer layer = LayerOf(f);
+  // Metadata fields (ports, egress action, packet id) don't raise the parse
+  // depth — they come from the switch, not the parser.
+  if (layer != FieldLayer::kMeta && layer > out.fields) out.fields = layer;
+  if (f == FieldId::kPacketId) out.identity = true;
+}
+
+void ScanConditions(const std::vector<Condition>& conds, bool forbidden_group,
+                    const ScanCtx& ctx, FeatureSet& out) {
+  for (const Condition& c : conds) {
+    NoteField(c.field, out);
+    if (c.rhs.kind == Term::Kind::kVar) out.history = true;
+    if (!forbidden_group && c.op == CmpOp::kNe &&
+        c.field != FieldId::kEgressAction &&
+        !(c.rhs.kind == Term::Kind::kVar &&
+          ctx.builtin_vars.contains(c.rhs.var))) {
+      out.negative_match = true;
+    }
+  }
+  if (forbidden_group && !conds.empty()) out.negative_match = true;
+}
+
+void ScanPattern(const Pattern& p, const ScanCtx& ctx, FeatureSet& out) {
+  ScanConditions(p.conditions, /*forbidden_group=*/false, ctx, out);
+  ScanConditions(p.forbidden, /*forbidden_group=*/true, ctx, out);
+}
+
+}  // namespace
+
+FeatureSet AnalyzeFeatures(const Property& property) {
+  ScanCtx ctx;
+  for (const Stage& st : property.stages) {
+    for (const Binding& b : st.bindings) {
+      if (b.kind != Binding::Kind::kField) ctx.builtin_vars.insert(b.var);
+    }
+  }
+
+  FeatureSet out;
+  out.id_mode = property.id_mode;
+  if (property.num_stages() > 1) out.history = true;
+
+  for (std::size_t k = 0; k < property.num_stages(); ++k) {
+    const Stage& st = property.stages[k];
+    ScanPattern(st.pattern, ctx, out);
+    for (const Pattern& a : st.aborts) ScanPattern(a, ctx, out);
+    // Feature 4 (persistent obligation): watching for a discharging event
+    // while awaiting an ordinary observation. Discharge patterns attached
+    // to a kTimeout stage are classified as part of the negative
+    // observation itself (Feature 7) instead.
+    if (!st.aborts.empty() && st.kind == StageKind::kEvent)
+      out.obligation = true;
+    for (const Binding& b : st.bindings) {
+      if (b.kind == Binding::Kind::kField) NoteField(b.field, out);
+      for (FieldId f : b.hash_inputs) NoteField(f, out);
+    }
+    if (st.kind == StageKind::kTimeout) out.timeout_actions = true;
+    // Feature 3 (state-expiring timeouts): a window whose expiry kills the
+    // instance, i.e. the following stage is an ordinary event observation.
+    const bool has_window =
+        st.window > Duration::Zero() || st.window_from_field;
+    if (has_window && k + 1 < property.num_stages() &&
+        property.stages[k + 1].kind == StageKind::kEvent) {
+      out.timeouts = true;
+    }
+    if (st.window_from_field) NoteField(*st.window_from_field, out);
+
+    // Multiple match: a non-initial event stage with no equality link to
+    // bound variables means one event advances every instance at the stage.
+    if (k >= 1 && st.kind == StageKind::kEvent) {
+      bool linked = false;
+      for (const Condition& c : st.pattern.conditions) {
+        if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar) {
+          linked = true;
+          break;
+        }
+      }
+      if (!linked) out.multiple_match = true;
+    }
+  }
+  for (const Suppressor& s : property.suppressors)
+    ScanPattern(s.pattern, ctx, out);
+  if (!property.suppressors.empty()) {
+    // Suppression is a standing obligation to remember history.
+    out.obligation = true;
+    out.history = true;
+  }
+  return out;
+}
+
+std::vector<std::string> DiffFeatureColumns(const FeatureSet& a,
+                                            const FeatureSet& b) {
+  std::vector<std::string> out;
+  if (a.fields != b.fields) out.emplace_back("fields");
+  if (a.history != b.history) out.emplace_back("history");
+  if (a.timeouts != b.timeouts) out.emplace_back("timeouts");
+  if (a.obligation != b.obligation) out.emplace_back("obligation");
+  if (a.identity != b.identity) out.emplace_back("identity");
+  if (a.negative_match != b.negative_match)
+    out.emplace_back("negative_match");
+  if (a.timeout_actions != b.timeout_actions)
+    out.emplace_back("timeout_actions");
+  if (a.multiple_match != b.multiple_match)
+    out.emplace_back("multiple_match");
+  if (a.id_mode != b.id_mode) out.emplace_back("id_mode");
+  return out;
+}
+
+std::string FeatureSet::ToRow() const {
+  auto dot = [](bool b) { return b ? std::string("  •   ") : std::string("      "); };
+  std::string out;
+  out += LayerName(fields);
+  out += std::string(5 - std::min<std::size_t>(5, out.size()), ' ');
+  out += "|" + dot(history) + "|" + dot(timeouts) + "|" + dot(obligation) +
+         "|" + dot(identity) + "|" + dot(negative_match) + "|" +
+         dot(timeout_actions) + "|" + dot(multiple_match) + "| " +
+         InstanceIdModeName(id_mode);
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,55 @@
+// Feature analysis: computes, from a Property's structure, which of the
+// paper's semantic features it requires — the columns of Table 1.
+//
+// Fields      — deepest parse layer among all referenced fields.
+// History     — more than one observation stage, or any var-linked condition.
+// Timeouts    — any stage carries a window whose expiry *expires* state
+//               (Feature 3), i.e. the following stage is an event.
+// Obligation  — any stage carries abort patterns (Feature 4's "until").
+// Identity    — any condition or binding on kPacketId (Feature 5).
+// NegMatch    — any Ne condition against a bound variable or constant, or a
+//               forbidden group (Feature 6).
+// TimeoutActs — any kTimeout stage (Feature 7).
+// MultipleMatch — any non-initial event stage with no var-linked equality
+//               (one event may advance many instances — Feature 8).
+// InstanceId  — declared mode (exact/symmetric/wandering); the declaration
+//               is the paper's (Table 1), since symmetric-vs-exact is a
+//               judgment about field roles the structure alone can't make.
+//
+// Where the computed row differs from the paper's published row (the
+// Obligation column involves interpretation — see DESIGN.md §5), the
+// Table-1 bench prints both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/spec.hpp"
+
+namespace swmon {
+
+struct FeatureSet {
+  FieldLayer fields = FieldLayer::kL2;
+  bool history = false;
+  bool timeouts = false;
+  bool obligation = false;
+  bool identity = false;
+  bool negative_match = false;
+  bool timeout_actions = false;
+  bool multiple_match = false;
+  InstanceIdMode id_mode = InstanceIdMode::kExact;
+
+  bool operator==(const FeatureSet&) const = default;
+
+  /// One Table-1-style row: "L4 | • | | • | ..." (without the name column).
+  std::string ToRow() const;
+};
+
+FeatureSet AnalyzeFeatures(const Property& property);
+
+/// Names of the columns on which two feature rows differ (e.g.
+/// {"obligation", "timeouts"}). Empty when the rows agree.
+std::vector<std::string> DiffFeatureColumns(const FeatureSet& a,
+                                            const FeatureSet& b);
+
+}  // namespace swmon

@@ -1,0 +1,53 @@
+// A bundle of monitor engines sharing one event stream.
+//
+// Attach a MonitorSet to a switch to check many properties at once; it fans
+// each dataplane event out to every engine and aggregates violations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "monitor/engine.hpp"
+
+namespace swmon {
+
+class MonitorSet : public DataplaneObserver {
+ public:
+  /// Adds a property; returns the engine for inspection.
+  MonitorEngine& Add(Property property, MonitorConfig config = {}) {
+    engines_.push_back(
+        std::make_unique<MonitorEngine>(std::move(property), config));
+    return *engines_.back();
+  }
+
+  void OnDataplaneEvent(const DataplaneEvent& event) override {
+    for (auto& e : engines_) e->ProcessEvent(event);
+  }
+
+  void AdvanceTime(SimTime now) {
+    for (auto& e : engines_) e->AdvanceTime(now);
+  }
+
+  std::size_t size() const { return engines_.size(); }
+  MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
+
+  std::vector<Violation> AllViolations() const {
+    std::vector<Violation> out;
+    for (const auto& e : engines_) {
+      const auto& v = e->violations();
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return out;
+  }
+
+  std::size_t TotalViolations() const {
+    std::size_t n = 0;
+    for (const auto& e : engines_) n += e->violations().size();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MonitorEngine>> engines_;
+};
+
+}  // namespace swmon

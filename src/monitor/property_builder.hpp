@@ -1,0 +1,255 @@
+// Fluent construction of Property specs.
+//
+// The catalog (src/properties) reads like the paper's observation diagrams:
+//
+//   PropertyBuilder b("stateful-firewall", "...");
+//   const VarId A = b.Var("A"), B = b.Var("B");
+//   b.AddStage("outbound A->B")
+//       .Match(PatternBuilder::Arrival()
+//                  .Eq(FieldId::kInPort, kInside)
+//                  .Build())
+//       .Bind(A, FieldId::kIpSrc)
+//       .Bind(B, FieldId::kIpDst)
+//       .Window(Duration::Seconds(30))
+//       .RefreshOnRematch();
+//   b.AddStage("return B->A dropped")
+//       .Match(PatternBuilder::Egress()
+//                  .EqVar(FieldId::kIpSrc, B)
+//                  .EqVar(FieldId::kIpDst, A)
+//                  .Dropped()
+//                  .Build());
+//   Property p = std::move(b).Build();  // validated
+#pragma once
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "monitor/spec.hpp"
+
+namespace swmon {
+
+class PatternBuilder {
+ public:
+  static PatternBuilder Arrival() {
+    return PatternBuilder(DataplaneEventType::kArrival);
+  }
+  static PatternBuilder Egress() {
+    return PatternBuilder(DataplaneEventType::kEgress);
+  }
+  static PatternBuilder LinkStatus() {
+    return PatternBuilder(DataplaneEventType::kLinkStatus);
+  }
+  static PatternBuilder AnyEvent() { return PatternBuilder(std::nullopt); }
+
+  PatternBuilder& Eq(FieldId f, std::uint64_t v) {
+    pattern_.conditions.push_back({f, CmpOp::kEq, Term::Const(v)});
+    return *this;
+  }
+  PatternBuilder& Ne(FieldId f, std::uint64_t v) {
+    pattern_.conditions.push_back({f, CmpOp::kNe, Term::Const(v)});
+    return *this;
+  }
+  PatternBuilder& EqVar(FieldId f, VarId var) {
+    pattern_.conditions.push_back({f, CmpOp::kEq, Term::Var(var)});
+    return *this;
+  }
+  PatternBuilder& NeVar(FieldId f, VarId var) {
+    pattern_.conditions.push_back({f, CmpOp::kNe, Term::Var(var)});
+    return *this;
+  }
+  /// Masked (TCAM-style) comparisons; both sides are masked first.
+  PatternBuilder& EqMasked(FieldId f, std::uint64_t v, std::uint64_t mask) {
+    pattern_.conditions.push_back({f, CmpOp::kEq, Term::Const(v), mask});
+    return *this;
+  }
+  PatternBuilder& NeMasked(FieldId f, std::uint64_t v, std::uint64_t mask) {
+    pattern_.conditions.push_back({f, CmpOp::kNe, Term::Const(v), mask});
+    return *this;
+  }
+  /// Like EqMasked, but also satisfied when the field is absent — e.g.
+  /// "tcp_flags carry no FIN/RST, or the packet is not TCP at all".
+  PatternBuilder& EqMaskedOrAbsent(FieldId f, std::uint64_t v,
+                                   std::uint64_t mask) {
+    pattern_.conditions.push_back(
+        {f, CmpOp::kEq, Term::Const(v), mask, /*allow_absent=*/true});
+    return *this;
+  }
+
+  /// Adds to the forbidden group: the pattern matches only when NOT all
+  /// forbidden conditions hold (tuple negative match, Feature 6).
+  PatternBuilder& ForbidEqVar(FieldId f, VarId var) {
+    pattern_.forbidden.push_back({f, CmpOp::kEq, Term::Var(var)});
+    return *this;
+  }
+  PatternBuilder& ForbidEq(FieldId f, std::uint64_t v) {
+    pattern_.forbidden.push_back({f, CmpOp::kEq, Term::Const(v)});
+    return *this;
+  }
+
+  // Egress-action shorthands.
+  PatternBuilder& Dropped() {
+    return Eq(FieldId::kEgressAction,
+              static_cast<std::uint64_t>(EgressActionValue::kDrop));
+  }
+  PatternBuilder& Forwarded() {
+    return Eq(FieldId::kEgressAction,
+              static_cast<std::uint64_t>(EgressActionValue::kForward));
+  }
+  PatternBuilder& Flooded() {
+    return Eq(FieldId::kEgressAction,
+              static_cast<std::uint64_t>(EgressActionValue::kFlood));
+  }
+  PatternBuilder& NotDropped() {
+    return Ne(FieldId::kEgressAction,
+              static_cast<std::uint64_t>(EgressActionValue::kDrop));
+  }
+
+  Pattern Build() const { return pattern_; }
+
+ private:
+  explicit PatternBuilder(std::optional<DataplaneEventType> t) {
+    pattern_.event_type = t;
+  }
+  Pattern pattern_;
+};
+
+class PropertyBuilder;
+
+class StageBuilder {
+ public:
+  StageBuilder& Match(Pattern p) {
+    stage().pattern = std::move(p);
+    return *this;
+  }
+  StageBuilder& Bind(VarId var, FieldId field) {
+    Binding b;
+    b.var = var;
+    b.kind = Binding::Kind::kField;
+    b.field = field;
+    stage().bindings.push_back(std::move(b));
+    return *this;
+  }
+  /// Binds hash(inputs...) % modulus + base — the expected hashed output
+  /// port for load-balancer properties (computed identically to the
+  /// device's HashFieldsToRange).
+  StageBuilder& BindHashPort(VarId var, std::vector<FieldId> inputs,
+                             std::uint32_t modulus, std::uint32_t base = 1) {
+    Binding b;
+    b.var = var;
+    b.kind = Binding::Kind::kHashPort;
+    b.hash_inputs = std::move(inputs);
+    b.modulus = modulus;
+    b.base = base;
+    stage().bindings.push_back(std::move(b));
+    return *this;
+  }
+  /// Binds the engine's round-robin counter % modulus + base and advances
+  /// the counter.
+  StageBuilder& BindRoundRobin(VarId var, std::uint32_t modulus,
+                               std::uint32_t base = 1) {
+    Binding b;
+    b.var = var;
+    b.kind = Binding::Kind::kRoundRobin;
+    b.modulus = modulus;
+    b.base = base;
+    stage().bindings.push_back(std::move(b));
+    return *this;
+  }
+  StageBuilder& Window(Duration d) {
+    stage().window = d;
+    return *this;
+  }
+  /// Window length = value of the (bound) field, in seconds (DHCP lease).
+  StageBuilder& WindowFromField(FieldId f) {
+    stage().window_from_field = f;
+    return *this;
+  }
+  StageBuilder& RefreshOnRematch() {
+    stage().refresh_window_on_rematch = true;
+    return *this;
+  }
+  /// Quantitative extension: the stage completes only after `n` matching
+  /// events ("K SYNs within T"). Non-initial event stages only.
+  StageBuilder& Count(std::uint32_t n) {
+    stage().min_count = n;
+    return *this;
+  }
+  /// Obligation discharge: instances waiting for this stage die when `p`
+  /// matches (Feature 4).
+  StageBuilder& AbortOn(Pattern p) {
+    stage().aborts.push_back(std::move(p));
+    return *this;
+  }
+
+ private:
+  friend class PropertyBuilder;
+  StageBuilder(std::vector<Stage>* stages, std::size_t index)
+      : stages_(stages), index_(index) {}
+
+  // Indexed access keeps the builder valid even if the property gains more
+  // stages (vector reallocation) while this handle is alive.
+  Stage& stage() { return (*stages_)[index_]; }
+
+  std::vector<Stage>* stages_;
+  std::size_t index_;
+};
+
+class PropertyBuilder {
+ public:
+  PropertyBuilder(std::string name, std::string description) {
+    property_.name = std::move(name);
+    property_.description = std::move(description);
+  }
+
+  VarId Var(std::string name) {
+    property_.vars.push_back(std::move(name));
+    return static_cast<VarId>(property_.vars.size() - 1);
+  }
+
+  StageBuilder AddStage(std::string label) {
+    Stage s;
+    s.label = std::move(label);
+    s.kind = StageKind::kEvent;
+    property_.stages.push_back(std::move(s));
+    return StageBuilder(&property_.stages, property_.stages.size() - 1);
+  }
+
+  /// Feature 7: a stage that fires when the previous stage's window
+  /// elapses instead of on a packet.
+  StageBuilder AddTimeoutStage(std::string label) {
+    Stage s;
+    s.label = std::move(label);
+    s.kind = StageKind::kTimeout;
+    property_.stages.push_back(std::move(s));
+    return StageBuilder(&property_.stages, property_.stages.size() - 1);
+  }
+
+  PropertyBuilder& IdMode(InstanceIdMode mode) {
+    property_.id_mode = mode;
+    return *this;
+  }
+
+  /// Declares the stage-0 suppression key, then pair with SuppressWhen.
+  PropertyBuilder& SuppressionKey(std::vector<FieldId> fields) {
+    property_.suppression_key_fields = std::move(fields);
+    return *this;
+  }
+  PropertyBuilder& SuppressWhen(Pattern p, std::vector<FieldId> key_fields) {
+    property_.suppressors.push_back(
+        Suppressor{std::move(p), std::move(key_fields)});
+    return *this;
+  }
+
+  /// Validates and returns the property; aborts on structural errors (these
+  /// are programming bugs in the catalog, not runtime conditions).
+  Property Build() && {
+    const std::string err = property_.Validate();
+    SWMON_ASSERT_MSG(err.empty(), err.c_str());
+    return std::move(property_);
+  }
+
+ private:
+  Property property_;
+};
+
+}  // namespace swmon

@@ -1,0 +1,38 @@
+#include "monitor/violation.hpp"
+
+#include <cstdio>
+
+namespace swmon {
+
+const char* ProvenanceLevelName(ProvenanceLevel level) {
+  switch (level) {
+    case ProvenanceLevel::kNone: return "none";
+    case ProvenanceLevel::kLimited: return "limited";
+    case ProvenanceLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  std::string out = "VIOLATION " + property + " at " + time.ToString() +
+                    " (trigger: " + trigger_stage + ")";
+  if (!bindings.empty()) {
+    out += " where";
+    for (const auto& [name, value] : bindings) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " %s=%llu", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += buf;
+    }
+  }
+  if (!history.empty()) {
+    out += "\n  provenance:";
+    for (const auto& ev : history) {
+      out += "\n    [stage " + std::to_string(ev.stage + 1) + "] " +
+             ev.time.ToString() + " " + ev.fields.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace swmon

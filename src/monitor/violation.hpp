@@ -1,0 +1,49 @@
+// Violation reports and provenance (Feature 10).
+//
+// The paper's provenance discussion: reporting only the trigger event is
+// suboptimal for debugging, but recording every contributing packet is
+// expensive. The engine supports all three points on that spectrum:
+//   kNone    — property name, time, and final stage only.
+//   kLimited — plus the instance environment (the header values retained
+//              for matching, "conveyed along with the final event" at no
+//              extra storage cost — the paper's recommended default).
+//   kFull    — plus a copy of every matched event (fields + time), the
+//              expensive end measured by bench_provenance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "packet/field.hpp"
+
+namespace swmon {
+
+enum class ProvenanceLevel : std::uint8_t { kNone = 0, kLimited = 1, kFull = 2 };
+
+const char* ProvenanceLevelName(ProvenanceLevel level);
+
+struct ProvenanceEvent {
+  SimTime time;
+  std::uint32_t stage;  // which observation this event completed
+  FieldMap fields;
+};
+
+struct Violation {
+  std::string property;
+  SimTime time;
+  std::uint64_t instance_id = 0;
+  std::string trigger_stage;
+
+  /// kLimited and kFull: bound (name, value) pairs.
+  std::vector<std::pair<std::string, std::uint64_t>> bindings;
+
+  /// kFull only: every event that advanced this instance.
+  std::vector<ProvenanceEvent> history;
+
+  std::string ToString() const;
+};
+
+}  // namespace swmon

@@ -1,0 +1,56 @@
+// Simulated end hosts.
+//
+// A Host is a named endpoint with a MAC and IPv4 address. It records every
+// delivered packet (tests assert on these) and can run an arbitrary receive
+// callback to model protocol agents (e.g. a DHCP client continuing its
+// handshake, an FTP peer opening the data connection).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "packet/addr.hpp"
+#include "packet/packet.hpp"
+
+namespace swmon {
+
+class Host {
+ public:
+  Host(std::string name, MacAddr mac, Ipv4Addr ip)
+      : name_(std::move(name)), mac_(mac), ip_(ip) {}
+
+  const std::string& name() const { return name_; }
+  MacAddr mac() const { return mac_; }
+  Ipv4Addr ip() const { return ip_; }
+
+  using ReceiveFn = std::function<void(Host&, const Packet&, SimTime)>;
+  void SetReceiver(ReceiveFn fn) { receiver_ = std::move(fn); }
+
+  /// Called by the network when a packet reaches this host.
+  void Deliver(const Packet& pkt, SimTime at) {
+    ++received_count_;
+    if (keep_packets_) received_.push_back(pkt);
+    if (receiver_) receiver_(*this, pkt, at);
+  }
+
+  std::uint64_t received_count() const { return received_count_; }
+  const std::vector<Packet>& received() const { return received_; }
+  void set_keep_packets(bool keep) { keep_packets_ = keep; }
+  void ClearReceived() {
+    received_.clear();
+    received_count_ = 0;
+  }
+
+ private:
+  std::string name_;
+  MacAddr mac_;
+  Ipv4Addr ip_;
+  ReceiveFn receiver_;
+  std::vector<Packet> received_;
+  std::uint64_t received_count_ = 0;
+  bool keep_packets_ = true;
+};
+
+}  // namespace swmon

@@ -1,0 +1,61 @@
+#include "netsim/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace swmon {
+
+SoftSwitch& Network::AddSwitch(std::uint32_t switch_id,
+                               std::uint32_t num_ports) {
+  SWMON_ASSERT_MSG(!switches_.contains(switch_id), "duplicate switch id");
+  auto sw = std::make_unique<SoftSwitch>(switch_id, num_ports, queue_, params_);
+  SoftSwitch* raw = sw.get();
+  raw->SetTransmit([this, switch_id](PortId port, const Packet& pkt) {
+    const auto it = port_hosts_.find({switch_id, port});
+    if (it == port_hosts_.end()) return;  // unattached port: packet vanishes
+    Host* host = it->second;
+    const Duration latency = host_links_.at(host).latency;
+    Packet copy = pkt;
+    queue_.ScheduleAfter(latency, [this, host, copy = std::move(copy)] {
+      host->Deliver(copy, queue_.now());
+    });
+  });
+  switches_[switch_id] = std::move(sw);
+  return *raw;
+}
+
+Host& Network::AddHost(std::string name, MacAddr mac, Ipv4Addr ip) {
+  hosts_.push_back(std::make_unique<Host>(std::move(name), mac, ip));
+  return *hosts_.back();
+}
+
+void Network::Attach(std::uint32_t switch_id, PortId port, Host& host,
+                     Duration latency) {
+  SWMON_ASSERT_MSG(switches_.contains(switch_id), "no such switch");
+  SWMON_ASSERT_MSG(!port_hosts_.contains({switch_id, port}),
+                   "port already attached");
+  host_links_[&host] = Attachment{switch_id, port, latency};
+  port_hosts_[{switch_id, port}] = &host;
+}
+
+void Network::SendFromHost(Host& host, Packet pkt, SimTime at) {
+  const auto it = host_links_.find(&host);
+  SWMON_ASSERT_MSG(it != host_links_.end(), "host not attached");
+  const Attachment att = it->second;
+  SoftSwitch* sw = switches_.at(att.switch_id).get();
+  queue_.ScheduleAt(at + att.latency,
+                    [sw, port = att.port, pkt = std::move(pkt)]() mutable {
+                      sw->ReceivePacket(port, std::move(pkt));
+                    });
+}
+
+void Network::SetLinkState(std::uint32_t switch_id, PortId port, bool up,
+                           SimTime at) {
+  SoftSwitch* sw = switches_.at(switch_id).get();
+  queue_.ScheduleAt(at, [sw, port, up] { sw->SetLinkStatus(port, up); });
+}
+
+SoftSwitch& Network::GetSwitch(std::uint32_t switch_id) {
+  return *switches_.at(switch_id);
+}
+
+}  // namespace swmon

@@ -1,0 +1,70 @@
+// The simulated network: switches, hosts, and the links between them.
+//
+// Network owns the event queue and the wiring. Host->switch and
+// switch->host deliveries traverse links with configurable latency; all
+// processing is driven by EventQueue::RunAll/RunUntil, so a whole
+// experiment is a deterministic function of its seed.
+//
+// The paper's scope is single-switch properties, so the canonical topology
+// is one switch with N hosts, but multiple switches are supported (each
+// emits its own kSwitchId metadata).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "event/event_queue.hpp"
+#include "netsim/host.hpp"
+
+namespace swmon {
+
+class Network {
+ public:
+  explicit Network(CostParams params = {}) : params_(params) {}
+
+  EventQueue& queue() { return queue_; }
+  SimTime now() const { return queue_.now(); }
+
+  /// Creates a switch with `num_ports` ports.
+  SoftSwitch& AddSwitch(std::uint32_t switch_id, std::uint32_t num_ports);
+
+  /// Creates a host (owned by the network).
+  Host& AddHost(std::string name, MacAddr mac, Ipv4Addr ip);
+
+  /// Wires `host` to `port` of switch `switch_id` with the given one-way
+  /// link latency.
+  void Attach(std::uint32_t switch_id, PortId port, Host& host,
+              Duration latency = Duration::Micros(5));
+
+  /// Schedules `pkt` to leave `host` at `at` (must not be in the past);
+  /// it arrives at the attached switch after the link latency.
+  void SendFromHost(Host& host, Packet pkt, SimTime at);
+
+  /// Takes the host's access link down/up at time `at` (out-of-band event).
+  void SetLinkState(std::uint32_t switch_id, PortId port, bool up, SimTime at);
+
+  SoftSwitch& GetSwitch(std::uint32_t switch_id);
+
+  /// Runs the simulation to completion (or `limit` events).
+  std::size_t Run(std::size_t limit = SIZE_MAX) { return queue_.RunAll(limit); }
+  std::size_t RunUntil(SimTime t) { return queue_.RunUntil(t); }
+
+ private:
+  struct Attachment {
+    std::uint32_t switch_id;
+    PortId port;
+    Duration latency;
+  };
+
+  CostParams params_;
+  EventQueue queue_;
+  std::map<std::uint32_t, std::unique_ptr<SoftSwitch>> switches_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<Host*, Attachment> host_links_;
+  std::map<std::pair<std::uint32_t, PortId>, Host*> port_hosts_;
+};
+
+}  // namespace swmon

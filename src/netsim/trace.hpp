@@ -1,0 +1,42 @@
+// Event trace recording and replay.
+//
+// A TraceRecorder captures every dataplane event a switch emits; recorded
+// traces can be replayed into monitor engines offline. Benches use this to
+// separate workload generation (simulated once) from monitor execution
+// (measured many times), and the external-monitoring experiment (E6) uses
+// recorded traffic volume as "bytes an off-switch monitor must receive".
+#pragma once
+
+#include <vector>
+
+#include "dataplane/switch.hpp"
+
+namespace swmon {
+
+class TraceRecorder : public DataplaneObserver {
+ public:
+  void OnDataplaneEvent(const DataplaneEvent& event) override {
+    events_.push_back(event);
+  }
+
+  const std::vector<DataplaneEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Feeds the recorded trace into `observer` in order.
+  void ReplayInto(DataplaneObserver& observer) const {
+    for (const auto& ev : events_) observer.OnDataplaneEvent(ev);
+  }
+
+  std::size_t CountType(DataplaneEventType t) const {
+    std::size_t n = 0;
+    for (const auto& ev : events_)
+      if (ev.type == t) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<DataplaneEvent> events_;
+};
+
+}  // namespace swmon

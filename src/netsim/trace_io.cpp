@@ -1,0 +1,107 @@
+#include "netsim/trace_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace swmon {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'W', 'M', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool SetError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T& v) {
+  return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+}  // namespace
+
+bool SaveTrace(const TraceRecorder& trace, const std::string& path,
+               std::string* error) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return SetError(error, "cannot open " + path + " for writing");
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      !WriteScalar(f.get(), kVersion) ||
+      !WriteScalar(f.get(), static_cast<std::uint64_t>(trace.size()))) {
+    return SetError(error, "header write failed");
+  }
+  for (const DataplaneEvent& ev : trace.events()) {
+    if (!WriteScalar(f.get(), static_cast<std::uint8_t>(ev.type)) ||
+        !WriteScalar(f.get(), ev.time.nanos()) ||
+        !WriteScalar(f.get(), ev.packet_bytes) ||
+        !WriteScalar(f.get(), ev.fields.presence_mask())) {
+      return SetError(error, "event write failed");
+    }
+    for (std::size_t i = 0; i < kNumFieldIds; ++i) {
+      const auto id = static_cast<FieldId>(i);
+      if (!ev.fields.Has(id)) continue;
+      if (!WriteScalar(f.get(), ev.fields.GetUnchecked(id)))
+        return SetError(error, "event write failed");
+    }
+  }
+  return true;
+}
+
+bool LoadTrace(const std::string& path, TraceRecorder& out,
+               std::string* error) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return SetError(error, "cannot open " + path);
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return SetError(error, path + " is not a swmon trace");
+  }
+  if (!ReadScalar(f.get(), version) || version != kVersion)
+    return SetError(error, "unsupported trace version");
+  if (!ReadScalar(f.get(), count))
+    return SetError(error, "truncated header");
+
+  for (std::uint64_t n = 0; n < count; ++n) {
+    std::uint8_t type;
+    std::int64_t time_ns;
+    DataplaneEvent ev;
+    std::uint64_t presence;
+    if (!ReadScalar(f.get(), type) || !ReadScalar(f.get(), time_ns) ||
+        !ReadScalar(f.get(), ev.packet_bytes) ||
+        !ReadScalar(f.get(), presence)) {
+      return SetError(error, "truncated event");
+    }
+    if (type > static_cast<std::uint8_t>(DataplaneEventType::kLinkStatus))
+      return SetError(error, "corrupt event type");
+    ev.type = static_cast<DataplaneEventType>(type);
+    ev.time = SimTime::FromNanos(time_ns);
+    if (presence >> kNumFieldIds)
+      return SetError(error, "corrupt presence mask");
+    for (std::size_t i = 0; i < kNumFieldIds; ++i) {
+      if (!(presence >> i & 1)) continue;
+      std::uint64_t value;
+      if (!ReadScalar(f.get(), value))
+        return SetError(error, "truncated field value");
+      ev.fields.Set(static_cast<FieldId>(i), value);
+    }
+    out.OnDataplaneEvent(ev);
+  }
+  return true;
+}
+
+}  // namespace swmon

@@ -1,0 +1,30 @@
+// Trace persistence: save/load recorded dataplane event streams.
+//
+// Enables the offline workflow the paper's provenance discussion gestures
+// at (NetSight-style "postcards" analyzed after the fact): record a
+// switch's event stream once, then run any property over it later —
+// `examples/trace_replay` is the end-to-end tool.
+//
+// Format (little-endian, versioned):
+//   magic "SWMT" | u32 version | u64 event_count
+//   per event: u8 type | i64 time_ns | u32 packet_bytes |
+//              u64 presence_mask | u64 value per set bit (ascending FieldId)
+#pragma once
+
+#include <string>
+
+#include "netsim/trace.hpp"
+
+namespace swmon {
+
+/// Serializes the trace; returns false (and sets errno-ish message) on I/O
+/// failure.
+bool SaveTrace(const TraceRecorder& trace, const std::string& path,
+               std::string* error = nullptr);
+
+/// Loads a trace written by SaveTrace. Returns false on I/O error, bad
+/// magic, unsupported version, or truncation.
+bool LoadTrace(const std::string& path, TraceRecorder& out,
+               std::string* error = nullptr);
+
+}  // namespace swmon

@@ -1,0 +1,36 @@
+#include "packet/addr.hpp"
+
+#include <cstdio>
+
+namespace swmon {
+
+std::array<std::uint8_t, 6> MacAddr::Bytes() const {
+  std::array<std::uint8_t, 6> out;
+  for (int i = 0; i < 6; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bits_ >> (8 * (5 - i)));
+  return out;
+}
+
+MacAddr MacAddr::FromBytes(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 6; ++i) bits = bits << 8 | p[i];
+  return MacAddr(bits);
+}
+
+std::string MacAddr::ToString() const {
+  const auto b = Bytes();
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1],
+                b[2], b[3], b[4], b[5]);
+  return buf;
+}
+
+std::string Ipv4Addr::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bits_ >> 24 & 0xff,
+                bits_ >> 16 & 0xff, bits_ >> 8 & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+}  // namespace swmon

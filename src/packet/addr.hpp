@@ -1,0 +1,75 @@
+// Link-layer and network-layer addresses.
+//
+// Both types are small value types with stable 64-bit encodings so they can
+// be stored directly in monitor bindings and dataplane match fields (which
+// are uniformly 64-bit, see packet/field.hpp).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace swmon {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  explicit constexpr MacAddr(std::uint64_t bits) : bits_(bits & 0xffffffffffffULL) {}
+  constexpr MacAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d, std::uint8_t e, std::uint8_t f)
+      : bits_((std::uint64_t{a} << 40) | (std::uint64_t{b} << 32) |
+              (std::uint64_t{c} << 24) | (std::uint64_t{d} << 16) |
+              (std::uint64_t{e} << 8) | std::uint64_t{f}) {}
+
+  static constexpr MacAddr Broadcast() { return MacAddr(0xffffffffffffULL); }
+  static constexpr MacAddr Zero() { return MacAddr(); }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  constexpr bool IsBroadcast() const { return bits_ == 0xffffffffffffULL; }
+  constexpr bool IsMulticast() const { return (bits_ >> 40) & 1; }
+
+  std::array<std::uint8_t, 6> Bytes() const;
+  static MacAddr FromBytes(const std::uint8_t* p);
+
+  std::string ToString() const;  // "aa:bb:cc:dd:ee:ff"
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// IPv4 address.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  explicit constexpr Ipv4Addr(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  static constexpr Ipv4Addr Broadcast() { return Ipv4Addr(0xffffffffu); }
+  static constexpr Ipv4Addr Zero() { return Ipv4Addr(); }
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr bool IsBroadcast() const { return bits_ == 0xffffffffu; }
+
+  /// True if this address lies inside `net`/`prefix_len`.
+  constexpr bool InSubnet(Ipv4Addr net, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return (bits_ & mask) == (net.bits_ & mask);
+  }
+
+  std::string ToString() const;  // "a.b.c.d"
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace swmon

@@ -1,0 +1,227 @@
+#include "packet/builder.hpp"
+
+#include "common/assert.hpp"
+#include "packet/checksum.hpp"
+
+namespace swmon {
+namespace {
+
+/// Encodes ip header + l4 segment, patching lengths and checksums.
+Packet FinishIpv4(const EthernetHeader& eth, Ipv4Header ip,
+                  std::span<const std::uint8_t> l4_segment) {
+  ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kMinSize + l4_segment.size());
+  ip.checksum = 0;
+  ByteWriter ip_w;
+  ip.Encode(ip_w);
+  const std::uint16_t csum = InternetChecksum(std::span(ip_w.bytes()));
+
+  ByteWriter w;
+  eth.Encode(w);
+  const std::size_t ip_off = w.size();
+  w.WriteBytes(std::span(ip_w.bytes()));
+  w.PatchU16(ip_off + 10, csum);
+  w.WriteBytes(l4_segment);
+  return Packet(w.Take());
+}
+
+std::span<const std::uint8_t> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+Packet BuildArp(MacAddr eth_src, MacAddr eth_dst, ArpOp op, MacAddr sender_mac,
+                Ipv4Addr sender_ip, MacAddr target_mac, Ipv4Addr target_ip) {
+  EthernetHeader eth{eth_dst, eth_src,
+                     static_cast<std::uint16_t>(EtherType::kArp)};
+  ArpMessage arp;
+  arp.op = static_cast<std::uint16_t>(op);
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_mac = target_mac;
+  arp.target_ip = target_ip;
+  ByteWriter w;
+  eth.Encode(w);
+  arp.Encode(w);
+  return Packet(w.Take());
+}
+
+Packet BuildArpRequest(MacAddr sender_mac, Ipv4Addr sender_ip,
+                       Ipv4Addr target_ip) {
+  return BuildArp(sender_mac, MacAddr::Broadcast(), ArpOp::kRequest,
+                  sender_mac, sender_ip, MacAddr::Zero(), target_ip);
+}
+
+Packet BuildArpReply(MacAddr sender_mac, Ipv4Addr sender_ip,
+                     MacAddr target_mac, Ipv4Addr target_ip) {
+  return BuildArp(sender_mac, target_mac, ArpOp::kReply, sender_mac, sender_ip,
+                  target_mac, target_ip);
+}
+
+Packet BuildTcp(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                Ipv4Addr ip_dst, std::uint16_t src_port, std::uint16_t dst_port,
+                std::uint8_t flags, std::span<const std::uint8_t> payload) {
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.flags = flags;
+  ByteWriter seg;
+  tcp.Encode(seg);
+  seg.WriteBytes(payload);
+  seg.PatchU16(16, TransportChecksum(ip_src, ip_dst,
+                                     static_cast<std::uint8_t>(IpProto::kTcp),
+                                     std::span(seg.bytes())));
+
+  EthernetHeader eth{eth_dst, eth_src,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  return FinishIpv4(eth, ip, std::span(seg.bytes()));
+}
+
+Packet BuildUdp(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                Ipv4Addr ip_dst, std::uint16_t src_port, std::uint16_t dst_port,
+                std::span<const std::uint8_t> payload) {
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  ByteWriter seg;
+  udp.Encode(seg);
+  seg.WriteBytes(payload);
+  seg.PatchU16(6, TransportChecksum(ip_src, ip_dst,
+                                    static_cast<std::uint8_t>(IpProto::kUdp),
+                                    std::span(seg.bytes())));
+
+  EthernetHeader eth{eth_dst, eth_src,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  return FinishIpv4(eth, ip, std::span(seg.bytes()));
+}
+
+Packet BuildIcmpEcho(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                     Ipv4Addr ip_dst, bool is_request, std::uint16_t ident,
+                     std::uint16_t seq) {
+  IcmpHeader icmp;
+  icmp.type = static_cast<std::uint8_t>(is_request ? IcmpType::kEchoRequest
+                                                   : IcmpType::kEchoReply);
+  icmp.identifier = ident;
+  icmp.sequence = seq;
+  ByteWriter seg;
+  icmp.Encode(seg);
+  seg.PatchU16(2, InternetChecksum(std::span(seg.bytes())));
+
+  EthernetHeader eth{eth_dst, eth_src,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kIcmp);
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  return FinishIpv4(eth, ip, std::span(seg.bytes()));
+}
+
+Packet BuildDhcp(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                 Ipv4Addr ip_dst, bool from_client, const DhcpMessage& msg) {
+  ByteWriter payload;
+  msg.Encode(payload);
+  return BuildUdp(eth_src, eth_dst, ip_src, ip_dst,
+                  from_client ? kDhcpClientPort : kDhcpServerPort,
+                  from_client ? kDhcpServerPort : kDhcpClientPort,
+                  std::span(payload.bytes()));
+}
+
+Packet BuildFtpControlLine(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                           Ipv4Addr ip_dst, std::uint16_t src_port,
+                           std::uint16_t dst_port, std::string_view line) {
+  return BuildTcp(eth_src, eth_dst, ip_src, ip_dst, src_port, dst_port,
+                  kTcpPsh | kTcpAck, AsBytes(line));
+}
+
+bool SetPacketField(ParsedPacket& pkt, FieldId id, std::uint64_t value) {
+  if (!pkt.valid) return false;
+  switch (id) {
+    case FieldId::kEthSrc:
+      pkt.eth.src = MacAddr(value);
+      break;
+    case FieldId::kEthDst:
+      pkt.eth.dst = MacAddr(value);
+      break;
+    case FieldId::kIpSrc:
+      if (!pkt.ipv4) return false;
+      pkt.ipv4->src = Ipv4Addr(static_cast<std::uint32_t>(value));
+      break;
+    case FieldId::kIpDst:
+      if (!pkt.ipv4) return false;
+      pkt.ipv4->dst = Ipv4Addr(static_cast<std::uint32_t>(value));
+      break;
+    case FieldId::kIpTtl:
+      if (!pkt.ipv4) return false;
+      pkt.ipv4->ttl = static_cast<std::uint8_t>(value);
+      break;
+    case FieldId::kL4SrcPort:
+      if (pkt.tcp) pkt.tcp->src_port = static_cast<std::uint16_t>(value);
+      else if (pkt.udp) pkt.udp->src_port = static_cast<std::uint16_t>(value);
+      else return false;
+      break;
+    case FieldId::kL4DstPort:
+      if (pkt.tcp) pkt.tcp->dst_port = static_cast<std::uint16_t>(value);
+      else if (pkt.udp) pkt.udp->dst_port = static_cast<std::uint16_t>(value);
+      else return false;
+      break;
+    default:
+      return false;
+  }
+  pkt.fields.Set(id, value);
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeParsed(const ParsedPacket& pkt) {
+  SWMON_ASSERT_MSG(pkt.valid, "cannot re-encode an invalid packet");
+  if (pkt.arp) {
+    ByteWriter w;
+    pkt.eth.Encode(w);
+    pkt.arp->Encode(w);
+    return w.Take();
+  }
+  if (pkt.ipv4) {
+    ByteWriter seg;
+    if (pkt.tcp) {
+      TcpHeader tcp = *pkt.tcp;
+      tcp.checksum = 0;
+      tcp.Encode(seg);
+      seg.WriteBytes(pkt.l4_payload);
+      seg.PatchU16(16, TransportChecksum(
+                           pkt.ipv4->src, pkt.ipv4->dst,
+                           static_cast<std::uint8_t>(IpProto::kTcp),
+                           std::span(seg.bytes())));
+    } else if (pkt.udp) {
+      UdpHeader udp = *pkt.udp;
+      udp.checksum = 0;
+      udp.length =
+          static_cast<std::uint16_t>(UdpHeader::kSize + pkt.l4_payload.size());
+      udp.Encode(seg);
+      seg.WriteBytes(pkt.l4_payload);
+      seg.PatchU16(6, TransportChecksum(
+                          pkt.ipv4->src, pkt.ipv4->dst,
+                          static_cast<std::uint8_t>(IpProto::kUdp),
+                          std::span(seg.bytes())));
+    } else if (pkt.icmp) {
+      IcmpHeader icmp = *pkt.icmp;
+      icmp.checksum = 0;
+      icmp.Encode(seg);
+      seg.PatchU16(2, InternetChecksum(std::span(seg.bytes())));
+    }
+    return FinishIpv4(pkt.eth, *pkt.ipv4, std::span(seg.bytes())).data;
+  }
+  ByteWriter w;
+  pkt.eth.Encode(w);
+  return w.Take();
+}
+
+}  // namespace swmon

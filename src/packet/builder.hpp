@@ -1,0 +1,60 @@
+// Packet construction and re-encoding.
+//
+// Builders produce complete, checksummed wire-format packets for the traffic
+// generators and apps. SetPacketField/EncodeParsed support the dataplane's
+// set-field action (e.g. NAT rewriting): mutate the parsed view, then
+// re-encode it to fresh bytes with lengths and checksums recomputed.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "packet/parser.hpp"
+
+namespace swmon {
+
+Packet BuildArp(MacAddr eth_src, MacAddr eth_dst, ArpOp op, MacAddr sender_mac,
+                Ipv4Addr sender_ip, MacAddr target_mac, Ipv4Addr target_ip);
+
+/// Broadcast who-has request.
+Packet BuildArpRequest(MacAddr sender_mac, Ipv4Addr sender_ip,
+                       Ipv4Addr target_ip);
+
+/// Unicast is-at reply.
+Packet BuildArpReply(MacAddr sender_mac, Ipv4Addr sender_ip,
+                     MacAddr target_mac, Ipv4Addr target_ip);
+
+Packet BuildTcp(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                Ipv4Addr ip_dst, std::uint16_t src_port, std::uint16_t dst_port,
+                std::uint8_t flags,
+                std::span<const std::uint8_t> payload = {});
+
+Packet BuildUdp(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                Ipv4Addr ip_dst, std::uint16_t src_port, std::uint16_t dst_port,
+                std::span<const std::uint8_t> payload = {});
+
+Packet BuildIcmpEcho(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                     Ipv4Addr ip_dst, bool is_request, std::uint16_t ident,
+                     std::uint16_t seq);
+
+/// DHCP message inside Ethernet/IPv4/UDP. Client messages broadcast to
+/// 255.255.255.255; server messages unicast to the client.
+Packet BuildDhcp(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                 Ipv4Addr ip_dst, bool from_client, const DhcpMessage& msg);
+
+/// One FTP control-channel line (e.g. a PORT command) as a TCP PSH segment.
+Packet BuildFtpControlLine(MacAddr eth_src, MacAddr eth_dst, Ipv4Addr ip_src,
+                           Ipv4Addr ip_dst, std::uint16_t src_port,
+                           std::uint16_t dst_port, std::string_view line);
+
+/// Overwrites one mutable header field in the parsed view, keeping struct
+/// and FieldMap consistent. Returns false for fields that are absent from
+/// this packet or not rewritable (e.g. kPacketId).
+bool SetPacketField(ParsedPacket& pkt, FieldId id, std::uint64_t value);
+
+/// Re-encodes a parsed packet to wire bytes, recomputing lengths and
+/// checksums. The parsed view must be valid.
+std::vector<std::uint8_t> EncodeParsed(const ParsedPacket& pkt);
+
+}  // namespace swmon

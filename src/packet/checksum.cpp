@@ -1,0 +1,38 @@
+#include "packet/checksum.hpp"
+
+namespace swmon {
+namespace {
+
+std::uint32_t SumWords(std::span<const std::uint8_t> data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += static_cast<std::uint32_t>(data[i] << 8 | data[i + 1]);
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i] << 8);
+  return acc;
+}
+
+std::uint16_t Fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc);
+}
+
+}  // namespace
+
+std::uint16_t InternetChecksum(std::span<const std::uint8_t> data) {
+  return Fold(SumWords(data, 0));
+}
+
+std::uint16_t TransportChecksum(Ipv4Addr src, Ipv4Addr dst,
+                                std::uint8_t protocol,
+                                std::span<const std::uint8_t> segment) {
+  std::uint32_t acc = 0;
+  acc += src.bits() >> 16;
+  acc += src.bits() & 0xffff;
+  acc += dst.bits() >> 16;
+  acc += dst.bits() & 0xffff;
+  acc += protocol;
+  acc += static_cast<std::uint32_t>(segment.size());
+  return Fold(SumWords(segment, acc));
+}
+
+}  // namespace swmon

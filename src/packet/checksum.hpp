@@ -1,0 +1,19 @@
+// Internet checksum (RFC 1071) used by IPv4/TCP/UDP/ICMP encoders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "packet/addr.hpp"
+
+namespace swmon {
+
+/// Ones-complement sum folded to 16 bits over `data`.
+std::uint16_t InternetChecksum(std::span<const std::uint8_t> data);
+
+/// Checksum with the IPv4 pseudo-header prepended (for TCP/UDP).
+std::uint16_t TransportChecksum(Ipv4Addr src, Ipv4Addr dst,
+                                std::uint8_t protocol,
+                                std::span<const std::uint8_t> segment);
+
+}  // namespace swmon

@@ -1,0 +1,103 @@
+#include "packet/dhcp.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr std::uint32_t kMagicCookie = 0x63825363;
+
+constexpr std::uint8_t kOptPad = 0;
+constexpr std::uint8_t kOptRequestedIp = 50;
+constexpr std::uint8_t kOptLeaseTime = 51;
+constexpr std::uint8_t kOptMsgType = 53;
+constexpr std::uint8_t kOptServerId = 54;
+constexpr std::uint8_t kOptEnd = 255;
+
+}  // namespace
+
+void DhcpMessage::Encode(ByteWriter& w) const {
+  w.WriteU8(op);
+  w.WriteU8(1);   // htype: Ethernet
+  w.WriteU8(6);   // hlen
+  w.WriteU8(0);   // hops
+  w.WriteU32(xid);
+  w.WriteU16(0);  // secs
+  w.WriteU16(0);  // flags
+  w.WriteU32(ciaddr.bits());
+  w.WriteU32(yiaddr.bits());
+  w.WriteU32(0);  // siaddr
+  w.WriteU32(0);  // giaddr
+  const auto mac = chaddr.Bytes();
+  w.WriteBytes(std::span(mac.data(), mac.size()));
+  w.Fill(0, 10);   // chaddr padding
+  w.Fill(0, 64);   // sname
+  w.Fill(0, 128);  // file
+  w.WriteU32(kMagicCookie);
+
+  w.WriteU8(kOptMsgType);
+  w.WriteU8(1);
+  w.WriteU8(static_cast<std::uint8_t>(msg_type));
+  if (requested_ip) {
+    w.WriteU8(kOptRequestedIp);
+    w.WriteU8(4);
+    w.WriteU32(requested_ip->bits());
+  }
+  if (lease_secs) {
+    w.WriteU8(kOptLeaseTime);
+    w.WriteU8(4);
+    w.WriteU32(*lease_secs);
+  }
+  if (server_id) {
+    w.WriteU8(kOptServerId);
+    w.WriteU8(4);
+    w.WriteU32(server_id->bits());
+  }
+  w.WriteU8(kOptEnd);
+}
+
+bool DhcpMessage::Decode(ByteReader& r) {
+  op = r.ReadU8();
+  r.Skip(3);  // htype, hlen, hops
+  xid = r.ReadU32();
+  r.Skip(4);  // secs, flags
+  ciaddr = Ipv4Addr(r.ReadU32());
+  yiaddr = Ipv4Addr(r.ReadU32());
+  r.Skip(8);  // siaddr, giaddr
+  std::uint8_t mac[6];
+  r.ReadBytes(mac, 6);
+  chaddr = MacAddr::FromBytes(mac);
+  r.Skip(10 + 64 + 128);  // chaddr pad, sname, file
+  if (!r.ok() || r.ReadU32() != kMagicCookie) return false;
+
+  bool saw_msg_type = false;
+  while (r.ok() && r.remaining() > 0) {
+    const std::uint8_t code = r.ReadU8();
+    if (code == kOptEnd) break;
+    if (code == kOptPad) continue;
+    const std::uint8_t len = r.ReadU8();
+    switch (code) {
+      case kOptMsgType:
+        if (len != 1) return false;
+        msg_type = static_cast<DhcpMsgType>(r.ReadU8());
+        saw_msg_type = true;
+        break;
+      case kOptRequestedIp:
+        if (len != 4) return false;
+        requested_ip = Ipv4Addr(r.ReadU32());
+        break;
+      case kOptLeaseTime:
+        if (len != 4) return false;
+        lease_secs = r.ReadU32();
+        break;
+      case kOptServerId:
+        if (len != 4) return false;
+        server_id = Ipv4Addr(r.ReadU32());
+        break;
+      default:
+        r.Skip(len);
+        break;
+    }
+  }
+  return r.ok() && saw_msg_type;
+}
+
+}  // namespace swmon

@@ -1,0 +1,49 @@
+// DHCP (RFC 2131) message encoding — the L7 substrate for the Table-1 DHCP
+// properties ("reply to lease request within T seconds", "leased addresses
+// never re-used", "no lease overlap", DHCP+ARP cache pre-loading).
+//
+// Only the fields and options those properties observe are modeled: message
+// type, transaction id, offered/leased address, client hardware address,
+// server identifier, requested address, and lease time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/byte_io.hpp"
+#include "packet/addr.hpp"
+
+namespace swmon {
+
+enum class DhcpMsgType : std::uint8_t {
+  kDiscover = 1,
+  kOffer = 2,
+  kRequest = 3,
+  kDecline = 4,
+  kAck = 5,
+  kNak = 6,
+  kRelease = 7,
+};
+
+inline constexpr std::uint16_t kDhcpServerPort = 67;
+inline constexpr std::uint16_t kDhcpClientPort = 68;
+
+struct DhcpMessage {
+  std::uint8_t op = 1;  // 1 = BOOTREQUEST, 2 = BOOTREPLY
+  std::uint32_t xid = 0;
+  Ipv4Addr ciaddr;  // client's current address (in RELEASE)
+  Ipv4Addr yiaddr;  // "your" address (in OFFER/ACK)
+  MacAddr chaddr;   // client hardware address
+
+  DhcpMsgType msg_type = DhcpMsgType::kDiscover;  // option 53 (mandatory)
+  std::optional<Ipv4Addr> requested_ip;           // option 50
+  std::optional<std::uint32_t> lease_secs;        // option 51
+  std::optional<Ipv4Addr> server_id;              // option 54
+
+  void Encode(ByteWriter& w) const;
+  /// Decodes a DHCP message from a UDP payload. Returns false when the fixed
+  /// header is truncated, the magic cookie is wrong, or option 53 is absent.
+  bool Decode(ByteReader& r);
+};
+
+}  // namespace swmon

@@ -1,0 +1,125 @@
+#include "packet/field.hpp"
+
+#include <cstdio>
+
+namespace swmon {
+
+FieldLayer LayerOf(FieldId id) {
+  switch (id) {
+    case FieldId::kInPort:
+    case FieldId::kOutPort:
+    case FieldId::kEgressAction:
+    case FieldId::kPacketId:
+    case FieldId::kSwitchId:
+    case FieldId::kLinkId:
+    case FieldId::kLinkUp:
+    case FieldId::kEventType:
+      return FieldLayer::kMeta;
+    case FieldId::kEthSrc:
+    case FieldId::kEthDst:
+    case FieldId::kEthType:
+      return FieldLayer::kL2;
+    case FieldId::kArpOp:
+    case FieldId::kArpSenderMac:
+    case FieldId::kArpSenderIp:
+    case FieldId::kArpTargetMac:
+    case FieldId::kArpTargetIp:
+    case FieldId::kIpSrc:
+    case FieldId::kIpDst:
+    case FieldId::kIpProto:
+    case FieldId::kIpTtl:
+      return FieldLayer::kL3;
+    case FieldId::kL4SrcPort:
+    case FieldId::kL4DstPort:
+    case FieldId::kTcpFlags:
+    case FieldId::kIcmpType:
+      return FieldLayer::kL4;
+    case FieldId::kDhcpOp:
+    case FieldId::kDhcpMsgType:
+    case FieldId::kDhcpXid:
+    case FieldId::kDhcpCiaddr:
+    case FieldId::kDhcpYiaddr:
+    case FieldId::kDhcpChaddr:
+    case FieldId::kDhcpRequestedIp:
+    case FieldId::kDhcpLeaseSecs:
+    case FieldId::kDhcpServerId:
+    case FieldId::kFtpMsgKind:
+    case FieldId::kFtpDataAddr:
+    case FieldId::kFtpDataPort:
+      return FieldLayer::kL7;
+    case FieldId::kNumFields:
+      break;
+  }
+  return FieldLayer::kMeta;
+}
+
+const char* FieldName(FieldId id) {
+  switch (id) {
+    case FieldId::kInPort: return "in_port";
+    case FieldId::kOutPort: return "out_port";
+    case FieldId::kEgressAction: return "egress_action";
+    case FieldId::kPacketId: return "packet_id";
+    case FieldId::kSwitchId: return "switch_id";
+    case FieldId::kLinkId: return "link_id";
+    case FieldId::kLinkUp: return "link_up";
+    case FieldId::kEventType: return "event_type";
+    case FieldId::kEthSrc: return "eth_src";
+    case FieldId::kEthDst: return "eth_dst";
+    case FieldId::kEthType: return "eth_type";
+    case FieldId::kArpOp: return "arp_op";
+    case FieldId::kArpSenderMac: return "arp_sha";
+    case FieldId::kArpSenderIp: return "arp_spa";
+    case FieldId::kArpTargetMac: return "arp_tha";
+    case FieldId::kArpTargetIp: return "arp_tpa";
+    case FieldId::kIpSrc: return "ip_src";
+    case FieldId::kIpDst: return "ip_dst";
+    case FieldId::kIpProto: return "ip_proto";
+    case FieldId::kIpTtl: return "ip_ttl";
+    case FieldId::kL4SrcPort: return "l4_src";
+    case FieldId::kL4DstPort: return "l4_dst";
+    case FieldId::kTcpFlags: return "tcp_flags";
+    case FieldId::kIcmpType: return "icmp_type";
+    case FieldId::kDhcpOp: return "dhcp_op";
+    case FieldId::kDhcpMsgType: return "dhcp_msg_type";
+    case FieldId::kDhcpXid: return "dhcp_xid";
+    case FieldId::kDhcpCiaddr: return "dhcp_ciaddr";
+    case FieldId::kDhcpYiaddr: return "dhcp_yiaddr";
+    case FieldId::kDhcpChaddr: return "dhcp_chaddr";
+    case FieldId::kDhcpRequestedIp: return "dhcp_req_ip";
+    case FieldId::kDhcpLeaseSecs: return "dhcp_lease_secs";
+    case FieldId::kDhcpServerId: return "dhcp_server_id";
+    case FieldId::kFtpMsgKind: return "ftp_msg_kind";
+    case FieldId::kFtpDataAddr: return "ftp_data_addr";
+    case FieldId::kFtpDataPort: return "ftp_data_port";
+    case FieldId::kNumFields: break;
+  }
+  return "?";
+}
+
+const char* LayerName(FieldLayer layer) {
+  switch (layer) {
+    case FieldLayer::kMeta: return "meta";
+    case FieldLayer::kL2: return "L2";
+    case FieldLayer::kL3: return "L3";
+    case FieldLayer::kL4: return "L4";
+    case FieldLayer::kL7: return "L7";
+  }
+  return "?";
+}
+
+std::string FieldMap::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kNumFieldIds; ++i) {
+    const auto id = static_cast<FieldId>(i);
+    if (!Has(id)) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%s=%llu", out.size() > 1 ? ", " : "",
+                  FieldName(id),
+                  static_cast<unsigned long long>(GetUnchecked(id)));
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace swmon

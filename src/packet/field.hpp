@@ -1,0 +1,135 @@
+// Dynamic field access (paper Feature 1).
+//
+// Every value a monitor observation can match on — packet headers from L2 to
+// L7 plus switch metadata (ingress port, egress action, packet identity) —
+// is identified by a FieldId and represented as a 64-bit value. A FieldMap
+// is a dense, presence-tracked map from FieldId to value: the parsed view of
+// one event. Keeping the representation uniform lets match predicates,
+// monitor bindings, and dataplane flow keys share one value type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace swmon {
+
+enum class FieldId : std::uint8_t {
+  // Switch metadata. kPacketId implements Feature 5 (packet identity):
+  // the dataplane stamps every arrival with a fresh id and propagates it to
+  // the corresponding egress/drop events.
+  kInPort = 0,
+  kOutPort,
+  kEgressAction,  // EgressActionValue below
+  kPacketId,
+  kSwitchId,
+  // Out-of-band events (Feature 8, multiple match).
+  kLinkId,
+  kLinkUp,  // 1 = up, 0 = down
+  /// Event kind as a matchable metadata field (DataplaneEventType value);
+  /// set by table-compiled monitors so arrival/egress/link selection is an
+  /// ordinary match term.
+  kEventType,
+
+  // L2.
+  kEthSrc,
+  kEthDst,
+  kEthType,
+
+  // ARP (L3-adjacent; the paper's ARP properties list "L3" parse depth).
+  kArpOp,
+  kArpSenderMac,
+  kArpSenderIp,
+  kArpTargetMac,
+  kArpTargetIp,
+
+  // L3.
+  kIpSrc,
+  kIpDst,
+  kIpProto,
+  kIpTtl,
+
+  // L4.
+  kL4SrcPort,
+  kL4DstPort,
+  kTcpFlags,
+  kIcmpType,
+
+  // L7: DHCP.
+  kDhcpOp,
+  kDhcpMsgType,
+  kDhcpXid,
+  kDhcpCiaddr,
+  kDhcpYiaddr,
+  kDhcpChaddr,
+  kDhcpRequestedIp,
+  kDhcpLeaseSecs,
+  kDhcpServerId,
+
+  // L7: FTP control.
+  kFtpMsgKind,
+  kFtpDataAddr,
+  kFtpDataPort,
+
+  kNumFields,
+};
+
+inline constexpr std::size_t kNumFieldIds =
+    static_cast<std::size_t>(FieldId::kNumFields);
+static_assert(kNumFieldIds <= 64, "FieldMap presence mask is 64 bits");
+
+/// Values of FieldId::kEgressAction.
+enum class EgressActionValue : std::uint64_t {
+  kForward = 0,  // unicast out kOutPort
+  kFlood = 1,    // broadcast to all ports but ingress
+  kDrop = 2,
+};
+
+/// Parse depth a field requires (Table 1's "Fields" column), or the fact
+/// that it is switch metadata rather than packet content.
+enum class FieldLayer : std::uint8_t { kMeta, kL2, kL3, kL4, kL7 };
+
+FieldLayer LayerOf(FieldId id);
+const char* FieldName(FieldId id);
+const char* LayerName(FieldLayer layer);
+
+/// One event's worth of field values. Absent fields (e.g. L4 ports on an ARP
+/// packet) are tracked via the presence mask; reading an absent field yields
+/// nullopt rather than a default value, which matters for negative match.
+class FieldMap {
+ public:
+  void Set(FieldId id, std::uint64_t value) {
+    const auto i = static_cast<std::size_t>(id);
+    values_[i] = value;
+    present_ |= std::uint64_t{1} << i;
+  }
+
+  void Clear(FieldId id) {
+    present_ &= ~(std::uint64_t{1} << static_cast<std::size_t>(id));
+  }
+
+  bool Has(FieldId id) const {
+    return present_ >> static_cast<std::size_t>(id) & 1;
+  }
+
+  std::optional<std::uint64_t> Get(FieldId id) const {
+    if (!Has(id)) return std::nullopt;
+    return values_[static_cast<std::size_t>(id)];
+  }
+
+  /// Unchecked read; only valid when Has(id).
+  std::uint64_t GetUnchecked(FieldId id) const {
+    return values_[static_cast<std::size_t>(id)];
+  }
+
+  std::uint64_t presence_mask() const { return present_; }
+
+  std::string ToString() const;
+
+ private:
+  std::array<std::uint64_t, kNumFieldIds> values_{};
+  std::uint64_t present_ = 0;
+};
+
+}  // namespace swmon

@@ -1,0 +1,90 @@
+#include "packet/ftp.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace swmon {
+namespace {
+
+/// Parses "h1,h2,h3,h4,p1,p2" starting at `s`. Returns false on malformed
+/// input or out-of-range octets.
+bool ParseHostPortTuple(std::string_view s, Ipv4Addr& addr,
+                        std::uint16_t& port) {
+  unsigned vals[6];
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+      return false;
+    unsigned v = 0;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      v = v * 10 + static_cast<unsigned>(s[pos] - '0');
+      if (v > 255) return false;
+      ++pos;
+    }
+    vals[i] = v;
+    if (i < 5) {
+      if (pos >= s.size() || s[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  addr = Ipv4Addr(static_cast<std::uint8_t>(vals[0]),
+                  static_cast<std::uint8_t>(vals[1]),
+                  static_cast<std::uint8_t>(vals[2]),
+                  static_cast<std::uint8_t>(vals[3]));
+  port = static_cast<std::uint16_t>(vals[4] << 8 | vals[5]);
+  return true;
+}
+
+std::string_view StripCrLf(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+    line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+std::optional<FtpControlMessage> ParseFtpControl(std::string_view line) {
+  line = StripCrLf(line);
+  if (line.empty()) return std::nullopt;
+
+  FtpControlMessage msg;
+  if (line.starts_with("PORT ")) {
+    if (ParseHostPortTuple(line.substr(5), msg.data_addr, msg.data_port))
+      msg.kind = FtpMsgKind::kPortCommand;
+    return msg;
+  }
+  if (line.starts_with("227")) {
+    const auto open = line.find('(');
+    const auto close = line.rfind(')');
+    if (open != std::string_view::npos && close != std::string_view::npos &&
+        close > open &&
+        ParseHostPortTuple(line.substr(open + 1, close - open - 1),
+                           msg.data_addr, msg.data_port)) {
+      msg.kind = FtpMsgKind::kPasvReply;
+    }
+    return msg;
+  }
+  return msg;  // kOther
+}
+
+std::string FormatFtpPort(Ipv4Addr addr, std::uint16_t port) {
+  const std::uint32_t a = addr.bits();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "PORT %u,%u,%u,%u,%u,%u\r\n", a >> 24 & 0xff,
+                a >> 16 & 0xff, a >> 8 & 0xff, a & 0xff, port >> 8,
+                port & 0xff);
+  return buf;
+}
+
+std::string FormatFtpPasvReply(Ipv4Addr addr, std::uint16_t port) {
+  const std::uint32_t a = addr.bits();
+  char buf[80];
+  std::snprintf(buf, sizeof(buf),
+                "227 Entering Passive Mode (%u,%u,%u,%u,%u,%u)\r\n",
+                a >> 24 & 0xff, a >> 16 & 0xff, a >> 8 & 0xff, a & 0xff,
+                port >> 8, port & 0xff);
+  return buf;
+}
+
+}  // namespace swmon

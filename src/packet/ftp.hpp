@@ -1,0 +1,41 @@
+// FTP control-channel parsing — the L7 substrate for Table 1's FTP property
+// ("data L4 port matches L4 port given in control stream", from FAST).
+//
+// We parse the two messages that announce a data-channel endpoint:
+//   client active mode:  "PORT h1,h2,h3,h4,p1,p2\r\n"
+//   server passive mode: "227 Entering Passive Mode (h1,h2,h3,h4,p1,p2)\r\n"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "packet/addr.hpp"
+
+namespace swmon {
+
+inline constexpr std::uint16_t kFtpControlPort = 21;
+
+enum class FtpMsgKind : std::uint8_t {
+  kOther = 0,
+  kPortCommand = 1,   // client announces active-mode endpoint
+  kPasvReply = 2,     // server announces passive-mode endpoint
+};
+
+struct FtpControlMessage {
+  FtpMsgKind kind = FtpMsgKind::kOther;
+  Ipv4Addr data_addr;         // valid for kPortCommand / kPasvReply
+  std::uint16_t data_port = 0;  // valid for kPortCommand / kPasvReply
+};
+
+/// Parses one line of FTP control traffic. Returns nullopt for an empty or
+/// non-ASCII payload; unrecognized commands yield kind == kOther.
+std::optional<FtpControlMessage> ParseFtpControl(std::string_view line);
+
+/// Renders a PORT command line for the given endpoint.
+std::string FormatFtpPort(Ipv4Addr addr, std::uint16_t port);
+
+/// Renders a 227 passive-mode reply line for the given endpoint.
+std::string FormatFtpPasvReply(Ipv4Addr addr, std::uint16_t port);
+
+}  // namespace swmon

@@ -1,0 +1,145 @@
+#include "packet/headers.hpp"
+
+namespace swmon {
+
+void EthernetHeader::Encode(ByteWriter& w) const {
+  const auto d = dst.Bytes();
+  const auto s = src.Bytes();
+  w.WriteBytes(std::span(d.data(), d.size()));
+  w.WriteBytes(std::span(s.data(), s.size()));
+  w.WriteU16(ether_type);
+}
+
+bool EthernetHeader::Decode(ByteReader& r) {
+  std::uint8_t buf[6];
+  r.ReadBytes(buf, 6);
+  dst = MacAddr::FromBytes(buf);
+  r.ReadBytes(buf, 6);
+  src = MacAddr::FromBytes(buf);
+  ether_type = r.ReadU16();
+  return r.ok();
+}
+
+void ArpMessage::Encode(ByteWriter& w) const {
+  w.WriteU16(hardware_type);
+  w.WriteU16(protocol_type);
+  w.WriteU8(hardware_len);
+  w.WriteU8(protocol_len);
+  w.WriteU16(op);
+  auto sm = sender_mac.Bytes();
+  w.WriteBytes(std::span(sm.data(), sm.size()));
+  w.WriteU32(sender_ip.bits());
+  auto tm = target_mac.Bytes();
+  w.WriteBytes(std::span(tm.data(), tm.size()));
+  w.WriteU32(target_ip.bits());
+}
+
+bool ArpMessage::Decode(ByteReader& r) {
+  hardware_type = r.ReadU16();
+  protocol_type = r.ReadU16();
+  hardware_len = r.ReadU8();
+  protocol_len = r.ReadU8();
+  op = r.ReadU16();
+  std::uint8_t buf[6];
+  r.ReadBytes(buf, 6);
+  sender_mac = MacAddr::FromBytes(buf);
+  sender_ip = Ipv4Addr(r.ReadU32());
+  r.ReadBytes(buf, 6);
+  target_mac = MacAddr::FromBytes(buf);
+  target_ip = Ipv4Addr(r.ReadU32());
+  return r.ok() && hardware_type == 1 && protocol_type == 0x0800 &&
+         hardware_len == 6 && protocol_len == 4;
+}
+
+void Ipv4Header::Encode(ByteWriter& w) const {
+  w.WriteU8(static_cast<std::uint8_t>(version << 4 | ihl));
+  w.WriteU8(dscp_ecn);
+  w.WriteU16(total_length);
+  w.WriteU16(identification);
+  w.WriteU16(flags_fragment);
+  w.WriteU8(ttl);
+  w.WriteU8(protocol);
+  w.WriteU16(checksum);
+  w.WriteU32(src.bits());
+  w.WriteU32(dst.bits());
+}
+
+bool Ipv4Header::Decode(ByteReader& r) {
+  const std::uint8_t vi = r.ReadU8();
+  version = vi >> 4;
+  ihl = vi & 0x0f;
+  dscp_ecn = r.ReadU8();
+  total_length = r.ReadU16();
+  identification = r.ReadU16();
+  flags_fragment = r.ReadU16();
+  ttl = r.ReadU8();
+  protocol = r.ReadU8();
+  checksum = r.ReadU16();
+  src = Ipv4Addr(r.ReadU32());
+  dst = Ipv4Addr(r.ReadU32());
+  if (!r.ok() || version != 4 || ihl < 5) return false;
+  // Skip IPv4 options if present.
+  r.Skip(static_cast<std::size_t>(ihl - 5) * 4);
+  return r.ok();
+}
+
+void TcpHeader::Encode(ByteWriter& w) const {
+  w.WriteU16(src_port);
+  w.WriteU16(dst_port);
+  w.WriteU32(seq);
+  w.WriteU32(ack);
+  w.WriteU8(static_cast<std::uint8_t>(data_offset << 4));
+  w.WriteU8(flags);
+  w.WriteU16(window);
+  w.WriteU16(checksum);
+  w.WriteU16(urgent);
+}
+
+bool TcpHeader::Decode(ByteReader& r) {
+  src_port = r.ReadU16();
+  dst_port = r.ReadU16();
+  seq = r.ReadU32();
+  ack = r.ReadU32();
+  data_offset = r.ReadU8() >> 4;
+  flags = r.ReadU8();
+  window = r.ReadU16();
+  checksum = r.ReadU16();
+  urgent = r.ReadU16();
+  if (!r.ok() || data_offset < 5) return false;
+  r.Skip(static_cast<std::size_t>(data_offset - 5) * 4);  // options
+  return r.ok();
+}
+
+void UdpHeader::Encode(ByteWriter& w) const {
+  w.WriteU16(src_port);
+  w.WriteU16(dst_port);
+  w.WriteU16(length);
+  w.WriteU16(checksum);
+}
+
+bool UdpHeader::Decode(ByteReader& r) {
+  src_port = r.ReadU16();
+  dst_port = r.ReadU16();
+  length = r.ReadU16();
+  checksum = r.ReadU16();
+  return r.ok() && length >= kSize;
+}
+
+void IcmpHeader::Encode(ByteWriter& w) const {
+  w.WriteU8(type);
+  w.WriteU8(code);
+  w.WriteU16(checksum);
+  w.WriteU16(identifier);
+  w.WriteU16(sequence);
+}
+
+bool IcmpHeader::Decode(ByteReader& r) {
+  type = r.ReadU8();
+  code = r.ReadU8();
+  checksum = r.ReadU16();
+  identifier = r.ReadU16();
+  sequence = r.ReadU16();
+  return r.ok();
+}
+
+}  // namespace swmon

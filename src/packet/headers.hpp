@@ -1,0 +1,140 @@
+// Wire-format protocol headers: Ethernet II, ARP, IPv4, TCP, UDP, ICMP.
+//
+// Each struct mirrors the on-wire header with host-order values; Encode
+// appends the big-endian wire form to a ByteWriter and Decode parses from a
+// ByteReader (returning false on truncation or malformed fields). Length and
+// checksum fields are filled in by the builders in packet/builder.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_io.hpp"
+#include "packet/addr.hpp"
+
+namespace swmon {
+
+// ---------------------------------------------------------------- Ethernet
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = 0;
+
+  void Encode(ByteWriter& w) const;
+  bool Decode(ByteReader& r);
+};
+
+// --------------------------------------------------------------------- ARP
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpMessage {
+  static constexpr std::size_t kSize = 28;
+
+  std::uint16_t hardware_type = 1;   // Ethernet
+  std::uint16_t protocol_type = 0x0800;
+  std::uint8_t hardware_len = 6;
+  std::uint8_t protocol_len = 4;
+  std::uint16_t op = 0;
+  MacAddr sender_mac;
+  Ipv4Addr sender_ip;
+  MacAddr target_mac;
+  Ipv4Addr target_ip;
+
+  void Encode(ByteWriter& w) const;
+  bool Decode(ByteReader& r);
+};
+
+// -------------------------------------------------------------------- IPv4
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words; no options supported
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  // filled by builder
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  // DF
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // filled by builder
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  void Encode(ByteWriter& w) const;
+  bool Decode(ByteReader& r);
+};
+
+// --------------------------------------------------------------------- TCP
+
+// TCP flag bits (low byte of the flags field).
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;  // filled by builder
+  std::uint16_t urgent = 0;
+
+  void Encode(ByteWriter& w) const;
+  bool Decode(ByteReader& r);
+};
+
+// --------------------------------------------------------------------- UDP
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // filled by builder
+  std::uint16_t checksum = 0;  // filled by builder
+
+  void Encode(ByteWriter& w) const;
+  bool Decode(ByteReader& r);
+};
+
+// -------------------------------------------------------------------- ICMP
+
+enum class IcmpType : std::uint8_t { kEchoReply = 0, kEchoRequest = 8 };
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;  // filled by builder
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  void Encode(ByteWriter& w) const;
+  bool Decode(ByteReader& r);
+};
+
+}  // namespace swmon

@@ -1,0 +1,40 @@
+// The Packet: owned wire bytes plus switch-assigned identity.
+//
+// The byte buffer is the authoritative representation; parsing produces a
+// ParsedPacket view (parser.hpp) and modifications re-encode through the
+// builder. PacketId implements the paper's Feature 5: the dataplane assigns
+// a fresh id at arrival and the same id labels every egress (or drop) event
+// the arrival causes, letting a monitor connect "the same packet" across
+// observation stages.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swmon {
+
+/// Unique per-arrival identity assigned by the dataplane.
+enum class PacketId : std::uint64_t {};
+
+inline constexpr PacketId kInvalidPacketId = PacketId{0};
+
+/// Switch port number. Port 0 is reserved (never a real port).
+enum class PortId : std::uint32_t {};
+
+inline constexpr PortId kInvalidPortId = PortId{0};
+
+constexpr std::uint64_t ToU64(PacketId id) { return static_cast<std::uint64_t>(id); }
+constexpr std::uint64_t ToU64(PortId id) { return static_cast<std::uint64_t>(id); }
+
+struct Packet {
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : data(std::move(bytes)) {}
+
+  std::vector<std::uint8_t> data;
+  PacketId id = kInvalidPacketId;
+
+  std::size_t size() const { return data.size(); }
+};
+
+}  // namespace swmon

@@ -1,0 +1,142 @@
+#include "packet/parser.hpp"
+
+#include <string_view>
+
+namespace swmon {
+namespace {
+
+void FillEthFields(const EthernetHeader& eth, FieldMap& f) {
+  f.Set(FieldId::kEthSrc, eth.src.bits());
+  f.Set(FieldId::kEthDst, eth.dst.bits());
+  f.Set(FieldId::kEthType, eth.ether_type);
+}
+
+void FillArpFields(const ArpMessage& arp, FieldMap& f) {
+  f.Set(FieldId::kArpOp, arp.op);
+  f.Set(FieldId::kArpSenderMac, arp.sender_mac.bits());
+  f.Set(FieldId::kArpSenderIp, arp.sender_ip.bits());
+  f.Set(FieldId::kArpTargetMac, arp.target_mac.bits());
+  f.Set(FieldId::kArpTargetIp, arp.target_ip.bits());
+}
+
+void FillIpv4Fields(const Ipv4Header& ip, FieldMap& f) {
+  f.Set(FieldId::kIpSrc, ip.src.bits());
+  f.Set(FieldId::kIpDst, ip.dst.bits());
+  f.Set(FieldId::kIpProto, ip.protocol);
+  f.Set(FieldId::kIpTtl, ip.ttl);
+}
+
+void FillDhcpFields(const DhcpMessage& d, FieldMap& f) {
+  f.Set(FieldId::kDhcpOp, d.op);
+  f.Set(FieldId::kDhcpMsgType, static_cast<std::uint64_t>(d.msg_type));
+  f.Set(FieldId::kDhcpXid, d.xid);
+  f.Set(FieldId::kDhcpCiaddr, d.ciaddr.bits());
+  f.Set(FieldId::kDhcpYiaddr, d.yiaddr.bits());
+  f.Set(FieldId::kDhcpChaddr, d.chaddr.bits());
+  if (d.requested_ip) f.Set(FieldId::kDhcpRequestedIp, d.requested_ip->bits());
+  if (d.lease_secs) f.Set(FieldId::kDhcpLeaseSecs, *d.lease_secs);
+  if (d.server_id) f.Set(FieldId::kDhcpServerId, d.server_id->bits());
+}
+
+void FillFtpFields(const FtpControlMessage& m, FieldMap& f) {
+  f.Set(FieldId::kFtpMsgKind, static_cast<std::uint64_t>(m.kind));
+  if (m.kind != FtpMsgKind::kOther) {
+    f.Set(FieldId::kFtpDataAddr, m.data_addr.bits());
+    f.Set(FieldId::kFtpDataPort, m.data_port);
+  }
+}
+
+void ParseL7(ParsedPacket& out) {
+  // DHCP: UDP with the well-known port pair in either direction.
+  if (out.udp && !out.l4_payload.empty()) {
+    const bool dhcp_ports =
+        (out.udp->src_port == kDhcpClientPort && out.udp->dst_port == kDhcpServerPort) ||
+        (out.udp->src_port == kDhcpServerPort && out.udp->dst_port == kDhcpClientPort);
+    if (dhcp_ports) {
+      ByteReader r(out.l4_payload);
+      DhcpMessage msg;
+      if (msg.Decode(r)) {
+        out.dhcp = msg;
+        FillDhcpFields(msg, out.fields);
+      }
+      return;
+    }
+  }
+  // FTP control: TCP to/from port 21 carrying an ASCII line.
+  if (out.tcp && !out.l4_payload.empty() &&
+      (out.tcp->src_port == kFtpControlPort ||
+       out.tcp->dst_port == kFtpControlPort)) {
+    const std::string_view line(
+        reinterpret_cast<const char*>(out.l4_payload.data()),
+        out.l4_payload.size());
+    if (auto msg = ParseFtpControl(line)) {
+      out.ftp = *msg;
+      FillFtpFields(*msg, out.fields);
+    }
+  }
+}
+
+}  // namespace
+
+ParsedPacket ParsePacket(std::span<const std::uint8_t> bytes, ParseDepth depth) {
+  ParsedPacket out;
+  ByteReader r(bytes);
+  if (!out.eth.Decode(r)) return out;
+  out.valid = true;
+  FillEthFields(out.eth, out.fields);
+  if (depth < ParseDepth::kL3) return out;
+
+  if (out.eth.ether_type == static_cast<std::uint16_t>(EtherType::kArp)) {
+    ArpMessage arp;
+    if (arp.Decode(r)) {
+      out.arp = arp;
+      FillArpFields(arp, out.fields);
+    }
+    return out;
+  }
+
+  if (out.eth.ether_type != static_cast<std::uint16_t>(EtherType::kIpv4))
+    return out;
+
+  Ipv4Header ip;
+  if (!ip.Decode(r)) return out;
+  out.ipv4 = ip;
+  FillIpv4Fields(ip, out.fields);
+  if (depth < ParseDepth::kL4) return out;
+
+  switch (static_cast<IpProto>(ip.protocol)) {
+    case IpProto::kTcp: {
+      TcpHeader tcp;
+      if (!tcp.Decode(r)) return out;
+      out.tcp = tcp;
+      out.fields.Set(FieldId::kL4SrcPort, tcp.src_port);
+      out.fields.Set(FieldId::kL4DstPort, tcp.dst_port);
+      out.fields.Set(FieldId::kTcpFlags, tcp.flags);
+      out.l4_payload = r.ReadSpan(r.remaining());
+      break;
+    }
+    case IpProto::kUdp: {
+      UdpHeader udp;
+      if (!udp.Decode(r)) return out;
+      out.udp = udp;
+      out.fields.Set(FieldId::kL4SrcPort, udp.src_port);
+      out.fields.Set(FieldId::kL4DstPort, udp.dst_port);
+      out.l4_payload = r.ReadSpan(r.remaining());
+      break;
+    }
+    case IpProto::kIcmp: {
+      IcmpHeader icmp;
+      if (!icmp.Decode(r)) return out;
+      out.icmp = icmp;
+      out.fields.Set(FieldId::kIcmpType, icmp.type);
+      break;
+    }
+    default:
+      break;
+  }
+  if (depth < ParseDepth::kL7) return out;
+  ParseL7(out);
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,53 @@
+// Packet parsing to a layered view and a dynamic FieldMap.
+//
+// The parser is depth-configurable (ParseDepth) because Table 1's "Fields"
+// column distinguishes properties by the parse depth they need, and Table 2
+// distinguishes approaches by fixed (up to L4 on well-known headers) versus
+// dynamic (programmable, incl. L7) field access. A backend with fixed
+// parsing simply parses with ParseDepth::kL4 and cannot see DHCP/FTP fields.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "packet/dhcp.hpp"
+#include "packet/field.hpp"
+#include "packet/ftp.hpp"
+#include "packet/headers.hpp"
+#include "packet/packet.hpp"
+
+namespace swmon {
+
+enum class ParseDepth : std::uint8_t { kL2 = 2, kL3 = 3, kL4 = 4, kL7 = 7 };
+
+/// Decoded layers of one packet. Layers beyond the requested depth, absent
+/// layers, and undecodable payloads are nullopt. `valid` is false only when
+/// even the Ethernet header is truncated.
+struct ParsedPacket {
+  bool valid = false;
+
+  EthernetHeader eth;
+  std::optional<ArpMessage> arp;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+  std::optional<DhcpMessage> dhcp;
+  std::optional<FtpControlMessage> ftp;
+
+  /// L4 payload bytes (TCP/UDP payload), within the original buffer.
+  std::span<const std::uint8_t> l4_payload;
+
+  /// All parsed fields, ready for match predicates.
+  FieldMap fields;
+};
+
+/// Parses `bytes` down to `depth`. Never throws; malformed inner layers are
+/// dropped from the view while outer layers remain usable.
+ParsedPacket ParsePacket(std::span<const std::uint8_t> bytes, ParseDepth depth);
+
+inline ParsedPacket ParsePacket(const Packet& pkt, ParseDepth depth) {
+  return ParsePacket(std::span(pkt.data), depth);
+}
+
+}  // namespace swmon

@@ -1,0 +1,754 @@
+#include "properties/catalog.hpp"
+
+#include "monitor/property_builder.hpp"
+#include "packet/headers.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr std::uint64_t kArpRequestOp = 1;
+constexpr std::uint64_t kArpReplyOp = 2;
+constexpr std::uint64_t kUdp = static_cast<std::uint64_t>(IpProto::kUdp);
+constexpr std::uint64_t kTcp = static_cast<std::uint64_t>(IpProto::kTcp);
+constexpr std::uint64_t kFinOrRst = kTcpFin | kTcpRst;
+constexpr std::uint64_t kSynNoAck_value = kTcpSyn;
+constexpr std::uint64_t kSynNoAck_mask = kTcpSyn | kTcpAck;
+
+std::uint64_t Msg(DhcpMsgType t) { return static_cast<std::uint64_t>(t); }
+
+/// Paper Table-1 row literal.
+FeatureSet Row(FieldLayer fields, bool history, bool timeouts, bool obligation,
+               bool identity, bool neg, bool toa, InstanceIdMode mode) {
+  FeatureSet f;
+  f.fields = fields;
+  f.history = history;
+  f.timeouts = timeouts;
+  f.obligation = obligation;
+  f.identity = identity;
+  f.negative_match = neg;
+  f.timeout_actions = toa;
+  f.multiple_match = false;
+  f.id_mode = mode;
+  return f;
+}
+
+}  // namespace
+
+// ===================================================== Sec 2.1: firewall
+
+Property FirewallReturnNotDropped(const ScenarioParams& p) {
+  PropertyBuilder b("fw-return-not-dropped",
+                    "After seeing traffic from internal host A to external "
+                    "host B, packets from B to A are not dropped");
+  const VarId A = b.Var("A"), B = b.Var("B");
+  b.AddStage("A->B outbound")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.inside_port))
+                 .Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Bind(B, FieldId::kIpDst);
+  b.AddStage("B->A dropped")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kIpSrc, B)
+                 .EqVar(FieldId::kIpDst, A)
+                 .Dropped()
+                 .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+Property FirewallReturnNotDroppedTimeout(const ScenarioParams& p) {
+  PropertyBuilder b("fw-return-not-dropped-timeout",
+                    "For T seconds after seeing traffic from A to B, packets "
+                    "from B to A are not dropped (timer reset by each A->B "
+                    "packet)");
+  const VarId A = b.Var("A"), B = b.Var("B");
+  b.AddStage("A->B outbound")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.inside_port))
+                 .Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Bind(B, FieldId::kIpDst)
+      .Window(p.firewall_timeout)
+      .RefreshOnRematch();
+  b.AddStage("B->A dropped within window")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kIpSrc, B)
+                 .EqVar(FieldId::kIpDst, A)
+                 .Dropped()
+                 .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+Property FirewallReturnNotDroppedObligation(const ScenarioParams& p) {
+  PropertyBuilder b("fw-return-not-dropped-until-close",
+                    "For T seconds after seeing traffic from A to B, or until "
+                    "the connection is closed, packets from B to A are not "
+                    "dropped");
+  const VarId A = b.Var("A"), B = b.Var("B");
+  b.AddStage("A->B outbound (not a close)")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.inside_port))
+                 // A close must only discharge (below), never re-establish.
+                 .EqMaskedOrAbsent(FieldId::kTcpFlags, 0, kFinOrRst)
+                 .Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Bind(B, FieldId::kIpDst)
+      .Window(p.firewall_timeout)
+      .RefreshOnRematch();
+  b.AddStage("B->A dropped while open")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kIpSrc, B)
+                 .EqVar(FieldId::kIpDst, A)
+                 .Dropped()
+                 .Build())
+      // Feature 4: the obligation is discharged when either side closes.
+      .AbortOn(PatternBuilder::Arrival()
+                   .EqVar(FieldId::kIpSrc, A)
+                   .EqVar(FieldId::kIpDst, B)
+                   .NeMasked(FieldId::kTcpFlags, 0, kFinOrRst)
+                   .Build())
+      .AbortOn(PatternBuilder::Arrival()
+                   .EqVar(FieldId::kIpSrc, B)
+                   .EqVar(FieldId::kIpDst, A)
+                   .NeMasked(FieldId::kTcpFlags, 0, kFinOrRst)
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+// ========================================================= Sec 2.2: NAT
+
+Property NatReverseTranslation(const ScenarioParams& p) {
+  PropertyBuilder b("nat-reverse-translation",
+                    "Return packets are translated according to their "
+                    "corresponding initial outgoing translation");
+  const VarId A = b.Var("A"), P = b.Var("P"), B = b.Var("B"), Q = b.Var("Q");
+  const VarId A2 = b.Var("A'"), P2 = b.Var("P'");
+  const VarId Pid1 = b.Var("pid1"), Pid2 = b.Var("pid2");
+  b.AddStage("(1) A,P -> B,Q arrives inside")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.inside_port))
+                 .Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Bind(P, FieldId::kL4SrcPort)
+      .Bind(B, FieldId::kIpDst)
+      .Bind(Q, FieldId::kL4DstPort)
+      .Bind(Pid1, FieldId::kPacketId);
+  b.AddStage("(2) same packet departs as A',P'")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kPacketId, Pid1)  // Feature 5
+                 .Forwarded()
+                 .Build())
+      .Bind(A2, FieldId::kIpSrc)
+      .Bind(P2, FieldId::kL4SrcPort);
+  b.AddStage("(3) B,Q -> A',P' arrives outside")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.outside_port))
+                 .EqVar(FieldId::kIpSrc, B)
+                 .EqVar(FieldId::kL4SrcPort, Q)
+                 .EqVar(FieldId::kIpDst, A2)
+                 .EqVar(FieldId::kL4DstPort, P2)
+                 .Build())
+      .Bind(Pid2, FieldId::kPacketId);
+  b.AddStage("(4) departs with destination != A,P")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kPacketId, Pid2)
+                 .Forwarded()
+                 // Feature 6: tuple negative match on the stored A,P.
+                 .ForbidEqVar(FieldId::kIpDst, A)
+                 .ForbidEqVar(FieldId::kL4DstPort, P)
+                 .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+// ==================================================== Sec 2.3: ARP proxy
+
+Property ArpProxyReplyDeadline(const ScenarioParams& p) {
+  PropertyBuilder b("arp-proxy-reply-deadline",
+                    "If the switch receives a request for a known MAC "
+                    "address, it will send a reply within T seconds");
+  const VarId A = b.Var("A");
+  b.AddStage("mapping for A learned")
+      .Match(PatternBuilder::Arrival().Eq(FieldId::kArpOp, kArpReplyOp).Build())
+      .Bind(A, FieldId::kArpSenderIp);
+  b.AddStage("request for A")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kArpOp, kArpRequestOp)
+                 .EqVar(FieldId::kArpTargetIp, A)
+                 .Build())
+      .Window(p.arp_reply_deadline);
+  // Feature 7: T passes without a reply being sent. Deliberately NOT
+  // refreshed by repeated requests (Sec 2.3's subtlety).
+  b.AddTimeoutStage("no reply within T")
+      .AbortOn(PatternBuilder::Egress()
+                   .Eq(FieldId::kArpOp, kArpReplyOp)
+                   .EqVar(FieldId::kArpSenderIp, A)
+                   .Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+// ============================================ Sec 1 / 2.4: learning switch
+
+Property LearningSwitchNoFloodAfterLearn(const ScenarioParams&) {
+  PropertyBuilder b("lsw-no-flood-after-learn",
+                    "Once a destination D is learned, packets to D are "
+                    "unicast, not broadcast");
+  const VarId D = b.Var("D"), P = b.Var("P");
+  b.AddStage("D learned")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(D, FieldId::kEthSrc)
+      .Bind(P, FieldId::kInPort);
+  b.AddStage("packet to D flooded")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kEthDst, D)
+                 .Flooded()
+                 .Build())
+      // D moving ports restarts the attempt (re-learning)...
+      .AbortOn(PatternBuilder::Arrival()
+                   .EqVar(FieldId::kEthSrc, D)
+                   .NeVar(FieldId::kInPort, P)
+                   .Build())
+      // ...and a link-down legitimately flushes the learned set (Sec 2.4);
+      // the flush-specific property takes over from there.
+      .AbortOn(PatternBuilder::LinkStatus().Eq(FieldId::kLinkUp, 0).Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+Property LearningSwitchCorrectPort(const ScenarioParams&) {
+  PropertyBuilder b("lsw-correct-port",
+                    "Once a destination D is learned, packets to D are "
+                    "unicast on the appropriate port");
+  const VarId D = b.Var("D"), P = b.Var("P");
+  b.AddStage("D learned on P")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(D, FieldId::kEthSrc)
+      .Bind(P, FieldId::kInPort);
+  b.AddStage("packet to D unicast on wrong port")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kEthDst, D)
+                 .Forwarded()
+                 .NeVar(FieldId::kOutPort, P)
+                 .Build())
+      .AbortOn(PatternBuilder::Arrival()
+                   .EqVar(FieldId::kEthSrc, D)
+                   .NeVar(FieldId::kInPort, P)
+                   .Build())
+      .AbortOn(PatternBuilder::LinkStatus().Eq(FieldId::kLinkUp, 0).Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+Property LearningSwitchLinkDownFlush(const ScenarioParams&) {
+  PropertyBuilder b("lsw-linkdown-flush",
+                    "Link-down messages delete the set of learned "
+                    "destinations");
+  const VarId D = b.Var("D");
+  b.AddStage("D learned")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(D, FieldId::kEthSrc);
+  // Feature 8, multiple match: one link-down advances EVERY learned D.
+  b.AddStage("a link goes down")
+      .Match(PatternBuilder::LinkStatus().Eq(FieldId::kLinkUp, 0).Build());
+  b.AddStage("packet to D unicast without re-learning")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kEthDst, D)
+                 .Forwarded()
+                 .Build())
+      .AbortOn(PatternBuilder::Arrival().EqVar(FieldId::kEthSrc, D).Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+// ======================================================= Table 1: ARP rows
+
+Property ArpKnownNotForwarded(const ScenarioParams&) {
+  PropertyBuilder b("arp-known-not-forwarded",
+                    "Requests for known addresses are not forwarded");
+  const VarId A = b.Var("A");
+  b.AddStage("mapping for A learned")
+      .Match(PatternBuilder::Arrival().Eq(FieldId::kArpOp, kArpReplyOp).Build())
+      .Bind(A, FieldId::kArpSenderIp);
+  b.AddStage("request for A forwarded anyway")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kArpOp, kArpRequestOp)
+                 .EqVar(FieldId::kArpTargetIp, A)
+                 .NotDropped()
+                 .Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+Property ArpUnknownForwarded(const ScenarioParams& p) {
+  PropertyBuilder b("arp-unknown-forwarded",
+                    "Requests for unknown addresses are forwarded");
+  const VarId A = b.Var("A"), Pid = b.Var("pid");
+  b.AddStage("request for A arrives")
+      .Match(PatternBuilder::Arrival().Eq(FieldId::kArpOp, kArpRequestOp).Build())
+      .Bind(A, FieldId::kArpTargetIp)
+      .Bind(Pid, FieldId::kPacketId)
+      .Window(p.arp_reply_deadline);
+  b.AddTimeoutStage("neither forwarded nor answered within T")
+      // The request itself departed (forward or flood): Feature 5 identity.
+      .AbortOn(PatternBuilder::Egress()
+                   .EqVar(FieldId::kPacketId, Pid)
+                   .NotDropped()
+                   .Build())
+      // Or the proxy answered from its cache (address was known after all).
+      .AbortOn(PatternBuilder::Egress()
+                   .Eq(FieldId::kArpOp, kArpReplyOp)
+                   .EqVar(FieldId::kArpSenderIp, A)
+                   .Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+// ============================================== Table 1: port knocking rows
+
+Property PortKnockInvalidation(const ScenarioParams& p) {
+  PropertyBuilder b("knock-invalidation",
+                    "Intervening guesses invalidate sequence");
+  const VarId H = b.Var("H");
+  auto knock_restart = [&] {
+    return PatternBuilder::Arrival()
+        .Eq(FieldId::kIpProto, kUdp)
+        .EqVar(FieldId::kIpSrc, H)
+        .Eq(FieldId::kL4DstPort, p.knock1)
+        .Build();
+  };
+  b.AddStage("knock 1")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.lb_client_port))
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .Eq(FieldId::kL4DstPort, p.knock1)
+                 .Build())
+      .Bind(H, FieldId::kIpSrc);
+  b.AddStage("intervening wrong guess")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .EqMasked(FieldId::kL4DstPort, p.knock_region_base,
+                           p.knock_region_mask)
+                 .Ne(FieldId::kL4DstPort, p.knock2)
+                 .Build());
+  b.AddStage("knock 2")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .Eq(FieldId::kL4DstPort, p.knock2)
+                 .Build())
+      .AbortOn(knock_restart());
+  b.AddStage("knock 3")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .Eq(FieldId::kL4DstPort, p.knock3)
+                 .Build())
+      .AbortOn(knock_restart());
+  b.AddStage("gate opened despite invalidation")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kIpProto, kTcp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .Eq(FieldId::kL4DstPort, p.protected_port)
+                 .Forwarded()
+                 .Build())
+      .AbortOn(knock_restart());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+Property PortKnockRecognize(const ScenarioParams& p) {
+  PropertyBuilder b("knock-recognize", "Recognize valid sequence");
+  const VarId H = b.Var("H");
+  auto wrong_guess = [&](std::uint16_t expected) {
+    return PatternBuilder::Arrival()
+        .Eq(FieldId::kIpProto, kUdp)
+        .EqVar(FieldId::kIpSrc, H)
+        .EqMasked(FieldId::kL4DstPort, p.knock_region_base,
+                  p.knock_region_mask)
+        .Ne(FieldId::kL4DstPort, expected)
+        .Build();
+  };
+  b.AddStage("knock 1")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kInPort, ToU64(p.lb_client_port))
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .Eq(FieldId::kL4DstPort, p.knock1)
+                 .Build())
+      .Bind(H, FieldId::kIpSrc);
+  b.AddStage("knock 2")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .Eq(FieldId::kL4DstPort, p.knock2)
+                 .Build())
+      .AbortOn(wrong_guess(p.knock2));
+  b.AddStage("knock 3")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, kUdp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .Eq(FieldId::kL4DstPort, p.knock3)
+                 .Build())
+      .AbortOn(wrong_guess(p.knock3));
+  b.AddStage("protected traffic dropped after valid sequence")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kIpProto, kTcp)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .Eq(FieldId::kL4DstPort, p.protected_port)
+                 .Dropped()
+                 .Build());
+  b.IdMode(InstanceIdMode::kExact);
+  return std::move(b).Build();
+}
+
+// ============================================ Table 1: load balancing rows
+
+namespace {
+
+Property LbAssignmentProperty(const char* name, const char* desc,
+                              const ScenarioParams& p, bool round_robin) {
+  PropertyBuilder b(name, desc);
+  const VarId E = b.Var("expected_port"), Pid = b.Var("pid");
+  StageBuilder s0 =
+      b.AddStage("new flow (SYN) arrives")
+          .Match(PatternBuilder::Arrival()
+                     .Eq(FieldId::kInPort, ToU64(p.lb_client_port))
+                     .Eq(FieldId::kIpProto, kTcp)
+                     .EqMasked(FieldId::kTcpFlags, kSynNoAck_value,
+                               kSynNoAck_mask)
+                     .Build())
+          .Bind(Pid, FieldId::kPacketId);
+  if (round_robin) {
+    s0.BindRoundRobin(E, p.lb_server_count, p.lb_first_server_port);
+  } else {
+    s0.BindHashPort(E,
+                    {FieldId::kIpSrc, FieldId::kIpDst, FieldId::kL4SrcPort,
+                     FieldId::kL4DstPort},
+                    p.lb_server_count, p.lb_first_server_port);
+  }
+  b.AddStage("flow sent to a different port")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kPacketId, Pid)
+                 .Forwarded()
+                 .NeVar(FieldId::kOutPort, E)
+                 .Build())
+      // Obligation: watching the packet's fate; a drop discharges it.
+      .AbortOn(PatternBuilder::Egress()
+                   .EqVar(FieldId::kPacketId, Pid)
+                   .Dropped()
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+Property LbHashedPort(const ScenarioParams& p) {
+  return LbAssignmentProperty("lb-hashed-port",
+                              "New flows go to hashed port", p,
+                              /*round_robin=*/false);
+}
+
+Property LbRoundRobinPort(const ScenarioParams& p) {
+  return LbAssignmentProperty("lb-round-robin-port",
+                              "New flows go to round-robin port", p,
+                              /*round_robin=*/true);
+}
+
+Property LbStickyPort(const ScenarioParams& p) {
+  PropertyBuilder b("lb-sticky-port", "No change in port until flow closed");
+  const VarId SIP = b.Var("sip"), DIP = b.Var("dip");
+  const VarId SP = b.Var("sport"), DP = b.Var("dport"), P = b.Var("port");
+  b.AddStage("flow observed on port P")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kInPort, ToU64(p.lb_client_port))
+                 .Eq(FieldId::kIpProto, kTcp)
+                 // The closing segment must not restart the observation.
+                 .EqMaskedOrAbsent(FieldId::kTcpFlags, 0, kFinOrRst)
+                 .Forwarded()
+                 .Build())
+      .Bind(SIP, FieldId::kIpSrc)
+      .Bind(DIP, FieldId::kIpDst)
+      .Bind(SP, FieldId::kL4SrcPort)
+      .Bind(DP, FieldId::kL4DstPort)
+      .Bind(P, FieldId::kOutPort);
+  b.AddStage("same flow moved to a different port")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kInPort, ToU64(p.lb_client_port))
+                 .EqVar(FieldId::kIpSrc, SIP)
+                 .EqVar(FieldId::kIpDst, DIP)
+                 .EqVar(FieldId::kL4SrcPort, SP)
+                 .EqVar(FieldId::kL4DstPort, DP)
+                 .Forwarded()
+                 .NeVar(FieldId::kOutPort, P)
+                 .Build())
+      // "until flow closed": FIN/RST discharges.
+      .AbortOn(PatternBuilder::Arrival()
+                   .EqVar(FieldId::kIpSrc, SIP)
+                   .EqVar(FieldId::kIpDst, DIP)
+                   .EqVar(FieldId::kL4SrcPort, SP)
+                   .EqVar(FieldId::kL4DstPort, DP)
+                   .NeMasked(FieldId::kTcpFlags, 0, kFinOrRst)
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+// ====================================================== Table 1: FTP row
+
+Property FtpDataPortMatchesControl(const ScenarioParams&) {
+  PropertyBuilder b("ftp-data-port",
+                    "Data L4 port matches L4 port given in control stream");
+  const VarId C = b.Var("C"), S = b.Var("S"), D = b.Var("D");
+  b.AddStage("PORT command announces data endpoint")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kFtpMsgKind,
+                     static_cast<std::uint64_t>(FtpMsgKind::kPortCommand))
+                 .Build())
+      .Bind(C, FieldId::kIpSrc)
+      .Bind(S, FieldId::kIpDst)
+      .Bind(D, FieldId::kFtpDataPort);
+  b.AddStage("data connection to a different port")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, kTcp)
+                 .EqVar(FieldId::kIpSrc, S)
+                 .EqVar(FieldId::kIpDst, C)
+                 .Eq(FieldId::kL4SrcPort, 20)
+                 .EqMasked(FieldId::kTcpFlags, kSynNoAck_value, kSynNoAck_mask)
+                 .NeVar(FieldId::kL4DstPort, D)
+                 .Build())
+      // A newer PORT command supersedes the announcement.
+      .AbortOn(PatternBuilder::Arrival()
+                   .Eq(FieldId::kFtpMsgKind,
+                       static_cast<std::uint64_t>(FtpMsgKind::kPortCommand))
+                   .EqVar(FieldId::kIpSrc, C)
+                   .EqVar(FieldId::kIpDst, S)
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+// ===================================================== Table 1: DHCP rows
+
+Property DhcpReplyDeadline(const ScenarioParams& p) {
+  PropertyBuilder b("dhcp-reply-deadline",
+                    "Reply to lease request within T seconds");
+  const VarId M = b.Var("M"), X = b.Var("xid");
+  b.AddStage("REQUEST from client M")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kRequest))
+                 .Build())
+      .Bind(M, FieldId::kDhcpChaddr)
+      .Bind(X, FieldId::kDhcpXid)
+      .Window(p.dhcp_reply_deadline);
+  b.AddTimeoutStage("no ACK/NAK within T")
+      .AbortOn(PatternBuilder::Egress()
+                   .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                   .EqVar(FieldId::kDhcpChaddr, M)
+                   .EqVar(FieldId::kDhcpXid, X)
+                   .Build())
+      .AbortOn(PatternBuilder::Egress()
+                   .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kNak))
+                   .EqVar(FieldId::kDhcpChaddr, M)
+                   .EqVar(FieldId::kDhcpXid, X)
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+Property DhcpNoLeaseReuse(const ScenarioParams&) {
+  PropertyBuilder b("dhcp-no-lease-reuse",
+                    "Leased addresses never re-used until expiration or "
+                    "release");
+  const VarId A = b.Var("A"), M = b.Var("M");
+  b.AddStage("A leased to M")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                 .Build())
+      .Bind(A, FieldId::kDhcpYiaddr)
+      .Bind(M, FieldId::kDhcpChaddr)
+      .WindowFromField(FieldId::kDhcpLeaseSecs)  // lease-length window
+      .RefreshOnRematch();                       // renewal extends it
+  b.AddStage("A leased to someone else while active")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                 .EqVar(FieldId::kDhcpYiaddr, A)
+                 .NeVar(FieldId::kDhcpChaddr, M)
+                 .Build())
+      .AbortOn(PatternBuilder::Arrival()
+                   .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kRelease))
+                   .EqVar(FieldId::kDhcpCiaddr, A)
+                   .EqVar(FieldId::kDhcpChaddr, M)
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+Property DhcpNoLeaseOverlap(const ScenarioParams&) {
+  PropertyBuilder b("dhcp-no-lease-overlap",
+                    "No lease overlap between DHCP servers");
+  const VarId A = b.Var("A"), SV = b.Var("server");
+  b.AddStage("server S leases A")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                 .Build())
+      .Bind(A, FieldId::kDhcpYiaddr)
+      .Bind(SV, FieldId::kDhcpServerId)
+      .WindowFromField(FieldId::kDhcpLeaseSecs)
+      .RefreshOnRematch();
+  b.AddStage("a different server leases A too")
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                 .EqVar(FieldId::kDhcpYiaddr, A)
+                 .NeVar(FieldId::kDhcpServerId, SV)
+                 .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+// ============================================ Table 1: DHCP + ARP proxy rows
+
+Property DhcpArpCachePreload(const ScenarioParams& p) {
+  PropertyBuilder b("dhcparp-cache-preload",
+                    "Pre-load ARP cache with leased addresses");
+  const VarId A = b.Var("A"), M = b.Var("M");
+  b.AddStage("ACK leases A to M")  // DHCP fields...
+      .Match(PatternBuilder::Egress()
+                 .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                 .Build())
+      .Bind(A, FieldId::kDhcpYiaddr)
+      .Bind(M, FieldId::kDhcpChaddr);
+  b.AddStage("ARP request for A")  // ...matched against ARP fields:
+      .Match(PatternBuilder::Arrival()  // wandering match (Feature 8)
+                 .Eq(FieldId::kArpOp, kArpRequestOp)
+                 .EqVar(FieldId::kArpTargetIp, A)
+                 .Build())
+      .Window(p.arp_reply_deadline);
+  b.AddTimeoutStage("no correct reply within T")
+      .AbortOn(PatternBuilder::Egress()
+                   .Eq(FieldId::kArpOp, kArpReplyOp)
+                   .EqVar(FieldId::kArpSenderIp, A)
+                   .EqVar(FieldId::kArpSenderMac, M)
+                   .Build());
+  b.IdMode(InstanceIdMode::kWandering);
+  return std::move(b).Build();
+}
+
+Property DhcpArpNoDirectReply(const ScenarioParams&) {
+  PropertyBuilder b("dhcparp-no-direct-reply",
+                    "No direct reply if neither pre-loaded nor prior reply "
+                    "seen");
+  b.AddStage("switch sends a reply for an unknown address")
+      .Match(PatternBuilder::Egress().Eq(FieldId::kArpOp, kArpReplyOp).Build());
+  b.SuppressionKey({FieldId::kArpSenderIp});
+  // Pre-loaded from a DHCP lease (wandering: a DHCP key suppresses an ARP
+  // observation):
+  b.SuppressWhen(PatternBuilder::Egress()
+                     .Eq(FieldId::kDhcpMsgType, Msg(DhcpMsgType::kAck))
+                     .Build(),
+                 {FieldId::kDhcpYiaddr});
+  // ...or a prior reply traversed the switch:
+  b.SuppressWhen(
+      PatternBuilder::Arrival().Eq(FieldId::kArpOp, kArpReplyOp).Build(),
+      {FieldId::kArpSenderIp});
+  // ...or the switch itself already replied (only the first fabrication is
+  // reported per address).
+  b.SuppressWhen(
+      PatternBuilder::Egress().Eq(FieldId::kArpOp, kArpReplyOp).Build(),
+      {FieldId::kArpSenderIp});
+  b.IdMode(InstanceIdMode::kWandering);
+  return std::move(b).Build();
+}
+
+// ================================================================ catalog
+
+std::vector<CatalogEntry> BuildCatalog(const ScenarioParams& p) {
+  std::vector<CatalogEntry> out;
+  auto sec2 = [&](const char* id, const char* group, Property prop) {
+    FeatureSet computed = AnalyzeFeatures(prop);
+    out.push_back(CatalogEntry{id, group, false, std::move(prop), computed,
+                               {}, nullptr});
+  };
+  auto t1 = [&](const char* id, const char* group, Property prop,
+                FeatureSet expected, std::vector<std::string> divergent,
+                const char* note) {
+    out.push_back(CatalogEntry{id, group, true, std::move(prop), expected,
+                               std::move(divergent), note});
+  };
+  using L = FieldLayer;
+  using M = InstanceIdMode;
+
+  sec2("S1.a", "Learning Switch", LearningSwitchNoFloodAfterLearn(p));
+  sec2("S1.b", "Learning Switch", LearningSwitchCorrectPort(p));
+  sec2("S2.1a", "Stateful Firewall", FirewallReturnNotDropped(p));
+  sec2("S2.1b", "Stateful Firewall", FirewallReturnNotDroppedTimeout(p));
+  sec2("S2.1c", "Stateful Firewall", FirewallReturnNotDroppedObligation(p));
+  sec2("S2.2", "NAT", NatReverseTranslation(p));
+  sec2("S2.3", "ARP Cache Proxy", ArpProxyReplyDeadline(p));
+  sec2("S2.4", "Learning Switch", LearningSwitchLinkDownFlush(p));
+
+  //                                          fields hist  t.o.  obli  ident neg   toa
+  t1("T1.1", "ARP Cache Proxy", ArpKnownNotForwarded(p),
+     Row(L::kL3, true, false, false, false, false, false, M::kExact), {},
+     nullptr);
+  t1("T1.2", "ARP Cache Proxy", ArpUnknownForwarded(p),
+     Row(L::kL3, true, false, true, true, false, true, M::kExact),
+     {"obligation"},
+     "obligation: our discharge patterns sit on the timeout stage, which we "
+     "classify as part of the negative observation (Feature 7), not Feature 4");
+  t1("T1.3", "Port Knocking", PortKnockInvalidation(p),
+     Row(L::kL4, true, false, false, false, true, false, M::kExact),
+     {"obligation"},
+     "obligation: we add restart-knock aborts for soundness (a clean re-knock "
+     "must not complete a stale attempt); the paper's row has none");
+  t1("T1.4", "Port Knocking", PortKnockRecognize(p),
+     Row(L::kL4, true, false, true, false, true, false, M::kExact), {},
+     nullptr);
+  t1("T1.5", "Load Balancing", LbHashedPort(p),
+     Row(L::kL4, true, false, true, true, false, false, M::kSymmetric), {},
+     nullptr);
+  t1("T1.6", "Load Balancing", LbRoundRobinPort(p),
+     Row(L::kL4, true, false, true, true, false, false, M::kSymmetric), {},
+     nullptr);
+  t1("T1.7", "Load Balancing", LbStickyPort(p),
+     Row(L::kL4, true, false, false, true, true, false, M::kSymmetric),
+     {"obligation", "identity"},
+     "obligation: we watch for flow close (FIN/RST) to discharge; identity: "
+     "our egress events carry arrival metadata, so packet identity is "
+     "implicit rather than a kPacketId condition");
+  t1("T1.8", "FTP", FtpDataPortMatchesControl(p),
+     Row(L::kL7, true, false, false, false, true, false, M::kSymmetric),
+     {"obligation"},
+     "obligation: we abort on superseding PORT commands for soundness");
+  t1("T1.9", "DHCP", DhcpReplyDeadline(p),
+     Row(L::kL7, true, true, false, false, false, true, M::kSymmetric),
+     {"timeouts"},
+     "timeouts: the reply deadline is purely a negative-observation window "
+     "(T.Out Acts); we reserve the Timeouts column for windows whose expiry "
+     "erases state, while the paper ticks both for this row");
+  t1("T1.10", "DHCP", DhcpNoLeaseReuse(p),
+     Row(L::kL7, true, true, false, false, false, false, M::kSymmetric),
+     {"obligation", "negative_match"},
+     "negative match: chaddr != M is how we express 're-used by another "
+     "client'; obligation: the RELEASE abort is the row's 'or release'");
+  t1("T1.11", "DHCP", DhcpNoLeaseOverlap(p),
+     Row(L::kL7, true, false, false, false, true, false, M::kSymmetric),
+     {"timeouts"},
+     "timeouts: we bound the overlap check by the lease window so expired "
+     "leases cannot alarm; the paper's row leaves Timeouts blank");
+  t1("T1.12", "DHCP + ARP Proxy", DhcpArpCachePreload(p),
+     Row(L::kL7, true, false, false, false, true, true, M::kWandering),
+     {"negative_match"},
+     "negative match: a reply with the wrong MAC fails to discharge the "
+     "timeout (absence-of-correct-reply) rather than matching negatively");
+  t1("T1.13", "DHCP + ARP Proxy", DhcpArpNoDirectReply(p),
+     Row(L::kL7, true, false, true, false, false, false, M::kWandering), {},
+     nullptr);
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,43 @@
+// Shared scenario conventions.
+//
+// Properties, apps, and workload generators must agree on port roles and
+// protocol constants (which port is "internal", what the knock sequence
+// is, ...). This header is the single source of those conventions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+#include "packet/addr.hpp"
+#include "packet/packet.hpp"
+
+namespace swmon {
+
+struct ScenarioParams {
+  // --- firewall / NAT topology: port 1 inside, port 2 outside ---
+  PortId inside_port = PortId{1};
+  PortId outside_port = PortId{2};
+  Duration firewall_timeout = Duration::Seconds(30);
+  Ipv4Addr nat_public_ip = Ipv4Addr(203, 0, 113, 1);
+
+  // --- ARP proxy ---
+  Duration arp_reply_deadline = Duration::Seconds(1);
+
+  // --- port knocking (region [7000,7004), knocks 7000,7001,7002) ---
+  std::uint16_t knock1 = 7000;
+  std::uint16_t knock2 = 7001;
+  std::uint16_t knock3 = 7002;
+  std::uint16_t knock_region_base = 7000;
+  std::uint64_t knock_region_mask = ~std::uint64_t{3};
+  std::uint16_t protected_port = 22;
+
+  // --- load balancer: port 1 clients, ports [2, 2+server_count) servers ---
+  PortId lb_client_port = PortId{1};
+  std::uint32_t lb_first_server_port = 2;
+  std::uint32_t lb_server_count = 4;
+
+  // --- DHCP ---
+  Duration dhcp_reply_deadline = Duration::Seconds(2);
+};
+
+}  // namespace swmon

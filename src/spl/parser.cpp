@@ -1,0 +1,570 @@
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "spl/spl.hpp"
+
+namespace swmon {
+
+std::optional<FieldId> FieldIdByName(std::string_view name) {
+  static const auto* kByName = [] {
+    auto* m = new std::map<std::string, FieldId, std::less<>>();
+    for (std::size_t i = 0; i < kNumFieldIds; ++i) {
+      const auto id = static_cast<FieldId>(i);
+      (*m)[FieldName(id)] = id;
+    }
+    return m;
+  }();
+  const auto it = kByName->find(name);
+  if (it == kByName->end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// ------------------------------------------------------------------- lexer
+
+enum class Tok {
+  kIdent,
+  kString,
+  kNumber,
+  kPunct,  // one of { } ( ) ; , $ / % + = == !=
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Tokenizes everything up front; returns an error message or "".
+  std::string Run(std::vector<Token>& out) {
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        Token t;
+        if (auto err = LexNumberish(t); !err.empty()) return err;
+        out.push_back(std::move(t));
+      } else if (c == '"') {
+        Token t;
+        if (auto err = LexString(t); !err.empty()) return err;
+        out.push_back(std::move(t));
+      } else {
+        Token t;
+        if (auto err = LexPunct(t); !err.empty()) return err;
+        out.push_back(std::move(t));
+      }
+    }
+    out.push_back(Token{Tok::kEnd, "<end>", 0, line_});
+    return "";
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexIdent() {
+    Token t;
+    t.kind = Tok::kIdent;
+    t.line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == '\'') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    t.text = std::string(text_.substr(start, pos_ - start));
+    return t;
+  }
+
+  /// Numbers, or the address literals that start with a digit:
+  /// decimal, 0x-hex, dotted IPv4, colon-separated MAC, or a duration
+  /// (digits immediately followed by ns/us/ms/s — the suffix stays in the
+  /// token text for the parser).
+  std::string LexNumberish(Token& t) {
+    t.kind = Tok::kNumber;
+    t.line = line_;
+    const std::size_t start = pos_;
+    bool hex = false;
+    if (text_.substr(pos_, 2) == "0x" || text_.substr(pos_, 2) == "0X") {
+      hex = true;
+      pos_ += 2;
+    }
+    auto is_digit = [&](char c) {
+      return hex ? std::isxdigit(static_cast<unsigned char>(c)) != 0
+                 : std::isdigit(static_cast<unsigned char>(c)) != 0;
+    };
+    while (pos_ < text_.size() &&
+           (is_digit(text_[pos_]) ||
+            (!hex && (text_[pos_] == '.' || text_[pos_] == ':')) ||
+            (hex && std::isxdigit(static_cast<unsigned char>(text_[pos_]))))) {
+      ++pos_;
+    }
+    // Duration suffix.
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    t.text = std::string(text_.substr(start, pos_ - start));
+    return "";
+  }
+
+  std::string LexString(Token& t) {
+    t.kind = Tok::kString;
+    t.line = line_;
+    ++pos_;  // opening quote
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size())
+      return "line " + std::to_string(t.line) + ": unterminated string";
+    t.text = std::string(text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return "";
+  }
+
+  std::string LexPunct(Token& t) {
+    t.kind = Tok::kPunct;
+    t.line = line_;
+    const char c = text_[pos_];
+    if (c == '=' || c == '!') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        t.text = std::string(text_.substr(pos_, 2));
+        pos_ += 2;
+        return "";
+      }
+      if (c == '=') {
+        t.text = "=";
+        ++pos_;
+        return "";
+      }
+      return "line " + std::to_string(line_) + ": stray '!'";
+    }
+    static constexpr std::string_view kSingles = "{}();,$/%+";
+    if (kSingles.find(c) != std::string_view::npos) {
+      t.text = std::string(1, c);
+      ++pos_;
+      return "";
+    }
+    return "line " + std::to_string(line_) + ": unexpected character '" +
+           std::string(1, c) + "'";
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ------------------------------------------------------------------ parser
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SplParseResult Run() {
+    SplParseResult result;
+    Property prop;
+    if (!ParseProperty(prop)) {
+      result.error = error_;
+      return result;
+    }
+    if (const std::string err = prop.Validate(); !err.empty()) {
+      result.error = "validation: " + err;
+      return result;
+    }
+    result.property = std::move(prop);
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtPunct(std::string_view p) const {
+    return Peek().kind == Tok::kPunct && Peek().text == p;
+  }
+  bool AtIdent(std::string_view kw) const {
+    return Peek().kind == Tok::kIdent && Peek().text == kw;
+  }
+  bool EatPunct(std::string_view p) {
+    if (!AtPunct(p)) return false;
+    ++pos_;
+    return true;
+  }
+  bool EatIdent(std::string_view kw) {
+    if (!AtIdent(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool Fail(const std::string& msg) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(Peek().line) + ": " + msg +
+               " (got '" + Peek().text + "')";
+    return false;
+  }
+
+  bool ExpectPunct(std::string_view p) {
+    return EatPunct(p) || Fail("expected '" + std::string(p) + "'");
+  }
+  bool ExpectIdent(std::string_view kw) {
+    return EatIdent(kw) || Fail("expected '" + std::string(kw) + "'");
+  }
+
+  // --- small literals ---
+
+  /// Decimal/hex/dotted-IPv4/MAC value; returns false on error.
+  bool ParseValue(std::uint64_t& out) {
+    if (Peek().kind == Tok::kIdent) {
+      // Egress-action names.
+      if (EatIdent("drop")) {
+        out = static_cast<std::uint64_t>(EgressActionValue::kDrop);
+        return true;
+      }
+      if (EatIdent("forward")) {
+        out = static_cast<std::uint64_t>(EgressActionValue::kForward);
+        return true;
+      }
+      if (EatIdent("flood")) {
+        out = static_cast<std::uint64_t>(EgressActionValue::kFlood);
+        return true;
+      }
+      // MAC literals starting with a hex letter lex as idents.
+      if (ParseMac(Peek().text, out)) {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected a value");
+    }
+    if (Peek().kind != Tok::kNumber) return Fail("expected a value");
+    const std::string text = Next().text;
+    if (text.find(':') != std::string::npos) {
+      if (!ParseMac(text, out)) return Fail("bad mac literal");
+      return true;
+    }
+    if (text.find('.') != std::string::npos) {
+      unsigned a, b, c, d;
+      if (std::sscanf(text.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4 ||
+          a > 255 || b > 255 || c > 255 || d > 255)
+        return Fail("bad IPv4 literal");
+      out = Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d))
+                .bits();
+      return true;
+    }
+    char* end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    return true;
+  }
+
+  static bool ParseMac(const std::string& text, std::uint64_t& out) {
+    unsigned b[6];
+    if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &b[0], &b[1], &b[2],
+                    &b[3], &b[4], &b[5]) != 6)
+      return false;
+    out = 0;
+    for (int i = 0; i < 6; ++i) {
+      if (b[i] > 255) return false;
+      out = out << 8 | b[i];
+    }
+    return true;
+  }
+
+  bool ParseDuration(Duration& out) {
+    if (Peek().kind != Tok::kNumber) return Fail("expected a duration");
+    const std::string text = Next().text;
+    std::size_t i = 0;
+    std::uint64_t n = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])))
+      n = n * 10 + static_cast<std::uint64_t>(text[i++] - '0');
+    const std::string unit = text.substr(i);
+    const auto v = static_cast<std::int64_t>(n);
+    if (unit == "ns") out = Duration::Nanos(v);
+    else if (unit == "us") out = Duration::Micros(v);
+    else if (unit == "ms") out = Duration::Millis(v);
+    else if (unit == "s") out = Duration::Seconds(v);
+    else return Fail("duration needs a unit (ns/us/ms/s)");
+    return true;
+  }
+
+  bool ParseUint(std::uint32_t& out) {
+    if (Peek().kind != Tok::kNumber) return Fail("expected a number");
+    char* end = nullptr;
+    out = static_cast<std::uint32_t>(
+        std::strtoul(Next().text.c_str(), &end, 0));
+    return true;
+  }
+
+  bool ParseFieldId(FieldId& out) {
+    if (Peek().kind != Tok::kIdent) return Fail("expected a field name");
+    const auto id = FieldIdByName(Peek().text);
+    if (!id) return Fail("unknown field '" + Peek().text + "'");
+    ++pos_;
+    out = *id;
+    return true;
+  }
+
+  bool ParseVarRef(VarId& out) {
+    if (Peek().kind != Tok::kIdent) return Fail("expected a variable name");
+    const auto it = var_ids_.find(Peek().text);
+    if (it == var_ids_.end())
+      return Fail("unknown variable '" + Peek().text + "'");
+    ++pos_;
+    out = it->second;
+    return true;
+  }
+
+  // --- grammar ---
+
+  bool ParseProperty(Property& prop) {
+    if (!ExpectIdent("property")) return false;
+    if (Peek().kind != Tok::kIdent) return Fail("expected a property name");
+    prop.name = Next().text;
+    if (!ExpectPunct("{")) return false;
+    while (!AtPunct("}")) {
+      if (EatIdent("description")) {
+        if (Peek().kind != Tok::kString) return Fail("expected a string");
+        prop.description = Next().text;
+        if (!ExpectPunct(";")) return false;
+      } else if (EatIdent("mode")) {
+        if (EatIdent("exact")) prop.id_mode = InstanceIdMode::kExact;
+        else if (EatIdent("symmetric")) prop.id_mode = InstanceIdMode::kSymmetric;
+        else if (EatIdent("wandering")) prop.id_mode = InstanceIdMode::kWandering;
+        else return Fail("mode must be exact/symmetric/wandering");
+        if (!ExpectPunct(";")) return false;
+      } else if (EatIdent("vars")) {
+        do {
+          if (Peek().kind != Tok::kIdent) return Fail("expected a var name");
+          var_ids_[Peek().text] = static_cast<VarId>(prop.vars.size());
+          prop.vars.push_back(Next().text);
+        } while (EatPunct(","));
+        if (!ExpectPunct(";")) return false;
+      } else if (AtIdent("stage") || AtIdent("timeout")) {
+        Stage stage;
+        if (!ParseStage(stage)) return false;
+        prop.stages.push_back(std::move(stage));
+      } else if (EatIdent("suppress")) {
+        if (!ParseSuppress(prop)) return false;
+      } else {
+        return Fail("expected description/mode/vars/stage/timeout/suppress");
+      }
+    }
+    return ExpectPunct("}");
+  }
+
+  bool ParseStage(Stage& stage) {
+    if (EatIdent("timeout")) {
+      stage.kind = StageKind::kTimeout;
+    } else {
+      if (!ExpectIdent("stage")) return false;
+      stage.kind = StageKind::kEvent;
+    }
+    if (Peek().kind == Tok::kString) stage.label = Next().text;
+    if (stage.kind == StageKind::kEvent) {
+      if (!ExpectIdent("on")) return false;
+      if (!ParseEventType(stage.pattern.event_type)) return false;
+    }
+    if (!ExpectPunct("{")) return false;
+    while (!AtPunct("}")) {
+      if (AtIdent("match") || AtIdent("forbid")) {
+        const bool forbidden = AtIdent("forbid");
+        ++pos_;
+        Condition c;
+        if (!ParseCondition(c)) return false;
+        (forbidden ? stage.pattern.forbidden : stage.pattern.conditions)
+            .push_back(c);
+        if (!ExpectPunct(";")) return false;
+      } else if (EatIdent("bind")) {
+        Binding b;
+        if (!ParseBinding(b)) return false;
+        stage.bindings.push_back(std::move(b));
+        if (!ExpectPunct(";")) return false;
+      } else if (EatIdent("count")) {
+        if (!ParseUint(stage.min_count)) return false;
+        if (!ExpectPunct(";")) return false;
+      } else if (EatIdent("window")) {
+        if (EatIdent("field")) {
+          FieldId f;
+          if (!ParseFieldId(f)) return false;
+          stage.window_from_field = f;
+        } else {
+          if (!ParseDuration(stage.window)) return false;
+        }
+        if (EatIdent("refresh")) stage.refresh_window_on_rematch = true;
+        if (!ExpectPunct(";")) return false;
+      } else if (EatIdent("unless")) {
+        Pattern abort;
+        if (!ParseUnless(abort)) return false;
+        stage.aborts.push_back(std::move(abort));
+      } else {
+        return Fail("expected match/forbid/bind/window/count/unless");
+      }
+    }
+    return ExpectPunct("}");
+  }
+
+  bool ParseEventType(std::optional<DataplaneEventType>& out) {
+    if (EatIdent("arrival")) out = DataplaneEventType::kArrival;
+    else if (EatIdent("egress")) out = DataplaneEventType::kEgress;
+    else if (EatIdent("link")) out = DataplaneEventType::kLinkStatus;
+    else if (EatIdent("any")) out = std::nullopt;
+    else return Fail("event type must be arrival/egress/link/any");
+    return true;
+  }
+
+  bool ParseCondition(Condition& c) {
+    if (!ParseFieldId(c.field)) return false;
+    if (EatPunct("/")) {
+      if (Peek().kind != Tok::kNumber) return Fail("expected a mask");
+      char* end = nullptr;
+      c.mask = std::strtoull(Next().text.c_str(), &end, 0);
+    }
+    if (EatPunct("==")) c.op = CmpOp::kEq;
+    else if (EatPunct("!=")) c.op = CmpOp::kNe;
+    else return Fail("expected '==' or '!='");
+    if (EatPunct("$")) {
+      VarId v;
+      if (!ParseVarRef(v)) return false;
+      c.rhs = Term::Var(v);
+    } else {
+      std::uint64_t value;
+      if (!ParseValue(value)) return false;
+      c.rhs = Term::Const(value);
+    }
+    if (EatIdent("or_absent")) c.allow_absent = true;
+    return true;
+  }
+
+  bool ParseBinding(Binding& b) {
+    if (!ParseVarRef(b.var)) return false;
+    if (!ExpectPunct("=")) return false;
+    if (EatIdent("hash")) {
+      b.kind = Binding::Kind::kHashPort;
+      if (!ExpectPunct("(")) return false;
+      do {
+        FieldId f;
+        if (!ParseFieldId(f)) return false;
+        b.hash_inputs.push_back(f);
+      } while (EatPunct(","));
+      if (!ExpectPunct(")")) return false;
+      return ParseModBase(b);
+    }
+    if (EatIdent("round_robin")) {
+      b.kind = Binding::Kind::kRoundRobin;
+      return ParseModBase(b);
+    }
+    b.kind = Binding::Kind::kField;
+    return ParseFieldId(b.field);
+  }
+
+  bool ParseModBase(Binding& b) {
+    if (!ExpectPunct("%")) return false;
+    if (!ParseUint(b.modulus)) return false;
+    if (EatPunct("+")) {
+      if (!ParseUint(b.base)) return false;
+    }
+    return true;
+  }
+
+  bool ParseUnless(Pattern& abort) {
+    if (!ExpectIdent("on")) return false;
+    if (!ParseEventType(abort.event_type)) return false;
+    if (!ExpectPunct("{")) return false;
+    while (!AtPunct("}")) {
+      const bool forbidden = AtIdent("forbid");
+      if (!forbidden && !AtIdent("match"))
+        return Fail("expected match/forbid");
+      ++pos_;
+      Condition c;
+      if (!ParseCondition(c)) return false;
+      (forbidden ? abort.forbidden : abort.conditions).push_back(c);
+      if (!ExpectPunct(";")) return false;
+    }
+    return ExpectPunct("}");
+  }
+
+  bool ParseSuppress(Property& prop) {
+    if (EatIdent("key")) {
+      if (!ParseFieldList(prop.suppression_key_fields)) return false;
+      return ExpectPunct(";");
+    }
+    if (!ExpectIdent("when")) return false;
+    Suppressor sup;
+    if (!ExpectIdent("on")) return false;
+    if (!ParseEventType(sup.pattern.event_type)) return false;
+    if (!ExpectPunct("{")) return false;
+    while (!AtPunct("}")) {
+      const bool forbidden = AtIdent("forbid");
+      if (!forbidden && !AtIdent("match"))
+        return Fail("expected match/forbid");
+      ++pos_;
+      Condition c;
+      if (!ParseCondition(c)) return false;
+      (forbidden ? sup.pattern.forbidden : sup.pattern.conditions).push_back(c);
+      if (!ExpectPunct(";")) return false;
+    }
+    if (!ExpectPunct("}")) return false;
+    if (!ExpectIdent("key")) return false;
+    if (!ParseFieldList(sup.key_fields)) return false;
+    prop.suppressors.push_back(std::move(sup));
+    return ExpectPunct(";");
+  }
+
+  bool ParseFieldList(std::vector<FieldId>& out) {
+    if (!ExpectPunct("(")) return false;
+    do {
+      FieldId f;
+      if (!ParseFieldId(f)) return false;
+      out.push_back(f);
+    } while (EatPunct(","));
+    return ExpectPunct(")");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::map<std::string, VarId, std::less<>> var_ids_;
+};
+
+}  // namespace
+
+SplParseResult ParseSpl(std::string_view text) {
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  if (std::string err = lexer.Run(tokens); !err.empty()) {
+    SplParseResult r;
+    r.error = err;
+    return r;
+  }
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace swmon

@@ -1,0 +1,154 @@
+#include <cstdio>
+
+#include "spl/spl.hpp"
+
+namespace swmon {
+namespace {
+
+std::string Num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string DurationText(Duration d) {
+  // Pick the largest exact unit so the parser round-trips it.
+  const std::int64_t ns = d.nanos();
+  if (ns % 1000000000 == 0) return Num(static_cast<std::uint64_t>(ns / 1000000000)) + "s";
+  if (ns % 1000000 == 0) return Num(static_cast<std::uint64_t>(ns / 1000000)) + "ms";
+  if (ns % 1000 == 0) return Num(static_cast<std::uint64_t>(ns / 1000)) + "us";
+  return Num(static_cast<std::uint64_t>(ns)) + "ns";
+}
+
+const char* EventTypeText(const std::optional<DataplaneEventType>& t) {
+  if (!t) return "any";
+  switch (*t) {
+    case DataplaneEventType::kArrival: return "arrival";
+    case DataplaneEventType::kEgress: return "egress";
+    case DataplaneEventType::kLinkStatus: return "link";
+  }
+  return "any";
+}
+
+void AppendCondition(std::string& out, const char* keyword,
+                     const Condition& c, const Property& prop,
+                     const char* indent) {
+  out += indent;
+  out += keyword;
+  out += " ";
+  out += FieldName(c.field);
+  if (c.mask != ~std::uint64_t{0}) out += "/" + Hex(c.mask);
+  out += c.op == CmpOp::kEq ? " == " : " != ";
+  if (c.rhs.kind == Term::Kind::kVar) {
+    out += "$" + prop.vars[c.rhs.var];
+  } else {
+    out += Num(c.rhs.constant);
+  }
+  if (c.allow_absent) out += " or_absent";
+  out += ";\n";
+}
+
+void AppendPatternBody(std::string& out, const Pattern& p,
+                       const Property& prop, const char* indent) {
+  for (const Condition& c : p.conditions)
+    AppendCondition(out, "match", c, prop, indent);
+  for (const Condition& c : p.forbidden)
+    AppendCondition(out, "forbid", c, prop, indent);
+}
+
+}  // namespace
+
+std::string SerializeSpl(const Property& prop) {
+  std::string out = "property " + prop.name + " {\n";
+  if (!prop.description.empty())
+    out += "  description \"" + prop.description + "\";\n";
+  out += "  mode " + std::string(InstanceIdModeName(prop.id_mode)) + ";\n";
+  if (!prop.vars.empty()) {
+    out += "  vars ";
+    for (std::size_t i = 0; i < prop.vars.size(); ++i) {
+      if (i) out += ", ";
+      out += prop.vars[i];
+    }
+    out += ";\n";
+  }
+
+  for (const Stage& stage : prop.stages) {
+    if (stage.kind == StageKind::kTimeout) {
+      out += "  timeout \"" + stage.label + "\" {\n";
+    } else {
+      out += "  stage \"" + stage.label + "\" on " +
+             EventTypeText(stage.pattern.event_type) + " {\n";
+    }
+    AppendPatternBody(out, stage.pattern, prop, "    ");
+    for (const Binding& b : stage.bindings) {
+      out += "    bind " + prop.vars[b.var] + " = ";
+      switch (b.kind) {
+        case Binding::Kind::kField:
+          out += FieldName(b.field);
+          break;
+        case Binding::Kind::kHashPort: {
+          out += "hash(";
+          for (std::size_t i = 0; i < b.hash_inputs.size(); ++i) {
+            if (i) out += ", ";
+            out += FieldName(b.hash_inputs[i]);
+          }
+          out += ") % " + Num(b.modulus) + " + " + Num(b.base);
+          break;
+        }
+        case Binding::Kind::kRoundRobin:
+          out += "round_robin % " + Num(b.modulus) + " + " + Num(b.base);
+          break;
+      }
+      out += ";\n";
+    }
+    if (stage.min_count > 1)
+      out += "    count " + Num(stage.min_count) + ";\n";
+    if (stage.window_from_field) {
+      out += "    window field " +
+             std::string(FieldName(*stage.window_from_field));
+      if (stage.refresh_window_on_rematch) out += " refresh";
+      out += ";\n";
+    } else if (stage.window > Duration::Zero()) {
+      out += "    window " + DurationText(stage.window);
+      if (stage.refresh_window_on_rematch) out += " refresh";
+      out += ";\n";
+    }
+    for (const Pattern& abort : stage.aborts) {
+      out += "    unless on " + std::string(EventTypeText(abort.event_type)) +
+             " {\n";
+      AppendPatternBody(out, abort, prop, "      ");
+      out += "    }\n";
+    }
+    out += "  }\n";
+  }
+
+  if (!prop.suppression_key_fields.empty()) {
+    out += "  suppress key (";
+    for (std::size_t i = 0; i < prop.suppression_key_fields.size(); ++i) {
+      if (i) out += ", ";
+      out += FieldName(prop.suppression_key_fields[i]);
+    }
+    out += ");\n";
+  }
+  for (const Suppressor& sup : prop.suppressors) {
+    out += "  suppress when on " +
+           std::string(EventTypeText(sup.pattern.event_type)) + " {\n";
+    AppendPatternBody(out, sup.pattern, prop, "    ");
+    out += "  } key (";
+    for (std::size_t i = 0; i < sup.key_fields.size(); ++i) {
+      if (i) out += ", ";
+      out += FieldName(sup.key_fields[i]);
+    }
+    out += ");\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace swmon

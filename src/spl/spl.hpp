@@ -1,0 +1,69 @@
+// SPL — the Switch Property Language.
+//
+// The paper's Varanus "provides a query language for properties"; SPL is
+// this library's equivalent: a textual form of the Property spec, so
+// monitors can be written, stored, and audited as plain files instead of
+// C++ builder calls. Grammar (see docs in README):
+//
+//   property fw-return-not-dropped {
+//     description "After seeing traffic from A to B, ...";
+//     mode symmetric;
+//     vars A, B;
+//     stage "A->B outbound" on arrival {
+//       match in_port == 1;
+//       match tcp_flags/0x5 == 0 or_absent;
+//       bind A = ip_src;
+//       bind B = ip_dst;
+//       window 30s refresh;
+//     }
+//     stage "B->A dropped" on egress {
+//       match ip_src == $B;
+//       match ip_dst == $A;
+//       match egress_action == drop;
+//       unless on arrival { match ip_src == $A; match ip_dst == $B;
+//                           match tcp_flags/0x5 != 0; }
+//     }
+//   }
+//
+// Timeout-action stages: `timeout "label" { unless on egress { ... } }`.
+// Negative-tuple groups: `forbid <field> == $var;` inside a stage.
+// Builtin bindings: `bind E = hash(ip_src, ip_dst) % 4 + 2;`,
+//                   `bind E = round_robin % 4 + 2;`.
+// Lease-style windows: `window field dhcp_lease_secs;`.
+// Suppression: `suppress key (arp_spa);`
+//              `suppress when on arrival { match arp_op == 2; } key (arp_spa);`
+//
+// Values may be decimal, 0x-hex, dotted IPv4 (10.0.0.1), mac addresses
+// (aa:bb:cc:dd:ee:ff), or the egress-action names drop/forward/flood.
+//
+// SerializeSpl is the exact inverse of ParseSpl: for every Property,
+// ParseSpl(SerializeSpl(p)) == p (tested across the whole catalog).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "monitor/spec.hpp"
+
+namespace swmon {
+
+struct SplParseResult {
+  std::optional<Property> property;
+  std::string error;  // empty on success; includes a line number otherwise
+
+  bool ok() const { return property.has_value(); }
+};
+
+/// Parses one SPL property definition. The parsed property is additionally
+/// run through Property::Validate; structural errors are reported the same
+/// way as syntax errors.
+SplParseResult ParseSpl(std::string_view text);
+
+/// Renders a property as canonical SPL.
+std::string SerializeSpl(const Property& property);
+
+/// Resolves a field name as printed by FieldName() back to its id.
+std::optional<FieldId> FieldIdByName(std::string_view name);
+
+}  // namespace swmon

@@ -1,0 +1,102 @@
+#include "workload/arp_scenario.hpp"
+
+#include <vector>
+
+#include "packet/builder.hpp"
+#include "packet/parser.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunArpScenario(const ArpScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, config.hosts);
+  ArpProxyConfig pc;
+  pc.slow_reply_delay = sp.arp_reply_deadline * 5;
+  pc.fault = config.fault;
+  ArpProxyApp app(pc);
+  sw.SetProgram(&app);
+
+  std::vector<Host*> hosts;
+  // One reply per host: afterwards resolution depends on the proxy.
+  std::vector<bool> already_replied(config.hosts, false);
+  for (std::uint32_t h = 0; h < config.hosts; ++h) {
+    Host& host = net.AddHost("h" + std::to_string(h + 1), TestMac(h + 1),
+                             InternalIp(h));
+    net.Attach(1, PortId{h + 1}, host);
+    hosts.push_back(&host);
+    host.SetReceiver([&net, &already_replied, h](Host& self,
+                                                 const Packet& pkt,
+                                                 SimTime at) {
+      const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL3);
+      if (!parsed.arp ||
+          parsed.arp->op != static_cast<std::uint16_t>(ArpOp::kRequest) ||
+          parsed.arp->target_ip != self.ip() || already_replied[h]) {
+        return;
+      }
+      already_replied[h] = true;
+      net.SendFromHost(self,
+                       BuildArpReply(self.mac(), self.ip(),
+                                     parsed.arp->sender_mac,
+                                     parsed.arp->sender_ip),
+                       at + Duration::Millis(1));
+    });
+  }
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(ArpProxyReplyDeadline(sp), mc);
+  out.monitors->Add(ArpKnownNotForwarded(sp), mc);
+  out.monitors->Add(ArpUnknownForwarded(sp), mc);
+  out.monitors->Add(DhcpArpNoDirectReply(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  std::size_t sent = 0;
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+  auto request = [&](std::uint32_t from, std::uint32_t target) {
+    net.SendFromHost(*hosts[from],
+                     BuildArpRequest(TestMac(from + 1), InternalIp(from),
+                                     InternalIp(target)),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+  };
+
+  // Phase 1: each address is resolved once by its "left" neighbour — the
+  // real host answers, the proxy learns.
+  for (std::uint32_t h = 0; h < config.hosts; ++h)
+    request((h + 1) % config.hosts, h);
+
+  // Give the learning phase room before the repeat phase.
+  at = at + sp.arp_reply_deadline * 2;
+
+  // Phase 2: other hosts re-resolve known addresses; the proxy must answer
+  // within the deadline and must not forward the requests.
+  for (std::size_t r = 0; r < config.repeat_requests; ++r) {
+    for (std::uint32_t h = 0; h < config.hosts; ++h) {
+      // Offset in [1, hosts-1] keeps the requester distinct from the target.
+      const std::uint32_t offset =
+          1 + static_cast<std::uint32_t>(r) % (config.hosts - 1);
+      request((h + offset) % config.hosts, h);
+    }
+  }
+
+  net.Run();
+  const SimTime end = at + sp.arp_reply_deadline * 8;
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,28 @@
+// ARP proxy workload (drives Sec 2.3 and Table-1 rows T1.1/T1.2/T1.13).
+//
+// Hosts resolve each other through the proxy. Each host answers only the
+// FIRST request for its address itself (afterwards it is "quiet", modeling
+// a host whose reachability now depends on the proxy cache) — so a proxy
+// that stops answering is observable as missing replies, not masked by the
+// real host.
+#pragma once
+
+#include "apps/arp_proxy.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct ArpScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  ArpProxyFault fault = ArpProxyFault::kNone;
+
+  std::uint32_t hosts = 4;
+  /// Requests per target after its mapping is learned.
+  std::size_t repeat_requests = 3;
+  Duration mean_gap = Duration::Millis(50);
+};
+
+ScenarioOutcome RunArpScenario(const ArpScenarioConfig& config);
+
+}  // namespace swmon

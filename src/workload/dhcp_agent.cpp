@@ -1,0 +1,98 @@
+#include "workload/dhcp_agent.hpp"
+
+#include "common/assert.hpp"
+#include "packet/builder.hpp"
+#include "packet/parser.hpp"
+
+namespace swmon {
+
+DhcpServerAgent::DhcpServerAgent(Network& net, Host& host,
+                                 DhcpServerAgentConfig config)
+    : net_(net), config_(config) {
+  host.SetReceiver([this](Host& self, const Packet& pkt, SimTime at) {
+    OnPacket(self, pkt, at);
+  });
+}
+
+Ipv4Addr DhcpServerAgent::Allocate(MacAddr chaddr) {
+  if (config_.fault == DhcpServerFault::kReuseLeasedAddress)
+    return config_.pool_base;  // everyone "gets" the same address
+  const auto it = by_client_.find(chaddr.bits());
+  if (it != by_client_.end())
+    return Ipv4Addr(config_.pool_base.bits() + it->second);
+  std::uint32_t offset;
+  if (!free_list_.empty()) {
+    // Released addresses are re-used first — legitimate re-use, which the
+    // no-reuse property must NOT flag (its RELEASE abort discharges it).
+    offset = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    SWMON_ASSERT_MSG(next_offset_ < config_.pool_size, "DHCP pool exhausted");
+    offset = next_offset_++;
+  }
+  by_client_[chaddr.bits()] = offset;
+  return Ipv4Addr(config_.pool_base.bits() + offset);
+}
+
+void DhcpServerAgent::Reply(Host& self, SimTime at, const DhcpMessage& reply,
+                            MacAddr dst) {
+  const Duration delay = config_.fault == DhcpServerFault::kSlowReply
+                             ? config_.slow_reply_delay
+                             : config_.reply_delay;
+  net_.SendFromHost(
+      self,
+      BuildDhcp(self.mac(), dst, self.ip(), reply.yiaddr,
+                /*from_client=*/false, reply),
+      at + delay);
+}
+
+void DhcpServerAgent::OnPacket(Host& self, const Packet& pkt, SimTime at) {
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  if (!parsed.dhcp || parsed.dhcp->op != 1) return;  // requests only
+  const DhcpMessage& msg = *parsed.dhcp;
+
+  if (msg.server_id && *msg.server_id != self.ip() &&
+      config_.respect_server_id) {
+    return;  // addressed to another server
+  }
+
+  switch (msg.msg_type) {
+    case DhcpMsgType::kDiscover: {
+      DhcpMessage offer;
+      offer.op = 2;
+      offer.msg_type = DhcpMsgType::kOffer;
+      offer.xid = msg.xid;
+      offer.chaddr = msg.chaddr;
+      offer.yiaddr = Allocate(msg.chaddr);
+      offer.lease_secs = config_.lease_secs;
+      offer.server_id = self.ip();
+      Reply(self, at, offer, msg.chaddr);
+      break;
+    }
+    case DhcpMsgType::kRequest: {
+      if (config_.fault == DhcpServerFault::kNoReply) return;
+      DhcpMessage ack;
+      ack.op = 2;
+      ack.msg_type = DhcpMsgType::kAck;
+      ack.xid = msg.xid;
+      ack.chaddr = msg.chaddr;
+      ack.yiaddr = Allocate(msg.chaddr);
+      ack.lease_secs = config_.lease_secs;
+      ack.server_id = self.ip();
+      Reply(self, at, ack, msg.chaddr);
+      break;
+    }
+    case DhcpMsgType::kRelease: {
+      const auto it = by_client_.find(msg.chaddr.bits());
+      if (it != by_client_.end()) {
+        free_list_.push_back(it->second);
+        by_client_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace swmon

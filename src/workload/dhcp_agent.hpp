@@ -1,0 +1,56 @@
+// Scripted DHCP server agent.
+//
+// Runs as a Host receive callback: answers DISCOVER with OFFER and REQUEST
+// with ACK, allocating addresses from a pool keyed by client hardware
+// address; RELEASE frees. Faults produce the violations the three Table-1
+// DHCP properties catch.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "packet/dhcp.hpp"
+
+namespace swmon {
+
+enum class DhcpServerFault {
+  kNone,
+  kSlowReply,           // ACK after the monitoring deadline (T1.9)
+  kNoReply,             // never ACKs (T1.9)
+  kReuseLeasedAddress,  // hands the same address to every client (T1.10)
+};
+
+struct DhcpServerAgentConfig {
+  Ipv4Addr pool_base = Ipv4Addr(10, 1, 0, 10);
+  std::uint32_t pool_size = 64;
+  std::uint32_t lease_secs = 60;
+  Duration reply_delay = Duration::Millis(5);
+  Duration slow_reply_delay = Duration::Seconds(10);
+  /// A well-behaved server ignores REQUESTs addressed (via option 54) to a
+  /// different server; a misconfigured one answers anyway — the T1.11
+  /// overlap scenario.
+  bool respect_server_id = true;
+  DhcpServerFault fault = DhcpServerFault::kNone;
+};
+
+class DhcpServerAgent {
+ public:
+  /// Installs itself as `host`'s receiver. `host.ip()` is the server id.
+  DhcpServerAgent(Network& net, Host& host, DhcpServerAgentConfig config);
+
+  std::size_t leases() const { return by_client_.size(); }
+
+ private:
+  void OnPacket(Host& self, const Packet& pkt, SimTime at);
+  Ipv4Addr Allocate(MacAddr chaddr);
+  void Reply(Host& self, SimTime at, const DhcpMessage& reply, MacAddr dst);
+
+  Network& net_;
+  DhcpServerAgentConfig config_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_client_;  // mac -> addr
+  std::vector<std::uint32_t> free_list_;
+  std::uint32_t next_offset_ = 0;
+};
+
+}  // namespace swmon

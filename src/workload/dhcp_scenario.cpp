@@ -1,0 +1,241 @@
+#include "workload/dhcp_scenario.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "apps/arp_proxy.hpp"
+#include "apps/learning_switch.hpp"
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+/// Sends a scripted client handshake: DISCOVER at `at`, REQUEST one gap
+/// later (blindly — the server ACKs the REQUEST regardless of OFFER
+/// timing). Returns the time of the REQUEST.
+SimTime ClientHandshake(Network& net, Host& client, std::uint32_t xid,
+                        SimTime at, Duration gap,
+                        std::optional<Ipv4Addr> server_id) {
+  DhcpMessage discover;
+  discover.op = 1;
+  discover.msg_type = DhcpMsgType::kDiscover;
+  discover.xid = xid;
+  discover.chaddr = client.mac();
+  net.SendFromHost(client,
+                   BuildDhcp(client.mac(), MacAddr::Broadcast(),
+                             Ipv4Addr::Zero(), Ipv4Addr::Broadcast(),
+                             /*from_client=*/true, discover),
+                   at);
+
+  DhcpMessage request;
+  request.op = 1;
+  request.msg_type = DhcpMsgType::kRequest;
+  request.xid = xid;
+  request.chaddr = client.mac();
+  request.server_id = server_id;
+  const SimTime req_at = at + gap;
+  net.SendFromHost(client,
+                   BuildDhcp(client.mac(), MacAddr::Broadcast(),
+                             Ipv4Addr::Zero(), Ipv4Addr::Broadcast(),
+                             /*from_client=*/true, request),
+                   req_at);
+  return req_at;
+}
+
+void ClientRelease(Network& net, Host& client, std::uint32_t xid,
+                   Ipv4Addr leased, Ipv4Addr server_ip, SimTime at) {
+  DhcpMessage release;
+  release.op = 1;
+  release.msg_type = DhcpMsgType::kRelease;
+  release.xid = xid;
+  release.chaddr = client.mac();
+  release.ciaddr = leased;
+  release.server_id = server_ip;
+  net.SendFromHost(client,
+                   BuildDhcp(client.mac(), MacAddr::Broadcast(), leased,
+                             Ipv4Addr::Broadcast(), /*from_client=*/true,
+                             release),
+                   at);
+}
+
+}  // namespace
+
+ScenarioOutcome RunDhcpScenario(const DhcpScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+  Rng rng(config.options.seed);
+
+  // clients + up to two servers + the late "fresh" client.
+  const std::uint32_t num_ports = config.clients + 4;
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, num_ports);
+  LearningSwitchApp app;
+  sw.SetProgram(&app);
+
+  const Ipv4Addr server1_ip(10, 1, 0, 1);
+  const Ipv4Addr server2_ip(10, 1, 0, 2);
+  Host& server1 = net.AddHost("dhcp1", TestMac(200), server1_ip);
+  net.Attach(1, PortId{config.clients + 1}, server1);
+  DhcpServerAgentConfig s1c;
+  s1c.fault = config.fault;
+  DhcpServerAgent agent1(net, server1, s1c);
+
+  std::optional<DhcpServerAgent> agent2;
+  Host* server2 = nullptr;
+  if (config.second_server) {
+    server2 = &net.AddHost("dhcp2", TestMac(201), server2_ip);
+    net.Attach(1, PortId{config.clients + 2}, *server2);
+    DhcpServerAgentConfig s2c;
+    // Distinct reply latency: real servers don't answer in lock-step, and
+    // near-simultaneous ACKs would unfairly penalize slow-path monitors in
+    // the parity experiments.
+    s2c.reply_delay = Duration::Millis(15);
+    if (config.overlap_fault) {
+      s2c.respect_server_id = false;  // answers REQUESTs meant for server 1
+      // same pool_base as server 1 -> identical address allocations
+    } else {
+      s2c.pool_base = Ipv4Addr(10, 2, 0, 10);  // disjoint pool
+    }
+    agent2.emplace(net, *server2, s2c);
+  }
+
+  std::vector<Host*> clients;
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    Host& h = net.AddHost("c" + std::to_string(c + 1), TestMac(c + 1),
+                          Ipv4Addr::Zero());
+    net.Attach(1, PortId{c + 1}, h);
+    clients.push_back(&h);
+  }
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(DhcpReplyDeadline(sp), mc);
+  out.monitors->Add(DhcpNoLeaseReuse(sp), mc);
+  out.monitors->Add(DhcpNoLeaseOverlap(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+  std::size_t sent = 0;
+  std::vector<std::uint32_t> releasers;
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    ClientHandshake(net, *clients[c], 0x1000 + c, at, config.handshake_gap,
+                    server1_ip);
+    sent += 2;
+    at = at + config.handshake_gap * 3;
+    if (rng.NextBool(config.release_fraction)) releasers.push_back(c);
+  }
+
+  // Releases, then a fresh client re-leases (legitimately) from the freed
+  // addresses. Clients were allocated pool_base+index in arrival order.
+  at = at + Duration::Seconds(1);
+  for (const std::uint32_t c : releasers) {
+    const Ipv4Addr leased(Ipv4Addr(10, 1, 0, 10).bits() + c);
+    ClientRelease(net, *clients[c], 0x1000 + c, leased, server1_ip, at);
+    ++sent;
+    at = at + config.handshake_gap;
+  }
+  if (!releasers.empty()) {
+    // One more client whose lease will come from the free list.
+    Host& fresh = net.AddHost("c-fresh", TestMac(99), Ipv4Addr::Zero());
+    net.Attach(1, PortId{config.clients + 3}, fresh);
+    ClientHandshake(net, fresh, 0x2000, at, config.handshake_gap, server1_ip);
+    sent += 2;
+    at = at + config.handshake_gap * 3;
+  }
+
+  net.Run();
+  const SimTime end = at + sp.dhcp_reply_deadline * 4;
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+ScenarioOutcome RunDhcpArpScenario(const DhcpArpScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+
+  const std::uint32_t num_ports = config.clients + 2;
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, num_ports);
+  ArpProxyConfig pc;
+  pc.dhcp_snooping = true;
+  pc.fault = config.proxy_fault;
+  ArpProxyApp app(pc);
+  sw.SetProgram(&app);
+
+  const Ipv4Addr server_ip(10, 1, 0, 1);
+  Host& server = net.AddHost("dhcp", TestMac(200), server_ip);
+  net.Attach(1, PortId{config.clients + 1}, server);
+  DhcpServerAgent agent(net, server, DhcpServerAgentConfig{});
+
+  // A prober host that ARPs for the leased addresses.
+  Host& prober = net.AddHost("prober", TestMac(150), Ipv4Addr(10, 1, 0, 200));
+  net.Attach(1, PortId{config.clients + 2}, prober);
+
+  std::vector<Host*> clients;
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    Host& h = net.AddHost("c" + std::to_string(c + 1), TestMac(c + 1),
+                          Ipv4Addr::Zero());
+    net.Attach(1, PortId{c + 1}, h);
+    clients.push_back(&h);
+  }
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(DhcpArpCachePreload(sp), mc);
+  out.monitors->Add(DhcpArpNoDirectReply(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+  std::size_t sent = 0;
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    ClientHandshake(net, *clients[c], 0x3000 + c, at, config.handshake_gap,
+                    server_ip);
+    sent += 2;
+    at = at + config.handshake_gap * 3;
+  }
+
+  // Leases were pool_base + index. The prober ARPs for each leased address;
+  // the snooping proxy must answer from its pre-loaded cache (the lease
+  // holders themselves stay silent — they never ARP-reply in this script).
+  at = at + Duration::Seconds(1);
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    const Ipv4Addr leased(Ipv4Addr(10, 1, 0, 10).bits() + c);
+    net.SendFromHost(prober,
+                     BuildArpRequest(prober.mac(), prober.ip(), leased), at);
+    ++sent;
+    at = at + sp.arp_reply_deadline / 2;
+  }
+  // One probe for an address nobody leased: a correct proxy floods the
+  // request; kReplyUnknown fabricates a reply (T1.13).
+  net.SendFromHost(prober,
+                   BuildArpRequest(prober.mac(), prober.ip(),
+                                   Ipv4Addr(10, 9, 9, 9)),
+                   at);
+  ++sent;
+
+  net.Run();
+  const SimTime end = at + sp.arp_reply_deadline * 8;
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

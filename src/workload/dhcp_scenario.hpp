@@ -1,0 +1,49 @@
+// DHCP workloads (drive Table-1 rows T1.9/T1.10/T1.11 and, in the
+// DHCP+ARP variant, T1.12/T1.13).
+//
+// Clients run scripted DISCOVER/REQUEST handshakes against one or two
+// server agents through a learning switch (plain DHCP) or an ARP proxy
+// with DHCP snooping (DHCP+ARP). Some clients RELEASE and their addresses
+// are legitimately re-leased — the no-reuse property must stay quiet.
+#pragma once
+
+#include "apps/arp_proxy.hpp"
+#include "workload/dhcp_agent.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct DhcpScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  DhcpServerFault fault = DhcpServerFault::kNone;
+
+  std::uint32_t clients = 6;
+  /// Fraction of clients that RELEASE; their address is re-leased to a
+  /// fresh client afterwards (legitimate re-use).
+  double release_fraction = 0.3;
+  /// Adds a second server. With `overlap_fault` it is misconfigured: it
+  /// ignores the REQUEST's server id and allocates from the SAME pool,
+  /// producing lease overlap (T1.11).
+  bool second_server = false;
+  bool overlap_fault = false;
+  Duration handshake_gap = Duration::Millis(100);
+};
+
+ScenarioOutcome RunDhcpScenario(const DhcpScenarioConfig& config);
+
+struct DhcpArpScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  ArpProxyFault proxy_fault = ArpProxyFault::kNone;
+
+  std::uint32_t clients = 4;
+  Duration handshake_gap = Duration::Millis(100);
+};
+
+/// ARP proxy with DHCP snooping: leased addresses must be answerable from
+/// the pre-loaded cache (T1.12), and the proxy must never fabricate replies
+/// for unknown addresses (T1.13).
+ScenarioOutcome RunDhcpArpScenario(const DhcpArpScenarioConfig& config);
+
+}  // namespace swmon

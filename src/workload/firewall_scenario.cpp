@@ -1,0 +1,113 @@
+#include "workload/firewall_scenario.hpp"
+
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunFirewallScenario(const FirewallScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+  Rng rng(config.options.seed);
+
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  FirewallConfig fw;
+  fw.internal_ports = {sp.inside_port};
+  fw.external_port = sp.outside_port;
+  fw.idle_timeout = sp.firewall_timeout;
+  fw.fault = config.fault;
+  StatefulFirewallApp app(fw);
+  sw.SetProgram(&app);
+
+  Host& inside = net.AddHost("inside", TestMac(1), InternalIp(0));
+  Host& outside = net.AddHost("outside", TestMac(2), ExternalIp(0));
+  net.Attach(1, sp.inside_port, inside);
+  net.Attach(1, sp.outside_port, outside);
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(FirewallReturnNotDropped(sp), mc);
+  out.monitors->Add(FirewallReturnNotDroppedTimeout(sp), mc);
+  out.monitors->Add(FirewallReturnNotDroppedObligation(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  const Duration gap = config.mean_gap;
+  SimTime horizon = SimTime::Zero();
+  std::size_t sent = 0;
+
+  auto send_out = [&](Ipv4Addr a, Ipv4Addr b, std::uint16_t sport,
+                      std::uint8_t flags, SimTime at) {
+    net.SendFromHost(inside,
+                     BuildTcp(TestMac(1), TestMac(2), a, b, sport, 443, flags),
+                     at);
+    ++sent;
+    horizon = std::max(horizon, at);
+  };
+  auto send_in = [&](Ipv4Addr a, Ipv4Addr b, std::uint16_t sport,
+                     std::uint8_t flags, SimTime at) {
+    net.SendFromHost(outside,
+                     BuildTcp(TestMac(2), TestMac(1), b, a, 443, sport, flags),
+                     at);
+    ++sent;
+    horizon = std::max(horizon, at);
+  };
+
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    const Ipv4Addr a = InternalIp(static_cast<std::uint32_t>(c % 50));
+    const Ipv4Addr b = ExternalIp(static_cast<std::uint32_t>(c % 40));
+    const std::uint16_t sport = static_cast<std::uint16_t>(10000 + c);
+    const SimTime base =
+        SimTime::Zero() + Duration::Seconds(1) + gap * static_cast<int>(c);
+
+    send_out(a, b, sport, kTcpSyn, base);
+    SimTime last_out = base;
+
+    // Return traffic while established.
+    for (std::size_t i = 0; i < config.return_packets_per_conn; ++i)
+      send_in(a, b, sport, kTcpAck, base + gap * static_cast<int>(i + 1));
+
+    const bool closes = rng.NextBool(config.close_fraction);
+    const bool stale = !closes && rng.NextBool(config.stale_return_fraction);
+
+    if (config.fault == FirewallFault::kNoRefreshOnTraffic && c % 4 == 0) {
+      // Probe Feature 3's refresh semantics: a second outbound packet late
+      // in the window, then a return that is inside the refreshed window
+      // but outside the original one.
+      const Duration t = sp.firewall_timeout;
+      send_out(a, b, sport, kTcpAck, base + t * 5 / 6);
+      last_out = base + t * 5 / 6;
+      send_in(a, b, sport, kTcpAck, base + t * 7 / 6);
+    }
+
+    if (closes) {
+      const SimTime close_at =
+          base + gap * static_cast<int>(config.return_packets_per_conn + 2);
+      send_out(a, b, sport, kTcpFin | kTcpAck, close_at);
+      // A straggler return after the close: must be dropped, and the
+      // obligation property must stay quiet about the drop.
+      send_in(a, b, sport, kTcpAck, close_at + gap);
+    } else if (stale) {
+      // A return after the idle timeout: dropped, and the timeout property
+      // must stay quiet.
+      send_in(a, b, sport, kTcpAck,
+              last_out + sp.firewall_timeout + Duration::Seconds(1));
+    }
+  }
+
+  net.Run();
+  const SimTime end = horizon + sp.firewall_timeout + Duration::Seconds(2);
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,32 @@
+// Stateful-firewall workload (drives the Sec 2.1 properties).
+//
+// Internal hosts open TCP connections to external hosts through the
+// firewall; external peers send return traffic while the connection is
+// live, after it closes, and after the idle timeout. A correct firewall
+// produces zero violations of all three firewall properties; each fault
+// produces violations of the property that targets it.
+#pragma once
+
+#include "apps/stateful_firewall.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct FirewallScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  FirewallFault fault = FirewallFault::kNone;
+
+  std::size_t connections = 20;
+  std::size_t return_packets_per_conn = 3;
+  /// Fraction of connections closed (FIN) before their last return packet.
+  double close_fraction = 0.3;
+  /// Fraction of connections whose peer sends one more return packet after
+  /// the idle timeout has expired (must be dropped — and must NOT alarm).
+  double stale_return_fraction = 0.2;
+  Duration mean_gap = Duration::Millis(20);
+};
+
+ScenarioOutcome RunFirewallScenario(const FirewallScenarioConfig& config);
+
+}  // namespace swmon

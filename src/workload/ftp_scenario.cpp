@@ -1,0 +1,150 @@
+#include "workload/ftp_scenario.hpp"
+
+#include <map>
+
+#include "apps/simple_forwarder.hpp"
+#include "monitor/property_builder.hpp"
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+Property FtpPassiveDataPort() {
+  PropertyBuilder b("ftp-pasv-data-port",
+                    "Data connection targets the port announced by the "
+                    "server's 227 passive-mode reply");
+  const VarId C = b.Var("C"), S = b.Var("S"), D = b.Var("D");
+  b.AddStage("227 announces the passive endpoint")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kFtpMsgKind,
+                     static_cast<std::uint64_t>(FtpMsgKind::kPasvReply))
+                 .Build())
+      .Bind(S, FieldId::kIpSrc)
+      .Bind(C, FieldId::kIpDst)
+      .Bind(D, FieldId::kFtpDataPort);
+  b.AddStage("client connects to a different passive port")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, 6)
+                 .EqVar(FieldId::kIpSrc, C)
+                 .EqVar(FieldId::kIpDst, S)
+                 // Only connections into the passive region are data
+                 // connections (control traffic is exempt).
+                 .EqMasked(FieldId::kL4DstPort, 60000, ~std::uint64_t{15})
+                 .EqMasked(FieldId::kTcpFlags, kTcpSyn, kTcpSyn | kTcpAck)
+                 .NeVar(FieldId::kL4DstPort, D)
+                 .Build())
+      .AbortOn(PatternBuilder::Arrival()
+                   .Eq(FieldId::kFtpMsgKind,
+                       static_cast<std::uint64_t>(FtpMsgKind::kPasvReply))
+                   .EqVar(FieldId::kIpSrc, S)
+                   .EqVar(FieldId::kIpDst, C)
+                   .Build());
+  b.IdMode(InstanceIdMode::kSymmetric);
+  return std::move(b).Build();
+}
+
+ScenarioOutcome RunFtpScenario(const FtpScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+  Rng rng(config.options.seed);
+
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  SimpleForwarderApp app({{PortId{1}, PortId{2}}, {PortId{2}, PortId{1}}});
+  sw.SetProgram(&app);
+
+  Host& client = net.AddHost("ftp-client", TestMac(1), InternalIp(0));
+  Host& server = net.AddHost("ftp-server", TestMac(2), ExternalIp(0));
+  net.Attach(1, PortId{1}, client);
+  net.Attach(1, PortId{2}, server);
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(FtpDataPortMatchesControl(sp), mc);
+  out.monitors->Add(FtpPassiveDataPort(), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  std::size_t sent = 0;
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+
+  for (std::size_t s = 0; s < config.sessions; ++s) {
+    // Distinct client address per session keeps instances independent.
+    const Ipv4Addr c_ip = InternalIp(static_cast<std::uint32_t>(s));
+    const Ipv4Addr s_ip = ExternalIp(0);
+    const std::uint16_t ctl_port = static_cast<std::uint16_t>(40000 + s);
+    std::uint16_t data_port = static_cast<std::uint16_t>(50000 + s * 2);
+
+    net.SendFromHost(client,
+                     BuildFtpControlLine(TestMac(1), TestMac(2), c_ip, s_ip,
+                                         ctl_port, kFtpControlPort,
+                                         FormatFtpPort(c_ip, data_port)),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+
+    if (rng.NextBool(config.reannounce_fraction)) {
+      data_port = static_cast<std::uint16_t>(data_port + 1);
+      net.SendFromHost(client,
+                       BuildFtpControlLine(TestMac(1), TestMac(2), c_ip, s_ip,
+                                           ctl_port, kFtpControlPort,
+                                           FormatFtpPort(c_ip, data_port)),
+                       at);
+      ++sent;
+      at = at + config.mean_gap;
+    }
+
+    std::uint16_t target = data_port;
+    if (rng.NextBool(config.violation_fraction))
+      target = static_cast<std::uint16_t>(data_port + 100);  // wrong port
+
+    net.SendFromHost(server,
+                     BuildTcp(TestMac(2), TestMac(1), s_ip, c_ip, 20, target,
+                              kTcpSyn),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+  }
+
+  // Passive-mode sessions: the server announces via 227, the client
+  // connects into the passive region.
+  for (std::size_t s_idx = 0; s_idx < config.passive_sessions; ++s_idx) {
+    const Ipv4Addr c_ip = InternalIp(static_cast<std::uint32_t>(100 + s_idx));
+    const Ipv4Addr s_ip = ExternalIp(0);
+    const std::uint16_t ctl_port = static_cast<std::uint16_t>(45000 + s_idx);
+    const std::uint16_t pasv_port =
+        static_cast<std::uint16_t>(60000 + s_idx % 16);
+    net.SendFromHost(server,
+                     BuildFtpControlLine(TestMac(2), TestMac(1), s_ip, c_ip,
+                                         kFtpControlPort, ctl_port,
+                                         FormatFtpPasvReply(s_ip, pasv_port)),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+    std::uint16_t target = pasv_port;
+    if (rng.NextBool(config.violation_fraction))
+      target = static_cast<std::uint16_t>(60000 + (s_idx + 1) % 16);
+    net.SendFromHost(client,
+                     BuildTcp(TestMac(1), TestMac(2), c_ip, s_ip,
+                              static_cast<std::uint16_t>(46000 + s_idx),
+                              target, kTcpSyn),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+  }
+
+  net.Run();
+  const SimTime end = at + Duration::Seconds(1);
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,39 @@
+// FTP workload (drives Table-1 row T1.8, taken from FAST).
+//
+// Scripted active-mode FTP sessions: the client announces a data endpoint
+// with PORT on the control channel; the server then opens the data
+// connection from port 20 to the announced port — or, when violations are
+// injected, to the wrong one. Sessions optionally re-announce (a second
+// PORT supersedes the first).
+#pragma once
+
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct FtpScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+
+  std::size_t sessions = 10;
+  /// Also run passive-mode sessions: the SERVER announces the data
+  /// endpoint (227 reply) and the CLIENT connects to it. Exercises the
+  /// PASV parser path and the mirror-image property.
+  std::size_t passive_sessions = 0;
+  /// Fraction of sessions whose data connection targets the wrong port.
+  double violation_fraction = 0.0;
+  /// Fraction of sessions that send a second PORT before the data
+  /// connection (which then targets the NEW port — legitimate).
+  double reannounce_fraction = 0.3;
+  Duration mean_gap = Duration::Millis(30);
+};
+
+ScenarioOutcome RunFtpScenario(const FtpScenarioConfig& config);
+
+/// Passive-mode mirror of Table 1's T1.8 (not a published row; included
+/// for symmetry): the client's data connection must target the port the
+/// server's 227 reply announced. Announced ports live in the masked
+/// region [60000, 60016).
+Property FtpPassiveDataPort();
+
+}  // namespace swmon

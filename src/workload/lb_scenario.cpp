@@ -1,0 +1,76 @@
+#include "workload/lb_scenario.hpp"
+
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunLbScenario(const LbScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+
+  Network net;
+  SoftSwitch& sw =
+      net.AddSwitch(1, 1 + sp.lb_server_count);  // port 1 + servers
+  LoadBalancerConfig lc;
+  lc.client_port = sp.lb_client_port;
+  lc.first_server_port = sp.lb_first_server_port;
+  lc.server_count = sp.lb_server_count;
+  lc.mode = config.mode;
+  lc.fault = config.fault;
+  LoadBalancerApp app(lc);
+  sw.SetProgram(&app);
+
+  Host& client = net.AddHost("clients", TestMac(1), InternalIp(0));
+  net.Attach(1, sp.lb_client_port, client);
+  for (std::uint32_t s = 0; s < sp.lb_server_count; ++s) {
+    Host& server = net.AddHost("server" + std::to_string(s + 1),
+                               TestMac(100 + s), ExternalIp(s));
+    net.Attach(1, PortId{sp.lb_first_server_port + s}, server);
+  }
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(config.mode == LbMode::kHash ? LbHashedPort(sp)
+                                                 : LbRoundRobinPort(sp),
+                    mc);
+  out.monitors->Add(LbStickyPort(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  const Ipv4Addr vip(203, 0, 113, 80);
+  std::size_t sent = 0;
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+  auto send = [&](Ipv4Addr src, std::uint16_t sport, std::uint8_t flags) {
+    net.SendFromHost(client,
+                     BuildTcp(TestMac(1), TestMac(100), src, vip, sport, 80,
+                              flags),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+  };
+
+  for (std::size_t f = 0; f < config.flows; ++f) {
+    const Ipv4Addr src = InternalIp(static_cast<std::uint32_t>(f % 10));
+    const std::uint16_t sport = static_cast<std::uint16_t>(30000 + f);
+    send(src, sport, kTcpSyn);
+    for (std::size_t i = 0; i < config.data_packets_per_flow; ++i)
+      send(src, sport, kTcpAck);
+    send(src, sport, kTcpFin | kTcpAck);
+  }
+
+  net.Run();
+  const SimTime end = at + Duration::Seconds(1);
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,25 @@
+// Load-balancer workload (drives Table-1 rows T1.5/T1.6/T1.7).
+//
+// Client flows (SYN, data packets, FIN) arrive on the client port and must
+// be pinned to the hash- or round-robin-selected server port until close.
+#pragma once
+
+#include "apps/load_balancer.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct LbScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  LoadBalancerFault fault = LoadBalancerFault::kNone;
+  LbMode mode = LbMode::kHash;
+
+  std::size_t flows = 24;
+  std::size_t data_packets_per_flow = 3;
+  Duration mean_gap = Duration::Millis(10);
+};
+
+ScenarioOutcome RunLbScenario(const LbScenarioConfig& config);
+
+}  // namespace swmon

@@ -1,0 +1,88 @@
+#include "workload/learning_scenario.hpp"
+
+#include <vector>
+
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunLearningScenario(const LearningScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+  Rng rng(config.options.seed);
+
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, config.hosts);
+  LearningSwitchApp app(config.fault);
+  sw.SetProgram(&app);
+
+  std::vector<Host*> hosts;
+  for (std::uint32_t h = 0; h < config.hosts; ++h) {
+    Host& host = net.AddHost("h" + std::to_string(h + 1), TestMac(h + 1),
+                             InternalIp(h));
+    net.Attach(1, PortId{h + 1}, host);
+    hosts.push_back(&host);
+  }
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(LearningSwitchNoFloodAfterLearn(sp), mc);
+  out.monitors->Add(LearningSwitchCorrectPort(sp), mc);
+  out.monitors->Add(LearningSwitchLinkDownFlush(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  std::size_t sent = 0;
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+  auto send = [&](std::uint32_t from, std::uint32_t to) {
+    Packet pkt = BuildIcmpEcho(TestMac(from + 1), TestMac(to + 1),
+                               InternalIp(from), InternalIp(to),
+                               /*is_request=*/true, 1,
+                               static_cast<std::uint16_t>(sent));
+    net.SendFromHost(*hosts[from], std::move(pkt), at);
+    ++sent;
+    at = at + config.mean_gap;
+  };
+
+  // Announcement round: everyone broadcasts once (gets learned).
+  for (std::uint32_t h = 0; h < config.hosts; ++h) {
+    Packet hello = BuildArpRequest(TestMac(h + 1), InternalIp(h),
+                                   InternalIp((h + 1) % config.hosts));
+    net.SendFromHost(*hosts[h], std::move(hello), at);
+    ++sent;
+    at = at + config.mean_gap;
+  }
+
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    if (config.inject_link_down && r == config.rounds / 2) {
+      // Take one link down and bring it back: learned state must flush.
+      const PortId victim{1 +
+                          static_cast<std::uint32_t>(rng.NextBelow(config.hosts))};
+      net.SetLinkState(1, victim, false, at);
+      at = at + config.mean_gap;
+      net.SetLinkState(1, victim, true, at);
+      at = at + config.mean_gap;
+    }
+    for (std::uint32_t h = 0; h < config.hosts; ++h) {
+      const std::uint32_t peer =
+          static_cast<std::uint32_t>(rng.NextBelow(config.hosts - 1));
+      send(h, peer >= h ? peer + 1 : peer);
+    }
+  }
+
+  net.Run();
+  const SimTime end = at + Duration::Seconds(1);
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,26 @@
+// Learning-switch workload (drives the Sec 1 and Sec 2.4 properties).
+//
+// Hosts on distinct ports exchange unicast traffic after announcing
+// themselves; optional link-down events exercise the multiple-match
+// property.
+#pragma once
+
+#include "apps/learning_switch.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct LearningScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  LearningSwitchFault fault = LearningSwitchFault::kNone;
+
+  std::uint32_t hosts = 6;  // one per port
+  std::size_t rounds = 10;  // each round: every host sends to a random peer
+  bool inject_link_down = false;
+  Duration mean_gap = Duration::Millis(5);
+};
+
+ScenarioOutcome RunLearningScenario(const LearningScenarioConfig& config);
+
+}  // namespace swmon

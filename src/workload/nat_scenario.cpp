@@ -1,0 +1,80 @@
+#include "workload/nat_scenario.hpp"
+
+#include "packet/builder.hpp"
+#include "packet/parser.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunNatScenario(const NatScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  NatConfig nc;
+  nc.internal_port = sp.inside_port;
+  nc.external_port = sp.outside_port;
+  nc.public_ip = sp.nat_public_ip;
+  nc.fault = config.fault;
+  NatApp app(nc);
+  sw.SetProgram(&app);
+
+  Host& inside = net.AddHost("inside", TestMac(1), InternalIp(0));
+  Host& outside = net.AddHost("outside", TestMac(2), ExternalIp(0));
+  net.Attach(1, sp.inside_port, inside);
+  net.Attach(1, sp.outside_port, outside);
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(NatReverseTranslation(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  // The external peer echoes every delivered packet back to its source —
+  // which, after translation, is (public_ip, P').
+  std::size_t sent = 0;
+  outside.SetReceiver([&](Host&, const Packet& pkt, SimTime at) {
+    const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL4);
+    if (!parsed.valid || !parsed.ipv4 || !parsed.tcp) return;
+    Packet reply = BuildTcp(TestMac(2), TestMac(1), parsed.ipv4->dst,
+                            parsed.ipv4->src, parsed.tcp->dst_port,
+                            parsed.tcp->src_port, kTcpAck);
+    net.SendFromHost(outside, std::move(reply), at + Duration::Millis(1));
+    ++sent;
+  });
+
+  SimTime horizon = SimTime::Zero();
+  for (std::size_t f = 0; f < config.flows; ++f) {
+    const Ipv4Addr a = InternalIp(static_cast<std::uint32_t>(f % 30));
+    const Ipv4Addr b = ExternalIp(0);
+    const std::uint16_t sport = static_cast<std::uint16_t>(20000 + f);
+    for (std::size_t x = 0; x < config.exchanges_per_flow; ++x) {
+      const SimTime at = SimTime::Zero() + Duration::Seconds(1) +
+                         config.mean_gap * static_cast<int>(f) +
+                         Duration::Millis(50) * static_cast<int>(x);
+      net.SendFromHost(
+          inside,
+          BuildTcp(TestMac(1), TestMac(2), a, b, sport, 443,
+                   x == 0 ? kTcpSyn : kTcpAck),
+          at);
+      ++sent;
+      horizon = std::max(horizon, at);
+    }
+  }
+
+  net.Run();
+  const SimTime end = horizon + Duration::Seconds(1);
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

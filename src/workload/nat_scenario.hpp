@@ -1,0 +1,26 @@
+// NAT workload (drives the Sec 2.2 reverse-translation property).
+//
+// Internal hosts send TCP packets to an external server through the NAT;
+// the external host replies to whatever (address, port) the translated
+// packet carried — exactly what a real peer does — so the reply exercises
+// the reverse translation path, including when the NAT mistranslates.
+#pragma once
+
+#include "apps/nat.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct NatScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  NatFault fault = NatFault::kNone;
+
+  std::size_t flows = 20;
+  std::size_t exchanges_per_flow = 2;  // outbound+reply rounds
+  Duration mean_gap = Duration::Millis(10);
+};
+
+ScenarioOutcome RunNatScenario(const NatScenarioConfig& config);
+
+}  // namespace swmon

@@ -1,0 +1,88 @@
+#include "workload/portknock_scenario.hpp"
+
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunPortKnockScenario(const PortKnockScenarioConfig& config) {
+  const ScenarioParams& sp = config.params;
+
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  PortKnockConfig kc;
+  kc.knock_ports = {sp.knock1, sp.knock2, sp.knock3};
+  kc.protected_port = sp.protected_port;
+  kc.client_port = PortId{1};
+  kc.server_port = PortId{2};
+  kc.fault = config.fault;
+  PortKnockGateApp app(kc);
+  sw.SetProgram(&app);
+
+  Host& client = net.AddHost("client", TestMac(1), InternalIp(0));
+  Host& server = net.AddHost("server", TestMac(2), InternalIp(100));
+  net.Attach(1, PortId{1}, client);
+  net.Attach(1, PortId{2}, server);
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig mc;
+  mc.provenance = config.options.provenance;
+  out.monitors->Add(PortKnockInvalidation(sp), mc);
+  out.monitors->Add(PortKnockRecognize(sp), mc);
+  sw.AddObserver(out.monitors.get());
+  if (config.options.keep_trace) {
+    out.trace = std::make_unique<TraceRecorder>();
+    sw.AddObserver(out.trace.get());
+  }
+
+  std::size_t sent = 0;
+  SimTime at = SimTime::Zero() + Duration::Millis(100);
+  std::uint32_t next_client_ip = 0;
+
+  auto knock = [&](Ipv4Addr src, std::uint16_t port) {
+    net.SendFromHost(client,
+                     BuildUdp(TestMac(1), TestMac(2), src, server.ip(),
+                              40000, port),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+  };
+  auto ssh_attempt = [&](Ipv4Addr src) {
+    net.SendFromHost(client,
+                     BuildTcp(TestMac(1), TestMac(2), src, server.ip(), 40001,
+                              sp.protected_port, kTcpSyn),
+                     at);
+    ++sent;
+    at = at + config.mean_gap;
+  };
+
+  // Each session uses a fresh client address, so sessions are independent
+  // monitor instances.
+  for (std::size_t s = 0; s < config.clean_sessions; ++s) {
+    const Ipv4Addr src = InternalIp(next_client_ip++);
+    knock(src, sp.knock1);
+    knock(src, sp.knock2);
+    knock(src, sp.knock3);
+    ssh_attempt(src);  // must be forwarded
+  }
+  for (std::size_t s = 0; s < config.corrupted_sessions; ++s) {
+    const Ipv4Addr src = InternalIp(next_client_ip++);
+    knock(src, sp.knock1);
+    knock(src, 7003);  // intervening wrong guess (in-region, never correct)
+    knock(src, sp.knock2);
+    knock(src, sp.knock3);
+    ssh_attempt(src);  // must be dropped
+  }
+
+  net.Run();
+  const SimTime end = at + Duration::Seconds(1);
+  net.RunUntil(end);
+  out.monitors->AdvanceTime(end);
+  out.switch_costs = sw.counters();
+  out.packets_injected = sent;
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace swmon

@@ -1,0 +1,26 @@
+// Port-knocking workload (drives Table-1 rows T1.3/T1.4).
+//
+// Clients run knock sessions against the gate: clean sequences (the gate
+// must open) and corrupted sequences containing an intervening wrong guess
+// (the gate must stay closed). After each session the client attempts a
+// TCP connection to the protected port.
+#pragma once
+
+#include "apps/port_knocking.hpp"
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct PortKnockScenarioConfig {
+  ScenarioOptions options;
+  ScenarioParams params;
+  PortKnockFault fault = PortKnockFault::kNone;
+
+  std::size_t clean_sessions = 5;
+  std::size_t corrupted_sessions = 5;
+  Duration mean_gap = Duration::Millis(20);
+};
+
+ScenarioOutcome RunPortKnockScenario(const PortKnockScenarioConfig& config);
+
+}  // namespace swmon

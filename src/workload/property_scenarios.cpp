@@ -1,0 +1,128 @@
+#include "workload/property_scenarios.hpp"
+
+#include "workload/arp_scenario.hpp"
+#include "workload/dhcp_scenario.hpp"
+#include "workload/firewall_scenario.hpp"
+#include "workload/ftp_scenario.hpp"
+#include "workload/lb_scenario.hpp"
+#include "workload/learning_scenario.hpp"
+#include "workload/nat_scenario.hpp"
+#include "workload/portknock_scenario.hpp"
+
+namespace swmon {
+
+ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
+                                       bool faulted,
+                                       ScenarioOptions options) {
+  const std::string& p = property_name;
+
+  if (p == "lsw-no-flood-after-learn" || p == "lsw-correct-port" ||
+      p == "lsw-linkdown-flush") {
+    LearningScenarioConfig c;
+    c.options = options;
+    if (options.seed == 1) c.options.seed = 3;
+    c.rounds = 12;
+    c.inject_link_down = p == "lsw-linkdown-flush";
+    if (faulted) {
+      c.fault = p == "lsw-no-flood-after-learn"
+                    ? LearningSwitchFault::kNeverLearn
+                : p == "lsw-correct-port" ? LearningSwitchFault::kWrongPort
+                                          : LearningSwitchFault::kNoFlushOnLinkDown;
+    }
+    return RunLearningScenario(c);
+  }
+
+  if (p.rfind("fw-return", 0) == 0) {
+    FirewallScenarioConfig c;
+    c.options = options;
+    c.close_fraction = 0.0;
+    c.stale_return_fraction = 0.0;
+    if (faulted) c.fault = FirewallFault::kDropEstablishedReturn;
+    return RunFirewallScenario(c);
+  }
+
+  if (p == "nat-reverse-translation") {
+    NatScenarioConfig c;
+    c.options = options;
+    if (faulted) c.fault = NatFault::kWrongReversePort;
+    return RunNatScenario(c);
+  }
+
+  if (p == "arp-proxy-reply-deadline" || p == "arp-known-not-forwarded" ||
+      p == "arp-unknown-forwarded") {
+    ArpScenarioConfig c;
+    c.options = options;
+    if (faulted) {
+      c.fault = p == "arp-proxy-reply-deadline" ? ArpProxyFault::kSlowReply
+                : p == "arp-known-not-forwarded"
+                    ? ArpProxyFault::kNeverReply
+                    : ArpProxyFault::kBlackholeRequests;
+    }
+    return RunArpScenario(c);
+  }
+
+  if (p == "knock-invalidation" || p == "knock-recognize") {
+    PortKnockScenarioConfig c;
+    c.options = options;
+    if (faulted) {
+      c.fault = p == "knock-invalidation" ? PortKnockFault::kIgnoreInvalidation
+                                          : PortKnockFault::kNeverOpen;
+    }
+    return RunPortKnockScenario(c);
+  }
+
+  if (p == "lb-hashed-port" || p == "lb-round-robin-port" ||
+      p == "lb-sticky-port") {
+    LbScenarioConfig c;
+    c.options = options;
+    c.mode = p == "lb-round-robin-port" ? LbMode::kRoundRobin : LbMode::kHash;
+    if (faulted) {
+      c.fault = p == "lb-hashed-port" ? LoadBalancerFault::kWrongHashPort
+                : p == "lb-round-robin-port"
+                    ? LoadBalancerFault::kWrongRoundRobin
+                    : LoadBalancerFault::kRehashMidFlow;
+    }
+    return RunLbScenario(c);
+  }
+
+  if (p == "ftp-data-port") {
+    FtpScenarioConfig c;
+    c.options = options;
+    if (faulted) {
+      c.violation_fraction = 1.0;
+      c.reannounce_fraction = 0.0;
+    }
+    return RunFtpScenario(c);
+  }
+
+  if (p == "dhcp-reply-deadline" || p == "dhcp-no-lease-reuse" ||
+      p == "dhcp-no-lease-overlap") {
+    DhcpScenarioConfig c;
+    c.options = options;
+    c.release_fraction = 0.0;
+    c.second_server = p == "dhcp-no-lease-overlap";
+    if (faulted) {
+      if (p == "dhcp-reply-deadline") c.fault = DhcpServerFault::kSlowReply;
+      else if (p == "dhcp-no-lease-reuse")
+        c.fault = DhcpServerFault::kReuseLeasedAddress;
+      else c.overlap_fault = true;
+    }
+    return RunDhcpScenario(c);
+  }
+
+  if (p == "dhcparp-cache-preload" || p == "dhcparp-no-direct-reply") {
+    DhcpArpScenarioConfig c;
+    c.options = options;
+    if (faulted) {
+      c.proxy_fault = p == "dhcparp-cache-preload" ? ArpProxyFault::kNoSnoop
+                                                   : ArpProxyFault::kReplyUnknown;
+    }
+    return RunDhcpArpScenario(c);
+  }
+
+  ScenarioOutcome empty;
+  empty.monitors = std::make_unique<MonitorSet>();
+  return empty;
+}
+
+}  // namespace swmon

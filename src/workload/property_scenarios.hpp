@@ -1,0 +1,21 @@
+// The canonical scenario for each catalog property: which workload
+// exercises it and which fault makes the monitored device violate it.
+// Shared by bench_table1 (detection confirmation) and the cross-backend
+// parity tests.
+#pragma once
+
+#include <string>
+
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+/// Runs the scenario that exercises `property_name` — faulted (the device
+/// misbehaves in exactly the way the property watches for) or correct.
+/// Returns the outcome with monitors attached; unknown names yield an
+/// outcome with zero packets.
+ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
+                                       bool faulted,
+                                       ScenarioOptions options = {});
+
+}  // namespace swmon

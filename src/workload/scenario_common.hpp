@@ -1,0 +1,57 @@
+// Shared plumbing for scenario runners.
+//
+// Every scenario follows the same shape: build a Network with one switch
+// running the app under test, attach a MonitorSet (and optionally a
+// TraceRecorder), script deterministic traffic from a seed, run the event
+// queue past every monitor deadline, and hand back the outcome.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "monitor/monitor_set.hpp"
+#include "netsim/network.hpp"
+#include "netsim/trace.hpp"
+#include "properties/scenario.hpp"
+
+namespace swmon {
+
+struct ScenarioOutcome {
+  std::unique_ptr<MonitorSet> monitors;
+  std::unique_ptr<TraceRecorder> trace;  // null unless keep_trace
+  CostCounters switch_costs;
+  std::size_t packets_injected = 0;
+  SimTime end_time;
+
+  std::size_t TotalViolations() const { return monitors->TotalViolations(); }
+
+  /// Violations of one property by name (0 if the property isn't attached).
+  std::size_t ViolationsOf(const std::string& property) const {
+    std::size_t n = 0;
+    for (const auto& v : monitors->AllViolations())
+      if (v.property == property) ++n;
+    return n;
+  }
+};
+
+/// Options common to all scenarios.
+struct ScenarioOptions {
+  std::uint64_t seed = 1;
+  ProvenanceLevel provenance = ProvenanceLevel::kLimited;
+  bool keep_trace = false;
+};
+
+/// Test addresses: host index -> distinct MAC / IP in 10.0.0.0/16 (internal)
+/// or 198.51.100.0/24 (external).
+inline MacAddr TestMac(std::uint32_t i) {
+  return MacAddr(0x020000000000ULL | i);
+}
+inline Ipv4Addr InternalIp(std::uint32_t i) {
+  return Ipv4Addr(0x0a000000u + 1 + i);  // 10.0.x.y
+}
+inline Ipv4Addr ExternalIp(std::uint32_t i) {
+  return Ipv4Addr(0xc6336400u + 1 + i);  // 198.51.100.z
+}
+
+}  // namespace swmon

@@ -1,0 +1,427 @@
+// Direct unit tests for the forwarding programs under test (the scenario
+// tests exercise them through the monitor; these pin their own behaviour).
+#include <gtest/gtest.h>
+
+#include "apps/arp_proxy.hpp"
+#include "apps/flow_table_switch.hpp"
+#include "apps/learning_switch.hpp"
+#include "apps/load_balancer.hpp"
+#include "apps/nat.hpp"
+#include "apps/port_knocking.hpp"
+#include "apps/simple_forwarder.hpp"
+#include "apps/stateful_firewall.hpp"
+#include "common/rng.hpp"
+#include "dataplane/meter.hpp"
+#include "packet/builder.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr MacAddr kMacA(0x02, 0, 0, 0, 0, 1);
+constexpr MacAddr kMacB(0x02, 0, 0, 0, 0, 2);
+constexpr Ipv4Addr kIpA(10, 0, 0, 1);
+constexpr Ipv4Addr kIpB(198, 51, 100, 1);
+
+class AppFixture : public ::testing::Test {
+ protected:
+  AppFixture() : sw_(1, 8, queue_) {}
+
+  ForwardDecision Deliver(SwitchProgram& app, const Packet& pkt,
+                          std::uint32_t in_port) {
+    const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+    return app.OnPacket(sw_, parsed, PortId{in_port});
+  }
+
+  EventQueue queue_;
+  SoftSwitch sw_;
+};
+
+// ------------------------------------------------------------ learning
+
+TEST_F(AppFixture, LearningSwitchFloodsUnknownUnicastsKnown) {
+  LearningSwitchApp app;
+  const Packet a_to_b = BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1);
+  const Packet b_to_a = BuildIcmpEcho(kMacB, kMacA, kIpB, kIpA, false, 1, 1);
+
+  EXPECT_EQ(Deliver(app, a_to_b, 3).action, EgressActionValue::kFlood);
+  // B replies: A was learned on port 3.
+  const auto d = Deliver(app, b_to_a, 5);
+  EXPECT_EQ(d.action, EgressActionValue::kForward);
+  EXPECT_EQ(d.out_port, PortId{3});
+  EXPECT_EQ(app.table_size(), 2u);
+}
+
+TEST_F(AppFixture, LearningSwitchDropsHairpin) {
+  LearningSwitchApp app;
+  Deliver(app, BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1), 3);
+  // A packet to A arriving on A's own port must not loop back out.
+  const auto d =
+      Deliver(app, BuildIcmpEcho(kMacB, kMacA, kIpB, kIpA, false, 1, 1), 3);
+  EXPECT_EQ(d.action, EgressActionValue::kDrop);
+}
+
+TEST_F(AppFixture, LearningSwitchFlushesOnLinkDown) {
+  LearningSwitchApp app;
+  Deliver(app, BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1), 3);
+  EXPECT_EQ(app.table_size(), 1u);
+  app.OnLinkStatus(sw_, PortId{7}, false);
+  EXPECT_EQ(app.table_size(), 0u);
+
+  LearningSwitchApp buggy(LearningSwitchFault::kNoFlushOnLinkDown);
+  Deliver(buggy, BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1), 3);
+  buggy.OnLinkStatus(sw_, PortId{7}, false);
+  EXPECT_EQ(buggy.table_size(), 1u);
+}
+
+// ------------------------------------------------------------ firewall
+
+TEST_F(AppFixture, FirewallAdmitsOnlyEstablishedReturns) {
+  FirewallConfig fc;
+  fc.internal_ports = {PortId{1}};
+  fc.external_port = PortId{2};
+  StatefulFirewallApp app(fc);
+
+  const Packet in_syn = BuildTcp(kMacB, kMacA, kIpB, kIpA, 443, 999, kTcpSyn);
+  EXPECT_EQ(Deliver(app, in_syn, 2).action, EgressActionValue::kDrop);
+
+  const Packet out_syn = BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpSyn);
+  EXPECT_EQ(Deliver(app, out_syn, 1).action, EgressActionValue::kForward);
+  EXPECT_EQ(app.connection_count(), 1u);
+
+  const Packet in_ack = BuildTcp(kMacB, kMacA, kIpB, kIpA, 443, 999, kTcpAck);
+  const auto d = Deliver(app, in_ack, 2);
+  EXPECT_EQ(d.action, EgressActionValue::kForward);
+  EXPECT_EQ(d.out_port, PortId{1});
+}
+
+TEST_F(AppFixture, FirewallClosesOnFinAndRst) {
+  FirewallConfig fc;
+  fc.internal_ports = {PortId{1}};
+  fc.external_port = PortId{2};
+  StatefulFirewallApp app(fc);
+
+  Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpSyn), 1);
+  Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpFin | kTcpAck), 1);
+  EXPECT_EQ(app.connection_count(), 0u);
+  // Post-close returns are dropped.
+  EXPECT_EQ(Deliver(app, BuildTcp(kMacB, kMacA, kIpB, kIpA, 443, 999, kTcpAck), 2)
+                .action,
+            EgressActionValue::kDrop);
+}
+
+TEST_F(AppFixture, FirewallExpiresIdleConnections) {
+  FirewallConfig fc;
+  fc.internal_ports = {PortId{1}};
+  fc.external_port = PortId{2};
+  fc.idle_timeout = Duration::Seconds(10);
+  StatefulFirewallApp app(fc);
+
+  Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpSyn), 1);
+  queue_.RunUntil(SimTime::Zero() + Duration::Seconds(11));
+  EXPECT_EQ(Deliver(app, BuildTcp(kMacB, kMacA, kIpB, kIpA, 443, 999, kTcpAck), 2)
+                .action,
+            EgressActionValue::kDrop);
+}
+
+TEST_F(AppFixture, FirewallRefreshesOnOutboundTraffic) {
+  FirewallConfig fc;
+  fc.internal_ports = {PortId{1}};
+  fc.external_port = PortId{2};
+  fc.idle_timeout = Duration::Seconds(10);
+  StatefulFirewallApp app(fc);
+
+  Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpSyn), 1);
+  queue_.RunUntil(SimTime::Zero() + Duration::Seconds(8));
+  Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpAck), 1);
+  queue_.RunUntil(SimTime::Zero() + Duration::Seconds(14));
+  // 14s after open but only 6s after refresh: still admitted.
+  EXPECT_EQ(Deliver(app, BuildTcp(kMacB, kMacA, kIpB, kIpA, 443, 999, kTcpAck), 2)
+                .action,
+            EgressActionValue::kForward);
+
+  FirewallConfig buggy_cfg = fc;
+  buggy_cfg.fault = FirewallFault::kNoRefreshOnTraffic;
+  StatefulFirewallApp buggy(buggy_cfg);
+  // Re-run the same sequence: without refresh the return is dropped.
+  EventQueue q2;
+  SoftSwitch sw2(2, 4, q2);
+  auto deliver2 = [&](const Packet& pkt, std::uint32_t port) {
+    return buggy.OnPacket(sw2, ParsePacket(pkt, ParseDepth::kL7), PortId{port});
+  };
+  deliver2(BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpSyn), 1);
+  q2.RunUntil(SimTime::Zero() + Duration::Seconds(8));
+  deliver2(BuildTcp(kMacA, kMacB, kIpA, kIpB, 999, 443, kTcpAck), 1);
+  q2.RunUntil(SimTime::Zero() + Duration::Seconds(14));
+  EXPECT_EQ(deliver2(BuildTcp(kMacB, kMacA, kIpB, kIpA, 443, 999, kTcpAck), 2)
+                .action,
+            EgressActionValue::kDrop);
+}
+
+// ----------------------------------------------------------------- NAT
+
+TEST_F(AppFixture, NatTranslatesAndReverses) {
+  NatConfig nc;
+  NatApp app(nc);
+
+  const Packet out = BuildTcp(kMacA, kMacB, kIpA, kIpB, 5555, 80, kTcpSyn);
+  const auto d1 = Deliver(app, out, 1);
+  ASSERT_EQ(d1.action, EgressActionValue::kForward);
+  ASSERT_TRUE(d1.rewritten.has_value());
+  EXPECT_EQ(d1.rewritten->ipv4->src, nc.public_ip);
+  const std::uint16_t translated = d1.rewritten->tcp->src_port;
+  EXPECT_GE(translated, nc.first_nat_port);
+
+  const Packet back =
+      BuildTcp(kMacB, kMacA, kIpB, nc.public_ip, 80, translated, kTcpAck);
+  const auto d2 = Deliver(app, back, 2);
+  ASSERT_EQ(d2.action, EgressActionValue::kForward);
+  ASSERT_TRUE(d2.rewritten.has_value());
+  EXPECT_EQ(d2.rewritten->ipv4->dst, kIpA);
+  EXPECT_EQ(d2.rewritten->tcp->dst_port, 5555);
+}
+
+TEST_F(AppFixture, NatMappingsAreStablePerSource) {
+  NatApp app(NatConfig{});
+  const auto d1 =
+      Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 5555, 80, kTcpSyn), 1);
+  const auto d2 =
+      Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 5555, 80, kTcpAck), 1);
+  EXPECT_EQ(d1.rewritten->tcp->src_port, d2.rewritten->tcp->src_port);
+  EXPECT_EQ(app.mapping_count(), 1u);
+  // A different source port gets a fresh mapping.
+  const auto d3 =
+      Deliver(app, BuildTcp(kMacA, kMacB, kIpA, kIpB, 5556, 80, kTcpSyn), 1);
+  EXPECT_NE(d3.rewritten->tcp->src_port, d1.rewritten->tcp->src_port);
+}
+
+TEST_F(AppFixture, NatDropsUnknownInbound) {
+  NatApp app(NatConfig{});
+  const Packet stray = BuildTcp(kMacB, kMacA, kIpB, NatConfig{}.public_ip, 80,
+                                50000, kTcpSyn);
+  EXPECT_EQ(Deliver(app, stray, 2).action, EgressActionValue::kDrop);
+}
+
+// ----------------------------------------------------------- ARP proxy
+
+TEST_F(AppFixture, ArpProxyLearnsFromRepliesAndAnswers) {
+  ArpProxyApp app(ArpProxyConfig{});
+  // A reply traverses the switch: the proxy learns the mapping.
+  Deliver(app, BuildArpReply(kMacA, kIpA, kMacB, kIpB), 1);
+  EXPECT_TRUE(app.Knows(kIpA));
+  // A later request for that address is answered (dropped, reply emitted).
+  const auto d = Deliver(app, BuildArpRequest(kMacB, kIpB, kIpA), 2);
+  EXPECT_EQ(d.action, EgressActionValue::kDrop);
+  EXPECT_GT(queue_.pending(), 0u);  // the scheduled proxy reply
+}
+
+TEST_F(AppFixture, ArpProxyFloodsUnknownRequests) {
+  ArpProxyApp app(ArpProxyConfig{});
+  EXPECT_EQ(Deliver(app, BuildArpRequest(kMacB, kIpB, kIpA), 2).action,
+            EgressActionValue::kFlood);
+}
+
+TEST_F(AppFixture, ArpProxySnoopsDhcpWhenEnabled) {
+  ArpProxyConfig pc;
+  pc.dhcp_snooping = true;
+  ArpProxyApp app(pc);
+  DhcpMessage ack;
+  ack.op = 2;
+  ack.msg_type = DhcpMsgType::kAck;
+  ack.yiaddr = kIpA;
+  ack.chaddr = kMacA;
+  Deliver(app, BuildDhcp(kMacB, kMacA, Ipv4Addr(10, 1, 0, 1), kIpA,
+                         /*from_client=*/false, ack),
+          3);
+  EXPECT_TRUE(app.Knows(kIpA));
+}
+
+// -------------------------------------------------------- load balancer
+
+TEST_F(AppFixture, LoadBalancerPinsFlowsUntilClose) {
+  LoadBalancerConfig lc;
+  LoadBalancerApp app(lc);
+  const Packet syn = BuildTcp(kMacA, kMacB, kIpA, kIpB, 7000, 80, kTcpSyn);
+  const Packet data = BuildTcp(kMacA, kMacB, kIpA, kIpB, 7000, 80, kTcpAck);
+  const auto first = Deliver(app, syn, 1);
+  ASSERT_EQ(first.action, EgressActionValue::kForward);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(Deliver(app, data, 1).out_port, first.out_port);
+
+  const Packet fin = BuildTcp(kMacA, kMacB, kIpA, kIpB, 7000, 80, kTcpFin);
+  EXPECT_EQ(Deliver(app, fin, 1).out_port, first.out_port);
+  EXPECT_EQ(app.flow_count(), 0u);  // pin released on close
+}
+
+TEST_F(AppFixture, LoadBalancerHashIsDeterministicAndInRange) {
+  LoadBalancerConfig lc;
+  LoadBalancerApp app1(lc), app2(lc);
+  for (std::uint16_t sport = 7000; sport < 7032; ++sport) {
+    const Packet syn = BuildTcp(kMacA, kMacB, kIpA, kIpB, sport, 80, kTcpSyn);
+    const auto a = Deliver(app1, syn, 1);
+    const auto b = app2.OnPacket(sw_, ParsePacket(syn, ParseDepth::kL7),
+                                 PortId{1});
+    EXPECT_EQ(a.out_port, b.out_port);
+    EXPECT_GE(ToU64(a.out_port), lc.first_server_port);
+    EXPECT_LT(ToU64(a.out_port), lc.first_server_port + lc.server_count);
+  }
+}
+
+TEST_F(AppFixture, LoadBalancerRoundRobinCycles) {
+  LoadBalancerConfig lc;
+  lc.mode = LbMode::kRoundRobin;
+  LoadBalancerApp app(lc);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const Packet syn = BuildTcp(kMacA, kMacB, kIpA, kIpB,
+                                static_cast<std::uint16_t>(7000 + i), 80,
+                                kTcpSyn);
+    EXPECT_EQ(ToU64(Deliver(app, syn, 1).out_port),
+              lc.first_server_port + i % lc.server_count);
+  }
+}
+
+// -------------------------------------------------------- port knocking
+
+TEST_F(AppFixture, KnockGateOpensOnCleanSequenceOnly) {
+  PortKnockConfig kc;
+  PortKnockGateApp app(kc);
+  auto knock = [&](std::uint16_t port) {
+    Deliver(app, BuildUdp(kMacA, kMacB, kIpA, kIpB, 40000, port), 1);
+  };
+  const Packet ssh = BuildTcp(kMacA, kMacB, kIpA, kIpB, 40001, 22, kTcpSyn);
+
+  EXPECT_EQ(Deliver(app, ssh, 1).action, EgressActionValue::kDrop);
+  knock(7000);
+  knock(7001);
+  knock(7003);  // wrong guess: reset
+  knock(7002);
+  EXPECT_EQ(Deliver(app, ssh, 1).action, EgressActionValue::kDrop);
+  knock(7000);
+  knock(7001);
+  knock(7002);
+  EXPECT_TRUE(app.IsOpen(kIpA));
+  EXPECT_EQ(Deliver(app, ssh, 1).action, EgressActionValue::kForward);
+}
+
+TEST_F(AppFixture, KnockGateIgnoresUdpOutsideRegion) {
+  PortKnockGateApp app(PortKnockConfig{});
+  Deliver(app, BuildUdp(kMacA, kMacB, kIpA, kIpB, 40000, 7000), 1);
+  // Ordinary UDP (e.g. DNS) must not reset knock progress.
+  const auto d = Deliver(app, BuildUdp(kMacA, kMacB, kIpA, kIpB, 40000, 53), 1);
+  EXPECT_EQ(d.action, EgressActionValue::kForward);
+  Deliver(app, BuildUdp(kMacA, kMacB, kIpA, kIpB, 40000, 7001), 1);
+  Deliver(app, BuildUdp(kMacA, kMacB, kIpA, kIpB, 40000, 7002), 1);
+  EXPECT_TRUE(app.IsOpen(kIpA));
+}
+
+TEST_F(AppFixture, KnockGateIsPerSourceAddress) {
+  PortKnockGateApp app(PortKnockConfig{});
+  auto knock = [&](Ipv4Addr src, std::uint16_t port) {
+    Deliver(app, BuildUdp(kMacA, kMacB, src, kIpB, 40000, port), 1);
+  };
+  knock(kIpA, 7000);
+  knock(kIpA, 7001);
+  knock(kIpA, 7002);
+  EXPECT_TRUE(app.IsOpen(kIpA));
+  EXPECT_FALSE(app.IsOpen(Ipv4Addr(10, 0, 0, 2)));
+}
+
+// -------------------------------------------------- flow-table switch
+
+TEST_F(AppFixture, FlowTableSwitchMatchesPlainLearningSwitch) {
+  // Random traffic through both implementations: identical decisions.
+  LearningSwitchApp plain;
+  FlowTableSwitchApp tabled;  // no idle timeout
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const auto src = static_cast<std::uint8_t>(1 + rng.NextBelow(6));
+    const auto dst = static_cast<std::uint8_t>(1 + rng.NextBelow(6));
+    const std::uint32_t in_port = 1 + src;  // host n lives on port n+1
+    const Packet pkt = BuildIcmpEcho(
+        MacAddr(0x02, 0, 0, 0, 0, src),
+        rng.NextBool(0.1) ? MacAddr::Broadcast()
+                          : MacAddr(0x02, 0, 0, 0, 0, dst),
+        Ipv4Addr(10, 0, 0, src), Ipv4Addr(10, 0, 0, dst), true, 1,
+        static_cast<std::uint16_t>(i));
+    const auto a = Deliver(plain, pkt, in_port);
+    const auto b = Deliver(tabled, pkt, in_port);
+    ASSERT_EQ(a.action, b.action) << "step " << i;
+    if (a.action == EgressActionValue::kForward)
+      ASSERT_EQ(a.out_port, b.out_port) << "step " << i;
+    if (rng.NextBool(0.02)) {
+      const PortId victim{1 + static_cast<std::uint32_t>(rng.NextBelow(7))};
+      plain.OnLinkStatus(sw_, victim, false);
+      tabled.OnLinkStatus(sw_, victim, false);
+    }
+  }
+}
+
+TEST_F(AppFixture, FlowTableSwitchIdleExpiryForgetsHosts) {
+  FlowTableSwitchConfig cfg;
+  cfg.mac_idle_timeout = Duration::Seconds(5);
+  FlowTableSwitchApp app(cfg);
+  const Packet a_to_b = BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1);
+  const Packet b_to_a = BuildIcmpEcho(kMacB, kMacA, kIpB, kIpA, false, 1, 1);
+  Deliver(app, a_to_b, 3);
+  EXPECT_EQ(Deliver(app, b_to_a, 5).action, EgressActionValue::kForward);
+  // 6 idle seconds later the rule for A has expired: back to flooding.
+  queue_.RunUntil(SimTime::Zero() + Duration::Seconds(6));
+  EXPECT_EQ(Deliver(app, b_to_a, 5).action, EgressActionValue::kFlood);
+}
+
+TEST_F(AppFixture, FlowTableSwitchReinstallsOnHostMove) {
+  FlowTableSwitchApp app;
+  const Packet a_to_b = BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1);
+  Deliver(app, a_to_b, 3);
+  EXPECT_EQ(app.rules_installed(), 1u);
+  Deliver(app, a_to_b, 3);  // same port: the rule is fresh, no churn
+  EXPECT_EQ(app.rules_installed(), 1u);
+  Deliver(app, a_to_b, 5);  // host moved: one replacement install
+  EXPECT_EQ(app.rules_installed(), 2u);
+  EXPECT_EQ(app.table().size(), 1u);
+}
+
+// ---------------------------------------------------------------- meter
+
+TEST(MeterTest, AdmitsWithinRateAndBurst) {
+  Meter meter(/*rate=*/10, /*burst=*/5);  // 10 tokens/s, burst 5
+  const SimTime t0 = SimTime::Zero();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(meter.Admit(t0));
+  EXPECT_FALSE(meter.Admit(t0));  // burst exhausted
+  // 100ms later one token has accrued.
+  EXPECT_TRUE(meter.Admit(t0 + Duration::Millis(100)));
+  EXPECT_FALSE(meter.Admit(t0 + Duration::Millis(100)));
+  EXPECT_EQ(meter.admitted(), 6u);
+  EXPECT_EQ(meter.exceeded(), 2u);
+}
+
+TEST(MeterTest, BucketCapsAtBurst) {
+  Meter meter(1000, 3);
+  // A long quiet period cannot bank more than the burst.
+  EXPECT_TRUE(meter.Admit(SimTime::Zero() + Duration::Seconds(100)));
+  EXPECT_TRUE(meter.Admit(SimTime::Zero() + Duration::Seconds(100)));
+  EXPECT_TRUE(meter.Admit(SimTime::Zero() + Duration::Seconds(100)));
+  EXPECT_FALSE(meter.Admit(SimTime::Zero() + Duration::Seconds(100)));
+}
+
+TEST(MeterTest, MultiTokenCosts) {
+  Meter meter(1000, 1500);  // byte-based: 1000 B/s, 1500 B burst
+  EXPECT_TRUE(meter.Admit(SimTime::Zero(), 1500));
+  EXPECT_FALSE(meter.Admit(SimTime::Zero() + Duration::Millis(500), 1000));
+  EXPECT_TRUE(meter.Admit(SimTime::Zero() + Duration::Seconds(1), 1000));
+}
+
+// ------------------------------------------------------ simple forwarder
+
+TEST_F(AppFixture, SimpleForwarderMapsAndFloods) {
+  SimpleForwarderApp app({{PortId{1}, PortId{2}}, {PortId{2}, PortId{1}}});
+  const Packet pkt = BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1);
+  EXPECT_EQ(Deliver(app, pkt, 1).out_port, PortId{2});
+  EXPECT_EQ(Deliver(app, pkt, 2).out_port, PortId{1});
+  EXPECT_EQ(Deliver(app, pkt, 3).action, EgressActionValue::kFlood);
+
+  SimpleForwarderApp strict({{PortId{1}, PortId{2}}}, /*flood_unmapped=*/false);
+  EXPECT_EQ(Deliver(strict, pkt, 3).action, EgressActionValue::kDrop);
+}
+
+}  // namespace
+}  // namespace swmon

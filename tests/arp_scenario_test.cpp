@@ -1,0 +1,61 @@
+// End-to-end: ARP proxy + Sec-2.3 / T1.1 / T1.2 / T1.13.
+#include <gtest/gtest.h>
+
+#include "workload/arp_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(ArpScenarioTest, CorrectProxyIsQuiet) {
+  ArpScenarioConfig config;
+  const auto out = RunArpScenario(config);
+  EXPECT_EQ(out.TotalViolations(), 0u);
+}
+
+TEST(ArpScenarioTest, NeverReplyViolatesForwardingAndDeadline) {
+  ArpScenarioConfig config;
+  config.fault = ArpProxyFault::kNeverReply;
+  const auto out = RunArpScenario(config);
+  // Known requests are forwarded (T1.1)...
+  EXPECT_GT(out.ViolationsOf("arp-known-not-forwarded"), 0u);
+  // ...and nobody answers them within the deadline (Sec 2.3).
+  EXPECT_GT(out.ViolationsOf("arp-proxy-reply-deadline"), 0u);
+}
+
+TEST(ArpScenarioTest, SlowReplyViolatesDeadlineOnly) {
+  ArpScenarioConfig config;
+  config.fault = ArpProxyFault::kSlowReply;
+  const auto out = RunArpScenario(config);
+  EXPECT_GT(out.ViolationsOf("arp-proxy-reply-deadline"), 0u);
+  EXPECT_EQ(out.ViolationsOf("arp-known-not-forwarded"), 0u);
+}
+
+TEST(ArpScenarioTest, BlackholeViolatesUnknownForwarded) {
+  ArpScenarioConfig config;
+  config.fault = ArpProxyFault::kBlackholeRequests;
+  const auto out = RunArpScenario(config);
+  EXPECT_GT(out.ViolationsOf("arp-unknown-forwarded"), 0u);
+}
+
+TEST(ArpScenarioTest, FabricatedRepliesViolateNoDirectReply) {
+  ArpScenarioConfig config;
+  config.fault = ArpProxyFault::kReplyUnknown;
+  const auto out = RunArpScenario(config);
+  EXPECT_GT(out.ViolationsOf("dhcparp-no-direct-reply"), 0u);
+}
+
+class ArpSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArpSeedSweep, CorrectProxyNeverAlarms) {
+  ArpScenarioConfig config;
+  config.options.seed = GetParam();
+  config.hosts = 3 + GetParam() % 4;
+  config.repeat_requests = 1 + GetParam() % 4;
+  EXPECT_EQ(RunArpScenario(config).TotalViolations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArpSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace swmon

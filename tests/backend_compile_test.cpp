@@ -1,0 +1,166 @@
+// Backend compilation (the executable verification of Table 2): which
+// catalog properties each approach's mechanism can express, and why not.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "backends/backend.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+class BackendMatrix : public ::testing::Test {
+ protected:
+  BackendMatrix() : backends_(AllBackends()), catalog_(BuildCatalog()) {
+    for (const auto& b : backends_) by_name_[b->info().name] = b.get();
+  }
+
+  const Backend& Named(const std::string& name) const {
+    return *by_name_.at(name);
+  }
+  const Property& Prop(const std::string& name) const {
+    for (const auto& e : catalog_)
+      if (e.property.name == name) return e.property;
+    ADD_FAILURE() << "no property " << name;
+    static Property dummy;
+    return dummy;
+  }
+
+  bool Compiles(const std::string& backend, const std::string& prop) const {
+    return Named(backend).Compile(Prop(prop), CostParams{}).ok();
+  }
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<CatalogEntry> catalog_;
+  std::map<std::string, Backend*> by_name_;
+};
+
+TEST_F(BackendMatrix, SevenBackendsInTableOrder) {
+  ASSERT_EQ(backends_.size(), 7u);
+  EXPECT_EQ(backends_[0]->info().name, "OpenFlow 1.3");
+  EXPECT_EQ(backends_[1]->info().name, "OpenState");
+  EXPECT_EQ(backends_[2]->info().name, "FAST");
+  EXPECT_EQ(backends_[3]->info().name, "POF / P4");
+  EXPECT_EQ(backends_[4]->info().name, "SNAP");
+  EXPECT_EQ(backends_[5]->info().name, "Varanus");
+  EXPECT_EQ(backends_[6]->info().name, "Static Varanus");
+}
+
+TEST_F(BackendMatrix, OpenFlowCompilesNothingWithoutController) {
+  for (const auto& e : catalog_) {
+    const auto r = Named("OpenFlow 1.3").Compile(e.property, CostParams{});
+    EXPECT_FALSE(r.ok()) << e.property.name;
+    EXPECT_FALSE(r.unsupported.empty());
+  }
+}
+
+TEST_F(BackendMatrix, VaranusCompilesEntireCatalog) {
+  for (const auto& e : catalog_) {
+    const auto r = Named("Varanus").Compile(e.property, CostParams{});
+    EXPECT_TRUE(r.ok()) << e.property.name << ": "
+                        << (r.unsupported.empty() ? "" : r.unsupported[0]);
+  }
+}
+
+TEST_F(BackendMatrix, StaticVaranusLosesExactlyMultipleMatch) {
+  // Sec 3.3: bounding tables to one per stage sacrifices out-of-band /
+  // multiple-match support — and nothing else.
+  for (const auto& e : catalog_) {
+    const auto r = Named("Static Varanus").Compile(e.property, CostParams{});
+    const bool is_multi = AnalyzeFeatures(e.property).multiple_match;
+    EXPECT_EQ(r.ok(), !is_multi) << e.property.name;
+  }
+  EXPECT_FALSE(Compiles("Static Varanus", "lsw-linkdown-flush"));
+}
+
+TEST_F(BackendMatrix, TimeoutActionsAreVaranusOnly) {
+  // Every property with a timeout-action stage compiles only on (static)
+  // Varanus — the paper's central Table-2 observation.
+  for (const auto& e : catalog_) {
+    if (!AnalyzeFeatures(e.property).timeout_actions) continue;
+    for (const auto& b : backends_) {
+      const bool is_varanus = b->info().name == "Varanus" ||
+                              b->info().name == "Static Varanus";
+      EXPECT_EQ(b->Compile(e.property, CostParams{}).ok(), is_varanus)
+          << b->info().name << " / " << e.property.name;
+    }
+  }
+}
+
+TEST_F(BackendMatrix, OpenStateHandlesSymmetricWindowedFirewall) {
+  EXPECT_TRUE(Compiles("OpenState", "fw-return-not-dropped"));
+  EXPECT_TRUE(Compiles("OpenState", "fw-return-not-dropped-timeout"));
+  EXPECT_TRUE(Compiles("OpenState", "knock-invalidation"));
+  EXPECT_TRUE(Compiles("OpenState", "knock-recognize"));
+}
+
+TEST_F(BackendMatrix, OpenStateRejectsL7AndWanderingAndExtrinsic) {
+  EXPECT_FALSE(Compiles("OpenState", "ftp-data-port"));        // L7
+  EXPECT_FALSE(Compiles("OpenState", "dhcparp-cache-preload"));  // wandering
+  EXPECT_FALSE(Compiles("OpenState", "lb-hashed-port"));  // hash function
+  EXPECT_FALSE(Compiles("OpenState", "nat-reverse-translation"));  // env
+  EXPECT_FALSE(Compiles("OpenState", "lb-sticky-port"));  // stored neg match
+}
+
+TEST_F(BackendMatrix, FastAddsHashesButLosesTimeouts) {
+  // FAST's hash support admits the load-balancer rows OpenState rejects...
+  EXPECT_TRUE(Compiles("FAST", "lb-hashed-port"));
+  EXPECT_TRUE(Compiles("FAST", "lb-round-robin-port"));
+  EXPECT_FALSE(Compiles("OpenState", "lb-hashed-port"));
+  // ...but its learn-action state cannot expire (Table 2: rule timeouts X).
+  EXPECT_TRUE(Compiles("FAST", "fw-return-not-dropped"));
+  EXPECT_FALSE(Compiles("FAST", "fw-return-not-dropped-timeout"));
+}
+
+TEST_F(BackendMatrix, P4RegistersCoverTheRichStatefulRows) {
+  EXPECT_TRUE(Compiles("POF / P4", "nat-reverse-translation"));
+  EXPECT_TRUE(Compiles("POF / P4", "ftp-data-port"));     // dynamic parsing
+  EXPECT_TRUE(Compiles("POF / P4", "lb-sticky-port"));    // stored neg match
+  EXPECT_TRUE(Compiles("POF / P4", "dhcp-no-lease-reuse"));
+  EXPECT_FALSE(Compiles("POF / P4", "arp-proxy-reply-deadline"));  // t.o.a.
+  EXPECT_FALSE(Compiles("POF / P4", "lsw-linkdown-flush"));  // multi match
+}
+
+TEST_F(BackendMatrix, UnsupportedResultsCarryReasons) {
+  const auto r =
+      Named("OpenState").Compile(Prop("dhcparp-cache-preload"), CostParams{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.unsupported.empty());
+  for (const auto& reason : r.unsupported) EXPECT_FALSE(reason.empty());
+}
+
+TEST_F(BackendMatrix, InfoRowsMatchTable2Anchors) {
+  // Spot-check the distinctive Table-2 cells.
+  EXPECT_EQ(Named("Varanus").info().timeout_actions, Tri::kYes);
+  EXPECT_EQ(Named("POF / P4").info().timeout_actions, Tri::kNo);
+  EXPECT_EQ(Named("FAST").info().rule_timeouts, Tri::kNo);
+  EXPECT_EQ(Named("OpenState").info().rule_timeouts, Tri::kYes);
+  EXPECT_EQ(Named("Varanus").info().out_of_band, Tri::kYes);
+  EXPECT_EQ(Named("Static Varanus").info().out_of_band, Tri::kNo);
+  EXPECT_EQ(Named("POF / P4").info().field_access, "Dynamic");
+  EXPECT_EQ(Named("OpenState").info().field_access, "Fixed");
+  EXPECT_EQ(Named("Varanus").info().processing_mode, "Split");
+  EXPECT_EQ(Named("OpenState").info().processing_mode, "Inline");
+  for (const auto& b : backends_)
+    EXPECT_NE(b->info().full_provenance, Tri::kYes) << b->info().name;
+}
+
+TEST_F(BackendMatrix, CompileCountsMatchExpectedBreadth) {
+  // The breadth ordering of Table 2: Varanus >= Static Varanus >= P4 >
+  // FAST/OpenState > OpenFlow.
+  std::map<std::string, int> compiled;
+  for (const auto& b : backends_) {
+    for (const auto& e : catalog_)
+      compiled[b->info().name] += b->Compile(e.property, CostParams{}).ok();
+  }
+  EXPECT_EQ(compiled["Varanus"], 21);
+  EXPECT_EQ(compiled["Static Varanus"], 20);
+  EXPECT_GT(compiled["POF / P4"], compiled["FAST"]);
+  EXPECT_GT(compiled["FAST"], compiled["OpenFlow 1.3"]);
+  EXPECT_GT(compiled["OpenState"], compiled["OpenFlow 1.3"]);
+  EXPECT_EQ(compiled["OpenFlow 1.3"], 0);
+}
+
+}  // namespace
+}  // namespace swmon

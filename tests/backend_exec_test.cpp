@@ -1,0 +1,228 @@
+// Compiled monitors executing on their mechanisms: detection parity with
+// the reference engine, pipeline-depth behaviour (Sec 3.3), slow-path
+// staleness, and register collisions.
+#include <gtest/gtest.h>
+
+#include "backends/backend.hpp"
+#include "backends/executor.hpp"
+#include "backends/state_store.hpp"
+#include "properties/catalog.hpp"
+#include "workload/firewall_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+/// Firewall trace with every in-window return dropped (one violation per
+/// connection) and no closes/stales.
+TraceRecorder FaultyFirewallTrace(std::size_t connections) {
+  FirewallScenarioConfig config;
+  config.fault = FirewallFault::kDropEstablishedReturn;
+  config.close_fraction = 0.0;
+  config.stale_return_fraction = 0.0;
+  config.connections = connections;
+  config.options.keep_trace = true;
+  auto out = RunFirewallScenario(config);
+  return std::move(*out.trace);
+}
+
+std::unique_ptr<CompiledMonitor> CompileOn(const std::string& backend_name,
+                                           const Property& prop,
+                                           const CostParams& params = {}) {
+  for (auto& b : AllBackends()) {
+    if (b->info().name != backend_name) continue;
+    auto r = b->Compile(prop, params);
+    EXPECT_TRUE(r.ok()) << backend_name << ": "
+                        << (r.unsupported.empty() ? "" : r.unsupported[0]);
+    return std::move(r.monitor);
+  }
+  ADD_FAILURE() << "no backend " << backend_name;
+  return nullptr;
+}
+
+class BackendDetectionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackendDetectionTest, FirewallViolationsMatchReferenceAtModerateRate) {
+  const std::size_t kConnections = 16;
+  const TraceRecorder trace = FaultyFirewallTrace(kConnections);
+  const Property prop = FirewallReturnNotDroppedTimeout();
+
+  auto monitor = CompileOn(GetParam(), prop);
+  ASSERT_NE(monitor, nullptr);
+  trace.ReplayInto(*monitor);
+  monitor->AdvanceTime(trace.events().back().time + Duration::Seconds(60));
+
+  // At workload rate (ms gaps) even slow-path mechanisms keep up: parity
+  // with the reference engine.
+  EXPECT_EQ(monitor->violations().size(), kConnections) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendDetectionTest,
+                         ::testing::Values("OpenState", "POF / P4", "Varanus",
+                                           "Static Varanus"));
+
+TEST(BackendExecTest, VaranusPipelineDepthTracksLiveInstances) {
+  // Sec 3.3: "the number of active instances determines the pipeline
+  // depth". Open many connections without returns; watch depth grow.
+  FirewallScenarioConfig config;
+  config.connections = 32;
+  config.return_packets_per_conn = 0;
+  config.close_fraction = 0.0;
+  config.stale_return_fraction = 0.0;
+  config.options.keep_trace = true;
+  const auto out = RunFirewallScenario(config);
+
+  const Property prop = FirewallReturnNotDropped();
+  auto varanus = CompileOn("Varanus", prop);
+  auto static_varanus = CompileOn("Static Varanus", prop);
+  out.trace->ReplayInto(*varanus);
+  out.trace->ReplayInto(*static_varanus);
+  varanus->AdvanceTime(out.end_time);
+  static_varanus->AdvanceTime(out.end_time);
+
+  EXPECT_EQ(varanus->live_instances(), 32u);
+  EXPECT_EQ(varanus->PipelineDepth(), 33u);  // one table per instance + base
+  EXPECT_EQ(static_varanus->PipelineDepth(), 2u);  // one table per stage
+}
+
+TEST(BackendExecTest, SplitSlowPathMissesBackToBackViolations) {
+  // Feature 9 / Sec 3.3: with split processing, a packet arriving while the
+  // previous packet's state update is still in the slow-path queue is
+  // matched against stale state. Back-to-back outbound+drop pairs within
+  // the flow-mod latency are invisible to the split learn-action monitor
+  // but visible to the reference engine.
+  const Property prop = FirewallReturnNotDropped();
+  const CostParams params;  // 250us flow-mod latency
+
+  auto split = std::make_unique<FragmentExecutor>(
+      prop, std::make_unique<FastLearnStore>(params, /*inline=*/false),
+      params);
+  MonitorEngine reference(prop);
+
+  for (int c = 0; c < 10; ++c) {
+    const SimTime base = SimTime::Zero() + Duration::Millis(10 * (c + 1));
+    DataplaneEvent out;
+    out.type = DataplaneEventType::kArrival;
+    out.time = base;
+    out.fields.Set(FieldId::kInPort, 1);
+    out.fields.Set(FieldId::kIpSrc, 100 + c);
+    out.fields.Set(FieldId::kIpDst, 200);
+    DataplaneEvent drop;
+    drop.type = DataplaneEventType::kEgress;
+    drop.time = base + Duration::Micros(5);  // well inside the 250us window
+    drop.fields.Set(FieldId::kIpSrc, 200);
+    drop.fields.Set(FieldId::kIpDst, 100 + c);
+    drop.fields.Set(FieldId::kEgressAction,
+                    static_cast<std::uint64_t>(EgressActionValue::kDrop));
+    split->OnDataplaneEvent(out);
+    split->OnDataplaneEvent(drop);
+    reference.ProcessEvent(out);
+    reference.ProcessEvent(drop);
+  }
+  EXPECT_EQ(reference.violations().size(), 10u);
+  EXPECT_EQ(split->violations().size(), 0u);  // state always one step behind
+}
+
+TEST(BackendExecTest, InlineModeCatchesThemButPaysLatency) {
+  const Property prop = FirewallReturnNotDropped();
+  const CostParams params;
+
+  auto inline_mon = std::make_unique<FragmentExecutor>(
+      prop, std::make_unique<FastLearnStore>(params, /*inline=*/true),
+      params);
+  for (int c = 0; c < 10; ++c) {
+    const SimTime base = SimTime::Zero() + Duration::Millis(10 * (c + 1));
+    DataplaneEvent out;
+    out.type = DataplaneEventType::kArrival;
+    out.time = base;
+    out.fields.Set(FieldId::kInPort, 1);
+    out.fields.Set(FieldId::kIpSrc, 100 + c);
+    out.fields.Set(FieldId::kIpDst, 200);
+    DataplaneEvent drop;
+    drop.type = DataplaneEventType::kEgress;
+    drop.time = base + Duration::Micros(5);
+    drop.fields.Set(FieldId::kIpSrc, 200);
+    drop.fields.Set(FieldId::kIpDst, 100 + c);
+    drop.fields.Set(FieldId::kEgressAction,
+                    static_cast<std::uint64_t>(EgressActionValue::kDrop));
+    inline_mon->OnDataplaneEvent(out);
+    inline_mon->OnDataplaneEvent(drop);
+  }
+  EXPECT_EQ(inline_mon->violations().size(), 10u);
+  // Ten instance installs at 250us each were charged to packet processing.
+  EXPECT_GE(inline_mon->costs().processing_time.nanos(), 10 * 250000);
+}
+
+TEST(BackendExecTest, TinyRegisterArrayCollides) {
+  const Property prop = FirewallReturnNotDropped();
+  const CostParams params;
+  auto store = std::make_unique<P4RegisterStore>(params, prop.num_stages(),
+                                                 /*slots_per_stage=*/2);
+  const P4RegisterStore* raw = store.get();
+  FragmentExecutor exec(prop, std::move(store), params);
+
+  // 16 simultaneous connections into 2 slots: collisions guaranteed.
+  for (int c = 0; c < 16; ++c) {
+    DataplaneEvent out;
+    out.type = DataplaneEventType::kArrival;
+    out.time = SimTime::Zero() + Duration::Millis(c + 1);
+    out.fields.Set(FieldId::kInPort, 1);
+    out.fields.Set(FieldId::kIpSrc, 1000 + c);
+    out.fields.Set(FieldId::kIpDst, 200);
+    exec.OnDataplaneEvent(out);
+  }
+  EXPECT_GT(raw->collisions(), 0u);
+  EXPECT_LE(exec.live_instances(), 2u);  // only 2 slots exist
+}
+
+TEST(BackendExecTest, VaranusRunsTimeoutActionProperty) {
+  // Feature 7 end-to-end on the mechanism: the ARP reply-deadline property
+  // only compiles on Varanus, and its expiry sweep fires the negative
+  // observation.
+  const Property prop = ArpProxyReplyDeadline();  // 1s deadline
+  auto monitor = CompileOn("Varanus", prop);
+  ASSERT_NE(monitor, nullptr);
+
+  DataplaneEvent learn;
+  learn.type = DataplaneEventType::kArrival;
+  learn.time = SimTime::Zero() + Duration::Millis(1);
+  learn.fields.Set(FieldId::kArpOp, 2);
+  learn.fields.Set(FieldId::kArpSenderIp, 42);
+  monitor->OnDataplaneEvent(learn);
+
+  DataplaneEvent request;
+  request.type = DataplaneEventType::kArrival;
+  request.time = SimTime::Zero() + Duration::Millis(100);
+  request.fields.Set(FieldId::kArpOp, 1);
+  request.fields.Set(FieldId::kArpTargetIp, 42);
+  monitor->OnDataplaneEvent(request);
+
+  EXPECT_TRUE(monitor->violations().empty());
+  monitor->AdvanceTime(SimTime::Zero() + Duration::Seconds(3));
+  EXPECT_EQ(monitor->violations().size(), 1u);
+}
+
+TEST(BackendExecTest, CostsAttributeToTheRightMechanism) {
+  const std::size_t kConnections = 8;
+  const TraceRecorder trace = FaultyFirewallTrace(kConnections);
+  const Property prop = FirewallReturnNotDropped();
+
+  auto openstate = CompileOn("OpenState", prop);
+  auto p4 = CompileOn("POF / P4", prop);
+  auto varanus = CompileOn("Varanus", prop);
+  trace.ReplayInto(*openstate);
+  trace.ReplayInto(*p4);
+  trace.ReplayInto(*varanus);
+
+  EXPECT_GT(openstate->costs().state_table_ops, 0u);
+  EXPECT_EQ(openstate->costs().register_ops, 0u);
+  EXPECT_EQ(openstate->costs().flow_mods, 0u);
+
+  EXPECT_GT(p4->costs().register_ops, 0u);
+  EXPECT_EQ(p4->costs().flow_mods, 0u);
+
+  EXPECT_GT(varanus->costs().flow_mods, 0u);
+  EXPECT_EQ(varanus->costs().register_ops, 0u);
+}
+
+}  // namespace
+}  // namespace swmon

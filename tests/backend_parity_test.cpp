@@ -1,0 +1,86 @@
+// Cross-backend detection parity: for EVERY (property, backend) pair that
+// compiles, replaying the property's faulted scenario trace through the
+// compiled monitor must find violations — and on the correct device, none.
+// At scenario event rates (ms gaps) even slow-path mechanisms keep up, so
+// detection parity with the on-switch reference is the expected outcome.
+#include <gtest/gtest.h>
+
+#include "backends/backend.hpp"
+#include "properties/catalog.hpp"
+#include "workload/property_scenarios.hpp"
+
+namespace swmon {
+namespace {
+
+struct Case {
+  std::string backend;
+  std::string property;
+};
+
+std::vector<Case> AllCompilingCases() {
+  std::vector<Case> cases;
+  const auto catalog = BuildCatalog();
+  for (const auto& b : AllBackends()) {
+    for (const auto& e : catalog) {
+      if (b->Compile(e.property, CostParams{}).ok())
+        cases.push_back({b->info().name, e.property.name});
+    }
+  }
+  return cases;
+}
+
+class BackendParityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BackendParityTest, CompiledMonitorAgreesWithReference) {
+  const auto cases = AllCompilingCases();
+  if (GetParam() >= cases.size()) GTEST_SKIP() << "fewer compiling cases";
+  const Case& c = cases[GetParam()];
+  SCOPED_TRACE(c.backend + " / " + c.property);
+
+  const Property* prop = nullptr;
+  static const auto catalog = BuildCatalog();
+  for (const auto& e : catalog)
+    if (e.property.name == c.property) prop = &e.property;
+  ASSERT_NE(prop, nullptr);
+
+  std::unique_ptr<Backend> backend;
+  for (auto& b : AllBackends())
+    if (b->info().name == c.backend) backend = std::move(b);
+  ASSERT_NE(backend, nullptr);
+
+  for (const bool faulted : {false, true}) {
+    ScenarioOptions opts;
+    opts.keep_trace = true;
+    const auto out = RunScenarioForProperty(c.property, faulted, opts);
+    ASSERT_NE(out.trace, nullptr);
+
+    auto compiled = backend->Compile(*prop, CostParams{});
+    ASSERT_TRUE(compiled.ok());
+    out.trace->ReplayInto(*compiled.monitor);
+    compiled.monitor->AdvanceTime(out.end_time);
+
+    const std::size_t reference = out.ViolationsOf(c.property);
+    const std::size_t mechanism = compiled.monitor->violations().size();
+    if (faulted) {
+      EXPECT_GT(reference, 0u);
+      EXPECT_GT(mechanism, 0u) << "mechanism missed all violations";
+      EXPECT_EQ(mechanism, reference);
+    } else {
+      EXPECT_EQ(reference, 0u);
+      EXPECT_EQ(mechanism, 0u) << "mechanism false-alarmed";
+    }
+  }
+}
+
+// 61 compiling (backend, property) pairs at last count; a generous bound
+// keeps new catalog entries covered (excess indices skip).
+INSTANTIATE_TEST_SUITE_P(AllPairs, BackendParityTest,
+                         ::testing::Range<std::size_t>(0, 80));
+
+TEST(BackendParityMeta, CaseCountMatchesCompileMatrix) {
+  // 0 + 6 + 6 + 14 + 10 + 21 + 20 per backend_compile_test.
+  EXPECT_EQ(AllCompilingCases().size(), 77u);
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,464 @@
+// Hand-crafted semantic edge cases for the catalog properties — the subtle
+// accept/reject decisions the scenario tests don't isolate.
+#include <gtest/gtest.h>
+
+#include "monitor/engine.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr std::uint64_t kDrop =
+    static_cast<std::uint64_t>(EgressActionValue::kDrop);
+constexpr std::uint64_t kForward =
+    static_cast<std::uint64_t>(EgressActionValue::kForward);
+constexpr std::uint64_t kFlood =
+    static_cast<std::uint64_t>(EgressActionValue::kFlood);
+
+/// Tiny fluent event helper.
+class Ev {
+ public:
+  explicit Ev(DataplaneEventType type, std::int64_t ms = 0) {
+    ev_.type = type;
+    ev_.time = SimTime::Zero() + Duration::Millis(ms);
+  }
+  Ev& F(FieldId f, std::uint64_t v) {
+    ev_.fields.Set(f, v);
+    return *this;
+  }
+  operator DataplaneEvent() const { return ev_; }
+
+ private:
+  DataplaneEvent ev_;
+};
+
+// ------------------------------------------------------------- T1.1 / ARP
+
+TEST(CatalogEdge, ArpKnownOtherAddressesUnaffected) {
+  MonitorEngine eng(ArpKnownNotForwarded());
+  // Learn A=42. A forwarded request for 43 is fine; for 42 it violates.
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpSenderIp, 42));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2)
+                       .F(FieldId::kArpOp, 1)
+                       .F(FieldId::kArpTargetIp, 43)
+                       .F(FieldId::kEgressAction, kFlood));
+  EXPECT_TRUE(eng.violations().empty());
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 3)
+                       .F(FieldId::kArpOp, 1)
+                       .F(FieldId::kArpTargetIp, 42)
+                       .F(FieldId::kEgressAction, kFlood));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(CatalogEdge, ArpKnownRepliesPassingThroughAreNotRequests) {
+  MonitorEngine eng(ArpKnownNotForwarded());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpSenderIp, 42));
+  // A forwarded REPLY naming 42 must not count as a forwarded request.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpTargetIp, 42)
+                       .F(FieldId::kEgressAction, kForward));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+// ----------------------------------------------------- T1.3/T1.4 knocking
+
+ScenarioParams P() { return ScenarioParams{}; }
+
+DataplaneEvent Knock(std::uint64_t host, std::uint16_t port, std::int64_t ms) {
+  return Ev(DataplaneEventType::kArrival, ms)
+      .F(FieldId::kInPort, 1)
+      .F(FieldId::kIpProto, 17)
+      .F(FieldId::kIpSrc, host)
+      .F(FieldId::kL4DstPort, port);
+}
+
+DataplaneEvent Ssh(std::uint64_t host, std::uint64_t action, std::int64_t ms) {
+  return Ev(DataplaneEventType::kEgress, ms)
+      .F(FieldId::kIpProto, 6)
+      .F(FieldId::kIpSrc, host)
+      .F(FieldId::kL4DstPort, 22)
+      .F(FieldId::kEgressAction, action);
+}
+
+TEST(CatalogEdge, KnockInvalidationCleanRestartDoesNotFalseAlarm) {
+  // k1, wrong, k1 (clean restart), k2, k3, forwarded SSH: legitimate open.
+  MonitorEngine eng(PortKnockInvalidation());
+  eng.ProcessEvent(Knock(9, 7000, 1));
+  eng.ProcessEvent(Knock(9, 7003, 2));  // intervening wrong guess
+  eng.ProcessEvent(Knock(9, 7000, 3));  // restart discharges the attempt
+  eng.ProcessEvent(Knock(9, 7001, 4));
+  eng.ProcessEvent(Knock(9, 7002, 5));
+  eng.ProcessEvent(Ssh(9, kForward, 6));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(CatalogEdge, KnockInvalidationNonRegionUdpIsNotAGuess) {
+  MonitorEngine eng(PortKnockInvalidation());
+  eng.ProcessEvent(Knock(9, 7000, 1));
+  eng.ProcessEvent(Knock(9, 53, 2));  // DNS, outside the knock region
+  EXPECT_EQ(eng.live_instances(), 1u);
+  // The instance is still waiting for a WRONG guess, not for k2.
+  eng.ProcessEvent(Knock(9, 7001, 3));
+  eng.ProcessEvent(Knock(9, 7002, 4));
+  eng.ProcessEvent(Ssh(9, kForward, 5));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(CatalogEdge, KnockRecognizeWrongGuessDischarges) {
+  MonitorEngine eng(PortKnockRecognize());
+  eng.ProcessEvent(Knock(9, 7000, 1));
+  eng.ProcessEvent(Knock(9, 7003, 2));  // wrong: attempt dead
+  eng.ProcessEvent(Knock(9, 7001, 3));
+  eng.ProcessEvent(Knock(9, 7002, 4));
+  // The (correctly) dropped SSH must not alarm: the sequence was invalid.
+  eng.ProcessEvent(Ssh(9, kDrop, 5));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+}
+
+TEST(CatalogEdge, KnockPropertiesArePerHost) {
+  MonitorEngine eng(PortKnockRecognize());
+  eng.ProcessEvent(Knock(1, 7000, 1));
+  eng.ProcessEvent(Knock(2, 7003, 2));  // host 2's noise
+  eng.ProcessEvent(Knock(1, 7001, 3));
+  eng.ProcessEvent(Knock(1, 7002, 4));
+  eng.ProcessEvent(Ssh(1, kDrop, 5));  // host 1 completed cleanly
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+// ---------------------------------------------------------- T1.5 / LB
+
+TEST(CatalogEdge, LbHashedDropDischargesTheObligation) {
+  MonitorEngine eng(LbHashedPort());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kInPort, 1)
+                       .F(FieldId::kIpProto, 6)
+                       .F(FieldId::kTcpFlags, kTcpSyn)
+                       .F(FieldId::kIpSrc, 5)
+                       .F(FieldId::kIpDst, 6)
+                       .F(FieldId::kL4SrcPort, 7)
+                       .F(FieldId::kL4DstPort, 80)
+                       .F(FieldId::kPacketId, 77));
+  EXPECT_EQ(eng.live_instances(), 1u);
+  // The balancer dropped the SYN: no assignment to check.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2)
+                       .F(FieldId::kPacketId, 77)
+                       .F(FieldId::kEgressAction, kDrop));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+TEST(CatalogEdge, LbHashedSynAckIsNotANewFlow) {
+  MonitorEngine eng(LbHashedPort());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kInPort, 1)
+                       .F(FieldId::kIpProto, 6)
+                       .F(FieldId::kTcpFlags, kTcpSyn | kTcpAck)
+                       .F(FieldId::kIpSrc, 5)
+                       .F(FieldId::kIpDst, 6)
+                       .F(FieldId::kL4SrcPort, 7)
+                       .F(FieldId::kL4DstPort, 80)
+                       .F(FieldId::kPacketId, 78));
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+// -------------------------------------------------------- T1.8 / FTP
+
+DataplaneEvent PortCmd(std::uint64_t c, std::uint64_t s, std::uint16_t port,
+                       std::int64_t ms) {
+  return Ev(DataplaneEventType::kArrival, ms)
+      .F(FieldId::kFtpMsgKind, 1)
+      .F(FieldId::kIpSrc, c)
+      .F(FieldId::kIpDst, s)
+      .F(FieldId::kFtpDataPort, port);
+}
+
+DataplaneEvent DataSyn(std::uint64_t s, std::uint64_t c, std::uint16_t dport,
+                       std::int64_t ms) {
+  return Ev(DataplaneEventType::kArrival, ms)
+      .F(FieldId::kIpProto, 6)
+      .F(FieldId::kIpSrc, s)
+      .F(FieldId::kIpDst, c)
+      .F(FieldId::kL4SrcPort, 20)
+      .F(FieldId::kL4DstPort, dport)
+      .F(FieldId::kTcpFlags, kTcpSyn);
+}
+
+TEST(CatalogEdge, FtpSupersededAnnouncementGoverns) {
+  MonitorEngine eng(FtpDataPortMatchesControl());
+  eng.ProcessEvent(PortCmd(1, 2, 5000, 1));
+  eng.ProcessEvent(PortCmd(1, 2, 6000, 2));  // supersedes
+  // Data to the OLD port now violates; to the new one is fine.
+  eng.ProcessEvent(DataSyn(2, 1, 6000, 3));
+  EXPECT_TRUE(eng.violations().empty());
+  eng.ProcessEvent(PortCmd(1, 2, 7000, 4));
+  eng.ProcessEvent(DataSyn(2, 1, 6000, 5));  // stale port
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(CatalogEdge, FtpDataFromNonDataPortIgnored) {
+  MonitorEngine eng(FtpDataPortMatchesControl());
+  eng.ProcessEvent(PortCmd(1, 2, 5000, 1));
+  // A server connection NOT from port 20 is not the data channel.
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 2)
+                       .F(FieldId::kIpProto, 6)
+                       .F(FieldId::kIpSrc, 2)
+                       .F(FieldId::kIpDst, 1)
+                       .F(FieldId::kL4SrcPort, 443)
+                       .F(FieldId::kL4DstPort, 9999)
+                       .F(FieldId::kTcpFlags, kTcpSyn));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+// ------------------------------------------------------- T1.9 / DHCP
+
+TEST(CatalogEdge, DhcpNakAlsoDischargesTheDeadline) {
+  MonitorEngine eng(DhcpReplyDeadline());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kDhcpMsgType, 3)  // REQUEST
+                       .F(FieldId::kDhcpChaddr, 0xaa)
+                       .F(FieldId::kDhcpXid, 7));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 100)
+                       .F(FieldId::kDhcpMsgType, 6)  // NAK
+                       .F(FieldId::kDhcpChaddr, 0xaa)
+                       .F(FieldId::kDhcpXid, 7));
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(10));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(CatalogEdge, DhcpAckForDifferentXidDoesNotDischarge) {
+  MonitorEngine eng(DhcpReplyDeadline());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kDhcpMsgType, 3)
+                       .F(FieldId::kDhcpChaddr, 0xaa)
+                       .F(FieldId::kDhcpXid, 7));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 100)
+                       .F(FieldId::kDhcpMsgType, 5)
+                       .F(FieldId::kDhcpChaddr, 0xaa)
+                       .F(FieldId::kDhcpXid, 8));  // a different transaction
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(10));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(CatalogEdge, DhcpRenewalToSameClientIsQuietAndExtendsLease) {
+  MonitorEngine eng(DhcpNoLeaseReuse());
+  auto ack = [&](std::uint64_t a, std::uint64_t m, std::uint64_t lease,
+                 std::int64_t ms) {
+    eng.ProcessEvent(Ev(DataplaneEventType::kEgress, ms)
+                         .F(FieldId::kDhcpMsgType, 5)
+                         .F(FieldId::kDhcpYiaddr, a)
+                         .F(FieldId::kDhcpChaddr, m)
+                         .F(FieldId::kDhcpLeaseSecs, lease));
+  };
+  ack(100, 0xaa, 10, 0);      // 10s lease
+  ack(100, 0xaa, 10, 8000);   // renewal at t=8s: extends to t=18s
+  EXPECT_TRUE(eng.violations().empty());
+  // Re-assignment to another client at t=15s: still inside the RENEWED
+  // lease -> violation. (Without the refresh it would have expired at 10s.)
+  ack(100, 0xbb, 10, 15000);
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(CatalogEdge, DhcpExpiredLeaseMayBeReassigned) {
+  MonitorEngine eng(DhcpNoLeaseReuse());
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 0)
+                       .F(FieldId::kDhcpMsgType, 5)
+                       .F(FieldId::kDhcpYiaddr, 100)
+                       .F(FieldId::kDhcpChaddr, 0xaa)
+                       .F(FieldId::kDhcpLeaseSecs, 5));
+  // 6 seconds later the lease is gone; reassignment is legitimate.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 6000)
+                       .F(FieldId::kDhcpMsgType, 5)
+                       .F(FieldId::kDhcpYiaddr, 100)
+                       .F(FieldId::kDhcpChaddr, 0xbb)
+                       .F(FieldId::kDhcpLeaseSecs, 5));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.stats().instances_expired, 1u);
+}
+
+TEST(CatalogEdge, DhcpOverlapSameServerRenewalQuiet) {
+  MonitorEngine eng(DhcpNoLeaseOverlap());
+  auto ack = [&](std::uint64_t a, std::uint64_t server, std::int64_t ms) {
+    eng.ProcessEvent(Ev(DataplaneEventType::kEgress, ms)
+                         .F(FieldId::kDhcpMsgType, 5)
+                         .F(FieldId::kDhcpYiaddr, a)
+                         .F(FieldId::kDhcpServerId, server)
+                         .F(FieldId::kDhcpLeaseSecs, 60));
+  };
+  ack(100, 1, 0);
+  ack(100, 1, 100);  // same server re-ACKs: fine
+  EXPECT_TRUE(eng.violations().empty());
+  ack(100, 2, 200);  // a different server: overlap
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+// ------------------------------------------------ T1.12/T1.13 DHCP+ARP
+
+TEST(CatalogEdge, PreloadWrongMacReplyDoesNotDischarge) {
+  MonitorEngine eng(DhcpArpCachePreload());
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 0)
+                       .F(FieldId::kDhcpMsgType, 5)
+                       .F(FieldId::kDhcpYiaddr, 100)
+                       .F(FieldId::kDhcpChaddr, 0xaa));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 100)
+                       .F(FieldId::kArpOp, 1)
+                       .F(FieldId::kArpTargetIp, 100));
+  // A reply with the WRONG hardware address: the obligation stands...
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 200)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpSenderIp, 100)
+                       .F(FieldId::kArpSenderMac, 0xbb));
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(5));
+  EXPECT_EQ(eng.violations().size(), 1u);  // ...and the deadline fires.
+}
+
+TEST(CatalogEdge, PreloadCorrectReplyDischarges) {
+  MonitorEngine eng(DhcpArpCachePreload());
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 0)
+                       .F(FieldId::kDhcpMsgType, 5)
+                       .F(FieldId::kDhcpYiaddr, 100)
+                       .F(FieldId::kDhcpChaddr, 0xaa));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 100)
+                       .F(FieldId::kArpOp, 1)
+                       .F(FieldId::kArpTargetIp, 100));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 200)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpSenderIp, 100)
+                       .F(FieldId::kArpSenderMac, 0xaa));
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(5));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(CatalogEdge, NoDirectReplyDhcpPreloadSuppresses) {
+  MonitorEngine eng(DhcpArpNoDirectReply());
+  // A lease for 100 pre-loads the cache (wandering suppression key).
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 0)
+                       .F(FieldId::kDhcpMsgType, 5)
+                       .F(FieldId::kDhcpYiaddr, 100)
+                       .F(FieldId::kDhcpChaddr, 0xaa));
+  // The proxy's direct reply for 100 is legitimate.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 10)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpSenderIp, 100));
+  EXPECT_TRUE(eng.violations().empty());
+  // For 200 (never leased, never replied) it is a fabrication.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 20)
+                       .F(FieldId::kArpOp, 2)
+                       .F(FieldId::kArpSenderIp, 200));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+// ---------------------------------------------------------- NAT edges
+
+TEST(CatalogEdge, NatAddressMistranslationCaught) {
+  MonitorEngine eng(NatReverseTranslation());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kInPort, 1)
+                       .F(FieldId::kIpSrc, 10)
+                       .F(FieldId::kIpDst, 20)
+                       .F(FieldId::kL4SrcPort, 1000)
+                       .F(FieldId::kL4DstPort, 80)
+                       .F(FieldId::kPacketId, 1));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1)
+                       .F(FieldId::kPacketId, 1)
+                       .F(FieldId::kEgressAction, kForward)
+                       .F(FieldId::kIpSrc, 99)
+                       .F(FieldId::kL4SrcPort, 50000)
+                       .F(FieldId::kIpDst, 20)
+                       .F(FieldId::kL4DstPort, 80));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 2)
+                       .F(FieldId::kInPort, 2)
+                       .F(FieldId::kIpSrc, 20)
+                       .F(FieldId::kL4SrcPort, 80)
+                       .F(FieldId::kIpDst, 99)
+                       .F(FieldId::kL4DstPort, 50000)
+                       .F(FieldId::kPacketId, 2));
+  // Reverse translation restored the right port but the WRONG address.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2)
+                       .F(FieldId::kPacketId, 2)
+                       .F(FieldId::kEgressAction, kForward)
+                       .F(FieldId::kIpDst, 11)
+                       .F(FieldId::kL4DstPort, 1000));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(CatalogEdge, NatUnrelatedInboundIgnored) {
+  MonitorEngine eng(NatReverseTranslation());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1)
+                       .F(FieldId::kInPort, 1)
+                       .F(FieldId::kIpSrc, 10)
+                       .F(FieldId::kIpDst, 20)
+                       .F(FieldId::kL4SrcPort, 1000)
+                       .F(FieldId::kL4DstPort, 80)
+                       .F(FieldId::kPacketId, 1));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1)
+                       .F(FieldId::kPacketId, 1)
+                       .F(FieldId::kEgressAction, kForward)
+                       .F(FieldId::kIpSrc, 99)
+                       .F(FieldId::kL4SrcPort, 50000)
+                       .F(FieldId::kIpDst, 20)
+                       .F(FieldId::kL4DstPort, 80));
+  // Inbound from a different remote endpoint: not observation (3).
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 2)
+                       .F(FieldId::kInPort, 2)
+                       .F(FieldId::kIpSrc, 21)
+                       .F(FieldId::kL4SrcPort, 80)
+                       .F(FieldId::kIpDst, 99)
+                       .F(FieldId::kL4DstPort, 50000)
+                       .F(FieldId::kPacketId, 2));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2)
+                       .F(FieldId::kPacketId, 2)
+                       .F(FieldId::kEgressAction, kForward)
+                       .F(FieldId::kIpDst, 55)
+                       .F(FieldId::kL4DstPort, 5));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+// ---------------------------------------------- learning-switch edges
+
+TEST(CatalogEdge, LinkUpEventsDoNotTriggerTheFlushProperty) {
+  MonitorEngine eng(LearningSwitchLinkDownFlush());
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kArrival, 1).F(FieldId::kEthSrc, 0xaa).F(
+          FieldId::kInPort, 3));
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kLinkStatus, 2).F(FieldId::kLinkUp, 1).F(
+          FieldId::kLinkId, 4));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 3)
+                       .F(FieldId::kEthDst, 0xaa)
+                       .F(FieldId::kOutPort, 3)
+                       .F(FieldId::kEgressAction, kForward));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(CatalogEdge, HostMoveDischargesTheSec1Properties) {
+  MonitorEngine eng(LearningSwitchCorrectPort());
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kArrival, 1).F(FieldId::kEthSrc, 0xaa).F(
+          FieldId::kInPort, 3));
+  // The host moves to port 5 — the old expectation is void.
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kArrival, 2).F(FieldId::kEthSrc, 0xaa).F(
+          FieldId::kInPort, 5));
+  // Unicast to the NEW port: quiet (old instance aborted, new one created
+  // by the move packet itself).
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 3)
+                       .F(FieldId::kEthDst, 0xaa)
+                       .F(FieldId::kOutPort, 5)
+                       .F(FieldId::kEgressAction, kForward));
+  EXPECT_TRUE(eng.violations().empty());
+  // Unicast to the OLD port now violates the refreshed expectation.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 4)
+                       .F(FieldId::kEthDst, 0xaa)
+                       .F(FieldId::kOutPort, 3)
+                       .F(FieldId::kEgressAction, kForward));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+}  // namespace
+}  // namespace swmon

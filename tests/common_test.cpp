@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/byte_io.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(SimTimeTest, DurationArithmetic) {
+  EXPECT_EQ(Duration::Seconds(2).nanos(), 2000000000);
+  EXPECT_EQ(Duration::Millis(3).nanos(), 3000000);
+  EXPECT_EQ(Duration::Micros(5).nanos(), 5000);
+  EXPECT_EQ((Duration::Seconds(1) + Duration::Millis(500)).nanos(),
+            1500000000);
+  EXPECT_EQ((Duration::Seconds(1) - Duration::Millis(250)).nanos(), 750000000);
+  EXPECT_EQ((Duration::Millis(10) * 3).nanos(), 30000000);
+  EXPECT_EQ((Duration::Seconds(1) / 4).nanos(), 250000000);
+}
+
+TEST(SimTimeTest, InstantOrderingAndOffsets) {
+  const SimTime t0 = SimTime::Zero();
+  const SimTime t1 = t0 + Duration::Seconds(1);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0).nanos(), 1000000000);
+  EXPECT_TRUE(SimTime::Infinity().IsInfinite());
+  EXPECT_LT(t1, SimTime::Infinity());
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Seconds(2).ToString(), "2s");
+  EXPECT_EQ(Duration::Millis(7).ToString(), "7ms");
+  EXPECT_EQ(Duration::Micros(9).ToString(), "9us");
+  EXPECT_EQ(Duration::Nanos(13).ToString(), "13ns");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BoolProbabilityExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(11);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(HashTest, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(ByteIoTest, WriterRoundTripsThroughReader) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  ByteReader r(std::span(w.bytes()));
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIoTest, BigEndianLayout) {
+  ByteWriter w;
+  w.WriteU16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(ByteIoTest, UnderflowSetsNotOk) {
+  const std::uint8_t data[2] = {1, 2};
+  ByteReader r(std::span(data, 2));
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteIoTest, UnderflowIsSticky) {
+  const std::uint8_t data[3] = {1, 2, 3};
+  ByteReader r(std::span(data, 3));
+  r.ReadU32();  // fails
+  EXPECT_EQ(r.ReadU8(), 0u);  // would succeed alone, but failure is sticky
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteIoTest, PatchU16OverwritesInPlace) {
+  ByteWriter w;
+  w.WriteU32(0);
+  w.PatchU16(1, 0xbeef);
+  EXPECT_EQ(w.bytes()[1], 0xbe);
+  EXPECT_EQ(w.bytes()[2], 0xef);
+}
+
+TEST(ByteIoTest, ReadSpanAdvances) {
+  const std::uint8_t data[4] = {9, 8, 7, 6};
+  ByteReader r(std::span(data, 4));
+  auto s = r.ReadSpan(2);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 9);
+  EXPECT_EQ(r.ReadU8(), 7);
+}
+
+}  // namespace
+}  // namespace swmon

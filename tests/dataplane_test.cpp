@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/flow_mod_queue.hpp"
+#include "dataplane/flow_table.hpp"
+#include "dataplane/register_array.hpp"
+#include "dataplane/state_table.hpp"
+#include "dataplane/switch.hpp"
+#include "packet/builder.hpp"
+
+namespace swmon {
+namespace {
+
+FieldMap Fields(std::initializer_list<std::pair<FieldId, std::uint64_t>> kv) {
+  FieldMap f;
+  for (const auto& [k, v] : kv) f.Set(k, v);
+  return f;
+}
+
+TEST(MatchTest, ExactAndNegate) {
+  const auto f = Fields({{FieldId::kIpSrc, 10}, {FieldId::kIpDst, 20}});
+  EXPECT_TRUE(FieldMatch::Exact(FieldId::kIpSrc, 10).Matches(f));
+  EXPECT_FALSE(FieldMatch::Exact(FieldId::kIpSrc, 11).Matches(f));
+  EXPECT_TRUE(FieldMatch::NotEqual(FieldId::kIpSrc, 11).Matches(f));
+  EXPECT_FALSE(FieldMatch::NotEqual(FieldId::kIpSrc, 10).Matches(f));
+}
+
+TEST(MatchTest, AbsentFieldNeverMatches) {
+  const auto f = Fields({{FieldId::kIpSrc, 10}});
+  EXPECT_FALSE(FieldMatch::Exact(FieldId::kIpDst, 10).Matches(f));
+  // Negative match also requires presence (Feature 6 semantics).
+  EXPECT_FALSE(FieldMatch::NotEqual(FieldId::kIpDst, 10).Matches(f));
+}
+
+TEST(MatchTest, ValidityBitMatchesAbsence) {
+  // FieldMatch::Absent is the header-validity-bit idiom table-compiled
+  // monitors use to expand or-absent conditions.
+  const auto tcp = Fields({{FieldId::kTcpFlags, 2}});
+  const auto icmp = Fields({{FieldId::kIcmpType, 8}});
+  EXPECT_FALSE(FieldMatch::Absent(FieldId::kTcpFlags).Matches(tcp));
+  EXPECT_TRUE(FieldMatch::Absent(FieldId::kTcpFlags).Matches(icmp));
+}
+
+TEST(MatchTest, MaskedMatch) {
+  const auto f = Fields({{FieldId::kL4DstPort, 7002}});
+  EXPECT_TRUE(FieldMatch::Masked(FieldId::kL4DstPort, 7000, ~std::uint64_t{3})
+                  .Matches(f));
+  EXPECT_FALSE(FieldMatch::Masked(FieldId::kL4DstPort, 7004, ~std::uint64_t{3})
+                   .Matches(f));
+}
+
+TEST(MatchTest, MatchSetIsConjunction) {
+  MatchSet m({FieldMatch::Exact(FieldId::kIpSrc, 10),
+              FieldMatch::Exact(FieldId::kIpDst, 20)});
+  EXPECT_TRUE(m.Matches(Fields({{FieldId::kIpSrc, 10}, {FieldId::kIpDst, 20}})));
+  EXPECT_FALSE(m.Matches(Fields({{FieldId::kIpSrc, 10}, {FieldId::kIpDst, 21}})));
+  EXPECT_TRUE(MatchSet().Matches(Fields({})));  // empty = match-all
+}
+
+TEST(FlowTableTest, PriorityWins) {
+  FlowTable t;
+  FlowEntry low;
+  low.priority = 1;
+  low.cookie = 1;
+  FlowEntry high;
+  high.priority = 10;
+  high.cookie = 2;
+  high.match.Add(FieldMatch::Exact(FieldId::kIpSrc, 5));
+  t.Add(low, SimTime::Zero());
+  t.Add(high, SimTime::Zero());
+
+  const auto* hit = t.Lookup(Fields({{FieldId::kIpSrc, 5}}), SimTime::Zero());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, 2u);
+  const auto* miss = t.Lookup(Fields({{FieldId::kIpSrc, 6}}), SimTime::Zero());
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(miss->cookie, 1u);
+}
+
+TEST(FlowTableTest, TieBrokenByInstallOrder) {
+  FlowTable t;
+  FlowEntry a;
+  a.cookie = 1;
+  FlowEntry b;
+  b.cookie = 2;
+  t.Add(a, SimTime::Zero());
+  t.Add(b, SimTime::Zero());
+  EXPECT_EQ(t.Lookup(Fields({}), SimTime::Zero())->cookie, 1u);
+}
+
+TEST(FlowTableTest, HardTimeoutExpires) {
+  FlowTable t;
+  FlowEntry e;
+  e.hard_timeout = Duration::Seconds(10);
+  t.Add(e, SimTime::Zero());
+  EXPECT_NE(t.Lookup(Fields({}), SimTime::FromNanos(9999999999)), nullptr);
+  EXPECT_EQ(t.Lookup(Fields({}), SimTime::Zero() + Duration::Seconds(10)),
+            nullptr);
+}
+
+TEST(FlowTableTest, IdleTimeoutRefreshedByHits) {
+  FlowTable t;
+  FlowEntry e;
+  e.idle_timeout = Duration::Seconds(10);
+  t.Add(e, SimTime::Zero());
+  // Hit at t=8s refreshes last_used.
+  EXPECT_NE(t.Lookup(Fields({}), SimTime::Zero() + Duration::Seconds(8)),
+            nullptr);
+  // Would have expired at 10s without the hit; still alive at 17s.
+  EXPECT_NE(t.Lookup(Fields({}), SimTime::Zero() + Duration::Seconds(17)),
+            nullptr);
+  EXPECT_EQ(t.Lookup(Fields({}), SimTime::Zero() + Duration::Seconds(28)),
+            nullptr);
+}
+
+TEST(FlowTableTest, SweepReportsExpiredEntries) {
+  FlowTable t;
+  FlowEntry e;
+  e.cookie = 99;
+  e.hard_timeout = Duration::Seconds(1);
+  t.Add(e, SimTime::Zero());
+  std::vector<std::uint64_t> expired;
+  t.SweepExpired(SimTime::Zero() + Duration::Seconds(2),
+                 [&](const FlowEntry& fe) { expired.push_back(fe.cookie); });
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{99}));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTableTest, SweepCallbackMayInstall) {
+  // Varanus timeout actions: expiry continuation installs a successor.
+  FlowTable t;
+  FlowEntry e;
+  e.cookie = 1;
+  e.hard_timeout = Duration::Seconds(1);
+  t.Add(e, SimTime::Zero());
+  const SimTime later = SimTime::Zero() + Duration::Seconds(2);
+  t.SweepExpired(later, [&](const FlowEntry&) {
+    FlowEntry next;
+    next.cookie = 2;
+    t.Add(next, later);
+  });
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Lookup(Fields({}), later)->cookie, 2u);
+}
+
+TEST(FlowTableTest, RemoveByHandleAndCookie) {
+  FlowTable t;
+  FlowEntry e;
+  e.cookie = 5;
+  const auto h = t.Add(e, SimTime::Zero());
+  t.Add(e, SimTime::Zero());
+  EXPECT_TRUE(t.Remove(h));
+  EXPECT_FALSE(t.Remove(h));
+  EXPECT_EQ(t.RemoveByCookie(5), 1u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(StateTableTest, SymmetricScopes) {
+  // Lookup by (src,dst), update by (dst,src): a reply finds the state its
+  // initiator wrote — OpenState's "symmetric match".
+  StateTable t({FieldId::kIpSrc, FieldId::kIpDst},
+               {FieldId::kIpDst, FieldId::kIpSrc});
+  const auto outbound = Fields({{FieldId::kIpSrc, 1}, {FieldId::kIpDst, 2}});
+  const auto inbound = Fields({{FieldId::kIpSrc, 2}, {FieldId::kIpDst, 1}});
+  // Writing on the outbound packet keys state under (dst,src) = (2,1)...
+  t.Update(outbound, 7, SimTime::Zero());
+  // ...which the inbound packet's (src,dst) = (2,1) lookup finds.
+  EXPECT_EQ(t.Lookup(inbound, SimTime::Zero()), 7u);
+  EXPECT_EQ(t.Lookup(outbound, SimTime::Zero()), kDefaultState);
+}
+
+TEST(StateTableTest, TtlExpiry) {
+  StateTable t({FieldId::kIpSrc}, {FieldId::kIpSrc});
+  const auto f = Fields({{FieldId::kIpSrc, 9}});
+  t.Update(f, 3, SimTime::Zero(), Duration::Seconds(5));
+  EXPECT_EQ(t.Lookup(f, SimTime::Zero() + Duration::Seconds(4)), 3u);
+  EXPECT_EQ(t.Lookup(f, SimTime::Zero() + Duration::Seconds(5)),
+            kDefaultState);
+}
+
+TEST(StateTableTest, MissingScopeFieldsFail) {
+  StateTable t({FieldId::kIpSrc}, {FieldId::kIpSrc});
+  const auto f = Fields({{FieldId::kIpDst, 1}});
+  EXPECT_FALSE(t.Update(f, 1, SimTime::Zero()));
+  EXPECT_EQ(t.Lookup(f, SimTime::Zero()), kDefaultState);
+}
+
+TEST(StateTableTest, DefaultWriteErases) {
+  StateTable t({FieldId::kIpSrc}, {FieldId::kIpSrc});
+  const auto f = Fields({{FieldId::kIpSrc, 9}});
+  t.Update(f, 3, SimTime::Zero());
+  EXPECT_EQ(t.size(), 1u);
+  t.Update(f, kDefaultState, SimTime::Zero());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RegisterArrayTest, ReadWriteByKey) {
+  RegisterArray regs(128);
+  const FlowKey k1{{1, 2}};
+  const FlowKey k2{{3, 4}};
+  regs.WriteKey(k1, 42);
+  EXPECT_EQ(regs.ReadKey(k1), 42u);
+  // k2 may or may not collide, but with 128 slots these two keys don't.
+  EXPECT_NE(regs.IndexOf(k1), regs.IndexOf(k2));
+}
+
+TEST(RegisterArrayTest, CollisionsAreReal) {
+  RegisterArray regs(1);  // everything collides
+  regs.WriteKey(FlowKey{{1}}, 10);
+  EXPECT_EQ(regs.ReadKey(FlowKey{{2}}), 10u);
+}
+
+TEST(FlowModQueueTest, LatencyApplied) {
+  CostParams params;
+  params.flow_mod = Duration::Micros(250);
+  params.flow_mods_per_sec = 1000000;  // negligible service time
+  FlowModQueue q(params);
+  bool applied = false;
+  const SimTime done =
+      q.Submit(SimTime::Zero(), [&](SimTime) { applied = true; });
+  EXPECT_GE((done - SimTime::Zero()).nanos(), 250000);
+  q.Advance(SimTime::Zero() + Duration::Micros(249));
+  EXPECT_FALSE(applied);
+  q.Advance(done);
+  EXPECT_TRUE(applied);
+}
+
+TEST(FlowModQueueTest, RateLimitQueuesBurst) {
+  CostParams params;
+  params.flow_mod = Duration::Zero();
+  params.flow_mods_per_sec = 1000;  // 1ms service time each
+  FlowModQueue q(params);
+  SimTime last;
+  for (int i = 0; i < 10; ++i)
+    last = q.Submit(SimTime::Zero(), [](SimTime) {});
+  // The 10th completes no earlier than 10 service times.
+  EXPECT_GE((last - SimTime::Zero()).nanos(), 10 * 1000000);
+}
+
+TEST(FlowModQueueTest, AdvanceAppliesInOrder) {
+  CostParams params;
+  params.flow_mods_per_sec = 1000;
+  FlowModQueue q(params);
+  std::vector<int> order;
+  q.Submit(SimTime::Zero(), [&](SimTime) { order.push_back(1); });
+  q.Submit(SimTime::Zero(), [&](SimTime) { order.push_back(2); });
+  q.Advance(SimTime::Zero() + Duration::Seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+// ------------------------------------------------------------- SoftSwitch
+
+class RecordingObserver : public DataplaneObserver {
+ public:
+  void OnDataplaneEvent(const DataplaneEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<DataplaneEvent> events;
+};
+
+class ForwardTo2 : public SwitchProgram {
+ public:
+  ForwardDecision OnPacket(SoftSwitch&, const ParsedPacket&, PortId) override {
+    return ForwardDecision::Forward(PortId{2});
+  }
+  const char* Name() const override { return "fwd2"; }
+};
+
+class DropAll : public SwitchProgram {
+ public:
+  ForwardDecision OnPacket(SoftSwitch&, const ParsedPacket&, PortId) override {
+    return ForwardDecision::Drop();
+  }
+  const char* Name() const override { return "drop"; }
+};
+
+Packet SamplePacket() {
+  return BuildTcp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+                  Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1, 2, kTcpSyn);
+}
+
+TEST(SoftSwitchTest, EmitsArrivalThenEgressWithSharedPacketId) {
+  EventQueue q;
+  SoftSwitch sw(7, 4, q);
+  ForwardTo2 prog;
+  sw.SetProgram(&prog);
+  RecordingObserver obs;
+  sw.AddObserver(&obs);
+
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  ASSERT_EQ(obs.events.size(), 2u);
+  const auto& arrival = obs.events[0];
+  const auto& egress = obs.events[1];
+  EXPECT_EQ(arrival.type, DataplaneEventType::kArrival);
+  EXPECT_EQ(egress.type, DataplaneEventType::kEgress);
+  EXPECT_EQ(arrival.fields.Get(FieldId::kInPort), 1u);
+  EXPECT_EQ(arrival.fields.Get(FieldId::kSwitchId), 7u);
+  // Feature 5: the same identity labels both events.
+  EXPECT_EQ(arrival.fields.Get(FieldId::kPacketId),
+            egress.fields.Get(FieldId::kPacketId));
+  EXPECT_EQ(egress.fields.Get(FieldId::kOutPort), 2u);
+  EXPECT_EQ(egress.fields.Get(FieldId::kEgressAction),
+            static_cast<std::uint64_t>(EgressActionValue::kForward));
+}
+
+TEST(SoftSwitchTest, DropsAreObservableEgressEvents) {
+  EventQueue q;
+  SoftSwitch sw(1, 4, q);
+  DropAll prog;
+  sw.SetProgram(&prog);
+  RecordingObserver obs;
+  sw.AddObserver(&obs);
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  ASSERT_EQ(obs.events.size(), 2u);
+  EXPECT_EQ(obs.events[1].fields.Get(FieldId::kEgressAction),
+            static_cast<std::uint64_t>(EgressActionValue::kDrop));
+  EXPECT_FALSE(obs.events[1].fields.Has(FieldId::kOutPort));
+}
+
+TEST(SoftSwitchTest, FloodTransmitsToAllButIngress) {
+  EventQueue q;
+  SoftSwitch sw(1, 4, q);
+  class FloodProg : public SwitchProgram {
+   public:
+    ForwardDecision OnPacket(SoftSwitch&, const ParsedPacket&,
+                             PortId) override {
+      return ForwardDecision::Flood();
+    }
+    const char* Name() const override { return "flood"; }
+  } prog;
+  sw.SetProgram(&prog);
+  std::vector<std::uint64_t> out_ports;
+  sw.SetTransmit([&](PortId p, const Packet&) { out_ports.push_back(ToU64(p)); });
+  sw.ReceivePacket(PortId{2}, SamplePacket());
+  EXPECT_EQ(out_ports, (std::vector<std::uint64_t>{1, 3, 4}));
+}
+
+TEST(SoftSwitchTest, LinkDownBlocksTrafficAndEmitsEvent) {
+  EventQueue q;
+  SoftSwitch sw(1, 4, q);
+  ForwardTo2 prog;
+  sw.SetProgram(&prog);
+  RecordingObserver obs;
+  sw.AddObserver(&obs);
+  int transmitted = 0;
+  sw.SetTransmit([&](PortId, const Packet&) { ++transmitted; });
+
+  sw.SetLinkStatus(PortId{2}, false);
+  ASSERT_EQ(obs.events.size(), 1u);
+  EXPECT_EQ(obs.events[0].type, DataplaneEventType::kLinkStatus);
+  EXPECT_EQ(obs.events[0].fields.Get(FieldId::kLinkId), 2u);
+  EXPECT_EQ(obs.events[0].fields.Get(FieldId::kLinkUp), 0u);
+
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  EXPECT_EQ(transmitted, 0);  // egress link is down
+
+  sw.SetLinkStatus(PortId{1}, false);
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  // No new arrival event: the ingress link is down.
+  EXPECT_EQ(obs.events.size(), 4u);  // 2 link events + arrival + egress
+}
+
+TEST(SoftSwitchTest, RewrittenPacketsReencodedOnTransmit) {
+  EventQueue q;
+  SoftSwitch sw(1, 2, q);
+  class Rewriter : public SwitchProgram {
+   public:
+    ForwardDecision OnPacket(SoftSwitch&, const ParsedPacket& pkt,
+                             PortId) override {
+      ParsedPacket copy = pkt;
+      SetPacketField(copy, FieldId::kIpSrc, Ipv4Addr(203, 0, 113, 1).bits());
+      ForwardDecision d = ForwardDecision::Forward(PortId{2});
+      d.rewritten = std::move(copy);
+      return d;
+    }
+    const char* Name() const override { return "rewriter"; }
+  } prog;
+  sw.SetProgram(&prog);
+  RecordingObserver obs;
+  sw.AddObserver(&obs);
+  Packet wire_out;
+  sw.SetTransmit([&](PortId, const Packet& p) { wire_out = p; });
+
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  // The egress event shows the rewritten source...
+  EXPECT_EQ(obs.events[1].fields.Get(FieldId::kIpSrc),
+            Ipv4Addr(203, 0, 113, 1).bits());
+  // ...the arrival shows the original...
+  EXPECT_EQ(obs.events[0].fields.Get(FieldId::kIpSrc),
+            Ipv4Addr(10, 0, 0, 1).bits());
+  // ...and the wire bytes carry the rewrite.
+  const ParsedPacket sent = ParsePacket(wire_out, ParseDepth::kL4);
+  EXPECT_EQ(sent.ipv4->src, Ipv4Addr(203, 0, 113, 1));
+}
+
+TEST(SoftSwitchTest, EmitPacketProducesEgressOnly) {
+  EventQueue q;
+  SoftSwitch sw(1, 2, q);
+  RecordingObserver obs;
+  sw.AddObserver(&obs);
+  int transmitted = 0;
+  sw.SetTransmit([&](PortId, const Packet&) { ++transmitted; });
+  sw.EmitPacket(PortId{1}, SamplePacket());
+  ASSERT_EQ(obs.events.size(), 1u);
+  EXPECT_EQ(obs.events[0].type, DataplaneEventType::kEgress);
+  EXPECT_EQ(transmitted, 1);
+}
+
+TEST(SoftSwitchTest, PacketIdsAreFresh) {
+  EventQueue q;
+  SoftSwitch sw(1, 2, q);
+  ForwardTo2 prog;
+  sw.SetProgram(&prog);
+  RecordingObserver obs;
+  sw.AddObserver(&obs);
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  sw.ReceivePacket(PortId{1}, SamplePacket());
+  EXPECT_NE(obs.events[0].fields.Get(FieldId::kPacketId),
+            obs.events[2].fields.Get(FieldId::kPacketId));
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,99 @@
+// End-to-end: DHCP handshakes + T1.9 / T1.10 / T1.11, and the DHCP+ARP
+// composition + T1.12 / T1.13.
+#include <gtest/gtest.h>
+
+#include "workload/dhcp_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(DhcpScenarioTest, CorrectServerIsQuiet) {
+  DhcpScenarioConfig config;
+  EXPECT_EQ(RunDhcpScenario(config).TotalViolations(), 0u);
+}
+
+TEST(DhcpScenarioTest, ReleaseAndReleaseIsLegitimateReuse) {
+  DhcpScenarioConfig config;
+  config.release_fraction = 1.0;  // everyone releases; one re-lease follows
+  const auto out = RunDhcpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("dhcp-no-lease-reuse"), 0u);
+}
+
+TEST(DhcpScenarioTest, SlowServerViolatesDeadline) {
+  DhcpScenarioConfig config;
+  config.fault = DhcpServerFault::kSlowReply;
+  const auto out = RunDhcpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("dhcp-reply-deadline"), config.clients + 1u);
+}
+
+TEST(DhcpScenarioTest, SilentServerViolatesDeadline) {
+  DhcpScenarioConfig config;
+  config.fault = DhcpServerFault::kNoReply;
+  config.release_fraction = 0.0;
+  const auto out = RunDhcpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("dhcp-reply-deadline"), config.clients);
+}
+
+TEST(DhcpScenarioTest, AddressReuseDetected) {
+  DhcpScenarioConfig config;
+  config.fault = DhcpServerFault::kReuseLeasedAddress;
+  config.release_fraction = 0.0;
+  const auto out = RunDhcpScenario(config);
+  // Every client after the first is handed the same still-leased address.
+  EXPECT_GT(out.ViolationsOf("dhcp-no-lease-reuse"), 0u);
+}
+
+TEST(DhcpScenarioTest, TwoWellConfiguredServersDoNotOverlap) {
+  DhcpScenarioConfig config;
+  config.second_server = true;
+  config.overlap_fault = false;
+  const auto out = RunDhcpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("dhcp-no-lease-overlap"), 0u);
+}
+
+TEST(DhcpScenarioTest, MisconfiguredSecondServerOverlaps) {
+  DhcpScenarioConfig config;
+  config.second_server = true;
+  config.overlap_fault = true;
+  config.release_fraction = 0.0;
+  const auto out = RunDhcpScenario(config);
+  EXPECT_GT(out.ViolationsOf("dhcp-no-lease-overlap"), 0u);
+}
+
+TEST(DhcpArpScenarioTest, SnoopingProxyIsQuiet) {
+  DhcpArpScenarioConfig config;
+  EXPECT_EQ(RunDhcpArpScenario(config).TotalViolations(), 0u);
+}
+
+TEST(DhcpArpScenarioTest, NoSnoopViolatesPreload) {
+  DhcpArpScenarioConfig config;
+  config.proxy_fault = ArpProxyFault::kNoSnoop;
+  const auto out = RunDhcpArpScenario(config);
+  // Each leased address the prober asks about goes unanswered (wandering
+  // match: DHCP lease fields -> ARP request fields).
+  EXPECT_EQ(out.ViolationsOf("dhcparp-cache-preload"), config.clients);
+}
+
+TEST(DhcpArpScenarioTest, FabricatedReplyViolatesNoDirectReply) {
+  DhcpArpScenarioConfig config;
+  config.proxy_fault = ArpProxyFault::kReplyUnknown;
+  const auto out = RunDhcpArpScenario(config);
+  // The probe for the never-leased address gets a fabricated reply.
+  EXPECT_GT(out.ViolationsOf("dhcparp-no-direct-reply"), 0u);
+}
+
+class DhcpSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DhcpSeedSweep, CorrectSetupsNeverAlarm) {
+  DhcpScenarioConfig config;
+  config.options.seed = GetParam();
+  config.clients = 3 + GetParam() % 6;
+  config.second_server = GetParam() % 2;
+  EXPECT_EQ(RunDhcpScenario(config).TotalViolations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DhcpSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace swmon

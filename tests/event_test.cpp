@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/event_queue.hpp"
+#include "event/timer_set.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(SimTime::FromNanos(300), [&] { order.push_back(3); });
+  q.ScheduleAt(SimTime::FromNanos(100), [&] { order.push_back(1); });
+  q.ScheduleAt(SimTime::FromNanos(200), [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now().nanos(), 300);
+}
+
+TEST(EventQueueTest, FifoAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.ScheduleAt(SimTime::FromNanos(50), [&order, i] { order.push_back(i); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackCanReschedule) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.ScheduleAfter(Duration::Nanos(10), tick);
+  };
+  q.ScheduleAt(SimTime::FromNanos(0), tick);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now().nanos(), 40);
+}
+
+TEST(EventQueueTest, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(SimTime::FromNanos(10), [&] { ++ran; });
+  q.ScheduleAt(SimTime::FromNanos(100), [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(SimTime::FromNanos(50)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.now().nanos(), 50);
+  q.RunAll();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueueTest, RunAllRespectsLimit) {
+  EventQueue q;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i)
+    q.ScheduleAt(SimTime::FromNanos(i), [&] { ++ran; });
+  EXPECT_EQ(q.RunAll(3), 3u);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+class TimerSetTest : public ::testing::Test {
+ protected:
+  TimerSetTest()
+      : timers_([this](TimerSet::TimerId id, SimTime at) {
+          fired_.emplace_back(id, at);
+        }) {}
+
+  std::vector<std::pair<TimerSet::TimerId, SimTime>> fired_;
+  TimerSet timers_;
+};
+
+TEST_F(TimerSetTest, FiresAtDeadlineInOrder) {
+  timers_.Arm(1, SimTime::FromNanos(100));
+  timers_.Arm(2, SimTime::FromNanos(50));
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(200)), 2u);
+  ASSERT_EQ(fired_.size(), 2u);
+  EXPECT_EQ(fired_[0].first, 2u);
+  EXPECT_EQ(fired_[1].first, 1u);
+  EXPECT_EQ(fired_[0].second.nanos(), 50);
+}
+
+TEST_F(TimerSetTest, DoesNotFireEarly) {
+  timers_.Arm(1, SimTime::FromNanos(100));
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(99)), 0u);
+  EXPECT_TRUE(timers_.IsArmed(1));
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(100)), 1u);
+  EXPECT_FALSE(timers_.IsArmed(1));
+}
+
+TEST_F(TimerSetTest, CancelPreventsFiring) {
+  timers_.Arm(1, SimTime::FromNanos(100));
+  timers_.Cancel(1);
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(200)), 0u);
+  EXPECT_TRUE(fired_.empty());
+}
+
+TEST_F(TimerSetTest, RearmMovesDeadline) {
+  timers_.Arm(1, SimTime::FromNanos(100));
+  timers_.Arm(1, SimTime::FromNanos(300));  // refresh
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(200)), 0u);
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(300)), 1u);
+  EXPECT_EQ(fired_.size(), 1u);
+}
+
+TEST_F(TimerSetTest, RearmToEarlierDeadlineFires) {
+  timers_.Arm(1, SimTime::FromNanos(300));
+  timers_.Arm(1, SimTime::FromNanos(100));
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(150)), 1u);
+}
+
+TEST_F(TimerSetTest, ExpiryCallbackMayRearm) {
+  // Replace the set with one whose callback re-arms once.
+  int count = 0;
+  TimerSet t([&](TimerSet::TimerId id, SimTime at) {
+    if (++count == 1) t.Arm(id, at + Duration::Nanos(10));
+  });
+  t.Arm(7, SimTime::FromNanos(10));
+  // Both the original and the re-armed deadline are <= now: same pass.
+  EXPECT_EQ(t.Advance(SimTime::FromNanos(100)), 2u);
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(TimerSetTest, ArmedCountTracksLiveTimers) {
+  timers_.Arm(1, SimTime::FromNanos(10));
+  timers_.Arm(2, SimTime::FromNanos(20));
+  EXPECT_EQ(timers_.armed_count(), 2u);
+  timers_.Cancel(1);
+  EXPECT_EQ(timers_.armed_count(), 1u);
+  timers_.Advance(SimTime::FromNanos(30));
+  EXPECT_EQ(timers_.armed_count(), 0u);
+}
+
+TEST_F(TimerSetTest, NextDeadline) {
+  EXPECT_TRUE(timers_.NextDeadline().IsInfinite());
+  timers_.Arm(1, SimTime::FromNanos(70));
+  timers_.Arm(2, SimTime::FromNanos(30));
+  EXPECT_EQ(timers_.NextDeadline().nanos(), 30);
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,161 @@
+// Feature analysis (Table 1 regeneration): the computed row for every
+// catalog property must match the paper's published row except on the
+// explicitly documented divergent columns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "monitor/property_builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(FeaturesTest, AllCatalogPropertiesValidate) {
+  for (const auto& entry : BuildCatalog()) {
+    EXPECT_EQ(entry.property.Validate(), "") << entry.id;
+  }
+}
+
+TEST(FeaturesTest, CatalogMatchesPaperRowsUpToDocumentedDivergences) {
+  for (const auto& entry : BuildCatalog()) {
+    if (!entry.in_table1) continue;
+    const FeatureSet computed = AnalyzeFeatures(entry.property);
+    std::vector<std::string> diff =
+        DiffFeatureColumns(computed, entry.expected);
+    std::vector<std::string> documented = entry.divergent_columns;
+    std::sort(diff.begin(), diff.end());
+    std::sort(documented.begin(), documented.end());
+    EXPECT_EQ(diff, documented)
+        << entry.id << " (" << entry.property.name << ")\ncomputed: "
+        << computed.ToRow() << "\nexpected: " << entry.expected.ToRow();
+    if (!entry.divergent_columns.empty())
+      EXPECT_NE(entry.divergence_note, nullptr) << entry.id;
+  }
+}
+
+TEST(FeaturesTest, CatalogHasAllThirteenTableRows) {
+  const auto catalog = BuildCatalog();
+  const auto table1 =
+      std::count_if(catalog.begin(), catalog.end(),
+                    [](const CatalogEntry& e) { return e.in_table1; });
+  EXPECT_EQ(table1, 13);
+  EXPECT_EQ(catalog.size(), 21u);  // + 8 Sec-1/Sec-2 walkthrough properties
+}
+
+TEST(FeaturesTest, FieldDepthIsMaxOverStages) {
+  PropertyBuilder b("depth", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Eq(FieldId::kEthType, 5).Build())
+      .Bind(A, FieldId::kDhcpYiaddr);
+  b.AddStage("s1").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build());
+  EXPECT_EQ(AnalyzeFeatures(std::move(b).Build()).fields, FieldLayer::kL7);
+}
+
+TEST(FeaturesTest, MetadataFieldsDoNotRaiseDepth) {
+  PropertyBuilder b("meta", "test");
+  b.AddStage("s0").Match(
+      PatternBuilder::Arrival().Eq(FieldId::kInPort, 1).Build());
+  EXPECT_EQ(AnalyzeFeatures(std::move(b).Build()).fields, FieldLayer::kL2);
+}
+
+TEST(FeaturesTest, PacketIdMeansIdentity) {
+  PropertyBuilder b("ident", "test");
+  const VarId P = b.Var("P");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(
+      P, FieldId::kPacketId);
+  b.AddStage("s1").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kPacketId, P).Build());
+  const FeatureSet f = AnalyzeFeatures(std::move(b).Build());
+  EXPECT_TRUE(f.identity);
+}
+
+TEST(FeaturesTest, TimeoutStagesAreTimeoutActionsNotTimeouts) {
+  PropertyBuilder b("toa", "test");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build())
+      .Window(Duration::Seconds(1));
+  b.AddTimeoutStage("fire");
+  const FeatureSet f = AnalyzeFeatures(std::move(b).Build());
+  EXPECT_TRUE(f.timeout_actions);
+  EXPECT_FALSE(f.timeouts);
+}
+
+TEST(FeaturesTest, StateExpiringWindowIsTimeouts) {
+  PropertyBuilder b("to", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Window(Duration::Seconds(1));
+  b.AddStage("s1").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build());
+  const FeatureSet f = AnalyzeFeatures(std::move(b).Build());
+  EXPECT_TRUE(f.timeouts);
+  EXPECT_FALSE(f.timeout_actions);
+}
+
+TEST(FeaturesTest, EventStageAbortsAreObligation) {
+  PropertyBuilder b("ob", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(
+      A, FieldId::kIpSrc);
+  b.AddStage("s1")
+      .Match(PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build())
+      .AbortOn(PatternBuilder::Arrival().EqVar(FieldId::kIpSrc, A).Build());
+  EXPECT_TRUE(AnalyzeFeatures(std::move(b).Build()).obligation);
+}
+
+TEST(FeaturesTest, BuiltinComparisonsAreNotNegativeMatch) {
+  PropertyBuilder b("lb", "test");
+  const VarId E = b.Var("E");
+  b.AddStage("s0")
+      .Match(PatternBuilder::Arrival().Build())
+      .BindHashPort(E, {FieldId::kIpSrc}, 4, 2);
+  b.AddStage("s1").Match(
+      PatternBuilder::Egress().NeVar(FieldId::kOutPort, E).Build());
+  EXPECT_FALSE(AnalyzeFeatures(std::move(b).Build()).negative_match);
+}
+
+TEST(FeaturesTest, ForbiddenGroupIsNegativeMatch) {
+  PropertyBuilder b("neg", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(
+      A, FieldId::kIpDst);
+  b.AddStage("s1").Match(
+      PatternBuilder::Egress().ForbidEqVar(FieldId::kIpDst, A).Build());
+  EXPECT_TRUE(AnalyzeFeatures(std::move(b).Build()).negative_match);
+}
+
+TEST(FeaturesTest, UnlinkedLaterStageIsMultipleMatch) {
+  PropertyBuilder b("mm", "test");
+  const VarId D = b.Var("D");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(
+      D, FieldId::kEthSrc);
+  b.AddStage("s1").Match(
+      PatternBuilder::LinkStatus().Eq(FieldId::kLinkUp, 0).Build());
+  b.AddStage("s2").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kEthDst, D).Build());
+  EXPECT_TRUE(AnalyzeFeatures(std::move(b).Build()).multiple_match);
+}
+
+TEST(FeaturesTest, DiffReportsColumnNames) {
+  FeatureSet a, b;
+  a.history = true;
+  b.timeouts = true;
+  const auto diff = DiffFeatureColumns(a, b);
+  EXPECT_EQ(diff, (std::vector<std::string>{"history", "timeouts"}));
+  EXPECT_TRUE(DiffFeatureColumns(a, a).empty());
+}
+
+TEST(FeaturesTest, RowRendering) {
+  FeatureSet f;
+  f.fields = FieldLayer::kL7;
+  f.history = true;
+  f.id_mode = InstanceIdMode::kWandering;
+  const std::string row = f.ToRow();
+  EXPECT_NE(row.find("L7"), std::string::npos);
+  EXPECT_NE(row.find("wandering"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,116 @@
+// End-to-end: stateful firewall + the three Sec-2.1 properties.
+//
+// These tests also reproduce the paper's Sec-2.1 narrative: the *basic*
+// property false-alarms on legitimate drops after closes/timeouts; adding
+// the timeout window fixes the stale case; adding the obligation fixes the
+// close case.
+#include <gtest/gtest.h>
+
+#include "workload/firewall_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(FirewallScenarioTest, CorrectFirewallObligationPropertyQuiet) {
+  FirewallScenarioConfig config;
+  const auto out = RunFirewallScenario(config);
+  // The full (obligation) property never false-alarms on a correct device.
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-until-close"), 0u);
+  EXPECT_GT(out.packets_injected, 0u);
+}
+
+TEST(FirewallScenarioTest, NaivePropertiesFalseAlarmAsThePaperArgues) {
+  FirewallScenarioConfig config;
+  config.options.seed = 7;
+  config.connections = 40;
+  const auto out = RunFirewallScenario(config);
+  // Closes make the basic and timeout properties alarm on correct drops.
+  EXPECT_GT(out.ViolationsOf("fw-return-not-dropped"), 0u);
+  EXPECT_GT(out.ViolationsOf("fw-return-not-dropped-timeout"), 0u);
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-until-close"), 0u);
+}
+
+TEST(FirewallScenarioTest, StaleReturnsQuietUnderTimeoutProperty) {
+  FirewallScenarioConfig config;
+  config.close_fraction = 0.0;  // only stale-return cases
+  config.stale_return_fraction = 1.0;
+  const auto out = RunFirewallScenario(config);
+  // Drops of post-timeout returns: the basic property alarms...
+  EXPECT_GT(out.ViolationsOf("fw-return-not-dropped"), 0u);
+  // ...but both timer-aware properties stay quiet (Feature 3).
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-timeout"), 0u);
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-until-close"), 0u);
+}
+
+TEST(FirewallScenarioTest, DropEstablishedFaultDetectedByAllProperties) {
+  FirewallScenarioConfig config;
+  config.fault = FirewallFault::kDropEstablishedReturn;
+  config.close_fraction = 0.0;
+  config.stale_return_fraction = 0.0;
+  const auto out = RunFirewallScenario(config);
+  // Every connection's first in-window return drop is one violation.
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped"), config.connections);
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-timeout"),
+            config.connections);
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-until-close"),
+            config.connections);
+}
+
+TEST(FirewallScenarioTest, RefreshFaultDetectedOnlyByTimerProperties) {
+  FirewallScenarioConfig config;
+  config.fault = FirewallFault::kNoRefreshOnTraffic;
+  config.close_fraction = 0.0;
+  config.stale_return_fraction = 0.0;
+  config.connections = 20;
+  const auto out = RunFirewallScenario(config);
+  // Probe connections (every 4th) exercise the refresh bug.
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-timeout"), 5u);
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-until-close"), 5u);
+}
+
+class FirewallSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FirewallSeedSweep, SoundPropertyNeverFalseAlarms) {
+  // Property-based check: across random schedules, the obligation property
+  // never alarms on a correct firewall.
+  FirewallScenarioConfig config;
+  config.options.seed = GetParam();
+  config.connections = 30;
+  const auto out = RunFirewallScenario(config);
+  EXPECT_EQ(out.ViolationsOf("fw-return-not-dropped-until-close"), 0u);
+}
+
+TEST_P(FirewallSeedSweep, FaultAlwaysDetected) {
+  FirewallScenarioConfig config;
+  config.options.seed = GetParam();
+  config.fault = FirewallFault::kDropEstablishedReturn;
+  const auto out = RunFirewallScenario(config);
+  EXPECT_GT(out.ViolationsOf("fw-return-not-dropped-until-close"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FirewallSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(FirewallScenarioTest, TraceRecordsArrivalsAndEgresses) {
+  FirewallScenarioConfig config;
+  config.options.keep_trace = true;
+  config.connections = 5;
+  const auto out = RunFirewallScenario(config);
+  ASSERT_NE(out.trace, nullptr);
+  EXPECT_EQ(out.trace->CountType(DataplaneEventType::kArrival),
+            out.trace->CountType(DataplaneEventType::kEgress));
+  EXPECT_GT(out.trace->size(), 0u);
+}
+
+TEST(FirewallScenarioTest, DeterministicForSeed) {
+  FirewallScenarioConfig config;
+  config.options.seed = 99;
+  config.fault = FirewallFault::kDropEstablishedReturn;
+  const auto a = RunFirewallScenario(config);
+  const auto b = RunFirewallScenario(config);
+  EXPECT_EQ(a.TotalViolations(), b.TotalViolations());
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+}
+
+}  // namespace
+}  // namespace swmon

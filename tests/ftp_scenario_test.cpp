@@ -1,0 +1,85 @@
+// End-to-end: FTP control/data sessions + T1.8 (from FAST).
+#include <gtest/gtest.h>
+
+#include "workload/ftp_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(FtpScenarioTest, WellBehavedSessionsAreQuiet) {
+  FtpScenarioConfig config;
+  EXPECT_EQ(RunFtpScenario(config).TotalViolations(), 0u);
+}
+
+TEST(FtpScenarioTest, ReannouncementIsLegitimate) {
+  FtpScenarioConfig config;
+  config.reannounce_fraction = 1.0;  // every session supersedes its PORT
+  EXPECT_EQ(RunFtpScenario(config).TotalViolations(), 0u);
+}
+
+TEST(FtpScenarioTest, WrongDataPortDetected) {
+  FtpScenarioConfig config;
+  config.violation_fraction = 1.0;
+  config.reannounce_fraction = 0.0;
+  const auto out = RunFtpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("ftp-data-port"), config.sessions);
+}
+
+TEST(FtpScenarioTest, MixedSessionsCountOnlyViolators) {
+  FtpScenarioConfig config;
+  config.options.seed = 5;
+  config.sessions = 40;
+  config.violation_fraction = 0.5;
+  const auto out = RunFtpScenario(config);
+  const auto v = out.ViolationsOf("ftp-data-port");
+  EXPECT_GT(v, 0u);
+  EXPECT_LT(v, config.sessions);
+}
+
+TEST(FtpScenarioTest, PassiveModeWellBehavedIsQuiet) {
+  FtpScenarioConfig config;
+  config.sessions = 0;
+  config.passive_sessions = 10;
+  const auto out = RunFtpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("ftp-pasv-data-port"), 0u);
+}
+
+TEST(FtpScenarioTest, PassiveModeWrongPortDetected) {
+  FtpScenarioConfig config;
+  config.sessions = 0;
+  config.passive_sessions = 10;
+  config.violation_fraction = 1.0;
+  const auto out = RunFtpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("ftp-pasv-data-port"), config.passive_sessions);
+  // The active-mode property stays quiet about passive traffic.
+  EXPECT_EQ(out.ViolationsOf("ftp-data-port"), 0u);
+}
+
+TEST(FtpScenarioTest, MixedActiveAndPassiveSessionsAreIndependent) {
+  FtpScenarioConfig config;
+  config.options.seed = 4;
+  config.sessions = 8;
+  config.passive_sessions = 8;
+  config.reannounce_fraction = 0.0;
+  config.violation_fraction = 1.0;
+  const auto out = RunFtpScenario(config);
+  EXPECT_EQ(out.ViolationsOf("ftp-data-port"), 8u);
+  EXPECT_EQ(out.ViolationsOf("ftp-pasv-data-port"), 8u);
+}
+
+class FtpSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FtpSeedSweep, DetectionTracksInjection) {
+  FtpScenarioConfig config;
+  config.options.seed = GetParam();
+  config.sessions = 20;
+  EXPECT_EQ(RunFtpScenario(config).TotalViolations(), 0u);
+  config.violation_fraction = 1.0;
+  EXPECT_EQ(RunFtpScenario(config).TotalViolations(), config.sessions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtpSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,76 @@
+// End-to-end: load balancer + T1.5 / T1.6 / T1.7.
+#include <gtest/gtest.h>
+
+#include "workload/lb_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(LbScenarioTest, CorrectHashBalancerIsQuiet) {
+  LbScenarioConfig config;
+  config.mode = LbMode::kHash;
+  EXPECT_EQ(RunLbScenario(config).TotalViolations(), 0u);
+}
+
+TEST(LbScenarioTest, CorrectRoundRobinBalancerIsQuiet) {
+  LbScenarioConfig config;
+  config.mode = LbMode::kRoundRobin;
+  EXPECT_EQ(RunLbScenario(config).TotalViolations(), 0u);
+}
+
+TEST(LbScenarioTest, WrongHashDetectedPerFlow) {
+  LbScenarioConfig config;
+  config.fault = LoadBalancerFault::kWrongHashPort;
+  const auto out = RunLbScenario(config);
+  // Every new flow goes to hash+1: one violation per flow.
+  EXPECT_EQ(out.ViolationsOf("lb-hashed-port"), config.flows);
+}
+
+TEST(LbScenarioTest, WrongRoundRobinDetected) {
+  LbScenarioConfig config;
+  config.mode = LbMode::kRoundRobin;
+  config.fault = LoadBalancerFault::kWrongRoundRobin;
+  const auto out = RunLbScenario(config);
+  // The doubled counter coincides with the expectation once per 4 flows.
+  EXPECT_GT(out.ViolationsOf("lb-round-robin-port"), config.flows / 2);
+}
+
+TEST(LbScenarioTest, MidFlowRehashDetectedByStickyProperty) {
+  LbScenarioConfig config;
+  config.fault = LoadBalancerFault::kRehashMidFlow;
+  const auto out = RunLbScenario(config);
+  EXPECT_GT(out.ViolationsOf("lb-sticky-port"), 0u);
+  // The SYN itself is still hashed correctly.
+  EXPECT_EQ(out.ViolationsOf("lb-hashed-port"), 0u);
+}
+
+TEST(LbScenarioTest, FlowsSpreadAcrossServers) {
+  LbScenarioConfig config;
+  config.options.keep_trace = true;
+  config.flows = 40;
+  const auto out = RunLbScenario(config);
+  // Sanity on the workload itself: hashing spreads flows over all 4 ports.
+  std::set<std::uint64_t> ports;
+  for (const auto& ev : out.trace->events()) {
+    if (ev.type == DataplaneEventType::kEgress && ev.fields.Has(FieldId::kOutPort) &&
+        ev.fields.Get(FieldId::kInPort) == 1u)
+      ports.insert(*ev.fields.Get(FieldId::kOutPort));
+  }
+  EXPECT_EQ(ports.size(), 4u);
+}
+
+class LbSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LbSeedSweep, CorrectBalancerNeverAlarms) {
+  LbScenarioConfig config;
+  config.options.seed = GetParam();
+  config.flows = 10 + GetParam() * 3 % 30;
+  config.mode = GetParam() % 2 ? LbMode::kHash : LbMode::kRoundRobin;
+  EXPECT_EQ(RunLbScenario(config).TotalViolations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace swmon

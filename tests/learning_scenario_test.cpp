@@ -1,0 +1,73 @@
+// End-to-end: learning switch + the Sec-1 / Sec-2.4 properties.
+#include <gtest/gtest.h>
+
+#include "workload/learning_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(LearningScenarioTest, CorrectSwitchIsQuiet) {
+  LearningScenarioConfig config;
+  const auto out = RunLearningScenario(config);
+  EXPECT_EQ(out.TotalViolations(), 0u);
+}
+
+TEST(LearningScenarioTest, CorrectSwitchQuietEvenWithLinkDown) {
+  LearningScenarioConfig config;
+  config.inject_link_down = true;
+  config.rounds = 12;
+  const auto out = RunLearningScenario(config);
+  EXPECT_EQ(out.ViolationsOf("lsw-linkdown-flush"), 0u);
+}
+
+TEST(LearningScenarioTest, NeverLearnFaultFloodsKnownDestinations) {
+  LearningScenarioConfig config;
+  config.fault = LearningSwitchFault::kNeverLearn;
+  const auto out = RunLearningScenario(config);
+  EXPECT_GT(out.ViolationsOf("lsw-no-flood-after-learn"), 0u);
+  // It floods, so the wrong-unicast-port property has nothing to say.
+  EXPECT_EQ(out.ViolationsOf("lsw-correct-port"), 0u);
+}
+
+TEST(LearningScenarioTest, WrongPortFaultDetected) {
+  LearningScenarioConfig config;
+  config.fault = LearningSwitchFault::kWrongPort;
+  const auto out = RunLearningScenario(config);
+  EXPECT_GT(out.ViolationsOf("lsw-correct-port"), 0u);
+}
+
+TEST(LearningScenarioTest, NoFlushFaultDetectedByMultipleMatchProperty) {
+  LearningScenarioConfig config;
+  config.fault = LearningSwitchFault::kNoFlushOnLinkDown;
+  config.inject_link_down = true;
+  config.rounds = 12;
+  config.options.seed = 3;
+  const auto out = RunLearningScenario(config);
+  EXPECT_GT(out.ViolationsOf("lsw-linkdown-flush"), 0u);
+}
+
+TEST(LearningScenarioTest, NoFlushFaultInvisibleWithoutLinkEvents) {
+  LearningScenarioConfig config;
+  config.fault = LearningSwitchFault::kNoFlushOnLinkDown;
+  config.inject_link_down = false;
+  const auto out = RunLearningScenario(config);
+  EXPECT_EQ(out.TotalViolations(), 0u);
+}
+
+class LearningSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LearningSeedSweep, CorrectSwitchNeverAlarms) {
+  LearningScenarioConfig config;
+  config.options.seed = GetParam();
+  config.inject_link_down = (GetParam() % 2) == 0;
+  config.hosts = 4 + GetParam() % 5;
+  config.rounds = 8 + GetParam() % 9;
+  const auto out = RunLearningScenario(config);
+  EXPECT_EQ(out.TotalViolations(), 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearningSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace swmon

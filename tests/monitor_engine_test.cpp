@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "monitor/engine.hpp"
+#include "monitor/property_builder.hpp"
+
+namespace swmon {
+namespace {
+
+DataplaneEvent Ev(DataplaneEventType type, std::int64_t ms,
+                  std::initializer_list<std::pair<FieldId, std::uint64_t>> kv) {
+  DataplaneEvent ev;
+  ev.type = type;
+  ev.time = SimTime::Zero() + Duration::Millis(ms);
+  for (const auto& [k, v] : kv) ev.fields.Set(k, v);
+  return ev;
+}
+
+constexpr std::uint64_t kDrop =
+    static_cast<std::uint64_t>(EgressActionValue::kDrop);
+constexpr std::uint64_t kForward =
+    static_cast<std::uint64_t>(EgressActionValue::kForward);
+
+/// Two-stage firewall-shaped property: arrival binds (A,B); egress drop of
+/// (B,A) violates.
+Property TwoStage() {
+  PropertyBuilder b("two-stage", "test");
+  const VarId A = b.Var("A"), B = b.Var("B");
+  b.AddStage("out")
+      .Match(PatternBuilder::Arrival().Eq(FieldId::kInPort, 1).Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Bind(B, FieldId::kIpDst);
+  b.AddStage("drop")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kIpSrc, B)
+                 .EqVar(FieldId::kIpDst, A)
+                 .Dropped()
+                 .Build());
+  return std::move(b).Build();
+}
+
+TEST(EngineTest, ViolationAfterBothObservations) {
+  MonitorEngine eng(TwoStage());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kInPort, 1},
+                       {FieldId::kIpSrc, 10},
+                       {FieldId::kIpDst, 20}}));
+  EXPECT_EQ(eng.live_instances(), 1u);
+  EXPECT_TRUE(eng.violations().empty());
+
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
+                      {{FieldId::kIpSrc, 20},
+                       {FieldId::kIpDst, 10},
+                       {FieldId::kEgressAction, kDrop}}));
+  ASSERT_EQ(eng.violations().size(), 1u);
+  EXPECT_EQ(eng.violations()[0].property, "two-stage");
+  EXPECT_EQ(eng.violations()[0].trigger_stage, "drop");
+  EXPECT_EQ(eng.live_instances(), 0u);  // consumed by the violation
+}
+
+TEST(EngineTest, WrongDirectionDoesNotViolate) {
+  MonitorEngine eng(TwoStage());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kInPort, 1},
+                       {FieldId::kIpSrc, 10},
+                       {FieldId::kIpDst, 20}}));
+  // Same pair but not inverted: (A,B) dropped, not (B,A).
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
+                      {{FieldId::kIpSrc, 10},
+                       {FieldId::kIpDst, 20},
+                       {FieldId::kEgressAction, kDrop}}));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(EngineTest, EventTypeFiltersApply) {
+  MonitorEngine eng(TwoStage());
+  // An EGRESS event cannot create the stage-0 (arrival) instance.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 0,
+                      {{FieldId::kInPort, 1},
+                       {FieldId::kIpSrc, 10},
+                       {FieldId::kIpDst, 20}}));
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+TEST(EngineTest, MissingBoundFieldBlocksCreation) {
+  MonitorEngine eng(TwoStage());
+  // Arrival on port 1 but without IP fields: bindings can't apply.
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kArrival, 0, {{FieldId::kInPort, 1}}));
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+TEST(EngineTest, DedupKeepsOneInstancePerKey) {
+  MonitorEngine eng(TwoStage());
+  for (int i = 0; i < 5; ++i) {
+    eng.ProcessEvent(Ev(DataplaneEventType::kArrival, i,
+                        {{FieldId::kInPort, 1},
+                         {FieldId::kIpSrc, 10},
+                         {FieldId::kIpDst, 20}}));
+  }
+  EXPECT_EQ(eng.live_instances(), 1u);
+  EXPECT_EQ(eng.stats().instances_created, 1u);
+
+  // A different pair is a separate instance.
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 9,
+                      {{FieldId::kInPort, 1},
+                       {FieldId::kIpSrc, 11},
+                       {FieldId::kIpDst, 20}}));
+  EXPECT_EQ(eng.live_instances(), 2u);
+}
+
+TEST(EngineTest, NegativeMatchOnBoundVar) {
+  PropertyBuilder b("neg", "port change");
+  const VarId D = b.Var("D"), P = b.Var("P");
+  b.AddStage("learn")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(D, FieldId::kEthSrc)
+      .Bind(P, FieldId::kInPort);
+  b.AddStage("wrong port")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kEthDst, D)
+                 .Forwarded()
+                 .NeVar(FieldId::kOutPort, P)
+                 .Build());
+  MonitorEngine eng(std::move(b).Build());
+
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kEthSrc, 0xaa}, {FieldId::kInPort, 3}}));
+  // Correct port: no violation.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
+                      {{FieldId::kEthDst, 0xaa},
+                       {FieldId::kOutPort, 3},
+                       {FieldId::kEgressAction, kForward}}));
+  EXPECT_TRUE(eng.violations().empty());
+  // Wrong port: violation.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2,
+                      {{FieldId::kEthDst, 0xaa},
+                       {FieldId::kOutPort, 4},
+                       {FieldId::kEgressAction, kForward}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(EngineTest, ForbiddenGroupIsTupleInequality) {
+  // Violates when the egress (dst, port) tuple differs from the bound one
+  // in ANY component — but not when both match.
+  PropertyBuilder b("forbidden", "NAT-style");
+  const VarId A = b.Var("A"), P = b.Var("P");
+  b.AddStage("observe")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(A, FieldId::kIpDst)
+      .Bind(P, FieldId::kL4DstPort);
+  b.AddStage("mistranslated")
+      .Match(PatternBuilder::Egress()
+                 .Forwarded()
+                 .ForbidEqVar(FieldId::kIpDst, A)
+                 .ForbidEqVar(FieldId::kL4DstPort, P)
+                 .Build());
+  MonitorEngine eng(std::move(b).Build());
+
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kIpDst, 10}, {FieldId::kL4DstPort, 80}}));
+  // Exact tuple: forbidden group holds entirely -> no match.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
+                      {{FieldId::kIpDst, 10},
+                       {FieldId::kL4DstPort, 80},
+                       {FieldId::kEgressAction, kForward}}));
+  EXPECT_TRUE(eng.violations().empty());
+  // One component differs: violation.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2,
+                      {{FieldId::kIpDst, 10},
+                       {FieldId::kL4DstPort, 81},
+                       {FieldId::kEgressAction, kForward}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(EngineTest, AbortDischargesObligation) {
+  PropertyBuilder b("abort", "until close");
+  const VarId A = b.Var("A");
+  b.AddStage("open")
+      // Closes must only discharge: without the OrAbsent guard the FIN
+      // would immediately re-create the instance it just aborted.
+      .Match(PatternBuilder::Arrival()
+                 .EqMaskedOrAbsent(FieldId::kTcpFlags, 0, kTcpFin | kTcpRst)
+                 .Build())
+      .Bind(A, FieldId::kIpSrc);
+  b.AddStage("drop")
+      .Match(PatternBuilder::Egress().EqVar(FieldId::kIpDst, A).Dropped().Build())
+      .AbortOn(PatternBuilder::Arrival()
+                   .EqVar(FieldId::kIpSrc, A)
+                   .NeMasked(FieldId::kTcpFlags, 0, kTcpFin | kTcpRst)
+                   .Build());
+  MonitorEngine eng(std::move(b).Build());
+
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kIpSrc, 10}, {FieldId::kTcpFlags, 0}}));
+  EXPECT_EQ(eng.live_instances(), 1u);
+  // FIN discharges the obligation.
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1,
+                      {{FieldId::kIpSrc, 10}, {FieldId::kTcpFlags, kTcpFin}}));
+  EXPECT_EQ(eng.live_instances(), 0u);
+  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+  // The drop after close does not alarm.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2,
+                      {{FieldId::kIpDst, 10}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(EngineTest, AbortRunsBeforeAdvanceOnSameEvent) {
+  // An event matching both an abort and the awaited stage must abort.
+  PropertyBuilder b("abort-priority", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(A, FieldId::kIpSrc);
+  b.AddStage("s1")
+      .Match(PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build())
+      .AbortOn(PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build());
+  MonitorEngine eng(std::move(b).Build());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 5}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1, {{FieldId::kIpSrc, 5}}));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+}
+
+TEST(EngineTest, SingleStagePropertyViolatesImmediately) {
+  PropertyBuilder b("one-shot", "any drop is a violation");
+  b.AddStage("drop").Match(PatternBuilder::Egress().Dropped().Build());
+  MonitorEngine eng(std::move(b).Build());
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kEgress, 0, {{FieldId::kEgressAction, kDrop}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+TEST(EngineTest, OneEventCannotAdvanceTwoStagesOfOneInstance) {
+  // Stage 1 and stage 2 both match the same egress; a single event must
+  // advance an instance at most once.
+  PropertyBuilder b("double", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(A, FieldId::kIpSrc);
+  b.AddStage("s1").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build());
+  b.AddStage("s2").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build());
+  MonitorEngine eng(std::move(b).Build());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 5}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1, {{FieldId::kIpSrc, 5}}));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.live_instances(), 1u);
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2, {{FieldId::kIpSrc, 5}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(EngineTest, ProvenanceLevels) {
+  // kNone: no bindings. kLimited: bindings only. kFull: event history.
+  for (const auto level : {ProvenanceLevel::kNone, ProvenanceLevel::kLimited,
+                           ProvenanceLevel::kFull}) {
+    MonitorConfig mc;
+    mc.provenance = level;
+    MonitorEngine eng(TwoStage(), mc);
+    eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                        {{FieldId::kInPort, 1},
+                         {FieldId::kIpSrc, 10},
+                         {FieldId::kIpDst, 20}}));
+    eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
+                        {{FieldId::kIpSrc, 20},
+                         {FieldId::kIpDst, 10},
+                         {FieldId::kEgressAction, kDrop}}));
+    ASSERT_EQ(eng.violations().size(), 1u);
+    const Violation& v = eng.violations()[0];
+    if (level == ProvenanceLevel::kNone) {
+      EXPECT_TRUE(v.bindings.empty());
+      EXPECT_TRUE(v.history.empty());
+    } else if (level == ProvenanceLevel::kLimited) {
+      ASSERT_EQ(v.bindings.size(), 2u);
+      EXPECT_EQ(v.bindings[0].first, "A");
+      EXPECT_EQ(v.bindings[0].second, 10u);
+      EXPECT_TRUE(v.history.empty());
+    } else {
+      EXPECT_EQ(v.bindings.size(), 2u);
+      ASSERT_EQ(v.history.size(), 2u);
+      EXPECT_EQ(v.history[0].stage, 0u);
+      EXPECT_EQ(v.history[0].fields.Get(FieldId::kIpSrc), 10u);
+      EXPECT_EQ(v.history[1].stage, 1u);
+    }
+  }
+}
+
+TEST(EngineTest, MaxInstancesEvictsOldest) {
+  MonitorConfig mc;
+  mc.max_instances = 3;
+  MonitorEngine eng(TwoStage(), mc);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    eng.ProcessEvent(Ev(DataplaneEventType::kArrival, static_cast<int>(i),
+                        {{FieldId::kInPort, 1},
+                         {FieldId::kIpSrc, 100 + i},
+                         {FieldId::kIpDst, 20}}));
+  }
+  EXPECT_EQ(eng.live_instances(), 3u);
+  EXPECT_EQ(eng.stats().instances_evicted, 2u);
+  // The two oldest (src 100, 101) were evicted: their violation is missed.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 10,
+                      {{FieldId::kIpSrc, 20},
+                       {FieldId::kIpDst, 100},
+                       {FieldId::kEgressAction, kDrop}}));
+  EXPECT_TRUE(eng.violations().empty());
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 11,
+                      {{FieldId::kIpSrc, 20},
+                       {FieldId::kIpDst, 104},
+                       {FieldId::kEgressAction, kDrop}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(EngineTest, StatsAccounting) {
+  MonitorEngine eng(TwoStage());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kInPort, 1},
+                       {FieldId::kIpSrc, 10},
+                       {FieldId::kIpDst, 20}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
+                      {{FieldId::kIpSrc, 20},
+                       {FieldId::kIpDst, 10},
+                       {FieldId::kEgressAction, kDrop}}));
+  const MonitorStats& s = eng.stats();
+  EXPECT_EQ(s.events, 2u);
+  EXPECT_EQ(s.instances_created, 1u);
+  EXPECT_EQ(s.violations, 1u);
+  EXPECT_EQ(s.peak_live, 1u);
+  // Creation commits stage 0 and the egress commits stage 1.
+  EXPECT_EQ(s.instances_advanced, 1u);
+}
+
+TEST(EngineTest, ValidatePropertyRejectsBadSpecs) {
+  Property p;
+  EXPECT_FALSE(p.Validate().empty());  // no name/stages
+  p.name = "x";
+  EXPECT_FALSE(p.Validate().empty());  // no stages
+  p.stages.emplace_back();
+  p.stages[0].kind = StageKind::kTimeout;
+  EXPECT_FALSE(p.Validate().empty());  // timeout first
+  p.stages[0].kind = StageKind::kEvent;
+  EXPECT_TRUE(p.Validate().empty());
+  // Timeout stage without preceding window:
+  Stage timeout_stage;
+  timeout_stage.kind = StageKind::kTimeout;
+  p.stages.push_back(timeout_stage);
+  EXPECT_FALSE(p.Validate().empty());
+  p.stages[0].window = Duration::Seconds(1);
+  EXPECT_TRUE(p.Validate().empty());
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,118 @@
+// MonitorSet (multi-property fan-out) and spec introspection/printing.
+#include <gtest/gtest.h>
+
+#include "monitor/monitor_set.hpp"
+#include "monitor/property_builder.hpp"
+#include "properties/catalog.hpp"
+#include "spl/spl.hpp"
+
+namespace swmon {
+namespace {
+
+DataplaneEvent Ev(DataplaneEventType type, std::int64_t ms,
+                  std::initializer_list<std::pair<FieldId, std::uint64_t>> kv) {
+  DataplaneEvent ev;
+  ev.type = type;
+  ev.time = SimTime::Zero() + Duration::Millis(ms);
+  for (const auto& [k, v] : kv) ev.fields.Set(k, v);
+  return ev;
+}
+
+TEST(MonitorSetTest, FansOutToEveryEngine) {
+  MonitorSet set;
+  set.Add(FirewallReturnNotDropped());
+  set.Add(LearningSwitchNoFloodAfterLearn());
+  ASSERT_EQ(set.size(), 2u);
+
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 1,
+                          {{FieldId::kInPort, 1},
+                           {FieldId::kIpSrc, 10},
+                           {FieldId::kIpDst, 20},
+                           {FieldId::kEthSrc, 0xaa}}));
+  EXPECT_EQ(set.engine(0).stats().events, 1u);
+  EXPECT_EQ(set.engine(1).stats().events, 1u);
+  EXPECT_EQ(set.engine(0).live_instances(), 1u);
+  EXPECT_EQ(set.engine(1).live_instances(), 1u);
+
+  // A drop of the return traffic violates only the firewall property.
+  set.OnDataplaneEvent(
+      Ev(DataplaneEventType::kEgress, 2,
+         {{FieldId::kIpSrc, 20},
+          {FieldId::kIpDst, 10},
+          {FieldId::kEgressAction,
+           static_cast<std::uint64_t>(EgressActionValue::kDrop)}}));
+  EXPECT_EQ(set.TotalViolations(), 1u);
+  const auto all = set.AllViolations();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].property, "fw-return-not-dropped");
+}
+
+TEST(MonitorSetTest, AdvanceTimeReachesEveryEngine) {
+  MonitorSet set;
+  set.Add(ArpProxyReplyDeadline());
+  set.Add(DhcpReplyDeadline());
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 1,
+                          {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 2,
+                          {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 3,
+                          {{FieldId::kDhcpMsgType, 3},
+                           {FieldId::kDhcpChaddr, 0xaa},
+                           {FieldId::kDhcpXid, 1}}));
+  set.AdvanceTime(SimTime::Zero() + Duration::Seconds(30));
+  EXPECT_EQ(set.TotalViolations(), 2u);  // both deadlines fired
+}
+
+TEST(SpecPrintTest, ToStringShowsTheObservationStructure) {
+  const Property p = NatReverseTranslation();
+  const std::string text = p.ToString();
+  EXPECT_NE(text.find("nat-reverse-translation"), std::string::npos);
+  EXPECT_NE(text.find("(1)"), std::string::npos);
+  EXPECT_NE(text.find("packet_id==$pid1"), std::string::npos);
+  EXPECT_NE(text.find("!("), std::string::npos);  // the forbidden group
+  EXPECT_NE(text.find("symmetric"), std::string::npos);
+}
+
+TEST(SpecPrintTest, TimeoutStagesAndWindowsRender) {
+  const std::string text = ArpProxyReplyDeadline().ToString();
+  EXPECT_NE(text.find("TIMEOUT"), std::string::npos);
+  EXPECT_NE(text.find("window=1s"), std::string::npos);
+  EXPECT_NE(text.find("unless"), std::string::npos);
+}
+
+TEST(SpecPrintTest, ViolationToStringIsReadable) {
+  Violation v;
+  v.property = "demo";
+  v.time = SimTime::Zero() + Duration::Millis(1500);
+  v.trigger_stage = "the end";
+  v.bindings = {{"A", 7}};
+  const std::string text = v.ToString();
+  EXPECT_NE(text.find("VIOLATION demo"), std::string::npos);
+  EXPECT_NE(text.find("A=7"), std::string::npos);
+  EXPECT_NE(text.find("the end"), std::string::npos);
+}
+
+TEST(SpecPrintTest, EverySplFileInTheRepoParses) {
+  // The shipped example properties must stay valid.
+  for (const char* path : {"examples/properties/firewall.spl",
+                           "examples/properties/arp_deadline.spl",
+                           "examples/properties/syn_flood.spl"}) {
+    std::FILE* f = std::fopen(path, "rb");
+    if (f == nullptr) {
+      // Running from the build tree: try one level up.
+      const std::string alt = std::string("../") + path;
+      f = std::fopen(alt.c_str(), "rb");
+    }
+    if (f == nullptr) GTEST_SKIP() << "repo files not reachable from cwd";
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    const auto result = ParseSpl(text);
+    EXPECT_TRUE(result.ok()) << path << ": " << result.error;
+  }
+}
+
+}  // namespace
+}  // namespace swmon

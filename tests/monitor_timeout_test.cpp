@@ -1,0 +1,226 @@
+// Timer semantics: Feature 3 (state-expiring windows, refresh-on-rematch)
+// and Feature 7 (timeout-action observations, deliberately non-refreshing).
+#include <gtest/gtest.h>
+
+#include "monitor/engine.hpp"
+#include "monitor/property_builder.hpp"
+
+namespace swmon {
+namespace {
+
+DataplaneEvent Ev(DataplaneEventType type, std::int64_t ms,
+                  std::initializer_list<std::pair<FieldId, std::uint64_t>> kv) {
+  DataplaneEvent ev;
+  ev.type = type;
+  ev.time = SimTime::Zero() + Duration::Millis(ms);
+  for (const auto& [k, v] : kv) ev.fields.Set(k, v);
+  return ev;
+}
+
+constexpr std::uint64_t kDrop =
+    static_cast<std::uint64_t>(EgressActionValue::kDrop);
+
+/// Firewall-with-timeout shape: stage-0 window of 1s, optional refresh.
+Property Windowed(bool refresh) {
+  PropertyBuilder b("windowed", "test");
+  const VarId A = b.Var("A");
+  auto s0 = b.AddStage("out")
+                .Match(PatternBuilder::Arrival().Build())
+                .Bind(A, FieldId::kIpSrc)
+                .Window(Duration::Seconds(1));
+  if (refresh) s0.RefreshOnRematch();
+  b.AddStage("drop").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kIpDst, A).Dropped().Build());
+  return std::move(b).Build();
+}
+
+TEST(TimeoutTest, ViolationInsideWindow) {
+  MonitorEngine eng(Windowed(false));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 500,
+                      {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(TimeoutTest, WindowExpiryKillsInstance) {
+  MonitorEngine eng(Windowed(false));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
+  // The drop comes after the 1s window: no violation (Feature 3).
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1500,
+                      {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.stats().instances_expired, 1u);
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+TEST(TimeoutTest, ExpiryIsExactAtDeadline) {
+  MonitorEngine eng(Windowed(false));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
+  // Exactly at the deadline the window has elapsed (closed-open interval).
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1000,
+                      {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(TimeoutTest, RefreshOnRematchExtendsWindow) {
+  MonitorEngine eng(Windowed(true));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
+  // Re-match at 800ms pushes the deadline to 1800ms.
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 800, {{FieldId::kIpSrc, 1}}));
+  EXPECT_EQ(eng.stats().instances_refreshed, 1u);
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1500,
+                      {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(TimeoutTest, NoRefreshWithoutFlag) {
+  MonitorEngine eng(Windowed(false));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 800, {{FieldId::kIpSrc, 1}}));
+  EXPECT_EQ(eng.stats().instances_refreshed, 0u);
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1500,
+                      {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+/// ARP-proxy shape: reply learned, request opens a 1s window, a TIMEOUT
+/// observation fires unless a reply egress discharges it.
+Property TimeoutAction() {
+  PropertyBuilder b("timeout-action", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("learned")
+      .Match(PatternBuilder::Arrival().Eq(FieldId::kArpOp, 2).Build())
+      .Bind(A, FieldId::kArpSenderIp);
+  b.AddStage("request")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kArpOp, 1)
+                 .EqVar(FieldId::kArpTargetIp, A)
+                 .Build())
+      .Window(Duration::Seconds(1));
+  b.AddTimeoutStage("no reply")
+      .AbortOn(PatternBuilder::Egress()
+                   .Eq(FieldId::kArpOp, 2)
+                   .EqVar(FieldId::kArpSenderIp, A)
+                   .Build());
+  return std::move(b).Build();
+}
+
+TEST(TimeoutActionTest, FiresWhenNothingDischarges) {
+  MonitorEngine eng(TimeoutAction());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 100,
+                      {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  EXPECT_TRUE(eng.violations().empty());
+  // Nothing happens; advancing time past the deadline fires the negative
+  // observation (Feature 7).
+  eng.AdvanceTime(SimTime::Zero() + Duration::Millis(1200));
+  ASSERT_EQ(eng.violations().size(), 1u);
+  // The violation is stamped at the deadline, not at the advance call.
+  EXPECT_EQ(eng.violations()[0].time,
+            SimTime::Zero() + Duration::Millis(1100));
+  EXPECT_EQ(eng.stats().timeout_observations, 1u);
+}
+
+TEST(TimeoutActionTest, ReplyDischarges) {
+  MonitorEngine eng(TimeoutAction());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 100,
+                      {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 300,
+                      {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(5));
+  EXPECT_TRUE(eng.violations().empty());
+  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+}
+
+TEST(TimeoutActionTest, RepeatedRequestsDoNotResetTheTimer) {
+  // Sec 2.3's subtlety: requests every T-epsilon must still violate.
+  MonitorEngine eng(TimeoutAction());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 100,
+                      {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  // More requests arrive before the 1.1s deadline...
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 900,
+                      {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1050,
+                      {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  // ...but the deadline set by the FIRST request still fires.
+  eng.AdvanceTime(SimTime::Zero() + Duration::Millis(1200));
+  ASSERT_EQ(eng.violations().size(), 1u);
+  EXPECT_EQ(eng.violations()[0].time,
+            SimTime::Zero() + Duration::Millis(1100));
+}
+
+TEST(TimeoutActionTest, LateEventsAfterDeadlineSeeTheViolationFirst) {
+  // A quiet period covers the deadline; the next event must fire pending
+  // timers before being processed.
+  MonitorEngine eng(TimeoutAction());
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0,
+                      {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 100,
+                      {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  // The discharging reply arrives too late (t=2s > deadline 1.1s).
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2000,
+                      {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  ASSERT_EQ(eng.violations().size(), 1u);
+  EXPECT_EQ(eng.violations()[0].time,
+            SimTime::Zero() + Duration::Millis(1100));
+}
+
+TEST(TimeoutTest, WindowFromFieldUsesEventValue) {
+  PropertyBuilder b("lease", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("ack")
+      .Match(PatternBuilder::Egress().Build())
+      .Bind(A, FieldId::kDhcpYiaddr)
+      .WindowFromField(FieldId::kDhcpLeaseSecs);
+  b.AddStage("reuse").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kDhcpYiaddr, A).Dropped().Build());
+  MonitorEngine eng(std::move(b).Build());
+
+  DataplaneEvent ack = Ev(DataplaneEventType::kEgress, 0,
+                          {{FieldId::kDhcpYiaddr, 42},
+                           {FieldId::kDhcpLeaseSecs, 3}});  // 3-second lease
+  eng.ProcessEvent(ack);
+  EXPECT_EQ(eng.live_instances(), 1u);
+  // Within the lease the instance is alive; after it, expired.
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(2));
+  EXPECT_EQ(eng.live_instances(), 1u);
+  eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(3));
+  EXPECT_EQ(eng.live_instances(), 0u);
+  EXPECT_EQ(eng.stats().instances_expired, 1u);
+}
+
+TEST(TimeoutTest, MissingWindowFieldBlocksCreation) {
+  PropertyBuilder b("lease2", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("ack")
+      .Match(PatternBuilder::Egress().Build())
+      .Bind(A, FieldId::kDhcpYiaddr)
+      .WindowFromField(FieldId::kDhcpLeaseSecs);
+  b.AddStage("x").Match(
+      PatternBuilder::Egress().EqVar(FieldId::kDhcpYiaddr, A).Build());
+  MonitorEngine eng(std::move(b).Build());
+  // ACK without a lease option cannot start an instance.
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kEgress, 0, {{FieldId::kDhcpYiaddr, 42}}));
+  EXPECT_EQ(eng.live_instances(), 0u);
+}
+
+TEST(TimeoutTest, PerInstanceTimersAreIndependent) {
+  MonitorEngine eng(Windowed(false));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 600, {{FieldId::kIpSrc, 2}}));
+  // Instance 1 expires at 1s; instance 2 at 1.6s.
+  eng.AdvanceTime(SimTime::Zero() + Duration::Millis(1200));
+  EXPECT_EQ(eng.live_instances(), 1u);
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1300,
+                      {{FieldId::kIpDst, 2}, {FieldId::kEgressAction, kDrop}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,67 @@
+// End-to-end: NAT + the Sec-2.2 reverse-translation property.
+#include <gtest/gtest.h>
+
+#include "workload/nat_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(NatScenarioTest, CorrectNatIsQuiet) {
+  NatScenarioConfig config;
+  const auto out = RunNatScenario(config);
+  EXPECT_EQ(out.TotalViolations(), 0u);
+  EXPECT_GT(out.packets_injected, 0u);
+}
+
+TEST(NatScenarioTest, WrongReversePortDetected) {
+  NatScenarioConfig config;
+  config.fault = NatFault::kWrongReversePort;
+  const auto out = RunNatScenario(config);
+  EXPECT_GT(out.ViolationsOf("nat-reverse-translation"), 0u);
+}
+
+TEST(NatScenarioTest, WrongReverseAddrDetected) {
+  NatScenarioConfig config;
+  config.fault = NatFault::kWrongReverseAddr;
+  const auto out = RunNatScenario(config);
+  EXPECT_GT(out.ViolationsOf("nat-reverse-translation"), 0u);
+}
+
+TEST(NatScenarioTest, ForgetMappingDropsAreNotMistranslations) {
+  // Dropped inbound packets never reach observation (4): the translation
+  // property is about rewrites, not liveness.
+  NatScenarioConfig config;
+  config.fault = NatFault::kForgetMapping;
+  const auto out = RunNatScenario(config);
+  EXPECT_EQ(out.ViolationsOf("nat-reverse-translation"), 0u);
+}
+
+TEST(NatScenarioTest, ViolationCarriesTranslationBindings) {
+  NatScenarioConfig config;
+  config.fault = NatFault::kWrongReversePort;
+  config.flows = 1;
+  config.exchanges_per_flow = 1;
+  const auto out = RunNatScenario(config);
+  const auto violations = out.monitors->AllViolations();
+  ASSERT_FALSE(violations.empty());
+  const Violation& v = violations[0];
+  // Limited provenance carries all bound header values (A, P, B, Q, A', P').
+  EXPECT_GE(v.bindings.size(), 6u);
+}
+
+class NatSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NatSeedSweep, QuietWhenCorrectDetectsWhenBroken) {
+  NatScenarioConfig config;
+  config.options.seed = GetParam();
+  config.flows = 10 + GetParam() % 7;
+  EXPECT_EQ(RunNatScenario(config).TotalViolations(), 0u);
+  config.fault = NatFault::kWrongReversePort;
+  EXPECT_GT(RunNatScenario(config).TotalViolations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NatSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,198 @@
+// Network simulator wiring: links, latency, delivery, link state, traces,
+// and the controller-redirect baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/simple_forwarder.hpp"
+#include "backends/controller_monitor.hpp"
+#include "netsim/network.hpp"
+#include "netsim/trace.hpp"
+#include "packet/builder.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr MacAddr kMacA(0x02, 0, 0, 0, 0, 1);
+constexpr MacAddr kMacB(0x02, 0, 0, 0, 0, 2);
+constexpr Ipv4Addr kIpA(10, 0, 0, 1);
+constexpr Ipv4Addr kIpB(10, 0, 0, 2);
+
+Packet Ping() { return BuildIcmpEcho(kMacA, kMacB, kIpA, kIpB, true, 1, 1); }
+
+TEST(NetworkTest, DeliversAcrossTheSwitchWithLinkLatency) {
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  SimpleForwarderApp app(std::map<PortId, PortId>{{PortId{1}, PortId{2}}});
+  sw.SetProgram(&app);
+  Host& a = net.AddHost("a", kMacA, kIpA);
+  Host& b = net.AddHost("b", kMacB, kIpB);
+  net.Attach(1, PortId{1}, a, Duration::Micros(10));
+  net.Attach(1, PortId{2}, b, Duration::Micros(30));
+
+  SimTime delivered_at;
+  b.SetReceiver([&](Host&, const Packet&, SimTime at) { delivered_at = at; });
+  net.SendFromHost(a, Ping(), SimTime::Zero() + Duration::Millis(1));
+  net.Run();
+
+  EXPECT_EQ(b.received_count(), 1u);
+  // send + 10us uplink + 30us downlink.
+  EXPECT_EQ(delivered_at,
+            SimTime::Zero() + Duration::Millis(1) + Duration::Micros(40));
+}
+
+TEST(NetworkTest, UnattachedPortsDiscard) {
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 4);
+  SimpleForwarderApp app(std::map<PortId, PortId>{{PortId{1}, PortId{3}}});  // port 3 unattached
+  sw.SetProgram(&app);
+  Host& a = net.AddHost("a", kMacA, kIpA);
+  net.Attach(1, PortId{1}, a);
+  net.SendFromHost(a, Ping(), SimTime::Zero() + Duration::Millis(1));
+  EXPECT_GT(net.Run(), 0u);  // no crash, packet vanishes
+}
+
+TEST(NetworkTest, DownedLinksBlockBothDirections) {
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  SimpleForwarderApp app({{PortId{1}, PortId{2}}, {PortId{2}, PortId{1}}});
+  sw.SetProgram(&app);
+  Host& a = net.AddHost("a", kMacA, kIpA);
+  Host& b = net.AddHost("b", kMacB, kIpB);
+  net.Attach(1, PortId{1}, a);
+  net.Attach(1, PortId{2}, b);
+
+  net.SetLinkState(1, PortId{2}, false, SimTime::Zero() + Duration::Millis(1));
+  net.SendFromHost(a, Ping(), SimTime::Zero() + Duration::Millis(2));
+  net.SetLinkState(1, PortId{2}, true, SimTime::Zero() + Duration::Millis(3));
+  net.SendFromHost(a, Ping(), SimTime::Zero() + Duration::Millis(4));
+  net.Run();
+  EXPECT_EQ(b.received_count(), 1u);  // only the post-recovery packet
+}
+
+TEST(NetworkTest, MultipleSwitchesAreIndependent) {
+  Network net;
+  SoftSwitch& sw1 = net.AddSwitch(1, 2);
+  SoftSwitch& sw2 = net.AddSwitch(2, 2);
+  SimpleForwarderApp app(std::map<PortId, PortId>{{PortId{1}, PortId{2}}});
+  sw1.SetProgram(&app);
+  sw2.SetProgram(&app);
+  Host& a1 = net.AddHost("a1", kMacA, kIpA);
+  Host& b1 = net.AddHost("b1", kMacB, kIpB);
+  Host& a2 = net.AddHost("a2", kMacA, kIpA);
+  Host& b2 = net.AddHost("b2", kMacB, kIpB);
+  net.Attach(1, PortId{1}, a1);
+  net.Attach(1, PortId{2}, b1);
+  net.Attach(2, PortId{1}, a2);
+  net.Attach(2, PortId{2}, b2);
+
+  TraceRecorder t1, t2;
+  sw1.AddObserver(&t1);
+  sw2.AddObserver(&t2);
+  net.SendFromHost(a1, Ping(), SimTime::Zero() + Duration::Millis(1));
+  net.SendFromHost(a2, Ping(), SimTime::Zero() + Duration::Millis(1));
+  net.Run();
+  EXPECT_EQ(b1.received_count(), 1u);
+  EXPECT_EQ(b2.received_count(), 1u);
+  ASSERT_EQ(t1.size(), 2u);
+  EXPECT_EQ(t1.events()[0].fields.Get(FieldId::kSwitchId), 1u);
+  EXPECT_EQ(t2.events()[0].fields.Get(FieldId::kSwitchId), 2u);
+}
+
+TEST(TraceTest, RecordsAndReplays) {
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  SimpleForwarderApp app(std::map<PortId, PortId>{{PortId{1}, PortId{2}}});
+  sw.SetProgram(&app);
+  Host& a = net.AddHost("a", kMacA, kIpA);
+  Host& b = net.AddHost("b", kMacB, kIpB);
+  net.Attach(1, PortId{1}, a);
+  net.Attach(1, PortId{2}, b);
+  TraceRecorder trace;
+  sw.AddObserver(&trace);
+  for (int i = 0; i < 3; ++i)
+    net.SendFromHost(a, Ping(), SimTime::Zero() + Duration::Millis(i + 1));
+  net.Run();
+
+  EXPECT_EQ(trace.size(), 6u);  // arrival + egress per packet
+  EXPECT_EQ(trace.CountType(DataplaneEventType::kArrival), 3u);
+
+  TraceRecorder copy;
+  trace.ReplayInto(copy);
+  EXPECT_EQ(copy.size(), trace.size());
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceTest, EventsCarryPacketBytes) {
+  Network net;
+  SoftSwitch& sw = net.AddSwitch(1, 2);
+  SimpleForwarderApp app(std::map<PortId, PortId>{{PortId{1}, PortId{2}}});
+  sw.SetProgram(&app);
+  Host& a = net.AddHost("a", kMacA, kIpA);
+  net.Attach(1, PortId{1}, a);
+  TraceRecorder trace;
+  sw.AddObserver(&trace);
+  const Packet pkt = Ping();
+  const std::size_t wire_size = pkt.size();
+  net.SendFromHost(a, pkt, SimTime::Zero() + Duration::Millis(1));
+  net.Run();
+  ASSERT_GE(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].packet_bytes, wire_size);
+}
+
+TEST(ControllerMonitorTest, MirrorsBytesAndLagsDetection) {
+  const CostParams params;  // 1ms RTT
+  ControllerMonitor external(FirewallReturnNotDropped(), params);
+
+  DataplaneEvent out;
+  out.type = DataplaneEventType::kArrival;
+  out.time = SimTime::Zero() + Duration::Millis(10);
+  out.fields.Set(FieldId::kInPort, 1);
+  out.fields.Set(FieldId::kIpSrc, 1);
+  out.fields.Set(FieldId::kIpDst, 2);
+  out.packet_bytes = 100;
+  external.OnDataplaneEvent(out);
+
+  DataplaneEvent drop;
+  drop.type = DataplaneEventType::kEgress;
+  drop.time = SimTime::Zero() + Duration::Millis(20);
+  drop.fields.Set(FieldId::kIpSrc, 2);
+  drop.fields.Set(FieldId::kIpDst, 1);
+  drop.fields.Set(FieldId::kEgressAction,
+                  static_cast<std::uint64_t>(EgressActionValue::kDrop));
+  drop.packet_bytes = 60;
+  external.OnDataplaneEvent(drop);
+
+  EXPECT_EQ(external.bytes_mirrored(), 160u);
+  EXPECT_EQ(external.events_mirrored(), 2u);
+  ASSERT_EQ(external.violations().size(), 1u);
+  // Detection is stamped half an RTT after the fact.
+  EXPECT_EQ(external.violations()[0].time,
+            SimTime::Zero() + Duration::Millis(20) + params.controller_rtt / 2);
+}
+
+TEST(HostTest, ReceiverAndBookkeeping) {
+  Host h("h", kMacA, kIpA);
+  int calls = 0;
+  h.SetReceiver([&](Host& self, const Packet&, SimTime) {
+    EXPECT_EQ(self.name(), "h");
+    ++calls;
+  });
+  h.Deliver(Ping(), SimTime::Zero());
+  h.Deliver(Ping(), SimTime::Zero());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(h.received_count(), 2u);
+  EXPECT_EQ(h.received().size(), 2u);
+  h.ClearReceived();
+  EXPECT_EQ(h.received_count(), 0u);
+
+  h.set_keep_packets(false);
+  h.Deliver(Ping(), SimTime::Zero());
+  EXPECT_EQ(h.received_count(), 1u);
+  EXPECT_TRUE(h.received().empty());
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "packet/builder.hpp"
+#include "packet/checksum.hpp"
+#include "packet/parser.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(AddrTest, MacRoundTrip) {
+  const MacAddr m(0x01, 0x23, 0x45, 0x67, 0x89, 0xab);
+  EXPECT_EQ(m.ToString(), "01:23:45:67:89:ab");
+  const auto bytes = m.Bytes();
+  EXPECT_EQ(MacAddr::FromBytes(bytes.data()), m);
+}
+
+TEST(AddrTest, MacKinds) {
+  EXPECT_TRUE(MacAddr::Broadcast().IsBroadcast());
+  EXPECT_TRUE(MacAddr::Broadcast().IsMulticast());
+  EXPECT_FALSE(MacAddr(0x02, 0, 0, 0, 0, 1).IsMulticast());
+  EXPECT_TRUE(MacAddr(0x01, 0, 0x5e, 0, 0, 1).IsMulticast());
+}
+
+TEST(AddrTest, Ipv4Formatting) {
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1).ToString(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1).bits(), 0x0a000001u);
+}
+
+TEST(AddrTest, Subnets) {
+  const Ipv4Addr net(192, 168, 1, 0);
+  EXPECT_TRUE(Ipv4Addr(192, 168, 1, 77).InSubnet(net, 24));
+  EXPECT_FALSE(Ipv4Addr(192, 168, 2, 77).InSubnet(net, 24));
+  EXPECT_TRUE(Ipv4Addr(8, 8, 8, 8).InSubnet(net, 0));
+}
+
+TEST(ChecksumTest, Rfc1071Example) {
+  // Canonical example from RFC 1071 §3.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(std::span(data, 8)),
+            static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(ChecksumTest, OddLengthHandled) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~0x0402.
+  EXPECT_EQ(InternetChecksum(std::span(data, 3)),
+            static_cast<std::uint16_t>(~0x0402 & 0xffff));
+}
+
+TEST(BuilderTest, ArpRequestParsesBack) {
+  const Packet pkt = BuildArpRequest(MacAddr(0x02, 0, 0, 0, 0, 1),
+                                     Ipv4Addr(10, 0, 0, 1),
+                                     Ipv4Addr(10, 0, 0, 2));
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  ASSERT_TRUE(parsed.valid);
+  ASSERT_TRUE(parsed.arp.has_value());
+  EXPECT_EQ(parsed.arp->op, 1);
+  EXPECT_EQ(parsed.arp->sender_ip, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(parsed.arp->target_ip, Ipv4Addr(10, 0, 0, 2));
+  EXPECT_TRUE(parsed.eth.dst.IsBroadcast());
+  EXPECT_EQ(parsed.fields.Get(FieldId::kArpOp), 1u);
+  EXPECT_EQ(parsed.fields.Get(FieldId::kArpTargetIp),
+            Ipv4Addr(10, 0, 0, 2).bits());
+}
+
+TEST(BuilderTest, TcpParsesBackWithFlagsAndPorts) {
+  const Packet pkt =
+      BuildTcp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+               Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1234, 80,
+               kTcpSyn | kTcpAck);
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  ASSERT_TRUE(parsed.tcp.has_value());
+  EXPECT_EQ(parsed.tcp->src_port, 1234);
+  EXPECT_EQ(parsed.tcp->dst_port, 80);
+  EXPECT_EQ(parsed.tcp->flags, kTcpSyn | kTcpAck);
+  EXPECT_EQ(parsed.fields.Get(FieldId::kIpProto),
+            static_cast<std::uint64_t>(IpProto::kTcp));
+  EXPECT_EQ(parsed.fields.Get(FieldId::kL4SrcPort), 1234u);
+}
+
+TEST(BuilderTest, Ipv4HeaderChecksumValidates) {
+  const Packet pkt =
+      BuildTcp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+               Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1, 2, kTcpAck);
+  // Recomputing the checksum over the IP header (bytes 14..34) must be 0.
+  EXPECT_EQ(InternetChecksum(std::span(pkt.data).subspan(14, 20)), 0);
+}
+
+TEST(BuilderTest, UdpAndIcmpParse) {
+  const std::uint8_t payload[] = {1, 2, 3};
+  const Packet udp =
+      BuildUdp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+               Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 53, 5353,
+               std::span(payload, 3));
+  const ParsedPacket up = ParsePacket(udp, ParseDepth::kL7);
+  ASSERT_TRUE(up.udp.has_value());
+  EXPECT_EQ(up.udp->length, 8 + 3);
+  EXPECT_EQ(up.l4_payload.size(), 3u);
+
+  const Packet icmp = BuildIcmpEcho(MacAddr(0x02, 0, 0, 0, 0, 1),
+                                    MacAddr(0x02, 0, 0, 0, 0, 2),
+                                    Ipv4Addr(10, 0, 0, 1),
+                                    Ipv4Addr(10, 0, 0, 2), true, 7, 9);
+  const ParsedPacket ip = ParsePacket(icmp, ParseDepth::kL7);
+  ASSERT_TRUE(ip.icmp.has_value());
+  EXPECT_EQ(ip.icmp->type, static_cast<std::uint8_t>(IcmpType::kEchoRequest));
+  EXPECT_EQ(ip.fields.Get(FieldId::kIcmpType), 8u);
+}
+
+TEST(ParserTest, DepthLimitsRespected) {
+  const Packet pkt =
+      BuildTcp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+               Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1234, 80,
+               kTcpSyn);
+  const ParsedPacket l2 = ParsePacket(pkt, ParseDepth::kL2);
+  EXPECT_TRUE(l2.valid);
+  EXPECT_FALSE(l2.ipv4.has_value());
+  const ParsedPacket l3 = ParsePacket(pkt, ParseDepth::kL3);
+  EXPECT_TRUE(l3.ipv4.has_value());
+  EXPECT_FALSE(l3.tcp.has_value());
+  EXPECT_FALSE(l3.fields.Has(FieldId::kL4SrcPort));
+}
+
+TEST(ParserTest, TruncatedFrameIsInvalid) {
+  Packet pkt;
+  pkt.data = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(ParsePacket(pkt, ParseDepth::kL7).valid);
+}
+
+TEST(ParserTest, TruncatedInnerLayerKeepsOuter) {
+  Packet pkt =
+      BuildTcp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+               Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 1234, 80,
+               kTcpSyn);
+  pkt.data.resize(14 + 20 + 4);  // cut into the TCP header
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  EXPECT_TRUE(parsed.valid);
+  EXPECT_TRUE(parsed.ipv4.has_value());
+  EXPECT_FALSE(parsed.tcp.has_value());
+}
+
+TEST(DhcpTest, MessageRoundTrip) {
+  DhcpMessage msg;
+  msg.op = 2;
+  msg.msg_type = DhcpMsgType::kAck;
+  msg.xid = 0x31337;
+  msg.yiaddr = Ipv4Addr(10, 1, 0, 23);
+  msg.chaddr = MacAddr(0x02, 0, 0, 0, 0, 9);
+  msg.lease_secs = 3600;
+  msg.server_id = Ipv4Addr(10, 1, 0, 1);
+  ByteWriter w;
+  msg.Encode(w);
+
+  DhcpMessage decoded;
+  ByteReader r(std::span(w.bytes()));
+  ASSERT_TRUE(decoded.Decode(r));
+  EXPECT_EQ(decoded.msg_type, DhcpMsgType::kAck);
+  EXPECT_EQ(decoded.xid, 0x31337u);
+  EXPECT_EQ(decoded.yiaddr, Ipv4Addr(10, 1, 0, 23));
+  EXPECT_EQ(decoded.chaddr, MacAddr(0x02, 0, 0, 0, 0, 9));
+  ASSERT_TRUE(decoded.lease_secs.has_value());
+  EXPECT_EQ(*decoded.lease_secs, 3600u);
+  ASSERT_TRUE(decoded.server_id.has_value());
+  EXPECT_EQ(*decoded.server_id, Ipv4Addr(10, 1, 0, 1));
+}
+
+TEST(DhcpTest, RejectsBadCookieAndMissingMsgType) {
+  DhcpMessage msg;
+  ByteWriter w;
+  msg.Encode(w);
+  auto bytes = w.bytes();
+  bytes[236] ^= 0xff;  // corrupt the magic cookie
+  DhcpMessage decoded;
+  ByteReader r{std::span(bytes)};
+  EXPECT_FALSE(decoded.Decode(r));
+}
+
+TEST(DhcpTest, FullPacketThroughParser) {
+  DhcpMessage msg;
+  msg.op = 1;
+  msg.msg_type = DhcpMsgType::kRequest;
+  msg.xid = 42;
+  msg.chaddr = MacAddr(0x02, 0, 0, 0, 0, 3);
+  const Packet pkt = BuildDhcp(msg.chaddr, MacAddr::Broadcast(),
+                               Ipv4Addr::Zero(), Ipv4Addr::Broadcast(),
+                               /*from_client=*/true, msg);
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  ASSERT_TRUE(parsed.dhcp.has_value());
+  EXPECT_EQ(parsed.fields.Get(FieldId::kDhcpMsgType),
+            static_cast<std::uint64_t>(DhcpMsgType::kRequest));
+  EXPECT_EQ(parsed.fields.Get(FieldId::kDhcpXid), 42u);
+}
+
+TEST(DhcpTest, L4DepthDoesNotSeeDhcp) {
+  DhcpMessage msg;
+  msg.msg_type = DhcpMsgType::kDiscover;
+  const Packet pkt = BuildDhcp(MacAddr(0x02, 0, 0, 0, 0, 3),
+                               MacAddr::Broadcast(), Ipv4Addr::Zero(),
+                               Ipv4Addr::Broadcast(), true, msg);
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL4);
+  EXPECT_FALSE(parsed.dhcp.has_value());
+  EXPECT_FALSE(parsed.fields.Has(FieldId::kDhcpMsgType));
+}
+
+TEST(FtpTest, ParsePortCommand) {
+  const auto msg = ParseFtpControl("PORT 10,0,0,5,19,137\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, FtpMsgKind::kPortCommand);
+  EXPECT_EQ(msg->data_addr, Ipv4Addr(10, 0, 0, 5));
+  EXPECT_EQ(msg->data_port, 19 * 256 + 137);
+}
+
+TEST(FtpTest, ParsePasvReply) {
+  const auto msg =
+      ParseFtpControl("227 Entering Passive Mode (198,51,100,1,200,10)\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, FtpMsgKind::kPasvReply);
+  EXPECT_EQ(msg->data_port, 200 * 256 + 10);
+}
+
+TEST(FtpTest, MalformedTuplesAreOther) {
+  EXPECT_EQ(ParseFtpControl("PORT 10,0,0,5,19\r\n")->kind, FtpMsgKind::kOther);
+  EXPECT_EQ(ParseFtpControl("PORT 300,0,0,5,19,137\r\n")->kind,
+            FtpMsgKind::kOther);
+  EXPECT_EQ(ParseFtpControl("USER anonymous\r\n")->kind, FtpMsgKind::kOther);
+  EXPECT_FALSE(ParseFtpControl("").has_value());
+}
+
+TEST(FtpTest, FormatRoundTrip) {
+  const auto line = FormatFtpPort(Ipv4Addr(10, 0, 0, 5), 5001);
+  const auto msg = ParseFtpControl(line);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, FtpMsgKind::kPortCommand);
+  EXPECT_EQ(msg->data_port, 5001);
+}
+
+TEST(FtpTest, ThroughParserOnControlPort) {
+  const Packet pkt = BuildFtpControlLine(
+      MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+      Ipv4Addr(10, 0, 0, 1), Ipv4Addr(198, 51, 100, 1), 40000,
+      kFtpControlPort, FormatFtpPort(Ipv4Addr(10, 0, 0, 1), 5001));
+  const ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  ASSERT_TRUE(parsed.ftp.has_value());
+  EXPECT_EQ(parsed.fields.Get(FieldId::kFtpDataPort), 5001u);
+}
+
+TEST(SetFieldTest, RewriteAndReencode) {
+  const Packet pkt =
+      BuildTcp(MacAddr(0x02, 0, 0, 0, 0, 1), MacAddr(0x02, 0, 0, 0, 0, 2),
+               Ipv4Addr(10, 0, 0, 1), Ipv4Addr(198, 51, 100, 1), 1234, 80,
+               kTcpAck);
+  ParsedPacket parsed = ParsePacket(pkt, ParseDepth::kL7);
+  ASSERT_TRUE(SetPacketField(parsed, FieldId::kIpSrc,
+                             Ipv4Addr(203, 0, 113, 1).bits()));
+  ASSERT_TRUE(SetPacketField(parsed, FieldId::kL4SrcPort, 50001));
+  const std::vector<std::uint8_t> bytes = EncodeParsed(parsed);
+
+  const ParsedPacket reparsed =
+      ParsePacket(std::span(bytes), ParseDepth::kL7);
+  ASSERT_TRUE(reparsed.ipv4.has_value());
+  EXPECT_EQ(reparsed.ipv4->src, Ipv4Addr(203, 0, 113, 1));
+  EXPECT_EQ(reparsed.tcp->src_port, 50001);
+  // Checksums must be recomputed correctly.
+  EXPECT_EQ(InternetChecksum(std::span(bytes).subspan(14, 20)), 0);
+}
+
+TEST(SetFieldTest, RejectsAbsentLayers) {
+  const Packet arp = BuildArpRequest(MacAddr(0x02, 0, 0, 0, 0, 1),
+                                     Ipv4Addr(10, 0, 0, 1),
+                                     Ipv4Addr(10, 0, 0, 2));
+  ParsedPacket parsed = ParsePacket(arp, ParseDepth::kL7);
+  EXPECT_FALSE(SetPacketField(parsed, FieldId::kIpSrc, 1));
+  EXPECT_FALSE(SetPacketField(parsed, FieldId::kL4SrcPort, 1));
+  EXPECT_FALSE(SetPacketField(parsed, FieldId::kPacketId, 1));
+}
+
+TEST(FieldMapTest, PresenceTracking) {
+  FieldMap f;
+  EXPECT_FALSE(f.Has(FieldId::kIpSrc));
+  EXPECT_EQ(f.Get(FieldId::kIpSrc), std::nullopt);
+  f.Set(FieldId::kIpSrc, 7);
+  EXPECT_TRUE(f.Has(FieldId::kIpSrc));
+  EXPECT_EQ(f.Get(FieldId::kIpSrc), 7u);
+  f.Clear(FieldId::kIpSrc);
+  EXPECT_FALSE(f.Has(FieldId::kIpSrc));
+}
+
+TEST(FieldMapTest, LayersAssigned) {
+  EXPECT_EQ(LayerOf(FieldId::kEthSrc), FieldLayer::kL2);
+  EXPECT_EQ(LayerOf(FieldId::kArpOp), FieldLayer::kL3);
+  EXPECT_EQ(LayerOf(FieldId::kIpDst), FieldLayer::kL3);
+  EXPECT_EQ(LayerOf(FieldId::kL4DstPort), FieldLayer::kL4);
+  EXPECT_EQ(LayerOf(FieldId::kDhcpYiaddr), FieldLayer::kL7);
+  EXPECT_EQ(LayerOf(FieldId::kInPort), FieldLayer::kMeta);
+  EXPECT_EQ(LayerOf(FieldId::kPacketId), FieldLayer::kMeta);
+}
+
+}  // namespace
+}  // namespace swmon

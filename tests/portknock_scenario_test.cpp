@@ -1,0 +1,62 @@
+// End-to-end: port-knocking gate + T1.3 / T1.4.
+#include <gtest/gtest.h>
+
+#include "workload/portknock_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(PortKnockScenarioTest, CorrectGateIsQuiet) {
+  PortKnockScenarioConfig config;
+  const auto out = RunPortKnockScenario(config);
+  EXPECT_EQ(out.TotalViolations(), 0u);
+}
+
+TEST(PortKnockScenarioTest, IgnoredInvalidationDetected) {
+  PortKnockScenarioConfig config;
+  config.fault = PortKnockFault::kIgnoreInvalidation;
+  const auto out = RunPortKnockScenario(config);
+  // Each corrupted session opens the gate anyway: one violation each.
+  EXPECT_EQ(out.ViolationsOf("knock-invalidation"),
+            config.corrupted_sessions);
+  // Clean sessions still open legitimately.
+  EXPECT_EQ(out.ViolationsOf("knock-recognize"), 0u);
+}
+
+TEST(PortKnockScenarioTest, NeverOpenDetected) {
+  PortKnockScenarioConfig config;
+  config.fault = PortKnockFault::kNeverOpen;
+  const auto out = RunPortKnockScenario(config);
+  EXPECT_EQ(out.ViolationsOf("knock-recognize"), config.clean_sessions);
+  EXPECT_EQ(out.ViolationsOf("knock-invalidation"), 0u);
+}
+
+TEST(PortKnockScenarioTest, OnlyCleanSessions) {
+  PortKnockScenarioConfig config;
+  config.corrupted_sessions = 0;
+  config.fault = PortKnockFault::kIgnoreInvalidation;
+  // Without corrupted sequences, the invalidation bug is unobservable.
+  EXPECT_EQ(RunPortKnockScenario(config).TotalViolations(), 0u);
+}
+
+class KnockSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(KnockSweep, CountsScaleWithSessions) {
+  PortKnockScenarioConfig config;
+  config.clean_sessions = GetParam().first;
+  config.corrupted_sessions = GetParam().second;
+  config.fault = PortKnockFault::kIgnoreInvalidation;
+  const auto out = RunPortKnockScenario(config);
+  EXPECT_EQ(out.ViolationsOf("knock-invalidation"), GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KnockSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{0, 1},
+                      std::pair<std::size_t, std::size_t>{1, 0},
+                      std::pair<std::size_t, std::size_t>{3, 7},
+                      std::pair<std::size_t, std::size_t>{10, 10}));
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,165 @@
+// The counting extension (Stage::min_count) — quantitative observations
+// beyond the paper's boolean scope (its Sec-4 future-work boundary):
+// "K events within T" properties like SYN-flood detection.
+#include <gtest/gtest.h>
+
+#include "backends/backend.hpp"
+#include "monitor/engine.hpp"
+#include "monitor/property_builder.hpp"
+#include "spl/spl.hpp"
+
+namespace swmon {
+namespace {
+
+/// "A host that sends `threshold` SYNs within 2 seconds of its first is a
+/// scanner": S0 binds H on the first SYN and opens the window; S1 must
+/// match threshold-1 more SYNs before the window closes.
+Property SynFlood(std::uint32_t threshold) {
+  PropertyBuilder b("syn-flood", "K SYNs from one host within T");
+  const VarId H = b.Var("H");
+  b.AddStage("first SYN")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, 6)
+                 .EqMasked(FieldId::kTcpFlags, kTcpSyn, kTcpSyn | kTcpAck)
+                 .Build())
+      .Bind(H, FieldId::kIpSrc)
+      .Window(Duration::Seconds(2));
+  b.AddStage("K-1 more SYNs")
+      .Match(PatternBuilder::Arrival()
+                 .Eq(FieldId::kIpProto, 6)
+                 .EqVar(FieldId::kIpSrc, H)
+                 .EqMasked(FieldId::kTcpFlags, kTcpSyn, kTcpSyn | kTcpAck)
+                 .Build())
+      .Count(threshold - 1);
+  return std::move(b).Build();
+}
+
+DataplaneEvent Syn(std::uint64_t host, std::int64_t ms) {
+  DataplaneEvent ev;
+  ev.type = DataplaneEventType::kArrival;
+  ev.time = SimTime::Zero() + Duration::Millis(ms);
+  ev.fields.Set(FieldId::kIpProto, 6);
+  ev.fields.Set(FieldId::kIpSrc, host);
+  ev.fields.Set(FieldId::kTcpFlags, kTcpSyn);
+  return ev;
+}
+
+TEST(QuantitativeTest, FiresAtExactlyTheThreshold) {
+  MonitorEngine eng(SynFlood(5));
+  for (int i = 0; i < 4; ++i) eng.ProcessEvent(Syn(9, 10 * (i + 1)));
+  EXPECT_TRUE(eng.violations().empty());  // 4 SYNs: below threshold
+  eng.ProcessEvent(Syn(9, 50));           // the 5th
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(QuantitativeTest, WindowExpiryResetsTheCount) {
+  MonitorEngine eng(SynFlood(5));
+  for (int i = 0; i < 4; ++i) eng.ProcessEvent(Syn(9, 10 * (i + 1)));
+  // The 2s window lapses; the count evaporates with the instance.
+  eng.ProcessEvent(Syn(9, 3000));  // starts a NEW attempt (1 of 5)
+  for (int i = 0; i < 3; ++i) eng.ProcessEvent(Syn(9, 3010 + 10 * i));
+  EXPECT_TRUE(eng.violations().empty());  // 4 within the new window
+  eng.ProcessEvent(Syn(9, 3100));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+TEST(QuantitativeTest, CountsArePerHost) {
+  MonitorEngine eng(SynFlood(4));
+  for (std::uint64_t h = 1; h <= 3; ++h)
+    for (int i = 0; i < 3; ++i)
+      eng.ProcessEvent(Syn(h, static_cast<std::int64_t>(h * 100 + 10 * i)));
+  EXPECT_TRUE(eng.violations().empty());  // 3 SYNs each: all below 4
+  eng.ProcessEvent(Syn(2, 500));
+  ASSERT_EQ(eng.violations().size(), 1u);
+  EXPECT_EQ(eng.violations()[0].bindings[0].second, 2u);
+}
+
+TEST(QuantitativeTest, SynAcksDoNotCount) {
+  MonitorEngine eng(SynFlood(3));
+  eng.ProcessEvent(Syn(9, 10));
+  DataplaneEvent synack = Syn(9, 20);
+  synack.fields.Set(FieldId::kTcpFlags, kTcpSyn | kTcpAck);
+  for (int i = 0; i < 10; ++i) {
+    synack.time = SimTime::Zero() + Duration::Millis(20 + i);
+    eng.ProcessEvent(synack);
+  }
+  EXPECT_TRUE(eng.violations().empty());
+}
+
+TEST(QuantitativeTest, ValidationRejectsMisplacedCounts) {
+  {
+    PropertyBuilder b("bad0", "count on stage 0");
+    b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Count(3);
+    Property p;
+    p.name = "bad0";
+    p.stages.emplace_back();
+    p.stages[0].min_count = 3;
+    EXPECT_FALSE(p.Validate().empty());
+  }
+  {
+    Property p;
+    p.name = "bad-timeout";
+    p.stages.emplace_back();
+    p.stages[0].window = Duration::Seconds(1);
+    Stage t;
+    t.kind = StageKind::kTimeout;
+    t.min_count = 2;
+    p.stages.push_back(t);
+    EXPECT_FALSE(p.Validate().empty());
+  }
+}
+
+TEST(QuantitativeTest, SplRoundTripsCount) {
+  const Property original = SynFlood(8);
+  const std::string text = SerializeSpl(original);
+  EXPECT_NE(text.find("count 7;"), std::string::npos);
+  const auto reparsed = ParseSpl(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(*reparsed.property, original);
+}
+
+TEST(QuantitativeTest, SplSourceParsesDirectly) {
+  const auto result = ParseSpl(R"(
+property port-scan {
+  vars H;
+  stage "first probe" on arrival {
+    match ip_proto == 6;
+    bind H = ip_src;
+    window 5s;
+  }
+  stage "many probes" on arrival {
+    match ip_proto == 6;
+    match ip_src == $H;
+    count 19;
+  }
+})");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.property->stages[1].min_count, 19u);
+}
+
+TEST(QuantitativeTest, RunsOnBackendMechanisms) {
+  // The counter is just per-flow state: OpenState / P4 / Varanus all
+  // execute it (each sub-threshold match is a state write).
+  const Property prop = SynFlood(4);
+  for (const char* name : {"OpenState", "POF / P4", "Varanus"}) {
+    for (auto& b : AllBackends()) {
+      if (b->info().name != name) continue;
+      auto r = b->Compile(prop, CostParams{});
+      ASSERT_TRUE(r.ok()) << name;
+      for (int i = 0; i < 4; ++i)
+        r.monitor->OnDataplaneEvent(Syn(9, 100 * (i + 1)));
+      EXPECT_EQ(r.monitor->violations().size(), 1u) << name;
+    }
+  }
+}
+
+TEST(QuantitativeTest, CountOfOneIsPlainSemantics) {
+  // min_count = 1 must behave identically to an uncounted stage.
+  MonitorEngine eng(SynFlood(2));  // stage 1 count = 1
+  eng.ProcessEvent(Syn(9, 10));
+  eng.ProcessEvent(Syn(9, 20));
+  EXPECT_EQ(eng.violations().size(), 1u);
+}
+
+}  // namespace
+}  // namespace swmon

@@ -1,0 +1,207 @@
+// TableMonitor — Varanus's recursive-learn compilation on real flow
+// tables: encoding tests plus full equivalence with the reference engine
+// over the catalog scenarios.
+#include <gtest/gtest.h>
+
+#include "backends/table_monitor.hpp"
+#include "monitor/engine.hpp"
+#include "monitor/features.hpp"
+#include "properties/catalog.hpp"
+#include "workload/property_scenarios.hpp"
+
+namespace swmon {
+namespace {
+
+DataplaneEvent Ev(DataplaneEventType type, std::int64_t ms,
+                  std::initializer_list<std::pair<FieldId, std::uint64_t>> kv) {
+  DataplaneEvent ev;
+  ev.type = type;
+  ev.time = SimTime::Zero() + Duration::Millis(ms);
+  for (const auto& [k, v] : kv) ev.fields.Set(k, v);
+  return ev;
+}
+
+constexpr std::uint64_t kDrop =
+    static_cast<std::uint64_t>(EgressActionValue::kDrop);
+constexpr std::uint64_t kForward =
+    static_cast<std::uint64_t>(EgressActionValue::kForward);
+
+TEST(TableMonitorTest, UnrollsInstancesIntoTables) {
+  TableMonitor mon(FirewallReturnNotDropped(), CostParams{},
+                   /*static_mode=*/false);
+  EXPECT_EQ(mon.PipelineDepth(), 1u);  // just the creation table
+  for (int c = 0; c < 3; ++c) {
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, c + 1,
+                            {{FieldId::kInPort, 1},
+                             {FieldId::kIpSrc, 10 + c},
+                             {FieldId::kIpDst, 20}}));
+  }
+  EXPECT_EQ(mon.live_instances(), 3u);
+  EXPECT_EQ(mon.PipelineDepth(), 4u);  // one table per instance (Sec 3.3)
+  EXPECT_GT(mon.costs().flow_mods, 0u);
+
+  // A drop of (20 -> 11) hits exactly instance #2's table entry.
+  mon.OnDataplaneEvent(Ev(DataplaneEventType::kEgress, 10,
+                          {{FieldId::kIpSrc, 20},
+                           {FieldId::kIpDst, 11},
+                           {FieldId::kEgressAction, kDrop}}));
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_EQ(mon.violations()[0].bindings[0].second, 11u);
+  EXPECT_EQ(mon.live_instances(), 2u);
+  EXPECT_EQ(mon.PipelineDepth(), 3u);  // the violating table was torn down
+}
+
+TEST(TableMonitorTest, StaticModeKeepsConstantDepth) {
+  TableMonitor mon(FirewallReturnNotDropped(), CostParams{},
+                   /*static_mode=*/true);
+  const std::size_t depth0 = mon.PipelineDepth();
+  for (int c = 0; c < 32; ++c) {
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, c + 1,
+                            {{FieldId::kInPort, 1},
+                             {FieldId::kIpSrc, 100 + c},
+                             {FieldId::kIpDst, 20}}));
+  }
+  EXPECT_EQ(mon.live_instances(), 32u);
+  EXPECT_EQ(mon.PipelineDepth(), depth0);  // entries grew, tables did not
+  EXPECT_GE(mon.total_entries(), 32u);
+}
+
+TEST(TableMonitorTest, ForbiddenTuplesCompileToShadowEntries) {
+  // NAT: the exact (A, P) destination hits the higher-priority shadow entry
+  // (no-op); anything else hits the advance entry (violation).
+  TableMonitor mon(NatReverseTranslation(), CostParams{},
+                   /*static_mode=*/false);
+  auto run_flow = [&](std::uint64_t base_pid, std::uint16_t out_port,
+                      bool correct) {
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 1,
+                            {{FieldId::kInPort, 1},
+                             {FieldId::kIpSrc, 10},
+                             {FieldId::kIpDst, 20},
+                             {FieldId::kL4SrcPort, 1000},
+                             {FieldId::kL4DstPort, 80},
+                             {FieldId::kPacketId, base_pid}}));
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kEgress, 1,
+                            {{FieldId::kPacketId, base_pid},
+                             {FieldId::kEgressAction, kForward},
+                             {FieldId::kIpSrc, 99},
+                             {FieldId::kL4SrcPort, 50000},
+                             {FieldId::kIpDst, 20},
+                             {FieldId::kL4DstPort, 80}}));
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 2,
+                            {{FieldId::kInPort, 2},
+                             {FieldId::kIpSrc, 20},
+                             {FieldId::kL4SrcPort, 80},
+                             {FieldId::kIpDst, 99},
+                             {FieldId::kL4DstPort, 50000},
+                             {FieldId::kPacketId, base_pid + 1}}));
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kEgress, 2,
+                            {{FieldId::kPacketId, base_pid + 1},
+                             {FieldId::kEgressAction, kForward},
+                             {FieldId::kIpDst, 10},
+                             {FieldId::kL4DstPort,
+                              correct ? 1000u : static_cast<std::uint64_t>(out_port)}}));
+  };
+  run_flow(100, 0, /*correct=*/true);
+  EXPECT_TRUE(mon.violations().empty());  // shadow entry swallowed it
+  run_flow(200, 1001, /*correct=*/false);
+  EXPECT_EQ(mon.violations().size(), 1u);
+}
+
+TEST(TableMonitorTest, OrAbsentConditionsExpandOverValidityBits) {
+  // The firewall-with-close property's stage 0 has a tcp_flags or_absent
+  // condition: its creation entries must admit non-TCP packets too.
+  TableMonitor mon(FirewallReturnNotDroppedObligation(), CostParams{},
+                   /*static_mode=*/false);
+  // An ICMP packet (no tcp_flags at all) opens state.
+  mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 1,
+                          {{FieldId::kInPort, 1},
+                           {FieldId::kIpSrc, 10},
+                           {FieldId::kIpDst, 20}}));
+  EXPECT_EQ(mon.live_instances(), 1u);
+  // A FIN does NOT create (flags & FIN != 0 fails both variants).
+  mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 2,
+                          {{FieldId::kInPort, 1},
+                           {FieldId::kIpSrc, 11},
+                           {FieldId::kIpDst, 20},
+                           {FieldId::kTcpFlags, kTcpFin}}));
+  EXPECT_EQ(mon.live_instances(), 1u);
+}
+
+TEST(TableMonitorTest, ExpiryContinuationFiresTimeoutActions) {
+  TableMonitor mon(ArpProxyReplyDeadline(), CostParams{},
+                   /*static_mode=*/false);
+  mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 1,
+                          {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 100,
+                          {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  EXPECT_TRUE(mon.violations().empty());
+  mon.AdvanceTime(SimTime::Zero() + Duration::Seconds(2));
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_EQ(mon.violations()[0].time, SimTime::Zero() + Duration::Millis(1100));
+}
+
+TEST(TableMonitorTest, MultipleMatchNeedsDynamicTables) {
+  // One link-down advances every learned destination — only possible when
+  // each instance owns a table (the paper's out-of-band argument).
+  TableMonitor mon(LearningSwitchLinkDownFlush(), CostParams{},
+                   /*static_mode=*/false);
+  for (std::uint64_t d = 1; d <= 4; ++d)
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival,
+                            static_cast<std::int64_t>(d),
+                            {{FieldId::kEthSrc, d}, {FieldId::kInPort, 2}}));
+  mon.OnDataplaneEvent(
+      Ev(DataplaneEventType::kLinkStatus, 10, {{FieldId::kLinkUp, 0}}));
+  mon.OnDataplaneEvent(Ev(DataplaneEventType::kEgress, 20,
+                          {{FieldId::kEthDst, 3},
+                           {FieldId::kEgressAction, kForward},
+                           {FieldId::kOutPort, 2}}));
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_EQ(mon.violations()[0].bindings[0].second, 3u);
+}
+
+// Equivalence with the reference engine over every catalog scenario.
+class TableParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TableParity, DynamicTablesMatchTheReferenceEngine) {
+  static const auto catalog = BuildCatalog();
+  if (GetParam() >= catalog.size()) GTEST_SKIP();
+  const CatalogEntry& entry = catalog[GetParam()];
+  SCOPED_TRACE(entry.property.name);
+
+  for (const bool faulted : {false, true}) {
+    ScenarioOptions opts;
+    opts.keep_trace = true;
+    const auto out =
+        RunScenarioForProperty(entry.property.name, faulted, opts);
+    ASSERT_NE(out.trace, nullptr);
+
+    TableMonitor mon(entry.property, CostParams{}, /*static_mode=*/false);
+    out.trace->ReplayInto(mon);
+    mon.AdvanceTime(out.end_time);
+    EXPECT_EQ(mon.violations().size(), out.ViolationsOf(entry.property.name))
+        << "faulted=" << faulted;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, TableParity,
+                         ::testing::Range<std::size_t>(0, 21));
+
+TEST(TableMonitorTest, TeardownLeavesNoEntriesBehind) {
+  TableMonitor mon(FirewallReturnNotDroppedTimeout(), CostParams{},
+                   /*static_mode=*/true);
+  const std::size_t base_entries = mon.total_entries();
+  for (int c = 0; c < 10; ++c) {
+    mon.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, c + 1,
+                            {{FieldId::kInPort, 1},
+                             {FieldId::kIpSrc, 10 + c},
+                             {FieldId::kIpDst, 20}}));
+  }
+  EXPECT_GT(mon.total_entries(), base_entries);
+  // Everything expires (30s window): entries are reclaimed.
+  mon.AdvanceTime(SimTime::Zero() + Duration::Seconds(120));
+  EXPECT_EQ(mon.live_instances(), 0u);
+  EXPECT_EQ(mon.total_entries(), base_entries);
+}
+
+}  // namespace
+}  // namespace swmon

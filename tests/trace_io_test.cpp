@@ -1,0 +1,111 @@
+// Trace persistence round-trip and corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "monitor/engine.hpp"
+#include "netsim/trace_io.hpp"
+#include "properties/catalog.hpp"
+#include "workload/firewall_scenario.hpp"
+
+namespace swmon {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TraceRecorder SampleTrace() {
+  FirewallScenarioConfig config;
+  config.fault = FirewallFault::kDropEstablishedReturn;
+  config.connections = 8;
+  config.close_fraction = 0;
+  config.stale_return_fraction = 0;
+  config.options.keep_trace = true;
+  auto out = RunFirewallScenario(config);
+  return std::move(*out.trace);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEveryEvent) {
+  const TraceRecorder original = SampleTrace();
+  const std::string path = TempPath("roundtrip.swmt");
+  std::string error;
+  ASSERT_TRUE(SaveTrace(original, path, &error)) << error;
+
+  TraceRecorder loaded;
+  ASSERT_TRUE(LoadTrace(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.events()[i];
+    const auto& b = loaded.events()[i];
+    EXPECT_EQ(a.type, b.type) << i;
+    EXPECT_EQ(a.time, b.time) << i;
+    EXPECT_EQ(a.packet_bytes, b.packet_bytes) << i;
+    EXPECT_EQ(a.fields.presence_mask(), b.fields.presence_mask()) << i;
+    for (std::size_t fi = 0; fi < kNumFieldIds; ++fi) {
+      const auto id = static_cast<FieldId>(fi);
+      EXPECT_EQ(a.fields.Get(id), b.fields.Get(id)) << i;
+    }
+  }
+}
+
+TEST(TraceIoTest, LoadedTraceDrivesTheMonitorIdentically) {
+  const TraceRecorder original = SampleTrace();
+  const std::string path = TempPath("monitor.swmt");
+  ASSERT_TRUE(SaveTrace(original, path));
+  TraceRecorder loaded;
+  ASSERT_TRUE(LoadTrace(path, loaded));
+
+  MonitorEngine a(FirewallReturnNotDropped());
+  MonitorEngine b(FirewallReturnNotDropped());
+  original.ReplayInto(a);
+  loaded.ReplayInto(b);
+  EXPECT_EQ(a.violations().size(), b.violations().size());
+  EXPECT_GT(a.violations().size(), 0u);
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  const TraceRecorder empty;
+  const std::string path = TempPath("empty.swmt");
+  ASSERT_TRUE(SaveTrace(empty, path));
+  TraceRecorder loaded;
+  ASSERT_TRUE(LoadTrace(path, loaded));
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TraceIoTest, RejectsMissingFile) {
+  TraceRecorder loaded;
+  std::string error;
+  EXPECT_FALSE(LoadTrace(TempPath("nope.swmt"), loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceIoTest, RejectsBadMagic) {
+  const std::string path = TempPath("badmagic.swmt");
+  std::ofstream(path) << "not a trace at all";
+  TraceRecorder loaded;
+  std::string error;
+  EXPECT_FALSE(LoadTrace(path, loaded, &error));
+  EXPECT_NE(error.find("not a swmon trace"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsTruncation) {
+  const TraceRecorder original = SampleTrace();
+  const std::string path = TempPath("trunc.swmt");
+  ASSERT_TRUE(SaveTrace(original, path));
+  // Chop the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+  TraceRecorder loaded;
+  std::string error;
+  EXPECT_FALSE(LoadTrace(path, loaded, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swmon
