@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_external_monitor.dir/bench_external_monitor.cpp.o"
+  "CMakeFiles/bench_external_monitor.dir/bench_external_monitor.cpp.o.d"
+  "bench_external_monitor"
+  "bench_external_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_external_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

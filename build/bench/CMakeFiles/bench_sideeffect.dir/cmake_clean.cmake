@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sideeffect.dir/bench_sideeffect.cpp.o"
+  "CMakeFiles/bench_sideeffect.dir/bench_sideeffect.cpp.o.d"
+  "bench_sideeffect"
+  "bench_sideeffect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sideeffect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_update.dir/bench_state_update.cpp.o"
+  "CMakeFiles/bench_state_update.dir/bench_state_update.cpp.o.d"
+  "bench_state_update"
+  "bench_state_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_explorer.dir/backend_explorer.cpp.o"
+  "CMakeFiles/backend_explorer.dir/backend_explorer.cpp.o.d"
+  "backend_explorer"
+  "backend_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knock_monitor.dir/knock_monitor.cpp.o"
+  "CMakeFiles/knock_monitor.dir/knock_monitor.cpp.o.d"
+  "knock_monitor"
+  "knock_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knock_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_audit.dir/nat_audit.cpp.o"
+  "CMakeFiles/nat_audit.dir/nat_audit.cpp.o.d"
+  "nat_audit"
+  "nat_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_check.dir/spl_check.cpp.o"
+  "CMakeFiles/spl_check.dir/spl_check.cpp.o.d"
+  "spl_check"
+  "spl_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/arp_proxy.cpp" "src/apps/CMakeFiles/swmon_apps.dir/arp_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/arp_proxy.cpp.o.d"
+  "/root/repo/src/apps/flow_table_switch.cpp" "src/apps/CMakeFiles/swmon_apps.dir/flow_table_switch.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/flow_table_switch.cpp.o.d"
+  "/root/repo/src/apps/learning_switch.cpp" "src/apps/CMakeFiles/swmon_apps.dir/learning_switch.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/learning_switch.cpp.o.d"
+  "/root/repo/src/apps/load_balancer.cpp" "src/apps/CMakeFiles/swmon_apps.dir/load_balancer.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/apps/nat.cpp" "src/apps/CMakeFiles/swmon_apps.dir/nat.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/nat.cpp.o.d"
+  "/root/repo/src/apps/port_knocking.cpp" "src/apps/CMakeFiles/swmon_apps.dir/port_knocking.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/port_knocking.cpp.o.d"
+  "/root/repo/src/apps/stateful_firewall.cpp" "src/apps/CMakeFiles/swmon_apps.dir/stateful_firewall.cpp.o" "gcc" "src/apps/CMakeFiles/swmon_apps.dir/stateful_firewall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/swmon_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swmon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swmon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_apps.dir/arp_proxy.cpp.o"
+  "CMakeFiles/swmon_apps.dir/arp_proxy.cpp.o.d"
+  "CMakeFiles/swmon_apps.dir/flow_table_switch.cpp.o"
+  "CMakeFiles/swmon_apps.dir/flow_table_switch.cpp.o.d"
+  "CMakeFiles/swmon_apps.dir/learning_switch.cpp.o"
+  "CMakeFiles/swmon_apps.dir/learning_switch.cpp.o.d"
+  "CMakeFiles/swmon_apps.dir/load_balancer.cpp.o"
+  "CMakeFiles/swmon_apps.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/swmon_apps.dir/nat.cpp.o"
+  "CMakeFiles/swmon_apps.dir/nat.cpp.o.d"
+  "CMakeFiles/swmon_apps.dir/port_knocking.cpp.o"
+  "CMakeFiles/swmon_apps.dir/port_knocking.cpp.o.d"
+  "CMakeFiles/swmon_apps.dir/stateful_firewall.cpp.o"
+  "CMakeFiles/swmon_apps.dir/stateful_firewall.cpp.o.d"
+  "libswmon_apps.a"
+  "libswmon_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/backends.cpp" "src/backends/CMakeFiles/swmon_backends.dir/backends.cpp.o" "gcc" "src/backends/CMakeFiles/swmon_backends.dir/backends.cpp.o.d"
+  "/root/repo/src/backends/executor.cpp" "src/backends/CMakeFiles/swmon_backends.dir/executor.cpp.o" "gcc" "src/backends/CMakeFiles/swmon_backends.dir/executor.cpp.o.d"
+  "/root/repo/src/backends/state_store.cpp" "src/backends/CMakeFiles/swmon_backends.dir/state_store.cpp.o" "gcc" "src/backends/CMakeFiles/swmon_backends.dir/state_store.cpp.o.d"
+  "/root/repo/src/backends/table_monitor.cpp" "src/backends/CMakeFiles/swmon_backends.dir/table_monitor.cpp.o" "gcc" "src/backends/CMakeFiles/swmon_backends.dir/table_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/swmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/swmon_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swmon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swmon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

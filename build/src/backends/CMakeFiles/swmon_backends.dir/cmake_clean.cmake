@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_backends.dir/backends.cpp.o"
+  "CMakeFiles/swmon_backends.dir/backends.cpp.o.d"
+  "CMakeFiles/swmon_backends.dir/executor.cpp.o"
+  "CMakeFiles/swmon_backends.dir/executor.cpp.o.d"
+  "CMakeFiles/swmon_backends.dir/state_store.cpp.o"
+  "CMakeFiles/swmon_backends.dir/state_store.cpp.o.d"
+  "CMakeFiles/swmon_backends.dir/table_monitor.cpp.o"
+  "CMakeFiles/swmon_backends.dir/table_monitor.cpp.o.d"
+  "libswmon_backends.a"
+  "libswmon_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

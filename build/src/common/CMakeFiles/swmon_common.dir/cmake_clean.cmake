@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_common.dir/byte_io.cpp.o"
+  "CMakeFiles/swmon_common.dir/byte_io.cpp.o.d"
+  "CMakeFiles/swmon_common.dir/logging.cpp.o"
+  "CMakeFiles/swmon_common.dir/logging.cpp.o.d"
+  "CMakeFiles/swmon_common.dir/rng.cpp.o"
+  "CMakeFiles/swmon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/swmon_common.dir/sim_time.cpp.o"
+  "CMakeFiles/swmon_common.dir/sim_time.cpp.o.d"
+  "libswmon_common.a"
+  "libswmon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/flow_mod_queue.cpp" "src/dataplane/CMakeFiles/swmon_dataplane.dir/flow_mod_queue.cpp.o" "gcc" "src/dataplane/CMakeFiles/swmon_dataplane.dir/flow_mod_queue.cpp.o.d"
+  "/root/repo/src/dataplane/flow_table.cpp" "src/dataplane/CMakeFiles/swmon_dataplane.dir/flow_table.cpp.o" "gcc" "src/dataplane/CMakeFiles/swmon_dataplane.dir/flow_table.cpp.o.d"
+  "/root/repo/src/dataplane/match.cpp" "src/dataplane/CMakeFiles/swmon_dataplane.dir/match.cpp.o" "gcc" "src/dataplane/CMakeFiles/swmon_dataplane.dir/match.cpp.o.d"
+  "/root/repo/src/dataplane/state_table.cpp" "src/dataplane/CMakeFiles/swmon_dataplane.dir/state_table.cpp.o" "gcc" "src/dataplane/CMakeFiles/swmon_dataplane.dir/state_table.cpp.o.d"
+  "/root/repo/src/dataplane/switch.cpp" "src/dataplane/CMakeFiles/swmon_dataplane.dir/switch.cpp.o" "gcc" "src/dataplane/CMakeFiles/swmon_dataplane.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/swmon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swmon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_dataplane.dir/flow_mod_queue.cpp.o"
+  "CMakeFiles/swmon_dataplane.dir/flow_mod_queue.cpp.o.d"
+  "CMakeFiles/swmon_dataplane.dir/flow_table.cpp.o"
+  "CMakeFiles/swmon_dataplane.dir/flow_table.cpp.o.d"
+  "CMakeFiles/swmon_dataplane.dir/match.cpp.o"
+  "CMakeFiles/swmon_dataplane.dir/match.cpp.o.d"
+  "CMakeFiles/swmon_dataplane.dir/state_table.cpp.o"
+  "CMakeFiles/swmon_dataplane.dir/state_table.cpp.o.d"
+  "CMakeFiles/swmon_dataplane.dir/switch.cpp.o"
+  "CMakeFiles/swmon_dataplane.dir/switch.cpp.o.d"
+  "libswmon_dataplane.a"
+  "libswmon_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

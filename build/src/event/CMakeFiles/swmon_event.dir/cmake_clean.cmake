@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_event.dir/event_queue.cpp.o"
+  "CMakeFiles/swmon_event.dir/event_queue.cpp.o.d"
+  "CMakeFiles/swmon_event.dir/timer_set.cpp.o"
+  "CMakeFiles/swmon_event.dir/timer_set.cpp.o.d"
+  "libswmon_event.a"
+  "libswmon_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/engine.cpp" "src/monitor/CMakeFiles/swmon_monitor.dir/engine.cpp.o" "gcc" "src/monitor/CMakeFiles/swmon_monitor.dir/engine.cpp.o.d"
+  "/root/repo/src/monitor/features.cpp" "src/monitor/CMakeFiles/swmon_monitor.dir/features.cpp.o" "gcc" "src/monitor/CMakeFiles/swmon_monitor.dir/features.cpp.o.d"
+  "/root/repo/src/monitor/spec.cpp" "src/monitor/CMakeFiles/swmon_monitor.dir/spec.cpp.o" "gcc" "src/monitor/CMakeFiles/swmon_monitor.dir/spec.cpp.o.d"
+  "/root/repo/src/monitor/violation.cpp" "src/monitor/CMakeFiles/swmon_monitor.dir/violation.cpp.o" "gcc" "src/monitor/CMakeFiles/swmon_monitor.dir/violation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/swmon_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swmon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swmon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

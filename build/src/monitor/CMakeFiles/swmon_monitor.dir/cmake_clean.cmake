@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_monitor.dir/engine.cpp.o"
+  "CMakeFiles/swmon_monitor.dir/engine.cpp.o.d"
+  "CMakeFiles/swmon_monitor.dir/features.cpp.o"
+  "CMakeFiles/swmon_monitor.dir/features.cpp.o.d"
+  "CMakeFiles/swmon_monitor.dir/spec.cpp.o"
+  "CMakeFiles/swmon_monitor.dir/spec.cpp.o.d"
+  "CMakeFiles/swmon_monitor.dir/violation.cpp.o"
+  "CMakeFiles/swmon_monitor.dir/violation.cpp.o.d"
+  "libswmon_monitor.a"
+  "libswmon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

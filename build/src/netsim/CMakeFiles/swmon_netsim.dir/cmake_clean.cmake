@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_netsim.dir/network.cpp.o"
+  "CMakeFiles/swmon_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/swmon_netsim.dir/trace_io.cpp.o"
+  "CMakeFiles/swmon_netsim.dir/trace_io.cpp.o.d"
+  "libswmon_netsim.a"
+  "libswmon_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

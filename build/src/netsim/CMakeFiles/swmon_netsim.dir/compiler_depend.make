@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swmon_netsim.
+# This may be replaced when dependencies are built.

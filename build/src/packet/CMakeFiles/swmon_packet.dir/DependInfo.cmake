@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/addr.cpp" "src/packet/CMakeFiles/swmon_packet.dir/addr.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/addr.cpp.o.d"
+  "/root/repo/src/packet/builder.cpp" "src/packet/CMakeFiles/swmon_packet.dir/builder.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/builder.cpp.o.d"
+  "/root/repo/src/packet/checksum.cpp" "src/packet/CMakeFiles/swmon_packet.dir/checksum.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/checksum.cpp.o.d"
+  "/root/repo/src/packet/dhcp.cpp" "src/packet/CMakeFiles/swmon_packet.dir/dhcp.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/dhcp.cpp.o.d"
+  "/root/repo/src/packet/field.cpp" "src/packet/CMakeFiles/swmon_packet.dir/field.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/field.cpp.o.d"
+  "/root/repo/src/packet/ftp.cpp" "src/packet/CMakeFiles/swmon_packet.dir/ftp.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/ftp.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/packet/CMakeFiles/swmon_packet.dir/headers.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/headers.cpp.o.d"
+  "/root/repo/src/packet/parser.cpp" "src/packet/CMakeFiles/swmon_packet.dir/parser.cpp.o" "gcc" "src/packet/CMakeFiles/swmon_packet.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

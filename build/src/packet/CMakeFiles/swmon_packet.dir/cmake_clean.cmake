@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_packet.dir/addr.cpp.o"
+  "CMakeFiles/swmon_packet.dir/addr.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/builder.cpp.o"
+  "CMakeFiles/swmon_packet.dir/builder.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/checksum.cpp.o"
+  "CMakeFiles/swmon_packet.dir/checksum.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/dhcp.cpp.o"
+  "CMakeFiles/swmon_packet.dir/dhcp.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/field.cpp.o"
+  "CMakeFiles/swmon_packet.dir/field.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/ftp.cpp.o"
+  "CMakeFiles/swmon_packet.dir/ftp.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/headers.cpp.o"
+  "CMakeFiles/swmon_packet.dir/headers.cpp.o.d"
+  "CMakeFiles/swmon_packet.dir/parser.cpp.o"
+  "CMakeFiles/swmon_packet.dir/parser.cpp.o.d"
+  "libswmon_packet.a"
+  "libswmon_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_properties.dir/catalog.cpp.o"
+  "CMakeFiles/swmon_properties.dir/catalog.cpp.o.d"
+  "libswmon_properties.a"
+  "libswmon_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

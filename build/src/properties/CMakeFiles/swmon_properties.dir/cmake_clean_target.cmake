@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswmon_properties.a"
+)

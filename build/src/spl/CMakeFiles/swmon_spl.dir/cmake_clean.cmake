@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_spl.dir/parser.cpp.o"
+  "CMakeFiles/swmon_spl.dir/parser.cpp.o.d"
+  "CMakeFiles/swmon_spl.dir/serializer.cpp.o"
+  "CMakeFiles/swmon_spl.dir/serializer.cpp.o.d"
+  "libswmon_spl.a"
+  "libswmon_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arp_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/arp_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/arp_scenario.cpp.o.d"
+  "/root/repo/src/workload/dhcp_agent.cpp" "src/workload/CMakeFiles/swmon_workload.dir/dhcp_agent.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/dhcp_agent.cpp.o.d"
+  "/root/repo/src/workload/dhcp_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/dhcp_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/dhcp_scenario.cpp.o.d"
+  "/root/repo/src/workload/firewall_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/firewall_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/firewall_scenario.cpp.o.d"
+  "/root/repo/src/workload/ftp_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/ftp_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/ftp_scenario.cpp.o.d"
+  "/root/repo/src/workload/lb_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/lb_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/lb_scenario.cpp.o.d"
+  "/root/repo/src/workload/learning_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/learning_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/learning_scenario.cpp.o.d"
+  "/root/repo/src/workload/nat_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/nat_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/nat_scenario.cpp.o.d"
+  "/root/repo/src/workload/portknock_scenario.cpp" "src/workload/CMakeFiles/swmon_workload.dir/portknock_scenario.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/portknock_scenario.cpp.o.d"
+  "/root/repo/src/workload/property_scenarios.cpp" "src/workload/CMakeFiles/swmon_workload.dir/property_scenarios.cpp.o" "gcc" "src/workload/CMakeFiles/swmon_workload.dir/property_scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/swmon_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swmon_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/properties/CMakeFiles/swmon_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/swmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/swmon_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swmon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swmon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

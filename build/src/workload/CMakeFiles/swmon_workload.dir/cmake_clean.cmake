@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmon_workload.dir/arp_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/arp_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/dhcp_agent.cpp.o"
+  "CMakeFiles/swmon_workload.dir/dhcp_agent.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/dhcp_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/dhcp_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/firewall_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/firewall_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/ftp_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/ftp_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/lb_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/lb_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/learning_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/learning_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/nat_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/nat_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/portknock_scenario.cpp.o"
+  "CMakeFiles/swmon_workload.dir/portknock_scenario.cpp.o.d"
+  "CMakeFiles/swmon_workload.dir/property_scenarios.cpp.o"
+  "CMakeFiles/swmon_workload.dir/property_scenarios.cpp.o.d"
+  "libswmon_workload.a"
+  "libswmon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arp_scenario_test.dir/arp_scenario_test.cpp.o"
+  "CMakeFiles/arp_scenario_test.dir/arp_scenario_test.cpp.o.d"
+  "arp_scenario_test"
+  "arp_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arp_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhcp_scenario_test.dir/dhcp_scenario_test.cpp.o"
+  "CMakeFiles/dhcp_scenario_test.dir/dhcp_scenario_test.cpp.o.d"
+  "dhcp_scenario_test"
+  "dhcp_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhcp_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_scenario_test.dir/firewall_scenario_test.cpp.o"
+  "CMakeFiles/firewall_scenario_test.dir/firewall_scenario_test.cpp.o.d"
+  "firewall_scenario_test"
+  "firewall_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_scenario_test.dir/ftp_scenario_test.cpp.o"
+  "CMakeFiles/ftp_scenario_test.dir/ftp_scenario_test.cpp.o.d"
+  "ftp_scenario_test"
+  "ftp_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

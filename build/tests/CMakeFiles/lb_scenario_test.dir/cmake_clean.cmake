@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_scenario_test.dir/lb_scenario_test.cpp.o"
+  "CMakeFiles/lb_scenario_test.dir/lb_scenario_test.cpp.o.d"
+  "lb_scenario_test"
+  "lb_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

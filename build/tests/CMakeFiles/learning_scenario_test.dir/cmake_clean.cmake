@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_scenario_test.dir/learning_scenario_test.cpp.o"
+  "CMakeFiles/learning_scenario_test.dir/learning_scenario_test.cpp.o.d"
+  "learning_scenario_test"
+  "learning_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_engine_test.dir/monitor_engine_test.cpp.o"
+  "CMakeFiles/monitor_engine_test.dir/monitor_engine_test.cpp.o.d"
+  "monitor_engine_test"
+  "monitor_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_instance_test.dir/monitor_instance_test.cpp.o"
+  "CMakeFiles/monitor_instance_test.dir/monitor_instance_test.cpp.o.d"
+  "monitor_instance_test"
+  "monitor_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_set_test.dir/monitor_set_test.cpp.o"
+  "CMakeFiles/monitor_set_test.dir/monitor_set_test.cpp.o.d"
+  "monitor_set_test"
+  "monitor_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_timeout_test.dir/monitor_timeout_test.cpp.o"
+  "CMakeFiles/monitor_timeout_test.dir/monitor_timeout_test.cpp.o.d"
+  "monitor_timeout_test"
+  "monitor_timeout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_timeout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

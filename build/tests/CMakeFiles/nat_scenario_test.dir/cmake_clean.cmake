@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_scenario_test.dir/nat_scenario_test.cpp.o"
+  "CMakeFiles/nat_scenario_test.dir/nat_scenario_test.cpp.o.d"
+  "nat_scenario_test"
+  "nat_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

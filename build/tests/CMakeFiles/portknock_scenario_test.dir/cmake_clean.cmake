@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portknock_scenario_test.dir/portknock_scenario_test.cpp.o"
+  "CMakeFiles/portknock_scenario_test.dir/portknock_scenario_test.cpp.o.d"
+  "portknock_scenario_test"
+  "portknock_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portknock_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantitative_test.dir/quantitative_test.cpp.o"
+  "CMakeFiles/quantitative_test.dir/quantitative_test.cpp.o.d"
+  "quantitative_test"
+  "quantitative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantitative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

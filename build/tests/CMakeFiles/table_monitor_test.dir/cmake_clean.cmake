@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_monitor_test.dir/table_monitor_test.cpp.o"
+  "CMakeFiles/table_monitor_test.dir/table_monitor_test.cpp.o.d"
+  "table_monitor_test"
+  "table_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
