@@ -57,6 +57,7 @@ int main() {
 
   const CostParams params;
   const std::size_t kProbes = 2000;
+  bench::JsonReporter json("overhead");
 
   bench::Section("per-packet cost vs observation stages (one property)");
   std::printf("%8s | %10s | %12s\n", "stages", "depth", "ns/packet");
@@ -67,9 +68,14 @@ int main() {
         params);
     for (std::size_t i = 0; i < kProbes; ++i)
       mon.OnDataplaneEvent(Probe(i));
-    std::printf("%8zu | %10zu | %12.0f\n", stages, mon.PipelineDepth(),
-                static_cast<double>(mon.costs().processing_time.nanos()) /
-                    kProbes);
+    const double ns =
+        static_cast<double>(mon.costs().processing_time.nanos()) / kProbes;
+    std::printf("%8zu | %10zu | %12.0f\n", stages, mon.PipelineDepth(), ns);
+    json.AddRow()
+        .Str("sweep", "stages")
+        .Num("stages", static_cast<double>(stages))
+        .Num("depth", static_cast<double>(mon.PipelineDepth()))
+        .Num("ns_per_packet", ns);
   }
 
   bench::Section("per-packet cost vs attached properties (3 stages each)");
@@ -88,9 +94,14 @@ int main() {
       for (auto& m : monitors) m->OnDataplaneEvent(ev);
     }
     for (auto& m : monitors) total += m->costs().processing_time;
-    std::printf("%8zu | %12.0f\n", props,
-                static_cast<double>(total.nanos()) / kProbes);
+    const double ns = static_cast<double>(total.nanos()) / kProbes;
+    std::printf("%8zu | %12.0f\n", props, ns);
+    json.AddRow()
+        .Str("sweep", "properties")
+        .Num("properties", static_cast<double>(props))
+        .Num("ns_per_packet", ns);
   }
+  json.Flush();
   std::printf(
       "\nShape check: both sweeps are linear — the unavoidable, bounded "
       "latency cost of on-switch monitoring that Sec 3.3 concedes, versus "

@@ -62,6 +62,7 @@ int main() {
   const char* names[] = {"Varanus", "Static Varanus", "OpenState", "POF / P4",
                          "Varanus (tables)", "Static (tables)"};
   const CostParams params;
+  bench::JsonReporter json("pipeline_depth");
 
   std::printf("\n%8s", "N");
   for (const char* n : names) std::printf(" | %-22s", n);
@@ -96,11 +97,17 @@ int main() {
       const Duration before = mon->costs().processing_time;
       for (; i < events.size(); ++i) mon->OnDataplaneEvent(events[i]);
       const Duration spent = mon->costs().processing_time - before;
-      std::printf(" | %10zu %9.0f n", mon->PipelineDepth(),
-                  static_cast<double>(spent.nanos()) / 1000.0);
+      const double ns = static_cast<double>(spent.nanos()) / 1000.0;
+      std::printf(" | %10zu %9.0f n", mon->PipelineDepth(), ns);
+      json.AddRow()
+          .Str("backend", name)
+          .Num("instances", static_cast<double>(n))
+          .Num("depth", static_cast<double>(mon->PipelineDepth()))
+          .Num("ns_per_probe", ns);
     }
     std::printf("\n");
   }
+  json.Flush();
   std::printf(
       "\nShape check: the Varanus column's ns/probe grows ~linearly with N "
       "(depth = N+1 tables); the other three stay constant — reproducing the "

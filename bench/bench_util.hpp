@@ -1,12 +1,18 @@
 // Small shared helpers for the experiment harnesses.
 //
 // Each bench binary regenerates one of the paper's artifacts (Table 1,
-// Table 2, or a Sec-3.3 claim) and prints it; EXPERIMENTS.md records the
-// outputs next to the paper's claims.
+// Table 2, or a Sec-3.3 claim) and prints it. Benches with scalar results
+// additionally record them through JsonReporter so the bench trajectory
+// (BENCH_<name>.json) is machine-readable and reproducible: the `bench`
+// CMake target runs them with SWMON_BENCH_JSON_DIR pointed at the build
+// tree. EXPERIMENTS.md records the outputs next to the paper's claims.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace swmon::bench {
 
@@ -26,5 +32,94 @@ inline std::string Pad(std::string s, std::size_t width) {
   if (s.size() < width) s.append(width - s.size(), ' ');
   return s;
 }
+
+/// Collects rows of {key: string|number} results and writes them as
+/// BENCH_<name>.json — one JSON object with a "results" array — either into
+/// $SWMON_BENCH_JSON_DIR (set by the `bench` CMake target) or the current
+/// directory. Keys are emitted in insertion order; numbers use %.6g so
+/// output is stable across runs of identical measurements.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  class Row {
+   public:
+    Row& Num(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      fields_.emplace_back(key, buf);
+      numeric_.push_back(true);
+      return *this;
+    }
+    Row& Str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, value);
+      numeric_.push_back(false);
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    std::vector<std::pair<std::string, std::string>> fields_;
+    std::vector<bool> numeric_;
+  };
+
+  Row& AddRow() { return rows_.emplace_back(); }
+
+  /// Target path: $SWMON_BENCH_JSON_DIR/BENCH_<name>.json when the env var
+  /// is set, else ./BENCH_<name>.json.
+  std::string DefaultPath() const {
+    const char* dir = std::getenv("SWMON_BENCH_JSON_DIR");
+    const std::string base = "BENCH_" + name_ + ".json";
+    return dir && *dir ? std::string(dir) + "/" + base : base;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\": " + Quote(name_) + ", \"results\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out += r ? ",\n  {" : "\n  {";
+      const Row& row = rows_[r];
+      for (std::size_t i = 0; i < row.fields_.size(); ++i) {
+        if (i) out += ", ";
+        out += Quote(row.fields_[i].first) + ": ";
+        out += row.numeric_[i] ? row.fields_[i].second
+                               : Quote(row.fields_[i].second);
+      }
+      out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  /// Writes the JSON file and prints where it went. Returns false (after
+  /// printing a warning) when the path is unwritable.
+  bool Flush() const {
+    const std::string path = DefaultPath();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+      std::printf("[bench] cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    std::printf("[bench] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return ok;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace swmon::bench

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dispatch.cpp" "bench/CMakeFiles/bench_dispatch.dir/bench_dispatch.cpp.o" "gcc" "bench/CMakeFiles/bench_dispatch.dir/bench_dispatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/swmon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/swmon_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/swmon_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/properties/CMakeFiles/swmon_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/swmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/swmon_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swmon_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/swmon_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/swmon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/swmon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

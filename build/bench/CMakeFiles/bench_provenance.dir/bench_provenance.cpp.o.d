@@ -159,10 +159,13 @@ bench/CMakeFiles/bench_provenance.dir/bench_provenance.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_util.hpp \
- /root/repo/src/monitor/engine.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/monitor/engine.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -172,10 +175,7 @@ bench/CMakeFiles/bench_provenance.dir/bench_provenance.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/dataplane/flow_key.hpp /root/repo/src/common/hash.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
@@ -192,8 +192,7 @@ bench/CMakeFiles/bench_provenance.dir/bench_provenance.cpp.o: \
  /root/repo/src/packet/parser.hpp /root/repo/src/packet/dhcp.hpp \
  /root/repo/src/common/byte_io.hpp /root/repo/src/packet/addr.hpp \
  /root/repo/src/packet/ftp.hpp /root/repo/src/packet/headers.hpp \
- /root/repo/src/packet/packet.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/event/timer_set.hpp \
+ /root/repo/src/packet/packet.hpp /root/repo/src/event/timer_set.hpp \
  /root/repo/src/monitor/spec.hpp /root/repo/src/monitor/violation.hpp \
  /root/repo/src/properties/catalog.hpp \
  /root/repo/src/monitor/features.hpp \

@@ -136,7 +136,8 @@ bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/monitor/features.hpp /root/repo/src/monitor/spec.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
@@ -152,9 +153,7 @@ bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o: \
  /root/repo/src/packet/dhcp.hpp /root/repo/src/common/byte_io.hpp \
  /root/repo/src/packet/addr.hpp /root/repo/src/packet/field.hpp \
  /root/repo/src/packet/ftp.hpp /root/repo/src/packet/headers.hpp \
- /root/repo/src/packet/packet.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/properties/catalog.hpp \
+ /root/repo/src/packet/packet.hpp /root/repo/src/properties/catalog.hpp \
  /root/repo/src/properties/scenario.hpp \
  /root/repo/src/workload/property_scenarios.hpp \
  /root/repo/src/workload/scenario_common.hpp /usr/include/c++/12/memory \

@@ -162,4 +162,4 @@ src/monitor/CMakeFiles/swmon_monitor.dir/engine.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/assert.hpp /root/repo/src/common/logging.hpp \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /root/repo/src/monitor/features.hpp

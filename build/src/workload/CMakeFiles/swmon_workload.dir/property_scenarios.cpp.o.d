@@ -201,9 +201,10 @@ src/workload/CMakeFiles/swmon_workload.dir/property_scenarios.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/monitor/monitor_set.hpp /root/repo/src/monitor/engine.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/monitor/monitor_set.hpp /usr/include/c++/12/array \
+ /root/repo/src/monitor/engine.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -213,7 +214,7 @@ src/workload/CMakeFiles/swmon_workload.dir/property_scenarios.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/dataplane/flow_key.hpp /root/repo/src/common/hash.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

@@ -296,8 +296,7 @@ tests/CMakeFiles/features_test.dir/features_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/monitor/property_builder.hpp \
- /root/repo/src/common/assert.hpp /root/repo/src/monitor/spec.hpp \
+ /root/repo/src/monitor/features.hpp /root/repo/src/monitor/spec.hpp \
  /root/repo/src/common/sim_time.hpp /root/repo/src/dataplane/switch.hpp \
  /root/repo/src/dataplane/cost_model.hpp \
  /root/repo/src/event/event_queue.hpp /usr/include/c++/12/queue \
@@ -308,6 +307,6 @@ tests/CMakeFiles/features_test.dir/features_test.cpp.o: \
  /root/repo/src/common/byte_io.hpp /root/repo/src/packet/addr.hpp \
  /root/repo/src/packet/field.hpp /root/repo/src/packet/ftp.hpp \
  /root/repo/src/packet/headers.hpp /root/repo/src/packet/packet.hpp \
- /root/repo/src/properties/catalog.hpp \
- /root/repo/src/monitor/features.hpp \
+ /root/repo/src/monitor/property_builder.hpp \
+ /root/repo/src/common/assert.hpp /root/repo/src/properties/catalog.hpp \
  /root/repo/src/properties/scenario.hpp

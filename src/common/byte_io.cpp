@@ -42,6 +42,29 @@ std::uint64_t ByteReader::ReadU64() {
   return v;
 }
 
+std::uint16_t ByteReader::ReadU16LE() {
+  if (!Ensure(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | data_[pos_ + 1] << 8);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::ReadU32LE() {
+  if (!Ensure(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = v << 8 | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::ReadU64LE() {
+  if (!Ensure(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
 void ByteReader::ReadBytes(std::uint8_t* out, std::size_t n) {
   if (!Ensure(n)) {
     std::memset(out, 0, n);
@@ -76,6 +99,21 @@ void ByteWriter::WriteU32(std::uint32_t v) {
 
 void ByteWriter::WriteU64(std::uint64_t v) {
   for (int i = 7; i >= 0; --i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteU16LE(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::WriteU32LE(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteU64LE(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
     buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 

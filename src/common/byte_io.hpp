@@ -1,4 +1,5 @@
-// Big-endian (network order) byte readers/writers for the packet library.
+// Byte readers/writers: big-endian (network order) for the packet library,
+// little-endian variants for host-side file formats (netsim/trace_io).
 //
 // ByteReader is non-owning and bounds-checked: parsing a truncated packet
 // reports failure instead of reading past the buffer. ByteWriter appends to
@@ -24,6 +25,10 @@ class ByteReader {
   std::uint32_t ReadU32();  // big-endian
   std::uint64_t ReadU64();  // big-endian
 
+  std::uint16_t ReadU16LE();  // little-endian
+  std::uint32_t ReadU32LE();  // little-endian
+  std::uint64_t ReadU64LE();  // little-endian
+
   /// Copies `n` bytes into `out`; marks failure (and zero-fills) when short.
   void ReadBytes(std::uint8_t* out, std::size_t n);
 
@@ -47,6 +52,10 @@ class ByteWriter {
   void WriteU16(std::uint16_t v);  // big-endian
   void WriteU32(std::uint32_t v);  // big-endian
   void WriteU64(std::uint64_t v);  // big-endian
+
+  void WriteU16LE(std::uint16_t v);  // little-endian
+  void WriteU32LE(std::uint32_t v);  // little-endian
+  void WriteU64LE(std::uint64_t v);  // little-endian
   void WriteBytes(std::span<const std::uint8_t> bytes);
   void Fill(std::uint8_t value, std::size_t n);
 

@@ -35,7 +35,19 @@ enum class DataplaneEventType : std::uint8_t {
   kLinkStatus = 2,
 };
 
+inline constexpr std::size_t kNumDataplaneEventTypes = 3;
+
 const char* DataplaneEventTypeName(DataplaneEventType t);
+
+/// Bit i set = DataplaneEventType(i) is relevant. See InterestSignature()
+/// in monitor/features.hpp; MonitorSet uses it to pre-filter dispatch.
+using EventTypeMask = std::uint8_t;
+
+inline constexpr EventTypeMask EventTypeBit(DataplaneEventType t) {
+  return static_cast<EventTypeMask>(1u << static_cast<unsigned>(t));
+}
+inline constexpr EventTypeMask kAllEventTypes =
+    static_cast<EventTypeMask>((1u << kNumDataplaneEventTypes) - 1);
 
 /// One observable event. `fields` always contains kSwitchId; arrivals add
 /// kInPort and kPacketId; egress events add kEgressAction (and kOutPort for

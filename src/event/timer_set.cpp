@@ -6,20 +6,36 @@ void TimerSet::Arm(TimerId id, SimTime deadline) {
   const std::uint64_t gen = next_generation_++;
   live_[id] = LiveState{deadline, gen};
   heap_.push(Entry{deadline, id, gen});
+  ++total_armed_;
+  MaybeCompact();
 }
 
 void TimerSet::Cancel(TimerId id) { live_.erase(id); }
 
+void TimerSet::MaybeCompact() {
+  // Heavy cancel/re-arm churn without Advance can leave the heap dominated
+  // by stale generations. Rebuild from the live map once stale entries
+  // outnumber live ones past a floor; each surviving entry keeps its
+  // generation, so deadline ties still break by arming order.
+  if (heap_.size() < 64 || heap_.size() < 2 * live_.size()) return;
+  std::vector<Entry> entries;
+  entries.reserve(live_.size());
+  for (const auto& [id, st] : live_)
+    entries.push_back(Entry{st.deadline, id, st.generation});
+  heap_ = Heap(Later{}, std::move(entries));
+  ++compactions_;
+}
+
 SimTime TimerSet::NextDeadline() const {
-  // The heap may have stale entries in front; scanning would require a
-  // mutable pop, so compute from the live map only when the top is stale.
-  // Common case: top is live.
-  SimTime best = SimTime::Infinity();
-  if (live_.empty()) return best;
-  for (const auto& [id, st] : live_) {
-    if (st.deadline < best) best = st.deadline;
+  // Lazy-pop: the heap front may be stale (cancelled or superseded by a
+  // re-arm); discard until it is live. Amortized O(log n) — every stale
+  // entry is popped exactly once across all calls.
+  while (!heap_.empty()) {
+    if (IsLive(heap_.top())) return heap_.top().deadline;
+    heap_.pop();
+    ++stale_popped_;
   }
-  return best;
+  return SimTime::Infinity();
 }
 
 std::size_t TimerSet::Advance(SimTime now) {
@@ -27,10 +43,11 @@ std::size_t TimerSet::Advance(SimTime now) {
   while (!heap_.empty() && heap_.top().deadline <= now) {
     const Entry e = heap_.top();
     heap_.pop();
-    auto it = live_.find(e.id);
-    if (it == live_.end() || it->second.generation != e.generation)
-      continue;  // cancelled or re-armed since
-    live_.erase(it);
+    if (!IsLive(e)) {  // cancelled or re-armed since
+      ++stale_popped_;
+      continue;
+    }
+    live_.erase(e.id);
     on_expiry_(e.id, e.deadline);
     ++fired;
   }

@@ -7,9 +7,14 @@
 // each event's timestamp and expired timers fire in deadline order first.
 //
 // Implementation: binary heap with lazy deletion. Cancel/refresh bump a
-// generation counter; stale heap entries are skipped on pop. This gives
-// O(log n) arm/refresh and amortized O(log n) expiry, which the state-update
-// benches measure directly.
+// generation counter; stale heap entries are skipped on pop — both by
+// Advance and by NextDeadline, which lazily pops stale generations until the
+// heap front is live instead of scanning the live map. This gives O(log n)
+// arm/refresh and amortized O(log n) expiry/next-deadline (every stale entry
+// is popped at most once), which the state-update and dispatch benches
+// measure directly. When cancel/re-arm churn leaves the heap dominated by
+// stale entries, Arm opportunistically rebuilds it from the live map so heap
+// memory stays proportional to the armed count.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +44,9 @@ class TimerSet {
   bool IsArmed(TimerId id) const { return live_.contains(id); }
   std::size_t armed_count() const { return live_.size(); }
 
-  /// Earliest armed deadline, or SimTime::Infinity() when none.
+  /// Earliest armed deadline, or SimTime::Infinity() when none. Amortized
+  /// O(log n): pops stale heap entries (a cache cleanup — logically const)
+  /// until the front is live.
   SimTime NextDeadline() const;
 
   /// Fires every timer with deadline <= now, in deadline order (ties by
@@ -47,6 +54,22 @@ class TimerSet {
   /// whose deadlines are also <= now fire in the same pass.
   /// Returns the number of timers fired.
   std::size_t Advance(SimTime now);
+
+  // --- diagnostics (bench_dispatch / MonitorStats) ---
+  /// Heap entries, live + not-yet-popped stale. >= armed_count().
+  std::size_t heap_size() const { return heap_.size(); }
+  /// Fraction of heap entries that are stale (cancelled or superseded).
+  double StaleRatio() const {
+    return heap_.empty() ? 0.0
+                         : static_cast<double>(heap_.size() - live_.size()) /
+                               static_cast<double>(heap_.size());
+  }
+  /// Lifetime Arm() calls (including re-arms).
+  std::uint64_t total_armed() const { return total_armed_; }
+  /// Stale heap entries lazily discarded by Advance/NextDeadline.
+  std::uint64_t stale_popped() const { return stale_popped_; }
+  /// Heap rebuilds triggered by stale-entry pressure.
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
@@ -60,16 +83,28 @@ class TimerSet {
       return a.generation > b.generation;
     }
   };
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, Later>;
 
   struct LiveState {
     SimTime deadline;
     std::uint64_t generation;
   };
 
+  bool IsLive(const Entry& e) const {
+    const auto it = live_.find(e.id);
+    return it != live_.end() && it->second.generation == e.generation;
+  }
+  void MaybeCompact();
+
   ExpiryFn on_expiry_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Mutable: NextDeadline() discards stale front entries without changing
+  // the observable timer state.
+  mutable Heap heap_;
   std::unordered_map<TimerId, LiveState> live_;
   std::uint64_t next_generation_ = 0;
+  std::uint64_t total_armed_ = 0;
+  mutable std::uint64_t stale_popped_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace swmon

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "monitor/features.hpp"
 
 namespace swmon {
 
@@ -17,6 +18,7 @@ MonitorEngine::MonitorEngine(Property property, MonitorConfig config)
   const std::string err = property_.Validate();
   SWMON_ASSERT_MSG(err.empty(), err.c_str());
 
+  interest_ = InterestSignature(property_);
   stores_.resize(property_.num_stages());
   if (!config_.force_linear_store) {
     for (std::size_t k = 1; k < property_.num_stages(); ++k) {
@@ -225,6 +227,19 @@ void MonitorEngine::DestroyInstance(std::uint64_t id) {
   }
   timers_.Cancel(id);
   instances_.erase(it);
+  // The eviction deque keeps the destroyed id until lazy pruning reaches
+  // it; compact once dead entries dominate so churn below the instance cap
+  // cannot grow it unboundedly (amortized O(1) per destruction).
+  if (config_.max_instances > 0 &&
+      creation_order_.size() > 2 * instances_.size() + 64)
+    CompactCreationOrder();
+}
+
+void MonitorEngine::CompactCreationOrder() {
+  std::deque<std::uint64_t> live_order;
+  for (const std::uint64_t id : creation_order_)
+    if (instances_.contains(id)) live_order.push_back(id);
+  creation_order_ = std::move(live_order);
 }
 
 void MonitorEngine::AdvanceInstance(Instance& inst, const DataplaneEvent* ev) {
@@ -291,6 +306,7 @@ void MonitorEngine::AdvanceTime(SimTime now) {
   if (now <= now_) return;
   timers_.Advance(now);
   now_ = now;
+  SyncTimerStats();
 }
 
 void MonitorEngine::ProcessEvent(const DataplaneEvent& event) {
@@ -303,6 +319,7 @@ void MonitorEngine::ProcessEvent(const DataplaneEvent& event) {
   RunCreatePass(event);
   RunSuppressorPass(event);
   stats_.peak_live = std::max(stats_.peak_live, instances_.size());
+  SyncTimerStats();
 }
 
 void MonitorEngine::RunNaiveRefreshPass(const DataplaneEvent& ev) {
@@ -443,12 +460,19 @@ void MonitorEngine::RunCreatePass(const DataplaneEvent& ev) {
     }
   }
 
+  // ApplyBindings validates every fallible part (field presence) before
+  // mutating, so a failed stage never advances rr_counter_. The dedup path
+  // below discards a *successful* env, though — snapshot the counter so an
+  // event that does not complete stage 0 never consumes a round-robin slot
+  // (a duplicate stage-0 match must not desynchronize later assignments).
+  const std::uint64_t rr_before = rr_counter_;
   if (!ApplyBindings(st0, ev, env)) return;
 
   // Dedup / refresh (Feature 3's per-pair timer semantics).
   if (const auto key = Stage0Key(env)) {
     const auto bucket = stage0_index_.find(*key);
     if (bucket != stage0_index_.end() && !bucket->second.empty()) {
+      rr_counter_ = rr_before;
       if (st0.refresh_window_on_rematch) {
         for (const std::uint64_t id : bucket->second) {
           auto it = instances_.find(id);
@@ -472,7 +496,9 @@ void MonitorEngine::RunCreatePass(const DataplaneEvent& ev) {
   inst.last_event_seq = event_seq_;
   if (const auto key = Stage0Key(inst.env))
     stage0_index_[*key].push_back(id);
-  creation_order_.push_back(id);
+  // Eviction bookkeeping is only needed under an instance cap; recording
+  // unconditionally would grow the deque forever when max_instances == 0.
+  if (config_.max_instances > 0) creation_order_.push_back(id);
   ++stats_.instances_created;
   AdvanceInstance(inst, &ev);  // commits stage 0 -> 1 (or violates if n==1)
   EvictIfNeeded();

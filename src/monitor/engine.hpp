@@ -58,6 +58,8 @@ struct MonitorConfig {
 
 struct MonitorStats {
   std::uint64_t events = 0;
+  std::uint64_t events_dispatched = 0;  // delivered via a MonitorSet dispatch
+  std::uint64_t events_filtered = 0;    // skipped by interest-signature filter
   std::uint64_t instances_created = 0;
   std::uint64_t instances_refreshed = 0;
   std::uint64_t instances_advanced = 0;
@@ -69,6 +71,9 @@ struct MonitorStats {
   std::uint64_t violations = 0;
   std::uint64_t candidate_checks = 0;  // instances examined across lookups
   std::size_t peak_live = 0;
+  // TimerSet mirrors (synced after every ProcessEvent/AdvanceTime).
+  std::uint64_t timers_armed = 0;      // Arm() calls, including re-arms
+  std::uint64_t timer_stale_pops = 0;  // lazily discarded stale heap entries
 };
 
 class MonitorEngine : public DataplaneObserver {
@@ -90,12 +95,35 @@ class MonitorEngine : public DataplaneObserver {
   /// (needed to observe timeout-action violations in quiet periods).
   void AdvanceTime(SimTime now);
 
+  // --- dispatch-layer entry points (MonitorSet) ---
+  /// Delivery through the pre-filtered dispatch layer: counted separately
+  /// from direct ProcessEvent calls so the filter's reach is measurable.
+  void ProcessDispatchedEvent(const DataplaneEvent& event) {
+    ++stats_.events_dispatched;
+    ProcessEvent(event);
+  }
+  /// An event whose type is outside this property's interest signature. The
+  /// engine must still observe its timestamp so windows keep expiring
+  /// (Features 3/7) exactly as they would under broadcast delivery.
+  void NoteFilteredEvent(SimTime now) {
+    ++stats_.events_filtered;
+    AdvanceTime(now);
+  }
+
+  /// Event types any stage/abort/suppressor pattern can react to; computed
+  /// once at construction (see features.hpp).
+  EventTypeMask interest_signature() const { return interest_; }
+
   const Property& property() const { return property_; }
   const MonitorStats& stats() const { return stats_; }
   const std::vector<Violation>& violations() const { return violations_; }
   std::vector<Violation> TakeViolations() { return std::move(violations_); }
   std::size_t live_instances() const { return instances_.size(); }
   SimTime now() const { return now_; }
+  const TimerSet& timers() const { return timers_; }
+  /// Pending eviction-order entries (live + not-yet-pruned dead ids).
+  /// Empty when max_instances == 0; bounded by ~2x live otherwise.
+  std::size_t eviction_queue_size() const { return creation_order_.size(); }
 
   /// Approximate resident bytes of monitor state (instances + provenance);
   /// bench_provenance reports this.
@@ -141,6 +169,11 @@ class MonitorEngine : public DataplaneObserver {
                        const std::string& trigger);
   void OnTimerExpiry(std::uint64_t id, SimTime deadline);
   void EvictIfNeeded();
+  void CompactCreationOrder();
+  void SyncTimerStats() {
+    stats_.timers_armed = timers_.total_armed();
+    stats_.timer_stale_pops = timers_.stale_popped();
+  }
 
   // --- per-event passes ---
   void RunAbortPass(const DataplaneEvent& ev);
@@ -155,6 +188,7 @@ class MonitorEngine : public DataplaneObserver {
   Property property_;
   MonitorConfig config_;
   MonitorStats stats_;
+  EventTypeMask interest_ = kAllEventTypes;
   std::vector<Violation> violations_;
 
   SimTime now_ = SimTime::Zero();
@@ -169,7 +203,10 @@ class MonitorEngine : public DataplaneObserver {
       stage0_index_;
   std::vector<VarId> stage0_bound_vars_;
   std::unordered_set<FlowKey, FlowKeyHash> suppressed_;
-  std::deque<std::uint64_t> creation_order_;  // for eviction, lazily pruned
+  /// Eviction order (oldest first). Only maintained when max_instances > 0;
+  /// dead ids are pruned lazily but compacted once they outnumber live ones,
+  /// so the deque never grows unboundedly under churn.
+  std::deque<std::uint64_t> creation_order_;
   TimerSet timers_;
 };
 

@@ -102,6 +102,34 @@ FeatureSet AnalyzeFeatures(const Property& property) {
   return out;
 }
 
+EventTypeMask InterestSignature(const Property& property) {
+  EventTypeMask mask = 0;
+  const auto add = [&mask](const Pattern& p) {
+    if (p.event_type)
+      mask |= EventTypeBit(*p.event_type);
+    else
+      mask = kAllEventTypes;  // unconstrained patterns match any type
+  };
+  for (const Stage& st : property.stages) {
+    // A timeout stage's pattern is never matched against events (it fires
+    // from the clock), but its aborts are live while instances wait there.
+    if (st.kind == StageKind::kEvent) add(st.pattern);
+    for (const Pattern& a : st.aborts) add(a);
+  }
+  for (const Suppressor& s : property.suppressors) add(s.pattern);
+  return mask;
+}
+
+std::string InterestSignatureString(EventTypeMask mask) {
+  std::string out;
+  for (std::size_t t = 0; t < kNumDataplaneEventTypes; ++t) {
+    if (!(mask >> t & 1)) continue;
+    if (!out.empty()) out += '|';
+    out += DataplaneEventTypeName(static_cast<DataplaneEventType>(t));
+  }
+  return out.empty() ? "none" : out;
+}
+
 std::vector<std::string> DiffFeatureColumns(const FeatureSet& a,
                                             const FeatureSet& b) {
   std::vector<std::string> out;

@@ -47,6 +47,20 @@ struct FeatureSet {
 
 FeatureSet AnalyzeFeatures(const Property& property);
 
+/// The property's static *interest signature*: the set of DataplaneEventTypes
+/// that can appear in any event-stage, abort, or suppressor pattern. A
+/// pattern without an event_type constraint matches every type, so it widens
+/// the signature to kAllEventTypes. Timeout stages contribute nothing by
+/// themselves (they fire from the clock, not from events), but their abort
+/// patterns do. MonitorSet dispatches an event only to engines whose
+/// signature contains its type — an event outside the signature provably
+/// cannot change engine state beyond advancing the clock (DESIGN.md
+/// "Dispatch").
+EventTypeMask InterestSignature(const Property& property);
+
+/// "arrival|egress|link" rendering of a signature, for bench/debug output.
+std::string InterestSignatureString(EventTypeMask mask);
+
 /// Names of the columns on which two feature rows differ (e.g.
 /// {"obligation", "timeouts"}). Empty when the rows agree.
 std::vector<std::string> DiffFeatureColumns(const FeatureSet& a,

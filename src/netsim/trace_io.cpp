@@ -1,14 +1,22 @@
 #include "netsim/trace_io.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
+
+#include "common/byte_io.hpp"
 
 namespace swmon {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'W', 'M', 'T'};
-constexpr std::uint32_t kVersion = 1;
+// v1 wrote raw host-endian scalars (fwrite of each field); v2 routes every
+// scalar through the byte_io little-endian writers so traces are portable
+// across machines. The field-by-field layout is identical, so on a
+// little-endian host a v1 file decodes with the v2 path.
+constexpr std::uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -22,41 +30,31 @@ bool SetError(std::string* error, const std::string& msg) {
   return false;
 }
 
-template <typename T>
-bool WriteScalar(std::FILE* f, T v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
-}
-
-template <typename T>
-bool ReadScalar(std::FILE* f, T& v) {
-  return std::fread(&v, sizeof(v), 1, f) == 1;
-}
-
 }  // namespace
 
 bool SaveTrace(const TraceRecorder& trace, const std::string& path,
                std::string* error) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return SetError(error, "cannot open " + path + " for writing");
-  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
-      !WriteScalar(f.get(), kVersion) ||
-      !WriteScalar(f.get(), static_cast<std::uint64_t>(trace.size()))) {
-    return SetError(error, "header write failed");
-  }
+  ByteWriter w;
+  w.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  w.WriteU32LE(kVersion);
+  w.WriteU64LE(static_cast<std::uint64_t>(trace.size()));
   for (const DataplaneEvent& ev : trace.events()) {
-    if (!WriteScalar(f.get(), static_cast<std::uint8_t>(ev.type)) ||
-        !WriteScalar(f.get(), ev.time.nanos()) ||
-        !WriteScalar(f.get(), ev.packet_bytes) ||
-        !WriteScalar(f.get(), ev.fields.presence_mask())) {
-      return SetError(error, "event write failed");
-    }
+    w.WriteU8(static_cast<std::uint8_t>(ev.type));
+    w.WriteU64LE(static_cast<std::uint64_t>(ev.time.nanos()));
+    w.WriteU32LE(ev.packet_bytes);
+    w.WriteU64LE(ev.fields.presence_mask());
     for (std::size_t i = 0; i < kNumFieldIds; ++i) {
       const auto id = static_cast<FieldId>(i);
-      if (!ev.fields.Has(id)) continue;
-      if (!WriteScalar(f.get(), ev.fields.GetUnchecked(id)))
-        return SetError(error, "event write failed");
+      if (ev.fields.Has(id)) w.WriteU64LE(ev.fields.GetUnchecked(id));
     }
   }
+
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return SetError(error, "cannot open " + path + " for writing");
+  const auto& buf = w.bytes();
+  if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size())
+    return SetError(error, "trace write failed");
   return true;
 }
 
@@ -64,40 +62,49 @@ bool LoadTrace(const std::string& path, TraceRecorder& out,
                std::string* error) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return SetError(error, "cannot open " + path);
-  char magic[4];
-  std::uint32_t version = 0;
-  std::uint64_t count = 0;
-  if (std::fread(magic, 1, 4, f.get()) != 4 ||
-      std::memcmp(magic, kMagic, 4) != 0) {
-    return SetError(error, path + " is not a swmon trace");
-  }
-  if (!ReadScalar(f.get(), version) || version != kVersion)
-    return SetError(error, "unsupported trace version");
-  if (!ReadScalar(f.get(), count))
-    return SetError(error, "truncated header");
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0)
+    buf.insert(buf.end(), chunk, chunk + n);
 
-  for (std::uint64_t n = 0; n < count; ++n) {
-    std::uint8_t type;
-    std::int64_t time_ns;
+  ByteReader r(buf);
+  char magic[4];
+  r.ReadBytes(reinterpret_cast<std::uint8_t*>(magic), 4);
+  if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0)
+    return SetError(error, path + " is not a swmon trace");
+  const std::uint32_t version = r.ReadU32LE();
+  if (!r.ok() || version == 0 || version > kVersion)
+    return SetError(error, "unsupported trace version");
+  if (version == 1 && std::endian::native != std::endian::little) {
+    // v1 scalars are host-endian from the writing machine; on a big-endian
+    // reader they cannot be decoded reliably. Re-record or convert on a
+    // little-endian host (which reads them via the v2 path below).
+    return SetError(error,
+                    "trace version 1 is host-endian and this host is "
+                    "big-endian; re-save as version 2");
+  }
+  const std::uint64_t count = r.ReadU64LE();
+  if (!r.ok()) return SetError(error, "truncated header");
+
+  for (std::uint64_t i = 0; i < count; ++i) {
     DataplaneEvent ev;
-    std::uint64_t presence;
-    if (!ReadScalar(f.get(), type) || !ReadScalar(f.get(), time_ns) ||
-        !ReadScalar(f.get(), ev.packet_bytes) ||
-        !ReadScalar(f.get(), presence)) {
-      return SetError(error, "truncated event");
-    }
+    const std::uint8_t type = r.ReadU8();
+    const std::uint64_t time_ns = r.ReadU64LE();
+    ev.packet_bytes = r.ReadU32LE();
+    const std::uint64_t presence = r.ReadU64LE();
+    if (!r.ok()) return SetError(error, "truncated event");
     if (type > static_cast<std::uint8_t>(DataplaneEventType::kLinkStatus))
       return SetError(error, "corrupt event type");
     ev.type = static_cast<DataplaneEventType>(type);
-    ev.time = SimTime::FromNanos(time_ns);
+    ev.time = SimTime::FromNanos(static_cast<std::int64_t>(time_ns));
     if (presence >> kNumFieldIds)
       return SetError(error, "corrupt presence mask");
-    for (std::size_t i = 0; i < kNumFieldIds; ++i) {
-      if (!(presence >> i & 1)) continue;
-      std::uint64_t value;
-      if (!ReadScalar(f.get(), value))
-        return SetError(error, "truncated field value");
-      ev.fields.Set(static_cast<FieldId>(i), value);
+    for (std::size_t fi = 0; fi < kNumFieldIds; ++fi) {
+      if (!(presence >> fi & 1)) continue;
+      const std::uint64_t value = r.ReadU64LE();
+      if (!r.ok()) return SetError(error, "truncated field value");
+      ev.fields.Set(static_cast<FieldId>(fi), value);
     }
     out.OnDataplaneEvent(ev);
   }

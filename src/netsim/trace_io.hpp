@@ -5,10 +5,14 @@
 // switch's event stream once, then run any property over it later —
 // `examples/trace_replay` is the end-to-end tool.
 //
-// Format (little-endian, versioned):
+// Format v2 (explicitly little-endian via common/byte_io, versioned —
+// see docs/TRACE_FORMAT.md):
 //   magic "SWMT" | u32 version | u64 event_count
-//   per event: u8 type | i64 time_ns | u32 packet_bytes |
-//              u64 presence_mask | u64 value per set bit (ascending FieldId)
+//   per event: u8 type | u64 time_ns (two's-complement i64) |
+//              u32 packet_bytes | u64 presence_mask |
+//              u64 value per set bit (ascending FieldId)
+// v1 files (raw host-endian scalars, same layout) are still readable on
+// little-endian hosts; big-endian hosts get a clear error for v1.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "event/event_queue.hpp"
@@ -139,6 +140,101 @@ TEST_F(TimerSetTest, NextDeadline) {
   timers_.Arm(1, SimTime::FromNanos(70));
   timers_.Arm(2, SimTime::FromNanos(30));
   EXPECT_EQ(timers_.NextDeadline().nanos(), 30);
+}
+
+TEST_F(TimerSetTest, NextDeadlineSkipsCancelledFront) {
+  timers_.Arm(1, SimTime::FromNanos(10));
+  timers_.Arm(2, SimTime::FromNanos(20));
+  timers_.Cancel(1);
+  // The stale heap front (timer 1) must be popped through, not reported.
+  EXPECT_EQ(timers_.NextDeadline().nanos(), 20);
+  timers_.Cancel(2);
+  EXPECT_TRUE(timers_.NextDeadline().IsInfinite());
+  EXPECT_EQ(timers_.heap_size(), 0u);
+}
+
+TEST_F(TimerSetTest, RearmLeavesOneLiveHeapEntry) {
+  // Re-arming strands the old heap entry; only the newest generation fires.
+  for (int i = 0; i < 10; ++i)
+    timers_.Arm(1, SimTime::FromNanos(100 + i));
+  EXPECT_EQ(timers_.armed_count(), 1u);
+  EXPECT_EQ(timers_.NextDeadline().nanos(), 109);
+  EXPECT_EQ(timers_.Advance(SimTime::FromNanos(200)), 1u);
+  ASSERT_EQ(fired_.size(), 1u);
+  EXPECT_EQ(fired_[0].second.nanos(), 109);
+}
+
+TEST_F(TimerSetTest, ChurnAgreesWithReferenceModel) {
+  // Thousands of arm/cancel/re-arm operations, checking NextDeadline and
+  // Advance firing against a naive map + min-scan reference model.
+  std::map<TimerSet::TimerId, SimTime> model;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const auto model_min = [&model] {
+    SimTime best = SimTime::Infinity();
+    for (const auto& [id, at] : model)
+      if (at < best) best = at;
+    return best;
+  };
+
+  SimTime now = SimTime::Zero();
+  for (int op = 0; op < 5000; ++op) {
+    const auto id = static_cast<TimerSet::TimerId>(next() % 64);
+    switch (next() % 4) {
+      case 0:
+      case 1: {  // arm / re-arm at a future deadline
+        const SimTime at = now + Duration::Nanos(1 + next() % 1000);
+        timers_.Arm(id, at);
+        model[id] = at;
+        break;
+      }
+      case 2:  // cancel
+        timers_.Cancel(id);
+        model.erase(id);
+        break;
+      case 3: {  // advance past some pending deadlines
+        now = now + Duration::Nanos(next() % 300);
+        fired_.clear();
+        timers_.Advance(now);
+        std::size_t expected = 0;
+        for (auto it = model.begin(); it != model.end();) {
+          if (it->second <= now) {
+            ++expected;
+            it = model.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(fired_.size(), expected) << "op " << op;
+        break;
+      }
+    }
+    ASSERT_EQ(timers_.armed_count(), model.size()) << "op " << op;
+    ASSERT_EQ(timers_.NextDeadline().nanos(), model_min().nanos())
+        << "op " << op;
+  }
+  // Churn strands stale entries; lazy pops and compaction must have kept
+  // the heap from growing without bound (5000 ops over <= 64 ids).
+  EXPECT_LE(timers_.heap_size(), 2 * timers_.armed_count() + 64);
+  EXPECT_GT(timers_.total_armed(), 1000u);
+  EXPECT_GT(timers_.stale_popped() + timers_.compactions(), 0u);
+}
+
+TEST_F(TimerSetTest, CompactionBoundsHeapUnderRearmChurn) {
+  // One timer re-armed thousands of times: without compaction the heap
+  // would hold every stale generation.
+  for (int i = 0; i < 10000; ++i)
+    timers_.Arm(7, SimTime::FromNanos(1000 + i));
+  EXPECT_EQ(timers_.armed_count(), 1u);
+  EXPECT_LE(timers_.heap_size(), 64u + 2u);
+  EXPECT_GT(timers_.compactions(), 0u);
+  EXPECT_EQ(timers_.NextDeadline().nanos(), 10999);
+  EXPECT_LE(timers_.StaleRatio(), 1.0);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "monitor/features.hpp"
 #include "monitor/property_builder.hpp"
 #include "properties/catalog.hpp"
 
@@ -136,6 +137,76 @@ TEST(FeaturesTest, UnlinkedLaterStageIsMultipleMatch) {
   b.AddStage("s2").Match(
       PatternBuilder::Egress().EqVar(FieldId::kEthDst, D).Build());
   EXPECT_TRUE(AnalyzeFeatures(std::move(b).Build()).multiple_match);
+}
+
+TEST(InterestSignatureTest, ReflectsStagePatternTypes) {
+  const EventTypeMask fw = InterestSignature(FirewallReturnNotDropped());
+  EXPECT_EQ(fw, EventTypeBit(DataplaneEventType::kArrival) |
+                    EventTypeBit(DataplaneEventType::kEgress));
+  EXPECT_EQ(InterestSignatureString(fw), "arrival|egress");
+}
+
+TEST(InterestSignatureTest, IncludesLinkStatusStages) {
+  PropertyBuilder b("link", "test");
+  const VarId D = b.Var("D");
+  b.AddStage("learn").Match(PatternBuilder::Arrival().Build()).Bind(
+      D, FieldId::kEthSrc);
+  b.AddStage("down").Match(
+      PatternBuilder::LinkStatus().Eq(FieldId::kLinkUp, 0).Build());
+  const EventTypeMask m = InterestSignature(std::move(b).Build());
+  EXPECT_TRUE(m & EventTypeBit(DataplaneEventType::kLinkStatus));
+  EXPECT_TRUE(m & EventTypeBit(DataplaneEventType::kArrival));
+  EXPECT_FALSE(m & EventTypeBit(DataplaneEventType::kEgress));
+}
+
+TEST(InterestSignatureTest, IncludesAbortAndSuppressorPatterns) {
+  PropertyBuilder b("ab", "test");
+  const VarId A = b.Var("A");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build()).Bind(
+      A, FieldId::kIpSrc);
+  b.AddStage("s1")
+      .Match(PatternBuilder::Arrival().EqVar(FieldId::kIpSrc, A).Build())
+      .AbortOn(PatternBuilder::LinkStatus().Eq(FieldId::kLinkUp, 0).Build());
+  const EventTypeMask m = InterestSignature(std::move(b).Build());
+  // Arrival from the stages, link-status from the abort; no egress.
+  EXPECT_TRUE(m & EventTypeBit(DataplaneEventType::kLinkStatus));
+  EXPECT_FALSE(m & EventTypeBit(DataplaneEventType::kEgress));
+}
+
+TEST(InterestSignatureTest, TimeoutStagesDoNotWidenTheMask) {
+  // A timeout stage fires from the clock, not from an event; its default
+  // any-type pattern must not drag the property onto every dispatch list.
+  PropertyBuilder b("to", "test");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build())
+      .Window(Duration::Seconds(1));
+  b.AddTimeoutStage("fire");
+  EXPECT_EQ(InterestSignature(std::move(b).Build()),
+            EventTypeBit(DataplaneEventType::kArrival));
+}
+
+TEST(InterestSignatureTest, UntypedPatternWidensToAllTypes) {
+  PropertyBuilder b("any", "test");
+  b.AddStage("s0").Match(PatternBuilder::Arrival().Build());
+  Property p = std::move(b).Build();
+  p.stages[0].pattern.event_type = std::nullopt;  // wildcard pattern
+  EXPECT_EQ(InterestSignature(p), kAllEventTypes);
+  EXPECT_EQ(InterestSignatureString(kAllEventTypes),
+            "arrival|egress|link_status");
+  EXPECT_EQ(InterestSignatureString(0), "none");
+}
+
+TEST(InterestSignatureTest, EveryCatalogPropertyHasANonEmptySignature) {
+  for (const auto& entry : BuildCatalog()) {
+    const EventTypeMask m = InterestSignature(entry.property);
+    EXPECT_NE(m, 0u) << entry.id;
+    // Stage 0 is an event stage in every catalog property, so its type
+    // must be in the mask.
+    ASSERT_TRUE(entry.property.stages[0].pattern.event_type.has_value())
+        << entry.id;
+    EXPECT_TRUE(m &
+                EventTypeBit(*entry.property.stages[0].pattern.event_type))
+        << entry.id;
+  }
 }
 
 TEST(FeaturesTest, DiffReportsColumnNames) {

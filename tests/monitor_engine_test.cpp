@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "monitor/engine.hpp"
 #include "monitor/property_builder.hpp"
 
@@ -325,6 +328,129 @@ TEST(EngineTest, StatsAccounting) {
   EXPECT_EQ(s.peak_live, 1u);
   // Creation commits stage 0 and the egress commits stage 1.
   EXPECT_EQ(s.instances_advanced, 1u);
+}
+
+/// LB-shaped property: arrival binds A=src and a round-robin port E of
+/// {1,2,3}; egress from A on a port != E violates.
+Property RoundRobinProperty() {
+  PropertyBuilder b("rr", "test");
+  const VarId A = b.Var("A"), E = b.Var("E");
+  b.AddStage("assign")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(A, FieldId::kIpSrc)
+      .BindRoundRobin(E, 3, 1);
+  b.AddStage("wrong port")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kIpSrc, A)
+                 .Forwarded()
+                 .NeVar(FieldId::kOutPort, E)
+                 .Build());
+  return std::move(b).Build();
+}
+
+std::uint64_t BoundVar(const Violation& v, const std::string& name) {
+  for (const auto& [var, value] : v.bindings)
+    if (var == name) return value;
+  ADD_FAILURE() << "no binding for " << name;
+  return 0;
+}
+
+TEST(EngineTest, RoundRobinCounterOnlyAdvancesOnCommittedCreation) {
+  MonitorEngine eng(RoundRobinProperty());
+  // Three flows consume rr values 1, 2, 3.
+  for (std::uint64_t ip : {10u, 20u, 30u})
+    eng.ProcessEvent(
+        Ev(DataplaneEventType::kArrival, 1, {{FieldId::kIpSrc, ip}}));
+  EXPECT_EQ(eng.live_instances(), 3u);
+
+  // Re-arrival of flow 10 dedups against the live instance; the rr draw
+  // made while evaluating it must be rolled back.
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kArrival, 2, {{FieldId::kIpSrc, 10}}));
+  EXPECT_EQ(eng.live_instances(), 3u);
+  // An arrival that cannot bind A (no src field) must not draw either.
+  eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 3, {}));
+  EXPECT_EQ(eng.live_instances(), 3u);
+
+  // The next committed creation therefore gets E=1, not E=2 or E=3.
+  eng.ProcessEvent(
+      Ev(DataplaneEventType::kArrival, 4, {{FieldId::kIpSrc, 40}}));
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 5,
+                      {{FieldId::kIpSrc, 40},
+                       {FieldId::kOutPort, 99},
+                       {FieldId::kEgressAction, kForward}}));
+  ASSERT_EQ(eng.violations().size(), 1u);
+  EXPECT_EQ(BoundVar(eng.violations()[0], "E"), 1u);
+}
+
+TEST(EngineTest, RoundRobinSequenceSurvivesInterleavedNonMatches) {
+  MonitorEngine eng(RoundRobinProperty());
+  // Matching and non-matching events interleaved: the rr sequence over the
+  // committed creations must still be exactly 1, 2, 3, 1.
+  std::vector<std::uint64_t> assigned;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const std::uint64_t ip = 100 + i;
+    eng.ProcessEvent(Ev(DataplaneEventType::kArrival, static_cast<int>(2 * i),
+                        {{FieldId::kIpSrc, ip}}));
+    // Interleave non-matches: an arrival that cannot bind A (no rr draw
+    // may leak) and an egress from an unknown flow.
+    eng.ProcessEvent(
+        Ev(DataplaneEventType::kArrival, static_cast<int>(2 * i), {}));
+    eng.ProcessEvent(Ev(DataplaneEventType::kEgress, static_cast<int>(2 * i),
+                        {{FieldId::kIpSrc, 999},
+                         {FieldId::kOutPort, 1},
+                         {FieldId::kEgressAction, kForward}}));
+    eng.ProcessEvent(
+        Ev(DataplaneEventType::kEgress, static_cast<int>(2 * i + 1),
+           {{FieldId::kIpSrc, ip},
+            {FieldId::kOutPort, 99},
+            {FieldId::kEgressAction, kForward}}));
+    ASSERT_EQ(eng.violations().size(), i + 1);
+    assigned.push_back(BoundVar(eng.violations()[i], "E"));
+  }
+  EXPECT_EQ(assigned, (std::vector<std::uint64_t>{1, 2, 3, 1}));
+}
+
+TEST(EngineTest, NoEvictionQueueGrowthWhenUnbounded) {
+  // max_instances == 0 (unbounded): the engine must not accumulate
+  // creation-order bookkeeping across create/destroy churn.
+  MonitorEngine eng(TwoStage());
+  for (int i = 0; i < 10000; ++i) {
+    eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 2 * i,
+                        {{FieldId::kInPort, 1},
+                         {FieldId::kIpSrc, 10},
+                         {FieldId::kIpDst, 20}}));
+    eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2 * i + 1,
+                        {{FieldId::kIpSrc, 20},
+                         {FieldId::kIpDst, 10},
+                         {FieldId::kEgressAction, kDrop}}));
+  }
+  EXPECT_EQ(eng.violations().size(), 10000u);
+  EXPECT_EQ(eng.live_instances(), 0u);
+  EXPECT_EQ(eng.eviction_queue_size(), 0u);
+}
+
+TEST(EngineTest, EvictionQueueStaysBoundedUnderChurn) {
+  MonitorConfig mc;
+  mc.max_instances = 4;
+  MonitorEngine eng(TwoStage(), mc);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    eng.ProcessEvent(Ev(DataplaneEventType::kArrival, static_cast<int>(i),
+                        {{FieldId::kInPort, 1},
+                         {FieldId::kIpSrc, 1000 + i},
+                         {FieldId::kIpDst, 20}}));
+  }
+  EXPECT_EQ(eng.live_instances(), 4u);
+  EXPECT_EQ(eng.stats().instances_evicted, 10000u - 4u);
+  // Compaction keeps the queue near 2*live + threshold, not O(created).
+  EXPECT_LE(eng.eviction_queue_size(), 2 * 4u + 64u + 1u);
+  // Eviction order must still be correct after compactions: only the 4
+  // newest flows are live.
+  eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 10001,
+                      {{FieldId::kIpSrc, 20},
+                       {FieldId::kIpDst, 1000 + 9999},
+                       {FieldId::kEgressAction, kDrop}}));
+  EXPECT_EQ(eng.violations().size(), 1u);
 }
 
 TEST(EngineTest, ValidatePropertyRejectsBadSpecs) {

@@ -1,5 +1,9 @@
-// MonitorSet (multi-property fan-out) and spec introspection/printing.
+// MonitorSet (multi-property fan-out), interest-signature dispatch, and
+// spec introspection/printing.
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
 
 #include "monitor/monitor_set.hpp"
 #include "monitor/property_builder.hpp"
@@ -61,6 +65,108 @@ TEST(MonitorSetTest, AdvanceTimeReachesEveryEngine) {
                            {FieldId::kDhcpXid, 1}}));
   set.AdvanceTime(SimTime::Zero() + Duration::Seconds(30));
   EXPECT_EQ(set.TotalViolations(), 2u);  // both deadlines fired
+}
+
+TEST(MonitorSetTest, FiltersEventsOutsideTheInterestSignature) {
+  MonitorSet set;
+  set.Add(FirewallReturnNotDropped());  // listens to arrival|egress only
+  const MonitorEngine& eng = set.engine(0);
+  EXPECT_EQ(eng.interest_signature(),
+            EventTypeBit(DataplaneEventType::kArrival) |
+                EventTypeBit(DataplaneEventType::kEgress));
+
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kLinkStatus, 1,
+                          {{FieldId::kLinkId, 3}, {FieldId::kLinkUp, 0}}));
+  // The engine never processed the event — only observed the timestamp.
+  EXPECT_EQ(eng.stats().events, 0u);
+  EXPECT_EQ(eng.stats().events_filtered, 1u);
+  EXPECT_EQ(set.events_dispatched(), 0u);
+  EXPECT_EQ(set.events_filtered(), 1u);
+
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 2,
+                          {{FieldId::kInPort, 1},
+                           {FieldId::kIpSrc, 10},
+                           {FieldId::kIpDst, 20}}));
+  EXPECT_EQ(eng.stats().events, 1u);
+  EXPECT_EQ(eng.stats().events_dispatched, 1u);
+  EXPECT_EQ(set.events_dispatched(), 1u);
+  EXPECT_EQ(eng.live_instances(), 1u);
+}
+
+TEST(MonitorSetTest, FilteredEventsStillAdvanceTimeoutClocks) {
+  // A filtered event must keep the engine clock moving: a windowed ARP
+  // obligation expires purely from link-status noise the ARP property
+  // does not listen to — no explicit AdvanceTime call.
+  MonitorSet set;
+  set.Add(ArpProxyReplyDeadline());
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 1,
+                          {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
+  set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 2,
+                          {{FieldId::kArpOp, 1}, {FieldId::kArpTargetIp, 7}}));
+  EXPECT_EQ(set.engine(0).live_instances(), 1u);
+
+  for (int i = 0; i < 5; ++i)
+    set.OnDataplaneEvent(Ev(DataplaneEventType::kLinkStatus, 2000 + i,
+                            {{FieldId::kLinkId, 1}, {FieldId::kLinkUp, 1}}));
+  EXPECT_EQ(set.engine(0).stats().events, 2u);  // only the two ARP arrivals
+  ASSERT_EQ(set.TotalViolations(), 1u);
+  EXPECT_EQ(set.AllViolations()[0].property, ArpProxyReplyDeadline().name);
+}
+
+TEST(MonitorSetTest, FilteredDispatchMatchesBroadcastSemantics) {
+  // The same mixed stream through the filtering MonitorSet and through a
+  // broadcast loop over plain engines must yield identical violations.
+  std::vector<Property> props = {FirewallReturnNotDropped(),
+                                 LearningSwitchNoFloodAfterLearn(),
+                                 ArpProxyReplyDeadline()};
+  std::vector<DataplaneEvent> stream;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t ip = 10 + i % 7;
+    stream.push_back(Ev(DataplaneEventType::kArrival, 10 * i,
+                        {{FieldId::kInPort, 1 + i % 3},
+                         {FieldId::kIpSrc, ip},
+                         {FieldId::kIpDst, 20},
+                         {FieldId::kEthSrc, 0xa0 + ip}}));
+    stream.push_back(Ev(DataplaneEventType::kLinkStatus, 10 * i + 3,
+                        {{FieldId::kLinkId, 1}, {FieldId::kLinkUp, i % 2}}));
+    if (i % 5 == 0)
+      stream.push_back(
+          Ev(DataplaneEventType::kEgress, 10 * i + 6,
+             {{FieldId::kIpSrc, 20},
+              {FieldId::kIpDst, ip},
+              {FieldId::kEgressAction,
+               static_cast<std::uint64_t>(EgressActionValue::kDrop)}}));
+  }
+
+  MonitorSet filtered;
+  for (const Property& p : props) filtered.Add(p);
+  std::vector<std::unique_ptr<MonitorEngine>> broadcast;
+  for (const Property& p : props)
+    broadcast.push_back(std::make_unique<MonitorEngine>(p));
+
+  for (const DataplaneEvent& ev : stream) {
+    filtered.OnDataplaneEvent(ev);
+    for (auto& e : broadcast) e->OnDataplaneEvent(ev);
+  }
+
+  std::size_t broadcast_total = 0;
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    broadcast_total += broadcast[i]->violations().size();
+    ASSERT_EQ(filtered.engine(i).violations().size(),
+              broadcast[i]->violations().size())
+        << props[i].name;
+    for (std::size_t v = 0; v < broadcast[i]->violations().size(); ++v) {
+      EXPECT_EQ(filtered.engine(i).violations()[v].time,
+                broadcast[i]->violations()[v].time);
+      EXPECT_EQ(filtered.engine(i).violations()[v].trigger_stage,
+                broadcast[i]->violations()[v].trigger_stage);
+    }
+  }
+  EXPECT_EQ(filtered.TotalViolations(), broadcast_total);
+  EXPECT_GT(broadcast_total, 0u);
+  // And the filter actually filtered: link-status noise reached no engine.
+  EXPECT_GT(filtered.events_filtered(), 0u);
+  EXPECT_LT(filtered.events_dispatched(), stream.size() * props.size());
 }
 
 TEST(SpecPrintTest, ToStringShowsTheObservationStructure) {

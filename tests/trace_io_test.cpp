@@ -1,8 +1,10 @@
 // Trace persistence round-trip and corruption handling.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "monitor/engine.hpp"
 #include "netsim/trace_io.hpp"
@@ -88,6 +90,102 @@ TEST(TraceIoTest, RejectsBadMagic) {
   std::string error;
   EXPECT_FALSE(LoadTrace(path, loaded, &error));
   EXPECT_NE(error.find("not a swmon trace"), std::string::npos);
+}
+
+namespace {
+
+void AppendLE(std::vector<std::uint8_t>& out, std::uint64_t v,
+              std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WriteFile(const std::string& path, const void* data, std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data, 1, size, f), size);
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST(TraceIoTest, V2FormatIsLittleEndianOnDisk) {
+  // Hand-craft a v2 file byte-for-byte: it must decode identically on any
+  // host, proving the format is explicit LE rather than host-endian.
+  std::vector<std::uint8_t> buf = {'S', 'W', 'M', 'T'};
+  AppendLE(buf, 2, 4);  // version
+  AppendLE(buf, 1, 8);  // one event
+  buf.push_back(static_cast<std::uint8_t>(DataplaneEventType::kEgress));
+  AppendLE(buf, 123456789, 8);  // time_ns
+  AppendLE(buf, 0x11223344, 4);  // packet_bytes
+  const auto src_bit = static_cast<unsigned>(FieldId::kIpSrc);
+  const auto dst_bit = static_cast<unsigned>(FieldId::kIpDst);
+  AppendLE(buf, (1ull << src_bit) | (1ull << dst_bit), 8);  // presence
+  // Values in field-index order.
+  AppendLE(buf, src_bit < dst_bit ? 0xAABBCCDDEEFF0011ull : 42, 8);
+  AppendLE(buf, src_bit < dst_bit ? 42 : 0xAABBCCDDEEFF0011ull, 8);
+
+  const std::string path = TempPath("handmade_v2.swmt");
+  WriteFile(path, buf.data(), buf.size());
+
+  TraceRecorder loaded;
+  std::string error;
+  ASSERT_TRUE(LoadTrace(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  const DataplaneEvent& ev = loaded.events()[0];
+  EXPECT_EQ(ev.type, DataplaneEventType::kEgress);
+  EXPECT_EQ(ev.time.nanos(), 123456789);
+  EXPECT_EQ(ev.packet_bytes, 0x11223344u);
+  EXPECT_EQ(ev.fields.Get(FieldId::kIpSrc), 0xAABBCCDDEEFF0011ull);
+  EXPECT_EQ(ev.fields.Get(FieldId::kIpDst), 42u);
+}
+
+TEST(TraceIoTest, ReadsVersion1HostEndianTraces) {
+  if constexpr (std::endian::native != std::endian::little)
+    GTEST_SKIP() << "v1 traces are only readable on little-endian hosts";
+  // Reproduce the v1 writer: raw fwrite of host scalars, version = 1.
+  const std::string path = TempPath("legacy_v1.swmt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("SWMT", 1, 4, f);
+  const std::uint32_t version = 1;
+  std::fwrite(&version, sizeof(version), 1, f);
+  const std::uint64_t count = 1;
+  std::fwrite(&count, sizeof(count), 1, f);
+  const std::uint8_t type =
+      static_cast<std::uint8_t>(DataplaneEventType::kArrival);
+  std::fwrite(&type, 1, 1, f);
+  const std::uint64_t time_ns = 5000000;
+  std::fwrite(&time_ns, sizeof(time_ns), 1, f);
+  const std::uint32_t packet_bytes = 64;
+  std::fwrite(&packet_bytes, sizeof(packet_bytes), 1, f);
+  const std::uint64_t presence = 1ull
+                                 << static_cast<unsigned>(FieldId::kInPort);
+  std::fwrite(&presence, sizeof(presence), 1, f);
+  const std::uint64_t value = 3;
+  std::fwrite(&value, sizeof(value), 1, f);
+  std::fclose(f);
+
+  TraceRecorder loaded;
+  std::string error;
+  ASSERT_TRUE(LoadTrace(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.events()[0].type, DataplaneEventType::kArrival);
+  EXPECT_EQ(loaded.events()[0].time.nanos(), 5000000);
+  EXPECT_EQ(loaded.events()[0].packet_bytes, 64u);
+  EXPECT_EQ(loaded.events()[0].fields.Get(FieldId::kInPort), 3u);
+}
+
+TEST(TraceIoTest, RejectsFutureVersion) {
+  std::vector<std::uint8_t> buf = {'S', 'W', 'M', 'T'};
+  AppendLE(buf, 3, 4);
+  AppendLE(buf, 0, 8);
+  const std::string path = TempPath("future.swmt");
+  WriteFile(path, buf.data(), buf.size());
+  TraceRecorder loaded;
+  std::string error;
+  EXPECT_FALSE(LoadTrace(path, loaded, &error));
+  EXPECT_NE(error.find("unsupported trace version"), std::string::npos);
 }
 
 TEST(TraceIoTest, RejectsTruncation) {
