@@ -1,0 +1,23 @@
+#include "common/threading.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace swmon {
+
+bool PinCurrentThreadToCpu(std::size_t cpu) {
+#if defined(__linux__)
+  const std::size_t ncpu = HardwareWorkerCount();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace swmon

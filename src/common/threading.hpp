@@ -1,0 +1,43 @@
+// Threading primitives for the parallel monitor path.
+//
+// The parallel MonitorSet (monitor/parallel_monitor_set.hpp) shards engines
+// across a fixed pool of worker threads. These are the building blocks it
+// needs from the platform: cache-line padding so per-worker counters never
+// false-share, a worker-count default, and optional CPU pinning so a worker
+// keeps its engines' state hot in one core's cache (the software analogue of
+// a switch pipeline stage owning its registers).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace swmon {
+
+/// Destructive-interference distance. std::hardware_destructive_interference_
+/// size is not universally available; 64 is correct for every x86/ARM part
+/// this sim targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// An atomic counter padded out to a full cache line. Workers publish
+/// per-worker progress counters through these; without the padding, adjacent
+/// workers' counters share a line and every increment ping-pongs it.
+template <typename T>
+struct alignas(kCacheLineBytes) PaddedAtomic {
+  std::atomic<T> value{};
+};
+static_assert(sizeof(PaddedAtomic<std::uint64_t>) == kCacheLineBytes);
+
+/// Default worker-pool size: the hardware concurrency, floored at 1 (the
+/// standard permits hardware_concurrency() == 0 when unknown).
+inline std::size_t HardwareWorkerCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+/// Pins the calling thread to `cpu` (modulo the hardware count). Returns
+/// false when the platform does not support affinity or the call fails;
+/// callers treat pinning as a hint, never a requirement.
+bool PinCurrentThreadToCpu(std::size_t cpu);
+
+}  // namespace swmon

@@ -39,6 +39,10 @@ void SoftSwitch::Observe(const DataplaneEvent& event) {
   for (auto* obs : observers_) obs->OnDataplaneEvent(event);
 }
 
+void SoftSwitch::FlushObservers() {
+  for (auto* obs : observers_) obs->FlushEvents();
+}
+
 void SoftSwitch::EmitEgress(const ParsedPacket& view, PacketId id,
                             const ForwardDecision& decision,
                             std::uint32_t packet_bytes) {

@@ -66,6 +66,12 @@ class DataplaneObserver {
  public:
   virtual ~DataplaneObserver() = default;
   virtual void OnDataplaneEvent(const DataplaneEvent& event) = 0;
+  /// Batching observers (e.g. ParallelMonitorSet) buffer events between
+  /// OnDataplaneEvent calls; the switch raises this at quiet points —
+  /// SoftSwitch::FlushObservers(), called when an injector goes idle or
+  /// before querying monitor state — so buffered events are fully
+  /// delivered. Per-event observers ignore it.
+  virtual void FlushEvents() {}
 };
 
 class SoftSwitch;
@@ -128,6 +134,12 @@ class SoftSwitch {
   /// Out-of-band link status change: notifies the program and observers.
   void SetLinkStatus(PortId port, bool up);
   bool LinkUp(PortId port) const;
+
+  /// Flush point for batching observers: call when the packet source goes
+  /// idle or before reading monitor results, so buffered events (see
+  /// DataplaneObserver::FlushEvents) are delivered with unchanged timeout
+  /// semantics.
+  void FlushObservers();
 
   std::uint32_t switch_id() const { return switch_id_; }
   std::uint32_t num_ports() const { return num_ports_; }

@@ -1,0 +1,68 @@
+// Fixed-capacity event batches for the parallel monitor path.
+//
+// Per-event virtual dispatch to a worker pool would put one synchronisation
+// point on every packet; batching moves that cost to one ring push per
+// kBatch events. A batch is immutable once published: the producer fills a
+// Batch<T>, freezes it behind shared_ptr<const Batch<T>>, and every worker
+// reads the same copy (items carry a global sequence number base so
+// violations can be merged back into stream order deterministically).
+//
+// Templated on the item type so the event library stays independent of the
+// dataplane's event struct (dataplane already depends on event, not the
+// reverse).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace swmon {
+
+template <typename T>
+struct Batch {
+  /// Global sequence number of items[0]; items[i] is event base_seq + i.
+  std::uint64_t base_seq = 0;
+  std::vector<T> items;
+};
+
+/// Accumulates items into batches of a fixed capacity. Append() returns a
+/// frozen batch exactly when the current one fills; TakePartial() flushes
+/// whatever is pending (the flush-on-idle / flush-on-query rule lives in
+/// the caller — the accumulator just hands over the partial batch).
+template <typename T>
+class BatchBuffer {
+ public:
+  explicit BatchBuffer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t pending() const { return cur_ ? cur_->items.size() : 0; }
+  /// Sequence number the next appended item will get.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Adds one item. Returns the completed batch when this append fills it,
+  /// nullptr otherwise.
+  std::shared_ptr<const Batch<T>> Append(const T& item) {
+    if (!cur_) {
+      cur_ = std::make_shared<Batch<T>>();
+      cur_->base_seq = next_seq_;
+      cur_->items.reserve(capacity_);
+    }
+    cur_->items.push_back(item);
+    ++next_seq_;
+    if (cur_->items.size() < capacity_) return nullptr;
+    return std::exchange(cur_, nullptr);
+  }
+
+  /// Hands over the in-progress batch (nullptr when nothing is pending).
+  std::shared_ptr<const Batch<T>> TakePartial() {
+    return std::exchange(cur_, nullptr);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<Batch<T>> cur_;
+};
+
+}  // namespace swmon

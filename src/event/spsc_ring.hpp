@@ -1,0 +1,142 @@
+// A bounded single-producer / single-consumer ring buffer.
+//
+// The parallel monitor path publishes event batches from the dataplane
+// thread (the single producer) to each worker (the single consumer of its
+// own ring). The transfer itself is lock-free — head/tail are acquire/
+// release atomics and a slot is written by exactly one side at a time — but
+// both blocking entry points fall back to a condition variable after a
+// short spin so an idle worker parks instead of burning a core, and a
+// producer ahead of a slow worker exerts backpressure instead of growing an
+// unbounded queue. The wake protocol locks the (empty) mutex *after* the
+// slot store and before notifying, which orders the store before the
+// sleeper's predicate re-check — no missed wakeups, and ThreadSanitizer
+// sees the happens-before edge.
+//
+// Items are delivered strictly in push order; Close() drains: pops keep
+// succeeding until the ring is empty, then PopBlocking returns false.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/threading.hpp"
+
+namespace swmon {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (masked indexing).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  bool Empty() const {
+    return head_.value.load(std::memory_order_acquire) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Producer side. Returns false (item untouched) when the ring is full.
+  bool TryPush(T& item) {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail - head_.value.load(std::memory_order_acquire) == slots_.size())
+      return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.value.store(tail + 1, std::memory_order_release);
+    Wake(consumer_cv_);
+    return true;
+  }
+
+  /// Producer side; blocks (spin, then park) while the ring is full.
+  /// Pushing into a closed ring is a programming error.
+  void PushBlocking(T item) {
+    SWMON_ASSERT_MSG(!closed(), "push into a closed SpscRing");
+    while (!TryPush(item)) {
+      for (int spin = 0; spin < kSpinIters; ++spin) {
+        std::this_thread::yield();
+        if (TryPush(item)) return;
+      }
+      std::unique_lock<std::mutex> lk(wait_mutex_);
+      producer_cv_.wait(lk, [&] {
+        return tail_.value.load(std::memory_order_relaxed) -
+                   head_.value.load(std::memory_order_acquire) <
+               slots_.size();
+      });
+    }
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T& out) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    if (head == tail_.value.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.value.store(head + 1, std::memory_order_release);
+    Wake(producer_cv_);
+    return true;
+  }
+
+  /// Consumer side; blocks until an item arrives. Returns false only once
+  /// the ring is closed *and* fully drained.
+  bool PopBlocking(T& out) {
+    while (true) {
+      if (TryPop(out)) return true;
+      if (closed()) return TryPop(out);  // drain items pushed before Close
+      for (int spin = 0; spin < kSpinIters; ++spin) {
+        std::this_thread::yield();
+        if (TryPop(out)) return true;
+      }
+      std::unique_lock<std::mutex> lk(wait_mutex_);
+      consumer_cv_.wait(lk, [&] {
+        return !Empty() || closed_.load(std::memory_order_acquire);
+      });
+    }
+  }
+
+  /// Producer side. Wakes both parties; subsequent pops drain, pushes abort.
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(wait_mutex_);
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+ private:
+  static constexpr int kSpinIters = 64;
+
+  void Wake(std::condition_variable& cv) {
+    // The empty critical section orders the preceding head/tail store
+    // before any sleeper's predicate evaluation (which runs under the same
+    // mutex): either the sleeper sees the new index, or it blocks until we
+    // release and then gets the notify.
+    {
+      std::lock_guard<std::mutex> lk(wait_mutex_);
+    }
+    cv.notify_one();
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  PaddedAtomic<std::size_t> head_;  // next slot to pop (consumer-owned)
+  PaddedAtomic<std::size_t> tail_;  // next slot to push (producer-owned)
+  std::atomic<bool> closed_{false};
+
+  std::mutex wait_mutex_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+};
+
+}  // namespace swmon

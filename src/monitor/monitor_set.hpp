@@ -17,10 +17,10 @@
 // timeout-action observations in quiet periods via AdvanceTime.
 #pragma once
 
-#include <array>
 #include <memory>
 #include <vector>
 
+#include "monitor/dispatch_table.hpp"
 #include "monitor/engine.hpp"
 
 namespace swmon {
@@ -32,22 +32,15 @@ class MonitorSet : public DataplaneObserver {
     engines_.push_back(
         std::make_unique<MonitorEngine>(std::move(property), config));
     MonitorEngine* engine = engines_.back().get();
-    const EventTypeMask sig = engine->interest_signature();
-    for (std::size_t t = 0; t < kNumDataplaneEventTypes; ++t) {
-      auto& list = dispatch_[t];
-      (sig >> t & 1 ? list.interested : list.filtered).push_back(engine);
-    }
+    dispatch_.Register(engine, static_cast<std::uint32_t>(engines_.size() - 1));
     return *engine;
   }
 
   void OnDataplaneEvent(const DataplaneEvent& event) override {
-    const auto& list = dispatch_[static_cast<std::size_t>(event.type)];
-    for (MonitorEngine* e : list.interested) e->ProcessDispatchedEvent(event);
-    // Uninterested engines only need the timestamp so their timers keep
-    // firing at the right points (constant-time when nothing expires).
-    for (MonitorEngine* e : list.filtered) e->NoteFilteredEvent(event.time);
-    events_dispatched_ += list.interested.size();
-    events_filtered_ += list.filtered.size();
+    // Interested engines get full processing; the rest only need the
+    // timestamp so their timers keep firing at the right points
+    // (constant-time when nothing expires).
+    dispatch_.Deliver(event, events_dispatched_, events_filtered_);
   }
 
   void AdvanceTime(SimTime now) {
@@ -78,13 +71,8 @@ class MonitorSet : public DataplaneObserver {
   }
 
  private:
-  struct DispatchList {
-    std::vector<MonitorEngine*> interested;
-    std::vector<MonitorEngine*> filtered;
-  };
-
   std::vector<std::unique_ptr<MonitorEngine>> engines_;
-  std::array<DispatchList, kNumDataplaneEventTypes> dispatch_;
+  DispatchTable dispatch_;
   std::uint64_t events_dispatched_ = 0;
   std::uint64_t events_filtered_ = 0;
 };

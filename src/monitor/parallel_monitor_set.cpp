@@ -1,0 +1,250 @@
+#include "monitor/parallel_monitor_set.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace swmon {
+
+std::vector<double> CalibrateShardWeights(
+    const std::vector<Property>& properties,
+    const std::vector<DataplaneEvent>& sample, MonitorConfig config) {
+  std::vector<double> weights;
+  weights.reserve(properties.size());
+  for (const Property& p : properties) {
+    MonitorEngine probe(p, config);
+    const EventTypeMask sig = probe.interest_signature();
+    for (const DataplaneEvent& ev : sample) {
+      if (sig >> static_cast<std::size_t>(ev.type) & 1) {
+        probe.ProcessEvent(ev);
+      } else {
+        probe.AdvanceTime(ev.time);  // mirror the filtered clock-only path
+      }
+    }
+    // candidate_checks counts instances examined across lookups — the
+    // dominant per-event cost. +1 keeps never-matching engines schedulable.
+    weights.push_back(1.0 +
+                      static_cast<double>(probe.stats().candidate_checks));
+  }
+  return weights;
+}
+
+std::vector<std::size_t> GreedyAssignShards(const std::vector<double>& weights,
+                                            std::size_t workers) {
+  SWMON_ASSERT(workers > 0);
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  std::vector<double> load(workers, 0.0);
+  std::vector<std::size_t> shard(weights.size(), 0);
+  for (const std::size_t i : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    shard[i] = lightest;
+    load[lightest] += weights[i];
+  }
+  return shard;
+}
+
+ParallelMonitorSet::ParallelMonitorSet(ParallelConfig config)
+    : config_(config),
+      batcher_(config.batch_capacity ? config.batch_capacity : 1) {
+  if (config_.workers == 0) config_.workers = HardwareWorkerCount();
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+ParallelMonitorSet::~ParallelMonitorSet() { Stop(); }
+
+MonitorEngine& ParallelMonitorSet::Add(Property property, MonitorConfig config,
+                                       double weight) {
+  SWMON_ASSERT_MSG(!started_, "Add() after Start()");
+  engines_.push_back(
+      std::make_unique<MonitorEngine>(std::move(property), config));
+  weights_.push_back(weight > 0 ? weight : 1.0);
+  return *engines_.back();
+}
+
+void ParallelMonitorSet::Start() {
+  SWMON_ASSERT_MSG(!started_ && !stopped_, "Start() twice");
+  const std::size_t n_workers = std::max<std::size_t>(1, config_.workers);
+  shard_of_ = GreedyAssignShards(weights_, n_workers);
+  workers_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w)
+    workers_.push_back(std::make_unique<Worker>(config_.ring_capacity));
+  // Register in attach order so each shard's dispatch order (and thus its
+  // engines' event interleaving) matches the serial set's.
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    Worker& w = *workers_[shard_of_[i]];
+    w.table.Register(engines_[i].get(), static_cast<std::uint32_t>(i));
+    w.engine_indices.push_back(i);
+  }
+  started_ = true;
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers_[w]->thread =
+        std::thread([this, w] { WorkerLoop(*workers_[w], w); });
+  }
+}
+
+void ParallelMonitorSet::WorkerLoop(Worker& worker, std::size_t worker_index) {
+  if (config_.pin_threads) PinCurrentThreadToCpu(worker_index);
+  std::shared_ptr<const Batch<DataplaneEvent>> batch;
+  while (worker.ring.PopBlocking(batch)) {
+    ProcessBatch(worker, *batch);
+    batch.reset();  // release the shared buffer before parking
+    worker.batches_consumed.value.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ParallelMonitorSet::ProcessBatch(Worker& worker,
+                                      const Batch<DataplaneEvent>& batch) {
+  // Local accumulators; synced into the worker's counters once per batch so
+  // the batched path's totals match serial per-event counting exactly.
+  std::uint64_t dispatched = 0;
+  std::uint64_t filtered = 0;
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    const DataplaneEvent& ev = batch.items[i];
+    const std::uint64_t seq = batch.base_seq + i;
+    const DispatchTable::Lists& lists = worker.table.lists(ev.type);
+    for (const DispatchTable::Entry& e : lists.interested) {
+      const std::size_t before = e.engine->violations().size();
+      e.engine->ProcessDispatchedEvent(ev);
+      for (std::size_t v = before; v < e.engine->violations().size(); ++v) {
+        worker.markers.push_back(
+            {seq, e.attach_index, static_cast<std::uint32_t>(v)});
+      }
+    }
+    for (const DispatchTable::Entry& e : lists.filtered) {
+      // The clock advance can fire timeout-action windows (Feature 7), so
+      // filtered deliveries are violation sources too.
+      const std::size_t before = e.engine->violations().size();
+      e.engine->NoteFilteredEvent(ev.time);
+      for (std::size_t v = before; v < e.engine->violations().size(); ++v) {
+        worker.markers.push_back(
+            {seq, e.attach_index, static_cast<std::uint32_t>(v)});
+      }
+    }
+    dispatched += lists.interested.size();
+    filtered += lists.filtered.size();
+  }
+  worker.dispatched += dispatched;
+  worker.filtered += filtered;
+}
+
+void ParallelMonitorSet::OnDataplaneEvent(const DataplaneEvent& event) {
+  SWMON_ASSERT_MSG(started_ && !stopped_,
+                   "ParallelMonitorSet needs Start() before events");
+  if (auto batch = batcher_.Append(event)) PublishBatch(std::move(batch));
+}
+
+void ParallelMonitorSet::PublishBatch(
+    std::shared_ptr<const Batch<DataplaneEvent>> batch) {
+  for (auto& w : workers_) {
+    auto copy = batch;  // one refcount per worker; last consumer frees
+    w->ring.PushBlocking(std::move(copy));
+  }
+  ++batches_published_;
+}
+
+void ParallelMonitorSet::Quiesce() {
+  if (!started_) return;
+  if (auto batch = batcher_.TakePartial()) PublishBatch(std::move(batch));
+  for (auto& w : workers_) {
+    while (w->batches_consumed.value.load(std::memory_order_acquire) <
+           batches_published_) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelMonitorSet::Flush() { Quiesce(); }
+
+void ParallelMonitorSet::AdvanceTime(SimTime now) {
+  Quiesce();
+  // Post-quiesce the producer owns all engine state (workers are parked on
+  // empty rings); advancing serially in attach order matches MonitorSet.
+  const std::uint64_t seq = batcher_.next_seq();
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    MonitorEngine& e = *engines_[i];
+    const std::size_t before = e.violations().size();
+    e.AdvanceTime(now);
+    for (std::size_t v = before; v < e.violations().size(); ++v) {
+      advance_markers_.push_back(
+          {seq, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(v)});
+    }
+  }
+}
+
+void ParallelMonitorSet::Stop() {
+  if (!started_ || stopped_) return;
+  Quiesce();
+  for (auto& w : workers_) w->ring.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  stopped_ = true;
+}
+
+std::uint64_t ParallelMonitorSet::events_dispatched() {
+  Quiesce();
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->dispatched;
+  return total;
+}
+
+std::uint64_t ParallelMonitorSet::events_filtered() {
+  Quiesce();
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->filtered;
+  return total;
+}
+
+std::vector<Violation> ParallelMonitorSet::AllViolations() {
+  Quiesce();
+  std::vector<Violation> out;
+  for (const auto& e : engines_) {
+    const auto& v = e->violations();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<Violation> ParallelMonitorSet::MergeFromMarkers(
+    const std::vector<ViolationMarker>& markers) const {
+  std::vector<Violation> out;
+  out.reserve(markers.size());
+  for (const ViolationMarker& m : markers)
+    out.push_back(engines_[m.engine_index]->violations()[m.violation_index]);
+  return out;
+}
+
+std::vector<Violation> ParallelMonitorSet::MergedViolations() {
+  Quiesce();
+  std::vector<ViolationMarker> markers;
+  for (const auto& w : workers_)
+    markers.insert(markers.end(), w->markers.begin(), w->markers.end());
+  markers.insert(markers.end(), advance_markers_.begin(),
+                 advance_markers_.end());
+  // Stream order with the serial tiebreak: the event that fired it, then
+  // engine attach order (serial dispatch order within one event), then the
+  // engine's own emission order. Stable under any worker count / schedule.
+  std::sort(markers.begin(), markers.end(),
+            [](const ViolationMarker& a, const ViolationMarker& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              if (a.engine_index != b.engine_index)
+                return a.engine_index < b.engine_index;
+              return a.violation_index < b.violation_index;
+            });
+  return MergeFromMarkers(markers);
+}
+
+std::size_t ParallelMonitorSet::TotalViolations() {
+  Quiesce();
+  std::size_t n = 0;
+  for (const auto& e : engines_) n += e->violations().size();
+  return n;
+}
+
+}  // namespace swmon

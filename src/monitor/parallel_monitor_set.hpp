@@ -1,0 +1,192 @@
+// Parallel sharded monitor execution (the worker-pool MonitorSet).
+//
+// Thirteen Table-1 engines behind a serial MonitorSet still execute on one
+// core; aggregate throughput is capped at single-thread speed no matter how
+// many properties the interest-signature filter skips. Real switches get
+// their throughput from stage parallelism, and engines are independent
+// state machines — no instance, timer, or suppressor is shared across
+// properties — so engine-level sharding is semantics-preserving by
+// construction (and asserted by the parity test, not by argument).
+//
+// Threading model
+//   * One producer (whatever thread feeds OnDataplaneEvent) accumulates
+//     events into fixed-size batches (event/event_batch.hpp) and publishes
+//     each frozen batch to every worker's SPSC ring (event/spsc_ring.hpp):
+//     one synchronisation point per kBatch events instead of per event.
+//   * Each worker owns a disjoint subset of the engines plus a private
+//     DispatchTable over that shard, and runs the existing interest-
+//     signature ProcessEvent loop over every batch in order. An engine is
+//     only ever touched by its worker (or by the producer after Quiesce),
+//     so the hot path takes no locks and mutates no shared state.
+//   * Flush rules: a batch is published when full; Flush()/AdvanceTime()/
+//     any query accessor publish the partial batch and quiesce (wait until
+//     every worker has consumed every published batch), so timeout
+//     semantics and observable state match serial execution exactly at
+//     those points. Stop() flushes, closes the rings, and joins.
+//
+// Determinism
+//   Every worker sees the same totally-ordered event stream, and each
+//   engine processes it exactly as under serial dispatch, so per-engine
+//   violation lists and stats are bit-identical to MonitorSet's.
+//   AllViolations() therefore concatenates per-engine lists in attach
+//   order, exactly like the serial set. MergedViolations() additionally
+//   interleaves across engines into stream order: workers record a marker
+//   (global event sequence, engine attach index, per-engine violation
+//   index) for every violation they observe, and the merge sorts by that
+//   triple — the same order a serial per-event loop would emit, independent
+//   of worker count, scheduling, or batch size.
+//
+// Shard assignment is greedy cost-balancing (longest-processing-time):
+// engines are weighted — ideally by CalibrateShardWeights(), which replays
+// a sample stream through throwaway engines and uses their per-event
+// candidate_checks as the cost proxy — and each engine goes to the
+// currently lightest worker. bench_parallel sweeps workers x properties x
+// batch size and reports events/sec against the serial baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/threading.hpp"
+#include "event/event_batch.hpp"
+#include "event/spsc_ring.hpp"
+#include "monitor/dispatch_table.hpp"
+#include "monitor/monitor_set.hpp"
+
+namespace swmon {
+
+struct ParallelConfig {
+  /// Worker threads. 0 = HardwareWorkerCount().
+  std::size_t workers = 0;
+  /// Events per published batch (the producer-side sync granularity).
+  std::size_t batch_capacity = 256;
+  /// Batches in flight per worker ring before the producer blocks
+  /// (backpressure bound: ring_capacity * batch_capacity events).
+  std::size_t ring_capacity = 64;
+  /// Pin worker i to CPU i (hint; ignored where unsupported).
+  bool pin_threads = false;
+};
+
+/// Computes per-engine shard weights by replaying `sample` through a
+/// throwaway engine per property: weight = 1 + candidate_checks, the count
+/// of instances the engine actually examined — a direct proxy for its
+/// per-event cost on traffic shaped like the sample.
+std::vector<double> CalibrateShardWeights(
+    const std::vector<Property>& properties,
+    const std::vector<DataplaneEvent>& sample, MonitorConfig config = {});
+
+/// Greedy LPT assignment: heaviest engine first, each to the lightest
+/// worker so far. Deterministic (ties break toward the lower engine index /
+/// lower worker id). Returns shard index per engine.
+std::vector<std::size_t> GreedyAssignShards(const std::vector<double>& weights,
+                                            std::size_t workers);
+
+class ParallelMonitorSet : public DataplaneObserver {
+ public:
+  explicit ParallelMonitorSet(ParallelConfig config = {});
+  ~ParallelMonitorSet() override;
+
+  ParallelMonitorSet(const ParallelMonitorSet&) = delete;
+  ParallelMonitorSet& operator=(const ParallelMonitorSet&) = delete;
+
+  /// Adds a property (before Start only). `weight` feeds shard balancing;
+  /// pass CalibrateShardWeights() output for cost-balanced shards, or leave
+  /// 1.0 for uniform.
+  MonitorEngine& Add(Property property, MonitorConfig config = {},
+                     double weight = 1.0);
+
+  /// Shards the engines and launches the worker pool. Add() is frozen
+  /// after this.
+  void Start();
+  bool started() const { return started_; }
+
+  /// Producer entry point: appends to the current batch, publishing it to
+  /// every worker when full. Events must arrive in non-decreasing time
+  /// order (same contract as MonitorEngine::ProcessEvent).
+  void OnDataplaneEvent(const DataplaneEvent& event) override;
+
+  /// Publishes the partial batch and waits until every worker has drained
+  /// its ring. On return, engine state is exactly the serial state after
+  /// the same prefix of events, and is safe to read from this thread.
+  void Flush();
+  void FlushEvents() override { Flush(); }
+
+  /// Flush + advance every engine's clock (fires elapsed windows exactly
+  /// as serial MonitorSet::AdvanceTime would).
+  void AdvanceTime(SimTime now);
+
+  /// Flushes, closes the rings, joins the pool. Engines stay readable;
+  /// further events are a programming error. Idempotent.
+  void Stop();
+
+  // --- accessors (all quiesce first, so they are producer-thread-only) ---
+  std::size_t size() const { return engines_.size(); }
+  MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
+  std::size_t worker_count() const { return workers_.size(); }
+  /// Which worker engine i was sharded onto (Start() required).
+  std::size_t shard_of(std::size_t engine_index) const {
+    return shard_of_[engine_index];
+  }
+
+  /// Engine deliveries across all events; identical to the serial
+  /// MonitorSet's counter on the same stream (synced at batch flush).
+  std::uint64_t events_dispatched();
+  /// Engine deliveries skipped by the interest-signature filter.
+  std::uint64_t events_filtered();
+
+  /// Per-engine lists concatenated in attach order — bit-identical to
+  /// serial MonitorSet::AllViolations() on the same stream.
+  std::vector<Violation> AllViolations();
+  /// Violations interleaved into global stream order (event sequence,
+  /// then engine attach order) — identical for every worker count.
+  std::vector<Violation> MergedViolations();
+  std::size_t TotalViolations();
+
+ private:
+  /// Merge key for one violation: where in the stream it fired.
+  struct ViolationMarker {
+    std::uint64_t seq;             // global sequence of the triggering event
+    std::uint32_t engine_index;    // attach order, the serial dispatch order
+    std::uint32_t violation_index; // index into that engine's violations()
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<std::shared_ptr<const Batch<DataplaneEvent>>> ring;
+    std::thread thread;
+    DispatchTable table;  // this shard's engines only
+    std::vector<std::size_t> engine_indices;
+    // Written by the worker between ring pops, read by the producer only
+    // after Quiesce() — the consumed counter's release/acquire pair is the
+    // publication edge.
+    std::uint64_t dispatched = 0;
+    std::uint64_t filtered = 0;
+    std::vector<ViolationMarker> markers;
+    PaddedAtomic<std::uint64_t> batches_consumed;
+  };
+
+  void WorkerLoop(Worker& worker, std::size_t worker_index);
+  void ProcessBatch(Worker& worker, const Batch<DataplaneEvent>& batch);
+  void PublishBatch(std::shared_ptr<const Batch<DataplaneEvent>> batch);
+  /// Publish the partial batch and wait for all workers to drain.
+  void Quiesce();
+  std::vector<Violation> MergeFromMarkers(
+      const std::vector<ViolationMarker>& markers) const;
+
+  ParallelConfig config_;
+  std::vector<std::unique_ptr<MonitorEngine>> engines_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> shard_of_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  BatchBuffer<DataplaneEvent> batcher_;
+  std::uint64_t batches_published_ = 0;
+  /// Violations fired by producer-side AdvanceTime (post-quiesce), keyed at
+  /// the next event sequence so they merge where serial would emit them.
+  std::vector<ViolationMarker> advance_markers_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace swmon

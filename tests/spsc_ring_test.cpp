@@ -1,0 +1,112 @@
+// SpscRing (event/spsc_ring.hpp): FIFO order, capacity bounds, blocking
+// push/pop with parking, close-and-drain semantics. The two-thread cases
+// carry the `tsan` CTest label — run them under -DSWMON_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "event/spsc_ring.hpp"
+
+namespace swmon {
+namespace {
+
+TEST(SpscRingTest, TryPushPopIsFifo) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v));
+  }
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(out));
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwoAndBounds) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ring.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // a failed push leaves the item untouched
+  int out = -1;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.TryPush(overflow));  // slot freed
+}
+
+TEST(SpscRingTest, BlockingTransferDeliversEverythingInOrder) {
+  constexpr int kItems = 100000;
+  SpscRing<int> ring(16);  // small ring: forces backpressure on the producer
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ring.PushBlocking(i);
+    ring.Close();
+  });
+  int expected = 0;
+  int out = -1;
+  while (ring.PopBlocking(out)) {
+    ASSERT_EQ(out, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(SpscRingTest, CloseWakesAParkedConsumer) {
+  SpscRing<int> ring(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out;
+    EXPECT_FALSE(ring.PopBlocking(out));  // parks until Close
+    returned.store(true);
+  });
+  // Give the consumer time to pass the spin phase and park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(SpscRingTest, CloseDrainsItemsPushedBeforeIt) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.TryPush(v));
+  }
+  ring.Close();
+  int out = -1;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.PopBlocking(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.PopBlocking(out));
+}
+
+TEST(SpscRingTest, SharedPtrPayloadIsReleasedAfterPop) {
+  auto payload = std::make_shared<int>(7);
+  {
+    SpscRing<std::shared_ptr<int>> ring(4);
+    auto copy = payload;
+    ASSERT_TRUE(ring.TryPush(copy));
+    EXPECT_EQ(payload.use_count(), 2);
+    std::shared_ptr<int> out;
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(*out, 7);
+    out.reset();
+    // The popped slot must not keep a stale reference alive.
+    EXPECT_EQ(payload.use_count(), 1);
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace swmon
