@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 #include "monitor/engine.hpp"
 #include "properties/catalog.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 namespace {
@@ -114,10 +115,12 @@ int main() {
                       static_cast<std::uint64_t>(EgressActionValue::kDrop));
       engine.ProcessEvent(drop);
     }
+    telemetry::Snapshot snap;
+    engine.CollectInto(snap, "fw");
     std::printf("%14zu | %10zu | %10llu | %7.0f%%\n", cap,
                 engine.violations().size(),
-                static_cast<unsigned long long>(
-                    engine.stats().instances_evicted),
+                static_cast<unsigned long long>(snap.counter(
+                    "monitor.engine.fw.instances_evicted")),
                 engine.violations().size() * 100.0 / 64.0);
   }
   std::printf(

@@ -19,6 +19,7 @@
 #include "monitor/features.hpp"
 #include "monitor/monitor_set.hpp"
 #include "properties/catalog.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 namespace {
@@ -113,8 +114,9 @@ RunResult RunFiltered(const std::vector<Property>& props,
   MonitorSet set;
   for (const Property& p : props) set.Add(p);
   for (const DataplaneEvent& ev : events) set.OnDataplaneEvent(ev);
-  out.dispatched = set.events_dispatched();
-  out.filtered = set.events_filtered();
+  const telemetry::Snapshot snap = set.TelemetrySnapshot();
+  out.dispatched = snap.counter("monitor.set.events_dispatched");
+  out.filtered = snap.counter("monitor.set.events_filtered");
   out.violations = set.TotalViolations();
   return out;
 }

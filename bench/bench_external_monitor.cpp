@@ -51,7 +51,9 @@ int main() {
     // control-channel traffic is the notifications alone.
     const std::size_t violations = out.ViolationsOf("lsw-linkdown-flush");
     const std::size_t onswitch_bytes = violations * kAlertBytes;
-    const std::uint64_t external_bytes = external.bytes_mirrored();
+    const std::uint64_t external_bytes =
+        external.TelemetrySnapshot("ext").counter(
+            "backend.controller.ext.bytes_mirrored");
 
     std::printf("%8zu | %10zu | %14llu | %14zu | %8.0fx | %9lld us\n", rounds,
                 out.packets_injected,

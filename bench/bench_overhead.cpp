@@ -68,8 +68,9 @@ int main() {
         params);
     for (std::size_t i = 0; i < kProbes; ++i)
       mon.OnDataplaneEvent(Probe(i));
-    const double ns =
-        static_cast<double>(mon.costs().processing_time.nanos()) / kProbes;
+    const double ns = static_cast<double>(mon.TelemetrySnapshot("m").counter(
+                          "m.processing_ns")) /
+                      kProbes;
     std::printf("%8zu | %10zu | %12.0f\n", stages, mon.PipelineDepth(), ns);
     json.AddRow()
         .Str("sweep", "stages")
@@ -88,13 +89,14 @@ int main() {
           std::make_unique<VaranusStore>(params, 3, /*static=*/true),
           params));
     }
-    Duration total = Duration::Zero();
     for (std::size_t i = 0; i < kProbes; ++i) {
       const auto ev = Probe(i);
       for (auto& m : monitors) m->OnDataplaneEvent(ev);
     }
-    for (auto& m : monitors) total += m->costs().processing_time;
-    const double ns = static_cast<double>(total.nanos()) / kProbes;
+    std::uint64_t total_ns = 0;
+    for (auto& m : monitors)
+      total_ns += m->TelemetrySnapshot("m").counter("m.processing_ns");
+    const double ns = static_cast<double>(total_ns) / kProbes;
     std::printf("%8zu | %12.0f\n", props, ns);
     json.AddRow()
         .Str("sweep", "properties")

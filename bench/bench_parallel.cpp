@@ -149,7 +149,8 @@ std::size_t RunSerialOnce(const std::vector<Property>& props,
   MonitorSet set;
   for (const Property& p : props) set.Add(p);
   for (const DataplaneEvent& ev : events) set.OnDataplaneEvent(ev);
-  return set.TotalViolations();
+  // Summed across engines via the snapshot wildcard query.
+  return set.TelemetrySnapshot().counter("monitor.engine.*.violations");
 }
 
 std::size_t RunParallelOnce(const std::vector<Property>& props,
@@ -165,7 +166,7 @@ std::size_t RunParallelOnce(const std::vector<Property>& props,
   set.Start();
   for (const DataplaneEvent& ev : events) set.OnDataplaneEvent(ev);
   set.Stop();
-  return set.TotalViolations();
+  return set.TelemetrySnapshot().counter("monitor.engine.*.violations");
 }
 
 }  // namespace

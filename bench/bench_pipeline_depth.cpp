@@ -94,10 +94,12 @@ int main() {
       std::size_t i = 0;
       for (; i < n; ++i) mon->OnDataplaneEvent(events[i]);
       mon->AdvanceTime(events[n].time);  // settle slow-path installs
-      const Duration before = mon->costs().processing_time;
+      const std::uint64_t before =
+          mon->TelemetrySnapshot("m").counter("m.processing_ns");
       for (; i < events.size(); ++i) mon->OnDataplaneEvent(events[i]);
-      const Duration spent = mon->costs().processing_time - before;
-      const double ns = static_cast<double>(spent.nanos()) / 1000.0;
+      const std::uint64_t after =
+          mon->TelemetrySnapshot("m").counter("m.processing_ns");
+      const double ns = static_cast<double>(after - before) / 1000.0;
       std::printf(" | %10zu %9.0f n", mon->PipelineDepth(), ns);
       json.AddRow()
           .Str("backend", name)

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "monitor/engine.hpp"
 #include "properties/catalog.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 namespace {
@@ -80,7 +81,11 @@ void BM_MonitorCatalogFanout(benchmark::State& state) {
       engines.push_back(std::make_unique<MonitorEngine>(e.property));
     for (const auto& ev : events)
       for (auto& eng : engines) eng->ProcessEvent(ev);
-    for (auto& eng : engines) sink += eng->stats().events;
+    for (auto& eng : engines) {
+      telemetry::Snapshot snap;
+      eng->CollectInto(snap, "e");
+      sink += snap.counter("monitor.engine.e.events");
+    }
   }
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations() *

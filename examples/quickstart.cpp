@@ -8,13 +8,19 @@
 //   4. Read the violations.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Set SWMON_TELEMETRY_DUMP=json (or =prometheus) to print the full
+// telemetry snapshot — every monitor and switch counter — on exit.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "apps/stateful_firewall.hpp"
 #include "monitor/engine.hpp"
 #include "monitor/property_builder.hpp"
 #include "netsim/network.hpp"
 #include "packet/builder.hpp"
+#include "telemetry/snapshot.hpp"
 
 using namespace swmon;
 
@@ -71,13 +77,26 @@ int main() {
   net.Run();
 
   // --- 4. the verdict ---------------------------------------------------
+  // All counters — the engine's and the switch's — read through one
+  // point-in-time snapshot.
+  telemetry::Snapshot snap;
+  monitor.CollectInto(snap, property.name);
+  sw.CollectInto(snap);
   std::printf("events seen: %llu, live instances: %zu\n",
-              static_cast<unsigned long long>(monitor.stats().events),
+              static_cast<unsigned long long>(
+                  snap.counter("monitor.engine.fw-return-allowed.events")),
               monitor.live_instances());
   for (const auto& v : monitor.violations())
     std::printf("%s\n", v.ToString().c_str());
   std::printf(monitor.violations().empty()
                   ? "no violations — the firewall behaved\n"
                   : "\nthe monitor caught the buggy firewall red-handed\n");
+
+  if (const char* dump = std::getenv("SWMON_TELEMETRY_DUMP")) {
+    if (std::strcmp(dump, "prometheus") == 0)
+      std::printf("\n%s", snap.ToPrometheusText().c_str());
+    else
+      std::printf("\n%s\n", snap.ToJson().c_str());
+  }
   return monitor.violations().empty() ? 1 : 0;
 }

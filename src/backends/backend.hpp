@@ -31,6 +31,7 @@
 #include "dataplane/switch.hpp"
 #include "monitor/spec.hpp"
 #include "monitor/violation.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace swmon {
 
@@ -62,7 +63,7 @@ struct BackendInfo {
 /// (or replay a trace into it) and read violations + mechanism costs.
 class CompiledMonitor : public DataplaneObserver {
  public:
-  ~CompiledMonitor() override = default;
+  ~CompiledMonitor() override;
 
   virtual void AdvanceTime(SimTime now) = 0;
   virtual const std::vector<Violation>& violations() const = 0;
@@ -73,6 +74,37 @@ class CompiledMonitor : public DataplaneObserver {
   /// (Sec 3.3: for Varanus this grows with live instances).
   virtual std::size_t PipelineDepth() const = 0;
   virtual std::size_t live_instances() const = 0;
+
+  /// The uniform metrics surface every backend shares (replacing each
+  /// backend's bespoke stats accessors): publishes `<prefix>.{packets,
+  /// table_lookups,state_table_ops,register_ops,flow_mods,controller_msgs,
+  /// processing_ns,violations}` counters plus the `pipeline_depth` and
+  /// `live_instances` gauges. Overrides call the base, then add their
+  /// mechanism's extras (e.g. `collisions`, `pending_updates`,
+  /// `total_entries`) — so parity tests can diff two backends' snapshots
+  /// generically.
+  virtual void DescribeMetrics(telemetry::Snapshot& snap,
+                               const std::string& prefix) const;
+
+  telemetry::Snapshot TelemetrySnapshot(const std::string& prefix) const {
+    telemetry::Snapshot snap;
+    DescribeMetrics(snap, prefix);
+    return snap;
+  }
+
+  /// Registers a snapshot-time collector publishing DescribeMetrics under
+  /// `prefix`. Executors accept the registry at construction (the uniform
+  /// registry-injection signature) and route it here. Pass nullptr to
+  /// detach; the monitor detaches itself on destruction.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       std::string prefix);
+
+ protected:
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  std::string metric_prefix_;
+
+ private:
+  std::uint64_t collector_token_ = 0;
 };
 
 struct CompileResult {
@@ -86,8 +118,14 @@ class Backend {
  public:
   virtual ~Backend() = default;
   virtual BackendInfo info() const = 0;
-  virtual CompileResult Compile(const Property& property,
-                                const CostParams& params) const = 0;
+  /// Compiles `property` onto this backend's mechanism. A non-null
+  /// `registry` is injected into the compiled monitor (uniform across
+  /// backends): it registers a DescribeMetrics collector under
+  /// `backend.<property name>` and arms the per-table lookup-cost
+  /// histogram `backend.<property name>.lookup_cost_ns`.
+  virtual CompileResult Compile(
+      const Property& property, const CostParams& params,
+      telemetry::MetricsRegistry* registry = nullptr) const = 0;
 };
 
 /// All seven approaches, in Table 2's column order.

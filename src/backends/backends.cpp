@@ -17,6 +17,37 @@ const char* TriCell(Tri t) {
   return "   ";
 }
 
+CompiledMonitor::~CompiledMonitor() { AttachTelemetry(nullptr, ""); }
+
+void CompiledMonitor::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                                      std::string prefix) {
+  if (registry_ != nullptr) registry_->RemoveCollector(collector_token_);
+  registry_ = registry;
+  metric_prefix_ = std::move(prefix);
+  collector_token_ = 0;
+  if (registry_ == nullptr) return;
+  collector_token_ = registry_->AddCollector(
+      [this](telemetry::Snapshot& snap) { DescribeMetrics(snap, metric_prefix_); });
+}
+
+void CompiledMonitor::DescribeMetrics(telemetry::Snapshot& snap,
+                                      const std::string& prefix) const {
+  const CostCounters& c = costs();
+  snap.SetCounter(prefix + ".packets", c.packets);
+  snap.SetCounter(prefix + ".table_lookups", c.table_lookups);
+  snap.SetCounter(prefix + ".state_table_ops", c.state_table_ops);
+  snap.SetCounter(prefix + ".register_ops", c.register_ops);
+  snap.SetCounter(prefix + ".flow_mods", c.flow_mods);
+  snap.SetCounter(prefix + ".controller_msgs", c.controller_msgs);
+  snap.SetCounter(prefix + ".processing_ns",
+                  static_cast<std::uint64_t>(c.processing_time.nanos()));
+  snap.SetCounter(prefix + ".violations", violations().size());
+  snap.SetGauge(prefix + ".pipeline_depth",
+                static_cast<std::int64_t>(PipelineDepth()));
+  snap.SetGauge(prefix + ".live_instances",
+                static_cast<std::int64_t>(live_instances()));
+}
+
 namespace {
 
 // ------------------------------------------------- property shape analysis
@@ -132,8 +163,8 @@ class OpenFlow13Backend : public Backend {
     return i;
   }
 
-  CompileResult Compile(const Property& property,
-                        const CostParams&) const override {
+  CompileResult Compile(const Property& property, const CostParams&,
+                        telemetry::MetricsRegistry*) const override {
     CompileResult r;
     r.unsupported.push_back(
         "cross-packet state requires controller interaction (Table 2 scope: "
@@ -166,8 +197,8 @@ class OpenStateBackend : public Backend {
     return i;
   }
 
-  CompileResult Compile(const Property& property,
-                        const CostParams& params) const override {
+  CompileResult Compile(const Property& property, const CostParams& params,
+                        telemetry::MetricsRegistry* registry) const override {
     const Shape s = AnalyzeShape(property);
     CompileResult r;
     if (s.timeout_stage)
@@ -201,7 +232,8 @@ class OpenStateBackend : public Backend {
           "an obligation-discharge pattern cannot be mapped to the scope");
     if (!r.unsupported.empty()) return r;
     r.monitor = std::make_unique<FragmentExecutor>(
-        property, std::make_unique<OpenStateStore>(params), params);
+        property, std::make_unique<OpenStateStore>(params), params,
+        ProvenanceLevel::kLimited, registry);
     return r;
   }
 };
@@ -227,8 +259,8 @@ class FastBackend : public Backend {
     return i;
   }
 
-  CompileResult Compile(const Property& property,
-                        const CostParams& params) const override {
+  CompileResult Compile(const Property& property, const CostParams& params,
+                        telemetry::MetricsRegistry* registry) const override {
     const Shape s = AnalyzeShape(property);
     CompileResult r;
     if (s.windows || s.timeout_stage)
@@ -258,7 +290,7 @@ class FastBackend : public Backend {
     r.monitor = std::make_unique<FragmentExecutor>(
         property,
         std::make_unique<FastLearnStore>(params, /*inline_updates=*/false),
-        params);
+        params, ProvenanceLevel::kLimited, registry);
     return r;
   }
 };
@@ -286,8 +318,8 @@ class P4Backend : public Backend {
     return i;
   }
 
-  CompileResult Compile(const Property& property,
-                        const CostParams& params) const override {
+  CompileResult Compile(const Property& property, const CostParams& params,
+                        telemetry::MetricsRegistry* registry) const override {
     const Shape s = AnalyzeShape(property);
     CompileResult r;
     if (s.timeout_stage)
@@ -319,7 +351,7 @@ class P4Backend : public Backend {
         property,
         std::make_unique<P4RegisterStore>(params, property.num_stages(),
                                           /*slots_per_stage=*/4096),
-        params);
+        params, ProvenanceLevel::kLimited, registry);
     return r;
   }
 
@@ -350,8 +382,8 @@ class VaranusBackend : public Backend {
     return i;
   }
 
-  CompileResult Compile(const Property& property,
-                        const CostParams& params) const override {
+  CompileResult Compile(const Property& property, const CostParams& params,
+                        telemetry::MetricsRegistry* registry) const override {
     const Shape s = AnalyzeShape(property);
     CompileResult r;
     if (static_ && s.multiple_match) {
@@ -364,7 +396,7 @@ class VaranusBackend : public Backend {
     r.monitor = std::make_unique<FragmentExecutor>(
         property,
         std::make_unique<VaranusStore>(params, property.num_stages(), static_),
-        params);
+        params, ProvenanceLevel::kLimited, registry);
     return r;
   }
 

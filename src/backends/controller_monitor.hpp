@@ -12,6 +12,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "monitor/engine.hpp"
 
@@ -41,8 +43,32 @@ class ControllerMonitor : public DataplaneObserver {
   const std::vector<Violation>& violations() const {
     return engine_->violations();
   }
-  std::uint64_t events_mirrored() const { return events_mirrored_; }
-  std::uint64_t bytes_mirrored() const { return bytes_mirrored_; }
+
+  /// Publishes `backend.controller.<name>.{events_mirrored,bytes_mirrored}`
+  /// counters plus the wrapped engine's `monitor.engine.<name>.*` family.
+  void CollectInto(telemetry::Snapshot& snap, std::string_view name) const {
+    std::string prefix = "backend.controller.";
+    prefix.append(name);
+    prefix += '.';
+    snap.SetCounter(prefix + "events_mirrored", events_mirrored_);
+    snap.SetCounter(prefix + "bytes_mirrored", bytes_mirrored_);
+    engine_->CollectInto(snap, name);
+  }
+  telemetry::Snapshot TelemetrySnapshot(std::string_view name) const {
+    telemetry::Snapshot snap;
+    CollectInto(snap, name);
+    return snap;
+  }
+
+  /// DEPRECATED shims (one PR): read via CollectInto / telemetry::Snapshot.
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t events_mirrored() const {
+    return events_mirrored_;
+  }
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t bytes_mirrored() const {
+    return bytes_mirrored_;
+  }
 
  private:
   std::unique_ptr<MonitorEngine> engine_;

@@ -21,7 +21,8 @@ void SetVar(InstRecord& rec, VarId var, std::uint64_t value) {
 FragmentExecutor::FragmentExecutor(Property property,
                                    std::unique_ptr<StateStore> store,
                                    const CostParams& params,
-                                   ProvenanceLevel provenance)
+                                   ProvenanceLevel provenance,
+                                   telemetry::MetricsRegistry* registry)
     : property_(std::move(property)),
       store_(std::move(store)),
       params_(params),
@@ -29,6 +30,12 @@ FragmentExecutor::FragmentExecutor(Property property,
   const std::string err = property_.Validate();
   SWMON_ASSERT_MSG(err.empty(), err.c_str());
   SWMON_ASSERT(property_.num_vars() <= 64);
+
+  if (registry != nullptr) {
+    AttachTelemetry(registry, "backend." + property_.name);
+    lookup_hist_ =
+        &registry->histogram("backend." + property_.name + ".lookup_cost_ns");
+  }
 
   link_vars_.resize(property_.num_stages());
   for (std::size_t k = 1; k < property_.num_stages(); ++k) {
@@ -260,8 +267,11 @@ void FragmentExecutor::OnDataplaneEvent(const DataplaneEvent& event) {
   // The monitor pipeline is traversed once per event.
   ++store_->costs().packets;
   store_->costs().table_lookups += store_->PipelineDepth();
-  store_->costs().processing_time +=
+  const Duration lookup_cost =
       params_.table_lookup * static_cast<std::int64_t>(store_->PipelineDepth());
+  store_->costs().processing_time += lookup_cost;
+  if (lookup_hist_ != nullptr)
+    lookup_hist_->Record(static_cast<std::uint64_t>(lookup_cost.nanos()));
 
   AbortPass(event);
   AdvancePass(event);
@@ -403,6 +413,12 @@ void FragmentExecutor::SuppressorPass(const DataplaneEvent& ev) {
       ++store_->costs().state_table_ops;  // remembering the key is state
     }
   }
+}
+
+void FragmentExecutor::DescribeMetrics(telemetry::Snapshot& snap,
+                                       const std::string& prefix) const {
+  CompiledMonitor::DescribeMetrics(snap, prefix);
+  store_->DescribeMetrics(snap, prefix);
 }
 
 }  // namespace swmon

@@ -33,9 +33,15 @@ namespace swmon {
 
 class FragmentExecutor : public CompiledMonitor {
  public:
+  /// `registry`, when non-null, is the uniform registry injection: the
+  /// executor registers its DescribeMetrics collector under
+  /// `backend.<property name>` and arms the per-table lookup-cost
+  /// histogram `backend.<property name>.lookup_cost_ns` (modeled ns of
+  /// match-action lookups charged per event).
   FragmentExecutor(Property property, std::unique_ptr<StateStore> store,
                    const CostParams& params,
-                   ProvenanceLevel provenance = ProvenanceLevel::kLimited);
+                   ProvenanceLevel provenance = ProvenanceLevel::kLimited,
+                   telemetry::MetricsRegistry* registry = nullptr);
 
   void OnDataplaneEvent(const DataplaneEvent& event) override;
   void AdvanceTime(SimTime now) override;
@@ -46,6 +52,11 @@ class FragmentExecutor : public CompiledMonitor {
   const CostCounters& costs() const override { return store_->costs(); }
   std::size_t PipelineDepth() const override { return store_->PipelineDepth(); }
   std::size_t live_instances() const override { return store_->live(); }
+
+  /// Shared families plus the store's mechanism extras (collisions,
+  /// pending_updates, ...).
+  void DescribeMetrics(telemetry::Snapshot& snap,
+                       const std::string& prefix) const override;
 
   const StateStore& store() const { return *store_; }
 
@@ -86,6 +97,7 @@ class FragmentExecutor : public CompiledMonitor {
   std::unique_ptr<StateStore> store_;
   CostParams params_;
   ProvenanceLevel provenance_;
+  telemetry::Histogram* lookup_hist_ = nullptr;
 
   /// Sorted unique link vars per stage (index 0 unused).
   std::vector<std::vector<VarId>> link_vars_;

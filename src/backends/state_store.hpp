@@ -31,6 +31,7 @@
 #include "dataplane/cost_model.hpp"
 #include "dataplane/flow_key.hpp"
 #include "dataplane/flow_mod_queue.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 
@@ -81,6 +82,15 @@ class StateStore {
   CostCounters& costs() { return costs_; }
   const CostCounters& costs() const { return costs_; }
 
+  /// Mechanism extras beyond the shared cost families — slow-path queue
+  /// depth, register collisions, ... — published under `<prefix>.`; the
+  /// base store has none. FragmentExecutor::DescribeMetrics appends these
+  /// to the uniform CompiledMonitor families.
+  virtual void DescribeMetrics(telemetry::Snapshot& snap,
+                               const std::string& prefix) const {
+    (void)snap, (void)prefix;
+  }
+
  protected:
   CostCounters costs_;
 };
@@ -124,6 +134,12 @@ class FastLearnStore : public OpenStateStore {
   void Erase(std::uint64_t id, SimTime now) override;
   void CatchUp(SimTime now) override { queue_.Advance(now); }
 
+  void DescribeMetrics(telemetry::Snapshot& snap,
+                       const std::string& prefix) const override {
+    snap.SetGauge(prefix + ".pending_updates",
+                  static_cast<std::int64_t>(queue_.pending()));
+  }
+
   std::size_t pending_updates() const { return queue_.pending(); }
 
  private:
@@ -154,6 +170,11 @@ class P4RegisterStore : public StateStore {
   /// One match-action stage per observation stage.
   std::size_t PipelineDepth() const override { return stages_.size(); }
   std::size_t live() const override;
+
+  void DescribeMetrics(telemetry::Snapshot& snap,
+                       const std::string& prefix) const override {
+    snap.SetCounter(prefix + ".collisions", collisions_);
+  }
 
   std::uint64_t collisions() const { return collisions_; }
 
@@ -202,6 +223,12 @@ class VaranusStore : public StateStore {
   }
   std::size_t live() const override { return applied_.size(); }
   std::size_t pending_updates() const { return queue_.pending(); }
+
+  void DescribeMetrics(telemetry::Snapshot& snap,
+                       const std::string& prefix) const override {
+    snap.SetGauge(prefix + ".pending_updates",
+                  static_cast<std::int64_t>(queue_.pending()));
+  }
 
  private:
   struct Cell {

@@ -15,13 +15,19 @@ constexpr std::uint32_t kAbortPriority = 300;
 }  // namespace
 
 TableMonitor::TableMonitor(Property property, const CostParams& params,
-                           bool static_mode, ProvenanceLevel provenance)
+                           bool static_mode, ProvenanceLevel provenance,
+                           telemetry::MetricsRegistry* registry)
     : property_(std::move(property)),
       params_(params),
       static_mode_(static_mode),
       provenance_(provenance) {
   const std::string err = property_.Validate();
   SWMON_ASSERT_MSG(err.empty(), err.c_str());
+  if (registry != nullptr) {
+    AttachTelemetry(registry, "backend." + property_.name);
+    lookup_hist_ =
+        &registry->histogram("backend." + property_.name + ".lookup_cost_ns");
+  }
   if (static_mode_) {
     SWMON_ASSERT_MSG(!AnalyzeFeatures(property_).multiple_match,
                      "static mode cannot host multiple-match properties "
@@ -279,6 +285,13 @@ std::size_t TableMonitor::total_entries() const {
   return n;
 }
 
+void TableMonitor::DescribeMetrics(telemetry::Snapshot& snap,
+                                   const std::string& prefix) const {
+  CompiledMonitor::DescribeMetrics(snap, prefix);
+  snap.SetGauge(prefix + ".total_entries",
+                static_cast<std::int64_t>(total_entries()));
+}
+
 void TableMonitor::OnDataplaneEvent(const DataplaneEvent& event) {
   AdvanceTime(event.time);
   now_ = std::max(now_, event.time);
@@ -289,8 +302,11 @@ void TableMonitor::OnDataplaneEvent(const DataplaneEvent& event) {
   ++costs_.packets;
   const std::size_t depth = PipelineDepth();
   costs_.table_lookups += depth;
-  costs_.processing_time +=
+  const Duration lookup_cost =
       params_.table_lookup * static_cast<std::int64_t>(depth);
+  costs_.processing_time += lookup_cost;
+  if (lookup_hist_ != nullptr)
+    lookup_hist_->Record(static_cast<std::uint64_t>(lookup_cost.nanos()));
 
   // One lookup per monitor table; collect the hits before acting (the
   // whole pipeline sees the pre-update state of this event).

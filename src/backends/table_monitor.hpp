@@ -53,8 +53,10 @@ class TableMonitor : public CompiledMonitor {
   /// `static_mode` bounds the pipeline to one table per stage (entries of
   /// all instances share it); otherwise one table per live instance.
   /// Multiple match requires dynamic mode (compile checks enforce it).
+  /// `registry` is the uniform registry injection (see FragmentExecutor).
   TableMonitor(Property property, const CostParams& params, bool static_mode,
-               ProvenanceLevel provenance = ProvenanceLevel::kLimited);
+               ProvenanceLevel provenance = ProvenanceLevel::kLimited,
+               telemetry::MetricsRegistry* registry = nullptr);
 
   void OnDataplaneEvent(const DataplaneEvent& event) override;
   void AdvanceTime(SimTime now) override;
@@ -65,6 +67,10 @@ class TableMonitor : public CompiledMonitor {
   const CostCounters& costs() const override { return costs_; }
   std::size_t PipelineDepth() const override;
   std::size_t live_instances() const override { return instances_.size(); }
+
+  /// Shared families plus the `total_entries` gauge.
+  void DescribeMetrics(telemetry::Snapshot& snap,
+                       const std::string& prefix) const override;
 
   /// Flow entries currently installed across all monitor tables.
   std::size_t total_entries() const;
@@ -123,6 +129,7 @@ class TableMonitor : public CompiledMonitor {
   std::unordered_set<FlowKey, FlowKeyHash> suppressed_;
 
   CostCounters costs_;
+  telemetry::Histogram* lookup_hist_ = nullptr;
   std::vector<Violation> violations_;
   SimTime now_ = SimTime::Zero();
   std::uint64_t next_id_ = 1;

@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "common/sim_time.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 
@@ -31,9 +34,30 @@ class Meter {
     return true;
   }
 
-  std::uint64_t admitted() const { return admitted_; }
-  std::uint64_t exceeded() const { return exceeded_; }
-  std::uint64_t tokens() const { return tokens_; }
+  /// Publishes `dataplane.meter.<name>.{admitted,exceeded}` counters and
+  /// the `tokens` gauge into `snap`.
+  void CollectInto(telemetry::Snapshot& snap, std::string_view name) const {
+    std::string prefix = "dataplane.meter.";
+    prefix.append(name);
+    prefix += '.';
+    snap.SetCounter(prefix + "admitted", admitted_);
+    snap.SetCounter(prefix + "exceeded", exceeded_);
+    snap.SetGauge(prefix + "tokens", static_cast<std::int64_t>(tokens_));
+  }
+
+  /// DEPRECATED shims (one PR): read via CollectInto / telemetry::Snapshot.
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t admitted() const {
+    return admitted_;
+  }
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t exceeded() const {
+    return exceeded_;
+  }
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t tokens() const {
+    return tokens_;
+  }
 
  private:
   void Refill(SimTime now) {

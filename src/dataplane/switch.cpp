@@ -25,6 +25,39 @@ SoftSwitch::SoftSwitch(std::uint32_t switch_id, std::uint32_t num_ports,
       // Index 0 unused: PortId 0 is the invalid port.
       link_up_(num_ports + 1, true) {}
 
+SoftSwitch::~SoftSwitch() { AttachTelemetry(nullptr); }
+
+void SoftSwitch::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry_ != nullptr) registry_->RemoveCollector(collector_token_);
+  registry_ = registry;
+  packet_cost_hist_ = nullptr;
+  collector_token_ = 0;
+  if (registry_ == nullptr) return;
+  packet_cost_hist_ = &registry_->histogram(
+      "dataplane.switch." + std::to_string(switch_id_) + ".packet_cost_ns");
+  collector_token_ = registry_->AddCollector(
+      [this](telemetry::Snapshot& snap) { CollectInto(snap); });
+}
+
+void SoftSwitch::CollectInto(telemetry::Snapshot& snap) const {
+  std::string prefix = "dataplane.switch." + std::to_string(switch_id_) + ".";
+  snap.SetCounter(prefix + "packets", counters_.packets);
+  snap.SetCounter(prefix + "table_lookups", counters_.table_lookups);
+  snap.SetCounter(prefix + "state_table_ops", counters_.state_table_ops);
+  snap.SetCounter(prefix + "register_ops", counters_.register_ops);
+  snap.SetCounter(prefix + "flow_mods", counters_.flow_mods);
+  snap.SetCounter(prefix + "controller_msgs", counters_.controller_msgs);
+  snap.SetCounter(
+      prefix + "processing_ns",
+      static_cast<std::uint64_t>(counters_.processing_time.nanos()));
+}
+
+telemetry::Snapshot SoftSwitch::TelemetrySnapshot() const {
+  telemetry::Snapshot snap;
+  CollectInto(snap);
+  return snap;
+}
+
 void SoftSwitch::RemoveObserver(DataplaneObserver* obs) {
   std::erase(observers_, obs);
 }
@@ -66,6 +99,7 @@ void SoftSwitch::ReceivePacket(PortId in_port, Packet pkt) {
 
   pkt.id = PacketId{next_packet_id_++};
   ++counters_.packets;
+  const Duration cost_before = counters_.processing_time;
 
   ParsedPacket parsed = ParsePacket(pkt, parse_depth_);
   counters_.processing_time += parse_depth_ >= ParseDepth::kL7
@@ -74,6 +108,10 @@ void SoftSwitch::ReceivePacket(PortId in_port, Packet pkt) {
   if (!parsed.valid) {
     SWMON_LOG_DEBUG("dataplane", "sw%u: dropping unparseable %zu-byte frame",
                     switch_id_, pkt.size());
+    if (packet_cost_hist_ != nullptr) {
+      packet_cost_hist_->Record(static_cast<std::uint64_t>(
+          (counters_.processing_time - cost_before).nanos()));
+    }
     return;
   }
   parsed.fields.Set(FieldId::kSwitchId, switch_id_);
@@ -121,6 +159,10 @@ void SoftSwitch::ReceivePacket(PortId in_port, Packet pkt) {
       break;
     case EgressActionValue::kDrop:
       break;
+  }
+  if (packet_cost_hist_ != nullptr) {
+    packet_cost_hist_->Record(static_cast<std::uint64_t>(
+        (counters_.processing_time - cost_before).nanos()));
   }
 }
 

@@ -26,6 +26,7 @@
 #include "event/event_queue.hpp"
 #include "packet/builder.hpp"
 #include "packet/parser.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace swmon {
 
@@ -117,6 +118,11 @@ class SoftSwitch {
 
   SoftSwitch(std::uint32_t switch_id, std::uint32_t num_ports,
              EventQueue& queue, CostParams params = {});
+  ~SoftSwitch();
+
+  // Not copyable/movable: observers and registry collectors hold pointers.
+  SoftSwitch(const SoftSwitch&) = delete;
+  SoftSwitch& operator=(const SoftSwitch&) = delete;
 
   void SetProgram(SwitchProgram* program) { program_ = program; }
   void SetTransmit(TransmitFn fn) { transmit_ = std::move(fn); }
@@ -145,7 +151,25 @@ class SoftSwitch {
   std::uint32_t num_ports() const { return num_ports_; }
   EventQueue& queue() { return queue_; }
   const CostParams& params() const { return params_; }
-  CostCounters& counters() { return counters_; }
+
+  /// DEPRECATED shim (one PR): read modeled costs via TelemetrySnapshot()
+  /// / CollectInto() under `dataplane.switch.<id>.*` instead.
+  [[deprecated("query switch costs via telemetry::Snapshot")]]
+  CostCounters& counters() {
+    return counters_;
+  }
+
+  /// Publishes `dataplane.switch.<id>.{packets,table_lookups,
+  /// state_table_ops,register_ops,flow_mods,controller_msgs,
+  /// processing_ns}` counters into `snap`.
+  void CollectInto(telemetry::Snapshot& snap) const;
+  telemetry::Snapshot TelemetrySnapshot() const;
+
+  /// Registers a snapshot-time collector and arms the per-packet modeled
+  /// processing-cost histogram `dataplane.switch.<id>.packet_cost_ns`
+  /// (recorded for every ReceivePacket). Pass nullptr to detach; the
+  /// switch detaches itself on destruction.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
 
   /// Parse depth used at ingress. Default L7 (the ideal switch; backends
   /// with fixed parsing use their own shallower re-parse).
@@ -170,6 +194,9 @@ class SoftSwitch {
   std::vector<bool> link_up_;
   std::uint64_t next_packet_id_ = 1;
   ParseDepth parse_depth_ = ParseDepth::kL7;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::Histogram* packet_cost_hist_ = nullptr;
+  std::uint64_t collector_token_ = 0;
 };
 
 }  // namespace swmon

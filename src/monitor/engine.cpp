@@ -306,7 +306,6 @@ void MonitorEngine::AdvanceTime(SimTime now) {
   if (now <= now_) return;
   timers_.Advance(now);
   now_ = now;
-  SyncTimerStats();
 }
 
 void MonitorEngine::ProcessEvent(const DataplaneEvent& event) {
@@ -319,7 +318,6 @@ void MonitorEngine::ProcessEvent(const DataplaneEvent& event) {
   RunCreatePass(event);
   RunSuppressorPass(event);
   stats_.peak_live = std::max(stats_.peak_live, instances_.size());
-  SyncTimerStats();
 }
 
 void MonitorEngine::RunNaiveRefreshPass(const DataplaneEvent& ev) {
@@ -521,6 +519,39 @@ std::size_t MonitorEngine::StateBytes() const {
     bytes += inst.history.capacity() * sizeof(ProvenanceEvent);
   }
   return bytes;
+}
+
+void MonitorEngine::CollectInto(telemetry::Snapshot& snap,
+                                std::string_view name) const {
+  const MonitorStats s = StatsNow();
+  std::string prefix = "monitor.engine.";
+  prefix.append(name);
+  prefix += '.';
+  const auto set = [&](const char* leaf, std::uint64_t v) {
+    snap.SetCounter(prefix + leaf, v);
+  };
+  set("events", s.events);
+  set("events_dispatched", s.events_dispatched);
+  set("events_filtered", s.events_filtered);
+  set("instances_created", s.instances_created);
+  set("instances_refreshed", s.instances_refreshed);
+  set("instances_advanced", s.instances_advanced);
+  set("instances_expired", s.instances_expired);
+  set("instances_aborted", s.instances_aborted);
+  set("instances_evicted", s.instances_evicted);
+  set("timeout_observations", s.timeout_observations);
+  set("suppressed_creations", s.suppressed_creations);
+  set("violations", s.violations);
+  set("candidate_checks", s.candidate_checks);
+  set("timers_armed", s.timers_armed);
+  set("timer_stale_pops", s.timer_stale_pops);
+  snap.SetGauge(prefix + "peak_live", static_cast<std::int64_t>(s.peak_live));
+  snap.SetGauge(prefix + "live_instances",
+                static_cast<std::int64_t>(instances_.size()));
+  snap.SetGauge(prefix + "eviction_queue",
+                static_cast<std::int64_t>(creation_order_.size()));
+  snap.SetGauge(prefix + "timers_pending",
+                static_cast<std::int64_t>(timers_.armed_count()));
 }
 
 }  // namespace swmon

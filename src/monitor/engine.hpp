@@ -37,6 +37,7 @@
 #include "event/timer_set.hpp"
 #include "monitor/spec.hpp"
 #include "monitor/violation.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 
@@ -71,7 +72,9 @@ struct MonitorStats {
   std::uint64_t violations = 0;
   std::uint64_t candidate_checks = 0;  // instances examined across lookups
   std::size_t peak_live = 0;
-  // TimerSet mirrors (synced after every ProcessEvent/AdvanceTime).
+  // TimerSet mirrors. Filled on demand by stats()/CollectInto() straight
+  // from the TimerSet, so they can never be read stale (they used to be
+  // synced only on some query paths).
   std::uint64_t timers_armed = 0;      // Arm() calls, including re-arms
   std::uint64_t timer_stale_pops = 0;  // lazily discarded stale heap entries
 };
@@ -115,7 +118,23 @@ class MonitorEngine : public DataplaneObserver {
   EventTypeMask interest_signature() const { return interest_; }
 
   const Property& property() const { return property_; }
-  const MonitorStats& stats() const { return stats_; }
+
+  /// DEPRECATED shim (one PR): read counters via CollectInto() / a
+  /// telemetry::Snapshot instead. Returns by value with the TimerSet
+  /// mirrors filled live, so unlike the old accessor it is never stale.
+  [[deprecated("query engine counters via telemetry::Snapshot (CollectInto)")]]
+  MonitorStats stats() const {
+    return StatsNow();
+  }
+
+  /// Publishes this engine's counters into `snap` under
+  /// `monitor.engine.<name>.<stat>` (counters) plus the `live_instances` /
+  /// `eviction_queue` / `state_bytes` gauges. Timer values are read from
+  /// the TimerSet at call time — never stale. The engine's stats struct is
+  /// its own single-threaded shard; ParallelMonitorSet calls this only at
+  /// quiesce points, which is what keeps the merge TSan-clean.
+  void CollectInto(telemetry::Snapshot& snap, std::string_view name) const;
+
   const std::vector<Violation>& violations() const { return violations_; }
   std::vector<Violation> TakeViolations() { return std::move(violations_); }
   std::size_t live_instances() const { return instances_.size(); }
@@ -170,9 +189,12 @@ class MonitorEngine : public DataplaneObserver {
   void OnTimerExpiry(std::uint64_t id, SimTime deadline);
   void EvictIfNeeded();
   void CompactCreationOrder();
-  void SyncTimerStats() {
-    stats_.timers_armed = timers_.total_armed();
-    stats_.timer_stale_pops = timers_.stale_popped();
+  /// Current stats with the TimerSet mirrors filled from the live TimerSet.
+  MonitorStats StatsNow() const {
+    MonitorStats s = stats_;
+    s.timers_armed = timers_.total_armed();
+    s.timer_stale_pops = timers_.stale_popped();
+    return s;
   }
 
   // --- per-event passes ---

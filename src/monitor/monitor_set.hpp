@@ -15,20 +15,52 @@
 // so filtered engines still receive the timestamp (NoteFilteredEvent) and
 // their windows expire exactly as under broadcast delivery — including
 // timeout-action observations in quiet periods via AdvanceTime.
+//
+// Telemetry: counters are read through telemetry::Snapshot — either
+// CollectInto()/TelemetrySnapshot() directly, or by attaching the set to a
+// MetricsRegistry (AttachTelemetry), which also samples a per-event
+// dispatch-latency histogram on the hot path. The instrumented and plain
+// hot paths are the two specializations of DeliverEvent<bool>; the build's
+// SWMON_TELEMETRY macro only selects which one OnDataplaneEvent uses, so
+// bench_telemetry_overhead can compare both in a single binary.
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "monitor/dispatch_table.hpp"
 #include "monitor/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swmon {
 
+/// `base`, suffixed with "#2", "#3", ... if already present in `taken` —
+/// engines publish metrics under their property name, which need not be
+/// unique within a set.
+inline std::string UniqueEngineName(const std::vector<std::string>& taken,
+                                    const std::string& base) {
+  std::string name = base;
+  int n = 1;
+  while (std::find(taken.begin(), taken.end(), name) != taken.end())
+    name = base + "#" + std::to_string(++n);
+  return name;
+}
+
 class MonitorSet : public DataplaneObserver {
  public:
+  MonitorSet() = default;
+  ~MonitorSet() override { DetachTelemetry(); }
+
+  // Not copyable/movable: an attached registry collector captures `this`.
+  MonitorSet(const MonitorSet&) = delete;
+  MonitorSet& operator=(const MonitorSet&) = delete;
+
   /// Adds a property; returns the engine for inspection.
   MonitorEngine& Add(Property property, MonitorConfig config = {}) {
+    engine_names_.push_back(UniqueEngineName(engine_names_, property.name));
     engines_.push_back(
         std::make_unique<MonitorEngine>(std::move(property), config));
     MonitorEngine* engine = engines_.back().get();
@@ -36,10 +68,47 @@ class MonitorSet : public DataplaneObserver {
     return *engine;
   }
 
+  /// Registers a snapshot-time collector with `registry` (so
+  /// registry->TakeSnapshot() includes this set's counters) and arms the
+  /// sampled dispatch-latency histogram `monitor.set.dispatch_latency_ns`.
+  /// Pass nullptr to detach. The set deregisters itself on destruction;
+  /// destroy the set before the registry.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry) {
+    DetachTelemetry();
+    registry_ = registry;
+    if (registry_ == nullptr) return;
+    latency_hist_ = &registry_->histogram("monitor.set.dispatch_latency_ns");
+    collector_token_ = registry_->AddCollector(
+        [this](telemetry::Snapshot& snap) { CollectInto(snap); });
+  }
+
+  void DetachTelemetry() {
+    if (registry_ != nullptr) registry_->RemoveCollector(collector_token_);
+    registry_ = nullptr;
+    latency_hist_ = nullptr;
+    collector_token_ = 0;
+  }
+
   void OnDataplaneEvent(const DataplaneEvent& event) override {
-    // Interested engines get full processing; the rest only need the
-    // timestamp so their timers keep firing at the right points
-    // (constant-time when nothing expires).
+    DeliverEvent<telemetry::kCompiledIn>(event);
+  }
+
+  /// The dispatch hot path. The kInstrumented=false specialization is the
+  /// compile-time no-op telemetry path (identical to the pre-telemetry
+  /// code); kInstrumented=true additionally samples every
+  /// (kLatencySamplePeriod)-th delivery into the dispatch-latency
+  /// histogram when a registry is attached.
+  template <bool kInstrumented>
+  void DeliverEvent(const DataplaneEvent& event) {
+    if constexpr (kInstrumented) {
+      if (latency_hist_ != nullptr &&
+          (delivery_seq_++ % kLatencySamplePeriod) == 0) {
+        const std::uint64_t t0 = telemetry::NowNanos();
+        dispatch_.Deliver(event, events_dispatched_, events_filtered_);
+        latency_hist_->Record(telemetry::NowNanos() - t0);
+        return;
+      }
+    }
     dispatch_.Deliver(event, events_dispatched_, events_filtered_);
   }
 
@@ -49,11 +118,38 @@ class MonitorSet : public DataplaneObserver {
 
   std::size_t size() const { return engines_.size(); }
   MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
+  const std::string& engine_name(std::size_t i) const {
+    return engine_names_[i];
+  }
 
-  /// Engine deliveries across all events (sums over engines).
-  std::uint64_t events_dispatched() const { return events_dispatched_; }
-  /// Engine deliveries the interest-signature filter skipped.
-  std::uint64_t events_filtered() const { return events_filtered_; }
+  /// Publishes set-level counters (`monitor.set.events_dispatched`,
+  /// `monitor.set.events_filtered`) plus every engine's counters
+  /// (`monitor.engine.<name>.*`). ParallelMonitorSet emits the same names
+  /// from its merged worker shards — the parity test compares the two
+  /// snapshots for equality.
+  void CollectInto(telemetry::Snapshot& snap) const {
+    snap.SetCounter("monitor.set.events_dispatched", events_dispatched_);
+    snap.SetCounter("monitor.set.events_filtered", events_filtered_);
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+      engines_[i]->CollectInto(snap, engine_names_[i]);
+  }
+
+  telemetry::Snapshot TelemetrySnapshot() const {
+    telemetry::Snapshot snap;
+    CollectInto(snap);
+    return snap;
+  }
+
+  /// DEPRECATED shims (one PR): use TelemetrySnapshot() and
+  /// snapshot.counter("monitor.set.events_dispatched") instead.
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t events_dispatched() const {
+    return events_dispatched_;
+  }
+  [[deprecated("query via telemetry::Snapshot")]]
+  std::uint64_t events_filtered() const {
+    return events_filtered_;
+  }
 
   std::vector<Violation> AllViolations() const {
     std::vector<Violation> out;
@@ -71,10 +167,20 @@ class MonitorSet : public DataplaneObserver {
   }
 
  private:
+  /// Sampling period for the dispatch-latency histogram: two steady_clock
+  /// reads per sampled delivery, amortized to ~1/16th of events so the
+  /// instrumented path stays within the <3% overhead budget.
+  static constexpr std::uint64_t kLatencySamplePeriod = 16;
+
   std::vector<std::unique_ptr<MonitorEngine>> engines_;
+  std::vector<std::string> engine_names_;
   DispatchTable dispatch_;
   std::uint64_t events_dispatched_ = 0;
   std::uint64_t events_filtered_ = 0;
+  std::uint64_t delivery_seq_ = 0;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::Histogram* latency_hist_ = nullptr;
+  std::uint64_t collector_token_ = 0;
 };
 
 }  // namespace swmon

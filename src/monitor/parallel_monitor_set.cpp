@@ -24,8 +24,10 @@ std::vector<double> CalibrateShardWeights(
     }
     // candidate_checks counts instances examined across lookups — the
     // dominant per-event cost. +1 keeps never-matching engines schedulable.
-    weights.push_back(1.0 +
-                      static_cast<double>(probe.stats().candidate_checks));
+    telemetry::Snapshot snap;
+    probe.CollectInto(snap, "probe");
+    weights.push_back(1.0 + static_cast<double>(snap.counter(
+                                "monitor.engine.probe.candidate_checks")));
   }
   return weights;
 }
@@ -56,15 +58,43 @@ ParallelMonitorSet::ParallelMonitorSet(ParallelConfig config)
   if (config_.ring_capacity == 0) config_.ring_capacity = 1;
 }
 
-ParallelMonitorSet::~ParallelMonitorSet() { Stop(); }
+ParallelMonitorSet::~ParallelMonitorSet() {
+  AttachTelemetry(nullptr);
+  Stop();
+}
 
 MonitorEngine& ParallelMonitorSet::Add(Property property, MonitorConfig config,
                                        double weight) {
   SWMON_ASSERT_MSG(!started_, "Add() after Start()");
+  engine_names_.push_back(UniqueEngineName(engine_names_, property.name));
   engines_.push_back(
       std::make_unique<MonitorEngine>(std::move(property), config));
   weights_.push_back(weight > 0 ? weight : 1.0);
   return *engines_.back();
+}
+
+void ParallelMonitorSet::AttachTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry_ != nullptr) registry_->RemoveCollector(collector_token_);
+  registry_ = registry;
+  collector_token_ = 0;
+  if (registry_ != nullptr) {
+    collector_token_ = registry_->AddCollector(
+        [this](telemetry::Snapshot& snap) { CollectInto(snap); });
+  }
+}
+
+void ParallelMonitorSet::CollectInto(telemetry::Snapshot& snap) {
+  Quiesce();
+  std::uint64_t dispatched = 0;
+  std::uint64_t filtered = 0;
+  for (const auto& w : workers_) {
+    dispatched += w->dispatched;
+    filtered += w->filtered;
+  }
+  snap.SetCounter("monitor.set.events_dispatched", dispatched);
+  snap.SetCounter("monitor.set.events_filtered", filtered);
+  for (std::size_t i = 0; i < engines_.size(); ++i)
+    engines_[i]->CollectInto(snap, engine_names_[i]);
 }
 
 void ParallelMonitorSet::Start() {

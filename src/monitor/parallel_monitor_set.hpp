@@ -130,10 +130,36 @@ class ParallelMonitorSet : public DataplaneObserver {
     return shard_of_[engine_index];
   }
 
-  /// Engine deliveries across all events; identical to the serial
-  /// MonitorSet's counter on the same stream (synced at batch flush).
+  const std::string& engine_name(std::size_t i) const {
+    return engine_names_[i];
+  }
+
+  /// Quiesces, then publishes the same metric names a serial MonitorSet
+  /// over the same stream would (`monitor.set.*` from the merged worker
+  /// shards, `monitor.engine.<name>.*` from each engine) — the parity test
+  /// asserts snapshot equality against MonitorSet::CollectInto. Merging
+  /// only happens here, at the quiesce point, which is what keeps the
+  /// per-worker shard counters TSan-clean: workers write them plainly
+  /// between ring pops and the consumed-counter release/acquire pair
+  /// publishes them to this thread.
+  void CollectInto(telemetry::Snapshot& snap);
+  telemetry::Snapshot TelemetrySnapshot() {
+    telemetry::Snapshot snap;
+    CollectInto(snap);
+    return snap;
+  }
+
+  /// Registers a snapshot-time collector (see MonitorSet::AttachTelemetry).
+  /// Because collection quiesces, registry->TakeSnapshot() becomes
+  /// producer-thread-only once a parallel set is attached. Pass nullptr to
+  /// detach; the set also detaches itself on destruction.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry);
+
+  /// DEPRECATED shims (one PR): use TelemetrySnapshot() and
+  /// snapshot.counter("monitor.set.events_dispatched") instead.
+  [[deprecated("query via telemetry::Snapshot")]]
   std::uint64_t events_dispatched();
-  /// Engine deliveries skipped by the interest-signature filter.
+  [[deprecated("query via telemetry::Snapshot")]]
   std::uint64_t events_filtered();
 
   /// Per-engine lists concatenated in attach order — bit-identical to
@@ -177,6 +203,9 @@ class ParallelMonitorSet : public DataplaneObserver {
 
   ParallelConfig config_;
   std::vector<std::unique_ptr<MonitorEngine>> engines_;
+  std::vector<std::string> engine_names_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  std::uint64_t collector_token_ = 0;
   std::vector<double> weights_;
   std::vector<std::size_t> shard_of_;
   std::vector<std::unique_ptr<Worker>> workers_;

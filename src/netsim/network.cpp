@@ -16,6 +16,7 @@ SoftSwitch& Network::AddSwitch(std::uint32_t switch_id,
     const Duration latency = host_links_.at(host).latency;
     Packet copy = pkt;
     queue_.ScheduleAfter(latency, [this, host, copy = std::move(copy)] {
+      ++host_deliveries_;
       host->Deliver(copy, queue_.now());
     });
   });
@@ -42,6 +43,7 @@ void Network::SendFromHost(Host& host, Packet pkt, SimTime at) {
   SWMON_ASSERT_MSG(it != host_links_.end(), "host not attached");
   const Attachment att = it->second;
   SoftSwitch* sw = switches_.at(att.switch_id).get();
+  ++packets_injected_;
   queue_.ScheduleAt(at + att.latency,
                     [sw, port = att.port, pkt = std::move(pkt)]() mutable {
                       sw->ReceivePacket(port, std::move(pkt));
@@ -51,11 +53,27 @@ void Network::SendFromHost(Host& host, Packet pkt, SimTime at) {
 void Network::SetLinkState(std::uint32_t switch_id, PortId port, bool up,
                            SimTime at) {
   SoftSwitch* sw = switches_.at(switch_id).get();
+  ++link_status_changes_;
   queue_.ScheduleAt(at, [sw, port, up] { sw->SetLinkStatus(port, up); });
 }
 
 SoftSwitch& Network::GetSwitch(std::uint32_t switch_id) {
   return *switches_.at(switch_id);
+}
+
+void Network::CollectInto(telemetry::Snapshot& snap) const {
+  snap.SetCounter("netsim.network.packets_injected", packets_injected_);
+  snap.SetCounter("netsim.network.host_deliveries", host_deliveries_);
+  snap.SetCounter("netsim.network.link_status_changes", link_status_changes_);
+  snap.SetGauge("netsim.network.pending_events",
+                static_cast<std::int64_t>(queue_.pending()));
+  for (const auto& [id, sw] : switches_) sw->CollectInto(snap);
+}
+
+telemetry::Snapshot Network::TelemetrySnapshot() const {
+  telemetry::Snapshot snap;
+  CollectInto(snap);
+  return snap;
 }
 
 }  // namespace swmon

@@ -52,6 +52,12 @@ class Network {
   std::size_t Run(std::size_t limit = SIZE_MAX) { return queue_.RunAll(limit); }
   std::size_t RunUntil(SimTime t) { return queue_.RunUntil(t); }
 
+  /// Publishes `netsim.network.{packets_injected,host_deliveries,
+  /// link_status_changes}` counters and the `pending_events` gauge, plus
+  /// every switch's `dataplane.switch.<id>.*` counters.
+  void CollectInto(telemetry::Snapshot& snap) const;
+  telemetry::Snapshot TelemetrySnapshot() const;
+
  private:
   struct Attachment {
     std::uint32_t switch_id;
@@ -65,6 +71,9 @@ class Network {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::map<Host*, Attachment> host_links_;
   std::map<std::pair<std::uint32_t, PortId>, Host*> port_hosts_;
+  std::uint64_t packets_injected_ = 0;
+  std::uint64_t host_deliveries_ = 0;
+  std::uint64_t link_status_changes_ = 0;
 };
 
 }  // namespace swmon

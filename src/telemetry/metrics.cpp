@@ -1,0 +1,113 @@
+#include "telemetry/metrics.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace swmon::telemetry {
+
+bool Enabled() {
+  static const bool enabled = [] {
+    if (!kCompiledIn) return false;
+    const char* env = std::getenv("SWMON_TELEMETRY");
+    if (env == nullptr) return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData out;
+  out.count = count();
+  out.sum = sum();
+  out.buckets.reserve(kNumBuckets);
+  for (const auto& b : buckets_)
+    out.buckets.push_back(b.load(std::memory_order_relaxed));
+  out.TrimTrailingZeros();
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    SWMON_ASSERT_MSG(it->second.kind == Kind::kCounter,
+                     "metric re-registered with a different type");
+    return counters_[it->second.index];
+  }
+  counters_.emplace_back();
+  by_name_.emplace(std::string(name),
+                   Entry{Kind::kCounter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    SWMON_ASSERT_MSG(it->second.kind == Kind::kGauge,
+                     "metric re-registered with a different type");
+    return gauges_[it->second.index];
+  }
+  gauges_.emplace_back();
+  by_name_.emplace(std::string(name), Entry{Kind::kGauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    SWMON_ASSERT_MSG(it->second.kind == Kind::kHistogram,
+                     "metric re-registered with a different type");
+    return histograms_[it->second.index];
+  }
+  histograms_.emplace_back();
+  by_name_.emplace(std::string(name),
+                   Entry{Kind::kHistogram, histograms_.size() - 1});
+  return histograms_.back();
+}
+
+std::uint64_t MetricsRegistry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = next_collector_token_++;
+  collectors_.emplace(token, std::move(fn));
+  return token;
+}
+
+void MetricsRegistry::RemoveCollector(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(token);
+}
+
+Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, entry] : by_name_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.SetCounter(name, counters_[entry.index].value());
+        break;
+      case Kind::kGauge:
+        snap.SetGauge(name, gauges_[entry.index].value());
+        break;
+      case Kind::kHistogram:
+        snap.SetHistogram(name, histograms_[entry.index].Data());
+        break;
+    }
+  }
+  for (const auto& [token, fn] : collectors_) fn(snap);
+  return snap;
+}
+
+}  // namespace swmon::telemetry

@@ -1,0 +1,138 @@
+// Typed metric instruments and the MetricsRegistry.
+//
+// Instruments are lock-free on the hot path: Counter/Gauge are single
+// relaxed atomics, Histogram is a relaxed-atomic bucket array indexed by
+// bit_width(value) (bucket 0 holds zeros; bucket i >= 1 covers
+// [2^(i-1), 2^i - 1] — the log-bucketed layout that makes a 65-slot array
+// cover all of u64 with ~2x resolution). Relaxed ordering is deliberate:
+// readers only ever observe instrument values at quiesce points (snapshot
+// time), never to synchronize with other memory, and TSan is clean because
+// every access is atomic.
+//
+// The registry maps hierarchical names to instruments; creation takes a
+// mutex, but the returned reference is stable for the registry's lifetime
+// (deque storage), so the hot path holds a pointer and never re-locks.
+// Components whose counters live outside the registry (e.g. a
+// MonitorEngine's private stats shard, merged only at quiesce points)
+// register a *collector* instead: a callback invoked at TakeSnapshot()
+// that writes its current values straight into the Snapshot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "telemetry/snapshot.hpp"
+
+namespace swmon::telemetry {
+
+/// Monotone counter. Add() is wait-free (one relaxed fetch_add).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed value (queue depths, live instances, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram over u64 values (latencies in ns, costs, sizes).
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;  // bit_width ranges 0..64
+
+  /// Bucket for `v`: 0 iff v == 0, else 1 + floor(log2(v)).
+  static constexpr std::size_t BucketIndex(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value landing in bucket i.
+  static constexpr std::uint64_t BucketLowerBound(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value landing in bucket i (inclusive).
+  static constexpr std::uint64_t BucketUpperBound(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void Record(std::uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Materializes the current contents (trailing empty buckets trimmed).
+  HistogramData Data() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. The reference stays valid for the registry's
+  /// lifetime; asking for an existing name with a different instrument
+  /// type is a programming error (asserted).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// A collector publishes externally-held counters into each snapshot
+  /// (e.g. MonitorSet quiesces its workers, then writes merged shard
+  /// totals). Returns a token for RemoveCollector; owners must deregister
+  /// before they are destroyed. Collectors must not call back into this
+  /// registry (the registry lock is held while they run).
+  using Collector = std::function<void(Snapshot&)>;
+  std::uint64_t AddCollector(Collector fn);
+  void RemoveCollector(std::uint64_t token);
+
+  /// Point-in-time view: every registered instrument plus every
+  /// collector's contribution.
+  Snapshot TakeSnapshot() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  // Instrument storage: deque => stable references across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  struct Entry {
+    Kind kind;
+    std::size_t index;  // into the matching deque
+  };
+  std::map<std::string, Entry, std::less<>> by_name_;
+  std::map<std::uint64_t, Collector> collectors_;
+  std::uint64_t next_collector_token_ = 1;
+};
+
+}  // namespace swmon::telemetry

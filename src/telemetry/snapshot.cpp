@@ -1,0 +1,375 @@
+#include "telemetry/snapshot.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "telemetry/metrics.hpp"
+
+namespace swmon::telemetry {
+
+void Snapshot::SetCounter(std::string name, std::uint64_t value) {
+  Sample& s = samples_[std::move(name)];
+  s.kind = Sample::Kind::kCounter;
+  s.counter = value;
+}
+
+void Snapshot::AddCounter(std::string name, std::uint64_t value) {
+  Sample& s = samples_[std::move(name)];
+  s.kind = Sample::Kind::kCounter;
+  s.counter += value;
+}
+
+void Snapshot::SetGauge(std::string name, std::int64_t value) {
+  Sample& s = samples_[std::move(name)];
+  s.kind = Sample::Kind::kGauge;
+  s.gauge = value;
+}
+
+void Snapshot::SetHistogram(std::string name, HistogramData h) {
+  h.TrimTrailingZeros();
+  Sample& s = samples_[std::move(name)];
+  s.kind = Sample::Kind::kHistogram;
+  s.histogram = std::move(h);
+}
+
+void Snapshot::MergeHistogram(std::string name, const HistogramData& h) {
+  Sample& s = samples_[std::move(name)];
+  s.kind = Sample::Kind::kHistogram;
+  HistogramData& dst = s.histogram;
+  dst.count += h.count;
+  dst.sum += h.sum;
+  if (dst.buckets.size() < h.buckets.size())
+    dst.buckets.resize(h.buckets.size(), 0);
+  for (std::size_t i = 0; i < h.buckets.size(); ++i)
+    dst.buckets[i] += h.buckets[i];
+  dst.TrimTrailingZeros();
+}
+
+std::uint64_t Snapshot::counter(std::string_view query) const {
+  const std::size_t star = query.find('*');
+  if (star == std::string_view::npos) {
+    auto it = samples_.find(query);
+    return it != samples_.end() && it->second.kind == Sample::Kind::kCounter
+               ? it->second.counter
+               : 0;
+  }
+  const std::string_view prefix = query.substr(0, star);
+  const std::string_view suffix = query.substr(star + 1);
+  std::uint64_t total = 0;
+  for (auto it = samples_.lower_bound(prefix); it != samples_.end(); ++it) {
+    const std::string_view name = it->first;
+    if (name.substr(0, prefix.size()) != prefix) break;
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (!suffix.empty() && name.substr(name.size() - suffix.size()) != suffix)
+      continue;
+    if (it->second.kind == Sample::Kind::kCounter) total += it->second.counter;
+  }
+  return total;
+}
+
+std::int64_t Snapshot::gauge(std::string_view name) const {
+  auto it = samples_.find(name);
+  return it != samples_.end() && it->second.kind == Sample::Kind::kGauge
+             ? it->second.gauge
+             : 0;
+}
+
+const HistogramData* Snapshot::histogram(std::string_view name) const {
+  auto it = samples_.find(name);
+  return it != samples_.end() && it->second.kind == Sample::Kind::kHistogram
+             ? &it->second.histogram
+             : nullptr;
+}
+
+bool Snapshot::Has(std::string_view name) const {
+  return samples_.find(name) != samples_.end();
+}
+
+std::vector<std::pair<std::string_view, const Sample*>> Snapshot::WithPrefix(
+    std::string_view prefix) const {
+  std::vector<std::pair<std::string_view, const Sample*>> out;
+  for (auto it = samples_.lower_bound(prefix); it != samples_.end(); ++it) {
+    if (std::string_view(it->first).substr(0, prefix.size()) != prefix) break;
+    out.emplace_back(it->first, &it->second);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- JSON
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendI64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::ToJson() const {
+  // Three name->value objects, one per instrument kind; names sorted (map
+  // order) so identical snapshots serialize identically.
+  std::string counters, gauges, histograms;
+  for (const auto& [name, s] : samples_) {
+    switch (s.kind) {
+      case Sample::Kind::kCounter: {
+        if (!counters.empty()) counters += ",\n";
+        counters += "    ";
+        AppendJsonString(counters, name);
+        counters += ": ";
+        AppendU64(counters, s.counter);
+        break;
+      }
+      case Sample::Kind::kGauge: {
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    ";
+        AppendJsonString(gauges, name);
+        gauges += ": ";
+        AppendI64(gauges, s.gauge);
+        break;
+      }
+      case Sample::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    ";
+        AppendJsonString(histograms, name);
+        histograms += ": {\"count\": ";
+        AppendU64(histograms, s.histogram.count);
+        histograms += ", \"sum\": ";
+        AppendU64(histograms, s.histogram.sum);
+        histograms += ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i) {
+          if (i) histograms += ", ";
+          AppendU64(histograms, s.histogram.buckets[i]);
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\n  \"counters\": {\n";
+  out += counters;
+  out += "\n  },\n  \"gauges\": {\n";
+  out += gauges;
+  out += "\n  },\n  \"histograms\": {\n";
+  out += histograms;
+  out += "\n  }\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for exactly the shape ToJson() emits
+/// (string keys, integer values, one nesting level of histogram objects).
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view s) : s_(s) {}
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool ReadString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      out += s_[pos_++];
+    }
+    return Consume('"');
+  }
+
+  bool ReadInt(std::int64_t& out) {
+    SkipWs();
+    bool neg = false;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(s_[pos_++] - '0');
+    }
+    out = neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t& out) {
+    SkipWs();
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    out = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      out = out * 10 + static_cast<std::uint64_t>(s_[pos_++] - '0');
+    }
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Snapshot> Snapshot::FromJson(std::string_view json) {
+  JsonReader r(json);
+  Snapshot snap;
+  if (!r.Consume('{')) return std::nullopt;
+  for (int section = 0; section < 3; ++section) {
+    std::string section_name;
+    if (!r.ReadString(section_name) || !r.Consume(':') || !r.Consume('{'))
+      return std::nullopt;
+    bool first = true;
+    while (!r.Peek('}')) {
+      if (!first && !r.Consume(',')) return std::nullopt;
+      first = false;
+      std::string name;
+      if (!r.ReadString(name) || !r.Consume(':')) return std::nullopt;
+      if (section_name == "counters") {
+        std::uint64_t v = 0;
+        if (!r.ReadU64(v)) return std::nullopt;
+        snap.SetCounter(std::move(name), v);
+      } else if (section_name == "gauges") {
+        std::int64_t v = 0;
+        if (!r.ReadInt(v)) return std::nullopt;
+        snap.SetGauge(std::move(name), v);
+      } else if (section_name == "histograms") {
+        HistogramData h;
+        std::string key;
+        if (!r.Consume('{')) return std::nullopt;
+        for (int field = 0; field < 3; ++field) {
+          if (field && !r.Consume(',')) return std::nullopt;
+          if (!r.ReadString(key) || !r.Consume(':')) return std::nullopt;
+          if (key == "count") {
+            if (!r.ReadU64(h.count)) return std::nullopt;
+          } else if (key == "sum") {
+            if (!r.ReadU64(h.sum)) return std::nullopt;
+          } else if (key == "buckets") {
+            if (!r.Consume('[')) return std::nullopt;
+            while (!r.Peek(']')) {
+              if (!h.buckets.empty() && !r.Consume(',')) return std::nullopt;
+              std::uint64_t b = 0;
+              if (!r.ReadU64(b)) return std::nullopt;
+              h.buckets.push_back(b);
+            }
+            if (!r.Consume(']')) return std::nullopt;
+          } else {
+            return std::nullopt;
+          }
+        }
+        if (!r.Consume('}')) return std::nullopt;
+        snap.SetHistogram(std::move(name), std::move(h));
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!r.Consume('}')) return std::nullopt;
+    if (section < 2 && !r.Consume(',')) return std::nullopt;
+  }
+  if (!r.Consume('}') || !r.AtEnd()) return std::nullopt;
+  return snap;
+}
+
+// ------------------------------------------------------------- Prometheus
+
+namespace {
+
+/// "monitor.engine.fw-return.events" -> "swmon_monitor_engine_fw_return_events"
+std::string PromName(std::string_view name) {
+  std::string out = "swmon_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Snapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, s] : samples_) {
+    const std::string prom = PromName(name);
+    switch (s.kind) {
+      case Sample::Kind::kCounter:
+        out += "# TYPE " + prom + " counter\n" + prom + " ";
+        AppendU64(out, s.counter);
+        out += '\n';
+        break;
+      case Sample::Kind::kGauge:
+        out += "# TYPE " + prom + " gauge\n" + prom + " ";
+        AppendI64(out, s.gauge);
+        out += '\n';
+        break;
+      case Sample::Kind::kHistogram: {
+        out += "# TYPE " + prom + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i) {
+          cumulative += s.histogram.buckets[i];
+          out += prom + "_bucket{le=\"";
+          AppendU64(out, Histogram::BucketUpperBound(i));
+          out += "\"} ";
+          AppendU64(out, cumulative);
+          out += '\n';
+        }
+        out += prom + "_bucket{le=\"+Inf\"} ";
+        AppendU64(out, s.histogram.count);
+        out += '\n';
+        out += prom + "_sum ";
+        AppendU64(out, s.histogram.sum);
+        out += '\n';
+        out += prom + "_count ";
+        AppendU64(out, s.histogram.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace swmon::telemetry

@@ -1,0 +1,99 @@
+// Snapshot: the one point-in-time view of every metric in the system.
+//
+// A Snapshot is an immutable-by-convention map from hierarchical metric
+// name ("monitor.engine.<prop>.events_dispatched",
+// "dataplane.switch.<id>.table_lookups", ...) to a typed sample: counter
+// (monotone u64), gauge (instantaneous i64), or log-bucketed histogram.
+// Producers fill it via the Set*/Add* writers — either directly from their
+// private shard counters (CollectInto methods) or through a
+// MetricsRegistry collector — and consumers query it:
+//
+//   snap.counter("monitor.set.events_dispatched")   exact lookup (missing = 0)
+//   snap.counter("monitor.engine.*.violations")     '*' wildcard, sums matches
+//   snap.WithPrefix("dataplane.switch.1.")          ordered prefix iteration
+//
+// Exporters: ToJson() (round-trippable via FromJson — the exporter test
+// parses it back) and ToPrometheusText() (text exposition format: names
+// sanitized to [a-zA-Z0-9_:], histograms as cumulative _bucket{le=...} /
+// _sum / _count series).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swmon::telemetry {
+
+/// Materialized histogram contents. Bucket i counts values v with
+/// Histogram::BucketIndex(v) == i (i.e. bit_width(v) == i); trailing empty
+/// buckets are trimmed so equality is well-defined across sources.
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;
+
+  void TrimTrailingZeros() {
+    while (!buckets.empty() && buckets.back() == 0) buckets.pop_back();
+  }
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+struct Sample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  HistogramData histogram;
+
+  bool operator==(const Sample&) const = default;
+};
+
+class Snapshot {
+ public:
+  // --- writers (collection side) ---
+  void SetCounter(std::string name, std::uint64_t value);
+  /// Accumulates into an existing counter (creating it at 0): how per-worker
+  /// shards merge into one logical counter at quiesce points.
+  void AddCounter(std::string name, std::uint64_t value);
+  void SetGauge(std::string name, std::int64_t value);
+  void SetHistogram(std::string name, HistogramData h);
+  /// Bucket-wise merge (creating an empty histogram first if needed).
+  void MergeHistogram(std::string name, const HistogramData& h);
+
+  // --- queries ---
+  /// Exact counter lookup; a single '*' in `query` makes it a pattern
+  /// (prefix before the star, suffix after it) and sums every matching
+  /// counter. Missing names (or non-counter samples) contribute 0.
+  std::uint64_t counter(std::string_view query) const;
+  /// Exact gauge lookup; missing or non-gauge = 0.
+  std::int64_t gauge(std::string_view name) const;
+  /// Exact histogram lookup; nullptr when missing or not a histogram.
+  const HistogramData* histogram(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  std::size_t size() const { return samples_.size(); }
+
+  /// All samples whose name starts with `prefix`, in name order.
+  std::vector<std::pair<std::string_view, const Sample*>> WithPrefix(
+      std::string_view prefix) const;
+  const std::map<std::string, Sample, std::less<>>& samples() const {
+    return samples_;
+  }
+
+  // --- exporters ---
+  std::string ToJson() const;
+  std::string ToPrometheusText() const;
+  /// Parses ToJson() output back into a Snapshot (round-trip identity);
+  /// nullopt on malformed input. Only the shape ToJson emits is accepted.
+  static std::optional<Snapshot> FromJson(std::string_view json);
+
+  bool operator==(const Snapshot&) const = default;
+
+ private:
+  std::map<std::string, Sample, std::less<>> samples_;
+};
+
+}  // namespace swmon::telemetry

@@ -1,0 +1,37 @@
+// swmon::telemetry — compile-time and runtime switches for the metrics layer.
+//
+// The telemetry subsystem (metrics.hpp, snapshot.hpp) is the single source
+// every bench/test reads counters from. Two independent switches control it:
+//
+//   * SWMON_TELEMETRY (CMake option / preprocessor macro, default 1):
+//     compiles the hot-path instrumentation in or out. With it off, the
+//     instrumented dispatch path (MonitorSet::DeliverEvent<true>) is never
+//     selected and histogram recording collapses to nothing — this is the
+//     no-op baseline bench_telemetry_overhead compares against. The macro
+//     must be set globally (one value for the whole build); per-TU variation
+//     would violate the ODR on inline functions.
+//
+//   * SWMON_TELEMETRY environment variable ("off" or "0"): runtime opt-out
+//     for demo binaries — with it set, examples skip registry attachment
+//     and snapshot dumps. Enabled() caches the answer on first use.
+#pragma once
+
+#include <cstdint>
+
+#ifndef SWMON_TELEMETRY
+#define SWMON_TELEMETRY 1
+#endif
+
+namespace swmon::telemetry {
+
+/// True when the build compiles hot-path instrumentation in (the default).
+inline constexpr bool kCompiledIn = SWMON_TELEMETRY != 0;
+
+/// Runtime switch: false when the SWMON_TELEMETRY environment variable is
+/// "off" or "0" (and always false when !kCompiledIn). Cached on first call.
+bool Enabled();
+
+/// Monotonic wall-clock nanoseconds for latency histograms (steady_clock).
+std::uint64_t NowNanos();
+
+}  // namespace swmon::telemetry

@@ -93,7 +93,7 @@ ScenarioOutcome RunArpScenario(const ArpScenarioConfig& config) {
   const SimTime end = at + sp.arp_reply_deadline * 8;
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;

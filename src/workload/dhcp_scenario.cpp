@@ -153,7 +153,7 @@ ScenarioOutcome RunDhcpScenario(const DhcpScenarioConfig& config) {
   const SimTime end = at + sp.dhcp_reply_deadline * 4;
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;
@@ -232,7 +232,7 @@ ScenarioOutcome RunDhcpArpScenario(const DhcpArpScenarioConfig& config) {
   const SimTime end = at + sp.arp_reply_deadline * 8;
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;

@@ -104,7 +104,7 @@ ScenarioOutcome RunFirewallScenario(const FirewallScenarioConfig& config) {
   const SimTime end = horizon + sp.firewall_timeout + Duration::Seconds(2);
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;

@@ -67,7 +67,7 @@ ScenarioOutcome RunLbScenario(const LbScenarioConfig& config) {
   const SimTime end = at + Duration::Seconds(1);
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;

@@ -79,7 +79,7 @@ ScenarioOutcome RunLearningScenario(const LearningScenarioConfig& config) {
   const SimTime end = at + Duration::Seconds(1);
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;

@@ -71,7 +71,7 @@ ScenarioOutcome RunNatScenario(const NatScenarioConfig& config) {
   const SimTime end = horizon + Duration::Seconds(1);
   net.RunUntil(end);
   out.monitors->AdvanceTime(end);
-  out.switch_costs = sw.counters();
+  out.switch_costs = SwitchCostsFromTelemetry(sw);
   out.packets_injected = sent;
   out.end_time = end;
   return out;

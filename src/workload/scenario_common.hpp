@@ -42,6 +42,25 @@ struct ScenarioOptions {
   bool keep_trace = false;
 };
 
+/// Snapshot-backed read of a switch's modeled cost totals — the telemetry
+/// replacement for the deprecated SoftSwitch::counters() accessor; scenario
+/// runners use it to fill ScenarioOutcome::switch_costs.
+inline CostCounters SwitchCostsFromTelemetry(const SoftSwitch& sw) {
+  const telemetry::Snapshot snap = sw.TelemetrySnapshot();
+  const std::string prefix =
+      "dataplane.switch." + std::to_string(sw.switch_id()) + ".";
+  CostCounters c;
+  c.packets = snap.counter(prefix + "packets");
+  c.table_lookups = snap.counter(prefix + "table_lookups");
+  c.state_table_ops = snap.counter(prefix + "state_table_ops");
+  c.register_ops = snap.counter(prefix + "register_ops");
+  c.flow_mods = snap.counter(prefix + "flow_mods");
+  c.controller_msgs = snap.counter(prefix + "controller_msgs");
+  c.processing_time = Duration::Nanos(
+      static_cast<std::int64_t>(snap.counter(prefix + "processing_ns")));
+  return c;
+}
+
 /// Test addresses: host index -> distinct MAC / IP in 10.0.0.0/16 (internal)
 /// or 198.51.100.0/24 (external).
 inline MacAddr TestMac(std::uint32_t i) {

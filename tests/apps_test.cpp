@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "dataplane/meter.hpp"
 #include "packet/builder.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 namespace {
@@ -345,8 +346,9 @@ TEST_F(AppFixture, FlowTableSwitchMatchesPlainLearningSwitch) {
     const auto a = Deliver(plain, pkt, in_port);
     const auto b = Deliver(tabled, pkt, in_port);
     ASSERT_EQ(a.action, b.action) << "step " << i;
-    if (a.action == EgressActionValue::kForward)
+    if (a.action == EgressActionValue::kForward) {
       ASSERT_EQ(a.out_port, b.out_port) << "step " << i;
+    }
     if (rng.NextBool(0.02)) {
       const PortId victim{1 + static_cast<std::uint32_t>(rng.NextBelow(7))};
       plain.OnLinkStatus(sw_, victim, false);
@@ -390,8 +392,10 @@ TEST(MeterTest, AdmitsWithinRateAndBurst) {
   // 100ms later one token has accrued.
   EXPECT_TRUE(meter.Admit(t0 + Duration::Millis(100)));
   EXPECT_FALSE(meter.Admit(t0 + Duration::Millis(100)));
-  EXPECT_EQ(meter.admitted(), 6u);
-  EXPECT_EQ(meter.exceeded(), 2u);
+  telemetry::Snapshot snap;
+  meter.CollectInto(snap, "m");
+  EXPECT_EQ(snap.counter("dataplane.meter.m.admitted"), 6u);
+  EXPECT_EQ(snap.counter("dataplane.meter.m.exceeded"), 2u);
 }
 
 TEST(MeterTest, BucketCapsAtBurst) {

@@ -4,6 +4,7 @@
 
 #include "monitor/engine.hpp"
 #include "properties/catalog.hpp"
+#include "telemetry_helpers.hpp"
 
 namespace swmon {
 namespace {
@@ -67,8 +68,6 @@ TEST(CatalogEdge, ArpKnownRepliesPassingThroughAreNotRequests) {
 
 // ----------------------------------------------------- T1.3/T1.4 knocking
 
-ScenarioParams P() { return ScenarioParams{}; }
-
 DataplaneEvent Knock(std::uint64_t host, std::uint16_t port, std::int64_t ms) {
   return Ev(DataplaneEventType::kArrival, ms)
       .F(FieldId::kInPort, 1)
@@ -118,7 +117,7 @@ TEST(CatalogEdge, KnockRecognizeWrongGuessDischarges) {
   // The (correctly) dropped SSH must not alarm: the sequence was invalid.
   eng.ProcessEvent(Ssh(9, kDrop, 5));
   EXPECT_TRUE(eng.violations().empty());
-  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_aborted"), 1u);
 }
 
 TEST(CatalogEdge, KnockPropertiesArePerHost) {
@@ -278,7 +277,7 @@ TEST(CatalogEdge, DhcpExpiredLeaseMayBeReassigned) {
                        .F(FieldId::kDhcpChaddr, 0xbb)
                        .F(FieldId::kDhcpLeaseSecs, 5));
   EXPECT_TRUE(eng.violations().empty());
-  EXPECT_EQ(eng.stats().instances_expired, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_expired"), 1u);
 }
 
 TEST(CatalogEdge, DhcpOverlapSameServerRenewalQuiet) {

@@ -126,7 +126,8 @@ TEST(ClaimsTest, E6_ExternalBytesGrowWithTrafficOnSwitchBytesDoNot) {
     const auto out = RunLearningScenario(config);
     ControllerMonitor external(LearningSwitchLinkDownFlush(), CostParams{});
     out.trace->ReplayInto(external);
-    return std::pair{external.bytes_mirrored(),
+    return std::pair{external.TelemetrySnapshot("ext").counter(
+                         "backend.controller.ext.bytes_mirrored"),
                      out.ViolationsOf("lsw-linkdown-flush") * 64};
   };
   const auto [ext_small, onsw_small] = mirrored(10);

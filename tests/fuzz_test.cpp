@@ -8,6 +8,7 @@
 #include "packet/parser.hpp"
 #include "properties/catalog.hpp"
 #include "spl/spl.hpp"
+#include "telemetry_helpers.hpp"
 
 namespace swmon {
 namespace {
@@ -142,10 +143,12 @@ TEST(EngineFuzz, RandomEventSoupNeverCrashesAnyCatalogProperty) {
     for (const auto& ev : events) engine.ProcessEvent(ev);
     engine.AdvanceTime(t + Duration::Seconds(300));
     // Sanity: stats are internally consistent.
-    const MonitorStats& s = engine.stats();
-    EXPECT_EQ(s.events, events.size());
+    telemetry::Snapshot snap;
+    engine.CollectInto(snap, "t");
+    EXPECT_EQ(snap.counter("monitor.engine.t.events"), events.size());
     EXPECT_LE(engine.live_instances(), 512u);
-    EXPECT_LE(s.violations, s.instances_created);
+    EXPECT_LE(snap.counter("monitor.engine.t.violations"),
+              snap.counter("monitor.engine.t.instances_created"));
   }
 }
 

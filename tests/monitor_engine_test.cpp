@@ -5,6 +5,7 @@
 
 #include "monitor/engine.hpp"
 #include "monitor/property_builder.hpp"
+#include "telemetry_helpers.hpp"
 
 namespace swmon {
 namespace {
@@ -101,7 +102,7 @@ TEST(EngineTest, DedupKeepsOneInstancePerKey) {
                          {FieldId::kIpDst, 20}}));
   }
   EXPECT_EQ(eng.live_instances(), 1u);
-  EXPECT_EQ(eng.stats().instances_created, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_created"), 1u);
 
   // A different pair is a separate instance.
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 9,
@@ -200,7 +201,7 @@ TEST(EngineTest, AbortDischargesObligation) {
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 1,
                       {{FieldId::kIpSrc, 10}, {FieldId::kTcpFlags, kTcpFin}}));
   EXPECT_EQ(eng.live_instances(), 0u);
-  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_aborted"), 1u);
   // The drop after close does not alarm.
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2,
                       {{FieldId::kIpDst, 10}, {FieldId::kEgressAction, kDrop}}));
@@ -219,7 +220,7 @@ TEST(EngineTest, AbortRunsBeforeAdvanceOnSameEvent) {
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 5}}));
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1, {{FieldId::kIpSrc, 5}}));
   EXPECT_TRUE(eng.violations().empty());
-  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_aborted"), 1u);
 }
 
 TEST(EngineTest, SingleStagePropertyViolatesImmediately) {
@@ -297,7 +298,7 @@ TEST(EngineTest, MaxInstancesEvictsOldest) {
                          {FieldId::kIpDst, 20}}));
   }
   EXPECT_EQ(eng.live_instances(), 3u);
-  EXPECT_EQ(eng.stats().instances_evicted, 2u);
+  EXPECT_EQ(EngineStat(eng, "instances_evicted"), 2u);
   // The two oldest (src 100, 101) were evicted: their violation is missed.
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 10,
                       {{FieldId::kIpSrc, 20},
@@ -321,13 +322,14 @@ TEST(EngineTest, StatsAccounting) {
                       {{FieldId::kIpSrc, 20},
                        {FieldId::kIpDst, 10},
                        {FieldId::kEgressAction, kDrop}}));
-  const MonitorStats& s = eng.stats();
-  EXPECT_EQ(s.events, 2u);
-  EXPECT_EQ(s.instances_created, 1u);
-  EXPECT_EQ(s.violations, 1u);
-  EXPECT_EQ(s.peak_live, 1u);
+  telemetry::Snapshot snap;
+  eng.CollectInto(snap, "t");
+  EXPECT_EQ(snap.counter("monitor.engine.t.events"), 2u);
+  EXPECT_EQ(snap.counter("monitor.engine.t.instances_created"), 1u);
+  EXPECT_EQ(snap.counter("monitor.engine.t.violations"), 1u);
+  EXPECT_EQ(snap.gauge("monitor.engine.t.peak_live"), 1);
   // Creation commits stage 0 and the egress commits stage 1.
-  EXPECT_EQ(s.instances_advanced, 1u);
+  EXPECT_EQ(snap.counter("monitor.engine.t.instances_advanced"), 1u);
 }
 
 /// LB-shaped property: arrival binds A=src and a round-robin port E of
@@ -441,7 +443,7 @@ TEST(EngineTest, EvictionQueueStaysBoundedUnderChurn) {
                          {FieldId::kIpDst, 20}}));
   }
   EXPECT_EQ(eng.live_instances(), 4u);
-  EXPECT_EQ(eng.stats().instances_evicted, 10000u - 4u);
+  EXPECT_EQ(EngineStat(eng, "instances_evicted"), 10000u - 4u);
   // Compaction keeps the queue near 2*live + threshold, not O(created).
   EXPECT_LE(eng.eviction_queue_size(), 2 * 4u + 64u + 1u);
   // Eviction order must still be correct after compactions: only the 4

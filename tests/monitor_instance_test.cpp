@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "monitor/engine.hpp"
 #include "monitor/property_builder.hpp"
+#include "telemetry_helpers.hpp"
 
 namespace swmon {
 namespace {
@@ -50,7 +51,7 @@ TEST(InstanceTest, MultipleMatchAdvancesAllInstances) {
   eng.ProcessEvent(
       Ev(DataplaneEventType::kLinkStatus, 10, {{FieldId::kLinkUp, 0}}));
   EXPECT_EQ(eng.live_instances(), 4u);
-  EXPECT_EQ(eng.stats().instances_advanced, 4u);
+  EXPECT_EQ(EngineStat(eng, "instances_advanced"), 4u);
 
   // Unicast to D=2 without re-learning: exactly one violation.
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 20,
@@ -66,7 +67,7 @@ TEST(InstanceTest, RelearnDischargesAfterLinkDown) {
       Ev(DataplaneEventType::kLinkStatus, 2, {{FieldId::kLinkUp, 0}}));
   // D re-announces: the stale-unicast obligation is discharged...
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 3, {{FieldId::kEthSrc, 9}}));
-  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_aborted"), 1u);
   // ...and the same event creates a fresh stage-1 instance.
   EXPECT_EQ(eng.live_instances(), 1u);
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 4,
@@ -125,7 +126,7 @@ TEST(InstanceTest, SuppressionBlocksCreation) {
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1,
                       {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 5}}));
   EXPECT_TRUE(eng.violations().empty());
-  EXPECT_EQ(eng.stats().suppressed_creations, 1u);
+  EXPECT_EQ(EngineStat(eng, "suppressed_creations"), 1u);
   // A fabricated reply for a never-seen address violates:
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 2,
                       {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 6}}));
@@ -203,7 +204,8 @@ TEST_P(StoreEquivalenceTest, IndexedMatchesLinear) {
         << "step " << i;
   }
   // The indexed store must have examined no MORE candidates than the scan.
-  EXPECT_LE(indexed.stats().candidate_checks, scan.stats().candidate_checks);
+  EXPECT_LE(EngineStat(indexed, "candidate_checks"),
+            EngineStat(scan, "candidate_checks"));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreEquivalenceTest,

@@ -9,6 +9,7 @@
 #include "monitor/property_builder.hpp"
 #include "properties/catalog.hpp"
 #include "spl/spl.hpp"
+#include "telemetry_helpers.hpp"
 
 namespace swmon {
 namespace {
@@ -33,8 +34,8 @@ TEST(MonitorSetTest, FansOutToEveryEngine) {
                            {FieldId::kIpSrc, 10},
                            {FieldId::kIpDst, 20},
                            {FieldId::kEthSrc, 0xaa}}));
-  EXPECT_EQ(set.engine(0).stats().events, 1u);
-  EXPECT_EQ(set.engine(1).stats().events, 1u);
+  EXPECT_EQ(EngineStat(set.engine(0), "events"), 1u);
+  EXPECT_EQ(EngineStat(set.engine(1), "events"), 1u);
   EXPECT_EQ(set.engine(0).live_instances(), 1u);
   EXPECT_EQ(set.engine(1).live_instances(), 1u);
 
@@ -78,18 +79,21 @@ TEST(MonitorSetTest, FiltersEventsOutsideTheInterestSignature) {
   set.OnDataplaneEvent(Ev(DataplaneEventType::kLinkStatus, 1,
                           {{FieldId::kLinkId, 3}, {FieldId::kLinkUp, 0}}));
   // The engine never processed the event — only observed the timestamp.
-  EXPECT_EQ(eng.stats().events, 0u);
-  EXPECT_EQ(eng.stats().events_filtered, 1u);
-  EXPECT_EQ(set.events_dispatched(), 0u);
-  EXPECT_EQ(set.events_filtered(), 1u);
+  EXPECT_EQ(EngineStat(eng, "events"), 0u);
+  EXPECT_EQ(EngineStat(eng, "events_filtered"), 1u);
+  EXPECT_EQ(set.TelemetrySnapshot().counter("monitor.set.events_dispatched"),
+            0u);
+  EXPECT_EQ(set.TelemetrySnapshot().counter("monitor.set.events_filtered"),
+            1u);
 
   set.OnDataplaneEvent(Ev(DataplaneEventType::kArrival, 2,
                           {{FieldId::kInPort, 1},
                            {FieldId::kIpSrc, 10},
                            {FieldId::kIpDst, 20}}));
-  EXPECT_EQ(eng.stats().events, 1u);
-  EXPECT_EQ(eng.stats().events_dispatched, 1u);
-  EXPECT_EQ(set.events_dispatched(), 1u);
+  EXPECT_EQ(EngineStat(eng, "events"), 1u);
+  EXPECT_EQ(EngineStat(eng, "events_dispatched"), 1u);
+  EXPECT_EQ(set.TelemetrySnapshot().counter("monitor.set.events_dispatched"),
+            1u);
   EXPECT_EQ(eng.live_instances(), 1u);
 }
 
@@ -108,7 +112,8 @@ TEST(MonitorSetTest, FilteredEventsStillAdvanceTimeoutClocks) {
   for (int i = 0; i < 5; ++i)
     set.OnDataplaneEvent(Ev(DataplaneEventType::kLinkStatus, 2000 + i,
                             {{FieldId::kLinkId, 1}, {FieldId::kLinkUp, 1}}));
-  EXPECT_EQ(set.engine(0).stats().events, 2u);  // only the two ARP arrivals
+  // Only the two ARP arrivals were dispatched to the engine.
+  EXPECT_EQ(EngineStat(set.engine(0), "events"), 2u);
   ASSERT_EQ(set.TotalViolations(), 1u);
   EXPECT_EQ(set.AllViolations()[0].property, ArpProxyReplyDeadline().name);
 }
@@ -165,8 +170,10 @@ TEST(MonitorSetTest, FilteredDispatchMatchesBroadcastSemantics) {
   EXPECT_EQ(filtered.TotalViolations(), broadcast_total);
   EXPECT_GT(broadcast_total, 0u);
   // And the filter actually filtered: link-status noise reached no engine.
-  EXPECT_GT(filtered.events_filtered(), 0u);
-  EXPECT_LT(filtered.events_dispatched(), stream.size() * props.size());
+  const telemetry::Snapshot fsnap = filtered.TelemetrySnapshot();
+  EXPECT_GT(fsnap.counter("monitor.set.events_filtered"), 0u);
+  EXPECT_LT(fsnap.counter("monitor.set.events_dispatched"),
+            stream.size() * props.size());
 }
 
 TEST(SpecPrintTest, ToStringShowsTheObservationStructure) {

@@ -4,6 +4,7 @@
 
 #include "monitor/engine.hpp"
 #include "monitor/property_builder.hpp"
+#include "telemetry_helpers.hpp"
 
 namespace swmon {
 namespace {
@@ -49,7 +50,7 @@ TEST(TimeoutTest, WindowExpiryKillsInstance) {
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1500,
                       {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
   EXPECT_TRUE(eng.violations().empty());
-  EXPECT_EQ(eng.stats().instances_expired, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_expired"), 1u);
   EXPECT_EQ(eng.live_instances(), 0u);
 }
 
@@ -67,7 +68,7 @@ TEST(TimeoutTest, RefreshOnRematchExtendsWindow) {
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
   // Re-match at 800ms pushes the deadline to 1800ms.
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 800, {{FieldId::kIpSrc, 1}}));
-  EXPECT_EQ(eng.stats().instances_refreshed, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_refreshed"), 1u);
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1500,
                       {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
   EXPECT_EQ(eng.violations().size(), 1u);
@@ -77,7 +78,7 @@ TEST(TimeoutTest, NoRefreshWithoutFlag) {
   MonitorEngine eng(Windowed(false));
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 0, {{FieldId::kIpSrc, 1}}));
   eng.ProcessEvent(Ev(DataplaneEventType::kArrival, 800, {{FieldId::kIpSrc, 1}}));
-  EXPECT_EQ(eng.stats().instances_refreshed, 0u);
+  EXPECT_EQ(EngineStat(eng, "instances_refreshed"), 0u);
   eng.ProcessEvent(Ev(DataplaneEventType::kEgress, 1500,
                       {{FieldId::kIpDst, 1}, {FieldId::kEgressAction, kDrop}}));
   EXPECT_TRUE(eng.violations().empty());
@@ -119,7 +120,7 @@ TEST(TimeoutActionTest, FiresWhenNothingDischarges) {
   // The violation is stamped at the deadline, not at the advance call.
   EXPECT_EQ(eng.violations()[0].time,
             SimTime::Zero() + Duration::Millis(1100));
-  EXPECT_EQ(eng.stats().timeout_observations, 1u);
+  EXPECT_EQ(EngineStat(eng, "timeout_observations"), 1u);
 }
 
 TEST(TimeoutActionTest, ReplyDischarges) {
@@ -132,7 +133,7 @@ TEST(TimeoutActionTest, ReplyDischarges) {
                       {{FieldId::kArpOp, 2}, {FieldId::kArpSenderIp, 7}}));
   eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(5));
   EXPECT_TRUE(eng.violations().empty());
-  EXPECT_EQ(eng.stats().instances_aborted, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_aborted"), 1u);
 }
 
 TEST(TimeoutActionTest, RepeatedRequestsDoNotResetTheTimer) {
@@ -191,7 +192,7 @@ TEST(TimeoutTest, WindowFromFieldUsesEventValue) {
   EXPECT_EQ(eng.live_instances(), 1u);
   eng.AdvanceTime(SimTime::Zero() + Duration::Seconds(3));
   EXPECT_EQ(eng.live_instances(), 0u);
-  EXPECT_EQ(eng.stats().instances_expired, 1u);
+  EXPECT_EQ(EngineStat(eng, "instances_expired"), 1u);
 }
 
 TEST(TimeoutTest, MissingWindowFieldBlocksCreation) {

@@ -10,6 +10,7 @@
 #include "netsim/trace.hpp"
 #include "packet/builder.hpp"
 #include "properties/catalog.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 namespace {
@@ -165,8 +166,9 @@ TEST(ControllerMonitorTest, MirrorsBytesAndLagsDetection) {
   drop.packet_bytes = 60;
   external.OnDataplaneEvent(drop);
 
-  EXPECT_EQ(external.bytes_mirrored(), 160u);
-  EXPECT_EQ(external.events_mirrored(), 2u);
+  const telemetry::Snapshot snap = external.TelemetrySnapshot("ext");
+  EXPECT_EQ(snap.counter("backend.controller.ext.bytes_mirrored"), 160u);
+  EXPECT_EQ(snap.counter("backend.controller.ext.events_mirrored"), 2u);
   ASSERT_EQ(external.violations().size(), 1u);
   // Detection is stamped half an RTT after the fact.
   EXPECT_EQ(external.violations()[0].time,

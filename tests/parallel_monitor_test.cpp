@@ -14,6 +14,7 @@
 #include "monitor/monitor_set.hpp"
 #include "monitor/parallel_monitor_set.hpp"
 #include "properties/catalog.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace swmon {
 namespace {
@@ -58,24 +59,16 @@ void ExpectViolationEq(const Violation& a, const Violation& b,
   EXPECT_EQ(a.history.size(), b.history.size()) << label;
 }
 
-void ExpectStatsEq(const MonitorStats& a, const MonitorStats& b,
-                   const std::string& label) {
-  EXPECT_EQ(a.events, b.events) << label;
-  EXPECT_EQ(a.events_dispatched, b.events_dispatched) << label;
-  EXPECT_EQ(a.events_filtered, b.events_filtered) << label;
-  EXPECT_EQ(a.instances_created, b.instances_created) << label;
-  EXPECT_EQ(a.instances_refreshed, b.instances_refreshed) << label;
-  EXPECT_EQ(a.instances_advanced, b.instances_advanced) << label;
-  EXPECT_EQ(a.instances_expired, b.instances_expired) << label;
-  EXPECT_EQ(a.instances_aborted, b.instances_aborted) << label;
-  EXPECT_EQ(a.instances_evicted, b.instances_evicted) << label;
-  EXPECT_EQ(a.timeout_observations, b.timeout_observations) << label;
-  EXPECT_EQ(a.suppressed_creations, b.suppressed_creations) << label;
-  EXPECT_EQ(a.violations, b.violations) << label;
-  EXPECT_EQ(a.candidate_checks, b.candidate_checks) << label;
-  EXPECT_EQ(a.peak_live, b.peak_live) << label;
-  EXPECT_EQ(a.timers_armed, b.timers_armed) << label;
-  EXPECT_EQ(a.timer_stale_pops, b.timer_stale_pops) << label;
+/// Snapshot equality with a readable diff: every counter/gauge in either
+/// snapshot must agree — per-engine families and set-level totals alike.
+void ExpectSnapshotEq(const telemetry::Snapshot& a,
+                      const telemetry::Snapshot& b, const std::string& label) {
+  for (const auto& [name, sample] : a.samples()) {
+    ASSERT_TRUE(b.Has(name)) << label << " missing " << name;
+    EXPECT_TRUE(sample == b.samples().at(name)) << label << " at " << name;
+  }
+  EXPECT_EQ(a.size(), b.size()) << label;
+  EXPECT_TRUE(a == b) << label;
 }
 
 /// Runs the serial reference and also records the serial merged order: after
@@ -148,16 +141,11 @@ TEST_P(ParallelParity, FuzzSeedStreamsMatchSerialExactly) {
       ExpectViolationEq(serial->merged[i], parallel_merged[i],
                         label + " merged[" + std::to_string(i) + "]");
 
-    // Identical per-engine stats.
-    for (std::size_t i = 0; i < props.size(); ++i)
-      ExpectStatsEq(serial->set.engine(i).stats(), parallel.engine(i).stats(),
-                    label + " engine=" + props[i].name);
-
-    // Identical set-level dispatch counters (batched vs per-event counting).
-    EXPECT_EQ(serial->set.events_dispatched(), parallel.events_dispatched())
-        << label;
-    EXPECT_EQ(serial->set.events_filtered(), parallel.events_filtered())
-        << label;
+    // Identical merged counter snapshot: per-engine families plus the
+    // set-level dispatch counters (batched vs per-event counting), all
+    // through the one telemetry query path.
+    ExpectSnapshotEq(serial->set.TelemetrySnapshot(),
+                     parallel.TelemetrySnapshot(), label);
     EXPECT_EQ(serial->set.TotalViolations(), parallel.TotalViolations())
         << label;
   }
@@ -187,13 +175,13 @@ TEST(ParallelMonitorSetTest, CountersMatchSerialAcrossPartialBatchFlushes) {
     parallel.OnDataplaneEvent(events[i]);
     if (i % 50 == 49) {
       // Mid-stream query = flush point; totals must agree at every one.
-      EXPECT_EQ(serial.events_dispatched(), parallel.events_dispatched());
-      EXPECT_EQ(serial.events_filtered(), parallel.events_filtered());
+      ExpectSnapshotEq(serial.TelemetrySnapshot(), parallel.TelemetrySnapshot(),
+                       "mid-stream i=" + std::to_string(i));
     }
   }
   parallel.Stop();
-  EXPECT_EQ(serial.events_dispatched(), parallel.events_dispatched());
-  EXPECT_EQ(serial.events_filtered(), parallel.events_filtered());
+  ExpectSnapshotEq(serial.TelemetrySnapshot(), parallel.TelemetrySnapshot(),
+                   "final");
 }
 
 TEST(ParallelMonitorSetTest, MergedViolationsAgreeAcrossWorkerCounts) {

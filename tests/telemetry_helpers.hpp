@@ -1,0 +1,31 @@
+// Test-side conveniences for reading engine counters through the snapshot
+// API. Tests that used to poke MonitorStats fields now go through
+// MonitorEngine::CollectInto — one query path, never-stale timer gauges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "monitor/engine.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace swmon {
+
+/// One engine counter by leaf name, e.g. EngineStat(engine, "violations").
+inline std::uint64_t EngineStat(const MonitorEngine& engine,
+                                std::string_view leaf) {
+  telemetry::Snapshot snap;
+  engine.CollectInto(snap, "t");
+  return snap.counter(std::string("monitor.engine.t.") + std::string(leaf));
+}
+
+/// One engine gauge by leaf name, e.g. EngineGauge(engine, "live_instances").
+inline std::int64_t EngineGauge(const MonitorEngine& engine,
+                                std::string_view leaf) {
+  telemetry::Snapshot snap;
+  engine.CollectInto(snap, "t");
+  return snap.gauge(std::string("monitor.engine.t.") + std::string(leaf));
+}
+
+}  // namespace swmon

@@ -1,0 +1,281 @@
+// The telemetry subsystem itself: instrument semantics (log-bucketed
+// histogram boundaries), registry get-or-create and collectors, snapshot
+// queries (exact, wildcard, prefix), and both exporters — JSON must
+// round-trip through FromJson bit-exactly, Prometheus text must be
+// well-formed exposition format with cumulative buckets.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace swmon::telemetry {
+namespace {
+
+// ------------------------------------------------------ histogram buckets
+
+TEST(HistogramTest, BucketBoundariesFollowBitWidth) {
+  // Bucket 0 is exactly {0}; bucket i >= 1 covers [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}), 64u);
+
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    // Every bucket's own bounds land back in the bucket...
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i);
+    // ...and the ranges tile u64 with no gaps.
+    if (i > 0) {
+      EXPECT_EQ(Histogram::BucketLowerBound(i),
+                Histogram::BucketUpperBound(i - 1) + 1);
+    }
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~std::uint64_t{0});
+}
+
+TEST(HistogramTest, RecordFillsTheRightBucket) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);  // bucket 3: [4, 7]
+  h.Record(7);
+  const HistogramData d = h.Data();
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_EQ(d.sum, 13u);
+  ASSERT_EQ(d.buckets.size(), 4u);  // trailing zeros trimmed
+  EXPECT_EQ(d.buckets[0], 1u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 0u);
+  EXPECT_EQ(d.buckets[3], 2u);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(RegistryTest, GetOrCreateReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.count");
+  c.Add(2);
+  reg.counter("a.count").Add(3);  // same instrument
+  EXPECT_EQ(c.value(), 5u);
+
+  reg.gauge("a.depth").Set(-7);
+  reg.histogram("a.lat").Record(100);
+
+  const Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counter("a.count"), 5u);
+  EXPECT_EQ(snap.gauge("a.depth"), -7);
+  ASSERT_NE(snap.histogram("a.lat"), nullptr);
+  EXPECT_EQ(snap.histogram("a.lat")->count, 1u);
+  EXPECT_EQ(snap.size(), 3u);
+}
+
+TEST(RegistryTest, CollectorsContributeUntilRemoved) {
+  MetricsRegistry reg;
+  std::uint64_t shard = 41;
+  const std::uint64_t token = reg.AddCollector(
+      [&shard](Snapshot& snap) { snap.SetCounter("shard.events", shard); });
+  shard = 42;
+  EXPECT_EQ(reg.TakeSnapshot().counter("shard.events"), 42u);
+  reg.RemoveCollector(token);
+  EXPECT_FALSE(reg.TakeSnapshot().Has("shard.events"));
+}
+
+// ------------------------------------------------------- snapshot queries
+
+Snapshot MakeSnapshot() {
+  Snapshot snap;
+  snap.SetCounter("monitor.engine.fw.violations", 3);
+  snap.SetCounter("monitor.engine.lsw.violations", 4);
+  snap.SetCounter("monitor.engine.fw.events", 100);
+  snap.SetCounter("monitor.set.events_dispatched", 104);
+  snap.SetGauge("monitor.engine.fw.live_instances", 2);
+  HistogramData h;
+  h.count = 3;
+  h.sum = 12;
+  h.buckets = {0, 1, 2};
+  snap.SetHistogram("monitor.set.dispatch_latency_ns", h);
+  return snap;
+}
+
+TEST(SnapshotTest, ExactAndMissingLookups) {
+  const Snapshot snap = MakeSnapshot();
+  EXPECT_EQ(snap.counter("monitor.engine.fw.events"), 100u);
+  EXPECT_EQ(snap.counter("no.such.metric"), 0u);
+  EXPECT_EQ(snap.gauge("monitor.engine.fw.live_instances"), 2);
+  EXPECT_EQ(snap.gauge("no.such.metric"), 0);
+  EXPECT_EQ(snap.histogram("no.such.metric"), nullptr);
+  // Type-mismatched reads are 0/null, not reinterpretations.
+  EXPECT_EQ(snap.counter("monitor.engine.fw.live_instances"), 0u);
+  EXPECT_EQ(snap.histogram("monitor.engine.fw.events"), nullptr);
+}
+
+TEST(SnapshotTest, WildcardSumsAcrossTheStar) {
+  const Snapshot snap = MakeSnapshot();
+  EXPECT_EQ(snap.counter("monitor.engine.*.violations"), 7u);
+  EXPECT_EQ(snap.counter("monitor.engine.*.events"), 100u);
+  EXPECT_EQ(snap.counter("monitor.*.violations"), 7u);
+  EXPECT_EQ(snap.counter("dataplane.*.violations"), 0u);
+  // Gauges and histograms don't contribute to counter wildcards.
+  EXPECT_EQ(snap.counter("monitor.engine.*.live_instances"), 0u);
+}
+
+TEST(SnapshotTest, WithPrefixIteratesInNameOrder) {
+  const Snapshot snap = MakeSnapshot();
+  const auto fw = snap.WithPrefix("monitor.engine.fw.");
+  ASSERT_EQ(fw.size(), 3u);
+  EXPECT_EQ(fw[0].first, "monitor.engine.fw.events");
+  EXPECT_EQ(fw[1].first, "monitor.engine.fw.live_instances");
+  EXPECT_EQ(fw[2].first, "monitor.engine.fw.violations");
+  EXPECT_TRUE(snap.WithPrefix("zzz.").empty());
+}
+
+TEST(SnapshotTest, AddCounterAndMergeHistogramAccumulate) {
+  Snapshot snap;
+  snap.AddCounter("w.events", 3);
+  snap.AddCounter("w.events", 4);
+  EXPECT_EQ(snap.counter("w.events"), 7u);
+
+  HistogramData a;
+  a.count = 2;
+  a.sum = 3;
+  a.buckets = {1, 1};
+  HistogramData b;
+  b.count = 1;
+  b.sum = 4;
+  b.buckets = {0, 0, 1};
+  snap.MergeHistogram("w.lat", a);
+  snap.MergeHistogram("w.lat", b);
+  const HistogramData* merged = snap.histogram("w.lat");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count, 3u);
+  EXPECT_EQ(merged->sum, 7u);
+  EXPECT_EQ(merged->buckets, (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(ExporterTest, JsonRoundTripsExactly) {
+  const Snapshot snap = MakeSnapshot();
+  const std::string json = snap.ToJson();
+  const auto parsed = Snapshot::FromJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == snap);
+  // And the round-trip is a fixed point of the serialization.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(ExporterTest, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(Snapshot::FromJson("").has_value());
+  EXPECT_FALSE(Snapshot::FromJson("not json").has_value());
+  EXPECT_FALSE(Snapshot::FromJson("{\"counters\": [1,2]}").has_value());
+  EXPECT_FALSE(Snapshot::FromJson("{\"counters\": {\"a\": 1}").has_value());
+}
+
+/// Exposition-format line lint: `name{labels} value` or `name value`, metric
+/// names restricted to [a-zA-Z_:][a-zA-Z0-9_:]*.
+void LintPrometheusLine(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  std::size_t i = 0;
+  ASSERT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+              line[0] == '_' || line[0] == ':')
+      << line;
+  while (i < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[i])) ||
+          line[i] == '_' || line[i] == ':'))
+    ++i;
+  ASSERT_LT(i, line.size()) << line;
+  if (line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    ASSERT_NE(close, std::string::npos) << line;
+    i = close + 1;
+  }
+  ASSERT_EQ(line[i], ' ') << line;
+  // The remainder must be a number (integer, or +Inf never appears in the
+  // value position — le="+Inf" lives inside the braces).
+  const std::string value = line.substr(i + 1);
+  ASSERT_FALSE(value.empty()) << line;
+  for (std::size_t k = value[0] == '-' ? 1 : 0; k < value.size(); ++k)
+    ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(value[k]))) << line;
+}
+
+TEST(ExporterTest, PrometheusTextIsWellFormed) {
+  const Snapshot snap = MakeSnapshot();
+  const std::string text = snap.ToPrometheusText();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_type = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      saw_type = true;
+      continue;
+    }
+    ASSERT_NE(line.rfind("#", 0), 0u) << "only TYPE comments: " << line;
+    LintPrometheusLine(line);
+    // Every sample line carries the swmon_ namespace and sanitized names.
+    EXPECT_EQ(line.rfind("swmon_", 0), 0u) << line;
+    EXPECT_EQ(line.find('.'), std::string::npos) << line;
+  }
+  EXPECT_TRUE(saw_type);
+}
+
+TEST(ExporterTest, PrometheusHistogramBucketsAreCumulative) {
+  Snapshot snap;
+  HistogramData h;
+  h.count = 4;
+  h.sum = 13;
+  h.buckets = {1, 1, 0, 2};  // values 0, 1, 5, 7
+  snap.SetHistogram("monitor.set.dispatch_latency_ns", h);
+  const std::string text = snap.ToPrometheusText();
+
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t inf_count = 0, count = 0, sum = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("#", 0) == 0) continue;
+    const std::string value = line.substr(line.rfind(' ') + 1);
+    if (line.find("_bucket{le=\"+Inf\"}") != std::string::npos)
+      inf_count = std::stoull(value);
+    else if (line.find("_bucket{le=") != std::string::npos)
+      cumulative.push_back(std::stoull(value));
+    else if (line.find("_count ") != std::string::npos)
+      count = std::stoull(value);
+    else if (line.find("_sum ") != std::string::npos)
+      sum = std::stoull(value);
+  }
+  // One le-bucket per materialized bucket, monotonically non-decreasing,
+  // and the +Inf bucket equals the total count.
+  ASSERT_EQ(cumulative.size(), h.buckets.size());
+  EXPECT_EQ(cumulative.front(), 1u);
+  for (std::size_t i = 1; i < cumulative.size(); ++i)
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  EXPECT_EQ(cumulative.back(), 4u);
+  EXPECT_EQ(inf_count, 4u);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(sum, 13u);
+}
+
+TEST(TelemetryTest, CompiledInByDefault) {
+  // The build compiles the instrumented dispatch path unless
+  // -DSWMON_TELEMETRY=0; the runtime kill-switch is the SWMON_TELEMETRY
+  // env var (tested implicitly — Enabled() is cached per process).
+  EXPECT_TRUE(kCompiledIn);
+  EXPECT_GT(NowNanos(), 0u);
+}
+
+}  // namespace
+}  // namespace swmon::telemetry
