@@ -9,14 +9,25 @@
 //   # 2. run any SPL property over a recorded trace
 //   trace_replay check /tmp/fw.swmt examples/properties/firewall.spl
 //
+//   # 2b. or follow a trace file that is still being written (swmond's
+//   # tailer source), printing violations as they happen
+//   trace_replay check --follow /tmp/live.swmt examples/properties/firewall.spl
+//
 // Recording uses the built-in scenarios; checking parses the property,
 // replays the trace into a fresh MonitorEngine at full provenance, and
-// prints every violation.
+// prints every violation. --follow keeps polling for appended events until
+// interrupted (or, if SWMON_FOLLOW_IDLE_EXIT_MS is set, until the file has
+// been idle that long — used by the test suite).
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
+#include "daemon/event_source.hpp"
 #include "monitor/engine.hpp"
 #include "netsim/trace_io.hpp"
 #include "spl/spl.hpp"
@@ -62,13 +73,58 @@ int Record(const std::string& what, const std::string& path) {
   return 0;
 }
 
-int Check(const std::string& trace_path, const std::string& spl_path) {
-  TraceRecorder trace;
-  std::string error;
-  if (!LoadTrace(trace_path, trace, &error)) {
-    std::fprintf(stderr, "load failed: %s\n", error.c_str());
-    return 1;
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+/// Monitors a still-growing trace file live via the daemon's tailer source.
+int Follow(const std::string& trace_path, const Property& property) {
+  MonitorConfig mc;
+  mc.provenance = ProvenanceLevel::kFull;
+  MonitorEngine engine(property, mc);
+  TraceTailer tailer(trace_path);
+
+  long idle_exit_ms = -1;
+  if (const char* env = std::getenv("SWMON_FOLLOW_IDLE_EXIT_MS"))
+    idle_exit_ms = std::atol(env);
+
+  std::signal(SIGINT, OnSignal);
+  std::printf("following %s with '%s' (ctrl-c to stop)\n", trace_path.c_str(),
+              property.name.c_str());
+  std::fflush(stdout);
+
+  std::vector<DataplaneEvent> batch;
+  long idle_ms = 0;
+  std::uint64_t total = 0;
+  std::size_t violations = 0;
+  while (!g_stop) {
+    batch.clear();
+    const bool alive = tailer.Poll(batch);
+    for (const DataplaneEvent& ev : batch) engine.ProcessEvent(ev);
+    for (Violation& v : engine.TakeViolations()) {
+      ++violations;
+      std::printf("%s\n\n", v.ToString().c_str());
+      std::fflush(stdout);
+    }
+    total += batch.size();
+    if (!alive) {
+      std::fprintf(stderr, "tailer stopped: %s\n", tailer.error().c_str());
+      return 1;
+    }
+    if (batch.empty()) {
+      if (idle_exit_ms >= 0 && (idle_ms += 20) >= idle_exit_ms) break;
+      usleep(20 * 1000);
+    } else {
+      idle_ms = 0;
+    }
   }
+  std::printf("followed %llu events through '%s': %zu violation(s)\n",
+              static_cast<unsigned long long>(total), property.name.c_str(),
+              violations);
+  return 0;
+}
+
+int Check(const std::string& trace_path, const std::string& spl_path,
+          bool follow) {
   std::ifstream in(spl_path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", spl_path.c_str());
@@ -79,6 +135,15 @@ int Check(const std::string& trace_path, const std::string& spl_path) {
   const SplParseResult parsed = ParseSpl(buf.str());
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+
+  if (follow) return Follow(trace_path, *parsed.property);
+
+  TraceRecorder trace;
+  std::string error;
+  if (!LoadTrace(trace_path, trace, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
   }
 
@@ -104,10 +169,13 @@ int main(int argc, char** argv) {
   if (argc == 4 && !std::strcmp(argv[1], "record"))
     return Record(argv[2], argv[3]);
   if (argc == 4 && !std::strcmp(argv[1], "check"))
-    return Check(argv[2], argv[3]);
+    return Check(argv[2], argv[3], /*follow=*/false);
+  if (argc == 5 && !std::strcmp(argv[1], "check") &&
+      !std::strcmp(argv[2], "--follow"))
+    return Check(argv[3], argv[4], /*follow=*/true);
   std::fprintf(stderr,
                "usage:\n  %s record <scenario[-ok]> <out.swmt>\n"
-               "  %s check <trace.swmt> <property.spl>\n",
+               "  %s check [--follow] <trace.swmt> <property.spl>\n",
                argv[0], argv[0]);
   return 2;
 }

@@ -1,0 +1,353 @@
+#include "daemon/event_source.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "spl/spl.hpp"
+
+namespace swmon {
+namespace {
+
+constexpr char kTraceMagic[4] = {'S', 'W', 'M', 'T'};
+
+bool SetError(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  const int base =
+      text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')
+          ? 16
+          : 10;
+  char* end = nullptr;
+  const std::string owned(text);
+  *out = std::strtoull(owned.c_str(), &end, base);
+  return end && *end == '\0';
+}
+
+/// Validates a 16-byte SWMT stream/file header; on success the caller
+/// starts feeding everything after it to a TraceEventDecoder.
+bool CheckStreamHeader(const std::uint8_t* header, std::string* error) {
+  if (std::memcmp(header, kTraceMagic, 4) != 0)
+    return SetError(error, "stream is not a swmon trace");
+  std::uint32_t version;
+  std::memcpy(&version, header + 4, 4);  // LE file, LE hosts only ingest live
+  if constexpr (std::endian::native != std::endian::little)
+    version = __builtin_bswap32(version);
+  if (version == 0 || version > 2)
+    return SetError(error, "unsupported trace version");
+  return true;
+}
+
+}  // namespace
+
+bool ParseEventLine(const std::string& line, DataplaneEvent& out,
+                    std::string* error) {
+  if (error) error->clear();
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && std::isspace(line[pos])) ++pos;
+    std::size_t end = pos;
+    while (end < line.size() && !std::isspace(line[end])) ++end;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  if (tokens.empty() || tokens[0][0] == '#') return false;  // blank/comment
+  if (tokens.size() < 2)
+    return SetError(error, "expected '<type> <time_ns> [field=value]...'");
+
+  out = DataplaneEvent{};
+  if (tokens[0] == "arrival") {
+    out.type = DataplaneEventType::kArrival;
+  } else if (tokens[0] == "egress") {
+    out.type = DataplaneEventType::kEgress;
+  } else if (tokens[0] == "link") {
+    out.type = DataplaneEventType::kLinkStatus;
+  } else {
+    return SetError(error, "unknown event type '" + tokens[0] + "'");
+  }
+  std::uint64_t time_ns;
+  if (!ParseU64(tokens[1], &time_ns))
+    return SetError(error, "bad timestamp '" + tokens[1] + "'");
+  out.time = SimTime::FromNanos(static_cast<std::int64_t>(time_ns));
+
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos)
+      return SetError(error, "expected key=value, got '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    std::uint64_t value;
+    if (!ParseU64(tok.substr(eq + 1), &value))
+      return SetError(error, "bad value in '" + tok + "'");
+    if (key == "bytes") {
+      out.packet_bytes = static_cast<std::uint32_t>(value);
+      continue;
+    }
+    const auto id = FieldIdByName(key);
+    if (!id) return SetError(error, "unknown field '" + key + "'");
+    out.fields.Set(*id, value);
+  }
+  return true;
+}
+
+// -------------------------------------------------------- TraceTailer
+
+TraceTailer::TraceTailer(std::string path)
+    : path_(std::move(path)), name_("tail:" + path_) {}
+
+TraceTailer::~TraceTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TraceTailer::ReadHeader() {
+  std::uint8_t header[kTraceHeaderBytes];
+  const ssize_t r = ::pread(fd_, header, sizeof(header), 0);
+  if (r < 0) {
+    error_ = "read " + path_ + " failed: " + std::strerror(errno);
+    return false;
+  }
+  if (static_cast<std::size_t>(r) < sizeof(header)) return true;  // wait
+  if (!CheckStreamHeader(header, &error_)) return false;
+  header_ok_ = true;
+  offset_ = kTraceHeaderBytes;
+  return true;
+}
+
+bool TraceTailer::Poll(std::vector<DataplaneEvent>& out) {
+  if (!error_.empty()) return false;
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ < 0) return true;  // not created yet — keep waiting
+  }
+  if (!header_ok_) {
+    if (!ReadHeader()) return false;
+    if (!header_ok_) return true;
+  }
+  std::uint8_t chunk[1 << 16];
+  ssize_t r;
+  while ((r = ::pread(fd_, chunk, sizeof(chunk), offset_)) > 0) {
+    decoder_.Feed(chunk, static_cast<std::size_t>(r));
+    offset_ += static_cast<std::uint64_t>(r);
+  }
+  if (r < 0) {
+    error_ = "read " + path_ + " failed: " + std::strerror(errno);
+    return false;
+  }
+  DataplaneEvent ev;
+  TraceEventDecoder::Result res;
+  while ((res = decoder_.Next(ev)) == TraceEventDecoder::Result::kEvent)
+    out.push_back(ev);
+  if (res == TraceEventDecoder::Result::kCorrupt) {
+    error_ = path_ + ": " + decoder_.error();
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------- SocketSource
+
+SocketSource::SocketSource(SocketSourceOptions options)
+    : options_(std::move(options)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+SocketSource::~SocketSource() { Stop(); }
+
+bool SocketSource::Start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    Stop();
+    return SetError(error, msg + ": " + std::strerror(errno));
+  };
+  stopping_.store(false, std::memory_order_release);
+  if (options_.tcp_enabled) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(tcp_listen_fd_, 16) < 0)
+      return fail("bind/listen 127.0.0.1:" +
+                  std::to_string(options_.tcp_port));
+    socklen_t len = sizeof(addr);
+    ::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    tcp_port_ = ntohs(addr.sin_port);
+    const int fd = tcp_listen_fd_;
+    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  if (!options_.unix_path.empty()) {
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_listen_fd_ < 0) return fail("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path))
+      return SetError(error, "unix socket path too long");
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a prior run
+    if (::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(unix_listen_fd_, 16) < 0)
+      return fail("bind/listen " + options_.unix_path);
+    const int fd = unix_listen_fd_;
+    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  if (tcp_listen_fd_ < 0 && unix_listen_fd_ < 0)
+    return SetError(error, "socket source has no listener configured");
+  return true;
+}
+
+void SocketSource::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  for (int* fd : {&tcp_listen_fd_, &unix_listen_fd_}) {
+    if (*fd >= 0) {
+      ::shutdown(*fd, SHUT_RDWR);
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  // Listeners first: once joined, no new reader threads can appear.
+  for (auto& t : accept_threads_)
+    if (t.joinable()) t.join();
+  accept_threads_.clear();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    readers.swap(reader_threads_);
+  }
+  space_cv_.notify_all();
+  for (auto& t : readers)
+    if (t.joinable()) t.join();
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void SocketSource::AcceptLoop(int listen_fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire) || errno != EINTR) return;
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // One thread per connection: ingestion clients are few (a tap per
+    // switch), and a blocked slow producer must not stall other clients.
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { ReadConnection(fd); });
+  }
+}
+
+bool SocketSource::Enqueue(DataplaneEvent ev) {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [this] {
+    return queue_.size() < options_.queue_capacity ||
+           stopping_.load(std::memory_order_acquire);
+  });
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  queue_.push_back(std::move(ev));
+  events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SocketSource::ReadConnection(int fd) {
+  // Sniff the first bytes: an SWMT header selects the binary trace
+  // protocol, anything else is treated as the text line protocol.
+  std::string pending;
+  TraceEventDecoder decoder;
+  enum class Mode { kUnknown, kBinary, kText } mode = Mode::kUnknown;
+  bool drop = false;
+  char chunk[1 << 16];
+  ssize_t r;
+  while (!drop && (r = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    pending.append(chunk, static_cast<std::size_t>(r));
+    if (mode == Mode::kUnknown) {
+      if (pending.size() < 4) {
+        if (std::memcmp(pending.data(), kTraceMagic, pending.size()) == 0)
+          continue;  // may still become a binary header
+        mode = Mode::kText;
+      } else if (std::memcmp(pending.data(), kTraceMagic, 4) == 0) {
+        if (pending.size() < kTraceHeaderBytes) continue;
+        std::string header_error;
+        if (!CheckStreamHeader(
+                reinterpret_cast<const std::uint8_t*>(pending.data()),
+                &header_error)) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        pending.erase(0, kTraceHeaderBytes);
+        mode = Mode::kBinary;
+      } else {
+        mode = Mode::kText;
+      }
+    }
+    if (mode == Mode::kBinary) {
+      decoder.Feed(reinterpret_cast<const std::uint8_t*>(pending.data()),
+                   pending.size());
+      pending.clear();
+      DataplaneEvent ev;
+      TraceEventDecoder::Result res;
+      while ((res = decoder.Next(ev)) == TraceEventDecoder::Result::kEvent) {
+        if (!Enqueue(std::move(ev))) {
+          drop = true;
+          break;
+        }
+      }
+      if (res == TraceEventDecoder::Result::kCorrupt) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        drop = true;
+      }
+    } else {
+      std::size_t nl;
+      while (!drop && (nl = pending.find('\n')) != std::string::npos) {
+        const std::string line = pending.substr(0, nl);
+        pending.erase(0, nl + 1);
+        DataplaneEvent ev;
+        std::string line_error;
+        if (ParseEventLine(line, ev, &line_error)) {
+          if (!Enqueue(std::move(ev))) drop = true;
+        } else if (!line_error.empty()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          drop = true;  // a malformed line poisons framing — drop the conn
+        }
+      }
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+}
+
+bool SocketSource::Poll(std::vector<DataplaneEvent>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) {
+    out.insert(out.end(), std::make_move_iterator(queue_.begin()),
+               std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    space_cv_.notify_all();
+  }
+  return true;
+}
+
+}  // namespace swmon

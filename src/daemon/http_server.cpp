@@ -1,0 +1,250 @@
+#include "daemon/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace swmon {
+namespace {
+
+/// Hard ceilings; the control plane's requests are tiny, so anything past
+/// these is a confused or hostile client.
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+bool SendAll(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const HttpResponse& resp) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << ' ' << StatusText(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  const std::string head = out.str();
+  if (SendAll(fd, head.data(), head.size()))
+    SendAll(fd, resp.body.data(), resp.body.size());
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair(query.data() + pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key)
+      return std::string(pair.substr(eq + 1));
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  return {status, "application/json",
+          "{\"error\":\"" + message + "\"}\n"};
+}
+
+bool HttpServer::Start(std::uint16_t port, HttpHandler handler,
+                       std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg + ": " + std::strerror(errno);
+    return false;
+  };
+  Stop();
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() unblocks the accept(); close() alone does not on all
+  // platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listener is gone
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the blank line ending the headers.
+  std::string data;
+  std::size_t header_end;
+  char chunk[4096];
+  while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+    if (data.size() > kMaxHeaderBytes) {
+      WriteResponse(fd, HttpResponse::Error(413, "headers too large"));
+      return;
+    }
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r <= 0) return;  // client went away mid-request
+    data.append(chunk, static_cast<std::size_t>(r));
+  }
+
+  HttpRequest req;
+  {
+    const std::size_t line_end = data.find("\r\n");
+    std::istringstream line(data.substr(0, line_end));
+    std::string target, version;
+    line >> req.method >> target >> version;
+    if (req.method.empty() || target.empty() || target[0] != '/') {
+      WriteResponse(fd, HttpResponse::Error(400, "malformed request line"));
+      return;
+    }
+    const std::size_t q = target.find('?');
+    req.path = target.substr(0, q);
+    if (q != std::string::npos) req.query = target.substr(q + 1);
+  }
+
+  // Content-Length is the only body framing the control plane accepts.
+  std::size_t content_length = 0;
+  {
+    std::istringstream headers(
+        data.substr(0, header_end + 2));  // keep trailing \r\n
+    std::string line;
+    std::getline(headers, line);  // request line, already parsed
+    while (std::getline(headers, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == "content-length") {
+        content_length = static_cast<std::size_t>(
+            std::strtoull(line.c_str() + colon + 1, nullptr, 10));
+      }
+    }
+  }
+  if (content_length > kMaxBodyBytes) {
+    WriteResponse(fd, HttpResponse::Error(413, "body too large"));
+    return;
+  }
+  req.body = data.substr(header_end + 4);
+  while (req.body.size() < content_length) {
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r <= 0) return;
+    req.body.append(chunk, static_cast<std::size_t>(r));
+  }
+  req.body.resize(content_length);
+
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse resp;
+  try {
+    resp = handler_(req);
+  } catch (const std::exception& e) {
+    resp = HttpResponse::Error(500, e.what());
+  }
+  WriteResponse(fd, resp);
+}
+
+bool HttpRoundTrip(std::uint16_t port, const std::string& method,
+                   const std::string& target, const std::string& body,
+                   int* status, std::string* response_body,
+                   std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg + ": " + std::strerror(errno);
+    return false;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return fail("connect 127.0.0.1:" + std::to_string(port));
+  }
+  std::ostringstream out;
+  out << method << ' ' << target << " HTTP/1.1\r\nHost: localhost\r\n"
+      << "Content-Length: " << body.size() << "\r\nConnection: close\r\n\r\n"
+      << body;
+  const std::string req = out.str();
+  if (!SendAll(fd, req.data(), req.size())) {
+    ::close(fd);
+    return fail("send");
+  }
+  std::string resp;
+  char chunk[4096];
+  ssize_t r;
+  while ((r = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+    resp.append(chunk, static_cast<std::size_t>(r));
+  ::close(fd);
+  const std::size_t sp = resp.find(' ');
+  if (sp == std::string::npos) return fail("malformed response");
+  if (status) *status = std::atoi(resp.c_str() + sp + 1);
+  const std::size_t hdr_end = resp.find("\r\n\r\n");
+  if (response_body)
+    *response_body =
+        hdr_end == std::string::npos ? "" : resp.substr(hdr_end + 4);
+  return true;
+}
+
+}  // namespace swmon

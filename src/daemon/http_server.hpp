@@ -1,0 +1,85 @@
+// A minimal embedded HTTP/1.1 server for swmond's telemetry/control plane.
+//
+// Hand-rolled on POSIX sockets — the repo's no-new-dependencies rule holds
+// for the daemon too, and the control plane needs exactly four verbs worth
+// of HTTP: parse a request line + headers + optional Content-Length body,
+// call one handler, write one response, close. Every connection is served
+// to completion on the single accept thread (the handler marshals real
+// work onto the daemon's pump thread anyway, so concurrency here would buy
+// queueing, not throughput). Binds loopback only: the control plane is an
+// operator surface, not an internet listener.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace swmon {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", "DELETE", ...
+  std::string path;    // decoded path, no query string
+  std::string query;   // raw query string ("" when absent)
+  std::string body;
+
+  /// Value of `key` in the query string ("" when absent). Handles only the
+  /// k=v&k2=v2 shape the control plane uses; no percent-decoding.
+  std::string QueryParam(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Json(std::string body) {
+    return {200, "application/json", std::move(body)};
+  }
+  static HttpResponse Error(int status, const std::string& message);
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned; read the result from
+  /// port()) and serves `handler` on a background thread until Stop().
+  bool Start(std::uint16_t port, HttpHandler handler,
+             std::string* error = nullptr);
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  HttpHandler handler_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+/// Test/client helper: one blocking HTTP round-trip against 127.0.0.1:port.
+/// Returns false on connect/IO failure. `status` and `body` are filled from
+/// the response.
+bool HttpRoundTrip(std::uint16_t port, const std::string& method,
+                   const std::string& target, const std::string& body,
+                   int* status, std::string* response_body,
+                   std::string* error = nullptr);
+
+}  // namespace swmon

@@ -40,6 +40,21 @@ class DispatchTable {
     }
   }
 
+  /// Removes every entry for `engine`, preserving the relative order of the
+  /// remaining entries (detach must not perturb dispatch order for resident
+  /// engines — that order is part of the determinism contract).
+  void Unregister(const MonitorEngine* engine) {
+    for (auto& lists : lists_) {
+      for (auto* list : {&lists.interested, &lists.filtered}) {
+        list->erase(std::remove_if(list->begin(), list->end(),
+                                   [engine](const Entry& e) {
+                                     return e.engine == engine;
+                                   }),
+                    list->end());
+      }
+    }
+  }
+
   const Lists& lists(DataplaneEventType type) const {
     return lists_[static_cast<std::size_t>(type)];
   }

@@ -16,6 +16,14 @@
 // their windows expire exactly as under broadcast delivery — including
 // timeout-action observations in quiet periods via AdvanceTime.
 //
+// Lifecycle: properties can be attached and detached while the stream is
+// live (AttachProperty/DetachProperty). Slots are never reused, detach
+// drains the departing engine's violations to the caller, and resident
+// engines keep their dispatch order and state — a lifecycle op is invisible
+// to every property it does not name. DrainViolations() moves accumulated
+// violations out of the set, the bounded-memory mode long-running daemons
+// (src/daemon) use instead of letting per-engine vectors grow forever.
+//
 // Telemetry: counters are read through telemetry::Snapshot — either
 // CollectInto()/TelemetrySnapshot() directly, or by attaching the set to a
 // MetricsRegistry (AttachTelemetry), which also samples a per-event
@@ -26,7 +34,9 @@
 #pragma once
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +59,11 @@ inline std::string UniqueEngineName(const std::vector<std::string>& taken,
   return name;
 }
 
+/// Stable handle for one attached property within a set. Slot indices are
+/// never reused: detaching property 3 and attaching a new one yields id 4
+/// (or higher), so a stale id can never silently alias a different engine.
+using PropertyId = std::size_t;
+
 class MonitorSet : public DataplaneObserver {
  public:
   MonitorSet() = default;
@@ -60,12 +75,63 @@ class MonitorSet : public DataplaneObserver {
 
   /// Adds a property; returns the engine for inspection.
   MonitorEngine& Add(Property property, MonitorConfig config = {}) {
+    return *engines_[AttachProperty(std::move(property), config)];
+  }
+
+  /// Adds a property and returns its stable id (the hot-lifecycle entry
+  /// point: swmond attaches tenant properties through this). The new
+  /// engine's clock starts at zero and advances with the next delivered
+  /// event, exactly as if the set had been built with it from the start of
+  /// an empty stream.
+  PropertyId AttachProperty(Property property, MonitorConfig config = {}) {
     engine_names_.push_back(UniqueEngineName(engine_names_, property.name));
     engines_.push_back(
         std::make_unique<MonitorEngine>(std::move(property), config));
     MonitorEngine* engine = engines_.back().get();
     dispatch_.Register(engine, static_cast<std::uint32_t>(engines_.size() - 1));
-    return *engine;
+    return engines_.size() - 1;
+  }
+
+  /// Removes a property without disturbing any other engine: the detached
+  /// engine's violations observed so far are drained and returned, its
+  /// entries leave the dispatch lists (remaining order preserved), and its
+  /// state is destroyed. Returns nullopt for an unknown or already-detached
+  /// id. Resident engines are untouched — their dispatch order, state, and
+  /// future violations are bit-identical to a run that never saw the
+  /// detached property (monitor_lifecycle_test asserts this).
+  std::optional<std::vector<Violation>> DetachProperty(PropertyId id) {
+    if (id >= engines_.size() || engines_[id] == nullptr) return std::nullopt;
+    std::vector<Violation> drained = engines_[id]->TakeViolations();
+    dispatch_.Unregister(engines_[id].get());
+    engines_[id].reset();
+    return drained;
+  }
+
+  bool attached(PropertyId id) const {
+    return id < engines_.size() && engines_[id] != nullptr;
+  }
+
+  /// Live (attached) engines; size() keeps counting slots.
+  std::size_t attached_count() const {
+    std::size_t n = 0;
+    for (const auto& e : engines_)
+      if (e) ++n;
+    return n;
+  }
+
+  /// Moves every live engine's accumulated violations out (concatenated in
+  /// attach order) and leaves the engines empty — the bounded-memory mode a
+  /// resident daemon needs: violation storage is handed to the caller
+  /// instead of growing inside the set for the process lifetime.
+  std::vector<Violation> DrainViolations() {
+    std::vector<Violation> out;
+    for (auto& e : engines_) {
+      if (!e) continue;
+      std::vector<Violation> v = e->TakeViolations();
+      out.insert(out.end(), std::make_move_iterator(v.begin()),
+                 std::make_move_iterator(v.end()));
+    }
+    return out;
   }
 
   /// Registers a snapshot-time collector with `registry` (so
@@ -113,9 +179,11 @@ class MonitorSet : public DataplaneObserver {
   }
 
   void AdvanceTime(SimTime now) {
-    for (auto& e : engines_) e->AdvanceTime(now);
+    for (auto& e : engines_)
+      if (e) e->AdvanceTime(now);
   }
 
+  /// Slot count (including detached slots — ids are never reused).
   std::size_t size() const { return engines_.size(); }
   MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
   const std::string& engine_name(std::size_t i) const {
@@ -131,7 +199,7 @@ class MonitorSet : public DataplaneObserver {
     snap.SetCounter("monitor.set.events_dispatched", events_dispatched_);
     snap.SetCounter("monitor.set.events_filtered", events_filtered_);
     for (std::size_t i = 0; i < engines_.size(); ++i)
-      engines_[i]->CollectInto(snap, engine_names_[i]);
+      if (engines_[i]) engines_[i]->CollectInto(snap, engine_names_[i]);
   }
 
   telemetry::Snapshot TelemetrySnapshot() const {
@@ -151,9 +219,13 @@ class MonitorSet : public DataplaneObserver {
     return events_filtered_;
   }
 
+  /// Live engines' accumulated (undrained) violations, in attach order.
+  /// Violations of since-detached properties are not included — they were
+  /// handed to the DetachProperty caller.
   std::vector<Violation> AllViolations() const {
     std::vector<Violation> out;
     for (const auto& e : engines_) {
+      if (!e) continue;
       const auto& v = e->violations();
       out.insert(out.end(), v.begin(), v.end());
     }
@@ -162,7 +234,8 @@ class MonitorSet : public DataplaneObserver {
 
   std::size_t TotalViolations() const {
     std::size_t n = 0;
-    for (const auto& e : engines_) n += e->violations().size();
+    for (const auto& e : engines_)
+      if (e) n += e->violations().size();
     return n;
   }
 

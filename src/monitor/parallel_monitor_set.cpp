@@ -65,12 +65,70 @@ ParallelMonitorSet::~ParallelMonitorSet() {
 
 MonitorEngine& ParallelMonitorSet::Add(Property property, MonitorConfig config,
                                        double weight) {
-  SWMON_ASSERT_MSG(!started_, "Add() after Start()");
+  SWMON_ASSERT_MSG(!started_,
+                   "Add() after Start(); use AttachProperty for hot attach");
+  return *engines_[AttachProperty(std::move(property), config, weight)];
+}
+
+PropertyId ParallelMonitorSet::AttachProperty(Property property,
+                                              MonitorConfig config,
+                                              double weight) {
+  SWMON_ASSERT_MSG(!stopped_, "AttachProperty() after Stop()");
+  if (weight <= 0) weight = 1.0;
+  const PropertyId id = engines_.size();
   engine_names_.push_back(UniqueEngineName(engine_names_, property.name));
   engines_.push_back(
       std::make_unique<MonitorEngine>(std::move(property), config));
-  weights_.push_back(weight > 0 ? weight : 1.0);
-  return *engines_.back();
+  retired_.emplace_back();
+  weights_.push_back(weight);
+  if (started_) {
+    // Hot attach: the quiesce leaves every worker parked between ring pops,
+    // so the producer owns the chosen shard's dispatch table. The mutation
+    // is published to the worker by the next batch push (the ring's
+    // release/acquire pair), before the worker can touch the table again.
+    Quiesce();
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(worker_load_.begin(), worker_load_.end()) -
+        worker_load_.begin());
+    shard_of_.push_back(w);
+    worker_load_[w] += weight;
+    workers_[w]->table.Register(engines_[id].get(),
+                                static_cast<std::uint32_t>(id));
+    workers_[w]->engine_indices.push_back(id);
+  }
+  return id;
+}
+
+std::optional<std::vector<Violation>> ParallelMonitorSet::DetachProperty(
+    PropertyId id) {
+  if (id >= engines_.size() || engines_[id] == nullptr) return std::nullopt;
+  if (started_) Quiesce();
+  MonitorEngine* engine = engines_[id].get();
+  std::vector<Violation> drained = engine->TakeViolations();
+  // Keep a copy resolvable for merge markers already recorded by workers;
+  // DrainViolations clears it.
+  retired_[id] = drained;
+  if (started_) {
+    const std::size_t w = shard_of_[id];
+    workers_[w]->table.Unregister(engine);
+    auto& indices = workers_[w]->engine_indices;
+    indices.erase(std::remove(indices.begin(), indices.end(), id),
+                  indices.end());
+    worker_load_[w] -= weights_[id];
+  }
+  engines_[id].reset();
+  return drained;
+}
+
+std::vector<Violation> ParallelMonitorSet::DrainViolations() {
+  Quiesce();
+  std::vector<Violation> out = MergeFromMarkers(GatherSortedMarkers());
+  for (auto& w : workers_) w->markers.clear();
+  advance_markers_.clear();
+  for (auto& e : engines_)
+    if (e) e->TakeViolations();
+  for (auto& r : retired_) r.clear();
+  return out;
 }
 
 void ParallelMonitorSet::AttachTelemetry(telemetry::MetricsRegistry* registry) {
@@ -94,22 +152,29 @@ void ParallelMonitorSet::CollectInto(telemetry::Snapshot& snap) {
   snap.SetCounter("monitor.set.events_dispatched", dispatched);
   snap.SetCounter("monitor.set.events_filtered", filtered);
   for (std::size_t i = 0; i < engines_.size(); ++i)
-    engines_[i]->CollectInto(snap, engine_names_[i]);
+    if (engines_[i]) engines_[i]->CollectInto(snap, engine_names_[i]);
 }
 
 void ParallelMonitorSet::Start() {
   SWMON_ASSERT_MSG(!started_ && !stopped_, "Start() twice");
   const std::size_t n_workers = std::max<std::size_t>(1, config_.workers);
-  shard_of_ = GreedyAssignShards(weights_, n_workers);
+  // Slots detached before Start weigh nothing and are not registered.
+  std::vector<double> effective = weights_;
+  for (std::size_t i = 0; i < engines_.size(); ++i)
+    if (!engines_[i]) effective[i] = 0.0;
+  shard_of_ = GreedyAssignShards(effective, n_workers);
+  worker_load_.assign(n_workers, 0.0);
   workers_.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w)
     workers_.push_back(std::make_unique<Worker>(config_.ring_capacity));
   // Register in attach order so each shard's dispatch order (and thus its
   // engines' event interleaving) matches the serial set's.
   for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (!engines_[i]) continue;
     Worker& w = *workers_[shard_of_[i]];
     w.table.Register(engines_[i].get(), static_cast<std::uint32_t>(i));
     w.engine_indices.push_back(i);
+    worker_load_[shard_of_[i]] += weights_[i];
   }
   started_ = true;
   for (std::size_t w = 0; w < n_workers; ++w) {
@@ -197,6 +262,7 @@ void ParallelMonitorSet::AdvanceTime(SimTime now) {
   // empty rings); advancing serially in attach order matches MonitorSet.
   const std::uint64_t seq = batcher_.next_seq();
   for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (!engines_[i]) continue;
     MonitorEngine& e = *engines_[i];
     const std::size_t before = e.violations().size();
     e.AdvanceTime(now);
@@ -235,23 +301,29 @@ std::vector<Violation> ParallelMonitorSet::AllViolations() {
   Quiesce();
   std::vector<Violation> out;
   for (const auto& e : engines_) {
+    if (!e) continue;
     const auto& v = e->violations();
     out.insert(out.end(), v.begin(), v.end());
   }
   return out;
 }
 
+const Violation& ParallelMonitorSet::Resolve(const ViolationMarker& m) const {
+  const auto& e = engines_[m.engine_index];
+  if (e) return e->violations()[m.violation_index];
+  return retired_[m.engine_index][m.violation_index];
+}
+
 std::vector<Violation> ParallelMonitorSet::MergeFromMarkers(
     const std::vector<ViolationMarker>& markers) const {
   std::vector<Violation> out;
   out.reserve(markers.size());
-  for (const ViolationMarker& m : markers)
-    out.push_back(engines_[m.engine_index]->violations()[m.violation_index]);
+  for (const ViolationMarker& m : markers) out.push_back(Resolve(m));
   return out;
 }
 
-std::vector<Violation> ParallelMonitorSet::MergedViolations() {
-  Quiesce();
+std::vector<ParallelMonitorSet::ViolationMarker>
+ParallelMonitorSet::GatherSortedMarkers() const {
   std::vector<ViolationMarker> markers;
   for (const auto& w : workers_)
     markers.insert(markers.end(), w->markers.begin(), w->markers.end());
@@ -267,13 +339,19 @@ std::vector<Violation> ParallelMonitorSet::MergedViolations() {
                 return a.engine_index < b.engine_index;
               return a.violation_index < b.violation_index;
             });
-  return MergeFromMarkers(markers);
+  return markers;
+}
+
+std::vector<Violation> ParallelMonitorSet::MergedViolations() {
+  Quiesce();
+  return MergeFromMarkers(GatherSortedMarkers());
 }
 
 std::size_t ParallelMonitorSet::TotalViolations() {
   Quiesce();
   std::size_t n = 0;
-  for (const auto& e : engines_) n += e->violations().size();
+  for (const auto& e : engines_)
+    if (e) n += e->violations().size();
   return n;
 }
 

@@ -36,6 +36,17 @@
 //   triple — the same order a serial per-event loop would emit, independent
 //   of worker count, scheduling, or batch size.
 //
+// Lifecycle
+//   Properties can be hot-attached and hot-detached while the pool is live
+//   (AttachProperty/DetachProperty): the producer quiesces — the same
+//   flush quiet-point FlushEvents/AdvanceTime already use, NOT a restart —
+//   mutates one shard's dispatch table, and resumes. Slots are never
+//   reused; resident engines keep their state, dispatch order, and
+//   violation determinism across any sequence of lifecycle ops
+//   (monitor_lifecycle_test). DrainViolations() hands accumulated
+//   violations (and their merge markers) to the caller in stream order,
+//   which is what keeps a long-running daemon's memory bounded.
+//
 // Shard assignment is greedy cost-balancing (longest-processing-time):
 // engines are weighted — ideally by CalibrateShardWeights(), which replays
 // a sample stream through throwaway engines and uses their per-event
@@ -46,6 +57,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -97,8 +109,43 @@ class ParallelMonitorSet : public DataplaneObserver {
   MonitorEngine& Add(Property property, MonitorConfig config = {},
                      double weight = 1.0);
 
+  /// Adds a property and returns its stable slot id. Before Start() this is
+  /// Add(); after Start() it is a *hot attach*: the producer quiesces the
+  /// pool at the flush quiet-point (every published batch consumed, workers
+  /// parked on empty rings), slots the new engine onto the lightest shard,
+  /// and resumes — no restart, and resident engines never observe the op.
+  /// Producer-thread-only, like every other quiescing entry point.
+  PropertyId AttachProperty(Property property, MonitorConfig config = {},
+                            double weight = 1.0);
+
+  /// Hot-detaches a property at the quiesce point: drains and returns its
+  /// violations observed so far, unregisters it from its shard's dispatch
+  /// table (remaining order preserved), and destroys the engine. Violations
+  /// it produced that are still referenced by merge markers stay resolvable
+  /// (retained internally until DrainViolations). Returns nullopt for an
+  /// unknown/already-detached id. Producer-thread-only.
+  std::optional<std::vector<Violation>> DetachProperty(PropertyId id);
+
+  bool attached(PropertyId id) const {
+    return id < engines_.size() && engines_[id] != nullptr;
+  }
+  std::size_t attached_count() const {
+    std::size_t n = 0;
+    for (const auto& e : engines_)
+      if (e) ++n;
+    return n;
+  }
+
+  /// Quiesces, then moves every accumulated violation out in merged stream
+  /// order — (event seq, attach order), identical to MergedViolations() —
+  /// clearing engine violation vectors, worker merge markers, and retained
+  /// detached-engine violations. The bounded-memory mode for long-running
+  /// daemons: without it, worker marker vectors and per-engine violation
+  /// vectors grow for the life of the process. Producer-thread-only.
+  std::vector<Violation> DrainViolations();
+
   /// Shards the engines and launches the worker pool. Add() is frozen
-  /// after this.
+  /// after this (AttachProperty stays available as a hot attach).
   void Start();
   bool started() const { return started_; }
 
@@ -122,6 +169,7 @@ class ParallelMonitorSet : public DataplaneObserver {
   void Stop();
 
   // --- accessors (all quiesce first, so they are producer-thread-only) ---
+  /// Slot count, including detached slots (ids are never reused).
   std::size_t size() const { return engines_.size(); }
   MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
   std::size_t worker_count() const { return workers_.size(); }
@@ -162,11 +210,14 @@ class ParallelMonitorSet : public DataplaneObserver {
   [[deprecated("query via telemetry::Snapshot")]]
   std::uint64_t events_filtered();
 
-  /// Per-engine lists concatenated in attach order — bit-identical to
-  /// serial MonitorSet::AllViolations() on the same stream.
+  /// Live engines' undrained violations concatenated in attach order —
+  /// bit-identical to serial MonitorSet::AllViolations() on the same
+  /// stream (and the same lifecycle ops).
   std::vector<Violation> AllViolations();
-  /// Violations interleaved into global stream order (event sequence,
-  /// then engine attach order) — identical for every worker count.
+  /// Undrained violations interleaved into global stream order (event
+  /// sequence, then engine attach order) — identical for every worker
+  /// count. Includes violations of since-detached properties (they
+  /// happened in the stream) until DrainViolations clears them.
   std::vector<Violation> MergedViolations();
   std::size_t TotalViolations();
 
@@ -198,16 +249,26 @@ class ParallelMonitorSet : public DataplaneObserver {
   void PublishBatch(std::shared_ptr<const Batch<DataplaneEvent>> batch);
   /// Publish the partial batch and wait for all workers to drain.
   void Quiesce();
+  /// Resolves one marker to its violation — from the live engine, or from
+  /// the retained list when the slot has been detached since.
+  const Violation& Resolve(const ViolationMarker& m) const;
   std::vector<Violation> MergeFromMarkers(
       const std::vector<ViolationMarker>& markers) const;
+  std::vector<ViolationMarker> GatherSortedMarkers() const;
 
   ParallelConfig config_;
   std::vector<std::unique_ptr<MonitorEngine>> engines_;
   std::vector<std::string> engine_names_;
+  /// Per-slot violations retained at detach so outstanding merge markers
+  /// keep resolving; cleared by DrainViolations.
+  std::vector<std::vector<Violation>> retired_;
   telemetry::MetricsRegistry* registry_ = nullptr;
   std::uint64_t collector_token_ = 0;
   std::vector<double> weights_;
   std::vector<std::size_t> shard_of_;
+  /// Summed weights per worker; hot attach sends the new engine to the
+  /// lightest shard.
+  std::vector<double> worker_load_;
   std::vector<std::unique_ptr<Worker>> workers_;
   BatchBuffer<DataplaneEvent> batcher_;
   std::uint64_t batches_published_ = 0;

@@ -18,6 +18,10 @@ constexpr char kMagic[4] = {'S', 'W', 'M', 'T'};
 // little-endian host a v1 file decodes with the v2 path.
 constexpr std::uint32_t kVersion = 2;
 
+/// Fixed-size prefix of one encoded event: type + time + packet_bytes +
+/// presence mask. The variable tail is 8 bytes per set presence bit.
+constexpr std::size_t kEventFixedBytes = 1 + 8 + 4 + 8;
+
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f) std::fclose(f);
@@ -30,25 +34,146 @@ bool SetError(std::string* error, const std::string& msg) {
   return false;
 }
 
+/// Decodes one event from `r`. Returns kEvent/kNeedMore/kCorrupt exactly
+/// like the incremental decoder — LoadTrace treats kNeedMore as truncation.
+TraceEventDecoder::Result DecodeOneEvent(ByteReader& r, DataplaneEvent& out,
+                                         std::string* error) {
+  using Result = TraceEventDecoder::Result;
+  if (r.remaining() < kEventFixedBytes) return Result::kNeedMore;
+  const std::uint8_t type = r.ReadU8();
+  const std::uint64_t time_ns = r.ReadU64LE();
+  const std::uint32_t packet_bytes = r.ReadU32LE();
+  const std::uint64_t presence = r.ReadU64LE();
+  if (type > static_cast<std::uint8_t>(DataplaneEventType::kLinkStatus)) {
+    SetError(error, "corrupt event type");
+    return Result::kCorrupt;
+  }
+  if (presence >> kNumFieldIds) {
+    SetError(error, "corrupt presence mask");
+    return Result::kCorrupt;
+  }
+  const std::size_t n_fields =
+      static_cast<std::size_t>(std::popcount(presence));
+  if (r.remaining() < n_fields * 8) return Result::kNeedMore;
+  out = DataplaneEvent{};
+  out.type = static_cast<DataplaneEventType>(type);
+  out.time = SimTime::FromNanos(static_cast<std::int64_t>(time_ns));
+  out.packet_bytes = packet_bytes;
+  for (std::size_t fi = 0; fi < kNumFieldIds; ++fi) {
+    if (!(presence >> fi & 1)) continue;
+    out.fields.Set(static_cast<FieldId>(fi), r.ReadU64LE());
+  }
+  return Result::kEvent;
+}
+
+void WriteHeader(ByteWriter& w, std::uint64_t count) {
+  w.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  w.WriteU32LE(kVersion);
+  w.WriteU64LE(count);
+}
+
 }  // namespace
+
+void EncodeTraceEvent(ByteWriter& w, const DataplaneEvent& ev) {
+  w.WriteU8(static_cast<std::uint8_t>(ev.type));
+  w.WriteU64LE(static_cast<std::uint64_t>(ev.time.nanos()));
+  w.WriteU32LE(ev.packet_bytes);
+  w.WriteU64LE(ev.fields.presence_mask());
+  for (std::size_t i = 0; i < kNumFieldIds; ++i) {
+    const auto id = static_cast<FieldId>(i);
+    if (ev.fields.Has(id)) w.WriteU64LE(ev.fields.GetUnchecked(id));
+  }
+}
+
+// --------------------------------------------------- TraceEventDecoder
+
+void TraceEventDecoder::Feed(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+TraceEventDecoder::Result TraceEventDecoder::Next(DataplaneEvent& out) {
+  if (corrupt_) return Result::kCorrupt;
+  ByteReader r(std::span<const std::uint8_t>(buf_.data() + pos_,
+                                             buf_.size() - pos_));
+  const Result res = DecodeOneEvent(r, out, &error_);
+  if (res == Result::kCorrupt) {
+    corrupt_ = true;
+    return res;
+  }
+  if (res == Result::kEvent) {
+    pos_ += r.position();
+    ++events_decoded_;
+    // Drop the consumed prefix once it dominates the buffer, so a
+    // long-lived stream never accretes decoded bytes (the daemon's
+    // resident path runs through here for every ingested event).
+    if (pos_ > (1u << 16) && pos_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------- TraceFileWriter
+
+bool TraceFileWriter::Open(const std::string& path, std::string* error) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) return SetError(error, "cannot open " + path + " for writing");
+  count_ = 0;
+  ByteWriter header;
+  WriteHeader(header, 0);
+  if (std::fwrite(header.bytes().data(), 1, header.size(), file_) !=
+      header.size()) {
+    Close();
+    return SetError(error, "header write failed");
+  }
+  std::fflush(file_);
+  return true;
+}
+
+void TraceFileWriter::Append(const DataplaneEvent& ev) {
+  EncodeTraceEvent(pending_, ev);
+  ++count_;
+}
+
+bool TraceFileWriter::Flush(std::string* error) {
+  if (!file_) return SetError(error, "writer is closed");
+  const auto& buf = pending_.bytes();
+  if (!buf.empty() &&
+      std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size())
+    return SetError(error, "trace write failed");
+  pending_.Take();  // reset the pending buffer
+  // Patch the header count so the file decodes as a complete trace at
+  // every flush point.
+  if (std::fseek(file_, 8, SEEK_SET) != 0)
+    return SetError(error, "seek failed");
+  ByteWriter count;
+  count.WriteU64LE(count_);
+  if (std::fwrite(count.bytes().data(), 1, 8, file_) != 8)
+    return SetError(error, "count patch failed");
+  if (std::fseek(file_, 0, SEEK_END) != 0)
+    return SetError(error, "seek failed");
+  std::fflush(file_);
+  return true;
+}
+
+void TraceFileWriter::Close() {
+  if (!file_) return;
+  Flush();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+// ------------------------------------------------- whole-file save/load
 
 bool SaveTrace(const TraceRecorder& trace, const std::string& path,
                std::string* error) {
   ByteWriter w;
-  w.WriteBytes(std::span<const std::uint8_t>(
-      reinterpret_cast<const std::uint8_t*>(kMagic), 4));
-  w.WriteU32LE(kVersion);
-  w.WriteU64LE(static_cast<std::uint64_t>(trace.size()));
-  for (const DataplaneEvent& ev : trace.events()) {
-    w.WriteU8(static_cast<std::uint8_t>(ev.type));
-    w.WriteU64LE(static_cast<std::uint64_t>(ev.time.nanos()));
-    w.WriteU32LE(ev.packet_bytes);
-    w.WriteU64LE(ev.fields.presence_mask());
-    for (std::size_t i = 0; i < kNumFieldIds; ++i) {
-      const auto id = static_cast<FieldId>(i);
-      if (ev.fields.Has(id)) w.WriteU64LE(ev.fields.GetUnchecked(id));
-    }
-  }
+  WriteHeader(w, static_cast<std::uint64_t>(trace.size()));
+  for (const DataplaneEvent& ev : trace.events()) EncodeTraceEvent(w, ev);
 
   File f(std::fopen(path.c_str(), "wb"));
   if (!f) return SetError(error, "cannot open " + path + " for writing");
@@ -89,24 +214,16 @@ bool LoadTrace(const std::string& path, TraceRecorder& out,
 
   for (std::uint64_t i = 0; i < count; ++i) {
     DataplaneEvent ev;
-    const std::uint8_t type = r.ReadU8();
-    const std::uint64_t time_ns = r.ReadU64LE();
-    ev.packet_bytes = r.ReadU32LE();
-    const std::uint64_t presence = r.ReadU64LE();
-    if (!r.ok()) return SetError(error, "truncated event");
-    if (type > static_cast<std::uint8_t>(DataplaneEventType::kLinkStatus))
-      return SetError(error, "corrupt event type");
-    ev.type = static_cast<DataplaneEventType>(type);
-    ev.time = SimTime::FromNanos(static_cast<std::int64_t>(time_ns));
-    if (presence >> kNumFieldIds)
-      return SetError(error, "corrupt presence mask");
-    for (std::size_t fi = 0; fi < kNumFieldIds; ++fi) {
-      if (!(presence >> fi & 1)) continue;
-      const std::uint64_t value = r.ReadU64LE();
-      if (!r.ok()) return SetError(error, "truncated field value");
-      ev.fields.Set(static_cast<FieldId>(fi), value);
+    std::string decode_error;
+    switch (DecodeOneEvent(r, ev, &decode_error)) {
+      case TraceEventDecoder::Result::kEvent:
+        out.OnDataplaneEvent(ev);
+        break;
+      case TraceEventDecoder::Result::kNeedMore:
+        return SetError(error, "truncated event");
+      case TraceEventDecoder::Result::kCorrupt:
+        return SetError(error, decode_error);
     }
-    out.OnDataplaneEvent(ev);
   }
   return true;
 }

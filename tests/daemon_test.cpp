@@ -1,0 +1,585 @@
+// swmond components and the assembled daemon: live ingestion (tailer,
+// socket text + binary), the embedded HTTP control plane, tenant lifecycle
+// over HTTP, and the bounded violation ring. Carries the `daemon` CTest
+// label.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include "daemon/daemon.hpp"
+#include "daemon/event_source.hpp"
+#include "daemon/http_server.hpp"
+#include "daemon/violation_ring.hpp"
+#include "netsim/trace_io.hpp"
+
+namespace swmon {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+DataplaneEvent MakeEvent(std::int64_t time_ns, std::uint64_t ip_src,
+                         std::uint64_t l4_dst) {
+  DataplaneEvent ev;
+  ev.type = DataplaneEventType::kArrival;
+  ev.time = SimTime::Zero() + Duration::Nanos(time_ns);
+  ev.packet_bytes = 64;
+  ev.fields.Set(FieldId::kIpSrc, ip_src);
+  ev.fields.Set(FieldId::kL4DstPort, l4_dst);
+  return ev;
+}
+
+/// A property that violates when one source hits port 80 then port 81.
+constexpr const char* kTwoStepSpl = R"(
+property two_step {
+  vars S;
+  stage "first" on arrival {
+    match l4_dst == 80;
+    bind S = ip_src;
+  }
+  stage "second" on arrival {
+    match ip_src == $S;
+    match l4_dst == 81;
+  }
+})";
+
+/// One two_step violation from source `ip` at `t1`.
+std::vector<DataplaneEvent> TwoStepPair(std::int64_t t0, std::int64_t t1,
+                                        std::uint64_t ip) {
+  return {MakeEvent(t0, ip, 80), MakeEvent(t1, ip, 81)};
+}
+
+bool SendToTcp(std::uint16_t port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent,
+                             0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+void WaitForIngest(const SwmonDaemon& daemon, std::uint64_t at_least,
+                   int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (daemon.events_ingested() >= at_least) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ParseEventLineTest, ParsesTypesFieldsAndHex) {
+  DataplaneEvent ev;
+  std::string error;
+  ASSERT_TRUE(ParseEventLine("arrival 1500 bytes=64 ip_src=0x0a000001 l4_dst=80",
+                             ev, &error))
+      << error;
+  EXPECT_EQ(ev.type, DataplaneEventType::kArrival);
+  EXPECT_EQ(ev.time.nanos(), 1500);
+  EXPECT_EQ(ev.packet_bytes, 64u);
+  EXPECT_EQ(ev.fields.Get(FieldId::kIpSrc), 0x0a000001u);
+  EXPECT_EQ(ev.fields.Get(FieldId::kL4DstPort), 80u);
+
+  ASSERT_TRUE(ParseEventLine("egress 2000", ev, &error)) << error;
+  EXPECT_EQ(ev.type, DataplaneEventType::kEgress);
+  ASSERT_TRUE(ParseEventLine("link 3000 link_up=1", ev, &error)) << error;
+  EXPECT_EQ(ev.type, DataplaneEventType::kLinkStatus);
+}
+
+TEST(ParseEventLineTest, BlankAndCommentLinesAreSkippedSilently) {
+  DataplaneEvent ev;
+  std::string error = "sentinel";
+  EXPECT_FALSE(ParseEventLine("", ev, &error));
+  EXPECT_TRUE(error.empty());
+  error = "sentinel";
+  EXPECT_FALSE(ParseEventLine("  # comment", ev, &error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(ParseEventLineTest, RejectsBadInput) {
+  DataplaneEvent ev;
+  std::string error;
+  EXPECT_FALSE(ParseEventLine("knock 100", ev, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseEventLine("arrival", ev, &error));
+  EXPECT_FALSE(ParseEventLine("arrival xyz", ev, &error));
+  EXPECT_FALSE(ParseEventLine("arrival 100 nosuchfield=1", ev, &error));
+  EXPECT_FALSE(ParseEventLine("arrival 100 ip_src", ev, &error));
+}
+
+// ---------------------------------------------------------------- decoder
+
+TEST(TraceEventDecoderTest, DecodesAcrossArbitraryChunkBoundaries) {
+  ByteWriter w;
+  std::vector<DataplaneEvent> events;
+  for (int i = 0; i < 17; ++i) {
+    events.push_back(MakeEvent(1000 * (i + 1), 7 + i, i % 2 ? 80 : 81));
+    EncodeTraceEvent(w, events.back());
+  }
+  const auto& bytes = w.bytes();
+
+  // Worst case: one byte at a time.
+  TraceEventDecoder dec;
+  std::vector<DataplaneEvent> decoded;
+  for (const std::uint8_t b : bytes) {
+    dec.Feed(&b, 1);
+    DataplaneEvent ev;
+    while (dec.Next(ev) == TraceEventDecoder::Result::kEvent)
+      decoded.push_back(ev);
+  }
+  ASSERT_EQ(decoded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(decoded[i].time, events[i].time) << i;
+    EXPECT_EQ(decoded[i].fields.Get(FieldId::kIpSrc),
+              events[i].fields.Get(FieldId::kIpSrc))
+        << i;
+  }
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+  EXPECT_EQ(dec.events_decoded(), events.size());
+}
+
+TEST(TraceEventDecoderTest, CorruptStreamIsTerminal) {
+  TraceEventDecoder dec;
+  std::vector<std::uint8_t> junk(64, 0xff);  // type byte 0xff: invalid
+  dec.Feed(junk.data(), junk.size());
+  DataplaneEvent ev;
+  EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kCorrupt);
+  EXPECT_FALSE(dec.error().empty());
+  EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kCorrupt);
+}
+
+// ----------------------------------------------------------------- tailer
+
+TEST(TraceTailerTest, FollowsAGrowingFileAcrossFlushes) {
+  const std::string path = TempPath("tailer_grow.swmt");
+  std::remove(path.c_str());
+
+  TraceTailer tailer(path);
+  std::vector<DataplaneEvent> out;
+  // File does not exist yet: alive, no events.
+  EXPECT_TRUE(tailer.Poll(out));
+  EXPECT_TRUE(out.empty());
+
+  TraceFileWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path, &error)) << error;
+  ASSERT_TRUE(writer.Flush(&error)) << error;  // header only so far
+  EXPECT_TRUE(tailer.Poll(out));
+  EXPECT_TRUE(out.empty());
+
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i)
+      writer.Append(MakeEvent(1000 * (round * 3 + i + 1), 9, 80));
+    ASSERT_TRUE(writer.Flush(&error)) << error;
+    std::vector<DataplaneEvent> batch;
+    EXPECT_TRUE(tailer.Poll(batch));
+    EXPECT_EQ(batch.size(), 3u) << "round " << round;
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  writer.Close();
+  EXPECT_EQ(out.size(), 15u);
+  EXPECT_EQ(tailer.events_ingested(), 15u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i].time.nanos(), static_cast<std::int64_t>(1000 * (i + 1)));
+
+  // And the finished file is a valid v2 trace for the batch loader too.
+  TraceRecorder loaded;
+  ASSERT_TRUE(LoadTrace(path, loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), 15u);
+}
+
+TEST(TraceTailerTest, RejectsNonTraceFile) {
+  const std::string path = TempPath("tailer_bad.swmt");
+  std::ofstream(path) << "this is not a trace file at all, definitely";
+  TraceTailer tailer(path);
+  std::vector<DataplaneEvent> out;
+  EXPECT_FALSE(tailer.Poll(out));
+  EXPECT_FALSE(tailer.error().empty());
+}
+
+// ------------------------------------------------------------------- ring
+
+TEST(ViolationRingTest, DropsOldestAndCounts) {
+  ViolationRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    Violation v;
+    v.property = "p" + std::to_string(i);
+    ring.Push(std::move(v));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total(), 5u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto drained = ring.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].property, "p2");  // oldest surviving first
+  EXPECT_EQ(drained[2].property, "p4");
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.drained(), 3u);
+}
+
+// ------------------------------------------------------------------- http
+
+TEST(HttpServerTest, ServesHandlerAndRoutesMethodPathQueryBody) {
+  HttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0,
+                           [](const HttpRequest& req) {
+                             if (req.path == "/boom")
+                               throw std::runtime_error("kaboom");
+                             HttpResponse resp;
+                             resp.body = req.method + " " + req.path + " q=" +
+                                         req.QueryParam("q") + " body=" +
+                                         req.body;
+                             return resp;
+                           },
+                           &error))
+      << error;
+  ASSERT_NE(server.port(), 0);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpRoundTrip(server.port(), "GET", "/x?q=42", "", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "GET /x q=42 body=");
+
+  ASSERT_TRUE(HttpRoundTrip(server.port(), "POST", "/y", "hello", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(body, "POST /y q= body=hello");
+
+  // Handler exceptions become 500s, not dead servers.
+  ASSERT_TRUE(
+      HttpRoundTrip(server.port(), "GET", "/boom", "", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 500);
+  ASSERT_TRUE(
+      HttpRoundTrip(server.port(), "GET", "/x", "", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_GE(server.requests_served(), 4u);
+  server.Stop();
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(SwmonDaemonTest, SocketTextIngestToViolationsOverHttp) {
+  SwmondOptions opts;
+  opts.tcp_enabled = true;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  ASSERT_NE(daemon.tcp_port(), 0);
+  ASSERT_NE(daemon.http_port(), 0);
+
+  // Hot-attach a property over the control API (tenant auto-created).
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "POST",
+                            "/tenants/acme/properties", kTwoStepSpl, &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 201) << body;
+  EXPECT_NE(body.find("\"id\":0"), std::string::npos) << body;
+
+  // Bad SPL is a 400 with the parser's message, not a crash.
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "POST",
+                            "/tenants/acme/properties", "property oops {",
+                            &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 400);
+
+  ASSERT_TRUE(SendToTcp(daemon.tcp_port(),
+                        "# text protocol\n"
+                        "arrival 1000 bytes=64 ip_src=7 l4_dst=80\n"
+                        "arrival 2000 bytes=64 ip_src=7 l4_dst=81\n"));
+  WaitForIngest(daemon, 2);
+  ASSERT_EQ(daemon.events_ingested(), 2u);
+
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET",
+                            "/violations?tenant=acme", "", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"property\":\"two_step\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"time_ns\":2000"), std::string::npos) << body;
+
+  // Drained means drained: a second query is empty.
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET",
+                            "/violations?tenant=acme", "", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(body, "[]\n");
+
+  // Unknown tenants and unknown routes are 404s.
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET",
+                            "/violations?tenant=ghost", "", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET", "/nope", "", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+
+  daemon.Stop();
+}
+
+TEST(SwmonDaemonTest, BinarySocketIngestMatchesTraceWireFormat) {
+  SwmondOptions opts;
+  opts.tcp_enabled = true;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  std::string attach_error;
+  ASSERT_TRUE(
+      daemon.AttachProperty("bin", kTwoStepSpl, &attach_error).has_value())
+      << attach_error;
+
+  // Exactly what `cat trace.swmt | nc` would send: header + wire events.
+  ByteWriter w;
+  const std::uint8_t magic[4] = {'S', 'W', 'M', 'T'};
+  w.WriteBytes(magic);
+  w.WriteU32LE(2);
+  w.WriteU64LE(0);  // count is ignored by the stream decoder
+  for (const DataplaneEvent& ev : TwoStepPair(1000, 2000, 9))
+    EncodeTraceEvent(w, ev);
+  ASSERT_TRUE(SendToTcp(daemon.tcp_port(),
+                        std::string(reinterpret_cast<const char*>(
+                                        w.bytes().data()),
+                                    w.bytes().size())));
+  WaitForIngest(daemon, 2);
+  EXPECT_EQ(daemon.events_ingested(), 2u);
+
+  const auto drained = daemon.DrainViolations("bin");
+  ASSERT_TRUE(drained.has_value());
+  ASSERT_EQ(drained->size(), 1u);
+  EXPECT_EQ((*drained)[0].property, "two_step");
+  daemon.Stop();
+}
+
+TEST(SwmonDaemonTest, TailerIngestAndConfigDirTenants) {
+  namespace fs = std::filesystem;
+  const std::string config_dir = TempPath("swmond_config");
+  fs::remove_all(config_dir);
+  fs::create_directories(config_dir + "/teamA");
+  std::ofstream(config_dir + "/teamA/two_step.spl") << kTwoStepSpl;
+
+  const std::string trace_path = TempPath("swmond_live.swmt");
+  std::remove(trace_path.c_str());
+
+  SwmondOptions opts;
+  opts.config_dir = config_dir;
+  opts.trace_path = trace_path;
+  opts.http_enabled = true;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  const auto props = daemon.TenantProperties("teamA");
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0].name, "two_step");
+
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(trace_path, &error)) << error;
+  for (const DataplaneEvent& ev : TwoStepPair(1000, 2000, 5))
+    writer.Append(ev);
+  ASSERT_TRUE(writer.Flush(&error)) << error;
+  WaitForIngest(daemon, 2);
+  EXPECT_EQ(daemon.events_ingested(), 2u);
+
+  // Grow the file again: the tailer keeps following.
+  for (const DataplaneEvent& ev : TwoStepPair(3000, 4000, 6))
+    writer.Append(ev);
+  ASSERT_TRUE(writer.Flush(&error)) << error;
+  WaitForIngest(daemon, 4);
+  EXPECT_EQ(daemon.events_ingested(), 4u);
+  writer.Close();
+
+  const auto drained = daemon.DrainViolations("teamA");
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->size(), 2u);
+  daemon.Stop();
+}
+
+TEST(SwmonDaemonTest, StartFailsOnBadConfigWithFileInMessage) {
+  namespace fs = std::filesystem;
+  const std::string config_dir = TempPath("swmond_badconfig");
+  fs::remove_all(config_dir);
+  fs::create_directories(config_dir + "/teamA");
+  std::ofstream(config_dir + "/teamA/broken.spl") << "property nope {";
+
+  SwmondOptions opts;
+  opts.config_dir = config_dir;
+  opts.tcp_enabled = true;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  EXPECT_FALSE(daemon.Start(&error));
+  EXPECT_NE(error.find("broken.spl"), std::string::npos) << error;
+}
+
+TEST(SwmonDaemonTest, NonMonotoneTimestampsAreClampedNotFatal) {
+  SwmondOptions opts;
+  opts.tcp_enabled = true;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  std::string attach_error;
+  ASSERT_TRUE(
+      daemon.AttachProperty("t", kTwoStepSpl, &attach_error).has_value());
+
+  // Second event goes backwards in time; the daemon clamps it forward.
+  ASSERT_TRUE(SendToTcp(daemon.tcp_port(),
+                        "arrival 5000 ip_src=7 l4_dst=80\n"
+                        "arrival 1000 ip_src=7 l4_dst=81\n"));
+  WaitForIngest(daemon, 2);
+  const auto drained = daemon.DrainViolations("t");
+  ASSERT_TRUE(drained.has_value());
+  ASSERT_EQ(drained->size(), 1u);
+  EXPECT_EQ((*drained)[0].time.nanos(), 5000);  // clamped to the high-water
+
+  const telemetry::Snapshot snap = daemon.Telemetry();
+  ASSERT_TRUE(snap.Has("daemon.events_clamped"));
+  EXPECT_EQ(snap.samples().at("daemon.events_clamped").counter, 1u);
+  daemon.Stop();
+}
+
+TEST(SwmonDaemonTest, HotDetachOverHttpAndTenantListing) {
+  SwmondOptions opts;
+  opts.tcp_enabled = true;
+  opts.workers = 2;  // parallel tenants behind the same control plane
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "POST",
+                            "/tenants/acme/properties", kTwoStepSpl, &status,
+                            &body, &error))
+      << error;
+  ASSERT_EQ(status, 201) << body;
+
+  ASSERT_TRUE(SendToTcp(daemon.tcp_port(),
+                        "arrival 1000 ip_src=7 l4_dst=80\n"
+                        "arrival 2000 ip_src=7 l4_dst=81\n"));
+  WaitForIngest(daemon, 2);
+
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET", "/tenants", "", &status,
+                            &body, &error))
+      << error;
+  EXPECT_NE(body.find("\"name\":\"acme\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"name\":\"two_step\""), std::string::npos) << body;
+
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "DELETE",
+                            "/tenants/acme/properties/0", "", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200) << body;
+  // Detach is idempotent at the HTTP layer: second delete is a 404.
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "DELETE",
+                            "/tenants/acme/properties/0", "", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 404);
+
+  // The detached property's violations survived into the tenant ring.
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET",
+                            "/violations?tenant=acme", "", &status, &body,
+                            &error))
+      << error;
+  EXPECT_NE(body.find("\"property\":\"two_step\""), std::string::npos) << body;
+
+  // /metrics and /telemetry.json keep serving throughout.
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET", "/metrics", "", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("swmon_daemon_events_ingested 2"), std::string::npos)
+      << body;
+  ASSERT_TRUE(HttpRoundTrip(daemon.http_port(), "GET", "/telemetry.json", "",
+                            &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  const auto parsed = telemetry::Snapshot::FromJson(body);
+  ASSERT_TRUE(parsed.has_value()) << body;
+  EXPECT_TRUE(parsed->Has("daemon.events_ingested"));
+  daemon.Stop();
+}
+
+TEST(SwmonDaemonTest, UnixSocketIngest) {
+  const std::string sock_path = TempPath("swmond_test.sock");
+  SwmondOptions opts;
+  opts.unix_socket_path = sock_path;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  std::string attach_error;
+  ASSERT_TRUE(
+      daemon.AttachProperty("u", kTwoStepSpl, &attach_error).has_value());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                sock_path.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string payload =
+      "arrival 1000 ip_src=3 l4_dst=80\narrival 2000 ip_src=3 l4_dst=81\n";
+  ASSERT_EQ(::send(fd, payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fd);
+
+  WaitForIngest(daemon, 2);
+  const auto drained = daemon.DrainViolations("u");
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->size(), 1u);
+  daemon.Stop();
+}
+
+TEST(ViolationsToJsonTest, EscapesAndSerializes) {
+  Violation v;
+  v.property = "has \"quotes\"";
+  v.time = SimTime::Zero() + Duration::Nanos(7);
+  v.instance_id = 3;
+  v.trigger_stage = "line\nbreak";
+  v.bindings = {{"H", 42}};
+  const std::string json = ViolationsToJson({v});
+  EXPECT_NE(json.find("has \\\"quotes\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"H\":42"), std::string::npos) << json;
+  EXPECT_EQ(ViolationsToJson({}), "[]\n");
+}
+
+}  // namespace
+}  // namespace swmon
