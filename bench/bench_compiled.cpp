@@ -1,0 +1,257 @@
+// Compiled bytecode engine vs the reference interpreter (DESIGN.md §5i):
+// per-event cost of the same Table-1 properties over the same streams,
+// engine selected per property via MonitorConfig. The two engines are
+// required to be observationally bit-identical, so every timed pair is
+// also a differential check — any violation-stream mismatch fails the
+// bench (exit 1), mirroring tests/compiled_engine_test.cpp.
+//
+// Emits BENCH_compiled.json via bench_util's JsonReporter (the `bench`
+// CMake target points SWMON_BENCH_JSON_DIR at the build tree).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "monitor/property_monitor.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+// Sized so the event vector (~320 B/event) stays L3-resident: the bench
+// measures per-event monitor compute, and a DRAM-streaming-bound event
+// walk would put both engines at the same memory floor. Each timed rep
+// replays the stream kLaps times so the region is milliseconds long —
+// at one lap a fast engine finishes in ~40 us and scheduler noise
+// dominates the ratio. SWMON_BENCH_TINY=1 (the CI smoke step) shrinks
+// everything: timings are then meaningless, but the differential check
+// and the JSON plumbing still run.
+const bool kTiny = std::getenv("SWMON_BENCH_TINY") != nullptr;
+const std::size_t kEvents = kTiny ? 1000 : 8000;
+const int kLaps = kTiny ? 1 : 50;
+const int kReps = kTiny ? 1 : 3;
+
+/// bench_dispatch's single-type stream: realistic field density, value
+/// ranges small enough that stages chain and instances accumulate.
+std::vector<DataplaneEvent> SingleTypeStream(DataplaneEventType type,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataplaneEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DataplaneEvent ev;
+    ev.type = type;
+    ev.time = SimTime::Zero() + Duration::Micros(static_cast<std::int64_t>(i));
+    switch (type) {
+      case DataplaneEventType::kArrival:
+        ev.fields.Set(FieldId::kInPort, 1 + rng.NextBelow(4));
+        ev.fields.Set(FieldId::kPacketId, i + 1);
+        ev.fields.Set(FieldId::kIpSrc, 1000 + rng.NextBelow(64));
+        ev.fields.Set(FieldId::kIpDst, 2000 + rng.NextBelow(64));
+        ev.fields.Set(FieldId::kIpProto, 6);
+        ev.fields.Set(FieldId::kL4SrcPort, 30000 + rng.NextBelow(512));
+        ev.fields.Set(FieldId::kL4DstPort, rng.NextBool(0.5) ? 80 : 443);
+        break;
+      case DataplaneEventType::kEgress:
+        ev.fields.Set(FieldId::kPacketId, i + 1);
+        ev.fields.Set(FieldId::kIpSrc, 2000 + rng.NextBelow(64));
+        ev.fields.Set(FieldId::kIpDst, 1000 + rng.NextBelow(64));
+        ev.fields.Set(FieldId::kOutPort, 1 + rng.NextBelow(4));
+        ev.fields.Set(FieldId::kEgressAction,
+                      static_cast<std::uint64_t>(
+                          rng.NextBool(0.1) ? EgressActionValue::kDrop
+                                            : EgressActionValue::kForward));
+        break;
+      case DataplaneEventType::kLinkStatus:
+        ev.fields.Set(FieldId::kLinkId, 1 + rng.NextBelow(4));
+        ev.fields.Set(FieldId::kLinkUp, rng.NextBool(0.5) ? 1 : 0);
+        break;
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+/// The fuzz-test event soup: all three types mixed, fields sprinkled at
+/// random — exercises create/advance/abort/timeout paths at once.
+std::vector<DataplaneEvent> FuzzStream(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<DataplaneEvent> events;
+  events.reserve(count);
+  SimTime t = SimTime::Zero();
+  for (std::size_t i = 0; i < count; ++i) {
+    DataplaneEvent ev;
+    t = t + Duration::Millis(1 + static_cast<std::int64_t>(rng.NextBelow(50)));
+    ev.time = t;
+    const auto roll = rng.NextBelow(10);
+    ev.type = roll < 4   ? DataplaneEventType::kArrival
+              : roll < 8 ? DataplaneEventType::kEgress
+                         : DataplaneEventType::kLinkStatus;
+    for (std::size_t f = 0; f < kNumFieldIds; ++f) {
+      if (rng.NextBool(0.35))
+        ev.fields.Set(static_cast<FieldId>(f), rng.NextBelow(8));
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<Property> Table1Properties(std::size_t count) {
+  std::vector<Property> props;
+  for (const CatalogEntry& e : BuildCatalog()) {
+    if (!e.in_table1) continue;
+    props.push_back(e.property);
+    if (props.size() == count) break;
+  }
+  return props;
+}
+
+double BestNsPerEvent(const std::function<void()>& run, std::size_t events) {
+  double best = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(events);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+struct EngineRun {
+  double ns_per_event = 0;
+  std::vector<Violation> violations;
+};
+
+EngineRun RunWith(EngineKind kind, const std::vector<Property>& props,
+                  const std::vector<DataplaneEvent>& events) {
+  MonitorConfig config;
+  config.engine = kind;
+  // Timed path calls the engines directly — this measures engine cost, not
+  // engine + dispatch-layer constant (bench_dispatch owns that number).
+  EngineRun out;
+  out.ns_per_event = BestNsPerEvent(
+      [&] {
+        std::vector<std::unique_ptr<PropertyMonitor>> engines;
+        for (const Property& p : props)
+          engines.push_back(CreatePropertyMonitor(p, config));
+        // Replay laps measure the steady state: lap 1 populates the
+        // instance tables, later laps hit them. Identical for both
+        // engines, so the ratio is undistorted.
+        for (int lap = 0; lap < kLaps; ++lap)
+          for (const DataplaneEvent& ev : events)
+            for (auto& e : engines) e->ProcessEvent(ev);
+      },
+      events.size() * static_cast<std::size_t>(kLaps));
+  // Instrumented pass for the differential check, with a final time advance
+  // so pending timeout-action windows fire on both engines.
+  std::vector<std::unique_ptr<PropertyMonitor>> engines;
+  for (const Property& p : props)
+    engines.push_back(CreatePropertyMonitor(p, config));
+  for (const DataplaneEvent& ev : events)
+    for (auto& e : engines) e->ProcessEvent(ev);
+  for (auto& e : engines)
+    e->AdvanceTime(events.back().time + Duration::Seconds(300));
+  for (auto& e : engines) {
+    const auto& v = e->violations();
+    out.violations.insert(out.violations.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+bool Identical(const std::vector<Violation>& a,
+               const std::vector<Violation>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].property != b[i].property || a[i].time != b[i].time ||
+        a[i].instance_id != b[i].instance_id ||
+        a[i].trigger_stage != b[i].trigger_stage ||
+        a[i].bindings != b[i].bindings)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header(
+      "bench_compiled", "DESIGN.md §5i (bytecode engine)",
+      "ahead-of-time lowering to flat bytecode + packed state records "
+      "cuts per-event cost vs the tree-walking interpreter, with "
+      "bit-identical violation streams");
+
+  bench::JsonReporter json("compiled");
+
+  const struct {
+    const char* name;
+    std::vector<DataplaneEvent> events;
+  } streams[] = {
+      {"arrival", SingleTypeStream(DataplaneEventType::kArrival, kEvents, 42)},
+      {"egress", SingleTypeStream(DataplaneEventType::kEgress, kEvents, 42)},
+      {"fuzz_soup", FuzzStream(99, kEvents)},
+  };
+
+  double single_property_speedup = 0;
+  bool all_identical = true;
+
+  for (const std::size_t nprops : {1u, 4u, 13u}) {
+    const std::vector<Property> props = Table1Properties(nprops);
+    bench::Section(
+        ("per-event cost, " + std::to_string(props.size()) + " properties")
+            .c_str());
+    std::printf("%12s | %16s | %14s | %8s | %10s\n", "stream",
+                "interpreted ns/ev", "compiled ns/ev", "speedup",
+                "violations");
+    for (const auto& s : streams) {
+      const EngineRun interp =
+          RunWith(EngineKind::kInterpreted, props, s.events);
+      const EngineRun comp = RunWith(EngineKind::kCompiled, props, s.events);
+      if (!Identical(interp.violations, comp.violations)) {
+        std::printf("SEMANTICS MISMATCH on %s with %zu properties: "
+                    "interpreted=%zu compiled=%zu violations\n",
+                    s.name, props.size(), interp.violations.size(),
+                    comp.violations.size());
+        all_identical = false;
+        continue;
+      }
+      const double speedup = comp.ns_per_event > 0
+                                 ? interp.ns_per_event / comp.ns_per_event
+                                 : 0;
+      if (nprops == 1 && std::string(s.name) == "arrival")
+        single_property_speedup = speedup;
+      std::printf("%12s | %17.1f | %14.1f | %7.2fx | %10zu\n", s.name,
+                  interp.ns_per_event, comp.ns_per_event, speedup,
+                  comp.violations.size());
+      json.AddRow()
+          .Str("stream", s.name)
+          .Num("properties", static_cast<double>(props.size()))
+          .Num("interpreted_ns_per_event", interp.ns_per_event)
+          .Num("compiled_ns_per_event", comp.ns_per_event)
+          .Num("speedup", speedup)
+          .Num("violations", static_cast<double>(comp.violations.size()));
+    }
+  }
+
+  std::printf("\nsingle-property arrival speedup: %.2fx (target: >= 5x)\n",
+              single_property_speedup);
+  json.AddRow()
+      .Str("stream", "summary")
+      .Num("single_property_speedup", single_property_speedup);
+  json.Flush();
+
+  if (!all_identical) return 1;  // differential failure is a bench failure
+  return 0;
+}

@@ -16,8 +16,10 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "monitor/engine.hpp"
 #include "monitor/features.hpp"
 #include "monitor/monitor_set.hpp"
+#include "monitor/property_builder.hpp"
 #include "properties/catalog.hpp"
 #include "telemetry/snapshot.hpp"
 
@@ -145,6 +147,34 @@ RunResult RunBroadcast(const std::vector<Property>& props,
   return out;
 }
 
+/// A property interested in every event type whose patterns never match:
+/// what it measures is pure delivery overhead — the dispatch layer's cost
+/// on top of a direct ProcessEvent loop.
+Property AllTypesProbe() {
+  PropertyBuilder b("all-types-probe", "never-matching any-type patterns");
+  b.AddStage("first").Match(
+      PatternBuilder::AnyEvent().Eq(FieldId::kInPort, 9999).Build());
+  b.AddStage("second").Match(
+      PatternBuilder::AnyEvent().Eq(FieldId::kInPort, 9998).Build());
+  return std::move(b).Build();
+}
+
+std::vector<DataplaneEvent> MixedTypeStream(std::size_t count,
+                                            std::uint64_t seed) {
+  std::vector<DataplaneEvent> events;
+  events.reserve(count);
+  const DataplaneEventType kinds[] = {DataplaneEventType::kArrival,
+                                      DataplaneEventType::kEgress,
+                                      DataplaneEventType::kLinkStatus};
+  for (std::size_t i = 0; i < count; ++i) {
+    auto batch = SingleTypeStream(kinds[i % 3], 1, seed + i);
+    batch[0].time = SimTime::Zero() + Duration::Micros(
+                                          static_cast<std::int64_t>(i));
+    events.push_back(std::move(batch[0]));
+  }
+  return events;
+}
+
 }  // namespace
 }  // namespace swmon
 
@@ -218,6 +248,46 @@ int main() {
       "every engine takes the constant clock-only path), keeping filtered "
       "ns/event well below the broadcast baseline as properties are "
       "added.\n");
+
+  // Regression guard: a property subscribed to every event type gains
+  // nothing from interest filtering, so dispatching to it must not cost
+  // more than calling the engine directly (the all-interested fast path
+  // skips the filtered-walk bookkeeping entirely). 1.5x absorbs timer
+  // noise; the regression this guards was ~2x and up.
+  {
+    bench::Section("all-types property: dispatch overhead vs direct engine");
+    const Property probe = AllTypesProbe();
+    const auto events = MixedTypeStream(kEvents, 7);
+    const double direct_ns = BestNsPerEvent(
+        [&] {
+          MonitorEngine engine(probe);
+          for (const DataplaneEvent& ev : events) engine.ProcessEvent(ev);
+        },
+        events.size());
+    const double dispatched_ns = BestNsPerEvent(
+        [&] {
+          MonitorSet set;
+          set.Add(probe);
+          for (const DataplaneEvent& ev : events) set.OnDataplaneEvent(ev);
+        },
+        events.size());
+    const double overhead =
+        direct_ns > 0 ? dispatched_ns / direct_ns : 0;
+    std::printf("  direct %.1f ns/ev | dispatched %.1f ns/ev | %.2fx\n",
+                direct_ns, dispatched_ns, overhead);
+    json.AddRow()
+        .Str("stream", "all_types_guard")
+        .Num("direct_ns_per_event", direct_ns)
+        .Num("dispatched_ns_per_event", dispatched_ns)
+        .Num("overhead", overhead);
+    if (overhead > 1.5) {
+      std::printf("DISPATCH OVERHEAD REGRESSION: %.2fx > 1.5x budget for an "
+                  "all-types property\n",
+                  overhead);
+      json.Flush();
+      return 1;
+    }
+  }
   json.Flush();
   return 0;
 }

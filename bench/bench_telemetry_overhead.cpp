@@ -50,27 +50,22 @@ std::vector<DataplaneEvent> EventSoup(std::uint64_t seed, int count) {
   return events;
 }
 
-/// Best-of-`reps` wall time of one full replay through a fresh set.
-/// `kInstrumented` selects the DeliverEvent specialization; when true a
-/// registry is attached so the latency histogram is armed (the worst case:
-/// sampled clock reads actually happen).
+/// Wall time of one full replay through a fresh set. `kInstrumented`
+/// selects the DeliverEvent specialization; when true a registry is
+/// attached so the latency histogram is armed (the worst case: sampled
+/// clock reads actually happen).
 template <bool kInstrumented>
-double BestSeconds(const std::vector<Property>& props,
-                   const std::vector<DataplaneEvent>& events, int reps) {
-  double best = 0.0;
-  for (int rep = 0; rep < reps; ++rep) {
-    telemetry::MetricsRegistry registry;
-    MonitorSet set;
-    if (kInstrumented) set.AttachTelemetry(&registry);
-    for (const Property& p : props) set.Add(p);
-    const auto t0 = std::chrono::steady_clock::now();
-    for (const DataplaneEvent& ev : events)
-      set.template DeliverEvent<kInstrumented>(ev);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    if (rep == 0 || s < best) best = s;
-  }
-  return best;
+double OneRepSeconds(const std::vector<Property>& props,
+                     const std::vector<DataplaneEvent>& events) {
+  telemetry::MetricsRegistry registry;
+  MonitorSet set;
+  if (kInstrumented) set.AttachTelemetry(&registry);
+  for (const Property& p : props) set.Add(p);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const DataplaneEvent& ev : events)
+    set.template DeliverEvent<kInstrumented>(ev);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
 }
 
 }  // namespace
@@ -85,13 +80,22 @@ int main() {
 
   const std::vector<Property> props = Table1Properties();
   const auto events = EventSoup(/*seed=*/99, /*count=*/60000);
-  const int kReps = 7;
+  const int kReps = 9;
 
-  // Interleave a warmup of each path, then measure.
-  BestSeconds<false>(props, events, 1);
-  BestSeconds<true>(props, events, 1);
-  const double plain_s = BestSeconds<false>(props, events, kReps);
-  const double instr_s = BestSeconds<true>(props, events, kReps);
+  // Warm both paths, then measure the reps INTERLEAVED (plain, instrumented,
+  // plain, ...) so frequency drift or a noisy co-tenant hits both sides
+  // equally instead of landing entirely on whichever block ran second.
+  // Best-of on each side then compares the two paths at the machine's
+  // quietest moments.
+  OneRepSeconds<false>(props, events);
+  OneRepSeconds<true>(props, events);
+  double plain_s = 0.0, instr_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double p = OneRepSeconds<false>(props, events);
+    const double i = OneRepSeconds<true>(props, events);
+    if (rep == 0 || p < plain_s) plain_s = p;
+    if (rep == 0 || i < instr_s) instr_s = i;
+  }
 
   const double n = static_cast<double>(events.size());
   const double plain_ns = plain_s / n * 1e9;

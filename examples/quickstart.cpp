@@ -4,7 +4,9 @@
 //      "A->B seen, then B->A dropped").
 //   2. Build a tiny network: one switch running a (buggy) firewall, one
 //      inside host, one outside host.
-//   3. Attach a MonitorEngine to the switch and run traffic.
+//   3. Attach a monitor to the switch and run traffic (the interpreter
+//      by default; SWMON_ENGINE=compiled selects the bytecode engine —
+//      same violations either way).
 //   4. Read the violations.
 //
 // Build & run:  ./build/examples/quickstart
@@ -16,8 +18,8 @@
 #include <cstring>
 
 #include "apps/stateful_firewall.hpp"
-#include "monitor/engine.hpp"
 #include "monitor/property_builder.hpp"
+#include "monitor/property_monitor.hpp"
 #include "netsim/network.hpp"
 #include "packet/builder.hpp"
 #include "telemetry/snapshot.hpp"
@@ -62,7 +64,10 @@ int main() {
   net.Attach(1, PortId{2}, bob);
 
   // --- 3. attach the monitor and run traffic ---------------------------
-  MonitorEngine monitor(property);
+  // CreatePropertyMonitor picks the engine: the interpreter unless
+  // MonitorConfig::engine (or SWMON_ENGINE=compiled) says otherwise.
+  auto monitor_ptr = CreatePropertyMonitor(property);
+  PropertyMonitor& monitor = *monitor_ptr;
   sw.AddObserver(&monitor);
 
   // alice opens a connection; bob replies — which the buggy firewall drops.

@@ -273,6 +273,8 @@ telemetry::Snapshot SwmonDaemon::BuildSnapshot() {
                     socket_source_->connections_accepted());
     snap.SetCounter("daemon.socket.protocol_errors",
                     socket_source_->protocol_errors());
+    snap.SetCounter("daemon.socket.decode_errors",
+                    socket_source_->decode_errors());
   }
   for (Tenant* t : tenant_order_) t->CollectInto(snap);
   return snap;

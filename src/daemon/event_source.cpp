@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.hpp"
 #include "spl/spl.hpp"
 
 namespace swmon {
@@ -270,6 +271,10 @@ bool SocketSource::Enqueue(DataplaneEvent ev) {
 }
 
 void SocketSource::ReadConnection(int fd) {
+  // A text line longer than this is not a protocol the daemon speaks —
+  // cap it so a newline-less client cannot grow the buffer unboundedly.
+  constexpr std::size_t kMaxTextLine = 1 << 16;
+
   // Sniff the first bytes: an SWMT header selects the binary trace
   // protocol, anything else is treated as the text line protocol.
   std::string pending;
@@ -291,6 +296,7 @@ void SocketSource::ReadConnection(int fd) {
         if (!CheckStreamHeader(
                 reinterpret_cast<const std::uint8_t*>(pending.data()),
                 &header_error)) {
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -313,6 +319,9 @@ void SocketSource::ReadConnection(int fd) {
         }
       }
       if (res == TraceEventDecoder::Result::kCorrupt) {
+        SWMON_LOG_WARN("daemon", "socket: corrupt event stream: %s",
+                       decoder.error().c_str());
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         drop = true;
       }
@@ -326,8 +335,50 @@ void SocketSource::ReadConnection(int fd) {
         if (ParseEventLine(line, ev, &line_error)) {
           if (!Enqueue(std::move(ev))) drop = true;
         } else if (!line_error.empty()) {
+          SWMON_LOG_WARN("daemon", "socket: bad event line: %s",
+                         line_error.c_str());
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
           drop = true;  // a malformed line poisons framing — drop the conn
+        }
+      }
+      if (!drop && pending.size() > kMaxTextLine) {
+        SWMON_LOG_WARN("daemon", "socket: text line exceeds %zu bytes",
+                       kMaxTextLine);
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        drop = true;
+      }
+    }
+  }
+  // Clean close with bytes still pending: either a final text line the
+  // client forgot to newline-terminate (parse it — `echo -n | nc` works),
+  // or a record the stream truncated mid-encoding (surface it instead of
+  // silently desyncing).
+  if (!drop && r == 0) {
+    if (mode == Mode::kBinary) {
+      if (decoder.pending_bytes() > 0) {
+        SWMON_LOG_WARN("daemon",
+                       "socket: stream closed mid-event (%zu bytes pending)",
+                       decoder.pending_bytes());
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (!pending.empty()) {
+      if (mode == Mode::kUnknown &&
+          std::memcmp(pending.data(), kTraceMagic,
+                      std::min<std::size_t>(pending.size(), 4)) == 0) {
+        // 1..15 bytes that are a proper prefix of a binary header.
+        SWMON_LOG_WARN("daemon", "socket: stream closed mid-header");
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        DataplaneEvent ev;
+        std::string line_error;
+        if (ParseEventLine(pending, ev, &line_error)) {
+          Enqueue(std::move(ev));
+        } else if (!line_error.empty()) {
+          SWMON_LOG_WARN("daemon", "socket: bad final event line: %s",
+                         line_error.c_str());
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
         }
       }
     }

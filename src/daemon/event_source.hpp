@@ -120,6 +120,13 @@ class SocketSource : public EventSource {
   std::uint64_t protocol_errors() const {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
+  /// Malformed records observed across all connections: corrupt binary
+  /// events, bad text lines, oversized text lines, and streams that close
+  /// mid-record (truncated binary tail / unterminated final line that
+  /// fails to parse). Events decoded before the bad record are kept.
+  std::uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop(int listen_fd);
@@ -148,6 +155,7 @@ class SocketSource : public EventSource {
   std::atomic<std::uint64_t> events_ingested_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
 };
 
 }  // namespace swmon

@@ -1,0 +1,866 @@
+// CompiledEngine: bytecode execution over packed state records.
+//
+// Every pass is a line-for-line mirror of the corresponding
+// MonitorEngine pass (engine.cpp) — same pass order, same candidate
+// enumeration, same counter increments, same instance-id assignment —
+// with the spec-tree walk replaced by the flat program and the
+// per-instance heap objects replaced by slab records. When editing,
+// change engine.cpp first and replicate here; the differential tests
+// will catch any drift.
+
+#include "monitor/compiled/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace swmon::compiled {
+
+// ---------------------------------------------------------------- OpenMap
+
+std::uint32_t OpenMap::Find(const std::uint64_t* key,
+                            std::uint32_t len) const {
+  if (cells_.empty()) return kNone;
+  const std::uint64_t h = HashKey(key, len);
+  const std::size_t mask = cells_.size() - 1;
+  for (std::size_t idx = h & mask;; idx = (idx + 1) & mask) {
+    const Cell& c = cells_[idx];
+    if (c.state == kEmpty) return kNone;
+    if (c.state == kFull && KeyEquals(c, h, key, len))
+      return static_cast<std::uint32_t>(idx);
+  }
+}
+
+std::uint32_t OpenMap::Insert(const std::uint64_t* key, std::uint32_t len) {
+  if (cells_.empty() || (used_ + 1) * 10 >= cells_.size() * 7) {
+    Rehash(cells_.empty() ? 16 : cells_.size() * 2);
+  } else if (dead_words_ > 64 && dead_words_ * 2 > pool_.size()) {
+    // Same capacity, compacted pool: erases leave their key words behind
+    // (and tombstone reuse appends without raising used_), so under pure
+    // churn the pool would otherwise grow without ever tripping the
+    // occupancy resize above.
+    Rehash(cells_.size());
+  }
+  const std::uint64_t h = HashKey(key, len);
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t tomb = static_cast<std::size_t>(-1);
+  for (std::size_t idx = h & mask;; idx = (idx + 1) & mask) {
+    Cell& c = cells_[idx];
+    if (c.state == kFull) {
+      if (KeyEquals(c, h, key, len)) return static_cast<std::uint32_t>(idx);
+      continue;
+    }
+    if (c.state == kTombstone) {
+      if (tomb == static_cast<std::size_t>(-1)) tomb = idx;
+      continue;
+    }
+    const std::size_t target = tomb != static_cast<std::size_t>(-1) ? tomb : idx;
+    Cell& tc = cells_[target];
+    const bool reused_tomb = tc.state == kTombstone;
+    tc.hash = h;
+    tc.k01[0] = len > 0 ? key[0] : 0;
+    tc.k01[1] = len > 1 ? key[1] : 0;
+    tc.key_pos = static_cast<std::uint32_t>(pool_.size());
+    tc.key_len = static_cast<std::uint16_t>(len);
+    tc.state = kFull;
+    pool_.insert(pool_.end(), key, key + len);
+    ++size_;
+    if (!reused_tomb) ++used_;
+    return static_cast<std::uint32_t>(target);
+  }
+}
+
+void OpenMap::EraseAt(std::uint32_t cell) {
+  Cell& c = cells_[cell];
+  c.state = kTombstone;
+  std::vector<std::uint32_t>().swap(c.slots);
+  --size_;
+  dead_words_ += c.key_len;
+}
+
+void OpenMap::Rehash(std::size_t new_cap) {
+  std::vector<Cell> old_cells = std::move(cells_);
+  std::vector<std::uint64_t> old_pool = std::move(pool_);
+  cells_.assign(new_cap, Cell{});
+  pool_.clear();
+  used_ = size_;
+  dead_words_ = 0;
+  const std::size_t mask = new_cap - 1;
+  for (Cell& c : old_cells) {
+    if (c.state != kFull) continue;
+    std::size_t idx = c.hash & mask;
+    while (cells_[idx].state == kFull) idx = (idx + 1) & mask;
+    Cell& nc = cells_[idx];
+    nc.hash = c.hash;
+    nc.k01[0] = c.k01[0];
+    nc.k01[1] = c.k01[1];
+    nc.key_pos = static_cast<std::uint32_t>(pool_.size());
+    nc.key_len = c.key_len;
+    nc.state = kFull;
+    pool_.insert(pool_.end(), old_pool.begin() + c.key_pos,
+                 old_pool.begin() + c.key_pos + c.key_len);
+    nc.slots = std::move(c.slots);
+  }
+}
+
+std::size_t OpenMap::MemoryBytes() const {
+  std::size_t bytes = cells_.capacity() * sizeof(Cell) +
+                      pool_.capacity() * sizeof(std::uint64_t);
+  for (const Cell& c : cells_)
+    bytes += c.slots.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+// ----------------------------------------------------------- construction
+
+namespace {
+Program MustCompile(const Property& property) {
+  std::optional<Program> prog = CompileProperty(property);
+  SWMON_ASSERT_MSG(prog.has_value(),
+                   "property exceeds the compiled engine's limits "
+                   "(CreatePropertyMonitor falls back to the interpreter)");
+  return std::move(*prog);
+}
+}  // namespace
+
+CompiledEngine::CompiledEngine(Property property, MonitorConfig config)
+    : property_(std::move(property)),
+      prog_(MustCompile(property_)),
+      config_(config),
+      timers_([this](std::uint64_t slot, SimTime deadline) {
+        OnTimerExpiry(static_cast<std::uint32_t>(slot), deadline);
+      }) {
+  const std::string err = property_.Validate();
+  SWMON_ASSERT_MSG(err.empty(), err.c_str());
+  interest_ = prog_.interest;
+  stride_ = kWVars + static_cast<std::uint32_t>(prog_.num_vars());
+  stores_.resize(prog_.num_stages());
+  scratch_vars_.resize(prog_.num_vars());
+  const Instr& first = prog_.code[prog_.stages[0].pattern.begin];
+  if (first.op == Op::kCondConstEq || first.op == Op::kCondConstNe) {
+    st0_fast_valid_ = true;
+    st0_fast_ = first;
+    st0_fast_whole_ =
+        prog_.code[prog_.stages[0].pattern.begin + 1].op == Op::kMatch;
+  }
+}
+
+CompiledEngine::CompiledEngine(Property property, Program program,
+                               MonitorConfig config)
+    : property_(std::move(property)),
+      prog_(std::move(program)),
+      config_(config),
+      timers_([this](std::uint64_t slot, SimTime deadline) {
+        OnTimerExpiry(static_cast<std::uint32_t>(slot), deadline);
+      }) {
+  const std::string err = property_.Validate();
+  SWMON_ASSERT_MSG(err.empty(), err.c_str());
+  interest_ = prog_.interest;
+  stride_ = kWVars + static_cast<std::uint32_t>(prog_.num_vars());
+  stores_.resize(prog_.num_stages());
+  scratch_vars_.resize(prog_.num_vars());
+  const Instr& first = prog_.code[prog_.stages[0].pattern.begin];
+  if (first.op == Op::kCondConstEq || first.op == Op::kCondConstNe) {
+    st0_fast_valid_ = true;
+    st0_fast_ = first;
+    st0_fast_whole_ =
+        prog_.code[prog_.stages[0].pattern.begin + 1].op == Op::kMatch;
+  }
+}
+
+// ------------------------------------------------------------- execution
+
+bool CompiledEngine::EvalCond(const Instr& i, const FieldMap& fields,
+                              const std::uint64_t* vars,
+                              std::uint64_t bound) const {
+  const auto f = static_cast<FieldId>(i.field);
+  if (!fields.Has(f)) return (i.flags & kFlagAllowAbsent) != 0;
+  const std::uint64_t lhs = fields.GetUnchecked(f);
+  std::uint64_t rhs;
+  if (i.op == Op::kCondConstEq || i.op == Op::kCondConstNe) {
+    rhs = i.imm;
+  } else {
+    if (!(bound >> i.var & 1)) return false;  // unbound vars never hold
+    rhs = vars[i.var];
+  }
+  const bool eq = ((lhs ^ rhs) & i.mask) == 0;
+  return (i.op == Op::kCondConstEq || i.op == Op::kCondVarEq) ? eq : !eq;
+}
+
+bool CompiledEngine::ExecMatch(std::uint32_t pc, const FieldMap& fields,
+                               const std::uint64_t* vars,
+                               std::uint64_t bound) const {
+  const Instr* ip = prog_.code.data() + pc;
+#if defined(__GNUC__) && !defined(SWMON_NO_COMPUTED_GOTO)
+  // Label table indexed by Op; bind opcodes never appear in a pattern run.
+  static const void* const kJump[] = {
+      &&op_cond_const_eq, &&op_cond_const_ne, &&op_cond_var_eq,
+      &&op_cond_var_ne,   &&op_forbidden,     &&op_match,
+      &&op_unreachable,   &&op_unreachable,   &&op_unreachable,
+      &&op_unreachable,   &&op_unreachable,
+  };
+#define SWMON_DISPATCH() goto* kJump[static_cast<std::size_t>(ip->op)]
+  SWMON_DISPATCH();
+op_cond_const_eq: {
+  const auto f = static_cast<FieldId>(ip->field);
+  if (!fields.Has(f)) {
+    if (!(ip->flags & kFlagAllowAbsent)) return false;
+  } else if (((fields.GetUnchecked(f) ^ ip->imm) & ip->mask) != 0) {
+    return false;
+  }
+  ++ip;
+  SWMON_DISPATCH();
+}
+op_cond_const_ne: {
+  const auto f = static_cast<FieldId>(ip->field);
+  if (!fields.Has(f)) {
+    if (!(ip->flags & kFlagAllowAbsent)) return false;
+  } else if (((fields.GetUnchecked(f) ^ ip->imm) & ip->mask) == 0) {
+    return false;
+  }
+  ++ip;
+  SWMON_DISPATCH();
+}
+op_cond_var_eq: {
+  const auto f = static_cast<FieldId>(ip->field);
+  if (!fields.Has(f)) {
+    if (!(ip->flags & kFlagAllowAbsent)) return false;
+  } else {
+    if (!(bound >> ip->var & 1)) return false;
+    if (((fields.GetUnchecked(f) ^ vars[ip->var]) & ip->mask) != 0)
+      return false;
+  }
+  ++ip;
+  SWMON_DISPATCH();
+}
+op_cond_var_ne: {
+  const auto f = static_cast<FieldId>(ip->field);
+  if (!fields.Has(f)) {
+    if (!(ip->flags & kFlagAllowAbsent)) return false;
+  } else {
+    if (!(bound >> ip->var & 1)) return false;
+    if (((fields.GetUnchecked(f) ^ vars[ip->var]) & ip->mask) == 0)
+      return false;
+  }
+  ++ip;
+  SWMON_DISPATCH();
+}
+op_forbidden: {
+  const Instr* fi = ip + 1;
+  bool all_hold = true;
+  for (unsigned n = ip->aux; n-- > 0; ++fi) {
+    if (!EvalCond(*fi, fields, vars, bound)) {
+      all_hold = false;
+      break;
+    }
+  }
+  return !all_hold;  // kMatch is the next live instruction either way
+}
+op_match:
+  return true;
+op_unreachable:
+  SWMON_ASSERT_MSG(false, "bind opcode in pattern run");
+  return false;
+#undef SWMON_DISPATCH
+#else
+  for (;; ++ip) {
+    switch (ip->op) {
+      case Op::kCondConstEq:
+      case Op::kCondConstNe:
+      case Op::kCondVarEq:
+      case Op::kCondVarNe:
+        if (!EvalCond(*ip, fields, vars, bound)) return false;
+        break;
+      case Op::kForbidden: {
+        const Instr* fi = ip + 1;
+        bool all_hold = true;
+        for (unsigned n = ip->aux; n-- > 0; ++fi) {
+          if (!EvalCond(*fi, fields, vars, bound)) {
+            all_hold = false;
+            break;
+          }
+        }
+        return !all_hold;
+      }
+      case Op::kMatch:
+        return true;
+      default:
+        SWMON_ASSERT_MSG(false, "bind opcode in pattern run");
+        return false;
+    }
+  }
+#endif
+}
+
+namespace {
+constexpr std::uint32_t kBindFail = 0xffffffffu;
+}
+
+/// Walks the kRequireField prefix of a bind run. Returns the pc of the
+/// first mutating instruction, or kBindFail when a required field is
+/// absent — callers unfile the instance under the OLD env between this
+/// check and ExecBindCommit (the re-key contract; see engine.cpp's
+/// RunAdvancePass).
+static std::uint32_t ExecRequire(const Program& prog, std::uint32_t pc,
+                                 const FieldMap& fields) {
+  const Instr* ip = prog.code.data() + pc;
+  while (ip->op == Op::kRequireField) {
+    if (!fields.Has(static_cast<FieldId>(ip->field))) return kBindFail;
+    ++ip;
+  }
+  return static_cast<std::uint32_t>(ip - prog.code.data());
+}
+
+bool CompiledEngine::ExecBind(std::uint32_t pc, const FieldMap& fields,
+                              std::uint64_t* vars, std::uint64_t& bound) {
+  const std::uint32_t body = ExecRequire(prog_, pc, fields);
+  if (body == kBindFail) return false;
+  for (const Instr* ip = prog_.code.data() + body;; ++ip) {
+    switch (ip->op) {
+      case Op::kBindField:
+        vars[ip->var] = fields.GetUnchecked(static_cast<FieldId>(ip->field));
+        bound |= std::uint64_t{1} << ip->var;
+        break;
+      case Op::kBindHash: {
+        std::uint64_t h = 0xcbf29ce484222325ULL;  // HashFieldsToRange
+        const std::uint16_t* in = prog_.aux_fields.data() + ip->aux_pos;
+        for (unsigned n = 0; n < ip->aux; ++n) {
+          h ^= fields.GetUnchecked(static_cast<FieldId>(in[n]));
+          h *= 0x100000001b3ULL;
+          h ^= h >> 29;
+        }
+        vars[ip->var] = h % ip->modulus + ip->base;
+        bound |= std::uint64_t{1} << ip->var;
+        break;
+      }
+      case Op::kBindRoundRobin:
+        vars[ip->var] = rr_counter_++ % ip->modulus + ip->base;
+        bound |= std::uint64_t{1} << ip->var;
+        break;
+      default:  // kBindEnd
+        return true;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ stores
+
+std::uint32_t CompiledEngine::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slab_.size() / stride_);
+  slab_.resize(slab_.size() + stride_);
+  return slot;
+}
+
+void CompiledEngine::InsertIntoStore(std::uint32_t slot) {
+  std::uint64_t* rec = Rec(slot);
+  const std::uint32_t stage = StageOf(rec);
+  SWMON_ASSERT(stage >= 1 && stage < prog_.num_stages());
+  StageStore& store = stores_[stage];
+  const StageCode& sc = prog_.stages[stage];
+  if (sc.link_count != 0) {
+    const std::uint64_t bound = rec[kWBound];
+    key_buf_.clear();
+    bool all_bound = true;
+    for (std::uint32_t i = 0; i < sc.link_count; ++i) {
+      const LinkTerm& lt = prog_.links[sc.link_begin + i];
+      if (!(bound >> lt.var & 1)) {
+        all_bound = false;
+        break;
+      }
+      key_buf_.push_back(rec[kWVars + lt.var]);
+    }
+    if (all_bound) {
+      const std::uint32_t cell = store.keyed.Insert(
+          key_buf_.data(), static_cast<std::uint32_t>(key_buf_.size()));
+      store.keyed.slots(cell).push_back(slot);
+      return;
+    }
+  }
+  store.scan.push_back(slot);
+}
+
+namespace {
+/// Swap-remove, exactly the interpreter's bucket-erase: order of the
+/// remaining slots is part of the candidate-enumeration contract.
+bool EraseSlot(std::vector<std::uint32_t>& v, std::uint32_t slot) {
+  auto it = std::find(v.begin(), v.end(), slot);
+  if (it == v.end()) return false;
+  *it = v.back();
+  v.pop_back();
+  return true;
+}
+}  // namespace
+
+void CompiledEngine::RemoveFromStore(std::uint32_t slot) {
+  const std::uint64_t* rec = Rec(slot);
+  const std::uint32_t stage = StageOf(rec);
+  if (stage < 1 || stage >= prog_.num_stages()) return;
+  StageStore& store = stores_[stage];
+  const StageCode& sc = prog_.stages[stage];
+  if (sc.link_count != 0) {
+    const std::uint64_t bound = rec[kWBound];
+    key_buf_.clear();
+    bool all_bound = true;
+    for (std::uint32_t i = 0; i < sc.link_count; ++i) {
+      const LinkTerm& lt = prog_.links[sc.link_begin + i];
+      if (!(bound >> lt.var & 1)) {
+        all_bound = false;
+        break;
+      }
+      key_buf_.push_back(rec[kWVars + lt.var]);
+    }
+    if (all_bound) {
+      const std::uint32_t cell = store.keyed.Find(
+          key_buf_.data(), static_cast<std::uint32_t>(key_buf_.size()));
+      if (cell != OpenMap::kNone) {
+        EraseSlot(store.keyed.slots(cell), slot);
+        if (store.keyed.slots(cell).empty()) store.keyed.EraseAt(cell);
+      }
+      return;
+    }
+  }
+  EraseSlot(store.scan, slot);
+}
+
+void CompiledEngine::BuildStage0Key(const std::uint64_t* vars) {
+  key_buf_.clear();
+  for (const std::uint16_t v : prog_.stage0_vars) key_buf_.push_back(vars[v]);
+}
+
+// -------------------------------------------------------------- lifecycle
+
+void CompiledEngine::ArmWindow(std::uint32_t slot, const StageCode& completed,
+                               const DataplaneEvent* ev) {
+  std::int64_t window_ns = completed.window_ns;
+  if (completed.window_field >= 0 && ev != nullptr) {
+    // Presence was verified by the bind run's kRequireField prefix.
+    window_ns = Duration::Seconds(static_cast<std::int64_t>(
+                    ev->fields.GetUnchecked(
+                        static_cast<FieldId>(completed.window_field))))
+                    .nanos();
+  }
+  if (window_ns > 0)
+    timers_.Arm(slot, now_ + Duration::Nanos(window_ns));
+  else
+    timers_.Cancel(slot);
+}
+
+void CompiledEngine::ReportViolation(const std::uint64_t* rec, SimTime when,
+                                     const std::string& trigger) {
+  Violation v;
+  v.property = prog_.name;
+  v.time = when;
+  v.instance_id = rec[kWId];
+  v.trigger_stage = trigger;
+  if (config_.provenance >= ProvenanceLevel::kLimited) {
+    const std::uint64_t bound = rec[kWBound];
+    for (std::size_t i = 0; i < prog_.num_vars(); ++i) {
+      if (bound >> i & 1)
+        v.bindings.emplace_back(prog_.vars[i], rec[kWVars + i]);
+    }
+  }
+  SWMON_LOG_INFO("monitor", "%s", v.ToString().c_str());
+  violations_.push_back(std::move(v));
+  ++stats_.violations;
+}
+
+void CompiledEngine::DestroyInstance(std::uint32_t slot) {
+  std::uint64_t* rec = Rec(slot);
+  RemoveFromStore(slot);
+  // Live records always have every stage-0 variable bound (they were bound
+  // by stage 0's bind run at creation and vars are never unbound).
+  BuildStage0Key(rec + kWVars);
+  const std::uint32_t cell = stage0_index_.Find(
+      key_buf_.data(), static_cast<std::uint32_t>(key_buf_.size()));
+  if (cell != OpenMap::kNone) {
+    // Order-preserving erase, like the interpreter's std::erase — the
+    // stage-0 bucket's order drives refresh iteration.
+    auto& slots = stage0_index_.slots(cell);
+    slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+    if (slots.empty()) stage0_index_.EraseAt(cell);
+  }
+  timers_.Cancel(slot);
+  SetStageMatch(rec, kDeadStage, 0);
+  free_slots_.push_back(slot);
+  --live_count_;
+  if (config_.max_instances > 0 &&
+      creation_order_.size() > 2 * live_count_ + 64)
+    CompactCreationOrder();
+}
+
+void CompiledEngine::CompactCreationOrder() {
+  std::deque<EvictionEntry> live_order;
+  for (const EvictionEntry& e : creation_order_) {
+    const std::uint64_t* rec = Rec(e.slot);
+    if (rec[kWId] == e.id && StageOf(rec) != kDeadStage)
+      live_order.push_back(e);
+  }
+  creation_order_ = std::move(live_order);
+}
+
+void CompiledEngine::AdvanceInstance(std::uint32_t slot,
+                                     const DataplaneEvent* ev) {
+  // Caller verified the match, committed env updates, and unfiled the
+  // record from its stage store under the pre-update env.
+  std::uint64_t* rec = Rec(slot);
+  const std::uint32_t stage = StageOf(rec);
+  const StageCode& completed = prog_.stages[stage];
+  SetStageMatch(rec, stage + 1, 0);
+  if (stage + 1 == prog_.num_stages()) {
+    ReportViolation(rec, now_, completed.label);
+    DestroyInstance(slot);
+    return;
+  }
+  ArmWindow(slot, completed, ev);
+  InsertIntoStore(slot);
+}
+
+void CompiledEngine::OnTimerExpiry(std::uint32_t slot, SimTime deadline) {
+  std::uint64_t* rec = Rec(slot);
+  const std::uint32_t stage = StageOf(rec);
+  if (stage == kDeadStage) return;  // defensive; Cancel precedes slot reuse
+  now_ = std::max(now_, deadline);
+  if (stage < prog_.num_stages() &&
+      prog_.stages[stage].kind == StageKind::kTimeout) {
+    // Feature 7: the elapsed window IS the observation.
+    ++stats_.timeout_observations;
+    ++stats_.instances_advanced;
+    RemoveFromStore(slot);  // env is unchanged, so the filed key is current
+    AdvanceInstance(slot, nullptr);
+  } else {
+    // Feature 3: the window lapsed before the next observation.
+    ++stats_.instances_expired;
+    DestroyInstance(slot);
+  }
+}
+
+void CompiledEngine::EvictIfNeeded() {
+  if (config_.max_instances == 0) return;
+  while (live_count_ > config_.max_instances) {
+    while (!creation_order_.empty()) {
+      const EvictionEntry& e = creation_order_.front();
+      const std::uint64_t* rec = Rec(e.slot);
+      if (rec[kWId] == e.id && StageOf(rec) != kDeadStage) break;
+      creation_order_.pop_front();  // lazy prune of dead entries
+    }
+    if (creation_order_.empty()) return;
+    const EvictionEntry victim = creation_order_.front();
+    creation_order_.pop_front();
+    DestroyInstance(victim.slot);
+    ++stats_.instances_evicted;
+  }
+}
+
+// ------------------------------------------------------------- event path
+
+void CompiledEngine::AdvanceTime(SimTime now) {
+  if (now <= now_) return;
+  // Skip the out-of-line heap walk entirely when nothing is armed — for
+  // windowless properties this is every single event.
+  if (timers_.heap_size() != 0) timers_.Advance(now);
+  now_ = now;
+}
+
+void CompiledEngine::ProcessEvent(const DataplaneEvent& event) {
+  ++event_seq_;
+  ++stats_.events;
+  AdvanceTime(event.time);
+  const auto t = static_cast<std::size_t>(event.type);
+  if (live_count_ != 0) {
+    const std::uint64_t abort_mask = prog_.abort_stage_mask[t];
+    if (abort_mask != 0) RunAbortPass(event, abort_mask);
+  }
+  if (live_count_ != 0) {
+    const std::uint64_t advance_mask = prog_.advance_stage_mask[t];
+    if (advance_mask != 0) RunAdvancePass(event, advance_mask);
+  }
+  // Stage-0 fail-fast: the type check plus the pattern's leading constant
+  // condition, evaluated inline. Exactly the first steps RunCreatePass
+  // would take (it touches no state before its ExecMatch), so skipping
+  // the call on failure is unobservable.
+  const PatternCode& p0 = prog_.stages[0].pattern;
+  bool enter_create = p0.event_type < 0 ||
+                      static_cast<std::size_t>(p0.event_type) == t;
+  if (enter_create && st0_fast_valid_) {
+    const auto f = static_cast<FieldId>(st0_fast_.field);
+    if (!event.fields.Has(f)) {
+      enter_create = (st0_fast_.flags & kFlagAllowAbsent) != 0;
+    } else {
+      const bool eq =
+          ((event.fields.GetUnchecked(f) ^ st0_fast_.imm) & st0_fast_.mask) ==
+          0;
+      enter_create = st0_fast_.op == Op::kCondConstEq ? eq : !eq;
+    }
+  }
+  if (enter_create) RunCreatePass(event);
+  if (!prog_.suppressors.empty()) RunSuppressorPass(event);
+  if (live_count_ > stats_.peak_live) stats_.peak_live = live_count_;
+}
+
+void CompiledEngine::RunAbortPass(const DataplaneEvent& ev,
+                                  std::uint64_t stage_mask) {
+  const auto t = static_cast<std::size_t>(ev.type);
+  for (std::size_t k = 1; k < prog_.num_stages(); ++k) {
+    if (!(stage_mask >> k & 1)) continue;
+    const StageCode& st = prog_.stages[k];
+    victims_.clear();
+    const auto consider = [&](std::uint32_t slot) {
+      const std::uint64_t* rec = Rec(slot);
+      if (StageOf(rec) != k) return;
+      ++stats_.candidate_checks;
+      for (const PatternCode& a : st.aborts) {
+        if (a.event_type >= 0 && static_cast<std::size_t>(a.event_type) != t)
+          continue;
+        if (ExecMatch(a.begin, ev.fields, rec + kWVars, rec[kWBound])) {
+          victims_.push_back(EvictionEntry{rec[kWId], slot});
+          return;
+        }
+      }
+    };
+    const StageStore& store = stores_[k];
+    store.keyed.ForEach([&](const std::vector<std::uint32_t>& slots) {
+      for (const std::uint32_t slot : slots) consider(slot);
+    });
+    for (const std::uint32_t slot : store.scan) consider(slot);
+
+    // Sorted by instance id — the engine-independent destruction order
+    // both engines commit to (see engine.cpp's RunAbortPass).
+    std::sort(victims_.begin(), victims_.end(),
+              [](const EvictionEntry& a, const EvictionEntry& b) {
+                return a.id < b.id;
+              });
+    for (const EvictionEntry& v : victims_) {
+      DestroyInstance(v.slot);
+      ++stats_.instances_aborted;
+    }
+  }
+}
+
+void CompiledEngine::RunAdvancePass(const DataplaneEvent& ev,
+                                    std::uint64_t stage_mask) {
+  // Highest stage first so an instance advanced into stage k+1 is not
+  // examined again there by the same event.
+  for (std::size_t k = prog_.num_stages(); k-- > 1;) {
+    if (!(stage_mask >> k & 1)) continue;
+    const StageCode& st = prog_.stages[k];
+    StageStore& store = stores_[k];
+
+    cand_.clear();
+    if (st.link_count != 0) {
+      key_buf_.clear();
+      bool projectable = true;
+      for (std::uint32_t i = 0; i < st.link_count; ++i) {
+        const auto f =
+            static_cast<FieldId>(prog_.links[st.link_begin + i].field);
+        if (!ev.fields.Has(f)) {
+          projectable = false;
+          break;
+        }
+        key_buf_.push_back(ev.fields.GetUnchecked(f));
+      }
+      if (projectable) {
+        const std::uint32_t cell = store.keyed.Find(
+            key_buf_.data(), static_cast<std::uint32_t>(key_buf_.size()));
+        if (cell != OpenMap::kNone) {
+          const auto& slots = store.keyed.slots(cell);
+          cand_.insert(cand_.end(), slots.begin(), slots.end());
+        }
+      }
+      cand_.insert(cand_.end(), store.scan.begin(), store.scan.end());
+    } else {
+      // Multiple match (Feature 8): every instance at this stage is a
+      // candidate. Unlinked stages only ever file into scan.
+      cand_.insert(cand_.end(), store.scan.begin(), store.scan.end());
+    }
+
+    for (const std::uint32_t slot : cand_) {
+      std::uint64_t* rec = Rec(slot);
+      if (StageOf(rec) != k || rec[kWSeq] == event_seq_) continue;
+      ++stats_.candidate_checks;
+      if (!ExecMatch(st.pattern.begin, ev.fields, rec + kWVars, rec[kWBound]))
+        continue;
+      // The bind run's presence checks are the only way it can fail; run
+      // them first so the unfile-under-old-env / mutate / re-file sequence
+      // below can bind straight into the record.
+      const std::uint32_t body = ExecRequire(prog_, st.bind_begin, ev.fields);
+      if (body == kBindFail) continue;
+      rec[kWSeq] = event_seq_;
+      const bool rebinds = st.has_bindings;
+      if (rebinds) RemoveFromStore(slot);
+      std::uint64_t bound = rec[kWBound];
+      ExecBind(body, ev.fields, rec + kWVars, bound);
+      rec[kWBound] = bound;
+      const std::uint32_t matches = MatchesOf(rec) + 1;
+      SetStageMatch(rec, static_cast<std::uint32_t>(k), matches);
+      // Quantitative stages (extension): accumulate matches until the
+      // stage's threshold before the observation counts as complete.
+      if (matches < st.min_count) {
+        if (rebinds) InsertIntoStore(slot);  // re-file under the new key
+        continue;
+      }
+      if (!rebinds) RemoveFromStore(slot);
+      ++stats_.instances_advanced;
+      AdvanceInstance(slot, &ev);
+    }
+  }
+}
+
+void CompiledEngine::RunCreatePass(const DataplaneEvent& ev) {
+  const StageCode& st0 = prog_.stages[0];
+  if (st0.pattern.event_type >= 0 &&
+      static_cast<std::size_t>(st0.pattern.event_type) !=
+          static_cast<std::size_t>(ev.type))
+    return;
+  // ProcessEvent's fail-fast already proved the leading constant condition
+  // when st0_fast_valid_ — resume the pattern run right after it, or skip
+  // the run entirely when that condition was the whole pattern.
+  if (!st0_fast_whole_) {
+    const std::uint32_t pc = st0.pattern.begin + (st0_fast_valid_ ? 1 : 0);
+    if (!ExecMatch(pc, ev.fields, scratch_vars_.data(), 0)) return;
+  }
+
+  // Suppression (negated-history preconditions).
+  if (prog_.suppression_key_count != 0) {
+    key_buf_.clear();
+    bool all_present = true;
+    for (std::uint32_t i = 0; i < prog_.suppression_key_count; ++i) {
+      const auto f = static_cast<FieldId>(
+          prog_.key_fields[prog_.suppression_key_begin + i]);
+      if (!ev.fields.Has(f)) {
+        all_present = false;
+        break;
+      }
+      key_buf_.push_back(ev.fields.GetUnchecked(f));
+    }
+    if (all_present &&
+        suppressed_.Find(key_buf_.data(),
+                         static_cast<std::uint32_t>(key_buf_.size())) !=
+            OpenMap::kNone) {
+      ++stats_.suppressed_creations;
+      return;
+    }
+  }
+
+  // The dedup path below discards a *successful* bind — snapshot the
+  // round-robin counter so a duplicate stage-0 match never consumes a
+  // slot (see engine.cpp's RunCreatePass).
+  const std::uint64_t rr_before = rr_counter_;
+  std::uint64_t bound = 0;
+  if (!ExecBind(st0.bind_begin, ev.fields, scratch_vars_.data(), bound))
+    return;
+
+  // Dedup / refresh (Feature 3's per-pair timer semantics).
+  BuildStage0Key(scratch_vars_.data());
+  const std::uint32_t key_len = static_cast<std::uint32_t>(key_buf_.size());
+  const std::uint32_t dedup = stage0_index_.Find(key_buf_.data(), key_len);
+  if (dedup != OpenMap::kNone && !stage0_index_.slots(dedup).empty()) {
+    rr_counter_ = rr_before;
+    if (st0.refresh_on_rematch) {
+      for (const std::uint32_t slot : stage0_index_.slots(dedup)) {
+        if (StageOf(Rec(slot)) != 1) continue;
+        ArmWindow(slot, st0, &ev);
+        ++stats_.instances_refreshed;
+      }
+    }
+    return;  // an equivalent attempt is already live
+  }
+
+  const std::uint64_t id = next_instance_id_++;
+  const std::uint32_t slot = AllocSlot();
+  std::uint64_t* rec = Rec(slot);
+  rec[kWId] = id;
+  rec[kWCreated] = static_cast<std::uint64_t>(now_.nanos());
+  rec[kWSeq] = event_seq_;
+  SetStageMatch(rec, 0, 0);
+  rec[kWBound] = bound;
+  std::copy(scratch_vars_.begin(), scratch_vars_.end(), rec + kWVars);
+  // AllocSlot may have grown the slab, but key_buf_ still holds the
+  // stage-0 key built above.
+  const std::uint32_t cell = stage0_index_.Insert(key_buf_.data(), key_len);
+  stage0_index_.slots(cell).push_back(slot);
+  if (config_.max_instances > 0)
+    creation_order_.push_back(EvictionEntry{id, slot});
+  ++stats_.instances_created;
+  ++live_count_;
+  AdvanceInstance(slot, &ev);  // commits stage 0 -> 1 (or violates if n==1)
+  EvictIfNeeded();
+}
+
+void CompiledEngine::RunSuppressorPass(const DataplaneEvent& ev) {
+  for (const SuppressorCode& sup : prog_.suppressors) {
+    if (sup.pattern.event_type >= 0 &&
+        static_cast<std::size_t>(sup.pattern.event_type) !=
+            static_cast<std::size_t>(ev.type))
+      continue;
+    // Suppressor patterns evaluate under an empty environment.
+    if (!ExecMatch(sup.pattern.begin, ev.fields, scratch_vars_.data(), 0))
+      continue;
+    key_buf_.clear();
+    bool all_present = true;
+    for (std::uint32_t i = 0; i < sup.key_count; ++i) {
+      const auto f = static_cast<FieldId>(prog_.key_fields[sup.key_begin + i]);
+      if (!ev.fields.Has(f)) {
+        all_present = false;
+        break;
+      }
+      key_buf_.push_back(ev.fields.GetUnchecked(f));
+    }
+    if (all_present)
+      suppressed_.Insert(key_buf_.data(),
+                         static_cast<std::uint32_t>(key_buf_.size()));
+  }
+}
+
+// --------------------------------------------------------------- reporting
+
+std::size_t CompiledEngine::StateBytes() const {
+  std::size_t bytes = slab_.capacity() * sizeof(std::uint64_t) +
+                      free_slots_.capacity() * sizeof(std::uint32_t) +
+                      stage0_index_.MemoryBytes() + suppressed_.MemoryBytes();
+  for (const StageStore& s : stores_)
+    bytes += s.keyed.MemoryBytes() + s.scan.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+void CompiledEngine::CollectInto(telemetry::Snapshot& snap,
+                                 std::string_view name) const {
+  MonitorStats s = stats_;
+  s.timers_armed = timers_.total_armed();
+  s.timer_stale_pops = timers_.stale_popped();
+  std::string prefix = "monitor.engine.";
+  prefix.append(name);
+  prefix += '.';
+  const auto set = [&](const char* leaf, std::uint64_t v) {
+    snap.SetCounter(prefix + leaf, v);
+  };
+  set("events", s.events);
+  set("events_dispatched", s.events_dispatched);
+  set("events_filtered", s.events_filtered);
+  set("instances_created", s.instances_created);
+  set("instances_refreshed", s.instances_refreshed);
+  set("instances_advanced", s.instances_advanced);
+  set("instances_expired", s.instances_expired);
+  set("instances_aborted", s.instances_aborted);
+  set("instances_evicted", s.instances_evicted);
+  set("timeout_observations", s.timeout_observations);
+  set("suppressed_creations", s.suppressed_creations);
+  set("violations", s.violations);
+  set("candidate_checks", s.candidate_checks);
+  set("timers_armed", s.timers_armed);
+  set("timer_stale_pops", s.timer_stale_pops);
+  snap.SetGauge(prefix + "peak_live", static_cast<std::int64_t>(s.peak_live));
+  snap.SetGauge(prefix + "live_instances",
+                static_cast<std::int64_t>(live_count_));
+  snap.SetGauge(prefix + "eviction_queue",
+                static_cast<std::int64_t>(creation_order_.size()));
+  snap.SetGauge(prefix + "timers_pending",
+                static_cast<std::int64_t>(timers_.armed_count()));
+}
+
+}  // namespace swmon::compiled

@@ -1,0 +1,272 @@
+// The compiled monitor engine: executes the bytecode Program over packed
+// per-instance state records.
+//
+// Observable behaviour is bit-identical to MonitorEngine on every input
+// (violation streams including instance ids and binding order, plus every
+// counter CollectInto publishes) — tests/compiled_engine_test.cpp holds
+// the two to that contract differentially. What differs is the machine:
+//
+//   * Instance state lives in one flat u64 slab, `stride` words per
+//     record (id, created, last-event-seq, stage|matches, bound-mask,
+//     then the variable environment) — no per-instance allocation, no
+//     std::optional, boundness is one bitmask word.
+//   * Per-stage candidate indexes and the stage-0 dedup index are
+//     open-addressed hash tables (OpenMap) from key tuples to slot
+//     buckets; keys live in a flat pool, probing is linear with
+//     tombstones, and lookups build their key in a reused scratch buffer
+//     — the steady-state event path performs zero heap allocations.
+//   * Pattern evaluation walks straight-line bytecode via computed goto
+//     (GNU extensions; portable switch fallback), not the spec tree.
+//   * Per-event-type stage masks let ProcessEvent skip the abort/advance
+//     passes with one AND when no stage can react to the event's type.
+//
+// Timers are keyed by SLOT, not instance id: DestroyInstance cancels
+// before any slot reuse, and TimerSet's generation counter makes a
+// re-armed slot distinct from its stale heap entries, so expiry order
+// (deadline, then arming order) is preserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "event/timer_set.hpp"
+#include "monitor/compiled/bytecode.hpp"
+#include "monitor/property_monitor.hpp"
+
+namespace swmon::compiled {
+
+/// Open-addressed map from u64 key tuples to slot buckets (vector of
+/// record slots in insertion order). Linear probing, tombstones, resize
+/// at ~70% occupancy. Key tuples are stored in one flat pool; width may
+/// vary per entry (the suppression set mixes key shapes), so equality
+/// compares (hash, length, values).
+class OpenMap {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  static std::uint64_t HashKey(const std::uint64_t* key, std::uint32_t len) {
+    // FlowKey::Hash's mixing, over a span.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      h ^= key[i];
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
+  /// Cell index holding the key, or kNone.
+  std::uint32_t Find(const std::uint64_t* key, std::uint32_t len) const;
+  /// Finds or creates the cell for the key.
+  std::uint32_t Insert(const std::uint64_t* key, std::uint32_t len);
+  /// Tombstones the cell and releases its bucket storage.
+  void EraseAt(std::uint32_t cell);
+
+  std::vector<std::uint32_t>& slots(std::uint32_t cell) {
+    return cells_[cell].slots;
+  }
+  const std::vector<std::uint32_t>& slots(std::uint32_t cell) const {
+    return cells_[cell].slots;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cells_.size(); }
+  /// Visits every occupied cell (unspecified order — callers must not
+  /// derive observable ordering from it; see RunAbortPass).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < cells_.size(); ++i)
+      if (cells_[i].state == kFull) fn(cells_[i].slots);
+  }
+  std::size_t MemoryBytes() const;
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0, kFull = 1, kTombstone = 2;
+  struct Cell {
+    std::uint64_t hash = 0;
+    /// First two key words cached inline: for the short keys every Table-1
+    /// property uses, equality never has to chase key_pos into pool_.
+    std::uint64_t k01[2] = {0, 0};
+    std::uint32_t key_pos = 0;
+    std::uint16_t key_len = 0;
+    std::uint8_t state = kEmpty;
+    std::vector<std::uint32_t> slots;
+  };
+
+  bool KeyEquals(const Cell& c, std::uint64_t hash, const std::uint64_t* key,
+                 std::uint32_t len) const {
+    if (c.hash != hash || c.key_len != len) return false;
+    if (len <= 2) {
+      for (std::uint32_t i = 0; i < len; ++i)
+        if (c.k01[i] != key[i]) return false;
+      return true;
+    }
+    for (std::uint32_t i = 0; i < len; ++i)
+      if (pool_[c.key_pos + i] != key[i]) return false;
+    return true;
+  }
+  void Rehash(std::size_t new_cap);
+
+  std::vector<Cell> cells_;
+  std::vector<std::uint64_t> pool_;
+  std::size_t size_ = 0;        // full cells
+  std::size_t used_ = 0;        // full + tombstoned cells
+  std::size_t dead_words_ = 0;  // pool words owned by erased cells
+};
+
+class CompiledEngine : public PropertyMonitor {
+ public:
+  /// Compiles internally; asserts the property is compilable (callers that
+  /// need the fallback path go through CreatePropertyMonitor).
+  explicit CompiledEngine(Property property, MonitorConfig config = {});
+  /// Adopts a program already produced by CompileProperty(property).
+  CompiledEngine(Property property, Program program, MonitorConfig config);
+
+  CompiledEngine(const CompiledEngine&) = delete;
+  CompiledEngine& operator=(const CompiledEngine&) = delete;
+
+  void ProcessEvent(const DataplaneEvent& event) override;
+  void AdvanceTime(SimTime now) override;
+  void ProcessDispatchedEvent(const DataplaneEvent& event) override {
+    ++stats_.events_dispatched;
+    ProcessEvent(event);
+  }
+  void NoteFilteredEvent(SimTime now) override {
+    ++stats_.events_filtered;
+    AdvanceTime(now);
+  }
+
+  const Property& property() const override { return property_; }
+  const Program& program() const { return prog_; }
+
+  void CollectInto(telemetry::Snapshot& snap,
+                   std::string_view name) const override;
+
+  const std::vector<Violation>& violations() const override {
+    return violations_;
+  }
+  std::vector<Violation> TakeViolations() override {
+    return std::move(violations_);
+  }
+  std::size_t live_instances() const override { return live_count_; }
+  SimTime now() const override { return now_; }
+  std::size_t StateBytes() const override;
+
+ private:
+  /// Record word layout (stride_ = kWVars + num_vars).
+  enum : std::uint32_t {
+    kWId = 0,         // instance id
+    kWCreated = 1,    // creation time, ns (bit pattern of SimTime nanos)
+    kWSeq = 2,        // last event seq that advanced/created this instance
+    kWStageMatch = 3, // stage (hi 32) | stage_matches (lo 32)
+    kWBound = 4,      // bitmask of bound vars
+    kWVars = 5,       // num_vars environment words
+  };
+  static constexpr std::uint32_t kDeadStage = 0xffffffffu;
+
+  std::uint64_t* Rec(std::uint32_t slot) {
+    return slab_.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+  const std::uint64_t* Rec(std::uint32_t slot) const {
+    return slab_.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+  static std::uint32_t StageOf(const std::uint64_t* rec) {
+    return static_cast<std::uint32_t>(rec[kWStageMatch] >> 32);
+  }
+  static std::uint32_t MatchesOf(const std::uint64_t* rec) {
+    return static_cast<std::uint32_t>(rec[kWStageMatch]);
+  }
+  static void SetStageMatch(std::uint64_t* rec, std::uint32_t stage,
+                            std::uint32_t matches) {
+    rec[kWStageMatch] = (static_cast<std::uint64_t>(stage) << 32) | matches;
+  }
+
+  struct StageStore {
+    OpenMap keyed;
+    std::vector<std::uint32_t> scan;
+  };
+
+  // --- bytecode execution ---
+  bool ExecMatch(std::uint32_t pc, const FieldMap& fields,
+                 const std::uint64_t* vars, std::uint64_t bound) const;
+  bool EvalCond(const Instr& i, const FieldMap& fields,
+                const std::uint64_t* vars, std::uint64_t bound) const;
+  /// Runs a bind run against the record env in place. Returns false (with
+  /// no mutation — presence checks all precede the first bind) when a
+  /// required field is absent.
+  bool ExecBind(std::uint32_t pc, const FieldMap& fields, std::uint64_t* vars,
+                std::uint64_t& bound);
+
+  // --- instance lifecycle (mirrors of engine.cpp) ---
+  std::uint32_t AllocSlot();
+  void InsertIntoStore(std::uint32_t slot);
+  void RemoveFromStore(std::uint32_t slot);
+  void DestroyInstance(std::uint32_t slot);
+  void AdvanceInstance(std::uint32_t slot, const DataplaneEvent* ev);
+  void ArmWindow(std::uint32_t slot, const StageCode& completed,
+                 const DataplaneEvent* ev);
+  void ReportViolation(const std::uint64_t* rec, SimTime when,
+                       const std::string& trigger);
+  void OnTimerExpiry(std::uint32_t slot, SimTime deadline);
+  void EvictIfNeeded();
+  void CompactCreationOrder();
+  /// Key of the stage-0 dedup index, built in key_buf_. Live records always
+  /// have every stage-0 variable bound (stage 0's bind run bound them).
+  void BuildStage0Key(const std::uint64_t* vars);
+
+  // --- per-event passes ---
+  void RunAbortPass(const DataplaneEvent& ev, std::uint64_t stage_mask);
+  void RunAdvancePass(const DataplaneEvent& ev, std::uint64_t stage_mask);
+  void RunCreatePass(const DataplaneEvent& ev);
+  void RunSuppressorPass(const DataplaneEvent& ev);
+
+  Property property_;
+  Program prog_;
+  MonitorConfig config_;
+  MonitorStats stats_;
+  std::vector<Violation> violations_;
+
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t next_instance_id_ = 1;
+  std::uint64_t rr_counter_ = 0;
+
+  std::uint32_t stride_ = 0;
+  std::vector<std::uint64_t> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+
+  std::vector<StageStore> stores_;  // one per stage (index 0 unused)
+  /// Stage-0 fail-fast: when the stage-0 pattern opens with a constant
+  /// condition, a copy of that instruction is checked inline in
+  /// ProcessEvent before paying the create-pass call. Identical to the
+  /// first step ExecMatch would take, so skipping is unobservable.
+  /// st0_fast_whole_ additionally records that this condition IS the whole
+  /// pattern, letting the create pass skip its ExecMatch call outright.
+  bool st0_fast_valid_ = false;
+  bool st0_fast_whole_ = false;
+  Instr st0_fast_{};
+  OpenMap stage0_index_;
+  OpenMap suppressed_;  // set: buckets unused
+
+  struct EvictionEntry {
+    std::uint64_t id;
+    std::uint32_t slot;
+  };
+  std::deque<EvictionEntry> creation_order_;
+  TimerSet timers_;
+
+  // Reused per-event scratch (what keeps the hot path allocation-free).
+  std::vector<std::uint64_t> scratch_vars_;
+  std::vector<std::uint64_t> key_buf_;
+  std::vector<std::uint32_t> cand_;
+  std::vector<EvictionEntry> victims_;
+};
+
+}  // namespace swmon::compiled
+
+namespace swmon {
+using compiled::CompiledEngine;
+}  // namespace swmon

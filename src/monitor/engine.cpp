@@ -26,8 +26,11 @@ MonitorEngine::MonitorEngine(Property property, MonitorConfig config)
       if (st.kind != StageKind::kEvent) continue;
       for (const Condition& c : st.pattern.conditions) {
         // Only full-width equality on a bound var is usable as a hash key.
+        // allow_absent conditions are excluded: a keyed lookup projects the
+        // event's field values, so an event *lacking* the field would never
+        // reach instances the condition nonetheless matches.
         if (c.op == CmpOp::kEq && c.rhs.kind == Term::Kind::kVar &&
-            c.mask == ~std::uint64_t{0})
+            c.mask == ~std::uint64_t{0} && !c.allow_absent)
           stores_[k].link.emplace_back(c.field, c.rhs.var);
       }
     }
@@ -243,9 +246,10 @@ void MonitorEngine::CompactCreationOrder() {
 }
 
 void MonitorEngine::AdvanceInstance(Instance& inst, const DataplaneEvent* ev) {
-  // Caller verified the match and is responsible for env updates; this
-  // commits the stage transition.
-  RemoveFromStore(inst);
+  // Caller verified the match, committed env updates, and UNFILED the
+  // instance from its stage store (removal must use the pre-update env —
+  // the keyed store can only locate an instance under the key it was
+  // inserted with); this commits the stage transition.
   if (config_.provenance == ProvenanceLevel::kFull) {
     ProvenanceEvent pe;
     pe.time = now_;
@@ -275,6 +279,7 @@ void MonitorEngine::OnTimerExpiry(std::uint64_t id, SimTime deadline) {
     // Feature 7: the elapsed window IS the observation.
     ++stats_.timeout_observations;
     ++stats_.instances_advanced;
+    RemoveFromStore(inst);  // env is unchanged, so the filed key is current
     AdvanceInstance(inst, nullptr);
   } else {
     // Feature 3: the window lapsed before the next observation; the
@@ -379,6 +384,10 @@ void MonitorEngine::RunAbortPass(const DataplaneEvent& ev) {
       for (auto id : bucket) consider(id);
     for (auto id : store.scan) consider(id);
 
+    // The victim set was gathered in unordered_map bucket order; sort so
+    // destruction order is deterministic and engine-independent (part of
+    // the compiled-vs-interpreted bit-identity contract).
+    std::sort(victims.begin(), victims.end());
     for (auto id : victims) {
       DestroyInstance(id);
       ++stats_.instances_aborted;
@@ -433,10 +442,20 @@ void MonitorEngine::RunAdvancePass(const DataplaneEvent& ev) {
       auto new_env = inst.env;
       if (!ApplyBindings(st, ev, new_env)) continue;
       inst.last_event_seq = event_seq_;
+      // A stage with bindings may rebind one of its own link variables, so
+      // the instance must be unfiled under the OLD env before the commit;
+      // removing afterwards computes a key the store never saw, leaving a
+      // stale entry the matching events can no longer reach.
+      const bool rebinds = !st.bindings.empty();
+      if (rebinds) RemoveFromStore(inst);
       inst.env = std::move(new_env);
       // Quantitative stages (extension): accumulate matches until the
       // stage's threshold before the observation counts as complete.
-      if (++inst.stage_matches < st.min_count) continue;
+      if (++inst.stage_matches < st.min_count) {
+        if (rebinds) InsertIntoStore(inst);  // re-file under the new key
+        continue;
+      }
+      if (!rebinds) RemoveFromStore(inst);
       ++stats_.instances_advanced;
       AdvanceInstance(inst, &ev);
     }

@@ -35,51 +35,14 @@
 #include "dataplane/flow_key.hpp"
 #include "dataplane/switch.hpp"
 #include "event/timer_set.hpp"
+#include "monitor/property_monitor.hpp"
 #include "monitor/spec.hpp"
 #include "monitor/violation.hpp"
 #include "telemetry/snapshot.hpp"
 
 namespace swmon {
 
-struct MonitorConfig {
-  ProvenanceLevel provenance = ProvenanceLevel::kLimited;
-  /// Cap on live instances; the oldest instance is evicted beyond it
-  /// (the paper's space-consumption concern). 0 = unbounded.
-  std::size_t max_instances = 0;
-  /// Disables the link-key index (every lookup scans all instances at the
-  /// stage). Exists for the store ablation bench; semantics are identical.
-  bool force_linear_store = false;
-  /// ABLATION (unsound on purpose): re-arm a pending timeout-action window
-  /// whenever the observation preceding it re-fires. This is the naive
-  /// semantics Sec 2.3 warns against — "a never-answered sequence of
-  /// requests every (T-1) seconds would not be detected as a violation".
-  /// bench_ablation measures exactly that miss.
-  bool naive_timeout_refresh = false;
-};
-
-struct MonitorStats {
-  std::uint64_t events = 0;
-  std::uint64_t events_dispatched = 0;  // delivered via a MonitorSet dispatch
-  std::uint64_t events_filtered = 0;    // skipped by interest-signature filter
-  std::uint64_t instances_created = 0;
-  std::uint64_t instances_refreshed = 0;
-  std::uint64_t instances_advanced = 0;
-  std::uint64_t instances_expired = 0;   // window lapsed before next stage
-  std::uint64_t instances_aborted = 0;   // obligation discharged
-  std::uint64_t instances_evicted = 0;   // max_instances pressure
-  std::uint64_t timeout_observations = 0;  // Feature 7 firings
-  std::uint64_t suppressed_creations = 0;
-  std::uint64_t violations = 0;
-  std::uint64_t candidate_checks = 0;  // instances examined across lookups
-  std::size_t peak_live = 0;
-  // TimerSet mirrors. Filled on demand by stats()/CollectInto() straight
-  // from the TimerSet, so they can never be read stale (they used to be
-  // synced only on some query paths).
-  std::uint64_t timers_armed = 0;      // Arm() calls, including re-arms
-  std::uint64_t timer_stale_pops = 0;  // lazily discarded stale heap entries
-};
-
-class MonitorEngine : public DataplaneObserver {
+class MonitorEngine : public PropertyMonitor {
  public:
   explicit MonitorEngine(Property property, MonitorConfig config = {});
 
@@ -87,37 +50,29 @@ class MonitorEngine : public DataplaneObserver {
   MonitorEngine(const MonitorEngine&) = delete;
   MonitorEngine& operator=(const MonitorEngine&) = delete;
 
-  void OnDataplaneEvent(const DataplaneEvent& event) override {
-    ProcessEvent(event);
-  }
-
   /// Feeds one event. Time must be monotonically non-decreasing.
-  void ProcessEvent(const DataplaneEvent& event);
+  void ProcessEvent(const DataplaneEvent& event) override;
 
   /// Advances monitor time without an event, firing any elapsed windows
   /// (needed to observe timeout-action violations in quiet periods).
-  void AdvanceTime(SimTime now);
+  void AdvanceTime(SimTime now) override;
 
   // --- dispatch-layer entry points (MonitorSet) ---
   /// Delivery through the pre-filtered dispatch layer: counted separately
   /// from direct ProcessEvent calls so the filter's reach is measurable.
-  void ProcessDispatchedEvent(const DataplaneEvent& event) {
+  void ProcessDispatchedEvent(const DataplaneEvent& event) override {
     ++stats_.events_dispatched;
     ProcessEvent(event);
   }
   /// An event whose type is outside this property's interest signature. The
   /// engine must still observe its timestamp so windows keep expiring
   /// (Features 3/7) exactly as they would under broadcast delivery.
-  void NoteFilteredEvent(SimTime now) {
+  void NoteFilteredEvent(SimTime now) override {
     ++stats_.events_filtered;
     AdvanceTime(now);
   }
 
-  /// Event types any stage/abort/suppressor pattern can react to; computed
-  /// once at construction (see features.hpp).
-  EventTypeMask interest_signature() const { return interest_; }
-
-  const Property& property() const { return property_; }
+  const Property& property() const override { return property_; }
 
   /// DEPRECATED shim (one PR): read counters via CollectInto() / a
   /// telemetry::Snapshot instead. Returns by value with the TimerSet
@@ -133,12 +88,17 @@ class MonitorEngine : public DataplaneObserver {
   /// the TimerSet at call time — never stale. The engine's stats struct is
   /// its own single-threaded shard; ParallelMonitorSet calls this only at
   /// quiesce points, which is what keeps the merge TSan-clean.
-  void CollectInto(telemetry::Snapshot& snap, std::string_view name) const;
+  void CollectInto(telemetry::Snapshot& snap,
+                   std::string_view name) const override;
 
-  const std::vector<Violation>& violations() const { return violations_; }
-  std::vector<Violation> TakeViolations() { return std::move(violations_); }
-  std::size_t live_instances() const { return instances_.size(); }
-  SimTime now() const { return now_; }
+  const std::vector<Violation>& violations() const override {
+    return violations_;
+  }
+  std::vector<Violation> TakeViolations() override {
+    return std::move(violations_);
+  }
+  std::size_t live_instances() const override { return instances_.size(); }
+  SimTime now() const override { return now_; }
   const TimerSet& timers() const { return timers_; }
   /// Pending eviction-order entries (live + not-yet-pruned dead ids).
   /// Empty when max_instances == 0; bounded by ~2x live otherwise.
@@ -146,7 +106,7 @@ class MonitorEngine : public DataplaneObserver {
 
   /// Approximate resident bytes of monitor state (instances + provenance);
   /// bench_provenance reports this.
-  std::size_t StateBytes() const;
+  std::size_t StateBytes() const override;
 
  private:
   struct Instance {
@@ -210,7 +170,6 @@ class MonitorEngine : public DataplaneObserver {
   Property property_;
   MonitorConfig config_;
   MonitorStats stats_;
-  EventTypeMask interest_ = kAllEventTypes;
   std::vector<Violation> violations_;
 
   SimTime now_ = SimTime::Zero();

@@ -41,7 +41,7 @@
 #include <vector>
 
 #include "monitor/dispatch_table.hpp"
-#include "monitor/engine.hpp"
+#include "monitor/property_monitor.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -74,7 +74,7 @@ class MonitorSet : public DataplaneObserver {
   MonitorSet& operator=(const MonitorSet&) = delete;
 
   /// Adds a property; returns the engine for inspection.
-  MonitorEngine& Add(Property property, MonitorConfig config = {}) {
+  PropertyMonitor& Add(Property property, MonitorConfig config = {}) {
     return *engines_[AttachProperty(std::move(property), config)];
   }
 
@@ -85,9 +85,8 @@ class MonitorSet : public DataplaneObserver {
   /// an empty stream.
   PropertyId AttachProperty(Property property, MonitorConfig config = {}) {
     engine_names_.push_back(UniqueEngineName(engine_names_, property.name));
-    engines_.push_back(
-        std::make_unique<MonitorEngine>(std::move(property), config));
-    MonitorEngine* engine = engines_.back().get();
+    engines_.push_back(CreatePropertyMonitor(std::move(property), config));
+    PropertyMonitor* engine = engines_.back().get();
     dispatch_.Register(engine, static_cast<std::uint32_t>(engines_.size() - 1));
     return engines_.size() - 1;
   }
@@ -185,7 +184,7 @@ class MonitorSet : public DataplaneObserver {
 
   /// Slot count (including detached slots — ids are never reused).
   std::size_t size() const { return engines_.size(); }
-  MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
+  PropertyMonitor& engine(std::size_t i) { return *engines_[i]; }
   const std::string& engine_name(std::size_t i) const {
     return engine_names_[i];
   }
@@ -245,7 +244,7 @@ class MonitorSet : public DataplaneObserver {
   /// instrumented path stays within the <3% overhead budget.
   static constexpr std::uint64_t kLatencySamplePeriod = 16;
 
-  std::vector<std::unique_ptr<MonitorEngine>> engines_;
+  std::vector<std::unique_ptr<PropertyMonitor>> engines_;
   std::vector<std::string> engine_names_;
   DispatchTable dispatch_;
   std::uint64_t events_dispatched_ = 0;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "monitor/engine.hpp"  // CalibrateShardWeights' throwaway probe
 
 namespace swmon {
 
@@ -63,8 +64,8 @@ ParallelMonitorSet::~ParallelMonitorSet() {
   Stop();
 }
 
-MonitorEngine& ParallelMonitorSet::Add(Property property, MonitorConfig config,
-                                       double weight) {
+PropertyMonitor& ParallelMonitorSet::Add(Property property,
+                                         MonitorConfig config, double weight) {
   SWMON_ASSERT_MSG(!started_,
                    "Add() after Start(); use AttachProperty for hot attach");
   return *engines_[AttachProperty(std::move(property), config, weight)];
@@ -77,8 +78,7 @@ PropertyId ParallelMonitorSet::AttachProperty(Property property,
   if (weight <= 0) weight = 1.0;
   const PropertyId id = engines_.size();
   engine_names_.push_back(UniqueEngineName(engine_names_, property.name));
-  engines_.push_back(
-      std::make_unique<MonitorEngine>(std::move(property), config));
+  engines_.push_back(CreatePropertyMonitor(std::move(property), config));
   retired_.emplace_back();
   weights_.push_back(weight);
   if (started_) {
@@ -103,7 +103,7 @@ std::optional<std::vector<Violation>> ParallelMonitorSet::DetachProperty(
     PropertyId id) {
   if (id >= engines_.size() || engines_[id] == nullptr) return std::nullopt;
   if (started_) Quiesce();
-  MonitorEngine* engine = engines_[id].get();
+  PropertyMonitor* engine = engines_[id].get();
   std::vector<Violation> drained = engine->TakeViolations();
   // Keep a copy resolvable for merge markers already recorded by workers;
   // DrainViolations clears it.
@@ -263,7 +263,7 @@ void ParallelMonitorSet::AdvanceTime(SimTime now) {
   const std::uint64_t seq = batcher_.next_seq();
   for (std::size_t i = 0; i < engines_.size(); ++i) {
     if (!engines_[i]) continue;
-    MonitorEngine& e = *engines_[i];
+    PropertyMonitor& e = *engines_[i];
     const std::size_t before = e.violations().size();
     e.AdvanceTime(now);
     for (std::size_t v = before; v < e.violations().size(); ++v) {

@@ -106,8 +106,8 @@ class ParallelMonitorSet : public DataplaneObserver {
   /// Adds a property (before Start only). `weight` feeds shard balancing;
   /// pass CalibrateShardWeights() output for cost-balanced shards, or leave
   /// 1.0 for uniform.
-  MonitorEngine& Add(Property property, MonitorConfig config = {},
-                     double weight = 1.0);
+  PropertyMonitor& Add(Property property, MonitorConfig config = {},
+                       double weight = 1.0);
 
   /// Adds a property and returns its stable slot id. Before Start() this is
   /// Add(); after Start() it is a *hot attach*: the producer quiesces the
@@ -171,7 +171,7 @@ class ParallelMonitorSet : public DataplaneObserver {
   // --- accessors (all quiesce first, so they are producer-thread-only) ---
   /// Slot count, including detached slots (ids are never reused).
   std::size_t size() const { return engines_.size(); }
-  MonitorEngine& engine(std::size_t i) { return *engines_[i]; }
+  PropertyMonitor& engine(std::size_t i) { return *engines_[i]; }
   std::size_t worker_count() const { return workers_.size(); }
   /// Which worker engine i was sharded onto (Start() required).
   std::size_t shard_of(std::size_t engine_index) const {
@@ -257,7 +257,7 @@ class ParallelMonitorSet : public DataplaneObserver {
   std::vector<ViolationMarker> GatherSortedMarkers() const;
 
   ParallelConfig config_;
-  std::vector<std::unique_ptr<MonitorEngine>> engines_;
+  std::vector<std::unique_ptr<PropertyMonitor>> engines_;
   std::vector<std::string> engine_names_;
   /// Per-slot violations retained at detach so outstanding merge markers
   /// keep resolving; cleared by DrainViolations.

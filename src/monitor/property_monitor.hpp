@@ -1,0 +1,157 @@
+// The engine-neutral monitor interface, its configuration, and the factory.
+//
+// Two engines execute a Property over a dataplane stream: the reference
+// interpreter (MonitorEngine, monitor/engine.hpp) walks the parsed spec
+// directly, and the compiled engine (CompiledEngine, monitor/compiled/)
+// runs an ahead-of-time-lowered bytecode program over packed state
+// records. Both implement PropertyMonitor; MonitorSet /
+// ParallelMonitorSet / DispatchTable hold only this interface, so the
+// engine is selectable per property (MonitorConfig::engine, or the
+// SWMON_ENGINE environment variable for kDefault) and hot-attachable
+// through the daemon lifecycle path like any other property.
+//
+// The two engines are required to be observationally identical: same
+// violation stream (bit-identical, including instance ids and binding
+// order), same counters for everything CollectInto publishes. The
+// differential harness in tests/compiled_engine_test.cpp enforces this on
+// fuzz streams and the full Table-1 catalog — which is what lets either
+// engine serve as an oracle for the other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "monitor/spec.hpp"
+#include "monitor/violation.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace swmon {
+
+/// Which execution engine runs a property.
+enum class EngineKind : std::uint8_t {
+  /// Resolve at attach time: SWMON_ENGINE=interpreted|compiled if set,
+  /// else the interpreter.
+  kDefault = 0,
+  kInterpreted,
+  kCompiled,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+struct MonitorConfig {
+  ProvenanceLevel provenance = ProvenanceLevel::kLimited;
+  /// Cap on live instances; the oldest instance is evicted beyond it
+  /// (the paper's space-consumption concern). 0 = unbounded.
+  std::size_t max_instances = 0;
+  /// Disables the link-key index (every lookup scans all instances at the
+  /// stage). Exists for the store ablation bench; semantics are identical.
+  bool force_linear_store = false;
+  /// ABLATION (unsound on purpose): re-arm a pending timeout-action window
+  /// whenever the observation preceding it re-fires. This is the naive
+  /// semantics Sec 2.3 warns against — "a never-answered sequence of
+  /// requests every (T-1) seconds would not be detected as a violation".
+  /// bench_ablation measures exactly that miss.
+  bool naive_timeout_refresh = false;
+  /// Engine selection; see EngineKind. Configurations the compiled engine
+  /// does not lower (ablations, full provenance) fall back to the
+  /// interpreter — CreatePropertyMonitor documents the exact rules.
+  EngineKind engine = EngineKind::kDefault;
+};
+
+struct MonitorStats {
+  std::uint64_t events = 0;
+  std::uint64_t events_dispatched = 0;  // delivered via a MonitorSet dispatch
+  std::uint64_t events_filtered = 0;    // skipped by interest-signature filter
+  std::uint64_t instances_created = 0;
+  std::uint64_t instances_refreshed = 0;
+  std::uint64_t instances_advanced = 0;
+  std::uint64_t instances_expired = 0;   // window lapsed before next stage
+  std::uint64_t instances_aborted = 0;   // obligation discharged
+  std::uint64_t instances_evicted = 0;   // max_instances pressure
+  std::uint64_t timeout_observations = 0;  // Feature 7 firings
+  std::uint64_t suppressed_creations = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t candidate_checks = 0;  // instances examined across lookups
+  std::size_t peak_live = 0;
+  // TimerSet mirrors. Filled on demand by CollectInto() straight from the
+  // TimerSet, so they can never be read stale.
+  std::uint64_t timers_armed = 0;      // Arm() calls, including re-arms
+  std::uint64_t timer_stale_pops = 0;  // lazily discarded stale heap entries
+};
+
+class PropertyMonitor : public DataplaneObserver {
+ public:
+  ~PropertyMonitor() override = default;
+
+  PropertyMonitor() = default;
+  PropertyMonitor(const PropertyMonitor&) = delete;
+  PropertyMonitor& operator=(const PropertyMonitor&) = delete;
+
+  void OnDataplaneEvent(const DataplaneEvent& event) override {
+    ProcessEvent(event);
+  }
+
+  /// Feeds one event. Time must be monotonically non-decreasing.
+  virtual void ProcessEvent(const DataplaneEvent& event) = 0;
+
+  /// Advances monitor time without an event, firing any elapsed windows
+  /// (needed to observe timeout-action violations in quiet periods).
+  virtual void AdvanceTime(SimTime now) = 0;
+
+  // --- dispatch-layer entry points (MonitorSet) ---
+  /// Delivery through the pre-filtered dispatch layer: counted separately
+  /// from direct ProcessEvent calls so the filter's reach is measurable.
+  virtual void ProcessDispatchedEvent(const DataplaneEvent& event) = 0;
+  /// An event whose type is outside this property's interest signature. The
+  /// engine must still observe its timestamp so windows keep expiring
+  /// (Features 3/7) exactly as they would under broadcast delivery.
+  virtual void NoteFilteredEvent(SimTime now) = 0;
+
+  /// Event types any stage/abort/suppressor pattern can react to; computed
+  /// once at construction (see features.hpp). Non-virtual: the dispatch
+  /// layer reads it per attach, engines fill interest_ in their
+  /// constructors.
+  EventTypeMask interest_signature() const { return interest_; }
+
+  virtual const Property& property() const = 0;
+
+  /// Publishes this engine's counters into `snap` under
+  /// `monitor.engine.<name>.<stat>` (counters) plus the `live_instances` /
+  /// `eviction_queue` / `state_bytes` gauges. The stats are the engine's
+  /// own single-threaded shard; ParallelMonitorSet calls this only at
+  /// quiesce points, which is what keeps the merge TSan-clean.
+  virtual void CollectInto(telemetry::Snapshot& snap,
+                           std::string_view name) const = 0;
+
+  virtual const std::vector<Violation>& violations() const = 0;
+  virtual std::vector<Violation> TakeViolations() = 0;
+  virtual std::size_t live_instances() const = 0;
+  virtual SimTime now() const = 0;
+
+  /// Approximate resident bytes of monitor state (instances + provenance);
+  /// bench_provenance and the state telemetry gauge report this.
+  virtual std::size_t StateBytes() const = 0;
+
+ protected:
+  EventTypeMask interest_ = kAllEventTypes;
+};
+
+/// Builds the engine MonitorConfig::engine selects. kDefault consults the
+/// SWMON_ENGINE environment variable ("interpreted" / "compiled"; unset or
+/// unrecognized = interpreted) at every call, so tests and the daemon can
+/// flip it per attach. Falls back to the interpreter — regardless of the
+/// requested kind — for configurations the compiled lowering does not
+/// cover: force_linear_store, naive_timeout_refresh (ablation modes) and
+/// ProvenanceLevel::kFull (history capture).
+std::unique_ptr<PropertyMonitor> CreatePropertyMonitor(Property property,
+                                                       MonitorConfig config = {});
+
+/// The kind CreatePropertyMonitor would instantiate for this config
+/// (after SWMON_ENGINE resolution and fallback rules) — never kDefault.
+EngineKind ResolveEngineKind(const Property& property,
+                             const MonitorConfig& config);
+
+}  // namespace swmon

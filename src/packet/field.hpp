@@ -128,8 +128,11 @@ class FieldMap {
   std::string ToString() const;
 
  private:
-  std::array<std::uint64_t, kNumFieldIds> values_{};
+  // present_ leads: every read starts with the presence test, and with the
+  // mask up front it shares a cache line with the event header (type/time)
+  // and the first value slots instead of sitting a full FieldMap away.
   std::uint64_t present_ = 0;
+  std::array<std::uint64_t, kNumFieldIds> values_{};
 };
 
 }  // namespace swmon

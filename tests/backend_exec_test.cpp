@@ -6,6 +6,7 @@
 #include "backends/backend.hpp"
 #include "backends/executor.hpp"
 #include "backends/state_store.hpp"
+#include "monitor/engine.hpp"
 #include "properties/catalog.hpp"
 #include "workload/firewall_scenario.hpp"
 

@@ -1,0 +1,484 @@
+// Differential harness for the compiled bytecode engine: CompiledEngine
+// must be observationally bit-identical to the reference interpreter
+// (MonitorEngine) — same violation streams (instance ids, binding order),
+// same counters for everything CollectInto publishes — on fuzz seed
+// streams and the full property catalog, serially and through the
+// 1/2/4-worker parallel set. Also covers engine selection (MonitorConfig /
+// SWMON_ENGINE / fallback rules), the serialize → parse → compile round
+// trip for the 13 Table-1 properties, and minimized regressions for the
+// two interpreter hot-path bugs the differential harness originally
+// exposed (repro streams under tests/data/).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "daemon/event_source.hpp"
+#include "monitor/compiled/bytecode.hpp"
+#include "monitor/compiled/engine.hpp"
+#include "monitor/engine.hpp"
+#include "monitor/monitor_set.hpp"
+#include "monitor/parallel_monitor_set.hpp"
+#include "monitor/property_builder.hpp"
+#include "properties/catalog.hpp"
+#include "spl/spl.hpp"
+#include "telemetry_helpers.hpp"
+
+namespace swmon {
+namespace {
+
+/// The EngineFuzz event soup (fuzz_test.cpp): random types, random field
+/// sprinkles in a small value range so stages actually chain and violate.
+std::vector<DataplaneEvent> FuzzSeedStream(std::uint64_t seed, int count) {
+  Rng rng(seed);
+  std::vector<DataplaneEvent> events;
+  SimTime t = SimTime::Zero();
+  for (int i = 0; i < count; ++i) {
+    DataplaneEvent ev;
+    t = t + Duration::Millis(1 + static_cast<std::int64_t>(rng.NextBelow(50)));
+    ev.time = t;
+    const auto roll = rng.NextBelow(10);
+    ev.type = roll < 4   ? DataplaneEventType::kArrival
+              : roll < 8 ? DataplaneEventType::kEgress
+                         : DataplaneEventType::kLinkStatus;
+    for (std::size_t f = 0; f < kNumFieldIds; ++f) {
+      if (rng.NextBool(0.35))
+        ev.fields.Set(static_cast<FieldId>(f), rng.NextBelow(8));
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<Property> Table1Properties() {
+  std::vector<Property> props;
+  for (const CatalogEntry& e : BuildCatalog())
+    if (e.in_table1) props.push_back(e.property);
+  return props;
+}
+
+void ExpectViolationEq(const Violation& a, const Violation& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.property, b.property) << label;
+  EXPECT_EQ(a.time, b.time) << label;
+  EXPECT_EQ(a.instance_id, b.instance_id) << label;
+  EXPECT_EQ(a.trigger_stage, b.trigger_stage) << label;
+  EXPECT_EQ(a.bindings, b.bindings) << label;
+  EXPECT_EQ(a.history.size(), b.history.size()) << label;
+}
+
+/// The full observational contract between the two engines after both
+/// consumed the same stream: violation-by-violation equality plus every
+/// counter and gauge CollectInto publishes.
+void ExpectEnginesAgree(const PropertyMonitor& interpreted,
+                        const PropertyMonitor& compiled,
+                        const std::string& label) {
+  const auto& va = interpreted.violations();
+  const auto& vb = compiled.violations();
+  ASSERT_EQ(va.size(), vb.size()) << label;
+  for (std::size_t i = 0; i < va.size(); ++i)
+    ExpectViolationEq(va[i], vb[i], label + " [" + std::to_string(i) + "]");
+
+  EXPECT_EQ(interpreted.live_instances(), compiled.live_instances()) << label;
+  EXPECT_EQ(interpreted.now(), compiled.now()) << label;
+
+  telemetry::Snapshot sa, sb;
+  interpreted.CollectInto(sa, "e");
+  compiled.CollectInto(sb, "e");
+  for (const auto& [name, sample] : sa.samples()) {
+    ASSERT_TRUE(sb.Has(name)) << label << " compiled missing " << name;
+    EXPECT_TRUE(sample == sb.samples().at(name)) << label << " at " << name;
+  }
+  EXPECT_EQ(sa.size(), sb.size()) << label;
+}
+
+/// Builds via the factory and asserts the compiled engine actually got
+/// selected — a silent interpreter fallback would make every differential
+/// assertion vacuously true.
+std::unique_ptr<PropertyMonitor> MakeCompiled(Property p,
+                                              MonitorConfig config = {}) {
+  config.engine = EngineKind::kCompiled;
+  auto m = CreatePropertyMonitor(std::move(p), config);
+  EXPECT_NE(dynamic_cast<CompiledEngine*>(m.get()), nullptr)
+      << m->property().name;
+  return m;
+}
+
+std::size_t RunDifferential(const Property& prop, MonitorConfig config,
+                            const std::vector<DataplaneEvent>& events,
+                            const std::string& label) {
+  config.engine = EngineKind::kInterpreted;
+  auto interp = CreatePropertyMonitor(prop, config);
+  auto comp = MakeCompiled(prop, config);
+  for (const DataplaneEvent& ev : events) {
+    interp->ProcessEvent(ev);
+    comp->ProcessEvent(ev);
+  }
+  const SimTime end = events.back().time + Duration::Seconds(300);
+  interp->AdvanceTime(end);
+  comp->AdvanceTime(end);
+  ExpectEnginesAgree(*interp, *comp, label);
+  return interp->violations().size();
+}
+
+// ------------------------------------------------- catalog differential
+
+TEST(CompiledDifferentialTest, WholeCatalogMatchesInterpreterOnFuzzSoup) {
+  std::size_t total_violations = 0;
+  for (const CatalogEntry& e : BuildCatalog()) {
+    ASSERT_TRUE(compiled::CompileProperty(e.property).has_value()) << e.id;
+    for (const std::uint64_t seed : {11ull, 29ull}) {
+      const auto events = FuzzSeedStream(seed, 1200);
+      total_violations += RunDifferential(
+          e.property, {}, events,
+          std::string(e.id) + " seed=" + std::to_string(seed));
+    }
+  }
+  // The soup must actually exercise the engines, not just tie 0 == 0.
+  EXPECT_GT(total_violations, 0u);
+}
+
+TEST(CompiledDifferentialTest, Table1PropertiesMatchOnLongerStreams) {
+  const std::vector<Property> props = Table1Properties();
+  ASSERT_EQ(props.size(), 13u);
+  std::size_t total_violations = 0;
+  for (const Property& p : props) {
+    for (const std::uint64_t seed : {99ull, 123ull}) {
+      const auto events = FuzzSeedStream(seed, 2500);
+      total_violations += RunDifferential(
+          p, {}, events, p.name + " seed=" + std::to_string(seed));
+    }
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+TEST(CompiledDifferentialTest, EvictionAndProvenanceConfigsStayIdentical) {
+  // max_instances exercises the eviction queue; kNone strips bindings from
+  // reports. Both must lower identically.
+  for (const CatalogEntry& e : BuildCatalog()) {
+    const auto events = FuzzSeedStream(43, 900);
+    MonitorConfig evicting;
+    evicting.max_instances = 8;
+    RunDifferential(e.property, evicting, events,
+                    std::string(e.id) + " max_instances=8");
+    MonitorConfig bare;
+    bare.provenance = ProvenanceLevel::kNone;
+    RunDifferential(e.property, bare, events,
+                    std::string(e.id) + " provenance=none");
+  }
+}
+
+// ------------------------------------------------- SPL round trip
+
+TEST(CompiledRoundTripTest, Table1SerializeParseCompileParity) {
+  // Table-1 property → SPL text → parser → compiler must preserve
+  // violation behaviour exactly; the interpreter on the *original*
+  // property is the oracle.
+  const auto events = FuzzSeedStream(7, 1500);
+  std::size_t total_violations = 0;
+  for (const Property& original : Table1Properties()) {
+    const std::string text = SerializeSpl(original);
+    const auto parsed = ParseSpl(text);
+    ASSERT_TRUE(parsed.ok()) << original.name << ": " << parsed.error;
+    ASSERT_TRUE(compiled::CompileProperty(*parsed.property).has_value())
+        << original.name;
+
+    MonitorEngine interp(original);
+    auto comp = MakeCompiled(*parsed.property);
+    for (const DataplaneEvent& ev : events) {
+      interp.ProcessEvent(ev);
+      comp->ProcessEvent(ev);
+    }
+    const SimTime end = events.back().time + Duration::Seconds(300);
+    interp.AdvanceTime(end);
+    comp->AdvanceTime(end);
+    ExpectEnginesAgree(interp, *comp, "round-trip " + original.name);
+    total_violations += interp.violations().size();
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+// ------------------------------------------------- engine selection
+
+TEST(EngineSelectionTest, ConfigAndEnvironmentPickTheEngine) {
+  const Property prop = FirewallReturnNotDropped();
+
+  MonitorConfig cfg;
+  cfg.engine = EngineKind::kCompiled;
+  EXPECT_EQ(ResolveEngineKind(prop, cfg), EngineKind::kCompiled);
+  EXPECT_NE(dynamic_cast<CompiledEngine*>(
+                CreatePropertyMonitor(prop, cfg).get()),
+            nullptr);
+
+  cfg.engine = EngineKind::kInterpreted;
+  EXPECT_EQ(ResolveEngineKind(prop, cfg), EngineKind::kInterpreted);
+  EXPECT_NE(dynamic_cast<MonitorEngine*>(
+                CreatePropertyMonitor(prop, cfg).get()),
+            nullptr);
+
+  // kDefault: SWMON_ENGINE decides, per call; unset means interpreter.
+  cfg.engine = EngineKind::kDefault;
+  ::unsetenv("SWMON_ENGINE");
+  EXPECT_EQ(ResolveEngineKind(prop, cfg), EngineKind::kInterpreted);
+  ::setenv("SWMON_ENGINE", "compiled", 1);
+  EXPECT_EQ(ResolveEngineKind(prop, cfg), EngineKind::kCompiled);
+  EXPECT_NE(dynamic_cast<CompiledEngine*>(
+                CreatePropertyMonitor(prop, cfg).get()),
+            nullptr);
+  ::setenv("SWMON_ENGINE", "interpreted", 1);
+  EXPECT_EQ(ResolveEngineKind(prop, cfg), EngineKind::kInterpreted);
+  ::unsetenv("SWMON_ENGINE");
+}
+
+TEST(EngineSelectionTest, UnloweredConfigsFallBackToTheInterpreter) {
+  const Property prop = FirewallReturnNotDropped();
+  MonitorConfig cfg;
+  cfg.engine = EngineKind::kCompiled;
+
+  MonitorConfig linear = cfg;
+  linear.force_linear_store = true;
+  EXPECT_EQ(ResolveEngineKind(prop, linear), EngineKind::kInterpreted);
+
+  MonitorConfig naive = cfg;
+  naive.naive_timeout_refresh = true;
+  EXPECT_EQ(ResolveEngineKind(prop, naive), EngineKind::kInterpreted);
+
+  MonitorConfig full = cfg;
+  full.provenance = ProvenanceLevel::kFull;
+  EXPECT_EQ(ResolveEngineKind(prop, full), EngineKind::kInterpreted);
+  EXPECT_NE(dynamic_cast<MonitorEngine*>(
+                CreatePropertyMonitor(prop, full).get()),
+            nullptr);
+}
+
+// ------------------------------------------------- parallel parity
+
+/// Serial interpreted reference that also records the stream-order merge
+/// (same idiom as parallel_monitor_test.cpp).
+struct SerialReference {
+  MonitorSet set;
+  std::vector<Violation> merged;
+};
+
+std::unique_ptr<SerialReference> RunSerialInterpreted(
+    const std::vector<Property>& props,
+    const std::vector<DataplaneEvent>& events, SimTime final_advance) {
+  auto ref = std::make_unique<SerialReference>();
+  MonitorConfig cfg;
+  cfg.engine = EngineKind::kInterpreted;
+  for (const Property& p : props) ref->set.Add(p, cfg);
+  std::vector<std::size_t> seen(props.size(), 0);
+  const auto collect = [&] {
+    for (std::size_t i = 0; i < props.size(); ++i) {
+      const auto& v = ref->set.engine(i).violations();
+      for (; seen[i] < v.size(); ++seen[i]) ref->merged.push_back(v[seen[i]]);
+    }
+  };
+  for (const DataplaneEvent& ev : events) {
+    ref->set.OnDataplaneEvent(ev);
+    collect();
+  }
+  ref->set.AdvanceTime(final_advance);
+  collect();
+  return ref;
+}
+
+class CompiledParallelParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompiledParallelParity, CompiledShardsMatchInterpretedSerial) {
+  // The strongest cross-engine claim: all 13 Table-1 properties running
+  // compiled across N workers produce the same violation streams AND the
+  // same merged telemetry snapshot as the serial interpreter.
+  const std::size_t workers = GetParam();
+  const std::vector<Property> props = Table1Properties();
+  const auto events = FuzzSeedStream(99, 1500);
+  const SimTime end = events.back().time + Duration::Seconds(300);
+  const auto serial = RunSerialInterpreted(props, events, end);
+
+  ParallelConfig pcfg;
+  pcfg.workers = workers;
+  pcfg.batch_capacity = 128;
+  ParallelMonitorSet parallel(pcfg);
+  MonitorConfig mcfg;
+  mcfg.engine = EngineKind::kCompiled;
+  for (const Property& p : props) {
+    PropertyMonitor& eng = parallel.Add(p, mcfg);
+    ASSERT_NE(dynamic_cast<CompiledEngine*>(&eng), nullptr) << p.name;
+  }
+  parallel.Start();
+  for (const DataplaneEvent& ev : events) parallel.OnDataplaneEvent(ev);
+  parallel.AdvanceTime(end);
+  parallel.Stop();
+
+  const std::string label = "workers=" + std::to_string(workers);
+  const auto serial_all = serial->set.AllViolations();
+  const auto parallel_all = parallel.AllViolations();
+  ASSERT_EQ(serial_all.size(), parallel_all.size()) << label;
+  EXPECT_GT(serial_all.size(), 0u) << label << " (vacuous parity)";
+  for (std::size_t i = 0; i < serial_all.size(); ++i)
+    ExpectViolationEq(serial_all[i], parallel_all[i],
+                      label + " all[" + std::to_string(i) + "]");
+
+  const auto parallel_merged = parallel.MergedViolations();
+  ASSERT_EQ(serial->merged.size(), parallel_merged.size()) << label;
+  for (std::size_t i = 0; i < serial->merged.size(); ++i)
+    ExpectViolationEq(serial->merged[i], parallel_merged[i],
+                      label + " merged[" + std::to_string(i) + "]");
+
+  // Counter parity across engines *and* execution modes in one shot.
+  const telemetry::Snapshot sa = serial->set.TelemetrySnapshot();
+  const telemetry::Snapshot sb = parallel.TelemetrySnapshot();
+  for (const auto& [name, sample] : sa.samples()) {
+    ASSERT_TRUE(sb.Has(name)) << label << " missing " << name;
+    EXPECT_TRUE(sample == sb.samples().at(name)) << label << " at " << name;
+  }
+  EXPECT_EQ(sa.size(), sb.size()) << label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CompiledParallelParity,
+                         ::testing::Values(1u, 2u, 4u));
+
+// ------------------------------------------------- hot-path regressions
+
+/// Loads a daemon-text-protocol repro stream from tests/data/, falling
+/// back to `inline_events` when the checked-in file is not reachable from
+/// the build tree's cwd. When the file *is* found it is authoritative: the
+/// minimized repro the bug report documents.
+std::vector<DataplaneEvent> LoadReproStream(
+    const std::string& filename, std::vector<DataplaneEvent> inline_events) {
+  for (const std::string prefix : {"tests/data/", "../tests/data/"}) {
+    std::ifstream in(prefix + filename);
+    if (!in.is_open()) continue;
+    std::vector<DataplaneEvent> events;
+    std::string line;
+    while (std::getline(in, line)) {
+      DataplaneEvent ev;
+      std::string error;
+      if (ParseEventLine(line, ev, &error)) {
+        events.push_back(std::move(ev));
+      } else {
+        EXPECT_TRUE(error.empty()) << filename << ": " << error;
+      }
+    }
+    EXPECT_EQ(events.size(), inline_events.size()) << filename;
+    return events;
+  }
+  return inline_events;
+}
+
+DataplaneEvent Ev(DataplaneEventType type, std::int64_t ms,
+                  std::initializer_list<std::pair<FieldId, std::uint64_t>> kv) {
+  DataplaneEvent ev;
+  ev.type = type;
+  ev.time = SimTime::Zero() + Duration::Millis(ms);
+  for (const auto& [k, v] : kv) ev.fields.Set(k, v);
+  return ev;
+}
+
+TEST(RegressionTest, AbsentLinkFieldStillAdvances) {
+  // An allow_absent EqVar condition must not serve as a link key: a keyed
+  // lookup projects the event's field values, so an egress *lacking*
+  // ip_dst could never reach the instance the condition nonetheless
+  // matches. The buggy interpreter missed this violation entirely.
+  PropertyBuilder b("regress-absent-link",
+                    "egress to A, or with no ip_dst at all");
+  const VarId A = b.Var("A");
+  b.AddStage("arrival binds A")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(A, FieldId::kIpSrc);
+  Pattern absent_or_match;
+  absent_or_match.event_type = DataplaneEventType::kEgress;
+  absent_or_match.conditions.push_back({FieldId::kIpDst, CmpOp::kEq,
+                                        Term::Var(A), ~std::uint64_t{0},
+                                        /*allow_absent=*/true});
+  b.AddStage("egress lacking or matching dst").Match(std::move(absent_or_match));
+  const Property prop = std::move(b).Build();
+
+  const auto events = LoadReproStream(
+      "regress_absent_link.events",
+      {Ev(DataplaneEventType::kArrival, 1, {{FieldId::kIpSrc, 5}}),
+       Ev(DataplaneEventType::kEgress, 2, {{FieldId::kInPort, 7}})});
+
+  MonitorEngine interp(prop);
+  auto comp = MakeCompiled(prop);
+  for (const DataplaneEvent& ev : events) {
+    interp.ProcessEvent(ev);
+    comp->ProcessEvent(ev);
+  }
+  ExpectEnginesAgree(interp, *comp, "absent-link");
+
+  ASSERT_EQ(interp.violations().size(), 1u);  // the buggy engine found 0
+  const Violation& v = interp.violations()[0];
+  EXPECT_EQ(v.property, "regress-absent-link");
+  ASSERT_EQ(v.bindings.size(), 1u);
+  EXPECT_EQ(v.bindings[0].first, "A");
+  EXPECT_EQ(v.bindings[0].second, 5u);
+}
+
+TEST(RegressionTest, RebindRefilesUnderTheNewKey) {
+  // A stage that rebinds its own link variable must be unfiled under the
+  // OLD environment before the bindings commit. The buggy interpreter
+  // removed afterwards — computing a key the store never saw — so a stale
+  // entry lingered under the old key and soaked up candidate checks the
+  // matching events could no longer cash in.
+  PropertyBuilder b("regress-rebind-link", "two egress hops re-keying A");
+  const VarId A = b.Var("A");
+  b.AddStage("arrival binds A")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(A, FieldId::kIpSrc);
+  b.AddStage("two egresses via A, rebinding")
+      .Match(PatternBuilder::Egress().EqVar(FieldId::kIpSrc, A).Build())
+      .Bind(A, FieldId::kIpDst)
+      .Count(2);
+  const Property prop = std::move(b).Build();
+
+  const auto events = LoadReproStream(
+      "regress_rebind_link.events",
+      {Ev(DataplaneEventType::kArrival, 1, {{FieldId::kIpSrc, 1}}),
+       Ev(DataplaneEventType::kEgress, 2,
+          {{FieldId::kIpSrc, 1}, {FieldId::kIpDst, 2}}),
+       Ev(DataplaneEventType::kEgress, 3,
+          {{FieldId::kIpSrc, 1}, {FieldId::kIpDst, 9}}),
+       Ev(DataplaneEventType::kEgress, 4,
+          {{FieldId::kIpSrc, 2}, {FieldId::kIpDst, 3}})});
+
+  MonitorEngine interp(prop);
+  auto comp = MakeCompiled(prop);
+  for (const DataplaneEvent& ev : events) {
+    interp.ProcessEvent(ev);
+    comp->ProcessEvent(ev);
+  }
+  ExpectEnginesAgree(interp, *comp, "rebind-link");
+
+  ASSERT_EQ(interp.violations().size(), 1u);
+  const Violation& v = interp.violations()[0];
+  ASSERT_EQ(v.bindings.size(), 1u);
+  EXPECT_EQ(v.bindings[0].first, "A");
+  EXPECT_EQ(v.bindings[0].second, 3u);  // rebound on the completing match
+  // Events 2 and 4 each reach the live instance through the keyed store;
+  // event 3 (old key, post-rebind) must find an empty bucket. The buggy
+  // engine's stale entry made this 3.
+  EXPECT_EQ(EngineStat(interp, "candidate_checks"), 2u);
+  EXPECT_EQ(EngineStat(*comp, "candidate_checks"), 2u);
+}
+
+// ------------------------------------------------- bytecode sanity
+
+TEST(BytecodeTest, DisassemblyNamesEveryStage) {
+  // Smoke for the debugging surface: one line per instruction, stage labels
+  // and the interest mask present.
+  const auto program = compiled::CompileProperty(FirewallReturnNotDropped());
+  ASSERT_TRUE(program.has_value());
+  const std::string text = compiled::Disassemble(*program);
+  EXPECT_NE(text.find("fw-return-not-dropped"), std::string::npos);
+  EXPECT_NE(text.find("match"), std::string::npos);
+  EXPECT_NE(text.find("bind"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swmon

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -173,6 +174,168 @@ TEST(TraceEventDecoderTest, CorruptStreamIsTerminal) {
   EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kCorrupt);
   EXPECT_FALSE(dec.error().empty());
   EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kCorrupt);
+}
+
+TEST(TraceEventDecoderTest, OversizedPresenceMaskIsCorruptNotOverread) {
+  // A presence mask claiming fields beyond kNumFieldIds is a malformed
+  // (oversized) record: the decoder must flag it *before* trying to read
+  // the impossible field payload, not wait for 64 values that never come.
+  ByteWriter w;
+  w.WriteU8(0);                      // valid type
+  w.WriteU64LE(1000);                // time
+  w.WriteU32LE(64);                  // packet_bytes
+  w.WriteU64LE(~std::uint64_t{0});   // presence: all 64 bits
+  TraceEventDecoder dec;
+  dec.Feed(w.bytes().data(), w.bytes().size());
+  DataplaneEvent ev;
+  EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kCorrupt);
+  EXPECT_NE(dec.error().find("presence"), std::string::npos) << dec.error();
+}
+
+TEST(TraceEventDecoderTest, TruncatedRecordIsNeedMoreUntilTheLastByte) {
+  ByteWriter w;
+  EncodeTraceEvent(w, MakeEvent(1000, 7, 80));
+  const auto& bytes = w.bytes();
+  TraceEventDecoder dec;
+  dec.Feed(bytes.data(), bytes.size() - 1);
+  DataplaneEvent ev;
+  EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kNeedMore);
+  EXPECT_EQ(dec.pending_bytes(), bytes.size() - 1);
+  const std::uint8_t last = bytes.back();
+  dec.Feed(&last, 1);
+  EXPECT_EQ(dec.Next(ev), TraceEventDecoder::Result::kEvent);
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+  EXPECT_EQ(ev.fields.Get(FieldId::kIpSrc), std::optional<std::uint64_t>(7));
+}
+
+// ------------------------------------------------------ corrupted sockets
+
+std::string BinaryStreamPayload(const std::vector<DataplaneEvent>& events) {
+  ByteWriter w;
+  const std::uint8_t magic[4] = {'S', 'W', 'M', 'T'};
+  w.WriteBytes(magic);
+  w.WriteU32LE(2);
+  w.WriteU64LE(0);
+  for (const DataplaneEvent& ev : events) EncodeTraceEvent(w, ev);
+  return std::string(reinterpret_cast<const char*>(w.bytes().data()),
+                     w.bytes().size());
+}
+
+std::vector<DataplaneEvent> PollUntil(SocketSource& src, std::size_t want,
+                                      int timeout_ms = 5000) {
+  std::vector<DataplaneEvent> out;
+  for (int waited = 0; waited < timeout_ms && out.size() < want; ++waited) {
+    src.Poll(out);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return out;
+}
+
+void WaitForCount(const std::function<std::uint64_t()>& counter,
+                  std::uint64_t at_least, int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (counter() >= at_least) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(SocketSourceCorruptionTest, CorruptBinaryRecordCountsAndKeepsServing) {
+  SocketSourceOptions opts;
+  opts.tcp_enabled = true;
+  SocketSource src(opts);
+  std::string error;
+  ASSERT_TRUE(src.Start(&error)) << error;
+
+  // One good event, then garbage (0xff is not a valid type byte).
+  std::string payload = BinaryStreamPayload({MakeEvent(1000, 7, 80)});
+  payload.append(40, '\xff');
+  ASSERT_TRUE(SendToTcp(src.tcp_port(), payload));
+  WaitForCount([&] { return src.decode_errors(); }, 1);
+  EXPECT_EQ(src.decode_errors(), 1u);
+  EXPECT_EQ(src.protocol_errors(), 1u);
+  // The event decoded before the corruption was kept.
+  EXPECT_EQ(PollUntil(src, 1).size(), 1u);
+
+  // The listener survives: a clean follow-up connection still delivers.
+  ASSERT_TRUE(SendToTcp(src.tcp_port(),
+                        BinaryStreamPayload({MakeEvent(2000, 8, 81)})));
+  const auto after = PollUntil(src, 1);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].fields.Get(FieldId::kIpSrc),
+            std::optional<std::uint64_t>(8));
+  EXPECT_EQ(src.decode_errors(), 1u);  // the good stream added nothing
+  src.Stop();
+}
+
+TEST(SocketSourceCorruptionTest, TruncatedBinaryTailSurfacesDecodeError) {
+  // A stream that closes mid-record previously vanished without a trace;
+  // it must count as a decode error (but not a dropped connection).
+  SocketSourceOptions opts;
+  opts.tcp_enabled = true;
+  SocketSource src(opts);
+  std::string error;
+  ASSERT_TRUE(src.Start(&error)) << error;
+
+  std::string payload =
+      BinaryStreamPayload({MakeEvent(1000, 7, 80), MakeEvent(2000, 7, 81)});
+  payload.resize(payload.size() - 5);  // close mid-second-event
+  ASSERT_TRUE(SendToTcp(src.tcp_port(), payload));
+  WaitForCount([&] { return src.decode_errors(); }, 1);
+  EXPECT_EQ(src.decode_errors(), 1u);
+  EXPECT_EQ(src.protocol_errors(), 0u);
+  const auto out = PollUntil(src, 1);
+  ASSERT_EQ(out.size(), 1u);  // the complete first event survived
+  EXPECT_EQ(out[0].time.nanos(), 1000);
+
+  // Same for a stream that dies inside the 16-byte header.
+  ASSERT_TRUE(SendToTcp(src.tcp_port(), std::string("SWMT\x02", 5)));
+  WaitForCount([&] { return src.decode_errors(); }, 2);
+  EXPECT_EQ(src.decode_errors(), 2u);
+  src.Stop();
+}
+
+TEST(SocketSourceCorruptionTest, UnterminatedFinalTextLineIsParsed) {
+  // `printf 'arrival ...' | nc` without a trailing newline must still
+  // ingest the line at close instead of discarding it.
+  SocketSourceOptions opts;
+  opts.tcp_enabled = true;
+  SocketSource src(opts);
+  std::string error;
+  ASSERT_TRUE(src.Start(&error)) << error;
+
+  ASSERT_TRUE(SendToTcp(src.tcp_port(),
+                        "arrival 1000 ip_src=7 l4_dst=80\n"
+                        "arrival 2000 ip_src=7 l4_dst=81"));
+  const auto out = PollUntil(src, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].time.nanos(), 2000);
+  EXPECT_EQ(src.decode_errors(), 0u);
+
+  // A malformed unterminated tail is counted, not crashed on.
+  ASSERT_TRUE(SendToTcp(src.tcp_port(), "arrival 3000\nknock 4000"));
+  WaitForCount([&] { return src.decode_errors(); }, 1);
+  EXPECT_EQ(src.decode_errors(), 1u);
+  EXPECT_EQ(PollUntil(src, 1).size(), 1u);  // the good line before it
+  src.Stop();
+}
+
+TEST(SocketSourceCorruptionTest, OversizedTextLineIsRejectedNotBuffered) {
+  SocketSourceOptions opts;
+  opts.tcp_enabled = true;
+  SocketSource src(opts);
+  std::string error;
+  ASSERT_TRUE(src.Start(&error)) << error;
+
+  // 80KiB with no newline: the reader must cap the line and drop the
+  // connection instead of growing the buffer until the client relents.
+  ASSERT_TRUE(SendToTcp(src.tcp_port(), std::string(80 * 1024, 'a')));
+  WaitForCount([&] { return src.decode_errors(); }, 1);
+  EXPECT_GE(src.decode_errors(), 1u);
+  EXPECT_GE(src.protocol_errors(), 1u);
+  std::vector<DataplaneEvent> out;
+  src.Poll(out);
+  EXPECT_TRUE(out.empty());
+  src.Stop();
 }
 
 // ----------------------------------------------------------------- tailer

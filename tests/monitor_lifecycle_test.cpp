@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "monitor/compiled/engine.hpp"
+#include "monitor/engine.hpp"
 #include "monitor/monitor_set.hpp"
 #include "monitor/parallel_monitor_set.hpp"
 #include "properties/catalog.hpp"
@@ -99,8 +101,9 @@ struct SetUnderTest {
       parallel->Start();
     }
   }
-  PropertyId Attach(const Property& p) {
-    return parallel ? parallel->AttachProperty(p) : serial->AttachProperty(p);
+  PropertyId Attach(const Property& p, MonitorConfig config = {}) {
+    return parallel ? parallel->AttachProperty(p, config)
+                    : serial->AttachProperty(p, config);
   }
   std::optional<std::vector<Violation>> Detach(PropertyId id) {
     return parallel ? parallel->DetachProperty(id)
@@ -121,7 +124,7 @@ struct SetUnderTest {
       serial->AdvanceTime(end);
     }
   }
-  const MonitorEngine& engine(PropertyId id) const {
+  const PropertyMonitor& engine(PropertyId id) const {
     return parallel ? parallel->engine(id) : serial->engine(id);
   }
   bool attached(PropertyId id) const {
@@ -197,6 +200,78 @@ TEST_P(HotLifecycle, UntouchedPropertiesAreBitIdenticalToNoLifecycleRun) {
                      resident_drained, label + " detached resident");
   ExpectViolationsEq(FreshEngineRun(props[0], events, third, two_thirds),
                      extra_drained, label + " hot-attached extra");
+}
+
+TEST_P(HotLifecycle, CompiledEnginesHotAttachAndDetachLikeInterpreted) {
+  // The compiled engine through the same lifecycle machinery: residents
+  // alternate interpreted/compiled per slot, the hot-attached extra and
+  // one detached resident run compiled. Every slot must stay bit-identical
+  // to the all-interpreted no-lifecycle reference — engine choice and
+  // lifecycle timing are both observationally invisible.
+  const std::vector<Property> props = Table1Properties();
+  const auto events = FuzzSeedStream(77, 1200);
+  const SimTime end = events.back().time + Duration::Seconds(300);
+
+  MonitorSet base;
+  for (const Property& p : props) base.Add(p);
+  for (const DataplaneEvent& ev : events) base.OnDataplaneEvent(ev);
+  base.AdvanceTime(end);
+
+  const std::size_t third = events.size() / 3;
+  const std::size_t half = events.size() / 2;
+  const std::size_t two_thirds = 2 * events.size() / 3;
+  const std::size_t detached_resident = 4;  // even slot: compiled
+
+  MonitorConfig compiled_cfg;
+  compiled_cfg.engine = EngineKind::kCompiled;
+  MonitorConfig interpreted_cfg;
+  interpreted_cfg.engine = EngineKind::kInterpreted;
+
+  SetUnderTest set(GetParam());
+  std::vector<PropertyId> ids;
+  for (std::size_t i = 0; i < props.size(); ++i)
+    ids.push_back(
+        set.Attach(props[i], i % 2 == 0 ? compiled_cfg : interpreted_cfg));
+  // The compiled slots really run the compiled engine (no silent fallback).
+  for (std::size_t i = 0; i < props.size(); i += 2)
+    ASSERT_NE(dynamic_cast<const CompiledEngine*>(&set.engine(ids[i])),
+              nullptr)
+        << props[i].name;
+
+  PropertyId extra_id = 0;
+  std::vector<Violation> extra_drained;
+  std::vector<Violation> resident_drained;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i == third) extra_id = set.Attach(props[0], compiled_cfg);
+    if (i == half) {
+      auto drained = set.Detach(ids[detached_resident]);
+      ASSERT_TRUE(drained.has_value());
+      resident_drained = std::move(*drained);
+    }
+    if (i == two_thirds) {
+      auto drained = set.Detach(extra_id);
+      ASSERT_TRUE(drained.has_value());
+      extra_drained = std::move(*drained);
+    }
+    set.Deliver(events[i]);
+  }
+  set.Finish(end);
+
+  const std::string label = "compiled workers=" + std::to_string(GetParam());
+  std::size_t untouched_total = 0;
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    if (i == detached_resident) continue;
+    ExpectViolationsEq(base.engine(i).violations(),
+                       set.engine(ids[i]).violations(),
+                       label + " " + props[i].name);
+    untouched_total += base.engine(i).violations().size();
+  }
+  EXPECT_GT(untouched_total, 0u) << label << " (vacuous comparison)";
+
+  ExpectViolationsEq(FreshEngineRun(props[detached_resident], events, 0, half),
+                     resident_drained, label + " detached compiled resident");
+  ExpectViolationsEq(FreshEngineRun(props[0], events, third, two_thirds),
+                     extra_drained, label + " hot-attached compiled extra");
 }
 
 INSTANTIATE_TEST_SUITE_P(Execution, HotLifecycle,

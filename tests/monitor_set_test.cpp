@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "monitor/engine.hpp"
 #include "monitor/monitor_set.hpp"
 #include "monitor/property_builder.hpp"
 #include "properties/catalog.hpp"
@@ -71,7 +72,7 @@ TEST(MonitorSetTest, AdvanceTimeReachesEveryEngine) {
 TEST(MonitorSetTest, FiltersEventsOutsideTheInterestSignature) {
   MonitorSet set;
   set.Add(FirewallReturnNotDropped());  // listens to arrival|egress only
-  const MonitorEngine& eng = set.engine(0);
+  const PropertyMonitor& eng = set.engine(0);
   EXPECT_EQ(eng.interest_signature(),
             EventTypeBit(DataplaneEventType::kArrival) |
                 EventTypeBit(DataplaneEventType::kEgress));

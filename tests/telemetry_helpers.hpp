@@ -1,19 +1,20 @@
 // Test-side conveniences for reading engine counters through the snapshot
 // API. Tests that used to poke MonitorStats fields now go through
-// MonitorEngine::CollectInto — one query path, never-stale timer gauges.
+// PropertyMonitor::CollectInto — one query path, never-stale timer gauges,
+// and the same helpers work for either engine (interpreted or compiled).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
-#include "monitor/engine.hpp"
+#include "monitor/property_monitor.hpp"
 #include "telemetry/snapshot.hpp"
 
 namespace swmon {
 
 /// One engine counter by leaf name, e.g. EngineStat(engine, "violations").
-inline std::uint64_t EngineStat(const MonitorEngine& engine,
+inline std::uint64_t EngineStat(const PropertyMonitor& engine,
                                 std::string_view leaf) {
   telemetry::Snapshot snap;
   engine.CollectInto(snap, "t");
@@ -21,7 +22,7 @@ inline std::uint64_t EngineStat(const MonitorEngine& engine,
 }
 
 /// One engine gauge by leaf name, e.g. EngineGauge(engine, "live_instances").
-inline std::int64_t EngineGauge(const MonitorEngine& engine,
+inline std::int64_t EngineGauge(const PropertyMonitor& engine,
                                 std::string_view leaf) {
   telemetry::Snapshot snap;
   engine.CollectInto(snap, "t");
