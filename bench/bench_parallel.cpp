@@ -8,12 +8,21 @@
 // stages. Violation counts are cross-checked against serial on every
 // configuration (exit 1 on mismatch).
 //
+// Also sweeps the single-hot-property case (the paper's million-user
+// monitor): ONE shard-eligible keyed property with >=100k concurrent
+// instances, serial versus ShardMode::kInstance at 1..8 workers — the
+// configuration property-level sharding cannot speed up at all.
+//
 // Emits BENCH_parallel.json via bench_util's JsonReporter. Knobs (env):
 //   SWMON_BENCH_JSON_DIR           where the JSON lands (bench target sets it)
 //   SWMON_BENCH_PARALLEL_EVENTS    stream length (default 30000)
 //   SWMON_BENCH_PARALLEL_WORKERS   max workers swept (default 8)
+//   SWMON_BENCH_TINY               CI smoke: shrink streams AND enforce the
+//                                  batching-overhead gate (1 worker must stay
+//                                  within 1.3x of serial; exit 1 past it)
 // Speedup is bounded by available cores — on a 1-core container the sweep
-// degenerates to ~1x and mainly measures batching overhead.
+// degenerates to ~1x and mainly measures batching overhead (which is
+// exactly what the CI gate pins).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,12 +35,16 @@
 #include "common/threading.hpp"
 #include "monitor/monitor_set.hpp"
 #include "monitor/parallel_monitor_set.hpp"
+#include "monitor/property_builder.hpp"
+#include "monitor/shard_plan.hpp"
 #include "properties/catalog.hpp"
 
 namespace swmon {
 namespace {
 
-constexpr int kReps = 3;
+const bool kTiny = std::getenv("SWMON_BENCH_TINY") != nullptr;
+// Best-of damping matters more when the gate runs on tiny noisy streams.
+const int kReps = kTiny ? 5 : 3;
 
 std::size_t EnvSize(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
@@ -156,10 +169,12 @@ std::size_t RunSerialOnce(const std::vector<Property>& props,
 std::size_t RunParallelOnce(const std::vector<Property>& props,
                             const std::vector<DataplaneEvent>& events,
                             std::size_t workers, std::size_t batch,
-                            const std::vector<double>* weights) {
+                            const std::vector<double>* weights,
+                            ShardMode mode = ShardMode::kProperty) {
   ParallelConfig cfg;
   cfg.workers = workers;
   cfg.batch_capacity = batch;
+  cfg.shard_mode = mode;
   ParallelMonitorSet set(cfg);
   for (std::size_t i = 0; i < props.size(); ++i)
     set.Add(props[i], {}, weights ? (*weights)[i] : 1.0);
@@ -167,6 +182,56 @@ std::size_t RunParallelOnce(const std::vector<Property>& props,
   for (const DataplaneEvent& ev : events) set.OnDataplaneEvent(ev);
   set.Stop();
   return set.TelemetrySnapshot().counter("monitor.engine.*.violations");
+}
+
+/// The hot property: arrival binds a (src, dst) pair; a later drop of the
+/// reversed pair violates. Shard-eligible (both vars are stage-0 field
+/// bindings that stage 1 pins with indexable equalities), so kInstance can
+/// split its instance population across every worker.
+Property HotPairProperty() {
+  PropertyBuilder b("hot-pairs", "single hot property, many instances");
+  const VarId A = b.Var("A"), B = b.Var("B");
+  b.AddStage("outbound")
+      .Match(PatternBuilder::Arrival().Build())
+      .Bind(A, FieldId::kIpSrc)
+      .Bind(B, FieldId::kIpDst)
+      .Window(Duration::Seconds(3600))
+      .RefreshOnRematch();
+  b.AddStage("return dropped")
+      .Match(PatternBuilder::Egress()
+                 .EqVar(FieldId::kIpSrc, B)
+                 .EqVar(FieldId::kIpDst, A)
+                 .Dropped()
+                 .Build());
+  return std::move(b).Build();
+}
+
+/// Mostly-unique arrivals (each a fresh instance, all inside one long
+/// window) plus drop egresses over the same pair space. With a key space
+/// sized to the stream, the live population grows to >=100k concurrent
+/// instances — the regime where one property saturates one core.
+std::vector<DataplaneEvent> HotPairStream(std::size_t count,
+                                          std::uint64_t keys,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataplaneEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DataplaneEvent ev;
+    ev.time = SimTime::Zero() +
+              Duration::Micros(static_cast<std::int64_t>(10 * (i + 1)));
+    ev.fields.Set(FieldId::kIpSrc, rng.NextBelow(keys));
+    ev.fields.Set(FieldId::kIpDst, rng.NextBelow(keys));
+    if (rng.NextBool(0.8)) {
+      ev.type = DataplaneEventType::kArrival;
+    } else {
+      ev.type = DataplaneEventType::kEgress;
+      ev.fields.Set(FieldId::kEgressAction,
+                    static_cast<std::uint64_t>(EgressActionValue::kDrop));
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
 }
 
 }  // namespace
@@ -180,13 +245,17 @@ int main() {
       "over a worker pool scales aggregate events/sec with cores while the "
       "violation output stays bit-identical to serial execution");
 
-  const std::size_t kEvents = EnvSize("SWMON_BENCH_PARALLEL_EVENTS", 30000);
+  const std::size_t kEvents =
+      EnvSize("SWMON_BENCH_PARALLEL_EVENTS", kTiny ? 6000 : 30000);
   const std::size_t kMaxWorkers = EnvSize("SWMON_BENCH_PARALLEL_WORKERS", 8);
-  std::printf("hardware threads: %zu | events: %zu | reps: %d (best-of)\n",
-              HardwareWorkerCount(), kEvents, kReps);
+  std::printf("hardware threads: %zu | events: %zu | reps: %d (best-of)%s\n",
+              HardwareWorkerCount(), kEvents, kReps,
+              kTiny ? " | TINY gate mode" : "");
 
   bench::JsonReporter json("parallel");
   const auto events = MixedScenarioStream(kEvents, 42);
+  // The gate measurement: 1 worker, batch 256, 13 properties (set below).
+  double gate_overhead = 0;
 
   // Calibration sample: a prefix of the same stream shape (fresh engines —
   // the probe engines are throwaway, so the measured run starts cold).
@@ -237,6 +306,8 @@ int main() {
         const double eps = static_cast<double>(kEvents) / s;
         std::printf("%8zu | %6zu | %14.0f | %7.2fx | %10zu\n", workers, batch,
                     eps, eps / serial_eps, violations);
+        if (workers == 1 && batch == 256 && props.size() == 13)
+          gate_overhead = serial_eps / eps;
         json.AddRow()
             .Str("mode", "parallel")
             .Num("properties", static_cast<double>(props.size()))
@@ -269,12 +340,105 @@ int main() {
     }
   }
 
+  // ---- single hot property: instance sharding vs serial -----------------
+  // One keyed property, >=100k concurrent instances (full mode). Property
+  // sharding pins it to a single worker, so its speedup is identically 1x;
+  // only ShardMode::kInstance can spread the population.
+  {
+    const std::size_t hot_events =
+        EnvSize("SWMON_BENCH_PARALLEL_HOT_EVENTS", kTiny ? 8000 : 160000);
+    // ~80% of the stream creates a mostly-unique pair inside one long
+    // window, so the live population approaches 0.8 * events.
+    const std::uint64_t keys = kTiny ? 128 : 1024;
+    const std::vector<Property> hot = {HotPairProperty()};
+    std::string why;
+    if (!BuildShardPlan(hot[0], MonitorConfig{}, &why).has_value()) {
+      std::printf("HOT PROPERTY NOT SHARD-ELIGIBLE: %s\n", why.c_str());
+      return 1;
+    }
+    const auto hot_stream = HotPairStream(hot_events, keys, 11);
+
+    std::size_t peak_live = 0;
+    {
+      MonitorSet probe;
+      probe.Add(hot[0]);
+      for (const DataplaneEvent& ev : hot_stream) probe.OnDataplaneEvent(ev);
+      peak_live = static_cast<std::size_t>(
+          probe.TelemetrySnapshot().gauge("monitor.engine.hot-pairs.peak_live"));
+    }
+    const std::size_t hot_serial_violations = RunSerialOnce(hot, hot_stream);
+    const double hot_serial_s =
+        BestSeconds([&] { RunSerialOnce(hot, hot_stream); });
+    const double hot_serial_eps =
+        static_cast<double>(hot_events) / hot_serial_s;
+    bench::Section("single hot property (instance sharding)");
+    std::printf(
+        "  serial: %.0f events/sec | peak %zu concurrent instances | %zu "
+        "violations\n",
+        hot_serial_eps, peak_live, hot_serial_violations);
+    json.AddRow()
+        .Str("mode", "hot_serial")
+        .Num("properties", 1)
+        .Num("workers", 0)
+        .Num("batch", 0)
+        .Num("events_per_sec", hot_serial_eps)
+        .Num("speedup", 1.0)
+        .Num("peak_instances", static_cast<double>(peak_live))
+        .Num("violations", static_cast<double>(hot_serial_violations));
+
+    std::printf("%8s | %14s | %8s | %10s\n", "workers", "events/sec",
+                "speedup", "violations");
+    for (std::size_t workers = 1; workers <= kMaxWorkers; workers *= 2) {
+      const std::size_t violations = RunParallelOnce(
+          hot, hot_stream, workers, 256, nullptr, ShardMode::kInstance);
+      if (violations != hot_serial_violations) {
+        std::printf(
+            "SEMANTICS MISMATCH (hot, instance-sharded) at workers=%zu: "
+            "parallel=%zu serial=%zu\n",
+            workers, violations, hot_serial_violations);
+        return 1;
+      }
+      const double s = BestSeconds([&] {
+        RunParallelOnce(hot, hot_stream, workers, 256, nullptr,
+                        ShardMode::kInstance);
+      });
+      const double eps = static_cast<double>(hot_events) / s;
+      std::printf("%8zu | %14.0f | %7.2fx | %10zu\n", workers, eps,
+                  eps / hot_serial_eps, violations);
+      json.AddRow()
+          .Str("mode", "hot_instance")
+          .Num("properties", 1)
+          .Num("workers", static_cast<double>(workers))
+          .Num("batch", 256)
+          .Num("events_per_sec", eps)
+          .Num("speedup", eps / hot_serial_eps)
+          .Num("peak_instances", static_cast<double>(peak_live))
+          .Num("violations", static_cast<double>(violations));
+    }
+  }
+
   std::printf(
       "\nShape check: single-worker throughput tracks serial (batching "
-      "overhead only, target <=5%%); with more cores than one, events/sec "
-      "scales toward the worker count until the heaviest engine's shard "
-      "dominates (speedup is capped by hardware threads — see the first "
-      "line above).\n");
+      "overhead only); with more cores than one, events/sec scales toward "
+      "the worker count — for the 13-property sweep until the heaviest "
+      "engine's shard dominates, and for the hot-property sweep without "
+      "that cap (instance sharding splits the one hot engine itself). "
+      "Speedup is bounded by hardware threads — see the first line "
+      "above.\n");
   json.Flush();
+
+  // CI gate: batching must not cost more than 1.3x serial at 1 worker (the
+  // pure-overhead configuration — same work, plus slab/ring traffic).
+  // Enforced in TINY (smoke) mode, where CI runs it; always reported.
+  std::printf("batching-overhead gate: 1-worker = %.2fx serial (budget "
+              "1.3x)\n",
+              gate_overhead);
+  if (kTiny && gate_overhead > 1.3) {
+    std::printf(
+        "BATCHING OVERHEAD REGRESSION: 1-worker parallel is %.2fx serial "
+        "(budget 1.3x)\n",
+        gate_overhead);
+    return 1;
+  }
   return 0;
 }

@@ -85,6 +85,7 @@ Tenant& SwmonDaemon::GetOrCreateTenant(const std::string& name) {
   if (it == tenants_.end()) {
     TenantOptions topts;
     topts.workers = options_.workers;
+    topts.shard_mode = options_.shard_mode;
     topts.monitor = options_.monitor;
     topts.violation_capacity = options_.violation_capacity;
     it = tenants_.emplace(name, std::make_unique<Tenant>(name, topts)).first;

@@ -65,6 +65,7 @@ struct SwmondOptions {
 
   /// Per-tenant monitor execution (see TenantOptions).
   std::size_t workers = 0;
+  ShardMode shard_mode = ShardMode::kProperty;
   MonitorConfig monitor;
   std::size_t violation_capacity = 4096;
 

@@ -27,6 +27,10 @@ void Usage(const char* argv0) {
                "  --http-port PORT    control/telemetry HTTP port (default 0 =\n"
                "                      kernel-assigned, printed at start)\n"
                "  --workers N         per-tenant monitor workers (0/1 = serial)\n"
+               "  --shard-mode M      worker sharding: property (default),\n"
+               "                      instance, or auto (instance-shard while\n"
+               "                      a tenant has fewer properties than\n"
+               "                      workers)\n"
                "  --violation-cap N   per-tenant violation ring capacity\n"
                "                      (default 4096)\n"
                "\n"
@@ -82,6 +86,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers") {
       if (!ParseSize(next(), &options.workers)) {
         std::fprintf(stderr, "swmond: bad --workers\n");
+        return 2;
+      }
+    } else if (arg == "--shard-mode") {
+      const std::string mode = next();
+      if (mode == "property") {
+        options.shard_mode = swmon::ShardMode::kProperty;
+      } else if (mode == "instance") {
+        options.shard_mode = swmon::ShardMode::kInstance;
+      } else if (mode == "auto") {
+        options.shard_mode = swmon::ShardMode::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "swmond: bad --shard-mode '%s' (property|instance|auto)\n",
+                     mode.c_str());
         return 2;
       }
     } else if (arg == "--violation-cap") {

@@ -11,6 +11,7 @@ Tenant::Tenant(std::string name, TenantOptions options)
   if (options_.workers > 1) {
     ParallelConfig config;
     config.workers = options_.workers;
+    config.shard_mode = options_.shard_mode;
     parallel_ = std::make_unique<ParallelMonitorSet>(config);
     // Start the (empty) pool now: every subsequent attach is a hot attach
     // at the quiesce point, the same path the control API exercises.

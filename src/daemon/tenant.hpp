@@ -32,6 +32,12 @@ struct TenantOptions {
   /// 0 or 1 = serial MonitorSet; >1 = ParallelMonitorSet with this many
   /// workers (started immediately; properties hot-attach onto the pool).
   std::size_t workers = 0;
+  /// Worker-pool sharding policy (parallel tenants only). kProperty pins
+  /// each property to one worker; kInstance splits shard-eligible
+  /// properties across all workers by instance identity; kAuto splits only
+  /// while the tenant has fewer live properties than workers — the right
+  /// default for a tenant whose one hot property must use the whole pool.
+  ShardMode shard_mode = ShardMode::kProperty;
   /// Per-engine monitor config (provenance, instance caps, ...).
   MonitorConfig monitor;
   /// Most-recent undrained violations retained per tenant (older ones are

@@ -7,13 +7,26 @@
 // both blocking entry points fall back to a condition variable after a
 // short spin so an idle worker parks instead of burning a core, and a
 // producer ahead of a slow worker exerts backpressure instead of growing an
-// unbounded queue. The wake protocol locks the (empty) mutex *after* the
-// slot store and before notifying, which orders the store before the
-// sleeper's predicate re-check — no missed wakeups, and ThreadSanitizer
-// sees the happens-before edge.
+// unbounded queue.
+//
+// Wake elision: the first parallel design locked the wait mutex and
+// notified on EVERY push and pop, which put a mutex round-trip on the hot
+// path even when nobody was parked. Now each side advertises that it is
+// about to park via a sleeper flag, using the classic store/fence/load
+// (Dekker) protocol: the sleeper stores its flag and re-checks the indices
+// behind a seq_cst fence; the waker stores the index and checks the flag
+// behind its own seq_cst fence. The fences totally order the two sides, so
+// either the sleeper sees the new index and never parks, or the waker sees
+// the flag and takes the slow path (empty critical section + notify, which
+// orders the store before the parked side's predicate re-check). The common
+// case — counterpart running, not parked — is one fence and one relaxed
+// load, no mutex.
 //
 // Items are delivered strictly in push order; Close() drains: pops keep
 // succeeding until the ring is empty, then PopBlocking returns false.
+// TryPopRun pops a whole run with a single head publication and a single
+// wake check, which is what lets a worker amortize ring costs across every
+// batch queued since it last looked.
 #pragma once
 
 #include <atomic>
@@ -46,6 +59,12 @@ class SpscRing {
            tail_.value.load(std::memory_order_acquire);
   }
 
+  /// Producer-side occupancy estimate (exact on the producer thread).
+  std::size_t SizeApprox() const {
+    return tail_.value.load(std::memory_order_acquire) -
+           head_.value.load(std::memory_order_acquire);
+  }
+
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Producer side. Returns false (item untouched) when the ring is full.
@@ -55,7 +74,7 @@ class SpscRing {
       return false;
     slots_[tail & mask_] = std::move(item);
     tail_.value.store(tail + 1, std::memory_order_release);
-    Wake(consumer_cv_);
+    MaybeWake(consumer_waiting_, consumer_cv_);
     return true;
   }
 
@@ -68,12 +87,21 @@ class SpscRing {
         std::this_thread::yield();
         if (TryPush(item)) return;
       }
-      std::unique_lock<std::mutex> lk(wait_mutex_);
-      producer_cv_.wait(lk, [&] {
-        return tail_.value.load(std::memory_order_relaxed) -
-                   head_.value.load(std::memory_order_acquire) <
-               slots_.size();
-      });
+      producer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (TryPush(item)) {  // recheck behind the fence: no lost wakeup
+        producer_waiting_.store(false, std::memory_order_relaxed);
+        return;
+      }
+      {
+        std::unique_lock<std::mutex> lk(wait_mutex_);
+        producer_cv_.wait(lk, [&] {
+          return tail_.value.load(std::memory_order_relaxed) -
+                     head_.value.load(std::memory_order_acquire) <
+                 slots_.size();
+        });
+      }
+      producer_waiting_.store(false, std::memory_order_relaxed);
     }
   }
 
@@ -83,8 +111,24 @@ class SpscRing {
     if (head == tail_.value.load(std::memory_order_acquire)) return false;
     out = std::move(slots_[head & mask_]);
     head_.value.store(head + 1, std::memory_order_release);
-    Wake(producer_cv_);
+    MaybeWake(producer_waiting_, producer_cv_);
     return true;
+  }
+
+  /// Consumer side. Pops up to `max` items into `out` with one head
+  /// publication and one producer wake check for the whole run. Returns the
+  /// number popped (0 when empty).
+  std::size_t TryPopRun(T* out, std::size_t max) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t avail =
+        tail_.value.load(std::memory_order_acquire) - head;
+    const std::size_t n = avail < max ? avail : max;
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    head_.value.store(head + n, std::memory_order_release);
+    MaybeWake(producer_waiting_, producer_cv_);
+    return n;
   }
 
   /// Consumer side; blocks until an item arrives. Returns false only once
@@ -97,10 +141,23 @@ class SpscRing {
         std::this_thread::yield();
         if (TryPop(out)) return true;
       }
-      std::unique_lock<std::mutex> lk(wait_mutex_);
-      consumer_cv_.wait(lk, [&] {
-        return !Empty() || closed_.load(std::memory_order_acquire);
-      });
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (TryPop(out)) {  // recheck behind the fence: no lost wakeup
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        return true;
+      }
+      if (closed()) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        return TryPop(out);
+      }
+      {
+        std::unique_lock<std::mutex> lk(wait_mutex_);
+        consumer_cv_.wait(lk, [&] {
+          return !Empty() || closed_.load(std::memory_order_acquire);
+        });
+      }
+      consumer_waiting_.store(false, std::memory_order_relaxed);
     }
   }
 
@@ -117,15 +174,20 @@ class SpscRing {
  private:
   static constexpr int kSpinIters = 64;
 
-  void Wake(std::condition_variable& cv) {
-    // The empty critical section orders the preceding head/tail store
-    // before any sleeper's predicate evaluation (which runs under the same
-    // mutex): either the sleeper sees the new index, or it blocks until we
-    // release and then gets the notify.
+  void MaybeWake(std::atomic<bool>& flag, std::condition_variable& cv) {
+    // Dekker pairing with the sleeper's store/fence/recheck: our index
+    // store (release, above) followed by this fence is totally ordered
+    // against the sleeper's flag store + fence. If we read the flag as
+    // clear, the sleeper's post-fence recheck is guaranteed to see our
+    // index update and it never parks; if we read it set, we pay the slow
+    // path. The empty critical section orders our store before a parked
+    // sleeper's predicate evaluation (same mutex) — no missed wakeups.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!flag.load(std::memory_order_relaxed)) return;
     {
       std::lock_guard<std::mutex> lk(wait_mutex_);
     }
-    cv.notify_one();
+    cv.notify_all();
   }
 
   std::vector<T> slots_;
@@ -134,6 +196,8 @@ class SpscRing {
   PaddedAtomic<std::size_t> tail_;  // next slot to push (producer-owned)
   std::atomic<bool> closed_{false};
 
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<bool> producer_waiting_{false};
   std::mutex wait_mutex_;
   std::condition_variable consumer_cv_;
   std::condition_variable producer_cv_;

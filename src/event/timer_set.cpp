@@ -3,9 +3,15 @@
 namespace swmon {
 
 void TimerSet::Arm(TimerId id, SimTime deadline) {
+  // Default tie ordinal = the generation, i.e. arming order — the original
+  // comparator (deadline, generation) exactly.
+  Arm(id, deadline, next_generation_);
+}
+
+void TimerSet::Arm(TimerId id, SimTime deadline, std::uint64_t ordinal) {
   const std::uint64_t gen = next_generation_++;
-  live_[id] = LiveState{deadline, gen};
-  heap_.push(Entry{deadline, id, gen});
+  live_[id] = LiveState{deadline, gen, ordinal};
+  heap_.push(Entry{deadline, id, gen, ordinal});
   ++total_armed_;
   MaybeCompact();
 }
@@ -21,7 +27,7 @@ void TimerSet::MaybeCompact() {
   std::vector<Entry> entries;
   entries.reserve(live_.size());
   for (const auto& [id, st] : live_)
-    entries.push_back(Entry{st.deadline, id, st.generation});
+    entries.push_back(Entry{st.deadline, id, st.generation, st.ordinal});
   heap_ = Heap(Later{}, std::move(entries));
   ++compactions_;
 }

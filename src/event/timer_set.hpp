@@ -35,8 +35,17 @@ class TimerSet {
 
   explicit TimerSet(ExpiryFn on_expiry) : on_expiry_(std::move(on_expiry)) {}
 
-  /// Arms (or re-arms) the timer `id` to fire at `deadline`.
+  /// Arms (or re-arms) the timer `id` to fire at `deadline`. Deadline ties
+  /// break by arming order (each Arm call gets a fresh generation).
   void Arm(TimerId id, SimTime deadline);
+
+  /// Arms with an explicit tie ordinal: timers sharing a deadline fire in
+  /// ascending `ordinal` order regardless of arming order. The monitor
+  /// engines pass the instance id here, which makes expiry order a pure
+  /// function of (deadline, instance id) — the property that lets the
+  /// instance-sharded parallel path merge per-replica expiry streams back
+  /// into the exact serial order (parallel_monitor_set.cpp).
+  void Arm(TimerId id, SimTime deadline, std::uint64_t ordinal);
 
   /// Cancels the timer if armed. Idempotent.
   void Cancel(TimerId id);
@@ -76,10 +85,14 @@ class TimerSet {
     SimTime deadline;
     TimerId id;
     std::uint64_t generation;
+    /// Tie rank within a deadline. Defaults to the generation (arming
+    /// order); engines pass the instance id (see the 3-arg Arm).
+    std::uint64_t ordinal;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      if (a.ordinal != b.ordinal) return a.ordinal > b.ordinal;
       return a.generation > b.generation;
     }
   };
@@ -88,6 +101,7 @@ class TimerSet {
   struct LiveState {
     SimTime deadline;
     std::uint64_t generation;
+    std::uint64_t ordinal;
   };
 
   bool IsLive(const Entry& e) const {

@@ -446,18 +446,22 @@ void CompiledEngine::ArmWindow(std::uint32_t slot, const StageCode& completed,
                     .nanos();
   }
   if (window_ns > 0)
-    timers_.Arm(slot, now_ + Duration::Nanos(window_ns));
+    // Ordinal = instance id (NOT the slot): deadline ties must fire in id
+    // order in both engines and in every shard replica (timer_set.hpp).
+    timers_.Arm(slot, now_ + Duration::Nanos(window_ns), Rec(slot)[kWId]);
   else
     timers_.Cancel(slot);
 }
 
 void CompiledEngine::ReportViolation(const std::uint64_t* rec, SimTime when,
-                                     const std::string& trigger) {
+                                     const std::string& trigger,
+                                     std::uint32_t trigger_stage_index) {
   Violation v;
   v.property = prog_.name;
   v.time = when;
   v.instance_id = rec[kWId];
   v.trigger_stage = trigger;
+  v.trigger_stage_index = trigger_stage_index;
   if (config_.provenance >= ProvenanceLevel::kLimited) {
     const std::uint64_t bound = rec[kWBound];
     for (std::size_t i = 0; i < prog_.num_vars(); ++i) {
@@ -513,7 +517,7 @@ void CompiledEngine::AdvanceInstance(std::uint32_t slot,
   const StageCode& completed = prog_.stages[stage];
   SetStageMatch(rec, stage + 1, 0);
   if (stage + 1 == prog_.num_stages()) {
-    ReportViolation(rec, now_, completed.label);
+    ReportViolation(rec, now_, completed.label, stage);
     DestroyInstance(slot);
     return;
   }
@@ -571,15 +575,37 @@ void CompiledEngine::ProcessEvent(const DataplaneEvent& event) {
   ++event_seq_;
   ++stats_.events;
   AdvanceTime(event.time);
+  RunPasses(event, ~std::uint64_t{0});
+}
+
+void CompiledEngine::ProcessShardedEvent(const DataplaneEvent& event,
+                                         std::uint64_t stage_mask,
+                                         bool count) {
+  // Restricted mirror of ProcessEvent (see engine.cpp): exactly one replica
+  // per event counts it, and the driver already advanced time so the
+  // AdvanceTime here is a monotonicity no-op for normal sharded delivery.
+  ++event_seq_;
+  if (count) {
+    ++stats_.events;
+    ++stats_.events_dispatched;
+  }
+  AdvanceTime(event.time);
+  RunPasses(event, stage_mask);
+}
+
+void CompiledEngine::RunPasses(const DataplaneEvent& event,
+                               std::uint64_t stage_mask) {
   const auto t = static_cast<std::size_t>(event.type);
   if (live_count_ != 0) {
-    const std::uint64_t abort_mask = prog_.abort_stage_mask[t];
+    const std::uint64_t abort_mask = prog_.abort_stage_mask[t] & stage_mask;
     if (abort_mask != 0) RunAbortPass(event, abort_mask);
   }
   if (live_count_ != 0) {
-    const std::uint64_t advance_mask = prog_.advance_stage_mask[t];
+    const std::uint64_t advance_mask =
+        prog_.advance_stage_mask[t] & stage_mask;
     if (advance_mask != 0) RunAdvancePass(event, advance_mask);
   }
+  if (!(stage_mask & 1)) return;  // create + suppressor belong to stage 0
   // Stage-0 fail-fast: the type check plus the pattern's leading constant
   // condition, evaluated inline. Exactly the first steps RunCreatePass
   // would take (it touches no state before its ExecMatch), so skipping

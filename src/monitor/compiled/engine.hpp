@@ -138,6 +138,15 @@ class CompiledEngine : public PropertyMonitor {
     AdvanceTime(now);
   }
 
+  /// Instance-sharded delivery: runs only the passes `stage_mask` selects
+  /// (see PropertyMonitor::ProcessShardedEvent).
+  void ProcessShardedEvent(const DataplaneEvent& event,
+                           std::uint64_t stage_mask, bool count) override;
+
+  std::uint64_t created_count() const override {
+    return stats_.instances_created;
+  }
+
   const Property& property() const override { return property_; }
   const Program& program() const { return prog_; }
 
@@ -208,7 +217,8 @@ class CompiledEngine : public PropertyMonitor {
   void ArmWindow(std::uint32_t slot, const StageCode& completed,
                  const DataplaneEvent* ev);
   void ReportViolation(const std::uint64_t* rec, SimTime when,
-                       const std::string& trigger);
+                       const std::string& trigger,
+                       std::uint32_t trigger_stage_index);
   void OnTimerExpiry(std::uint32_t slot, SimTime deadline);
   void EvictIfNeeded();
   void CompactCreationOrder();
@@ -217,6 +227,10 @@ class CompiledEngine : public PropertyMonitor {
   void BuildStage0Key(const std::uint64_t* vars);
 
   // --- per-event passes ---
+  /// The abort/advance/create/suppressor sequence shared by ProcessEvent
+  /// (full mask) and ProcessShardedEvent (the replica's stage mask; bit 0
+  /// gates create + suppressor).
+  void RunPasses(const DataplaneEvent& ev, std::uint64_t stage_mask);
   void RunAbortPass(const DataplaneEvent& ev, std::uint64_t stage_mask);
   void RunAdvancePass(const DataplaneEvent& ev, std::uint64_t stage_mask);
   void RunCreatePass(const DataplaneEvent& ev);

@@ -191,7 +191,10 @@ void MonitorEngine::ArmWindow(Instance& inst, const Stage& completed,
   }
   if (window > Duration::Zero()) {
     inst.deadline = now_ + window;
-    timers_.Arm(inst.id, inst.deadline);
+    // Ordinal = instance id: deadline ties fire in id order, a pure function
+    // of monitor state that per-replica timer heaps reproduce independently
+    // (the instance-sharded merge depends on it; see timer_set.hpp).
+    timers_.Arm(inst.id, inst.deadline, inst.id);
   } else {
     inst.deadline = SimTime::Infinity();
     timers_.Cancel(inst.id);
@@ -199,12 +202,14 @@ void MonitorEngine::ArmWindow(Instance& inst, const Stage& completed,
 }
 
 void MonitorEngine::ReportViolation(const Instance& inst, SimTime when,
-                                    const std::string& trigger) {
+                                    const std::string& trigger,
+                                    std::uint32_t trigger_stage_index) {
   Violation v;
   v.property = property_.name;
   v.time = when;
   v.instance_id = inst.id;
   v.trigger_stage = trigger;
+  v.trigger_stage_index = trigger_stage_index;
   if (config_.provenance >= ProvenanceLevel::kLimited) {
     for (std::size_t i = 0; i < property_.vars.size(); ++i) {
       if (inst.env[i]) v.bindings.emplace_back(property_.vars[i], *inst.env[i]);
@@ -258,10 +263,11 @@ void MonitorEngine::AdvanceInstance(Instance& inst, const DataplaneEvent* ev) {
     inst.history.push_back(std::move(pe));
   }
   const Stage& completed = property_.stages[inst.stage];
+  const auto completed_index = inst.stage;
   ++inst.stage;
   inst.stage_matches = 0;
   if (inst.stage == property_.num_stages()) {
-    ReportViolation(inst, now_, completed.label);
+    ReportViolation(inst, now_, completed.label, completed_index);
     DestroyInstance(inst.id);
     return;
   }
@@ -317,11 +323,34 @@ void MonitorEngine::ProcessEvent(const DataplaneEvent& event) {
   ++event_seq_;
   ++stats_.events;
   AdvanceTime(event.time);
-  RunAbortPass(event);
-  RunAdvancePass(event);
+  RunAbortPass(event, ~std::uint64_t{0});
+  RunAdvancePass(event, ~std::uint64_t{0});
   if (config_.naive_timeout_refresh) RunNaiveRefreshPass(event);
   RunCreatePass(event);
   RunSuppressorPass(event);
+  stats_.peak_live = std::max(stats_.peak_live, instances_.size());
+}
+
+void MonitorEngine::ProcessShardedEvent(const DataplaneEvent& event,
+                                        std::uint64_t stage_mask, bool count) {
+  // Same pass sequence as ProcessEvent, restricted to the stages this
+  // replica owns for this event. Exactly one replica per event runs with
+  // `count` set, so summing replica counters reproduces the serial ones.
+  // The driver already advanced time (timer phase); the AdvanceTime here is
+  // a monotonicity no-op kept for direct callers.
+  ++event_seq_;
+  if (count) {
+    ++stats_.events;
+    ++stats_.events_dispatched;
+  }
+  AdvanceTime(event.time);
+  RunAbortPass(event, stage_mask);
+  RunAdvancePass(event, stage_mask);
+  if (config_.naive_timeout_refresh) RunNaiveRefreshPass(event);
+  if (stage_mask & 1) {
+    RunCreatePass(event);
+    RunSuppressorPass(event);
+  }
   stats_.peak_live = std::max(stats_.peak_live, instances_.size());
 }
 
@@ -352,8 +381,10 @@ void MonitorEngine::RunNaiveRefreshPass(const DataplaneEvent& ev) {
   }
 }
 
-void MonitorEngine::RunAbortPass(const DataplaneEvent& ev) {
+void MonitorEngine::RunAbortPass(const DataplaneEvent& ev,
+                                 std::uint64_t stage_mask) {
   for (std::size_t k = 1; k < property_.num_stages(); ++k) {
+    if (!(stage_mask >> k & 1)) continue;
     const Stage& st = property_.stages[k];
     if (st.aborts.empty()) continue;
     // Cheap prefilter: skip stages none of whose aborts can match this
@@ -395,10 +426,12 @@ void MonitorEngine::RunAbortPass(const DataplaneEvent& ev) {
   }
 }
 
-void MonitorEngine::RunAdvancePass(const DataplaneEvent& ev) {
+void MonitorEngine::RunAdvancePass(const DataplaneEvent& ev,
+                                   std::uint64_t stage_mask) {
   // Highest stage first so an instance advanced into stage k+1 is not
   // examined again there by the same event.
   for (std::size_t k = property_.num_stages(); k-- > 1;) {
+    if (!(stage_mask >> k & 1)) continue;
     const Stage& st = property_.stages[k];
     if (st.kind != StageKind::kEvent) continue;
     if (st.pattern.event_type && *st.pattern.event_type != ev.type) continue;

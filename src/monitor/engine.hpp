@@ -72,6 +72,16 @@ class MonitorEngine : public PropertyMonitor {
     AdvanceTime(now);
   }
 
+  /// Instance-sharded delivery: runs only the passes `stage_mask` selects
+  /// (see PropertyMonitor::ProcessShardedEvent). The caller advanced time
+  /// already; this must not fire timers interleaved with match work.
+  void ProcessShardedEvent(const DataplaneEvent& event,
+                           std::uint64_t stage_mask, bool count) override;
+
+  std::uint64_t created_count() const override {
+    return stats_.instances_created;
+  }
+
   const Property& property() const override { return property_; }
 
   /// DEPRECATED shim (one PR): read counters via CollectInto() / a
@@ -145,7 +155,8 @@ class MonitorEngine : public PropertyMonitor {
   void ArmWindow(Instance& inst, const Stage& completed,
                  const DataplaneEvent* ev);
   void ReportViolation(const Instance& inst, SimTime when,
-                       const std::string& trigger);
+                       const std::string& trigger,
+                       std::uint32_t trigger_stage_index);
   void OnTimerExpiry(std::uint64_t id, SimTime deadline);
   void EvictIfNeeded();
   void CompactCreationOrder();
@@ -157,9 +168,9 @@ class MonitorEngine : public PropertyMonitor {
     return s;
   }
 
-  // --- per-event passes ---
-  void RunAbortPass(const DataplaneEvent& ev);
-  void RunAdvancePass(const DataplaneEvent& ev);
+  // --- per-event passes (bit k of stage_mask admits stage-k instances) ---
+  void RunAbortPass(const DataplaneEvent& ev, std::uint64_t stage_mask);
+  void RunAdvancePass(const DataplaneEvent& ev, std::uint64_t stage_mask);
   void RunNaiveRefreshPass(const DataplaneEvent& ev);
   void RunCreatePass(const DataplaneEvent& ev);
   void RunSuppressorPass(const DataplaneEvent& ev);

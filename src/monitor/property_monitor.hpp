@@ -110,6 +110,29 @@ class PropertyMonitor : public DataplaneObserver {
   /// (Features 3/7) exactly as they would under broadcast delivery.
   virtual void NoteFilteredEvent(SimTime now) = 0;
 
+  // --- instance-sharded delivery (ParallelMonitorSet) ---
+  /// Partial delivery for instance sharding: bit s of `stage_mask` gates the
+  /// abort/advance passes over stage-s instances, and bit 0 additionally
+  /// gates the create and suppressor passes. The caller must have called
+  /// AdvanceTime(event.time) first (the sharded driver fires timers as a
+  /// separate phase so expiry markers can be ordered before match markers).
+  /// `count` gates the events / events_dispatched counters so exactly one
+  /// replica accounts for each event. The default ignores the mask and
+  /// counts unconditionally — correct for the unsharded (full-delivery)
+  /// case only.
+  virtual void ProcessShardedEvent(const DataplaneEvent& event,
+                                   std::uint64_t stage_mask, bool count) {
+    (void)stage_mask;
+    (void)count;
+    ProcessDispatchedEvent(event);
+  }
+
+  /// Lifetime instances_created count. The sharded driver polls the delta
+  /// after each event to log which event seq created an instance, which is
+  /// what lets the merge renumber per-replica instance ids back to the
+  /// serial sequence.
+  virtual std::uint64_t created_count() const = 0;
+
   /// Event types any stage/abort/suppressor pattern can react to; computed
   /// once at construction (see features.hpp). Non-virtual: the dispatch
   /// layer reads it per attach, engines fill interest_ in their

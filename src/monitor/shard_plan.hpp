@@ -1,0 +1,88 @@
+// Instance-shard routing plans (the parallel path's Feature-8 key).
+//
+// Property-level sharding pins a property to one worker; a single hot
+// property (the paper's million-user case) cannot scale that way. Instance
+// sharding splits ONE property across workers by partitioning its monitor
+// instances on their identity key — the stage-0 bound variables that every
+// later stage links back to. A ShardPlan is the static analysis that makes
+// this sound:
+//
+//   * routing_vars: stage-0 kField-bound variables that (a) every later
+//     kEvent stage constrains with an indexable equality (same shape the
+//     engines' keyed stores use: Eq against the var, full mask, no
+//     allow_absent) and (b) no later stage rebinds. An instance's routing
+//     values are therefore fixed at creation, and any event that can
+//     advance the instance carries the same values in its fields — so the
+//     producer can compute the owning worker from the event alone.
+//   * extractions: per (event type, stage set), the ordered field tuple to
+//     hash. Stage 0 extracts the binding fields (what a new instance would
+//     bind); stage k >= 1 extracts the matched condition fields. Plans with
+//     identical (type, fields) merge their stage bits into one lane, and
+//     exactly one plan per type carries the event count so summed replica
+//     counters equal the serial engine's.
+//
+// An event is delivered to replica r with a stage mask: the OR of
+// stage_bits over this type's lanes whose hash owns r. Every instance the
+// event could create, advance, refresh, or abort at those stages lives on
+// that replica, and no other replica holds one — which is what makes the
+// merged violation stream (parallel_monitor_set.cpp) bit-identical to
+// serial execution.
+//
+// Properties outside the analyzable shape (aborts, suppressors, scan-list
+// instances, round-robin bindings, field-derived windows, instance caps)
+// are simply ineligible and fall back to property-level sharding; no
+// behaviour changes for them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "monitor/property_monitor.hpp"
+#include "monitor/spec.hpp"
+#include "packet/field.hpp"
+
+namespace swmon {
+
+/// One routing lane: for events of `type`, hash `fields` (in routing-var
+/// order); the owning replica runs the passes `stage_bits` selects.
+struct ShardExtraction {
+  DataplaneEventType type;
+  /// Bit k = the owner runs stage k's advance pass (bit 0: the create and
+  /// suppressor passes).
+  std::uint64_t stage_bits = 0;
+  /// Exactly one lane per event type carries the event-count attribution
+  /// (PropertyMonitor::ProcessShardedEvent's `count`).
+  bool counts = false;
+  std::vector<FieldId> fields;
+};
+
+struct ShardPlan {
+  /// The identity key, in stage-0 binding order.
+  std::vector<VarId> routing_vars;
+  std::vector<ShardExtraction> extractions;
+  /// Indexes into `extractions`, per event type (the lanes the producer
+  /// hashes for an event of that type, in extraction order).
+  std::array<std::vector<std::uint32_t>, kNumDataplaneEventTypes> lanes_by_type;
+  /// max over types of lanes_by_type[t].size(); the batch route stride.
+  std::uint32_t max_lanes = 0;
+};
+
+/// Hash of an event's projection onto an extraction's field tuple. Absent
+/// fields mix a presence sentinel, so every event routes somewhere
+/// deterministic; an event that actually matches an instance always has the
+/// fields present (indexable conditions reject absent fields), so it hashes
+/// identically to the instance's routing values.
+std::uint64_t ShardHash(const FieldMap& fields,
+                        const std::vector<FieldId>& extraction_fields);
+
+/// Analyzes the property; nullopt (with a reason in `*why` if given) when
+/// it is not instance-shardable under `config`.
+std::optional<ShardPlan> BuildShardPlan(const Property& property,
+                                        const MonitorConfig& config,
+                                        std::string* why = nullptr);
+
+}  // namespace swmon

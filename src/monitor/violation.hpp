@@ -36,6 +36,10 @@ struct Violation {
   SimTime time;
   std::uint64_t instance_id = 0;
   std::string trigger_stage;
+  /// Index of the stage whose completion (or timeout) triggered the report.
+  /// Not rendered by ToString(); the parallel merge keys on it to replay the
+  /// serial advance-pass order (highest stage first) across engine replicas.
+  std::uint32_t trigger_stage_index = 0;
 
   /// kLimited and kFull: bound (name, value) pairs.
   std::vector<std::pair<std::string, std::uint64_t>> bindings;

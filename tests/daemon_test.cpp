@@ -4,6 +4,7 @@
 // label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -728,6 +729,51 @@ TEST(SwmonDaemonTest, UnixSocketIngest) {
   ASSERT_TRUE(drained.has_value());
   EXPECT_EQ(drained->size(), 1u);
   daemon.Stop();
+}
+
+TEST(TenantShardModeTest, InstanceShardedTenantMatchesSerialTenant) {
+  // The --shard-mode knob reaches the tenant's worker pool: an instance-
+  // sharded parallel tenant must drain exactly the violations a serial
+  // tenant sees on the same stream, through the same ring/telemetry
+  // surface the daemon uses.
+  TenantOptions serial_opts;
+  Tenant serial("serial", serial_opts);
+
+  TenantOptions sharded_opts;
+  sharded_opts.workers = 2;
+  sharded_opts.shard_mode = ShardMode::kInstance;
+  Tenant sharded("sharded", sharded_opts);
+
+  std::string error;
+  ASSERT_TRUE(serial.AttachSpl(kTwoStepSpl, &error).has_value()) << error;
+  ASSERT_TRUE(sharded.AttachSpl(kTwoStepSpl, &error).has_value()) << error;
+
+  std::vector<DataplaneEvent> events;
+  for (std::uint64_t ip = 1; ip <= 40; ++ip) {
+    const std::int64_t base = static_cast<std::int64_t>(ip) * 1000;
+    for (const DataplaneEvent& ev : TwoStepPair(base, base + 500, ip))
+      events.push_back(ev);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const DataplaneEvent& a, const DataplaneEvent& b) {
+              return a.time < b.time;
+            });
+  for (const DataplaneEvent& ev : events) {
+    serial.Deliver(ev);
+    sharded.Deliver(ev);
+  }
+  serial.DrainEngines();
+  sharded.DrainEngines();
+
+  const std::vector<Violation> want = serial.DrainRing();
+  const std::vector<Violation> got = sharded.DrainRing();
+  ASSERT_EQ(want.size(), 40u);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].time, got[i].time) << i;
+    EXPECT_EQ(want[i].instance_id, got[i].instance_id) << i;
+    EXPECT_EQ(want[i].bindings, got[i].bindings) << i;
+  }
 }
 
 TEST(ViolationsToJsonTest, EscapesAndSerializes) {

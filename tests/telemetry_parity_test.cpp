@@ -76,7 +76,21 @@ TEST_P(SnapshotParity, MergedSnapshotIdenticalToSerial) {
   for (const DataplaneEvent& ev : events) parallel.OnDataplaneEvent(ev);
   parallel.AdvanceTime(end);
   parallel.Stop();
-  const telemetry::Snapshot got = parallel.TelemetrySnapshot();
+  const telemetry::Snapshot full = parallel.TelemetrySnapshot();
+
+  // The parallel runtime also publishes monitor.parallel.* metrics (slab
+  // pool, ring depths, per-replica gauges) that a serial set cannot have;
+  // parity covers every shared name.
+  telemetry::Snapshot got;
+  for (const auto& [name, sample] : full.samples()) {
+    if (name.rfind("monitor.parallel.", 0) == 0) continue;
+    if (sample.kind == telemetry::Sample::Kind::kCounter)
+      got.SetCounter(name, sample.counter);
+    else if (sample.kind == telemetry::Sample::Kind::kGauge)
+      got.SetGauge(name, sample.gauge);
+    else
+      got.SetHistogram(name, sample.histogram);
+  }
 
   // Same names (13 engines x counter family + the set-level counters)...
   ASSERT_EQ(want.size(), got.size());
