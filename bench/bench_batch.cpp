@@ -1,0 +1,329 @@
+// Batch-mode compiled execution vs the scalar compiled path (DESIGN.md
+// §5k, EXPERIMENTS.md E14): per-event cost of MonitorSet delivery with the
+// micro-batcher on (SetBatching) against per-event delivery, both running
+// the compiled engine. The batch path buys three things the scalar loop
+// cannot: one stage-0 routing hash per fused key-tuple group per event
+// (instead of one per property), a prefetch pass that issues OpenMap cell
+// and slab-record prefetches a fixed distance ahead, and engine-outer loop
+// order that keeps one engine's bytecode and tables hot across the run.
+//
+// Batching is required to be observationally bit-identical to scalar
+// delivery, so every swept configuration is also a differential check —
+// any violation mismatch fails the bench (exit 1).
+//
+// Sweeps: batch window x property count, plus a prefetch-distance ablation
+// at the largest configuration. Emits BENCH_batch.json via JsonReporter.
+// The CI smoke step runs under SWMON_BENCH_TINY and enforces the gate:
+// best batched 13-property ns/event must be <= 0.9x scalar compiled.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "monitor/compiled/engine.hpp"
+#include "monitor/monitor_set.hpp"
+#include "properties/catalog.hpp"
+
+namespace swmon {
+namespace {
+
+// Same L3-resident sizing rationale as bench_compiled: the comparison is
+// per-event monitor compute, so the event walk must not be DRAM-bound.
+// TINY keeps enough laps that the gate ratio is measured, not noise.
+const bool kTiny = std::getenv("SWMON_BENCH_TINY") != nullptr;
+const std::size_t kEvents = kTiny ? 2000 : 8000;
+const int kLaps = kTiny ? 4 : 40;
+const int kReps = kTiny ? 2 : 3;
+
+/// SWMON_BATCH — the same knob the daemon reads for serial tenants —
+/// names the "deployed" window here: it anchors the prefetch ablation and
+/// is always included in the sweep.
+std::size_t DeployedWindow() {
+  const char* s = std::getenv("SWMON_BATCH");
+  if (s == nullptr) return 64;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return (end != s && *end == '\0' && v > 0) ? static_cast<std::size_t>(v)
+                                             : 64;
+}
+
+/// The fuzz-test event soup (bench_compiled's mixed stream): all three
+/// types, fields sprinkled at random in a small value range so stages
+/// chain, instances accumulate, and every property sees relevant events.
+std::vector<DataplaneEvent> FuzzStream(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<DataplaneEvent> events;
+  events.reserve(count);
+  SimTime t = SimTime::Zero();
+  for (std::size_t i = 0; i < count; ++i) {
+    DataplaneEvent ev;
+    t = t + Duration::Millis(1 + static_cast<std::int64_t>(rng.NextBelow(50)));
+    ev.time = t;
+    const auto roll = rng.NextBelow(10);
+    ev.type = roll < 4   ? DataplaneEventType::kArrival
+              : roll < 8 ? DataplaneEventType::kEgress
+                         : DataplaneEventType::kLinkStatus;
+    for (std::size_t f = 0; f < kNumFieldIds; ++f) {
+      if (rng.NextBool(0.35))
+        ev.fields.Set(static_cast<FieldId>(f), rng.NextBelow(8));
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+/// The probe-bound stream batch mode is built for: arrival events over a
+/// large flow population, so every keyed property holds one instance per
+/// distinct flow. At full size the aggregate OpenMap/slab state spans
+/// several MB — past L2, resident in L3 — and per-event cost is dominated
+/// by the stage-0 routing probes all the flow-keyed properties share.
+/// (The fuzz soup above is the opposite regime: tiny key space, state in
+/// L1/L2, cost dominated by pass execution batching cannot reduce.)
+std::vector<DataplaneEvent> KeyedArrivalStream(std::uint64_t seed,
+                                               std::size_t count) {
+  Rng rng(seed);
+  std::vector<DataplaneEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DataplaneEvent ev;
+    ev.type = DataplaneEventType::kArrival;
+    ev.time = SimTime::Zero() + Duration::Micros(static_cast<std::int64_t>(i));
+    ev.fields.Set(FieldId::kInPort, 1 + rng.NextBelow(4));
+    ev.fields.Set(FieldId::kPacketId, i + 1);
+    ev.fields.Set(FieldId::kIpSrc, 1000 + rng.NextBelow(256));
+    ev.fields.Set(FieldId::kIpDst, 2000 + rng.NextBelow(256));
+    ev.fields.Set(FieldId::kIpProto, 6);
+    ev.fields.Set(FieldId::kL4SrcPort, 30000 + rng.NextBelow(512));
+    ev.fields.Set(FieldId::kL4DstPort, rng.NextBool(0.5) ? 80 : 443);
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<Property> Table1Properties(std::size_t count) {
+  std::vector<Property> props;
+  for (const CatalogEntry& e : BuildCatalog()) {
+    if (!e.in_table1) continue;
+    props.push_back(e.property);
+    if (props.size() == count) break;
+  }
+  return props;
+}
+
+double BestNsPerEvent(const std::function<void()>& run, std::size_t events) {
+  double best = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(events);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// One measured configuration: MonitorSet delivery of the stream, window 0
+/// = scalar per-event path. prefetch_distance < 0 keeps the engine
+/// default. Construction (and bytecode compilation) sits inside the timed
+/// region like bench_compiled, amortised over the replay laps.
+double TimeSet(const std::vector<Property>& props,
+               const std::vector<DataplaneEvent>& events, std::size_t window,
+               int prefetch_distance) {
+  MonitorConfig cfg;
+  cfg.engine = EngineKind::kCompiled;
+  return BestNsPerEvent(
+      [&] {
+        MonitorSet set;
+        if (window != 0) set.SetBatching(window);
+        for (const Property& p : props) {
+          PropertyMonitor& eng = set.Add(p, cfg);
+          if (prefetch_distance >= 0) {
+            if (auto* c = dynamic_cast<CompiledEngine*>(&eng))
+              c->set_prefetch_distance(
+                  static_cast<std::uint32_t>(prefetch_distance));
+          }
+        }
+        for (int lap = 0; lap < kLaps; ++lap) {
+          // Span delivery: batched windows execute straight out of the
+          // replay buffer (no per-event copy); window 0 degrades to the
+          // same per-event loop as OnDataplaneEvent.
+          set.OnDataplaneEvents(events.data(), events.size());
+          set.FlushEvents();
+        }
+      },
+      events.size() * static_cast<std::size_t>(kLaps));
+}
+
+/// Untimed single pass for the differential check.
+std::vector<Violation> RunOnce(const std::vector<Property>& props,
+                               const std::vector<DataplaneEvent>& events,
+                               std::size_t window, int prefetch_distance) {
+  MonitorConfig cfg;
+  cfg.engine = EngineKind::kCompiled;
+  MonitorSet set;
+  if (window != 0) set.SetBatching(window);
+  for (const Property& p : props) {
+    PropertyMonitor& eng = set.Add(p, cfg);
+    if (prefetch_distance >= 0) {
+      if (auto* c = dynamic_cast<CompiledEngine*>(&eng))
+        c->set_prefetch_distance(
+            static_cast<std::uint32_t>(prefetch_distance));
+    }
+  }
+  set.OnDataplaneEvents(events.data(), events.size());
+  set.AdvanceTime(events.back().time + Duration::Seconds(300));
+  return set.AllViolations();
+}
+
+bool Identical(const std::vector<Violation>& a,
+               const std::vector<Violation>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].property != b[i].property || a[i].time != b[i].time ||
+        a[i].instance_id != b[i].instance_id ||
+        a[i].trigger_stage != b[i].trigger_stage ||
+        a[i].bindings != b[i].bindings)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  bench::Header(
+      "bench_batch", "DESIGN.md §5k (batch-mode execution)",
+      "fused stage-0 hashing + prefetched probes + engine-outer batch "
+      "loops cut per-event cost vs scalar compiled delivery, with "
+      "bit-identical violation streams at every swept configuration");
+
+  bench::JsonReporter json("batch");
+  const std::size_t deployed = DeployedWindow();
+  std::vector<std::size_t> windows = {8, 32, 64, 256};
+  if (std::find(windows.begin(), windows.end(), deployed) == windows.end()) {
+    windows.push_back(deployed);
+    std::sort(windows.begin(), windows.end());
+  }
+  const struct {
+    const char* name;
+    std::vector<DataplaneEvent> events;
+  } streams[] = {
+      {"keyed_arrival", KeyedArrivalStream(42, kEvents)},
+      {"fuzz_soup", FuzzStream(99, kEvents)},
+  };
+  bool all_identical = true;
+  // The gate (and the headline number) is the probe-bound keyed stream at
+  // 13 properties — the configuration batch mode exists for.
+  double gate_scalar_ns = 0;
+  double gate_best_batch_ns = 0;
+  std::size_t gate_best_window = 0;
+
+  for (const auto& s : streams) {
+    for (const std::size_t nprops : {1u, 4u, 13u}) {
+      const std::vector<Property> props = Table1Properties(nprops);
+      const std::vector<Violation> reference =
+          RunOnce(props, s.events, /*window=*/0, /*prefetch_distance=*/-1);
+      const double scalar_ns = TimeSet(props, s.events, 0, -1);
+      bench::Section((std::string(s.name) + ", batch window sweep, " +
+                      std::to_string(props.size()) + " properties")
+                         .c_str());
+      std::printf("%8s | %14s | %12s | %8s | %10s\n", "window",
+                  "scalar ns/ev", "batch ns/ev", "speedup", "violations");
+      for (const std::size_t window : windows) {
+        const std::vector<Violation> batched =
+            RunOnce(props, s.events, window, -1);
+        if (!Identical(reference, batched)) {
+          std::printf("SEMANTICS MISMATCH: %s window=%zu props=%zu: "
+                      "scalar=%zu batched=%zu violations\n",
+                      s.name, window, props.size(), reference.size(),
+                      batched.size());
+          all_identical = false;
+          continue;
+        }
+        const double batch_ns = TimeSet(props, s.events, window, -1);
+        const double speedup = batch_ns > 0 ? scalar_ns / batch_ns : 0;
+        std::printf("%8zu | %14.1f | %12.1f | %7.2fx | %10zu\n", window,
+                    scalar_ns, batch_ns, speedup, batched.size());
+        json.AddRow()
+            .Str("stream", s.name)
+            .Num("properties", static_cast<double>(props.size()))
+            .Num("window", static_cast<double>(window))
+            .Num("scalar_ns_per_event", scalar_ns)
+            .Num("batch_ns_per_event", batch_ns)
+            .Num("speedup", speedup)
+            .Num("violations", static_cast<double>(batched.size()));
+        if (nprops == 13 && std::string(s.name) == "keyed_arrival") {
+          gate_scalar_ns = scalar_ns;
+          if (gate_best_window == 0 || batch_ns < gate_best_batch_ns) {
+            gate_best_batch_ns = batch_ns;
+            gate_best_window = window;
+          }
+        }
+      }
+    }
+  }
+
+  // Prefetch-distance ablation at the largest configuration: distance 0
+  // disables the probe-prefetch pass entirely, isolating its contribution
+  // from the hash fusion and loop-order wins.
+  {
+    const std::vector<Property> props = Table1Properties(13);
+    const auto& events = streams[0].events;  // keyed_arrival
+    const std::vector<Violation> reference = RunOnce(props, events, 0, -1);
+    bench::Section(("prefetch distance ablation, keyed_arrival, "
+                    "13 properties, window " +
+                    std::to_string(deployed))
+                       .c_str());
+    std::printf("%10s | %12s\n", "distance", "batch ns/ev");
+    for (const int dist : {0, 4, 8, 16}) {
+      const std::vector<Violation> batched =
+          RunOnce(props, events, deployed, dist);
+      if (!Identical(reference, batched)) {
+        std::printf("SEMANTICS MISMATCH: prefetch distance %d changed the "
+                    "violation stream\n",
+                    dist);
+        all_identical = false;
+        continue;
+      }
+      const double ns = TimeSet(props, events, deployed, dist);
+      std::printf("%10d | %12.1f\n", dist, ns);
+      json.AddRow()
+          .Str("stream", "keyed_arrival")
+          .Num("properties", 13)
+          .Num("window", static_cast<double>(deployed))
+          .Num("prefetch_distance", static_cast<double>(dist))
+          .Num("batch_ns_per_event", ns);
+    }
+  }
+
+  const double gate_speedup = gate_best_batch_ns > 0
+                                  ? gate_scalar_ns / gate_best_batch_ns
+                                  : 0;
+  std::printf("\nbest keyed_arrival 13-property batch speedup: %.2fx at "
+              "window %zu (gate: batch <= 0.9x scalar; target: >= 1.5x)\n",
+              gate_speedup, gate_best_window);
+  json.AddRow()
+      .Str("stream", "summary")
+      .Num("best_batch_speedup_13p", gate_speedup)
+      .Num("best_window", static_cast<double>(gate_best_window));
+  json.Flush();
+
+  if (!all_identical) return 1;  // differential failure is a bench failure
+  if (gate_best_batch_ns > 0.9 * gate_scalar_ns) {
+    std::printf("GATE FAILURE: batch %.1f ns/ev > 0.9 x scalar %.1f ns/ev\n",
+                gate_best_batch_ns, gate_scalar_ns);
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -76,6 +77,14 @@ std::string ViolationsToJson(const std::vector<Violation>& violations) {
 SwmonDaemon::SwmonDaemon(SwmondOptions options)
     : options_(std::move(options)) {
   if (options_.max_round_events == 0) options_.max_round_events = 1;
+  if (options_.batch == 0) {
+    if (const char* env = std::getenv("SWMON_BATCH")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0')
+        options_.batch = static_cast<std::size_t>(v);
+    }
+  }
 }
 
 SwmonDaemon::~SwmonDaemon() { Stop(); }
@@ -86,6 +95,7 @@ Tenant& SwmonDaemon::GetOrCreateTenant(const std::string& name) {
     TenantOptions topts;
     topts.workers = options_.workers;
     topts.shard_mode = options_.shard_mode;
+    topts.batch = options_.batch;
     topts.monitor = options_.monitor;
     topts.violation_capacity = options_.violation_capacity;
     it = tenants_.emplace(name, std::make_unique<Tenant>(name, topts)).first;

@@ -18,6 +18,7 @@ Tenant::Tenant(std::string name, TenantOptions options)
     parallel_->Start();
   } else {
     serial_ = std::make_unique<MonitorSet>();
+    if (options_.batch != 0) serial_->SetBatching(options_.batch);
   }
 }
 
@@ -77,7 +78,11 @@ void Tenant::Deliver(const DataplaneEvent& event) {
 }
 
 void Tenant::Flush() {
-  if (parallel_) parallel_->Flush();
+  if (parallel_) {
+    parallel_->Flush();
+  } else {
+    serial_->FlushEvents();  // publishes the micro-batcher's partial window
+  }
 }
 
 void Tenant::AdvanceTime(SimTime now) {

@@ -38,6 +38,11 @@ struct TenantOptions {
   /// while the tenant has fewer live properties than workers — the right
   /// default for a tenant whose one hot property must use the whole pool.
   ShardMode shard_mode = ShardMode::kProperty;
+  /// Serial micro-batch window (MonitorSet::SetBatching): events buffer in
+  /// the tenant's set until `batch` arrive or the pump hits a quiet point
+  /// (Flush/AdvanceTime/any read). 0 = per-event delivery. Ignored for
+  /// parallel tenants — their workers already consume whole slab batches.
+  std::size_t batch = 0;
   /// Per-engine monitor config (provenance, instance caps, ...).
   MonitorConfig monitor;
   /// Most-recent undrained violations retained per tenant (older ones are

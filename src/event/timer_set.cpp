@@ -28,6 +28,11 @@ void TimerSet::MaybeCompact() {
   entries.reserve(live_.size());
   for (const auto& [id, st] : live_)
     entries.push_back(Entry{st.deadline, id, st.generation, st.ordinal});
+  // Every entry the rebuild drops is a stale generation. Count them like the
+  // lazy pops do, so stale_popped() reads as "stale entries discarded" no
+  // matter which mechanism discarded them — a snapshot taken right after a
+  // compaction then agrees with one where the same entries died lazily.
+  stale_popped_ += heap_.size() - entries.size();
   heap_ = Heap(Later{}, std::move(entries));
   ++compactions_;
 }

@@ -75,7 +75,10 @@ class TimerSet {
   }
   /// Lifetime Arm() calls (including re-arms).
   std::uint64_t total_armed() const { return total_armed_; }
-  /// Stale heap entries lazily discarded by Advance/NextDeadline.
+  /// Stale heap entries discarded so far — lazily by Advance/NextDeadline or
+  /// wholesale by a compaction rebuild. Counting both sources keeps the value
+  /// a pure function of the arm/cancel history, independent of when
+  /// compaction happens to fire relative to a snapshot.
   std::uint64_t stale_popped() const { return stale_popped_; }
   /// Heap rebuilds triggered by stale-entry pressure.
   std::uint64_t compactions() const { return compactions_; }

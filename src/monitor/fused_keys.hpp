@@ -1,0 +1,144 @@
+// Cross-property fused key hashing for batch-mode execution.
+//
+// Every compiled probe site whose key is a pure projection of event fields
+// (the stage-0 dedup key when stage 0 binds only kBindField, every linked
+// advance-stage key, the suppression key) declares its field tuple to the
+// set that owns it. The FusedKeyTable interns those tuples — properties
+// whose routing keys extract the same event fields share one slot — and,
+// once per batch, computes one hash row per *unique* tuple: 13 properties
+// keyed on the same MAC/IP pay one hash per event, not 13.
+//
+// A row entry is exactly HashKeySpan over the tuple's field values in
+// declaration order, i.e. bit-equal to the hash OpenMap::Find would compute
+// from the key words the engine builds at the probe site, so engines consume
+// rows via OpenMap::FindHashed without re-hashing. The per-event valid byte
+// is 1 iff the row entry was computed; an invalid entry makes the consumer
+// hash inline at the probe (scalar-identical), so the hash pass is free to
+// skip any (tuple, event) pair it judges unlikely to be consumed — wrong
+// event type, missing key fields, a failing KeyConstFilter gate, or a tuple
+// no engine demanded this batch (the `want` mask) — without ever changing
+// which probes run or what they observe.
+//
+// Tables are rebuilt (Reset + re-Intern + re-BindFusedRows) whenever the
+// owning set's engine population changes — hot attach/detach invalidates the
+// groups, exactly like DispatchTable registration.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "monitor/key_hash.hpp"
+#include "monitor/property_monitor.hpp"  // KeyConstFilter
+
+namespace swmon {
+
+class FusedKeyTable {
+ public:
+  /// Drops every interned tuple (engines must re-Intern and be re-bound).
+  void Reset() {
+    tuples_.clear();
+    interned_ = 0;
+  }
+
+  /// Interns a field tuple, returning its slot. Identical tuples — same
+  /// fields in the same order — share a slot across engines; that sharing
+  /// is the fusion. `types` is the event-type set on which the declaring
+  /// site can consume the row; sharing engines OR their sets together, so
+  /// a tuple is hashed for an event iff at least one consumer could run.
+  /// `filter` is the declaring site's reachability gate; it survives only
+  /// while every sharer declares the identical gate (an ungated or
+  /// differently-gated sharer widens the tuple to always-hash — the gate
+  /// must admit every event any consumer could probe on).
+  std::uint32_t Intern(const std::vector<std::uint16_t>& fields,
+                       EventTypeMask types, const KeyConstFilter& filter) {
+    ++interned_;
+    for (std::uint32_t s = 0; s < tuples_.size(); ++s) {
+      if (tuples_[s].fields == fields) {
+        tuples_[s].types |= types;
+        if (!tuples_[s].filter.SameAs(filter)) tuples_[s].filter.valid = false;
+        return s;
+      }
+    }
+    Tuple t;
+    t.fields = fields;
+    t.presence = 0;
+    for (const std::uint16_t f : fields) t.presence |= std::uint64_t{1} << f;
+    t.types = types;
+    t.filter = filter;
+    tuples_.push_back(std::move(t));
+    return static_cast<std::uint32_t>(tuples_.size() - 1);
+  }
+
+  /// Computes the hash row (and presence byte) of every interned tuple for
+  /// `events[0, count)`. Row pointers returned by row()/valid() are valid
+  /// until the next ComputeRows/Reset and cover exactly `count` entries.
+  /// `want` (tuples() bytes, or nullptr = all wanted) is the owner's
+  /// per-batch demand mask from MarkConsumableFusedSlots: unwanted tuples
+  /// get an all-invalid row without hashing anything. An invalid entry
+  /// never means "skip the probe" — consumers fall back to hashing inline
+  /// at the probe — so every gate here (type, presence, filter, want) is a
+  /// pure work-avoidance heuristic, not a semantic judgement.
+  void ComputeRows(const DataplaneEvent* events, std::size_t count,
+                   const std::uint8_t* want = nullptr) {
+    capacity_ = count;
+    rows_.resize(tuples_.size() * count);
+    valid_.resize(tuples_.size() * count);
+    std::uint64_t key[8];
+    for (std::uint32_t s = 0; s < tuples_.size(); ++s) {
+      const Tuple& t = tuples_[s];
+      std::uint64_t* rows = rows_.data() + static_cast<std::size_t>(s) * count;
+      std::uint8_t* valid = valid_.data() + static_cast<std::size_t>(s) * count;
+      if ((want != nullptr && want[s] == 0) || t.fields.size() > 8) {
+        std::memset(valid, 0, count);
+        continue;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const FieldMap& fields = events[i].fields;
+        if ((t.types & EventTypeBit(events[i].type)) == 0 ||
+            (fields.presence_mask() & t.presence) != t.presence ||
+            !t.filter.Matches(fields)) {
+          valid[i] = 0;
+          continue;
+        }
+        for (std::size_t k = 0; k < t.fields.size(); ++k)
+          key[k] = fields.GetUnchecked(static_cast<FieldId>(t.fields[k]));
+        rows[i] = HashKeySpan(key, static_cast<std::uint32_t>(t.fields.size()));
+        valid[i] = 1;
+        rows_computed_ += 1;
+      }
+    }
+  }
+
+  const std::uint64_t* row(std::uint32_t slot) const {
+    return rows_.data() + static_cast<std::size_t>(slot) * capacity_;
+  }
+  const std::uint8_t* valid(std::uint32_t slot) const {
+    return valid_.data() + static_cast<std::size_t>(slot) * capacity_;
+  }
+
+  /// Unique tuples currently interned.
+  std::size_t tuples() const { return tuples_.size(); }
+  /// Intern() calls since the last Reset — consumer sites across engines.
+  /// interned_sites() - tuples() is how many per-event hashes fusion saves.
+  std::size_t interned_sites() const { return interned_; }
+  /// Lifetime hash-row entries actually computed.
+  std::uint64_t rows_computed() const { return rows_computed_; }
+
+ private:
+  struct Tuple {
+    std::vector<std::uint16_t> fields;
+    std::uint64_t presence;
+    EventTypeMask types = 0;
+    KeyConstFilter filter;
+  };
+  std::vector<Tuple> tuples_;
+  std::size_t interned_ = 0;
+  std::size_t capacity_ = 0;
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::uint8_t> valid_;
+  std::uint64_t rows_computed_ = 0;
+};
+
+}  // namespace swmon

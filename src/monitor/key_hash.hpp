@@ -1,0 +1,25 @@
+// The one key-tuple hash every probe index uses.
+//
+// OpenMap (compiled engine), and the batch-mode fused-key table both hash
+// u64 key tuples with this exact mixing (FlowKey::Hash's FNV variant over a
+// span). Keeping it in one place is what makes hash fusion sound: a hash row
+// the FusedKeyTable precomputes from raw event fields is bit-equal to the
+// hash OpenMap would have computed from the same key words, so
+// OpenMap::FindHashed can consume precomputed rows directly.
+#pragma once
+
+#include <cstdint>
+
+namespace swmon {
+
+inline std::uint64_t HashKeySpan(const std::uint64_t* key, std::uint32_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    h ^= key[i];
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace swmon

@@ -144,6 +144,9 @@ PropertyId ParallelMonitorSet::AttachProperty(Property property,
         shard_of_.push_back(0);  // placeholder: sharded slots span all workers
         MakeSharded(id, std::move(*plan));
         RebuildPool();
+        // Every worker gained a replica; refresh every fused table.
+        for (std::size_t w = 0; w < workers_.size(); ++w)
+          RebuildWorkerFused(w);
         return id;
       }
     }
@@ -155,6 +158,7 @@ PropertyId ParallelMonitorSet::AttachProperty(Property property,
     workers_[w]->table.Register(engines_[id].get(),
                                 static_cast<std::uint32_t>(id));
     workers_[w]->engine_indices.push_back(id);
+    RebuildWorkerFused(w);
   }
   return id;
 }
@@ -178,6 +182,9 @@ std::optional<std::vector<Violation>> ParallelMonitorSet::DetachProperty(
     active_groups_.erase(
         std::remove(active_groups_.begin(), active_groups_.end(), g),
         active_groups_.end());
+    // Every worker lost its replica; stale fused-table bindings must go
+    // before the next batch.
+    for (std::size_t w = 0; w < workers_.size(); ++w) RebuildWorkerFused(w);
     // Serial-order drain: the slot's markers over the retired lists.
     return MaterializeSlot(id);
   }
@@ -193,6 +200,7 @@ std::optional<std::vector<Violation>> ParallelMonitorSet::DetachProperty(
     indices.erase(std::remove(indices.begin(), indices.end(), id),
                   indices.end());
     worker_load_[w] -= weights_[id];
+    RebuildWorkerFused(w);
   }
   engines_[id].reset();
   return drained;
@@ -334,6 +342,7 @@ void ParallelMonitorSet::Start() {
     worker_load_[shard_of_[i]] += weights_[i];
   }
   RebuildPool();
+  for (std::size_t w = 0; w < n_workers; ++w) RebuildWorkerFused(w);
   started_ = true;
   for (std::size_t w = 0; w < n_workers; ++w) {
     workers_[w]->thread =
@@ -365,102 +374,138 @@ void ParallelMonitorSet::WorkerLoop(Worker& worker, std::size_t worker_index) {
 void ParallelMonitorSet::ProcessBatch(Worker& worker,
                                       std::size_t worker_index,
                                       const SlabBatch<DataplaneEvent>& batch) {
+  const std::size_t n = batch.size;
+  if (n == 0) return;
+  // Batch execution: one fused hash pass over the run for every engine
+  // resident on this worker, then each engine consumes the whole run
+  // through its batch entry point. Engines are independent state machines,
+  // so swapping the scalar loop's event/engine nesting is invisible to each
+  // engine's event stream; the per-event observability the scalar loop read
+  // inline (violation highwater marks, creation counts, live counts) comes
+  // back through the BatchEventResult array and is folded into the same
+  // markers and logs the scalar loop produced — bit-identical merges.
+  worker.fused_want.assign(worker.fused.tuples(), 0);
+  for (const std::size_t idx : worker.engine_indices)
+    engines_[idx]->MarkConsumableFusedSlots(worker.fused_want.data());
+  for (ShardedGroup* g : active_groups_)
+    g->replicas[worker_index]->MarkConsumableFusedSlots(
+        worker.fused_want.data());
+  worker.fused.ComputeRows(batch.items.data(), n, worker.fused_want.data());
+  if (worker.results.size() < n) worker.results.resize(n);
+  if (worker.ops.size() < n) worker.ops.resize(n);
+
   // Local accumulators; synced into the worker's counters once per batch so
   // the batched path's totals match serial per-event counting exactly.
   std::uint64_t dispatched = 0;
   std::uint64_t filtered = 0;
-  const std::uint64_t n_workers = workers_.size();
-  const std::size_t stride = route_stride_;
-  for (std::uint32_t i = 0; i < batch.size; ++i) {
-    const DataplaneEvent& ev = batch.items[i];
-    const std::uint64_t seq = batch.base_seq + i;
-    const DispatchTable::Lists& lists = worker.table.lists(ev.type);
-    for (const DispatchTable::Entry& e : lists.interested) {
-      const std::size_t before = e.engine->violations().size();
-      e.engine->ProcessDispatchedEvent(ev);
-      for (std::size_t v = before; v < e.engine->violations().size(); ++v) {
-        worker.markers.push_back(
-            {seq, e.attach_index, static_cast<std::uint32_t>(v), 0, 1});
-      }
-    }
-    for (const DispatchTable::Entry& e : lists.filtered) {
-      // The clock advance can fire timeout-action windows (Feature 7), so
-      // filtered deliveries are violation sources too.
-      const std::size_t before = e.engine->violations().size();
-      e.engine->NoteFilteredEvent(ev.time);
-      for (std::size_t v = before; v < e.engine->violations().size(); ++v) {
-        worker.markers.push_back(
-            {seq, e.attach_index, static_cast<std::uint32_t>(v), 0, 0});
-      }
-    }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const DispatchTable::Lists& lists = worker.table.lists(batch.items[i].type);
     dispatched += lists.interested.size();
     filtered += lists.filtered.size();
+  }
 
-    // Instance-sharded properties: derive this worker's stage mask from the
-    // route lanes the producer hashed, fire the clock first (phase 0: timer
-    // expiries order by deadline across replicas), then the owned passes.
-    const std::uint64_t* routes =
-        batch.routes.data() + std::size_t{i} * stride;
-    for (ShardedGroup* g : active_groups_) {
-      PropertyMonitor* rep = g->replicas[worker_index];
-      ShardedGroup::ReplicaLog& log = g->logs[worker_index];
+  // Property-sharded residents, in attach (= serial dispatch) order. The
+  // engine's own interest test routes each event to ProcessDispatchedEvent
+  // or NoteFilteredEvent — the same split the dispatch lists encode.
+  for (const std::size_t idx : worker.engine_indices) {
+    PropertyMonitor* eng = engines_[idx].get();
+    const EventTypeMask sig = eng->interest_signature();
+    std::uint32_t prev = static_cast<std::uint32_t>(eng->violations().size());
+    eng->ProcessEventBatch(batch.items.data(), n, &worker.fused,
+                           worker.results.data());
+    const std::uint32_t slot = static_cast<std::uint32_t>(idx);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t after = worker.results[i].violations_after;
+      if (after != prev) {
+        // Filtered deliveries are violation sources too: the clock advance
+        // can fire timeout-action windows (Feature 7) — those merge as
+        // phase 0, match-pass violations as phase 1, exactly as the scalar
+        // loop recorded them.
+        const std::uint8_t phase =
+            (sig >> static_cast<std::size_t>(batch.items[i].type)) & 1 ? 1 : 0;
+        const std::uint64_t seq = batch.base_seq + i;
+        for (std::uint32_t v = prev; v < after; ++v)
+          worker.markers.push_back({seq, slot, v, 0, phase});
+        prev = after;
+      }
+    }
+  }
+
+  // Instance-sharded groups: derive this worker's per-event op (stage mask
+  // from the route lanes it owns, count/filtered attribution) up front,
+  // then hand the run to the replica in one call.
+  const std::uint64_t n_workers = workers_.size();
+  const std::size_t stride = route_stride_;
+  for (ShardedGroup* g : active_groups_) {
+    PropertyMonitor* rep = g->replicas[worker_index];
+    ShardedGroup::ReplicaLog& log = g->logs[worker_index];
+    const std::uint32_t slot = static_cast<std::uint32_t>(g->slot);
+    const std::uint16_t rep_idx = static_cast<std::uint16_t>(worker_index);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const DataplaneEvent& ev = batch.items[i];
       const auto& lanes =
           g->plan.lanes_by_type[static_cast<std::size_t>(ev.type)];
-      const std::uint32_t slot = static_cast<std::uint32_t>(g->slot);
-      const std::uint16_t rep_idx = static_cast<std::uint16_t>(worker_index);
-      std::size_t before = rep->violations().size();
+      ShardedBatchOp& op = worker.ops[i];
       if (lanes.empty()) {
         // Outside the property's interest signature: clock only, with the
         // filtered-event count attributed once (worker 0).
-        if (worker_index == 0) {
-          rep->NoteFilteredEvent(ev.time);
-          ++filtered;
-        } else {
-          rep->AdvanceTime(ev.time);
-        }
-        for (std::size_t v = before; v < rep->violations().size(); ++v) {
-          worker.markers.push_back(
-              {seq, slot, static_cast<std::uint32_t>(v), rep_idx, 0});
-        }
-      } else {
-        std::uint64_t mask = 0;
-        bool count = false;
-        for (std::size_t j = 0; j < lanes.size(); ++j) {
-          if (routes[g->lane_base + j] % n_workers != worker_index) continue;
-          const ShardExtraction& ex = g->plan.extractions[lanes[j]];
-          mask |= ex.stage_bits;
-          count = count || ex.counts;
-        }
-        rep->AdvanceTime(ev.time);
-        for (std::size_t v = before; v < rep->violations().size(); ++v) {
-          worker.markers.push_back(
-              {seq, slot, static_cast<std::uint32_t>(v), rep_idx, 0});
-        }
-        if (mask != 0) {
-          before = rep->violations().size();
-          rep->ProcessShardedEvent(ev, mask, count);
-          for (std::size_t v = before; v < rep->violations().size(); ++v) {
-            worker.markers.push_back(
-                {seq, slot, static_cast<std::uint32_t>(v), rep_idx, 1});
-          }
-          if (count) ++dispatched;
-        }
+        op = ShardedBatchOp{0, false, worker_index == 0};
+        if (worker_index == 0) ++filtered;
+        continue;
       }
+      const std::uint64_t* routes =
+          batch.routes.data() + std::size_t{i} * stride;
+      std::uint64_t mask = 0;
+      bool count = false;
+      for (std::size_t j = 0; j < lanes.size(); ++j) {
+        if (routes[g->lane_base + j] % n_workers != worker_index) continue;
+        const ShardExtraction& ex = g->plan.extractions[lanes[j]];
+        mask |= ex.stage_bits;
+        count = count || ex.counts;
+      }
+      op = ShardedBatchOp{mask, count, false};
+      if (mask != 0 && count) ++dispatched;
+    }
+    std::uint32_t prev = static_cast<std::uint32_t>(rep->violations().size());
+    rep->ProcessShardedBatch(batch.items.data(), n, worker.ops.data(),
+                             &worker.fused, worker.results.data());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const BatchEventResult& r = worker.results[i];
+      const std::uint64_t seq = batch.base_seq + i;
+      // Phase 0: fired by the clock advance (timer expiries order by
+      // deadline across replicas); phase 1: by the owned passes.
+      for (std::uint32_t v = prev; v < r.violations_clock; ++v)
+        worker.markers.push_back({seq, slot, v, rep_idx, 0});
+      for (std::uint32_t v = r.violations_clock; v < r.violations_after; ++v)
+        worker.markers.push_back({seq, slot, v, rep_idx, 1});
+      prev = r.violations_after;
       // Creation / live-count logs feed the quiesce-point merge that
       // renumbers instance ids and reconstructs the exact peak_live.
-      const std::uint64_t created = rep->created_count();
-      for (std::uint64_t c = log.prev_created; c < created; ++c)
+      for (std::uint64_t c = log.prev_created; c < r.created_after; ++c)
         log.creation_seqs.push_back(seq);
-      log.prev_created = created;
-      const std::size_t live = rep->live_instances();
-      if (live != log.prev_live) {
-        log.live_log.emplace_back(seq, live);
-        log.prev_live = live;
+      log.prev_created = r.created_after;
+      if (r.live_after != log.prev_live) {
+        log.live_log.emplace_back(seq, r.live_after);
+        log.prev_live = r.live_after;
       }
     }
   }
   worker.dispatched += dispatched;
   worker.filtered += filtered;
+}
+
+void ParallelMonitorSet::RebuildWorkerFused(std::size_t w) {
+  Worker& worker = *workers_[w];
+  worker.fused.Reset();
+  const auto bind = [&worker](PropertyMonitor* eng) {
+    std::vector<std::uint32_t> slots;
+    for (const ProbeKeyTuple& t : eng->ProbeKeyTuples())
+      slots.push_back(worker.fused.Intern(t.fields, t.types, t.filter));
+    eng->BindFusedRows(std::move(slots));
+  };
+  for (const std::size_t idx : worker.engine_indices)
+    bind(engines_[idx].get());
+  for (ShardedGroup* g : active_groups_) bind(g->replicas[w]);
 }
 
 void ParallelMonitorSet::OnDataplaneEvent(const DataplaneEvent& event) {

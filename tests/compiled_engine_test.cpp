@@ -94,7 +94,13 @@ void ExpectEnginesAgree(const PropertyMonitor& interpreted,
     ASSERT_TRUE(sb.Has(name)) << label << " compiled missing " << name;
     EXPECT_TRUE(sample == sb.samples().at(name)) << label << " at " << name;
   }
-  EXPECT_EQ(sa.size(), sb.size()) << label;
+  // The compiled engine additionally publishes its OpenMap probe telemetry
+  // (monitor.compiled.*), which the interpreter has no counterpart for;
+  // everything else must match name-for-name.
+  std::size_t sb_shared = 0;
+  for (const auto& [name, sample] : sb.samples())
+    if (name.rfind("monitor.compiled.", 0) != 0) ++sb_shared;
+  EXPECT_EQ(sa.size(), sb_shared) << label;
 }
 
 /// Builds via the factory and asserts the compiled engine actually got
@@ -332,12 +338,16 @@ TEST_P(CompiledParallelParity, CompiledShardsMatchInterpretedSerial) {
 
   // Counter parity across engines *and* execution modes in one shot. The
   // parallel snapshot's runtime-only monitor.parallel.* metrics have no
-  // serial counterpart and sit outside the parity contract.
+  // serial counterpart, and the compiled engines' monitor.compiled.* probe
+  // telemetry has no interpreter counterpart; both sit outside the parity
+  // contract.
   const telemetry::Snapshot sa = serial->set.TelemetrySnapshot();
   const telemetry::Snapshot sb = parallel.TelemetrySnapshot();
   std::size_t sb_shared = 0;
   for (const auto& [name, sample] : sb.samples())
-    if (name.rfind("monitor.parallel.", 0) != 0) ++sb_shared;
+    if (name.rfind("monitor.parallel.", 0) != 0 &&
+        name.rfind("monitor.compiled.", 0) != 0)
+      ++sb_shared;
   for (const auto& [name, sample] : sa.samples()) {
     ASSERT_TRUE(sb.Has(name)) << label << " missing " << name;
     EXPECT_TRUE(sample == sb.samples().at(name)) << label << " at " << name;
