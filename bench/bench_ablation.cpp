@@ -92,7 +92,7 @@ int main() {
               "evicted", "recall");
   for (const std::size_t cap : {0u, 64u, 32u, 16u, 8u}) {
     MonitorConfig mc;
-    mc.max_instances = cap;
+    mc.eviction = EvictionConfig{}.WithMaxInstances(cap);
     MonitorEngine engine(FirewallReturnNotDropped(), mc);
     // 64 connections open, then each gets a dropped return (reverse order,
     // so small caps keep only the newest instances and catch those).

@@ -1,0 +1,201 @@
+// E15 — state exhaustion as an attack surface (ROADMAP item 3).
+//
+// Sec 3.3 worries that "the amount of state the switch must maintain"
+// bounds what a switch monitor can hold; the adversarial workload family
+// (src/workload/adversarial) weaponizes that bound: floods of distinct
+// stage-0 keys push a victim instance out of a capped store before its
+// violating suffix arrives. This bench sweeps recall vs. memory cap vs.
+// attack rate for every eviction policy over every adversarial stream and
+// records the curves as BENCH_adversarial.json.
+//
+// SWMON_BENCH_TINY=1 runs the CI smoke gates instead of the full sweep:
+//   1. pay-for-what-you-use — the unbounded default must match the oracle
+//      bit-for-bit with zero evictions, and a never-binding cap must not
+//      cost more than 1.5x the caps-off path (caps off must cost ~0, so
+//      the bench_dispatch numbers stay honest);
+//   2. mitigation — on the evasion streams with deadlines, creation-order
+//      recall must be strictly below timeout-priority recall.
+// Any gate failure exits 1.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "monitor/eviction.hpp"
+#include "monitor/property_monitor.hpp"
+#include "workload/adversarial/adversarial.hpp"
+
+namespace swmon {
+namespace {
+
+/// ns/event of one full stream replay (events + AdvanceTime) under `cfg`.
+double NsPerEvent(const AdversarialStream& stream, const MonitorConfig& cfg,
+                  int reps) {
+  double best = 1e18;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto monitor = CreatePropertyMonitor(stream.property, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const DataplaneEvent& ev : stream.events) monitor->ProcessEvent(ev);
+    monitor->AdvanceTime(stream.horizon);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(stream.events.size());
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace swmon
+
+int main() {
+  using namespace swmon;
+  const bool tiny = std::getenv("SWMON_BENCH_TINY") != nullptr;
+  bench::Header(
+      "bench_adversarial", "E15 — adversarial state exhaustion",
+      "Sec 3.3: monitor state is bounded; an adversary can aim floods at "
+      "the bound so the eviction policy discards the victim before its "
+      "violating suffix — policy choice decides what survives");
+
+  const std::vector<EvictionPolicy> kPolicies = {
+      EvictionPolicy::kCreationOrder, EvictionPolicy::kLru,
+      EvictionPolicy::kRandom, EvictionPolicy::kTimeoutPriority};
+  const std::vector<std::size_t> caps =
+      tiny ? std::vector<std::size_t>{32}
+           : std::vector<std::size_t>{16, 32, 64, 128};
+  const std::vector<std::uint64_t> rates =
+      tiny ? std::vector<std::uint64_t>{2000}
+           : std::vector<std::uint64_t>{1000, 4000};
+
+  bool failed = false;
+  bench::JsonReporter json("adversarial");
+
+  // --- gate 1: unbounded default == oracle, zero evictions ---------------
+  bench::Section("pay-for-what-you-use: unbounded default vs oracle");
+  std::printf("%18s | %8s | %8s | %8s | %9s\n", "stream", "oracle",
+              "detected", "spurious", "evictions");
+  for (const std::string& name : AdversarialStreamNames()) {
+    AdversarialParams ap;
+    if (tiny) ap.attackers = 64;
+    const AdversarialStream stream = MakeAdversarialStream(name, ap);
+    const RecallReport r = MeasureRecall(stream, MonitorConfig{});
+    std::printf("%18s | %8zu | %8zu | %8zu | %9llu\n", name.c_str(),
+                r.oracle_violations, r.detected, r.spurious,
+                static_cast<unsigned long long>(r.evictions));
+    if (r.detected != r.oracle_violations || r.spurious != 0 ||
+        r.evictions != 0) {
+      std::printf("[bench] FAIL: unbounded default diverged from the oracle "
+                  "on %s\n",
+                  name.c_str());
+      failed = true;
+    }
+  }
+
+  // --- gate 2: a never-binding cap must not tax the hot path -------------
+  {
+    AdversarialParams ap;
+    if (tiny) ap.attackers = 64;
+    const AdversarialStream stream =
+        MakeAdversarialStream("fw_evasion", ap);
+    MonitorConfig armed;
+    armed.eviction = EvictionConfig{}.WithMaxInstances(1u << 30);
+    const int reps = tiny ? 5 : 15;
+    const double off_ns = NsPerEvent(stream, MonitorConfig{}, reps);
+    const double armed_ns = NsPerEvent(stream, armed, reps);
+    const double ratio = armed_ns / off_ns;
+    std::printf("\ncaps off %.1f ns/event, never-binding cap %.1f ns/event "
+                "(%.2fx)\n",
+                off_ns, armed_ns, ratio);
+    json.AddRow()
+        .Str("metric", "never_binding_cap_overhead")
+        .Num("caps_off_ns_per_event", off_ns)
+        .Num("armed_ns_per_event", armed_ns)
+        .Num("ratio", ratio);
+    if (tiny && ratio > 1.5) {
+      std::printf("[bench] FAIL: never-binding cap costs %.2fx (> 1.5x) — "
+                  "the caps-off path must stay ~free\n",
+                  ratio);
+      failed = true;
+    }
+  }
+
+  // --- the curves: recall vs cap vs attack rate, per policy --------------
+  bench::Section("recall vs memory cap vs attack rate, per policy");
+  std::printf("%18s | %9s | %16s | %5s | %8s | %8s | %9s | %7s\n", "stream",
+              "pps", "policy", "cap", "oracle", "detected", "evictions",
+              "recall");
+  double co_recall_sum = 0, tp_recall_sum = 0;  // deadline streams, gate 3
+  for (const std::string& name : AdversarialStreamNames()) {
+    for (const std::uint64_t pps : rates) {
+      AdversarialParams ap;
+      ap.attack_pps = pps;
+      if (tiny) ap.attackers = 64;
+      const AdversarialStream stream = MakeAdversarialStream(name, ap);
+      for (const EvictionPolicy policy : kPolicies) {
+        for (const std::size_t cap : caps) {
+          MonitorConfig mc;
+          mc.eviction =
+              EvictionConfig{}.WithPolicy(policy).WithMaxInstances(cap);
+          const RecallReport r = MeasureRecall(stream, mc);
+          std::printf("%18s | %9llu | %16s | %5zu | %8zu | %8zu | %9llu | "
+                      "%6.1f%%\n",
+                      name.c_str(), static_cast<unsigned long long>(pps),
+                      EvictionPolicyName(policy), cap, r.oracle_violations,
+                      r.detected,
+                      static_cast<unsigned long long>(r.evictions),
+                      r.Recall() * 100.0);
+          json.AddRow()
+              .Str("stream", name)
+              .Num("attack_pps", static_cast<double>(pps))
+              .Str("policy", EvictionPolicyName(policy))
+              .Num("cap", static_cast<double>(cap))
+              .Num("oracle_violations",
+                   static_cast<double>(r.oracle_violations))
+              .Num("detected", static_cast<double>(r.detected))
+              .Num("spurious", static_cast<double>(r.spurious))
+              .Num("evictions", static_cast<double>(r.evictions))
+              .Num("recall", r.Recall());
+          if (r.spurious != 0) {
+            std::printf("[bench] FAIL: %zu spurious violations on %s — a "
+                        "bounded run must never out-report the oracle\n",
+                        r.spurious, name.c_str());
+            failed = true;
+          }
+          // The mitigation gate compares the streams whose properties carry
+          // deadlines (the others document the negative result).
+          if ((name == "fw_evasion" || name == "dhcp_starvation") &&
+              cap == 32 && pps == 2000) {
+            if (policy == EvictionPolicy::kCreationOrder)
+              co_recall_sum += r.Recall();
+            if (policy == EvictionPolicy::kTimeoutPriority)
+              tp_recall_sum += r.Recall();
+          }
+        }
+      }
+    }
+  }
+
+  // --- gate 3: the policy choice must matter on deadline streams ---------
+  if (tiny) {
+    std::printf("\nmitigation gate: creation-order recall sum %.2f vs "
+                "timeout-priority %.2f (deadline streams, cap 32)\n",
+                co_recall_sum, tp_recall_sum);
+    if (!(co_recall_sum < tp_recall_sum)) {
+      std::printf("[bench] FAIL: timeout-priority no longer beats "
+                  "creation-order under evasion\n");
+      failed = true;
+    }
+  }
+
+  json.Flush();
+  std::printf(
+      "\nShape check: on deadline-carrying streams (dhcp_starvation, "
+      "fw_evasion) recall collapses under creation-order/lru as the cap "
+      "tightens but stays at 100%% under timeout-priority; on deadline-free "
+      "streams (portknock_storm, nat_churn) no policy can tell victims from "
+      "attackers — the documented negative result.\n");
+  return failed ? 1 : 0;
+}

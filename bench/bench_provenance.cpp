@@ -13,7 +13,7 @@
 #include "bench_util.hpp"
 #include "monitor/engine.hpp"
 #include "properties/catalog.hpp"
-#include "workload/nat_scenario.hpp"
+#include "workload/scenario_registry.hpp"
 
 int main() {
   using namespace swmon;
@@ -22,13 +22,12 @@ int main() {
       "full provenance costs memory and throughput; limited provenance (the "
       "bound header values) is nearly free and still names the culprit");
 
-  // One recorded trace, replayed into engines at each level.
-  NatScenarioConfig config;
-  config.fault = NatFault::kWrongReversePort;
-  config.flows = 200;
-  config.exchanges_per_flow = 4;
-  config.options.keep_trace = true;
-  const auto out = RunNatScenario(config);
+  // One recorded trace, replayed into engines at each level. The registry
+  // resolves "nat" to the faulted NAT scenario; scale=10 gives ~200 flows.
+  ScenarioOptions opts;
+  opts.keep_trace = true;
+  opts.scale = 10;
+  const auto out = RunScenarioByName("nat", /*faulted=*/true, opts);
   const auto& trace = *out.trace;
 
   std::printf("\ntrace: %zu events, %zu violations expected\n", trace.size(),

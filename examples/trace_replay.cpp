@@ -5,6 +5,8 @@
 //   # 1. record a scenario's dataplane event stream to a file
 //   trace_replay record firewall /tmp/fw.swmt          # faulted firewall
 //   trace_replay record firewall-ok /tmp/fwok.swmt     # correct firewall
+//   trace_replay record adversarial:fw_evasion /tmp/adv.swmt
+//   trace_replay list                                  # registry names
 //
 //   # 2. run any SPL property over a recorded trace
 //   trace_replay check /tmp/fw.swmt examples/properties/firewall.spl
@@ -13,7 +15,9 @@
 //   # tailer source), printing violations as they happen
 //   trace_replay check --follow /tmp/live.swmt examples/properties/firewall.spl
 //
-// Recording uses the built-in scenarios; checking parses the property,
+// Recording resolves scenarios through the ScenarioRegistry (device
+// scenarios, the adversarial family, or any catalog property name);
+// checking parses the property,
 // replays the trace into a fresh MonitorEngine at full provenance, and
 // prints every violation. --follow keeps polling for appended events until
 // interrupted (or, if SWMON_FOLLOW_IDLE_EXIT_MS is set, until the file has
@@ -31,32 +35,43 @@
 #include "monitor/engine.hpp"
 #include "netsim/trace_io.hpp"
 #include "spl/spl.hpp"
-#include "workload/property_scenarios.hpp"
+#include "workload/scenario_registry.hpp"
 
 using namespace swmon;
 
 namespace {
 
+int ListScenarios() {
+  std::printf("%-28s %s\n", "name", "description");
+  for (const ScenarioEntry& e : ScenarioRegistryEntries())
+    std::printf("%-28s %s\n", e.name.c_str(), e.description.c_str());
+  std::printf(
+      "\nAppend -ok to a device scenario for the correct (non-faulted) "
+      "implementation; catalog property names are accepted too.\n");
+  return 0;
+}
+
 int Record(const std::string& what, const std::string& path) {
   // "<name>" = the faulted device, "<name>-ok" = the correct one.
-  std::string property = what;
+  std::string scenario = what;
   bool faulted = true;
-  if (property.size() > 3 && property.ends_with("-ok")) {
-    property = property.substr(0, property.size() - 3);
+  if (scenario.size() > 3 && scenario.ends_with("-ok")) {
+    scenario = scenario.substr(0, scenario.size() - 3);
     faulted = false;
   }
-  // Map friendly names onto catalog properties' scenarios.
-  if (property == "firewall") property = "fw-return-not-dropped-until-close";
-  if (property == "nat") property = "nat-reverse-translation";
-  if (property == "arp") property = "arp-proxy-reply-deadline";
-  if (property == "knock") property = "knock-invalidation";
+  // Legacy friendly name kept from before the registry ("portknock" is the
+  // registered spelling).
+  if (scenario == "knock") scenario = "portknock";
+  // Pin the pre-registry primary property for 'firewall' so recorded
+  // traces keep pairing with examples/properties/firewall.spl.
+  if (scenario == "firewall") scenario = "fw-return-not-dropped-until-close";
 
   ScenarioOptions opts;
   opts.keep_trace = true;
-  const auto out = RunScenarioForProperty(property, faulted, opts);
+  const auto out = RunScenarioByName(scenario, faulted, opts);
   if (!out.trace || out.trace->size() == 0) {
     std::fprintf(stderr,
-                 "unknown scenario '%s' (try firewall/nat/arp/knock or a "
+                 "unknown scenario '%s' (run `trace_replay list`, or use a "
                  "catalog property name, with optional -ok suffix)\n",
                  what.c_str());
     return 1;
@@ -166,6 +181,7 @@ int Check(const std::string& trace_path, const std::string& spl_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && !std::strcmp(argv[1], "list")) return ListScenarios();
   if (argc == 4 && !std::strcmp(argv[1], "record"))
     return Record(argv[2], argv[3]);
   if (argc == 4 && !std::strcmp(argv[1], "check"))
@@ -174,8 +190,9 @@ int main(int argc, char** argv) {
       !std::strcmp(argv[2], "--follow"))
     return Check(argv[3], argv[4], /*follow=*/true);
   std::fprintf(stderr,
-               "usage:\n  %s record <scenario[-ok]> <out.swmt>\n"
+               "usage:\n  %s list\n"
+               "  %s record <scenario[-ok]> <out.swmt>\n"
                "  %s check [--follow] <trace.swmt> <property.spl>\n",
-               argv[0], argv[0]);
+               argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -89,7 +89,8 @@ SwmonDaemon::SwmonDaemon(SwmondOptions options)
 
 SwmonDaemon::~SwmonDaemon() { Stop(); }
 
-Tenant& SwmonDaemon::GetOrCreateTenant(const std::string& name) {
+Tenant& SwmonDaemon::GetOrCreateTenant(const std::string& name,
+                                       const EvictionConfig* eviction_override) {
   auto it = tenants_.find(name);
   if (it == tenants_.end()) {
     TenantOptions topts;
@@ -97,6 +98,7 @@ Tenant& SwmonDaemon::GetOrCreateTenant(const std::string& name) {
     topts.shard_mode = options_.shard_mode;
     topts.batch = options_.batch;
     topts.monitor = options_.monitor;
+    if (eviction_override) topts.monitor.eviction = *eviction_override;
     topts.violation_capacity = options_.violation_capacity;
     it = tenants_.emplace(name, std::make_unique<Tenant>(name, topts)).first;
     tenant_order_.push_back(it->second.get());
@@ -118,7 +120,27 @@ bool SwmonDaemon::LoadConfigDir(std::string* error) {
     if (entry.is_directory()) tenant_dirs.push_back(entry.path());
   std::sort(tenant_dirs.begin(), tenant_dirs.end());
   for (const fs::path& dir : tenant_dirs) {
-    Tenant& tenant = GetOrCreateTenant(dir.filename().string());
+    // Optional per-tenant eviction override: a one-line
+    // "policy[:max_instances[:max_state_bytes]]" spec in DIR/<tenant>/eviction.
+    EvictionConfig tenant_eviction;
+    bool has_eviction = false;
+    const fs::path eviction_file = dir / "eviction";
+    if (fs::is_regular_file(eviction_file, ec)) {
+      std::ifstream in(eviction_file);
+      std::string spec;
+      std::getline(in, spec);
+      while (!spec.empty() && (spec.back() == '\r' || spec.back() == ' ' ||
+                               spec.back() == '\t'))
+        spec.pop_back();
+      std::string parse_error;
+      if (!ParseEvictionSpec(spec, &tenant_eviction, &parse_error)) {
+        if (error) *error = eviction_file.string() + ": " + parse_error;
+        return false;
+      }
+      has_eviction = true;
+    }
+    Tenant& tenant = GetOrCreateTenant(
+        dir.filename().string(), has_eviction ? &tenant_eviction : nullptr);
     std::vector<fs::path> spl_files;
     for (const auto& entry : fs::directory_iterator(dir, ec))
       if (entry.path().extension() == ".spl")

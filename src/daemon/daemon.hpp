@@ -131,7 +131,10 @@ class SwmonDaemon {
   void PumpLoop();
   /// Executes queued control commands; returns how many ran.
   std::size_t RunPendingCommands();
-  Tenant& GetOrCreateTenant(const std::string& name);
+  /// `eviction_override` (optional) replaces options_.monitor.eviction for
+  /// a newly created tenant — the per-tenant `eviction` config file.
+  Tenant& GetOrCreateTenant(const std::string& name,
+                            const EvictionConfig* eviction_override = nullptr);
   bool LoadConfigDir(std::string* error);
   telemetry::Snapshot BuildSnapshot();
 

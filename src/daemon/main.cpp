@@ -36,6 +36,12 @@ void Usage(const char* argv0) {
                "                      workers)\n"
                "  --violation-cap N   per-tenant violation ring capacity\n"
                "                      (default 4096)\n"
+               "  --eviction SPEC     bounded-memory eviction for every\n"
+               "                      tenant: policy[:max_instances[:bytes]]\n"
+               "                      with policy one of creation-order, lru,\n"
+               "                      random, timeout-priority (default:\n"
+               "                      unbounded). A DIR/<tenant>/eviction\n"
+               "                      file overrides this per tenant.\n"
                "\n"
                "At least one event source (--trace, --tcp-port, --unix) is\n"
                "required. See docs/SWMOND.md.\n",
@@ -113,6 +119,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--violation-cap") {
       if (!ParseSize(next(), &options.violation_capacity)) {
         std::fprintf(stderr, "swmond: bad --violation-cap\n");
+        return 2;
+      }
+    } else if (arg == "--eviction") {
+      std::string eviction_error;
+      if (!swmon::ParseEvictionSpec(next(), &options.monitor.eviction,
+                                    &eviction_error)) {
+        std::fprintf(stderr, "swmond: bad --eviction: %s\n",
+                     eviction_error.c_str());
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {

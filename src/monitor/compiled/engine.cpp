@@ -153,6 +153,9 @@ CompiledEngine::CompiledEngine(Property property, MonitorConfig config)
   stride_ = kWVars + static_cast<std::uint32_t>(prog_.num_vars());
   stores_.resize(prog_.num_stages());
   scratch_vars_.resize(prog_.num_vars());
+  ecfg_ = config_.EffectiveEviction();
+  eviction_.Configure(ecfg_, prog_.num_vars());
+  evict_enabled_ = eviction_.enabled();
   InitFailFast();
   InitProbeSites();
 }
@@ -171,6 +174,9 @@ CompiledEngine::CompiledEngine(Property property, Program program,
   stride_ = kWVars + static_cast<std::uint32_t>(prog_.num_vars());
   stores_.resize(prog_.num_stages());
   scratch_vars_.resize(prog_.num_vars());
+  ecfg_ = config_.EffectiveEviction();
+  eviction_.Configure(ecfg_, prog_.num_vars());
+  evict_enabled_ = eviction_.enabled();
   InitFailFast();
   InitProbeSites();
 }
@@ -485,12 +491,19 @@ void CompiledEngine::ArmWindow(std::uint32_t slot, const StageCode& completed,
                         static_cast<FieldId>(completed.window_field))))
                     .nanos();
   }
-  if (window_ns > 0)
+  if (window_ns > 0) {
     // Ordinal = instance id (NOT the slot): deadline ties must fire in id
     // order in both engines and in every shard replica (timer_set.hpp).
-    timers_.Arm(slot, now_ + Duration::Nanos(window_ns), Rec(slot)[kWId]);
-  else
+    const SimTime deadline = now_ + Duration::Nanos(window_ns);
+    timers_.Arm(slot, deadline, Rec(slot)[kWId]);
+    if (evict_enabled_)
+      eviction_.OnDeadline(Rec(slot)[kWId],
+                           static_cast<std::uint64_t>(deadline.nanos()));
+  } else {
     timers_.Cancel(slot);
+    if (evict_enabled_)
+      eviction_.OnDeadline(Rec(slot)[kWId], EvictionState::kNoDeadline);
+  }
 }
 
 void CompiledEngine::ReportViolation(const std::uint64_t* rec, SimTime when,
@@ -533,19 +546,7 @@ void CompiledEngine::DestroyInstance(std::uint32_t slot) {
   SetStageMatch(rec, kDeadStage, 0);
   free_slots_.push_back(slot);
   --live_count_;
-  if (config_.max_instances > 0 &&
-      creation_order_.size() > 2 * live_count_ + 64)
-    CompactCreationOrder();
-}
-
-void CompiledEngine::CompactCreationOrder() {
-  std::deque<EvictionEntry> live_order;
-  for (const EvictionEntry& e : creation_order_) {
-    const std::uint64_t* rec = Rec(e.slot);
-    if (rec[kWId] == e.id && StageOf(rec) != kDeadStage)
-      live_order.push_back(e);
-  }
-  creation_order_ = std::move(live_order);
+  if (evict_enabled_) eviction_.OnDestroy(rec[kWId]);
 }
 
 void CompiledEngine::AdvanceInstance(std::uint32_t slot,
@@ -585,19 +586,15 @@ void CompiledEngine::OnTimerExpiry(std::uint32_t slot, SimTime deadline) {
 }
 
 void CompiledEngine::EvictIfNeeded() {
-  if (config_.max_instances == 0) return;
-  while (live_count_ > config_.max_instances) {
-    while (!creation_order_.empty()) {
-      const EvictionEntry& e = creation_order_.front();
-      const std::uint64_t* rec = Rec(e.slot);
-      if (rec[kWId] == e.id && StageOf(rec) != kDeadStage) break;
-      creation_order_.pop_front();  // lazy prune of dead entries
-    }
-    if (creation_order_.empty()) return;
-    const EvictionEntry victim = creation_order_.front();
-    creation_order_.pop_front();
-    DestroyInstance(victim.slot);
+  if (!evict_enabled_) return;
+  while (live_count_ > eviction_.cap()) {
+    const EvictionState::Victim victim = eviction_.PickVictim();
+    DestroyInstance(static_cast<std::uint32_t>(victim.handle));
     ++stats_.instances_evicted;
+    if (eviction_.bytes_bound())
+      ++evictions_bytes_;
+    else
+      ++evictions_capacity_;
   }
 }
 
@@ -1124,6 +1121,8 @@ void CompiledEngine::RunAdvancePass(const DataplaneEvent& ev,
       const std::uint32_t body = ExecRequire(prog_, st.bind_begin, ev.fields);
       if (body == kBindFail) continue;
       rec[kWSeq] = event_seq_;
+      // LRU recency stamp — mirrors the interpreter's touch point exactly.
+      if (evict_enabled_) eviction_.OnTouch(rec[kWId], event_seq_);
       const bool rebinds = st.has_bindings;
       if (rebinds) RemoveFromStore(slot);
       std::uint64_t bound = rec[kWBound];
@@ -1219,6 +1218,7 @@ void CompiledEngine::RunCreatePass(const DataplaneEvent& ev) {
         if (StageOf(Rec(slot)) != 1) continue;
         ArmWindow(slot, st0, &ev);
         ++stats_.instances_refreshed;
+        if (evict_enabled_) eviction_.OnTouch(Rec(slot)[kWId], event_seq_);
       }
     }
     return;  // an equivalent attempt is already live
@@ -1237,8 +1237,7 @@ void CompiledEngine::RunCreatePass(const DataplaneEvent& ev) {
   // stage-0 key built above.
   const std::uint32_t cell = stage0_index_.Insert(key_buf_.data(), key_len);
   stage0_index_.slots(cell).push_back(slot);
-  if (config_.max_instances > 0)
-    creation_order_.push_back(EvictionEntry{id, slot});
+  if (evict_enabled_) eviction_.OnCreate(id, slot, event_seq_);
   ++stats_.instances_created;
   ++live_count_;
   AdvanceInstance(slot, &ev);  // commits stage 0 -> 1 (or violates if n==1)
@@ -1311,9 +1310,22 @@ void CompiledEngine::CollectInto(telemetry::Snapshot& snap,
   snap.SetGauge(prefix + "live_instances",
                 static_cast<std::int64_t>(live_count_));
   snap.SetGauge(prefix + "eviction_queue",
-                static_cast<std::int64_t>(creation_order_.size()));
+                static_cast<std::int64_t>(eviction_.QueueSize()));
   snap.SetGauge(prefix + "timers_pending",
                 static_cast<std::int64_t>(timers_.armed_count()));
+  // Engine-neutral modeled state bytes (see engine.cpp: the byte-cap model
+  // doubles as the gauge so both engines publish identical values).
+  snap.SetGauge(prefix + "state_bytes",
+                static_cast<std::int64_t>(live_count_ *
+                                          ModelInstanceBytes(prog_.num_vars())));
+  if (evict_enabled_) {
+    snap.SetCounter(prefix + "evictions.policy." +
+                        EvictionPolicyName(ecfg_.policy),
+                    s.instances_evicted);
+    snap.SetCounter(prefix + "evictions.reason.capacity",
+                    evictions_capacity_);
+    snap.SetCounter(prefix + "evictions.reason.bytes", evictions_bytes_);
+  }
 
   // OpenMap probe telemetry, aggregated over every index this engine owns
   // (stage-0 dedup, suppression set, per-stage link stores), published

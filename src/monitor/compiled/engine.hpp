@@ -27,7 +27,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -301,7 +300,6 @@ class CompiledEngine : public PropertyMonitor {
                        std::uint32_t trigger_stage_index);
   void OnTimerExpiry(std::uint32_t slot, SimTime deadline);
   void EvictIfNeeded();
-  void CompactCreationOrder();
   /// Key of the stage-0 dedup index, built in key_buf_. Live records always
   /// have every stage-0 variable bound (stage 0's bind run bound them).
   void BuildStage0Key(const std::uint64_t* vars);
@@ -424,7 +422,14 @@ class CompiledEngine : public PropertyMonitor {
     std::uint64_t id;
     std::uint32_t slot;
   };
-  std::deque<EvictionEntry> creation_order_;
+  /// Bounded-memory eviction, driven through the exact hook points the
+  /// interpreter uses (monitor/eviction.hpp) — decisions are bit-identical
+  /// by construction; the handle stored per id is the slab slot.
+  EvictionConfig ecfg_;
+  bool evict_enabled_ = false;
+  EvictionState eviction_;
+  std::uint64_t evictions_capacity_ = 0;
+  std::uint64_t evictions_bytes_ = 0;
   TimerSet timers_;
 
   // Reused per-event scratch (what keeps the hot path allocation-free).

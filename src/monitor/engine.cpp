@@ -18,6 +18,10 @@ MonitorEngine::MonitorEngine(Property property, MonitorConfig config)
   const std::string err = property_.Validate();
   SWMON_ASSERT_MSG(err.empty(), err.c_str());
 
+  ecfg_ = config_.EffectiveEviction();
+  eviction_.Configure(ecfg_, property_.num_vars());
+  evict_enabled_ = eviction_.enabled();
+
   interest_ = InterestSignature(property_);
   stores_.resize(property_.num_stages());
   if (!config_.force_linear_store) {
@@ -195,9 +199,14 @@ void MonitorEngine::ArmWindow(Instance& inst, const Stage& completed,
     // of monitor state that per-replica timer heaps reproduce independently
     // (the instance-sharded merge depends on it; see timer_set.hpp).
     timers_.Arm(inst.id, inst.deadline, inst.id);
+    if (evict_enabled_)
+      eviction_.OnDeadline(inst.id,
+                           static_cast<std::uint64_t>(inst.deadline.nanos()));
   } else {
     inst.deadline = SimTime::Infinity();
     timers_.Cancel(inst.id);
+    if (evict_enabled_)
+      eviction_.OnDeadline(inst.id, EvictionState::kNoDeadline);
   }
 }
 
@@ -235,19 +244,7 @@ void MonitorEngine::DestroyInstance(std::uint64_t id) {
   }
   timers_.Cancel(id);
   instances_.erase(it);
-  // The eviction deque keeps the destroyed id until lazy pruning reaches
-  // it; compact once dead entries dominate so churn below the instance cap
-  // cannot grow it unboundedly (amortized O(1) per destruction).
-  if (config_.max_instances > 0 &&
-      creation_order_.size() > 2 * instances_.size() + 64)
-    CompactCreationOrder();
-}
-
-void MonitorEngine::CompactCreationOrder() {
-  std::deque<std::uint64_t> live_order;
-  for (const std::uint64_t id : creation_order_)
-    if (instances_.contains(id)) live_order.push_back(id);
-  creation_order_ = std::move(live_order);
+  if (evict_enabled_) eviction_.OnDestroy(id);
 }
 
 void MonitorEngine::AdvanceInstance(Instance& inst, const DataplaneEvent* ev) {
@@ -296,16 +293,15 @@ void MonitorEngine::OnTimerExpiry(std::uint64_t id, SimTime deadline) {
 }
 
 void MonitorEngine::EvictIfNeeded() {
-  if (config_.max_instances == 0) return;
-  while (instances_.size() > config_.max_instances) {
-    while (!creation_order_.empty() &&
-           !instances_.contains(creation_order_.front()))
-      creation_order_.pop_front();
-    if (creation_order_.empty()) return;
-    const std::uint64_t victim = creation_order_.front();
-    creation_order_.pop_front();
-    DestroyInstance(victim);
+  if (!evict_enabled_) return;
+  while (instances_.size() > eviction_.cap()) {
+    const EvictionState::Victim victim = eviction_.PickVictim();
+    DestroyInstance(victim.id);
     ++stats_.instances_evicted;
+    if (eviction_.bytes_bound())
+      ++evictions_bytes_;
+    else
+      ++evictions_capacity_;
   }
 }
 
@@ -475,6 +471,9 @@ void MonitorEngine::RunAdvancePass(const DataplaneEvent& ev,
       auto new_env = inst.env;
       if (!ApplyBindings(st, ev, new_env)) continue;
       inst.last_event_seq = event_seq_;
+      // LRU recency: stamped with the event seq (idempotent per event), the
+      // finest clock both engines provably agree on — see eviction.hpp.
+      if (evict_enabled_) eviction_.OnTouch(id, event_seq_);
       // A stage with bindings may rebind one of its own link variables, so
       // the instance must be unfiled under the OLD env before the commit;
       // removing afterwards computes a key the store never saw, leaving a
@@ -529,6 +528,7 @@ void MonitorEngine::RunCreatePass(const DataplaneEvent& ev) {
           if (it == instances_.end() || it->second.stage != 1) continue;
           ArmWindow(it->second, st0, &ev);
           ++stats_.instances_refreshed;
+          if (evict_enabled_) eviction_.OnTouch(id, event_seq_);
         }
       }
       return;  // an equivalent attempt is already live
@@ -546,9 +546,9 @@ void MonitorEngine::RunCreatePass(const DataplaneEvent& ev) {
   inst.last_event_seq = event_seq_;
   if (const auto key = Stage0Key(inst.env))
     stage0_index_[*key].push_back(id);
-  // Eviction bookkeeping is only needed under an instance cap; recording
-  // unconditionally would grow the deque forever when max_instances == 0.
-  if (config_.max_instances > 0) creation_order_.push_back(id);
+  // Eviction bookkeeping is only maintained under a cap; recording
+  // unconditionally would grow the policy queue forever when unbounded.
+  if (evict_enabled_) eviction_.OnCreate(id, id, event_seq_);
   ++stats_.instances_created;
   AdvanceInstance(inst, &ev);  // commits stage 0 -> 1 (or violates if n==1)
   EvictIfNeeded();
@@ -601,9 +601,26 @@ void MonitorEngine::CollectInto(telemetry::Snapshot& snap,
   snap.SetGauge(prefix + "live_instances",
                 static_cast<std::int64_t>(instances_.size()));
   snap.SetGauge(prefix + "eviction_queue",
-                static_cast<std::int64_t>(creation_order_.size()));
+                static_cast<std::int64_t>(eviction_.QueueSize()));
   snap.SetGauge(prefix + "timers_pending",
                 static_cast<std::int64_t>(timers_.armed_count()));
+  // Engine-neutral modeled state bytes — the same model the byte cap is
+  // enforced against, so the gauge and the cap always agree (and both
+  // engines publish identical values; actual resident size is engine-
+  // specific and stays on StateBytes()).
+  snap.SetGauge(prefix + "state_bytes",
+                static_cast<std::int64_t>(
+                    instances_.size() * ModelInstanceBytes(property_.num_vars())));
+  if (evict_enabled_) {
+    // Enabled-only so the disabled default's snapshot name-set (and cost)
+    // is unchanged: evictions split by policy and by binding cap.
+    snap.SetCounter(prefix + "evictions.policy." +
+                        EvictionPolicyName(ecfg_.policy),
+                    s.instances_evicted);
+    snap.SetCounter(prefix + "evictions.reason.capacity",
+                    evictions_capacity_);
+    snap.SetCounter(prefix + "evictions.reason.bytes", evictions_bytes_);
+  }
 }
 
 }  // namespace swmon

@@ -25,7 +25,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -110,9 +109,9 @@ class MonitorEngine : public PropertyMonitor {
   std::size_t live_instances() const override { return instances_.size(); }
   SimTime now() const override { return now_; }
   const TimerSet& timers() const { return timers_; }
-  /// Pending eviction-order entries (live + not-yet-pruned dead ids).
-  /// Empty when max_instances == 0; bounded by ~2x live otherwise.
-  std::size_t eviction_queue_size() const { return creation_order_.size(); }
+  /// Pending eviction-policy queue entries (live + not-yet-pruned stale
+  /// ones). Empty when eviction is disabled; bounded by ~2x live otherwise.
+  std::size_t eviction_queue_size() const { return eviction_.QueueSize(); }
 
   /// Approximate resident bytes of monitor state (instances + provenance);
   /// bench_provenance reports this.
@@ -159,7 +158,6 @@ class MonitorEngine : public PropertyMonitor {
                        std::uint32_t trigger_stage_index);
   void OnTimerExpiry(std::uint64_t id, SimTime deadline);
   void EvictIfNeeded();
-  void CompactCreationOrder();
   /// Current stats with the TimerSet mirrors filled from the live TimerSet.
   MonitorStats StatsNow() const {
     MonitorStats s = stats_;
@@ -195,10 +193,14 @@ class MonitorEngine : public PropertyMonitor {
       stage0_index_;
   std::vector<VarId> stage0_bound_vars_;
   std::unordered_set<FlowKey, FlowKeyHash> suppressed_;
-  /// Eviction order (oldest first). Only maintained when max_instances > 0;
-  /// dead ids are pruned lazily but compacted once they outnumber live ones,
-  /// so the deque never grows unboundedly under churn.
-  std::deque<std::uint64_t> creation_order_;
+  /// Bounded-memory eviction (resolved from config_.EffectiveEviction()).
+  /// Hooks are only called when ecfg_.enabled() — the disabled default
+  /// costs one cached-bool test per lifecycle point.
+  EvictionConfig ecfg_;
+  bool evict_enabled_ = false;
+  EvictionState eviction_;
+  std::uint64_t evictions_capacity_ = 0;  // reason attribution (telemetry)
+  std::uint64_t evictions_bytes_ = 0;
   TimerSet timers_;
 };
 

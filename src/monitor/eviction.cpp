@@ -1,0 +1,276 @@
+#include "monitor/eviction.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/assert.hpp"
+
+namespace swmon {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kCreationOrder:
+      return "creation-order";
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kRandom:
+      return "random";
+    case EvictionPolicy::kTimeoutPriority:
+      return "timeout-priority";
+  }
+  return "unknown";
+}
+
+bool ParseEvictionPolicy(std::string_view name, EvictionPolicy* out) {
+  if (name == "creation-order" || name == "creation") {
+    *out = EvictionPolicy::kCreationOrder;
+  } else if (name == "lru") {
+    *out = EvictionPolicy::kLru;
+  } else if (name == "random") {
+    *out = EvictionPolicy::kRandom;
+  } else if (name == "timeout-priority" || name == "timeout") {
+    *out = EvictionPolicy::kTimeoutPriority;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseEvictionSpec(std::string_view spec, EvictionConfig* out,
+                       std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::vector<std::string_view> parts;
+  while (!spec.empty()) {
+    const std::size_t colon = spec.find(':');
+    parts.push_back(spec.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    spec.remove_prefix(colon + 1);
+  }
+  if (parts.empty() || parts.size() > 3)
+    return fail("eviction spec is policy[:max_instances[:max_state_bytes]]");
+  EvictionConfig cfg;
+  if (!ParseEvictionPolicy(parts[0], &cfg.policy))
+    return fail("unknown eviction policy '" + std::string(parts[0]) +
+                "' (creation-order|lru|random|timeout-priority)");
+  const auto parse_size = [&](std::string_view s, std::size_t* v) {
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *v);
+    return ec == std::errc{} && p == s.data() + s.size();
+  };
+  if (parts.size() >= 2 && !parse_size(parts[1], &cfg.max_instances))
+    return fail("bad max_instances '" + std::string(parts[1]) + "'");
+  if (parts.size() >= 3 && !parse_size(parts[2], &cfg.max_state_bytes))
+    return fail("bad max_state_bytes '" + std::string(parts[2]) + "'");
+  *out = cfg;
+  return true;
+}
+
+// ---------------------------------------------------------- EvictionState
+
+void EvictionState::Configure(const EvictionConfig& config,
+                              std::size_t num_vars) {
+  config_ = config;
+  cap_ = 0;
+  bytes_bound_ = false;
+  std::size_t byte_cap = 0;
+  if (config.max_state_bytes != 0)
+    byte_cap = std::max<std::size_t>(
+        1, config.max_state_bytes / ModelInstanceBytes(num_vars));
+  if (config.max_instances != 0 && byte_cap != 0) {
+    cap_ = std::min(config.max_instances, byte_cap);
+    bytes_bound_ = byte_cap < config.max_instances;
+  } else if (config.max_instances != 0) {
+    cap_ = config.max_instances;
+  } else if (byte_cap != 0) {
+    cap_ = byte_cap;
+    bytes_bound_ = true;
+  }
+  rng_ = config.seed != 0 ? config.seed : 0x9E3779B97F4A7C15ULL;
+  meta_.clear();
+  order_.clear();
+  heap_.clear();
+  ids_.clear();
+}
+
+std::uint64_t EvictionState::NextRandom() {
+  // xorshift64* — tiny, seeded, identical on both engines.
+  std::uint64_t x = rng_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+bool EvictionState::EntryLive(const Entry& e) const {
+  const auto it = meta_.find(e.id);
+  if (it == meta_.end()) return false;
+  return e.key == (config_.policy == EvictionPolicy::kLru
+                       ? it->second.touch
+                       : it->second.deadline);
+}
+
+void EvictionState::PushEntry(std::uint64_t key, std::uint64_t id) {
+  heap_.push_back(Entry{key, id});
+  const auto before = [this](const Entry& a, const Entry& b) {
+    // `a` orders after `b` (std::push_heap keeps the comparator-max on
+    // top). kLru pops the minimum (touch, id); kTimeoutPriority pops the
+    // maximum deadline, ties to the smallest id. Strict total order over
+    // distinct (key, id) pairs — what makes the pop sequence independent
+    // of the heap's internal layout.
+    if (a.key != b.key)
+      return config_.policy == EvictionPolicy::kLru ? a.key > b.key
+                                                    : a.key < b.key;
+    return a.id > b.id;
+  };
+  std::push_heap(heap_.begin(), heap_.end(), before);
+}
+
+void EvictionState::PopEntry() {
+  const auto before = [this](const Entry& a, const Entry& b) {
+    if (a.key != b.key)
+      return config_.policy == EvictionPolicy::kLru ? a.key > b.key
+                                                    : a.key < b.key;
+    return a.id > b.id;
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), before);
+  heap_.pop_back();
+}
+
+void EvictionState::OnCreate(std::uint64_t id, std::uint64_t handle,
+                             std::uint64_t event_seq) {
+  Meta m;
+  m.handle = handle;
+  m.touch = event_seq;
+  m.deadline = kNoDeadline;
+  meta_.emplace(id, m);
+  switch (config_.policy) {
+    case EvictionPolicy::kCreationOrder:
+      order_.push_back(id);
+      break;
+    case EvictionPolicy::kLru:
+      PushEntry(event_seq, id);
+      break;
+    case EvictionPolicy::kRandom:
+      ids_.push_back(id);  // ids are monotone: append keeps it sorted
+      break;
+    case EvictionPolicy::kTimeoutPriority:
+      PushEntry(kNoDeadline, id);
+      break;
+  }
+}
+
+void EvictionState::OnTouch(std::uint64_t id, std::uint64_t event_seq) {
+  if (config_.policy != EvictionPolicy::kLru) return;
+  const auto it = meta_.find(id);
+  if (it == meta_.end() || it->second.touch == event_seq) return;
+  it->second.touch = event_seq;
+  PushEntry(event_seq, id);
+}
+
+void EvictionState::OnDeadline(std::uint64_t id,
+                               std::uint64_t deadline_nanos) {
+  if (config_.policy != EvictionPolicy::kTimeoutPriority) return;
+  const auto it = meta_.find(id);
+  if (it == meta_.end() || it->second.deadline == deadline_nanos) return;
+  it->second.deadline = deadline_nanos;
+  PushEntry(deadline_nanos, id);
+}
+
+void EvictionState::OnDestroy(std::uint64_t id) {
+  const auto it = meta_.find(id);
+  if (it == meta_.end()) return;
+  meta_.erase(it);
+  if (config_.policy == EvictionPolicy::kRandom) {
+    const auto pos = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (pos != ids_.end() && *pos == id) ids_.erase(pos);
+  }
+  MaybeCompact();
+}
+
+void EvictionState::MaybeCompact() {
+  // Same lazy-prune threshold the old creation-order deque used: compact
+  // once stale entries dominate, so churn below the cap never grows the
+  // queue unboundedly (amortized O(1) per destruction).
+  const std::size_t limit = 2 * meta_.size() + 64;
+  switch (config_.policy) {
+    case EvictionPolicy::kCreationOrder: {
+      if (order_.size() <= limit) return;
+      std::deque<std::uint64_t> live;
+      for (const std::uint64_t id : order_)
+        if (meta_.contains(id)) live.push_back(id);
+      order_ = std::move(live);
+      break;
+    }
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kTimeoutPriority: {
+      if (heap_.size() <= limit) return;
+      heap_.clear();
+      // meta_ iteration order is engine-dependent, but only the heap's
+      // internal layout depends on it — pops follow the total order.
+      for (const auto& [id, m] : meta_)
+        heap_.push_back(Entry{config_.policy == EvictionPolicy::kLru
+                                  ? m.touch
+                                  : m.deadline,
+                              id});
+      const auto before = [this](const Entry& a, const Entry& b) {
+        if (a.key != b.key)
+          return config_.policy == EvictionPolicy::kLru ? a.key > b.key
+                                                        : a.key < b.key;
+        return a.id > b.id;
+      };
+      std::make_heap(heap_.begin(), heap_.end(), before);
+      break;
+    }
+    case EvictionPolicy::kRandom:
+      break;  // ids_ is pruned eagerly
+  }
+}
+
+EvictionState::Victim EvictionState::PickVictim() {
+  SWMON_ASSERT_MSG(!meta_.empty(), "PickVictim with no live instances");
+  switch (config_.policy) {
+    case EvictionPolicy::kCreationOrder: {
+      while (!order_.empty() && !meta_.contains(order_.front()))
+        order_.pop_front();
+      SWMON_ASSERT(!order_.empty());
+      const std::uint64_t id = order_.front();
+      order_.pop_front();
+      return Victim{id, meta_.at(id).handle};
+    }
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kTimeoutPriority: {
+      for (;;) {
+        SWMON_ASSERT(!heap_.empty());
+        const Entry top = heap_.front();
+        PopEntry();
+        if (EntryLive(top)) return Victim{top.id, meta_.at(top.id).handle};
+      }
+    }
+    case EvictionPolicy::kRandom: {
+      const std::size_t r =
+          static_cast<std::size_t>(NextRandom() % ids_.size());
+      const std::uint64_t id = ids_[r];
+      return Victim{id, meta_.at(id).handle};
+    }
+  }
+  SWMON_ASSERT_MSG(false, "unreachable eviction policy");
+  return Victim{0, 0};
+}
+
+std::size_t EvictionState::QueueSize() const {
+  switch (config_.policy) {
+    case EvictionPolicy::kCreationOrder:
+      return order_.size();
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kTimeoutPriority:
+      return heap_.size();
+    case EvictionPolicy::kRandom:
+      return ids_.size();
+  }
+  return 0;
+}
+
+}  // namespace swmon

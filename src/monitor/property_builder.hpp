@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "monitor/eviction.hpp"
 #include "monitor/spec.hpp"
 
 namespace swmon {
@@ -229,6 +230,29 @@ class PropertyBuilder {
     return *this;
   }
 
+  // --- bounded-memory eviction (attachment-scoped, not part of the spec:
+  // read it back with eviction() and pass it into MonitorConfig when
+  // attaching). Builder-style mirror of EvictionConfig's With* setters. ---
+  PropertyBuilder& EvictionPolicyIs(EvictionPolicy policy) {
+    eviction_.policy = policy;
+    return *this;
+  }
+  PropertyBuilder& MaxInstances(std::size_t n) {
+    eviction_.max_instances = n;
+    return *this;
+  }
+  PropertyBuilder& MaxStateBytes(std::size_t bytes) {
+    eviction_.max_state_bytes = bytes;
+    return *this;
+  }
+  PropertyBuilder& EvictionSeed(std::uint64_t seed) {
+    eviction_.seed = seed;
+    return *this;
+  }
+  /// The eviction config accumulated by the setters above; feed it to
+  /// MonitorConfig::WithEviction at attach time.
+  const EvictionConfig& eviction() const { return eviction_; }
+
   /// Declares the stage-0 suppression key, then pair with SuppressWhen.
   PropertyBuilder& SuppressionKey(std::vector<FieldId> fields) {
     property_.suppression_key_fields = std::move(fields);
@@ -250,6 +274,7 @@ class PropertyBuilder {
 
  private:
   Property property_;
+  EvictionConfig eviction_;
 };
 
 }  // namespace swmon

@@ -25,6 +25,7 @@
 
 #include "dataplane/switch.hpp"
 #include "event/event_batch.hpp"
+#include "monitor/eviction.hpp"
 #include "monitor/spec.hpp"
 #include "monitor/violation.hpp"
 #include "telemetry/snapshot.hpp"
@@ -116,10 +117,24 @@ enum class EngineKind : std::uint8_t {
 
 const char* EngineKindName(EngineKind kind);
 
+// The pragma region silences the deprecated-member warning GCC/Clang emit
+// for MonitorConfig's *implicit* copy/move members (reported at the struct,
+// not the caller); explicit uses of the deprecated field still warn at
+// their own site.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 struct MonitorConfig {
   ProvenanceLevel provenance = ProvenanceLevel::kLimited;
-  /// Cap on live instances; the oldest instance is evicted beyond it
-  /// (the paper's space-consumption concern). 0 = unbounded.
+  /// Bounded-memory eviction (the paper's space-consumption concern):
+  /// policy + instance/byte caps; disabled by default. See eviction.hpp.
+  EvictionConfig eviction;
+  /// DEPRECATED shim (one PR): use eviction.max_instances. Folded into the
+  /// eviction config by EffectiveEviction() when the new field is unset;
+  /// the legacy semantics (oldest-first eviction) is exactly
+  /// EvictionPolicy::kCreationOrder.
+  [[deprecated("use MonitorConfig::eviction (EvictionConfig) instead")]]
   std::size_t max_instances = 0;
   /// Disables the link-key index (every lookup scans all instances at the
   /// stage). Exists for the store ablation bench; semantics are identical.
@@ -134,7 +149,42 @@ struct MonitorConfig {
   /// does not lower (ablations, full provenance) fall back to the
   /// interpreter — CreatePropertyMonitor documents the exact rules.
   EngineKind engine = EngineKind::kDefault;
+
+  /// The eviction config engines actually run: `eviction`, with the legacy
+  /// max_instances field folded in when the new one is unset. Everything
+  /// that consults eviction (both engines, the shard-plan analysis, the
+  /// daemon) goes through this, so legacy callers keep their exact
+  /// oldest-first behaviour for the shim's one-PR lifetime.
+  EvictionConfig EffectiveEviction() const {
+    EvictionConfig e = eviction;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    if (e.max_instances == 0) e.max_instances = max_instances;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+    return e;
+  }
+
+  // Builder-style setters (chainable).
+  MonitorConfig& WithEviction(EvictionConfig e) {
+    eviction = e;
+    return *this;
+  }
+  MonitorConfig& WithEngine(EngineKind k) {
+    engine = k;
+    return *this;
+  }
+  MonitorConfig& WithProvenance(ProvenanceLevel p) {
+    provenance = p;
+    return *this;
+  }
 };
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 struct MonitorStats {
   std::uint64_t events = 0;
@@ -145,7 +195,7 @@ struct MonitorStats {
   std::uint64_t instances_advanced = 0;
   std::uint64_t instances_expired = 0;   // window lapsed before next stage
   std::uint64_t instances_aborted = 0;   // obligation discharged
-  std::uint64_t instances_evicted = 0;   // max_instances pressure
+  std::uint64_t instances_evicted = 0;   // bounded-memory (EvictionConfig) pressure
   std::uint64_t timeout_observations = 0;  // Feature 7 firings
   std::uint64_t suppressed_creations = 0;
   std::uint64_t violations = 0;

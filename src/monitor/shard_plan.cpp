@@ -49,8 +49,8 @@ std::optional<ShardPlan> BuildShardPlan(const Property& p,
   // Config shapes that route state through paths the analysis does not
   // cover: eviction order and scan lists are global, the naive-refresh
   // ablation walks entire stores.
-  if (config.max_instances != 0)
-    return fail("max_instances: eviction order is global across instances");
+  if (config.EffectiveEviction().enabled())
+    return fail("bounded eviction: the victim order is global across instances");
   if (config.force_linear_store)
     return fail("force_linear_store: every instance lives in a scan list");
   if (config.naive_timeout_refresh)

@@ -1,0 +1,102 @@
+// Adversarial state-exhaustion workload family.
+//
+// A switch monitor with bounded instance memory (EvictionConfig) can be
+// attacked: an adversary floods the property's stage-0 pattern with
+// distinct keys so the monitor's table fills with attacker instances and
+// the eviction policy pushes a *victim* instance out before its violating
+// suffix arrives — the violation is then silently missed. Each generator
+// here builds exactly that shape as a raw DataplaneEvent stream,
+// deterministic from a seed, so recall is computable against an unbounded
+// oracle run over the same stream:
+//
+//   dhcp_starvation  — DHCP REQUEST flood (classic starvation): victims'
+//                      REQUESTs are never answered (timeout violations at
+//                      +2s); attacker REQUESTs are ACKed after the flood
+//                      peak, so the oracle never counts them. Attacker
+//                      deadlines sit *behind* the victims' → kTimeoutPriority
+//                      evicts attackers first and keeps recall at 1.0 while
+//                      kCreationOrder/kLru evict the older, idle victims.
+//   fw_evasion       — crafted evasion against the refreshed firewall
+//                      window: victim flows open first, a scan flood fills
+//                      the table, then the firewall drops the victims'
+//                      return traffic well inside their 30s windows.
+//                      Same mitigation asymmetry as dhcp_starvation.
+//   portknock_storm  — knock-sequence scan storm. The target property has
+//                      NO windows, so every instance is deadline-free and
+//                      kTimeoutPriority degenerates to creation order: no
+//                      policy shields the victims (the negative result the
+//                      experiment documents).
+//   nat_churn        — NAT/firewall table churn: short-lived flows complete
+//                      the first two translation stages and park forever at
+//                      stage 3, monotonically squeezing out the full
+//                      4-stage victim flows. Deadline-free like the storm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "monitor/property_monitor.hpp"
+#include "monitor/spec.hpp"
+#include "monitor/violation.hpp"
+
+namespace swmon {
+
+struct AdversarialParams {
+  std::uint64_t seed = 1;
+  /// Distinct flood keys; each creates (at least) one monitor instance.
+  std::size_t attackers = 256;
+  /// Planted flows whose violating suffix arrives after the flood.
+  std::size_t victims = 8;
+  /// Attack intensity: flood events per simulated second.
+  std::uint64_t attack_pps = 2000;
+};
+
+struct AdversarialStream {
+  std::string name;      // generator name, e.g. "dhcp_starvation"
+  Property property;     // the property under attack (from the catalog)
+  std::vector<DataplaneEvent> events;
+  /// Time by which every window/timeout in the stream has resolved; recall
+  /// runs AdvanceTime(horizon) after the last event.
+  SimTime horizon;
+  std::size_t planted = 0;  // victim flows carrying a real violation
+};
+
+AdversarialStream DhcpStarvationStream(const AdversarialParams& ap = {});
+AdversarialStream PortKnockStormStream(const AdversarialParams& ap = {});
+AdversarialStream NatChurnStream(const AdversarialParams& ap = {});
+AdversarialStream FirewallEvasionStream(const AdversarialParams& ap = {});
+
+/// All generator names, in a fixed order (bench/E15 iterate this).
+const std::vector<std::string>& AdversarialStreamNames();
+
+/// Builds the named stream; asserts on unknown names (callers pick from
+/// AdversarialStreamNames()).
+AdversarialStream MakeAdversarialStream(const std::string& name,
+                                        const AdversarialParams& ap = {});
+
+/// Recall of a bounded-memory monitor against the unbounded oracle, both
+/// run over the same stream. Violations are matched by observable content
+/// (trigger stage, time, bindings) — never by instance id, which eviction
+/// legitimately perturbs on re-created keys.
+struct RecallReport {
+  std::size_t oracle_violations = 0;
+  std::size_t detected = 0;  // oracle violations the bounded run also saw
+  std::size_t spurious = 0;  // bounded-run violations absent from the oracle
+  std::uint64_t evictions = 0;
+  double Recall() const {
+    return oracle_violations == 0
+               ? 1.0
+               : static_cast<double>(detected) /
+                     static_cast<double>(oracle_violations);
+  }
+};
+
+/// Runs `stream` through an unbounded oracle and through a monitor built
+/// from `bounded` (same engine kind, provenance forced to at least
+/// kLimited so bindings are comparable), then matches violation multisets.
+RecallReport MeasureRecall(const AdversarialStream& stream,
+                           const MonitorConfig& bounded);
+
+}  // namespace swmon

@@ -15,13 +15,14 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
                                        bool faulted,
                                        ScenarioOptions options) {
   const std::string& p = property_name;
+  const std::size_t scale = options.scale == 0 ? 1 : options.scale;
 
   if (p == "lsw-no-flood-after-learn" || p == "lsw-correct-port" ||
       p == "lsw-linkdown-flush") {
     LearningScenarioConfig c;
     c.options = options;
     if (options.seed == 1) c.options.seed = 3;
-    c.rounds = 12;
+    c.rounds = 12 * scale;
     c.inject_link_down = p == "lsw-linkdown-flush";
     if (faulted) {
       c.fault = p == "lsw-no-flood-after-learn"
@@ -37,6 +38,7 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
     c.options = options;
     c.close_fraction = 0.0;
     c.stale_return_fraction = 0.0;
+    c.connections *= scale;
     if (faulted) c.fault = FirewallFault::kDropEstablishedReturn;
     return RunFirewallScenario(c);
   }
@@ -44,6 +46,7 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
   if (p == "nat-reverse-translation") {
     NatScenarioConfig c;
     c.options = options;
+    c.flows *= scale;
     if (faulted) c.fault = NatFault::kWrongReversePort;
     return RunNatScenario(c);
   }
@@ -64,6 +67,8 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
   if (p == "knock-invalidation" || p == "knock-recognize") {
     PortKnockScenarioConfig c;
     c.options = options;
+    c.clean_sessions *= scale;
+    c.corrupted_sessions *= scale;
     if (faulted) {
       c.fault = p == "knock-invalidation" ? PortKnockFault::kIgnoreInvalidation
                                           : PortKnockFault::kNeverOpen;
@@ -75,6 +80,7 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
       p == "lb-sticky-port") {
     LbScenarioConfig c;
     c.options = options;
+    c.flows *= scale;
     c.mode = p == "lb-round-robin-port" ? LbMode::kRoundRobin : LbMode::kHash;
     if (faulted) {
       c.fault = p == "lb-hashed-port" ? LoadBalancerFault::kWrongHashPort
@@ -88,6 +94,7 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
   if (p == "ftp-data-port") {
     FtpScenarioConfig c;
     c.options = options;
+    c.sessions *= scale;
     if (faulted) {
       c.violation_fraction = 1.0;
       c.reannounce_fraction = 0.0;
@@ -99,6 +106,7 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
       p == "dhcp-no-lease-overlap") {
     DhcpScenarioConfig c;
     c.options = options;
+    c.clients *= static_cast<std::uint32_t>(scale);
     c.release_fraction = 0.0;
     c.second_server = p == "dhcp-no-lease-overlap";
     if (faulted) {
@@ -113,6 +121,7 @@ ScenarioOutcome RunScenarioForProperty(const std::string& property_name,
   if (p == "dhcparp-cache-preload" || p == "dhcparp-no-direct-reply") {
     DhcpArpScenarioConfig c;
     c.options = options;
+    c.clients *= static_cast<std::uint32_t>(scale);
     if (faulted) {
       c.proxy_fault = p == "dhcparp-cache-preload" ? ArpProxyFault::kNoSnoop
                                                    : ArpProxyFault::kReplyUnknown;

@@ -40,6 +40,11 @@ struct ScenarioOptions {
   std::uint64_t seed = 1;
   ProvenanceLevel provenance = ProvenanceLevel::kLimited;
   bool keep_trace = false;
+  /// Traffic-volume multiplier applied to the scenario's primary knob
+  /// (flows / sessions / clients / rounds) by RunScenarioForProperty, so
+  /// registry callers (benches) can size workloads without per-scenario
+  /// config structs. 1 = the scenario's documented default volume.
+  std::size_t scale = 1;
 };
 
 /// Snapshot-backed read of a switch's modeled cost totals — the telemetry

@@ -1,0 +1,100 @@
+#include "workload/scenario_registry.hpp"
+
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "workload/adversarial/adversarial.hpp"
+#include "workload/property_scenarios.hpp"
+
+namespace swmon {
+namespace {
+
+/// Adversarial streams are raw event streams (no simulated network): feed
+/// the targeted property directly and count arrivals as injected packets.
+ScenarioOutcome RunAdversarialByName(const std::string& stream_name,
+                                     const ScenarioOptions& options) {
+  AdversarialParams ap;
+  ap.seed = options.seed;
+  AdversarialStream stream = MakeAdversarialStream(stream_name, ap);
+
+  ScenarioOutcome out;
+  out.monitors = std::make_unique<MonitorSet>();
+  MonitorConfig cfg;
+  cfg.provenance = options.provenance;
+  out.monitors->Add(stream.property, cfg);
+  if (options.keep_trace) out.trace = std::make_unique<TraceRecorder>();
+
+  for (const DataplaneEvent& ev : stream.events) {
+    if (ev.type == DataplaneEventType::kArrival) ++out.packets_injected;
+    if (out.trace) out.trace->OnDataplaneEvent(ev);
+    out.monitors->OnDataplaneEvent(ev);
+  }
+  out.monitors->AdvanceTime(stream.horizon);
+  out.end_time = stream.horizon;
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ScenarioEntry>& ScenarioRegistryEntries() {
+  static const std::vector<ScenarioEntry> kEntries = {
+      {"firewall", "stateful firewall dropping established return traffic",
+       {"fw-return-not-dropped-timeout", "fw-return-not-dropped",
+        "fw-return-not-dropped-until-close"}},
+      {"nat", "NAT mistranslating reverse flows",
+       {"nat-reverse-translation"}},
+      {"learning", "learning switch flooding / mislearning",
+       {"lsw-no-flood-after-learn", "lsw-correct-port",
+        "lsw-linkdown-flush"}},
+      {"arp", "ARP proxy answering late or never",
+       {"arp-proxy-reply-deadline", "arp-known-not-forwarded",
+        "arp-unknown-forwarded"}},
+      {"portknock", "port-knock gate ignoring invalidation",
+       {"knock-invalidation", "knock-recognize"}},
+      {"lb", "load balancer picking wrong backends",
+       {"lb-hashed-port", "lb-round-robin-port", "lb-sticky-port"}},
+      {"ftp", "FTP data connection on unannounced port",
+       {"ftp-data-port"}},
+      {"dhcp", "DHCP server replying late / re-using leases",
+       {"dhcp-reply-deadline", "dhcp-no-lease-reuse",
+        "dhcp-no-lease-overlap"}},
+      {"dhcp_arp", "DHCP-snooping ARP proxy missing preloads",
+       {"dhcparp-cache-preload", "dhcparp-no-direct-reply"}},
+      {"adversarial:dhcp_starvation",
+       "DHCP REQUEST flood starving monitor state",
+       {"dhcp-reply-deadline"}},
+      {"adversarial:portknock_storm",
+       "knock scan storm flushing victim sequences",
+       {"knock-invalidation"}},
+      {"adversarial:nat_churn", "NAT table churn parking dead instances",
+       {"nat-reverse-translation"}},
+      {"adversarial:fw_evasion",
+       "scan flood evicting firewall windows before the violating drop",
+       {"fw-return-not-dropped-timeout"}},
+  };
+  return kEntries;
+}
+
+bool HasScenario(const std::string& name) {
+  for (const ScenarioEntry& e : ScenarioRegistryEntries())
+    if (e.name == name) return true;
+  return false;
+}
+
+ScenarioOutcome RunScenarioByName(const std::string& name, bool faulted,
+                                  ScenarioOptions options) {
+  constexpr std::string_view kAdvPrefix = "adversarial:";
+  if (name.rfind(kAdvPrefix, 0) == 0)
+    return RunAdversarialByName(name.substr(kAdvPrefix.size()), options);
+
+  for (const ScenarioEntry& e : ScenarioRegistryEntries()) {
+    if (e.name == name)
+      return RunScenarioForProperty(e.properties.front(), faulted, options);
+  }
+  // Fall through: accept catalog property names directly, matching the
+  // pre-registry behavior trace_replay relied on.
+  return RunScenarioForProperty(name, faulted, options);
+}
+
+}  // namespace swmon

@@ -1,0 +1,40 @@
+// Named scenario registry.
+//
+// One string-keyed factory over every workload generator in the repo: the
+// nine device scenarios (firewall, NAT, learning switch, ARP proxy, port
+// knocking, load balancer, FTP, DHCP, DHCP+ARP) plus the adversarial
+// state-exhaustion family ("adversarial:<stream>"). Benches, trace_replay
+// record, and swmond trace generation all resolve scenarios here instead
+// of hard-coding per-scenario plumbing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/scenario_common.hpp"
+
+namespace swmon {
+
+struct ScenarioEntry {
+  std::string name;         // registry key, e.g. "firewall"
+  std::string description;  // one line for --list output
+  /// Catalog properties the faulted run violates (the first is the one the
+  /// scenario primarily targets).
+  std::vector<std::string> properties;
+};
+
+/// Every registered scenario, in a fixed order.
+const std::vector<ScenarioEntry>& ScenarioRegistryEntries();
+
+bool HasScenario(const std::string& name);
+
+/// Runs scenario `name`. For device scenarios `faulted` selects the
+/// misbehaving implementation; adversarial streams are inherently faulted
+/// and ignore it. The outcome's MonitorSet has the targeted properties
+/// attached (unbounded); pass keep_trace to capture the event stream.
+/// Unknown names return an outcome with zero packets (mirrors
+/// RunScenarioForProperty).
+ScenarioOutcome RunScenarioByName(const std::string& name, bool faulted,
+                                  ScenarioOptions options = {});
+
+}  // namespace swmon

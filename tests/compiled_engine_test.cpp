@@ -164,12 +164,12 @@ TEST(CompiledDifferentialTest, Table1PropertiesMatchOnLongerStreams) {
 }
 
 TEST(CompiledDifferentialTest, EvictionAndProvenanceConfigsStayIdentical) {
-  // max_instances exercises the eviction queue; kNone strips bindings from
-  // reports. Both must lower identically.
+  // A bounded instance cap exercises the eviction path; kNone strips
+  // bindings from reports. Both must lower identically.
   for (const CatalogEntry& e : BuildCatalog()) {
     const auto events = FuzzSeedStream(43, 900);
     MonitorConfig evicting;
-    evicting.max_instances = 8;
+    evicting.eviction = EvictionConfig{}.WithMaxInstances(8);
     RunDifferential(e.property, evicting, events,
                     std::string(e.id) + " max_instances=8");
     MonitorConfig bare;

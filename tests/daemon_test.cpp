@@ -594,6 +594,66 @@ TEST(SwmonDaemonTest, TailerIngestAndConfigDirTenants) {
   daemon.Stop();
 }
 
+TEST(SwmonDaemonTest, PerTenantEvictionFileCapsInstances) {
+  namespace fs = std::filesystem;
+  const std::string config_dir = TempPath("swmond_eviction_config");
+  fs::remove_all(config_dir);
+  fs::create_directories(config_dir + "/capped");
+  fs::create_directories(config_dir + "/unbounded");
+  std::ofstream(config_dir + "/capped/two_step.spl") << kTwoStepSpl;
+  std::ofstream(config_dir + "/capped/eviction") << "creation-order:1\n";
+  std::ofstream(config_dir + "/unbounded/two_step.spl") << kTwoStepSpl;
+
+  const std::string trace_path = TempPath("swmond_eviction.swmt");
+  std::remove(trace_path.c_str());
+
+  SwmondOptions opts;
+  opts.config_dir = config_dir;
+  opts.trace_path = trace_path;
+  opts.http_enabled = false;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  // Three first-steps open instances for ips 7/8/9; 'capped' (cap 1,
+  // creation order) retains only ip 9 by the time the second steps land.
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(trace_path, &error)) << error;
+  for (std::uint64_t ip : {7u, 8u, 9u})
+    writer.Append(MakeEvent(1000 * static_cast<std::int64_t>(ip), ip, 80));
+  for (std::uint64_t ip : {7u, 8u, 9u})
+    writer.Append(MakeEvent(1000 * static_cast<std::int64_t>(10 + ip), ip, 81));
+  ASSERT_TRUE(writer.Flush(&error)) << error;
+  WaitForIngest(daemon, 6);
+  writer.Close();
+
+  const auto capped = daemon.DrainViolations("capped");
+  const auto unbounded = daemon.DrainViolations("unbounded");
+  ASSERT_TRUE(capped.has_value());
+  ASSERT_TRUE(unbounded.has_value());
+  EXPECT_EQ(capped->size(), 1u);
+  EXPECT_EQ(unbounded->size(), 3u);
+  daemon.Stop();
+}
+
+TEST(SwmonDaemonTest, StartFailsOnBadEvictionFileWithFileInMessage) {
+  namespace fs = std::filesystem;
+  const std::string config_dir = TempPath("swmond_bad_eviction");
+  fs::remove_all(config_dir);
+  fs::create_directories(config_dir + "/teamA");
+  std::ofstream(config_dir + "/teamA/two_step.spl") << kTwoStepSpl;
+  std::ofstream(config_dir + "/teamA/eviction") << "frobnicate:1\n";
+
+  SwmondOptions opts;
+  opts.config_dir = config_dir;
+  opts.tcp_enabled = true;
+  SwmonDaemon daemon(std::move(opts));
+  std::string error;
+  EXPECT_FALSE(daemon.Start(&error));
+  EXPECT_NE(error.find("eviction"), std::string::npos) << error;
+  EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+}
+
 TEST(SwmonDaemonTest, StartFailsOnBadConfigWithFileInMessage) {
   namespace fs = std::filesystem;
   const std::string config_dir = TempPath("swmond_badconfig");

@@ -138,7 +138,8 @@ TEST(EngineFuzz, RandomEventSoupNeverCrashesAnyCatalogProperty) {
   }
   for (const auto& entry : BuildCatalog()) {
     MonitorConfig mc;
-    mc.max_instances = 512;  // exercise eviction under the soup
+    // Exercise eviction under the soup.
+    mc.eviction = EvictionConfig{}.WithMaxInstances(512);
     MonitorEngine engine(entry.property, mc);
     for (const auto& ev : events) engine.ProcessEvent(ev);
     engine.AdvanceTime(t + Duration::Seconds(300));

@@ -289,7 +289,7 @@ TEST(EngineTest, ProvenanceLevels) {
 
 TEST(EngineTest, MaxInstancesEvictsOldest) {
   MonitorConfig mc;
-  mc.max_instances = 3;
+  mc.eviction = EvictionConfig{}.WithMaxInstances(3);
   MonitorEngine eng(TwoStage(), mc);
   for (std::uint64_t i = 0; i < 5; ++i) {
     eng.ProcessEvent(Ev(DataplaneEventType::kArrival, static_cast<int>(i),
@@ -414,7 +414,7 @@ TEST(EngineTest, RoundRobinSequenceSurvivesInterleavedNonMatches) {
 }
 
 TEST(EngineTest, NoEvictionQueueGrowthWhenUnbounded) {
-  // max_instances == 0 (unbounded): the engine must not accumulate
+  // Eviction disabled (the default): the engine must not accumulate
   // creation-order bookkeeping across create/destroy churn.
   MonitorEngine eng(TwoStage());
   for (int i = 0; i < 10000; ++i) {
@@ -434,7 +434,7 @@ TEST(EngineTest, NoEvictionQueueGrowthWhenUnbounded) {
 
 TEST(EngineTest, EvictionQueueStaysBoundedUnderChurn) {
   MonitorConfig mc;
-  mc.max_instances = 4;
+  mc.eviction = EvictionConfig{}.WithMaxInstances(4);
   MonitorEngine eng(TwoStage(), mc);
   for (std::uint64_t i = 0; i < 10000; ++i) {
     eng.ProcessEvent(Ev(DataplaneEventType::kArrival, static_cast<int>(i),

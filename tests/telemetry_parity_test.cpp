@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "monitor/eviction.hpp"
 #include "monitor/monitor_set.hpp"
 #include "monitor/parallel_monitor_set.hpp"
 #include "properties/catalog.hpp"
@@ -110,6 +111,57 @@ TEST_P(SnapshotParity, MergedSnapshotIdenticalToSerial) {
 
 INSTANTIATE_TEST_SUITE_P(Workers, SnapshotParity,
                          ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(SnapshotParityTest, EvictionCountersAndStateBytesGaugeMatchSerial) {
+  // Eviction-enabled properties are ineligible for instance sharding, so a
+  // parallel set property-shards them — but the merged snapshot must still
+  // carry the exact evictions.{policy,reason} counters and the live
+  // state_bytes gauge the serial set reports, at every worker count.
+  const std::vector<Property> props = Table1Properties();
+  const auto events = EventSoup(/*seed=*/4242, /*count=*/1500);
+  const SimTime end = events.back().time + Duration::Seconds(300);
+
+  MonitorConfig mc;
+  mc.eviction =
+      EvictionConfig{}.WithPolicy(EvictionPolicy::kLru).WithMaxInstances(4);
+
+  MonitorSet serial;
+  for (const Property& p : props) serial.Add(p, mc);
+  for (const DataplaneEvent& ev : events) serial.OnDataplaneEvent(ev);
+  serial.AdvanceTime(end);
+  const telemetry::Snapshot want = serial.TelemetrySnapshot();
+
+  // The soup must actually evict, and the new families must be published.
+  ASSERT_GT(want.counter("monitor.engine.*.instances_evicted"), 0u);
+  EXPECT_EQ(want.counter("monitor.engine.*.evictions.policy.lru"),
+            want.counter("monitor.engine.*.instances_evicted"));
+  for (const Property& p : props)
+    EXPECT_TRUE(want.Has("monitor.engine." + p.name + ".state_bytes"))
+        << p.name;
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ParallelConfig cfg;
+    cfg.workers = workers;
+    cfg.batch_capacity = 64;
+    ParallelMonitorSet parallel(cfg);
+    for (const Property& p : props) parallel.Add(p, mc);
+    parallel.Start();
+    for (const DataplaneEvent& ev : events) parallel.OnDataplaneEvent(ev);
+    parallel.AdvanceTime(end);
+    parallel.Stop();
+    const telemetry::Snapshot got = parallel.TelemetrySnapshot();
+
+    for (const auto& [name, sample] : want.samples()) {
+      ASSERT_TRUE(got.Has(name))
+          << "workers=" << workers << " missing " << name;
+      EXPECT_TRUE(sample == got.samples().at(name))
+          << "workers=" << workers << " diverges at " << name;
+    }
+    EXPECT_EQ(want.counter("monitor.engine.*.evictions.reason.capacity"),
+              got.counter("monitor.engine.*.evictions.reason.capacity"))
+        << "workers=" << workers;
+  }
+}
 
 TEST(SnapshotParityTest, RegistryCollectorsMatchDirectSnapshots) {
   // Attaching either set to a MetricsRegistry must yield the same counter
